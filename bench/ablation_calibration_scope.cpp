@@ -1,0 +1,199 @@
+// Calibration-scope ablation (ours): per-condition vs global bands.
+//
+// Fig. 2 shows that the JSON bands differ across (OS, browser)
+// combinations. An attacker can either calibrate one classifier per
+// condition (needing to know the victim's platform) or pool
+// calibration traces from many conditions into one global classifier.
+// This bench quantifies the trade-off:
+//   * per-condition: bands are tight and disjoint -> near-perfect;
+//   * global over Firefox conditions: unions stay disjoint -> works;
+//   * global over ALL conditions: the Chrome/TLS1.3 bands of one
+//     condition fall inside the telemetry range of another, bands
+//     bloat, phantom/missed questions appear.
+#include <cstdio>
+
+#include "wm/core/fingerprint.hpp"
+#include "wm/core/pipeline.hpp"
+#include "wm/sim/session.hpp"
+#include "wm/story/bandersnatch.hpp"
+#include "wm/util/strings.hpp"
+
+using namespace wm;
+
+namespace {
+
+std::vector<story::Choice> alternating(std::size_t n) {
+  std::vector<story::Choice> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(i % 2 == 0 ? story::Choice::kNonDefault
+                             : story::Choice::kDefault);
+  }
+  return out;
+}
+
+sim::SessionResult simulate(const story::StoryGraph& graph,
+                            const sim::OperationalConditions& conditions,
+                            std::uint64_t seed) {
+  sim::SessionConfig config;
+  config.conditions = conditions;
+  config.seed = seed;
+  return sim::simulate_session(graph, alternating(13), config);
+}
+
+struct Scope {
+  const char* name;
+  std::vector<sim::OperationalConditions> calibration_conditions;
+};
+
+}  // namespace
+
+int main() {
+  const story::StoryGraph graph = story::make_bandersnatch();
+
+  sim::OperationalConditions linux_ff;  // Firefox/Linux
+  sim::OperationalConditions windows_ff = linux_ff;
+  windows_ff.os = sim::OperatingSystem::kWindows;
+  sim::OperationalConditions mac_ff = linux_ff;
+  mac_ff.os = sim::OperatingSystem::kMac;
+  sim::OperationalConditions linux_chrome = linux_ff;
+  linux_chrome.browser = sim::Browser::kChrome;
+  sim::OperationalConditions windows_chrome = windows_ff;
+  windows_chrome.browser = sim::Browser::kChrome;
+  sim::OperationalConditions mac_chrome = mac_ff;
+  mac_chrome.browser = sim::Browser::kChrome;
+
+  // Victims: two sessions per Firefox condition.
+  const std::vector<sim::OperationalConditions> victim_conditions{
+      linux_ff, windows_ff, mac_ff};
+
+  const std::vector<Scope> scopes = {
+      {"per-condition", {}},  // special-cased below
+      {"global: Linux+Windows Firefox", {linux_ff, windows_ff}},
+      {"global: all Firefox", {linux_ff, windows_ff, mac_ff}},
+      {"global: all six conditions",
+       {linux_ff, windows_ff, mac_ff, linux_chrome, windows_chrome, mac_chrome}},
+  };
+
+  std::printf("calibration-scope ablation (victims: Firefox on Linux / Windows "
+              "/ Mac)\n\n");
+  std::printf("%-30s %-9s %-12s %-12s %-10s\n", "calibration scope", "bands",
+              "pooled acc", "worst case", "Q count ok");
+  std::printf("%s\n", std::string(80, '-').c_str());
+
+  for (const Scope& scope : scopes) {
+    std::vector<core::SessionScore> scores;
+    bool bands_overlap = false;
+    std::size_t count_matches = 0;
+    std::size_t sessions = 0;
+
+    if (std::string(scope.name) == "per-condition") {
+      for (const auto& conditions : victim_conditions) {
+        core::AttackPipeline attack("interval");
+        std::vector<core::CalibrationSession> calibration;
+        for (std::uint64_t s = 0; s < 3; ++s) {
+          auto session = simulate(graph, conditions, 3100 + s);
+          calibration.push_back(core::CalibrationSession{
+              std::move(session.capture.packets), std::move(session.truth)});
+        }
+        attack.calibrate(calibration);
+        const auto& clf =
+            dynamic_cast<const core::IntervalClassifier&>(attack.classifier());
+        bands_overlap |= clf.bands_overlap();
+        for (std::uint64_t s = 0; s < 2; ++s) {
+          const auto victim = simulate(graph, conditions, 3200 + s);
+          const auto score = core::score_session(
+              victim.truth, attack.infer(victim.capture.packets));
+          scores.push_back(score);
+          count_matches += score.question_count_match ? 1 : 0;
+          ++sessions;
+        }
+      }
+    } else {
+      core::AttackPipeline attack("interval");
+      std::vector<core::CalibrationSession> calibration;
+      std::uint64_t seed = 3300;
+      for (const auto& conditions : scope.calibration_conditions) {
+        for (std::uint64_t s = 0; s < 2; ++s) {
+          auto session = simulate(graph, conditions, seed++);
+          calibration.push_back(core::CalibrationSession{
+              std::move(session.capture.packets), std::move(session.truth)});
+        }
+      }
+      attack.calibrate(calibration);
+      const auto& clf =
+          dynamic_cast<const core::IntervalClassifier&>(attack.classifier());
+      bands_overlap = clf.bands_overlap();
+      // Victims come only from conditions the pool covered: we measure
+      // union-collision cost, not the trivial unseen-platform case.
+      std::vector<sim::OperationalConditions> scope_victims;
+      for (const auto& conditions : victim_conditions) {
+        for (const auto& covered : scope.calibration_conditions) {
+          if (conditions == covered) scope_victims.push_back(conditions);
+        }
+      }
+      for (const auto& conditions : scope_victims) {
+        for (std::uint64_t s = 0; s < 2; ++s) {
+          const auto victim = simulate(graph, conditions, 3200 + s);
+          const auto score = core::score_session(
+              victim.truth, attack.infer(victim.capture.packets));
+          scores.push_back(score);
+          count_matches += score.question_count_match ? 1 : 0;
+          ++sessions;
+        }
+      }
+    }
+
+    const auto agg = core::aggregate_scores(scores);
+    std::printf("%-30s %-9s %-12s %-12s %zu/%zu\n", scope.name,
+                bands_overlap ? "overlap" : "disjoint",
+                util::format_percent(agg.pooled_accuracy).c_str(),
+                util::format_percent(agg.worst_accuracy).c_str(), count_matches,
+                sessions);
+  }
+
+  // --- fingerprint attacker: library of per-condition classifiers,
+  // victim's condition identified from the capture itself -------------
+  {
+    const std::vector<sim::OperationalConditions> library_conditions{
+        linux_ff, windows_ff, mac_ff, linux_chrome, windows_chrome, mac_chrome};
+    const auto library = core::ConditionFingerprinter::build_library(
+        graph, library_conditions, /*sessions_per_condition=*/3, /*seed=*/3400);
+    std::vector<core::SessionScore> scores;
+    std::size_t count_matches = 0;
+    std::size_t identified = 0;
+    std::size_t sessions = 0;
+    for (const auto& conditions : victim_conditions) {
+      for (std::uint64_t s = 0; s < 2; ++s) {
+        const auto victim = simulate(graph, conditions, 3200 + s);
+        const auto result = library.infer(victim.capture.packets);
+        if (result.conditions && result.conditions->os == conditions.os &&
+            result.conditions->browser == conditions.browser) {
+          ++identified;
+        }
+        const auto score = core::score_session(victim.truth, result.session);
+        scores.push_back(score);
+        count_matches += score.question_count_match ? 1 : 0;
+        ++sessions;
+      }
+    }
+    const auto agg = core::aggregate_scores(scores);
+    std::printf("%-30s %-9s %-12s %-12s %zu/%zu   (platform identified %zu/%zu)\n",
+                "fingerprint + per-condition", "disjoint",
+                util::format_percent(agg.pooled_accuracy).c_str(),
+                util::format_percent(agg.worst_accuracy).c_str(), count_matches,
+                sessions, identified, sessions);
+  }
+
+  std::printf(
+      "\nreading: the attack generalizes across conditions only while the\n"
+      "union of JSON bands avoids every condition's 'others' traffic:\n"
+      "Linux+Windows Firefox unions stay clear, but adding Mac (whose\n"
+      "type-1 band falls inside Linux's telemetry range) or Chrome's\n"
+      "TLS 1.3 bands brings phantom/missed questions — the practical cost\n"
+      "of not knowing the victim's platform. Note the global classifiers'\n"
+      "JSON bands stay mutually disjoint; it is the OTHER traffic of one\n"
+      "condition colliding with the JSON bands of another that hurts.\n"
+      "The fingerprint attacker sidesteps the whole problem: identify the\n"
+      "victim's platform from the trace, then use that platform's bands.\n");
+  return 0;
+}

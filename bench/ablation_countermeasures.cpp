@@ -1,0 +1,78 @@
+// §VI ablation — countermeasures and the residual timing channel.
+//
+// The paper suggests splitting or compressing the JSON file as an "easy
+// fix", and warns that timing side-channels may survive. This bench
+// makes that discussion quantitative: for each defence we re-run the
+// record-length attack (with the attacker allowed to re-calibrate on
+// protected traffic) and the timing attack, and report accuracy plus
+// byte overhead.
+#include <cstdio>
+
+#include "wm/counter/eval.hpp"
+#include "wm/story/bandersnatch.hpp"
+#include "wm/util/strings.hpp"
+
+using namespace wm;
+
+int main() {
+  const story::StoryGraph graph = story::make_bandersnatch();
+
+  counter::CountermeasureEvalConfig config;
+  config.calibration_sessions = 3;
+  config.eval_sessions = 16;
+  config.seed = 616;
+
+  struct Entry {
+    const char* name;
+    sim::ClientPayloadTransform transform;
+    bool uniform_uploads;
+    const char* note;
+  };
+  const std::vector<Entry> entries = {
+      {"none", counter::identity_transform(), false,
+       "baseline (attack as in SectionV)"},
+      {"compress(0.42)", counter::compress(0.42, 0.08), false,
+       "gzip-like; shifts+blurs bands"},
+      {"split(1024)", counter::split_records(1024), false,
+       "paper's 'split the JSON' fix — tail still leaks"},
+      {"pad(4096)", counter::pad_to_bucket(4096), false,
+       "all uploads one length"},
+      {"split+pad(1024)", counter::split_and_pad(1024), false,
+       "uniform records; length channel closed"},
+      {"uniform-uploads", counter::identity_transform(), true,
+       "ours: decoy upload at every window end"},
+      {"split+pad+uniform", counter::split_and_pad(1024), true,
+       "both channels closed"},
+  };
+
+  std::printf("SectionVI — countermeasure ablation (%zu eval sessions each)\n\n",
+              config.eval_sessions);
+  std::printf("%-17s %-9s %-13s %-13s %-8s %-9s %s\n", "defence", "bands",
+              "length-attack", "timing-attack", "chance", "overhead", "note");
+  std::printf("%-17s %-9s %-13s %-13s %-8s %-9s %s\n", "", "overlap",
+              "(pooled acc)", "(pooled acc)", "(blind)", "(bytes)", "");
+  std::printf("%s\n", std::string(100, '-').c_str());
+
+  for (const Entry& entry : entries) {
+    counter::CountermeasureEvalConfig entry_config = config;
+    entry_config.streaming.uniform_decision_uploads = entry.uniform_uploads;
+    const counter::CountermeasureRun run = counter::evaluate_countermeasure(
+        graph, entry.name, entry.transform, entry_config);
+    std::printf("%-17s %-9s %-13s %-13s %-8s %+8.1f%% %s\n", run.name.c_str(),
+                run.classifier_bands_overlap ? "yes" : "no",
+                util::format_percent(run.length_attack.pooled_accuracy).c_str(),
+                util::format_percent(run.timing_attack.pooled_accuracy).c_str(),
+                util::format_percent(run.blind_guess_accuracy).c_str(),
+                run.overhead_fraction * 100.0, entry.note);
+  }
+
+  std::printf(
+      "\nreading: padding/split+pad close the record-length channel (attack\n"
+      "falls to ~0 because no JSON bands exist to calibrate), split alone\n"
+      "leaks through the final fragment, and the timing channel keeps\n"
+      "recovering a meaningful share of choices regardless — the paper's\n"
+      "closing caveat. Our uniform-upload defence (a type-2-shaped decoy\n"
+      "at EVERY window end, prefetch always to window end) removes the\n"
+      "timing distinguisher; combined with split+pad both channels close.\n");
+  return 0;
+}

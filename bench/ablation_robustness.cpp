@@ -1,0 +1,127 @@
+// Robustness ablation (ours): how much of the attack survives when the
+// eavesdropper's capture itself is imperfect.
+//
+// The paper varies operating conditions but assumes a lossless tap.
+// Here we degrade the capture after the fact — random frame drops at
+// the monitoring point and snaplen truncation — and re-run the attack.
+// Expected shape: record lengths ride on *reassembled TCP streams*, so
+// even small capture loss desynchronizes flows and the attack decays
+// quickly; snaplen below the MSS destroys it outright. This quantifies
+// the attack's hidden assumption.
+#include <cstdio>
+
+#include "wm/core/pipeline.hpp"
+#include "wm/sim/impairments.hpp"
+#include "wm/sim/session.hpp"
+#include "wm/story/bandersnatch.hpp"
+#include "wm/util/strings.hpp"
+
+using namespace wm;
+
+namespace {
+
+std::vector<story::Choice> alternating(std::size_t n) {
+  std::vector<story::Choice> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(i % 2 == 0 ? story::Choice::kNonDefault
+                             : story::Choice::kDefault);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const story::StoryGraph graph = story::make_bandersnatch();
+
+  // Calibrate on clean captures (the attacker trains at leisure).
+  std::vector<core::CalibrationSession> calibration;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    sim::SessionConfig config;
+    config.seed = 2500 + s;
+    auto session = sim::simulate_session(graph, alternating(13), config);
+    calibration.push_back(core::CalibrationSession{
+        std::move(session.capture.packets), std::move(session.truth)});
+  }
+  core::AttackPipeline attack("interval");
+  attack.calibrate(calibration);
+
+  // Victim sessions to degrade.
+  struct Victim {
+    std::vector<net::Packet> packets;
+    sim::SessionGroundTruth truth;
+  };
+  std::vector<Victim> victims;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    sim::SessionConfig config;
+    config.seed = 2600 + s;
+    auto session = sim::simulate_session(graph, alternating(13), config);
+    victims.push_back(Victim{std::move(session.capture.packets),
+                             std::move(session.truth)});
+  }
+
+  auto evaluate = [&](const std::function<std::vector<net::Packet>(
+                          const std::vector<net::Packet>&, util::Rng&)>& impair) {
+    std::vector<core::SessionScore> scores;
+    util::Rng rng(99);
+    for (const Victim& victim : victims) {
+      const auto degraded = impair(victim.packets, rng);
+      const auto inferred = attack.infer(degraded);
+      scores.push_back(core::score_session(victim.truth, inferred));
+    }
+    return core::aggregate_scores(scores);
+  };
+
+  std::printf("robustness ablation — attack vs capture impairments "
+              "(%zu sessions each)\n\n",
+              victims.size());
+  std::printf("%-28s %-12s %-12s\n", "impairment", "pooled acc", "worst case");
+  std::printf("%s\n", std::string(54, '-').c_str());
+
+  {
+    const auto score = evaluate(
+        [](const std::vector<net::Packet>& p, util::Rng&) { return p; });
+    std::printf("%-28s %-12s %-12s\n", "none (lossless tap)",
+                util::format_percent(score.pooled_accuracy).c_str(),
+                util::format_percent(score.worst_accuracy).c_str());
+  }
+
+  for (double loss : {0.0001, 0.001, 0.01, 0.05}) {
+    const auto score =
+        evaluate([loss](const std::vector<net::Packet>& p, util::Rng& rng) {
+          return sim::drop_packets(p, loss, rng);
+        });
+    std::printf("%-28s %-12s %-12s\n",
+                util::format("capture loss %.2f%%", loss * 100).c_str(),
+                util::format_percent(score.pooled_accuracy).c_str(),
+                util::format_percent(score.worst_accuracy).c_str());
+  }
+
+  for (std::size_t snaplen : {4096u, 1514u, 256u, 96u}) {
+    const auto score =
+        evaluate([snaplen](const std::vector<net::Packet>& p, util::Rng&) {
+          return sim::truncate_snaplen(p, snaplen);
+        });
+    std::printf("%-28s %-12s %-12s\n",
+                util::format("snaplen %zu B", snaplen).c_str(),
+                util::format_percent(score.pooled_accuracy).c_str(),
+                util::format_percent(score.worst_accuracy).c_str());
+  }
+
+  {
+    const auto score =
+        evaluate([](const std::vector<net::Packet>& p, util::Rng& rng) {
+          return sim::jitter_order(p, 0.002, rng);
+        });
+    std::printf("%-28s %-12s %-12s\n", "2 ms capture jitter",
+                util::format_percent(score.pooled_accuracy).c_str(),
+                util::format_percent(score.worst_accuracy).c_str());
+  }
+
+  std::printf(
+      "\nreading: the side-channel needs complete byte streams — frame loss\n"
+      "at the tap (not on the path!) or sub-MSS snaplen starves TCP\n"
+      "reassembly and the record parser; timestamp jitter is harmless\n"
+      "because reassembly orders by sequence number, not capture order.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Figure 2 — SSL record length distribution for
+//   (Desktop, Firefox, Ethernet, Ubuntu)  and
+//   (Desktop, Firefox, Ethernet, Windows).
+//
+// For each condition we simulate several viewing sessions, take every
+// client-side application record an eavesdropper would see, and print
+// the percentage of packets of each class {type-1 JSON, type-2 JSON,
+// others} falling into the paper's five length bins. The paper's bins:
+//   Ubuntu:  <=2188 | 2211-2213 | 2219-2823 | 2992-3017 | >=4334
+//   Windows: <=2335 | 2341-2343 | 2398-3056 | 3118-3147 | >=3159
+// The reproduction criterion is the *shape*: 100% of type-1 packets in
+// the second bin, 100% of type-2 packets in the fourth, and all other
+// packets outside both JSON bins.
+#include <cstdio>
+#include <vector>
+
+#include "wm/core/features.hpp"
+#include "wm/sim/session.hpp"
+#include "wm/story/bandersnatch.hpp"
+#include "wm/util/stats.hpp"
+#include "wm/util/strings.hpp"
+
+using namespace wm;
+
+namespace {
+
+struct Bin {
+  std::string label;
+  std::int64_t lo;
+  std::int64_t hi;
+};
+
+void run_condition(const story::StoryGraph& graph, const char* title,
+                   sim::OperatingSystem os, const std::vector<Bin>& bins,
+                   std::uint64_t seed_base) {
+  sim::OperationalConditions conditions;  // Desktop, Firefox, Ethernet, Noon
+  conditions.os = os;
+
+  // Several sessions with plenty of non-default picks so type-2 shows.
+  std::array<util::IntHistogram, core::kRecordClassCount> by_class;
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    std::vector<story::Choice> choices;
+    for (int i = 0; i < 13; ++i) {
+      choices.push_back(i % 2 == 0 ? story::Choice::kNonDefault
+                                   : story::Choice::kDefault);
+    }
+    sim::SessionConfig config;
+    config.conditions = conditions;
+    config.seed = seed_base + s;
+    const sim::SessionResult session =
+        sim::simulate_session(graph, choices, config);
+    const auto observations =
+        core::extract_client_records(session.capture.packets);
+    for (const core::LabeledObservation& item :
+         core::label_observations(observations, session.truth)) {
+      by_class[static_cast<std::size_t>(item.label)].add(
+          item.observation.record_length);
+    }
+  }
+
+  std::printf("%s\n", title);
+  std::printf("%-22s %12s %12s %12s\n", "SSL record length (B)", "type-1 JSON",
+              "type-2 JSON", "others");
+  for (const Bin& bin : bins) {
+    std::printf("%-22s", bin.label.c_str());
+    for (std::size_t cls = 0; cls < core::kRecordClassCount; ++cls) {
+      const util::IntHistogram& hist = by_class[cls];
+      const double pct =
+          hist.total() == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(hist.count_in(bin.lo, bin.hi)) /
+                    static_cast<double>(hist.total());
+      std::printf(" %11.1f%%", pct);
+    }
+    std::printf("\n");
+  }
+  std::printf("  packets: type-1=%llu type-2=%llu others=%llu\n\n",
+              static_cast<unsigned long long>(by_class[0].total()),
+              static_cast<unsigned long long>(by_class[1].total()),
+              static_cast<unsigned long long>(by_class[2].total()));
+}
+
+}  // namespace
+
+int main() {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  const std::int64_t kMax = 1 << 20;
+
+  std::printf("Figure 2 — SSL record length distributions (percent of class)\n\n");
+
+  run_condition(graph, "(Desktop, Firefox, Ethernet, Ubuntu)",
+                sim::OperatingSystem::kLinux,
+                {
+                    {"<=2188", 0, 2188},
+                    {"2211-2213", 2211, 2213},
+                    {"2219-2823", 2219, 2823},
+                    {"2992-3017", 2992, 3017},
+                    {">=4334", 4334, kMax},
+                },
+                11000);
+
+  run_condition(graph, "(Desktop, Firefox, Ethernet, Windows)",
+                sim::OperatingSystem::kWindows,
+                {
+                    {"<=2335", 0, 2335},
+                    {"2341-2343", 2341, 2343},
+                    {"2398-3056", 2398, 3056},
+                    {"3118-3147", 3118, 3147},
+                    {">=3159", 3159, kMax},
+                },
+                12000);
+
+  std::printf(
+      "paper shape: type-1 packets land exclusively in their 3-byte bin,\n"
+      "type-2 in their ~30-byte bin, and both bins are empty of 'others' —\n"
+      "which is what makes the JSON uploads distinguishable from encrypted\n"
+      "traffic alone.\n");
+  return 0;
+}

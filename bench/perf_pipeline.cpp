@@ -1,0 +1,141 @@
+// Pipeline micro-benchmarks (google-benchmark): throughput of the
+// attacker-side stages — packet decode, TCP reassembly + TLS record
+// extraction, classification, and the full capture->choices pipeline —
+// plus the simulator's session synthesis rate. These are performance
+// numbers for OUR implementation (the paper reports none).
+#include <benchmark/benchmark.h>
+
+#include "wm/core/pipeline.hpp"
+#include "wm/net/pcap.hpp"
+#include "wm/sim/session.hpp"
+#include "wm/story/bandersnatch.hpp"
+#include "wm/tls/record_stream.hpp"
+
+using namespace wm;
+
+namespace {
+
+const sim::SessionResult& shared_session() {
+  static const sim::SessionResult session = [] {
+    const story::StoryGraph graph = story::make_bandersnatch();
+    std::vector<story::Choice> choices;
+    for (int i = 0; i < 13; ++i) {
+      choices.push_back(i % 2 == 0 ? story::Choice::kNonDefault
+                                   : story::Choice::kDefault);
+    }
+    sim::SessionConfig config;
+    config.seed = 31337;
+    return sim::simulate_session(graph, choices, config);
+  }();
+  return session;
+}
+
+core::AttackPipeline& shared_pipeline() {
+  static core::AttackPipeline pipeline = [] {
+    core::AttackPipeline p("interval");
+    const auto& session = shared_session();
+    p.calibrate({core::CalibrationSession{session.capture.packets,
+                                          session.truth}});
+    return p;
+  }();
+  return pipeline;
+}
+
+std::uint64_t capture_bytes(const std::vector<net::Packet>& packets) {
+  std::uint64_t total = 0;
+  for (const auto& packet : packets) total += packet.data.size();
+  return total;
+}
+
+void BM_PacketDecode(benchmark::State& state) {
+  const auto& packets = shared_session().capture.packets;
+  for (auto _ : state) {
+    std::size_t payload = 0;
+    for (const net::Packet& packet : packets) {
+      const auto decoded = net::decode_packet(packet);
+      if (decoded) payload += decoded->transport_payload.size();
+    }
+    benchmark::DoNotOptimize(payload);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      capture_bytes(packets) * static_cast<std::uint64_t>(state.iterations())));
+  state.counters["packets/s"] = benchmark::Counter(
+      static_cast<double>(packets.size() * static_cast<std::size_t>(state.iterations())),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PacketDecode);
+
+void BM_RecordExtraction(benchmark::State& state) {
+  const auto& packets = shared_session().capture.packets;
+  for (auto _ : state) {
+    const auto streams = tls::extract_record_streams(packets);
+    benchmark::DoNotOptimize(streams.size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      capture_bytes(packets) * static_cast<std::uint64_t>(state.iterations())));
+}
+BENCHMARK(BM_RecordExtraction);
+
+void BM_Classification(benchmark::State& state) {
+  const auto observations =
+      core::extract_client_records(shared_session().capture.packets);
+  const auto& pipeline = shared_pipeline();
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    for (const auto& obs : observations) {
+      if (pipeline.classifier().classify(obs.record_length) !=
+          core::RecordClass::kOther) {
+        ++hits;
+      }
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["records/s"] = benchmark::Counter(
+      static_cast<double>(observations.size() *
+                          static_cast<std::size_t>(state.iterations())),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Classification);
+
+void BM_FullAttack(benchmark::State& state) {
+  const auto& packets = shared_session().capture.packets;
+  const auto& pipeline = shared_pipeline();
+  for (auto _ : state) {
+    const auto inferred = pipeline.infer(packets);
+    benchmark::DoNotOptimize(inferred.questions.size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      capture_bytes(packets) * static_cast<std::uint64_t>(state.iterations())));
+}
+BENCHMARK(BM_FullAttack);
+
+void BM_SessionSynthesis(benchmark::State& state) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  std::vector<story::Choice> choices(13, story::Choice::kNonDefault);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::SessionConfig config;
+    config.seed = seed++;
+    const auto session = sim::simulate_session(graph, choices, config);
+    benchmark::DoNotOptimize(session.capture.packets.size());
+  }
+}
+BENCHMARK(BM_SessionSynthesis)->Unit(benchmark::kMillisecond);
+
+void BM_PcapWriteRead(benchmark::State& state) {
+  const auto& packets = shared_session().capture.packets;
+  const auto path = std::filesystem::temp_directory_path() / "wm_bench.pcap";
+  for (auto _ : state) {
+    net::write_pcap(path, packets);
+    const auto loaded = net::read_pcap(path);
+    benchmark::DoNotOptimize(loaded.size());
+  }
+  std::filesystem::remove(path);
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      2 * capture_bytes(packets) * static_cast<std::uint64_t>(state.iterations())));
+}
+BENCHMARK(BM_PcapWriteRead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

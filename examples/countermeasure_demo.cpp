@@ -1,0 +1,124 @@
+// Defence walkthrough (§VI): what each countermeasure does to the
+// attacker's view of one viewing session, and what the timing channel
+// still reveals afterwards.
+#include <cstdio>
+
+#include "wm/core/features.hpp"
+#include "wm/counter/eval.hpp"
+#include "wm/counter/timing_attack.hpp"
+#include "wm/counter/transforms.hpp"
+#include "wm/sim/session.hpp"
+#include "wm/story/bandersnatch.hpp"
+#include "wm/util/cli.hpp"
+#include "wm/util/stats.hpp"
+#include "wm/util/strings.hpp"
+
+using namespace wm;
+
+namespace {
+
+/// Show the client record-length histogram an eavesdropper sees for one
+/// protected session, with the ground-truth class of each length noted.
+void show_upload_lengths(const char* title,
+                         const sim::ClientPayloadTransform& transform,
+                         std::uint64_t seed) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  std::vector<story::Choice> choices;
+  for (int i = 0; i < 13; ++i) {
+    choices.push_back(i % 2 == 0 ? story::Choice::kNonDefault
+                                 : story::Choice::kDefault);
+  }
+  sim::SessionConfig config;
+  config.seed = seed;
+  config.packetize.client_transform = transform;
+  const auto session = sim::simulate_session(graph, choices, config);
+
+  const auto observations = core::extract_client_records(session.capture.packets);
+  const auto labelled = core::label_observations(observations, session.truth);
+
+  std::array<util::IntHistogram, core::kRecordClassCount> by_class;
+  for (const auto& item : labelled) {
+    by_class[static_cast<std::size_t>(item.label)].add(
+        item.observation.record_length);
+  }
+
+  std::printf("%s\n", title);
+  for (std::size_t cls = 0; cls < core::kRecordClassCount; ++cls) {
+    const auto band = util::covering_interval(by_class[cls]);
+    std::printf("  %-12s count=%-4llu lengths=%s\n",
+                core::to_string(static_cast<core::RecordClass>(cls)).c_str(),
+                static_cast<unsigned long long>(by_class[cls].total()),
+                band ? band->to_string().c_str() : "-");
+  }
+
+  // Are the JSON bands still distinguishable?
+  const auto band1 = util::covering_interval(by_class[0]);
+  const auto band2 = util::covering_interval(by_class[1]);
+  const bool distinguishable = band1 && band2 && !band1->overlaps(*band2);
+  std::printf("  JSON types distinguishable by length: %s\n\n",
+              distinguishable ? "YES (attack works)" : "no");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("countermeasure_demo",
+                      "show what each SectionVI defence does to the wire image");
+  cli.add_int("seed", "session seed", 616);
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  std::printf("client upload record lengths under each defence\n");
+  std::printf("(one session, viewer alternates non-default/default)\n\n");
+
+  show_upload_lengths("defence: none", counter::identity_transform(), seed);
+  show_upload_lengths("defence: compress(0.42)", counter::compress(0.42, 0.08),
+                      seed);
+  show_upload_lengths("defence: split(1024) — note the tail fragments",
+                      counter::split_records(1024), seed);
+  show_upload_lengths("defence: pad(4096)", counter::pad_to_bucket(4096), seed);
+  show_upload_lengths("defence: split+pad(1024)", counter::split_and_pad(1024),
+                      seed);
+
+  // The residual timing channel, on the strongest defence.
+  const story::StoryGraph graph = story::make_bandersnatch();
+  std::vector<story::Choice> choices;
+  for (int i = 0; i < 13; ++i) {
+    choices.push_back(i % 3 == 0 ? story::Choice::kNonDefault
+                                 : story::Choice::kDefault);
+  }
+  sim::SessionConfig config;
+  config.seed = seed + 1;
+  config.packetize.client_transform = counter::split_and_pad(1024);
+  const auto protected_session = sim::simulate_session(graph, choices, config);
+
+  counter::TimingAttackConfig timing_config;
+  const auto timing =
+      counter::timing_attack(protected_session.capture.packets, timing_config);
+  const auto score =
+      core::score_session(protected_session.truth, timing.session);
+
+  std::printf("timing attack against split+pad(1024):\n");
+  std::printf("  true questions: %zu, windows detected: %zu\n",
+              protected_session.truth.questions.size(), timing.windows_detected);
+  for (std::size_t i = 0; i < timing.session.questions.size(); ++i) {
+    const auto& q = timing.session.questions[i];
+    const char* truth_label =
+        i < protected_session.truth.questions.size()
+            ? story::to_string(protected_session.truth.questions[i].choice).c_str()
+            : "(none)";
+    std::printf("  window %zu at %s -> inferred %s (truth: %s)\n", i + 1,
+                q.question_time.to_string().c_str(),
+                story::to_string(q.choice).c_str(), truth_label);
+  }
+  std::printf("  choices recovered by timing alone: %s\n",
+              util::format_percent(score.choice_accuracy).c_str());
+  std::printf("\nconclusion (§VI): hiding lengths is not enough — the\n"
+              "prefetch/abort *process* of Fig. 1 remains visible in time.\n");
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Online eavesdropper: consumes a capture packet by packet (as a tap
+// would) and prints choices the moment the corresponding record is
+// observed — demonstrating that the attack is real-time, not post-hoc.
+//
+// Uses the streaming RecordStreamExtractor: after every packet we
+// drain any newly completed TLS records, classify them, and update the
+// running choice decode.
+#include <cstdio>
+#include <map>
+#include <optional>
+
+#include "wm/core/pipeline.hpp"
+#include "wm/sim/session.hpp"
+#include "wm/story/bandersnatch.hpp"
+#include "wm/tls/record_stream.hpp"
+#include "wm/util/cli.hpp"
+
+using namespace wm;
+
+namespace {
+
+/// Incremental decoder: same semantics as core::decode_choices, fed one
+/// observation at a time.
+class LiveDecoder {
+ public:
+  explicit LiveDecoder(const core::RecordClassifier& classifier)
+      : classifier_(classifier) {}
+
+  void on_record(const tls::RecordEvent& event) {
+    if (!event.is_client_application_data()) return;
+    switch (classifier_.classify(event.record_length)) {
+      case core::RecordClass::kType1Json: {
+        if (has_last_type1_ &&
+            event.timestamp - last_type1_ < util::Duration::millis(120)) {
+          break;
+        }
+        has_last_type1_ = true;
+        last_type1_ = event.timestamp;
+        ++questions_;
+        std::printf("[%s] Q%zu appeared (record %u B) — assuming DEFAULT until "
+                    "overridden\n",
+                    event.timestamp.to_string().c_str(), questions_,
+                    event.record_length);
+        overridden_ = false;
+        break;
+      }
+      case core::RecordClass::kType2Json:
+        if (questions_ == 0 || overridden_) break;
+        overridden_ = true;
+        std::printf("[%s] Q%zu OVERRIDE: viewer picked the NON-DEFAULT branch "
+                    "(record %u B)\n",
+                    event.timestamp.to_string().c_str(), questions_,
+                    event.record_length);
+        break;
+      case core::RecordClass::kOther:
+        break;
+    }
+  }
+
+  [[nodiscard]] std::size_t questions() const { return questions_; }
+
+ private:
+  const core::RecordClassifier& classifier_;
+  util::SimTime last_type1_;
+  bool has_last_type1_ = false;
+  std::size_t questions_ = 0;
+  bool overridden_ = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("live_monitor", "online choice inference demo");
+  cli.add_int("seed", "victim session seed", 99);
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+
+  const story::StoryGraph graph = story::make_bandersnatch();
+
+  // Calibrate offline once.
+  std::vector<story::Choice> calib_choices;
+  for (int i = 0; i < 13; ++i) {
+    calib_choices.push_back(i % 2 == 0 ? story::Choice::kNonDefault
+                                       : story::Choice::kDefault);
+  }
+  std::vector<core::CalibrationSession> calibration;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    sim::SessionConfig calib_config;
+    calib_config.seed = 4242 + s;
+    auto calib = sim::simulate_session(graph, calib_choices, calib_config);
+    calibration.push_back(core::CalibrationSession{
+        std::move(calib.capture.packets), std::move(calib.truth)});
+  }
+  core::AttackPipeline attack("interval");
+  attack.calibrate(calibration);
+
+  // Victim session to monitor.
+  std::vector<story::Choice> victim_choices{
+      story::Choice::kDefault,    story::Choice::kNonDefault,
+      story::Choice::kNonDefault, story::Choice::kDefault,
+      story::Choice::kDefault,    story::Choice::kNonDefault,
+      story::Choice::kDefault,    story::Choice::kDefault,
+      story::Choice::kDefault,    story::Choice::kDefault,
+      story::Choice::kDefault,    story::Choice::kDefault,
+      story::Choice::kDefault};
+  sim::SessionConfig victim_config;
+  victim_config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const auto victim = sim::simulate_session(graph, victim_choices, victim_config);
+
+  std::printf("monitoring %zu packets as they arrive...\n\n",
+              victim.capture.packets.size());
+
+  // Streaming loop: packet in -> any completed records out -> decode.
+  // RecordStreamExtractor accumulates per-flow state; we drain by
+  // re-running finish() only at the end, so for live output we keep our
+  // own per-flow reassembly here via the extractor's streaming sibling:
+  // feed packets one at a time and track how many events we've consumed
+  // per flow.
+  tls::RecordStreamExtractor extractor;
+  LiveDecoder decoder(attack.classifier());
+  std::map<std::string, std::size_t> consumed;
+
+  for (const net::Packet& packet : victim.capture.packets) {
+    extractor.add_packet(packet);
+    // Poll for new events (finish() is cheap relative to a demo).
+    for (const auto& stream : extractor.finish()) {
+      const std::string key = stream.flow.to_string();
+      std::size_t& seen = consumed[key];
+      for (std::size_t i = seen; i < stream.events.size(); ++i) {
+        decoder.on_record(stream.events[i]);
+      }
+      seen = stream.events.size();
+    }
+  }
+
+  std::printf("\nsession over: %zu questions observed\n", decoder.questions());
+  std::printf("ground truth was:");
+  for (const auto& q : victim.truth.questions) {
+    std::printf(" %s", story::choice_notation(q.index, q.choice).c_str());
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Quickstart: the whole attack in one file.
+//
+// 1. Build the Bandersnatch-like story graph.
+// 2. Simulate a calibration session (attacker watches the film once,
+//    noting their own choices) and fit the interval classifier.
+// 3. Simulate a victim session under different operating conditions.
+// 4. Recover the victim's choices from the encrypted capture alone and
+//    compare against ground truth.
+//
+//   ./quickstart [--seed N] [--victim-os Windows|Linux|Mac]
+#include <cstdio>
+
+#include "wm/core/pipeline.hpp"
+#include "wm/dataset/choice_policy.hpp"
+#include "wm/sim/session.hpp"
+#include "wm/story/bandersnatch.hpp"
+#include "wm/util/cli.hpp"
+#include "wm/util/strings.hpp"
+
+using namespace wm;
+
+namespace {
+
+sim::SessionResult simulate(const story::StoryGraph& graph,
+                            const sim::OperationalConditions& conditions,
+                            const std::vector<story::Choice>& choices,
+                            std::uint64_t seed) {
+  sim::SessionConfig config;
+  config.conditions = conditions;
+  config.seed = seed;
+  return sim::simulate_session(graph, choices, config);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("quickstart", "White Mirror end-to-end demo");
+  cli.add_int("seed", "base RNG seed", 42);
+  cli.add_string("victim-os", "victim OS: Windows, Linux or Mac", "Linux");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  const story::StoryGraph graph = story::make_bandersnatch();
+  std::printf("film: %s (%zu segments, %zu choice points)\n\n",
+              graph.title().c_str(), graph.segment_count(),
+              graph.choice_segments().size());
+
+  // --- 1. Attacker calibrates on their own viewing ---------------------
+  sim::OperationalConditions calib_conditions;  // Linux/Firefox desktop
+  util::Rng calib_rng(seed);
+  dataset::BehavioralAttributes calib_behavior;
+  const auto calib_choices = dataset::draw_choices(graph, calib_behavior, calib_rng);
+  sim::SessionResult calib = simulate(graph, calib_conditions, calib_choices, seed);
+
+  core::AttackPipeline attack("interval");
+  attack.calibrate({core::CalibrationSession{calib.capture.packets, calib.truth}});
+  const auto& classifier =
+      dynamic_cast<const core::IntervalClassifier&>(attack.classifier());
+  std::printf("calibrated bands: type-1 JSON = %s, type-2 JSON = %s bytes\n\n",
+              classifier.type1_band().to_string().c_str(),
+              classifier.type2_band().to_string().c_str());
+
+  // --- 2. Victim watches under their own conditions --------------------
+  sim::OperationalConditions victim_conditions = calib_conditions;
+  const std::string os = cli.get_string("victim-os");
+  if (auto parsed = dataset::parse_os(os)) {
+    victim_conditions.os = *parsed;
+  } else {
+    std::fprintf(stderr, "unknown OS '%s'\n", os.c_str());
+    return 1;
+  }
+
+  util::Rng victim_rng(seed + 1);
+  dataset::BehavioralAttributes victim_behavior;
+  victim_behavior.mood = dataset::StateOfMind::kStressed;
+  const auto victim_choices =
+      dataset::draw_choices(graph, victim_behavior, victim_rng);
+  sim::SessionResult victim =
+      simulate(graph, victim_conditions, victim_choices, seed + 1);
+  std::printf("victim session: %zu packets, %zu questions answered, conditions %s\n",
+              victim.capture.packets.size(), victim.truth.questions.size(),
+              victim_conditions.to_string().c_str());
+
+  // --- 3. Attack: encrypted capture -> choices -------------------------
+  const core::InferredSession inferred = attack.infer(victim.capture.packets);
+  const core::InferredPath path =
+      core::reconstruct_path(graph, inferred.choices());
+
+  std::printf("\n%-4s %-38s %-12s %-12s %s\n", "Q", "prompt", "truth", "inferred",
+              "ok");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < victim.truth.questions.size(); ++i) {
+    const auto& truth = victim.truth.questions[i];
+    const char* inferred_label =
+        i < inferred.questions.size()
+            ? (inferred.questions[i].choice == story::Choice::kDefault
+                   ? "default"
+                   : "non-default")
+            : "(missed)";
+    const bool ok = i < inferred.questions.size() &&
+                    inferred.questions[i].choice == truth.choice;
+    if (ok) ++correct;
+    std::printf("Q%-3zu %-38.38s %-12s %-12s %s\n", truth.index,
+                truth.prompt.c_str(), story::to_string(truth.choice).c_str(),
+                inferred_label, ok ? "yes" : "NO");
+  }
+  std::printf("\nrecovered %zu/%zu choices (%s)\n", correct,
+              victim.truth.questions.size(),
+              util::format_percent(victim.truth.questions.empty()
+                                       ? 1.0
+                                       : static_cast<double>(correct) /
+                                             static_cast<double>(
+                                                 victim.truth.questions.size()))
+                  .c_str());
+
+  std::printf("\ninferred path through the film:\n");
+  for (const std::string& name : path.segment_names) {
+    std::printf("  -> %s\n", name.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Behavioural profiling from recovered choices — the harm the paper's
+// introduction motivates: "the choices made and the path followed can
+// potentially reveal viewer information that ranges from benign (e.g.,
+// their food and music preferences) to sensitive (e.g., their affinity
+// to violence and political inclination)". §VI invites behavioural
+// researchers to build on the recovered choices; this module is that
+// analysis layer, applied to ATTACK OUTPUT (not ground truth).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "wm/core/decoder.hpp"
+#include "wm/story/graph.hpp"
+
+namespace wm::core {
+
+/// A keyword rule: when the label of the option a viewer picked
+/// contains `keyword` (case-insensitive), tag the viewer with `tag`.
+struct TraitRule {
+  std::string keyword;
+  std::string tag;
+};
+
+/// Default rule set for the canonical Bandersnatch-like script:
+/// violence, risk-taking, self-harm, conformity and meta-awareness.
+std::vector<TraitRule> default_trait_rules();
+
+/// What the eavesdropper can say about one viewer after decoding their
+/// session against the script graph.
+struct ViewerTraitProfile {
+  /// Fraction of questions answered with the non-default option —
+  /// an "exploration" tendency measure.
+  double exploration_rate = 0.0;
+  std::size_t questions = 0;
+  /// Labels of the options the viewer picked, in order.
+  std::vector<std::string> picked_labels;
+  /// Trait tags triggered by the picks (deduplicated, sorted).
+  std::vector<std::string> tags;
+  /// Name of the ending segment reached, if any.
+  std::string ending;
+};
+
+/// Build a trait profile from decoded choices. The choices are walked
+/// through the graph so each pick is matched to the on-screen label the
+/// viewer actually selected.
+ViewerTraitProfile profile_viewer(const story::StoryGraph& graph,
+                                  const std::vector<story::Choice>& choices,
+                                  const std::vector<TraitRule>& rules);
+
+/// Aggregate exploration statistics over a cohort, keyed by an
+/// attribute value (e.g. "age=<20", "mood=Stressed").
+struct CohortBehaviorReport {
+  struct Group {
+    std::size_t viewers = 0;
+    double mean_exploration = 0.0;
+    std::map<std::string, std::size_t> tag_counts;
+  };
+  std::map<std::string, Group> groups;
+
+  /// Add one profiled viewer under the given group keys.
+  void add(const ViewerTraitProfile& profile,
+           const std::vector<std::string>& group_keys);
+};
+
+}  // namespace wm::core

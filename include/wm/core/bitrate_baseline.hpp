@@ -1,0 +1,67 @@
+// Prior-work baseline: inter-video features (bitrate / throughput
+// windows, as in Reed & Kranch 2017 and Schuster et al. 2017) applied
+// to the intra-video problem.
+//
+// §II argues these features cannot distinguish segments of the same
+// film: every branch streams at the same bitrate. This baseline makes
+// that argument executable — it extracts per-question download-volume
+// windows and tries to decide default vs non-default from them; its
+// accuracy hovering at chance is ablation A2.
+#pragma once
+
+#include <vector>
+
+#include "wm/net/packet.hpp"
+#include "wm/sim/streaming.hpp"
+#include "wm/story/graph.hpp"
+#include "wm/util/time.hpp"
+
+namespace wm::core {
+
+/// Downstream-throughput feature around one detected question: bytes
+/// fetched in the window after the question appeared.
+struct BitrateWindow {
+  util::SimTime window_start;
+  double bytes_in_window = 0.0;
+  double mean_throughput_bps = 0.0;
+};
+
+/// Extract per-question bitrate windows. Question times must be
+/// supplied (the baseline is given MORE than a real attacker would
+/// have, and still fails).
+std::vector<BitrateWindow> extract_bitrate_windows(
+    const std::vector<net::Packet>& packets,
+    const std::vector<util::SimTime>& question_times, util::Duration window);
+
+/// Threshold classifier over window volume: learns mean volumes of
+/// default vs non-default questions from calibration, predicts by
+/// nearest mean.
+class BitrateBaseline {
+ public:
+  struct Calibration {
+    std::vector<net::Packet> packets;
+    sim::SessionGroundTruth truth;
+  };
+
+  explicit BitrateBaseline(util::Duration window = util::Duration::seconds(2))
+      : window_(window) {}
+
+  void fit(const std::vector<Calibration>& sessions);
+  [[nodiscard]] bool fitted() const { return fitted_; }
+
+  /// Predict the choice at each supplied question time.
+  [[nodiscard]] std::vector<story::Choice> predict(
+      const std::vector<net::Packet>& packets,
+      const std::vector<util::SimTime>& question_times) const;
+
+  [[nodiscard]] double default_mean() const { return default_mean_; }
+  [[nodiscard]] double non_default_mean() const { return non_default_mean_; }
+
+ private:
+  util::Duration window_;
+  double default_mean_ = 0.0;
+  double non_default_mean_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace wm::core

@@ -1,0 +1,112 @@
+// Record-length classifiers.
+//
+// The paper's method distinguishes the two JSON types from all other
+// client packets purely by SSL record length (Fig. 2 shows the bands).
+// The primary classifier reproduces exactly that: learn, per class, the
+// closed interval covering the calibration lengths, verify the bands
+// are disjoint, then classify by membership. kNN and Gaussian naive
+// Bayes are included as sanity baselines over the same 1-D feature.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wm/core/features.hpp"
+#include "wm/util/stats.hpp"
+
+namespace wm::core {
+
+/// Common interface over the 1-D record-length feature.
+class RecordClassifier {
+ public:
+  virtual ~RecordClassifier() = default;
+
+  /// Fit from labelled calibration observations. Throws
+  /// std::invalid_argument when calibration is unusable (e.g. a JSON
+  /// class has no examples).
+  virtual void fit(const std::vector<LabeledObservation>& calibration) = 0;
+
+  /// Classify one record length.
+  [[nodiscard]] virtual RecordClass classify(std::uint16_t record_length) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual bool fitted() const = 0;
+};
+
+/// The paper's method: per-class covering intervals over record length.
+class IntervalClassifier final : public RecordClassifier {
+ public:
+  /// `guard` widens each JSON band by this many bytes on each side, to
+  /// tolerate calibration sets that did not exhibit the full band. The
+  /// default of 4 stays below the smallest guard gap any traffic
+  /// profile leaves between the type-1 band and other client messages.
+  explicit IntervalClassifier(std::int64_t guard = 4) : guard_(guard) {}
+
+  void fit(const std::vector<LabeledObservation>& calibration) override;
+  [[nodiscard]] RecordClass classify(std::uint16_t record_length) const override;
+  [[nodiscard]] std::string name() const override { return "interval"; }
+  [[nodiscard]] bool fitted() const override { return fitted_; }
+
+  /// The learned bands (valid after fit).
+  [[nodiscard]] const util::IntInterval& type1_band() const { return type1_; }
+  [[nodiscard]] const util::IntInterval& type2_band() const { return type2_; }
+  /// True when the learned JSON bands overlap each other (fit degrades
+  /// to "other" for contested lengths and flags this).
+  [[nodiscard]] bool bands_overlap() const { return bands_overlap_; }
+
+ private:
+  std::int64_t guard_;
+  util::IntInterval type1_{};
+  util::IntInterval type2_{};
+  bool bands_overlap_ = false;
+  bool fitted_ = false;
+};
+
+/// k-nearest-neighbours on record length (ties broken toward kOther).
+class KnnClassifier final : public RecordClassifier {
+ public:
+  explicit KnnClassifier(std::size_t k = 5) : k_(k == 0 ? 1 : k) {}
+
+  void fit(const std::vector<LabeledObservation>& calibration) override;
+  [[nodiscard]] RecordClass classify(std::uint16_t record_length) const override;
+  [[nodiscard]] std::string name() const override { return "knn"; }
+  [[nodiscard]] bool fitted() const override { return !points_.empty(); }
+
+ private:
+  std::size_t k_;
+  // Sorted by length for O(log n + k) neighbour lookup.
+  std::vector<std::pair<std::int64_t, RecordClass>> points_;
+};
+
+/// Gaussian naive Bayes with class priors over record length.
+class GaussianNbClassifier final : public RecordClassifier {
+ public:
+  void fit(const std::vector<LabeledObservation>& calibration) override;
+  [[nodiscard]] RecordClass classify(std::uint16_t record_length) const override;
+  [[nodiscard]] std::string name() const override { return "gaussian-nb"; }
+  [[nodiscard]] bool fitted() const override { return fitted_; }
+
+ private:
+  struct ClassStats {
+    double mean = 0.0;
+    double variance = 1.0;
+    double log_prior = 0.0;
+    bool present = false;
+  };
+  std::array<ClassStats, kRecordClassCount> stats_{};
+  bool fitted_ = false;
+};
+
+/// Factory by name ("interval", "knn", "gaussian-nb").
+std::unique_ptr<RecordClassifier> make_classifier(const std::string& name);
+
+/// Evaluate a fitted classifier on labelled data.
+util::ConfusionMatrix evaluate_classifier(
+    const RecordClassifier& classifier,
+    const std::vector<LabeledObservation>& labelled);
+
+}  // namespace wm::core

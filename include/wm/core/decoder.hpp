@@ -1,0 +1,61 @@
+// Choice decoding: from classified record events to the viewer's
+// choice sequence (and, with the script graph, their path).
+//
+// §III: "the number and type of JSON files sent indicate the choice
+// made by the viewer" — each type-1 JSON marks a question appearing;
+// a type-2 JSON before the next type-1 means the viewer overrode the
+// default at that question.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wm/core/classifier.hpp"
+#include "wm/core/features.hpp"
+#include "wm/story/graph.hpp"
+
+namespace wm::core {
+
+/// One decoded question event.
+struct InferredQuestion {
+  std::size_t index = 0;  // 1-based appearance order
+  util::SimTime question_time;
+  story::Choice choice = story::Choice::kDefault;
+  std::optional<util::SimTime> override_time;  // set for non-default
+};
+
+/// Full inference result for one session.
+struct InferredSession {
+  std::vector<InferredQuestion> questions;
+  /// Classified observations, for diagnostics.
+  std::size_t type1_records = 0;
+  std::size_t type2_records = 0;
+  std::size_t other_records = 0;
+
+  [[nodiscard]] std::vector<story::Choice> choices() const;
+};
+
+/// Decode a classified observation sequence. `min_question_gap` guards
+/// against double-counting when a type-1 upload is retransmitted or a
+/// band misfire produces two adjacent type-1 classifications.
+InferredSession decode_choices(
+    const RecordClassifier& classifier,
+    const std::vector<ClientRecordObservation>& observations,
+    util::Duration min_question_gap = util::Duration::millis(120));
+
+/// Map a decoded choice sequence onto the script graph, recovering the
+/// segments the viewer watched (the paper's behavioural payload).
+struct InferredPath {
+  std::vector<story::SegmentId> segments;
+  std::vector<std::string> segment_names;
+  bool reached_ending = false;
+  /// Graph traversal consumed fewer choices than inferred (signals
+  /// over-detection) or more (under-detection).
+  std::int64_t choice_surplus = 0;
+};
+
+InferredPath reconstruct_path(const story::StoryGraph& graph,
+                              const std::vector<story::Choice>& choices);
+
+}  // namespace wm::core

@@ -1,0 +1,43 @@
+// Evaluation metrics: score inferred choices against ground truth, per
+// session and aggregated — the quantities behind the paper's "96% in
+// the worst case" headline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wm/core/decoder.hpp"
+#include "wm/sim/streaming.hpp"
+#include "wm/util/stats.hpp"
+
+namespace wm::core {
+
+/// Score for one session.
+struct SessionScore {
+  std::size_t questions_truth = 0;     // questions actually encountered
+  std::size_t questions_inferred = 0;  // questions the attack detected
+  std::size_t choices_correct = 0;     // aligned questions decoded right
+  /// Fraction of true questions whose choice was recovered correctly
+  /// (missed or misaligned questions count as wrong).
+  double choice_accuracy = 0.0;
+  /// Question detection: |inferred| == |truth| and times align.
+  bool question_count_match = false;
+};
+
+/// Align by order of appearance and score.
+SessionScore score_session(const sim::SessionGroundTruth& truth,
+                           const InferredSession& inferred);
+
+/// Aggregate over many sessions.
+struct AggregateScore {
+  std::size_t sessions = 0;
+  std::size_t questions = 0;
+  std::size_t correct = 0;
+  double mean_accuracy = 0.0;   // mean of per-session accuracies
+  double worst_accuracy = 1.0;  // the paper's headline statistic
+  double pooled_accuracy = 0.0; // correct / questions over the pool
+};
+
+AggregateScore aggregate_scores(const std::vector<SessionScore>& scores);
+
+}  // namespace wm::core

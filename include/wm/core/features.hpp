@@ -1,0 +1,57 @@
+// Feature extraction for the attack: from a capture (or pre-extracted
+// record streams) to the sequence of client-side application-data
+// record lengths — the side-channel of §III — plus honest labelling of
+// calibration traces from ground truth.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wm/net/packet.hpp"
+#include "wm/sim/streaming.hpp"
+#include "wm/tls/record_stream.hpp"
+
+namespace wm::core {
+
+/// Classes the attack distinguishes (§III: "the number and type of
+/// JSON files sent indicate the choice made by the viewer").
+enum class RecordClass : std::uint8_t { kType1Json = 0, kType2Json = 1, kOther = 2 };
+
+std::string to_string(RecordClass cls);
+inline constexpr std::size_t kRecordClassCount = 3;
+
+/// One observation: a client->server application record.
+struct ClientRecordObservation {
+  util::SimTime timestamp;
+  std::uint16_t record_length = 0;
+  std::optional<std::string> flow_sni;  // flow's SNI if the hello was seen
+};
+
+/// A labelled observation (calibration data).
+struct LabeledObservation {
+  ClientRecordObservation observation;
+  RecordClass label = RecordClass::kOther;
+};
+
+/// Pull every client->server application-data record out of a set of
+/// record streams, time-ordered. This is the attacker's feature view.
+std::vector<ClientRecordObservation> extract_client_records(
+    const std::vector<tls::FlowRecordStream>& streams);
+
+/// Convenience: packets -> client record observations.
+std::vector<ClientRecordObservation> extract_client_records(
+    const std::vector<net::Packet>& packets);
+
+/// Label calibration observations against ground truth the way the
+/// paper's researchers did: the state upload emitted when question Qi
+/// appeared is the record closest to the noted question time, and the
+/// upload at a non-default decision is the record closest to the noted
+/// decision time. `tolerance` bounds the match window.
+std::vector<LabeledObservation> label_observations(
+    const std::vector<ClientRecordObservation>& observations,
+    const sim::SessionGroundTruth& truth,
+    util::Duration tolerance = util::Duration::millis(250));
+
+}  // namespace wm::core

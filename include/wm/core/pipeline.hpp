@@ -1,0 +1,57 @@
+// End-to-end attack pipeline: pcap (or in-memory packets) in, inferred
+// choices out. Bundles calibration (training sessions -> fitted
+// classifier) and inference (capture -> record stream -> classify ->
+// decode -> optional path reconstruction).
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wm/core/decoder.hpp"
+#include "wm/core/eval.hpp"
+#include "wm/core/features.hpp"
+#include "wm/sim/session.hpp"
+
+namespace wm::core {
+
+/// A calibration example: one captured session with noted choices.
+struct CalibrationSession {
+  std::vector<net::Packet> packets;
+  sim::SessionGroundTruth truth;
+};
+
+class AttackPipeline {
+ public:
+  /// `classifier_name`: "interval" (paper's method), "knn" or
+  /// "gaussian-nb".
+  explicit AttackPipeline(std::string classifier_name = "interval");
+
+  /// Fit the classifier from calibration sessions (traces + ground
+  /// truth, as the IITM dataset provides).
+  void calibrate(const std::vector<CalibrationSession>& sessions);
+
+  /// Fit directly from pre-labelled observations.
+  void calibrate(const std::vector<LabeledObservation>& labelled);
+
+  [[nodiscard]] bool calibrated() const;
+  [[nodiscard]] const RecordClassifier& classifier() const { return *classifier_; }
+
+  /// Run inference on a capture.
+  [[nodiscard]] InferredSession infer(const std::vector<net::Packet>& packets) const;
+  /// Run inference on a capture file (classic pcap or pcapng).
+  [[nodiscard]] InferredSession infer_pcap(const std::filesystem::path& path) const;
+
+  /// A monitoring point often carries several viewers at once. Group
+  /// flows by client endpoint (the viewer's address) and decode each
+  /// viewer separately; the map key is the client address string.
+  [[nodiscard]] std::map<std::string, InferredSession> infer_per_client(
+      const std::vector<net::Packet>& packets) const;
+
+ private:
+  std::unique_ptr<RecordClassifier> classifier_;
+};
+
+}  // namespace wm::core

@@ -1,0 +1,48 @@
+// Countermeasure evaluation harness: run the record-length attack and
+// the timing attack against sessions protected by a given transform,
+// with the attacker allowed to re-calibrate on protected traces
+// (worst case for the defender).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wm/core/eval.hpp"
+#include "wm/core/pipeline.hpp"
+#include "wm/counter/timing_attack.hpp"
+#include "wm/counter/transforms.hpp"
+#include "wm/dataset/builder.hpp"
+#include "wm/story/graph.hpp"
+
+namespace wm::counter {
+
+struct CountermeasureRun {
+  std::string name;
+  core::AggregateScore length_attack;   // record-length attack score
+  core::AggregateScore timing_attack;   // residual timing channel score
+  bool classifier_bands_overlap = false;
+  /// Mean client-upload byte overhead the countermeasure costs.
+  double overhead_fraction = 0.0;
+  /// Accuracy of the choice-blind majority guess on the eval sessions
+  /// (the chance level an attack must beat to carry information).
+  double blind_guess_accuracy = 0.0;
+};
+
+struct CountermeasureEvalConfig {
+  std::size_t calibration_sessions = 4;
+  std::size_t eval_sessions = 10;
+  std::uint64_t seed = 77;
+  sim::StreamingConfig streaming;
+  /// All sessions run under one operational condition: the attack is
+  /// calibrated per condition (as the paper's per-condition Fig. 2
+  /// bands are), so the countermeasure comparison holds it fixed.
+  sim::OperationalConditions conditions;
+};
+
+/// Evaluate one named transform end to end.
+CountermeasureRun evaluate_countermeasure(
+    const story::StoryGraph& graph, const std::string& name,
+    const sim::ClientPayloadTransform& transform,
+    const CountermeasureEvalConfig& config);
+
+}  // namespace wm::counter

@@ -1,0 +1,65 @@
+// Residual timing side-channel (§VI: "there could be timing
+// side-channels that may still exist even after this fix").
+//
+// Even when every client record has the same length, the streaming
+// *process* of Fig. 1 still shows through in timing alone:
+//  * during a choice window the player prefetches the default branch
+//    at a faster cadence than steady-state chunk fetching, so choice
+//    windows appear as bursts of closely-spaced CDN requests;
+//  * a non-default decision forces an extra state upload (the type-2
+//    JSON) in the middle of that window, while a default decision
+//    sends nothing there.
+// The timing attack detects windows from CDN request cadence and
+// decides default/non-default from the presence of a mid-window API
+// upload. Telemetry uploads create false positives, which is why this
+// channel recovers choices only partially — exactly the caveat the
+// paper raises.
+#pragma once
+
+#include <vector>
+
+#include "wm/core/decoder.hpp"
+#include "wm/net/packet.hpp"
+#include "wm/sim/streaming.hpp"
+#include "wm/tls/record_stream.hpp"
+
+namespace wm::counter {
+
+struct TimingAttackConfig {
+  /// Steady-state chunk cadence the attacker assumes (player property,
+  /// learnable from any calibration trace). Seconds.
+  double chunk_cadence_s = 2.0;
+  /// Gaps between CDN requests inside (burst_min, burst_max) x cadence
+  /// are treated as prefetch cadence.
+  double burst_min_fraction = 0.12;
+  double burst_max_fraction = 0.62;
+  /// Minimum consecutive prefetch-cadence gaps to accept a window.
+  std::size_t min_burst_length = 1;
+  /// Slack after the burst start before an upload counts (the type-1
+  /// upload itself rides at the window start).
+  double window_slack_s = 0.15;
+  /// How far past the observed prefetch burst to search for the
+  /// decision upload. The decision can land after the burst (the
+  /// default branch may run out of chunks to prefetch), but searching
+  /// the film's whole 10 s window drowns in telemetry false positives;
+  /// a bounded extension balances recall against precision.
+  double search_extension_s = 4.0;
+};
+
+/// Result of the timing attack on one capture.
+struct TimingInference {
+  core::InferredSession session;
+  std::size_t windows_detected = 0;
+};
+
+/// Run the timing attack. Flow roles are inferred from the capture:
+/// the highest-server-volume TLS flow is the CDN; the flow with the
+/// most client application records among the rest is the API channel.
+TimingInference timing_attack(const std::vector<net::Packet>& packets,
+                              const TimingAttackConfig& config);
+
+/// Same, over pre-extracted record streams.
+TimingInference timing_attack(const std::vector<tls::FlowRecordStream>& streams,
+                              const TimingAttackConfig& config);
+
+}  // namespace wm::counter

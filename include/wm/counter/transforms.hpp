@@ -1,0 +1,44 @@
+// Countermeasure transforms (§VI): reshape the browser's state-upload
+// sizes so the record-length side-channel collapses.
+//
+// Each factory returns a sim::ClientPayloadTransform that the simulator
+// applies to API-flow client messages before TLS sealing:
+//  * pad-to-bucket   — round every upload up to a bucket multiple; all
+//                      JSON uploads land on the same few lengths;
+//  * split           — cut uploads into fixed-size records. NOTE: the
+//                      final fragment still carries (size mod piece),
+//                      so splitting alone leaks — a nuance the paper's
+//                      "easy fix" glosses over and ablation A1 surfaces;
+//  * split+pad       — split and pad the tail: the combination that
+//                      actually removes the length signal;
+//  * compress        — model gzip: sizes shrink by a content-dependent
+//                      factor, blurring (but not always closing) the
+//                      gap between the bands.
+#pragma once
+
+#include <cstdint>
+
+#include "wm/sim/packetize.hpp"
+
+namespace wm::counter {
+
+/// Identity (no countermeasure); useful as an experiment control.
+sim::ClientPayloadTransform identity_transform();
+
+/// Round every upload size up to a multiple of `bucket` bytes.
+sim::ClientPayloadTransform pad_to_bucket(std::size_t bucket);
+
+/// Cut every upload into records of exactly `piece` bytes; the final
+/// fragment keeps its natural (leaky) size.
+sim::ClientPayloadTransform split_records(std::size_t piece);
+
+/// Cut into `piece`-byte records and pad the final fragment to the
+/// full piece size: every record of every upload is identical.
+sim::ClientPayloadTransform split_and_pad(std::size_t piece);
+
+/// Multiply sizes by a deterministic pseudo-compression ratio that
+/// varies with the original size (models content-dependent gzip
+/// output). `ratio` in (0,1]; `jitter` adds size-dependent wobble.
+sim::ClientPayloadTransform compress(double ratio = 0.42, double jitter = 0.08);
+
+}  // namespace wm::counter

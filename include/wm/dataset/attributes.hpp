@@ -1,0 +1,65 @@
+// The attribute space of the IITM-Bandersnatch dataset (Table I):
+// operational conditions (OS, platform, traffic, connection, browser —
+// defined in wm/sim/profile.hpp) plus the behavioural attributes of the
+// volunteer viewers (age group, gender, political alignment, state of
+// mind).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wm/sim/profile.hpp"
+#include "wm/util/rng.hpp"
+
+namespace wm::dataset {
+
+enum class AgeGroup : std::uint8_t { kUnder20, k20To25, k25To30, kOver30 };
+enum class Gender : std::uint8_t { kMale, kFemale, kUndisclosed };
+enum class PoliticalAlignment : std::uint8_t {
+  kLiberal,
+  kCentrist,
+  kCommunist,
+  kUndisclosed,
+};
+enum class StateOfMind : std::uint8_t { kHappy, kStressed, kSad, kUndisclosed };
+
+std::string to_string(AgeGroup value);
+std::string to_string(Gender value);
+std::string to_string(PoliticalAlignment value);
+std::string to_string(StateOfMind value);
+
+std::optional<AgeGroup> parse_age_group(std::string_view text);
+std::optional<Gender> parse_gender(std::string_view text);
+std::optional<PoliticalAlignment> parse_political(std::string_view text);
+std::optional<StateOfMind> parse_state_of_mind(std::string_view text);
+
+std::optional<sim::OperatingSystem> parse_os(std::string_view text);
+std::optional<sim::Platform> parse_platform(std::string_view text);
+std::optional<sim::TrafficCondition> parse_traffic(std::string_view text);
+std::optional<sim::ConnectionType> parse_connection(std::string_view text);
+std::optional<sim::Browser> parse_browser(std::string_view text);
+
+/// The behavioural half of a Table I row.
+struct BehavioralAttributes {
+  AgeGroup age = AgeGroup::k20To25;
+  Gender gender = Gender::kUndisclosed;
+  PoliticalAlignment political = PoliticalAlignment::kUndisclosed;
+  StateOfMind mood = StateOfMind::kUndisclosed;
+
+  auto operator<=>(const BehavioralAttributes&) const = default;
+};
+
+/// One dataset volunteer: id + both attribute groups.
+struct Viewer {
+  std::uint32_t id = 0;
+  sim::OperationalConditions operational;
+  BehavioralAttributes behavioral;
+};
+
+/// Sample a viewer population resembling a university volunteer pool
+/// (skews young, mixed OS/browser, all Table I values represented).
+std::vector<Viewer> sample_cohort(std::size_t count, util::Rng& rng);
+
+}  // namespace wm::dataset

@@ -1,0 +1,76 @@
+// IITM-Bandersnatch dataset construction and persistence.
+//
+// A data point is {encrypted trace, ground-truth choices} for one
+// viewer (§IV). The builder samples a cohort, draws each viewer's
+// choices from the behavioural policy, simulates their session under
+// their operational conditions, and either hands the data point to a
+// sink (in-memory pipelines) or persists it:
+//
+//   <dir>/manifest.json        dataset metadata + per-viewer index
+//   <dir>/viewers.csv          Table I attribute matrix
+//   <dir>/traces/viewer_NNN.pcap
+//   <dir>/truth/viewer_NNN.json
+#pragma once
+
+#include <filesystem>
+#include <functional>
+#include <vector>
+
+#include "wm/dataset/attributes.hpp"
+#include "wm/sim/session.hpp"
+#include "wm/story/graph.hpp"
+
+namespace wm::dataset {
+
+/// On-disk trace format for persisted datasets.
+enum class CaptureFormat { kPcap, kPcapng };
+
+struct DatasetConfig {
+  std::size_t viewer_count = 100;
+  std::uint64_t seed = 2019;
+  sim::StreamingConfig streaming;
+  sim::PacketizeConfig packetize;
+  CaptureFormat capture_format = CaptureFormat::kPcap;
+};
+
+/// One {trace, ground truth} pair plus who produced it.
+struct DataPoint {
+  Viewer viewer;
+  sim::SessionResult session;
+};
+
+/// Generate the dataset, invoking `sink` once per viewer in id order.
+/// Memory stays bounded by one session regardless of cohort size.
+void generate_dataset(const story::StoryGraph& graph, const DatasetConfig& config,
+                      const std::function<void(DataPoint&&)>& sink);
+
+/// Convenience: materialize every data point (only for small cohorts).
+std::vector<DataPoint> generate_dataset(const story::StoryGraph& graph,
+                                        const DatasetConfig& config);
+
+/// Serialize ground truth to/from JSON.
+std::string ground_truth_to_json(const Viewer& viewer,
+                                 const sim::SessionGroundTruth& truth,
+                                 const story::StoryGraph& graph);
+sim::SessionGroundTruth ground_truth_from_json(const std::string& text);
+
+/// Persist a full dataset to `dir` (created if needed).
+/// Returns the number of data points written.
+std::size_t write_dataset(const std::filesystem::path& dir,
+                          const story::StoryGraph& graph,
+                          const DatasetConfig& config);
+
+/// Index entry from a persisted dataset.
+struct DatasetIndexEntry {
+  Viewer viewer;
+  std::filesystem::path trace_file;
+  std::filesystem::path truth_file;
+};
+
+/// Read the manifest of a persisted dataset.
+std::vector<DatasetIndexEntry> read_manifest(const std::filesystem::path& dir);
+
+/// Load the ground truth of one persisted data point.
+sim::SessionGroundTruth read_ground_truth(const std::filesystem::path& truth_file);
+
+}  // namespace wm::dataset

@@ -1,0 +1,34 @@
+// Behavioural choice model: maps a viewer's behavioural attributes to
+// the choices they make at each question.
+//
+// The paper collects behavioural attributes precisely because choices
+// correlate with them ("their affinity to violence and political
+// inclination"). This model encodes plausible couplings — e.g. stressed
+// viewers favour aggressive options, older viewers favour defaults —
+// so that the synthetic dataset exhibits the attribute/choice structure
+// behavioural researchers would probe. The attack itself never uses
+// this model; it only supplies ground truth variability.
+#pragma once
+
+#include <vector>
+
+#include "wm/dataset/attributes.hpp"
+#include "wm/story/graph.hpp"
+#include "wm/util/rng.hpp"
+
+namespace wm::dataset {
+
+/// Probability that a given viewer picks the DEFAULT option at a given
+/// question (identified by its 1-based appearance order). Clamped to
+/// [0.05, 0.95] so every path stays reachable.
+double default_probability(const BehavioralAttributes& behavioral,
+                           std::size_t question_index);
+
+/// Draw a full choice sequence for a viewer: one choice per potential
+/// question (sized to the graph's maximum question count, so traversal
+/// never runs out).
+std::vector<story::Choice> draw_choices(const story::StoryGraph& graph,
+                                        const BehavioralAttributes& behavioral,
+                                        util::Rng& rng);
+
+}  // namespace wm::dataset

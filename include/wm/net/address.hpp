@@ -1,0 +1,79 @@
+// Link-layer and network-layer address types with parsing/formatting.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace wm::net {
+
+/// 48-bit IEEE 802 MAC address.
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  constexpr explicit MacAddress(std::array<std::uint8_t, 6> octets)
+      : octets_(octets) {}
+
+  /// Parse "aa:bb:cc:dd:ee:ff" (also accepts '-' separators).
+  static std::optional<MacAddress> parse(std::string_view text);
+
+  [[nodiscard]] const std::array<std::uint8_t, 6>& octets() const { return octets_; }
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] bool is_broadcast() const;
+
+  auto operator<=>(const MacAddress&) const = default;
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+/// IPv4 address stored in host order for arithmetic convenience;
+/// serialization converts explicitly.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t host_order) : value_(host_order) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((static_cast<std::uint32_t>(a) << 24) |
+               (static_cast<std::uint32_t>(b) << 16) |
+               (static_cast<std::uint32_t>(c) << 8) | d) {}
+
+  /// Parse dotted-quad notation.
+  static std::optional<Ipv4Address> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] bool is_private() const;  // RFC1918
+  [[nodiscard]] bool is_loopback() const;
+
+  auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// IPv6 address, 16 octets in network order.
+class Ipv6Address {
+ public:
+  constexpr Ipv6Address() = default;
+  constexpr explicit Ipv6Address(std::array<std::uint8_t, 16> octets)
+      : octets_(octets) {}
+
+  /// Parse full or `::`-compressed textual form (no zone ids).
+  static std::optional<Ipv6Address> parse(std::string_view text);
+
+  [[nodiscard]] const std::array<std::uint8_t, 16>& octets() const { return octets_; }
+  /// RFC 5952 canonical text (lowercase, longest zero run compressed).
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] bool is_loopback() const;
+
+  auto operator<=>(const Ipv6Address&) const = default;
+
+ private:
+  std::array<std::uint8_t, 16> octets_{};
+};
+
+}  // namespace wm::net

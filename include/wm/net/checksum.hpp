@@ -1,0 +1,46 @@
+// Internet checksum (RFC 1071) and the TCP/UDP pseudo-header variants.
+#pragma once
+
+#include <cstdint>
+
+#include "wm/net/address.hpp"
+#include "wm/util/bytes.hpp"
+
+namespace wm::net {
+
+/// One's-complement sum of 16-bit words, final complement applied.
+std::uint16_t internet_checksum(util::BytesView data);
+
+/// Incremental accumulator for checksums computed over several pieces
+/// (pseudo-header + header + payload) without concatenating them.
+class ChecksumAccumulator {
+ public:
+  void add(util::BytesView data);
+  void add_u16(std::uint16_t value);
+  void add_u32(std::uint32_t value);
+  /// Final folded, complemented checksum.
+  [[nodiscard]] std::uint16_t finish() const;
+
+ private:
+  std::uint64_t sum_ = 0;
+  bool odd_ = false;  // carries a dangling high byte between add() calls
+};
+
+/// Thin strong alias so the protocol argument can't be confused with a
+/// port number at call sites.
+struct IpProtocolValue {
+  std::uint8_t value = 0;
+};
+
+/// TCP/UDP checksum over the IPv4 pseudo-header.
+std::uint16_t transport_checksum_v4(Ipv4Address source, Ipv4Address destination,
+                                    IpProtocolValue protocol,
+                                    util::BytesView transport_bytes);
+
+/// TCP/UDP checksum over the IPv6 pseudo-header.
+std::uint16_t transport_checksum_v6(const Ipv6Address& source,
+                                    const Ipv6Address& destination,
+                                    IpProtocolValue protocol,
+                                    util::BytesView transport_bytes);
+
+}  // namespace wm::net

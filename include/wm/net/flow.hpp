@@ -1,0 +1,116 @@
+// Flow identification: canonical 5-tuple keys, per-flow direction, and
+// a flow table that groups decoded packets into bidirectional flows.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wm/net/packet.hpp"
+
+namespace wm::net {
+
+/// Which way a packet travels within its bidirectional flow.
+enum class FlowDirection : std::uint8_t {
+  kClientToServer,
+  kServerToClient,
+};
+
+std::string to_string(FlowDirection direction);
+
+/// One endpoint of a flow. IPv6 addresses are supported alongside IPv4;
+/// exactly one of the address fields is meaningful per key (`is_v6`).
+struct Endpoint {
+  bool is_v6 = false;
+  Ipv4Address v4;
+  Ipv6Address v6;
+  std::uint16_t port = 0;
+
+  [[nodiscard]] std::string to_string() const;
+  auto operator<=>(const Endpoint&) const = default;
+};
+
+/// Canonical bidirectional flow key. The "client" is the endpoint that
+/// was seen initiating (first packet / SYN); the key stores client and
+/// server in that orientation so both directions map to the same key.
+struct FlowKey {
+  Endpoint client;
+  Endpoint server;
+  IpProtocol protocol = IpProtocol::kTcp;
+
+  [[nodiscard]] std::string to_string() const;
+  auto operator<=>(const FlowKey&) const = default;
+};
+
+/// Extract the (source, destination, protocol) endpoints of a decoded
+/// packet; nullopt for non-TCP/UDP packets.
+struct PacketEndpoints {
+  Endpoint source;
+  Endpoint destination;
+  IpProtocol protocol = IpProtocol::kTcp;
+};
+std::optional<PacketEndpoints> packet_endpoints(const DecodedPacket& packet);
+
+/// A packet's membership record inside a flow.
+struct FlowPacket {
+  std::size_t packet_index = 0;  // index into the original capture
+  util::SimTime timestamp;
+  FlowDirection direction = FlowDirection::kClientToServer;
+  std::size_t transport_payload_size = 0;
+  // TCP-only bookkeeping used by the reassembler:
+  std::uint32_t sequence = 0;
+  bool syn = false;
+  bool fin = false;
+  bool rst = false;
+};
+
+/// Aggregate statistics and membership for one bidirectional flow.
+struct FlowRecord {
+  FlowKey key;
+  std::vector<FlowPacket> packets;
+  std::uint64_t client_bytes = 0;  // transport payload bytes client->server
+  std::uint64_t server_bytes = 0;
+  util::SimTime first_seen;
+  util::SimTime last_seen;
+  bool saw_syn = false;
+
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return client_bytes + server_bytes;
+  }
+  [[nodiscard]] util::Duration duration() const { return last_seen - first_seen; }
+};
+
+/// Groups a packet sequence into bidirectional flows.
+///
+/// Orientation rule: for TCP, the sender of the first pure SYN is the
+/// client; otherwise (no SYN observed — mid-stream capture) the sender
+/// of the first packet of the flow is presumed the client, unless its
+/// source port is a well-known service port (< 1024) and the peer's is
+/// not, in which case orientation flips.
+class FlowTable {
+ public:
+  /// Add one decoded packet (with its index in the capture order).
+  /// Returns the flow key and direction assigned, or nullopt if the
+  /// packet has no TCP/UDP transport.
+  struct Assignment {
+    FlowKey key;
+    FlowDirection direction;
+  };
+  std::optional<Assignment> add(const DecodedPacket& packet, std::size_t packet_index);
+
+  [[nodiscard]] const std::map<FlowKey, FlowRecord>& flows() const { return flows_; }
+  [[nodiscard]] std::size_t size() const { return flows_.size(); }
+  [[nodiscard]] const FlowRecord* find(const FlowKey& key) const;
+
+  /// Flows sorted by total payload volume, descending. Useful for
+  /// picking out the dominant (video) flow.
+  [[nodiscard]] std::vector<const FlowRecord*> by_volume() const;
+
+ private:
+  std::map<FlowKey, FlowRecord> flows_;
+};
+
+}  // namespace wm::net

@@ -1,0 +1,156 @@
+// Wire-format protocol headers: Ethernet II, IPv4, IPv6, TCP, UDP.
+//
+// Each header type offers `parse` (bounds-checked, returns the header
+// plus payload view) and `serialize` (appends wire bytes to a writer).
+// Parsers take the raw frame/packet bytes; higher layers chain them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "wm/net/address.hpp"
+#include "wm/util/bytes.hpp"
+
+namespace wm::net {
+
+/// EtherType values this project understands.
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kArp = 0x0806,
+  kIpv6 = 0x86dd,
+  kVlan = 0x8100,
+};
+
+/// IP protocol numbers this project understands.
+enum class IpProtocol : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+std::string to_string(EtherType type);
+std::string to_string(IpProtocol protocol);
+
+struct EthernetHeader {
+  static constexpr std::size_t kSize = 14;
+
+  MacAddress destination;
+  MacAddress source;
+  std::uint16_t ether_type = 0;
+
+  void serialize(util::ByteWriter& out) const;
+};
+
+/// Parsed header + the payload that follows it.
+struct ParsedEthernet {
+  EthernetHeader header;
+  util::BytesView payload;
+};
+std::optional<ParsedEthernet> parse_ethernet(util::BytesView frame);
+
+struct Ipv4Header {
+  static constexpr std::size_t kMinSize = 20;
+
+  std::uint8_t dscp_ecn = 0;
+  std::uint16_t total_length = 0;  // header + payload
+  std::uint16_t identification = 0;
+  bool dont_fragment = true;
+  bool more_fragments = false;
+  std::uint16_t fragment_offset = 0;  // in 8-byte units
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  std::uint16_t header_checksum = 0;  // filled by serialize
+  Ipv4Address source;
+  Ipv4Address destination;
+  // Options are preserved opaquely so parse/serialize round-trips.
+  util::Bytes options;
+
+  [[nodiscard]] std::size_t header_length() const {
+    return kMinSize + options.size();
+  }
+
+  /// Serializes with a freshly computed checksum; `payload_length` is
+  /// used to fill total_length.
+  void serialize(util::ByteWriter& out, std::size_t payload_length) const;
+};
+
+struct ParsedIpv4 {
+  Ipv4Header header;
+  util::BytesView payload;
+  bool checksum_valid = false;
+};
+std::optional<ParsedIpv4> parse_ipv4(util::BytesView packet);
+
+struct Ipv6Header {
+  static constexpr std::size_t kSize = 40;
+
+  std::uint8_t traffic_class = 0;
+  std::uint32_t flow_label = 0;
+  std::uint16_t payload_length = 0;
+  std::uint8_t next_header = 0;
+  std::uint8_t hop_limit = 64;
+  Ipv6Address source;
+  Ipv6Address destination;
+
+  void serialize(util::ByteWriter& out, std::size_t payload_length) const;
+};
+
+struct ParsedIpv6 {
+  Ipv6Header header;
+  util::BytesView payload;
+};
+std::optional<ParsedIpv6> parse_ipv6(util::BytesView packet);
+
+struct TcpHeader {
+  static constexpr std::size_t kMinSize = 20;
+
+  std::uint16_t source_port = 0;
+  std::uint16_t destination_port = 0;
+  std::uint32_t sequence = 0;
+  std::uint32_t ack_number = 0;
+  bool fin = false;
+  bool syn = false;
+  bool rst = false;
+  bool psh = false;
+  bool ack = false;
+  bool urg = false;
+  std::uint16_t window = 65535;
+  std::uint16_t checksum = 0;  // filled by serialize
+  std::uint16_t urgent_pointer = 0;
+  util::Bytes options;  // preserved opaquely, padded to 4-byte multiple
+
+  [[nodiscard]] std::size_t header_length() const {
+    return kMinSize + options.size();
+  }
+  [[nodiscard]] std::string flags_string() const;  // e.g. "SYN|ACK"
+
+  /// Serializes header bytes with checksum = 0; the caller (packet
+  /// builder) patches the checksum once the pseudo-header is known.
+  void serialize(util::ByteWriter& out) const;
+};
+
+struct ParsedTcp {
+  TcpHeader header;
+  util::BytesView payload;
+};
+std::optional<ParsedTcp> parse_tcp(util::BytesView segment);
+
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t source_port = 0;
+  std::uint16_t destination_port = 0;
+  std::uint16_t length = 0;  // header + payload
+  std::uint16_t checksum = 0;
+
+  void serialize(util::ByteWriter& out, std::size_t payload_length) const;
+};
+
+struct ParsedUdp {
+  UdpHeader header;
+  util::BytesView payload;
+};
+std::optional<ParsedUdp> parse_udp(util::BytesView datagram);
+
+}  // namespace wm::net

@@ -1,0 +1,64 @@
+// Captured-packet representation and the layered decoder.
+//
+// A Packet is what a capture contains: a timestamp plus raw frame
+// bytes. DecodedPacket is the parsed view an analyzer works with:
+// Ethernet → IPv4/IPv6 → TCP/UDP, with the transport payload exposed.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "wm/net/headers.hpp"
+#include "wm/util/bytes.hpp"
+#include "wm/util/time.hpp"
+
+namespace wm::net {
+
+/// A raw captured frame. `data` holds the full link-layer frame as it
+/// appeared on the wire; `original_length` can exceed data.size() when a
+/// capture was truncated (snaplen).
+struct Packet {
+  util::SimTime timestamp;
+  util::Bytes data;
+  std::size_t original_length = 0;
+
+  Packet() = default;
+  Packet(util::SimTime t, util::Bytes bytes)
+      : timestamp(t), data(std::move(bytes)), original_length(data.size()) {}
+};
+
+/// Fully parsed view of one packet. Views borrow from the Packet's
+/// buffer, so a DecodedPacket must not outlive the Packet it came from.
+struct DecodedPacket {
+  util::SimTime timestamp;
+  EthernetHeader ethernet;
+  /// 802.1Q VLAN id when the frame was tagged (0 otherwise).
+  std::uint16_t vlan_id = 0;
+  std::variant<std::monostate, Ipv4Header, Ipv6Header> ip;
+  std::variant<std::monostate, TcpHeader, UdpHeader> transport;
+  util::BytesView transport_payload;
+
+  [[nodiscard]] bool has_ipv4() const { return std::holds_alternative<Ipv4Header>(ip); }
+  [[nodiscard]] bool has_ipv6() const { return std::holds_alternative<Ipv6Header>(ip); }
+  [[nodiscard]] bool has_tcp() const {
+    return std::holds_alternative<TcpHeader>(transport);
+  }
+  [[nodiscard]] bool has_udp() const {
+    return std::holds_alternative<UdpHeader>(transport);
+  }
+  [[nodiscard]] const Ipv4Header& ipv4() const { return std::get<Ipv4Header>(ip); }
+  [[nodiscard]] const Ipv6Header& ipv6() const { return std::get<Ipv6Header>(ip); }
+  [[nodiscard]] const TcpHeader& tcp() const { return std::get<TcpHeader>(transport); }
+  [[nodiscard]] const UdpHeader& udp() const { return std::get<UdpHeader>(transport); }
+
+  /// One-line human-readable summary, e.g.
+  /// "t=1.250s 10.0.0.2:51234 -> 198.18.0.1:443 TCP PSH|ACK len=1380".
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Decode a captured frame through Ethernet/IP/transport. Returns
+/// nullopt when the frame is not parseable to at least the IP layer.
+std::optional<DecodedPacket> decode_packet(const Packet& packet);
+
+}  // namespace wm::net

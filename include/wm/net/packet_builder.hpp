@@ -1,0 +1,99 @@
+// Packet crafting: builds valid Ethernet/IPv4/TCP frames with correct
+// checksums. The simulator uses a TcpSender pair per connection to turn
+// application byte streams into captured packets (segmentation at MSS,
+// sequence/ack bookkeeping, handshake and teardown).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wm/net/flow.hpp"
+#include "wm/net/headers.hpp"
+#include "wm/net/packet.hpp"
+#include "wm/util/bytes.hpp"
+#include "wm/util/time.hpp"
+
+namespace wm::net {
+
+/// Build a complete Ethernet+IPv4+TCP frame with valid checksums.
+Packet build_tcp_packet(util::SimTime timestamp, MacAddress src_mac,
+                        MacAddress dst_mac, Ipv4Address src_ip, Ipv4Address dst_ip,
+                        const TcpHeader& tcp, util::BytesView payload,
+                        std::uint16_t ip_id);
+
+/// Build a complete Ethernet+IPv6+TCP frame with a valid transport
+/// checksum (IPv6 has no header checksum).
+Packet build_tcp_packet_v6(util::SimTime timestamp, MacAddress src_mac,
+                           MacAddress dst_mac, const Ipv6Address& src_ip,
+                           const Ipv6Address& dst_ip, const TcpHeader& tcp,
+                           util::BytesView payload);
+
+/// Build a complete Ethernet+IPv4+UDP frame with valid checksums.
+Packet build_udp_packet(util::SimTime timestamp, MacAddress src_mac,
+                        MacAddress dst_mac, Ipv4Address src_ip, Ipv4Address dst_ip,
+                        std::uint16_t src_port, std::uint16_t dst_port,
+                        util::BytesView payload, std::uint16_t ip_id);
+
+/// Endpoint parameters for TcpConnectionBuilder.
+struct TcpEndpointConfig {
+  MacAddress mac;
+  Ipv4Address ip;
+  std::uint16_t port = 0;
+  std::uint32_t initial_sequence = 1000;
+  std::uint16_t mss = 1448;  // typical Ethernet MSS with timestamps
+  std::uint16_t window = 65535;
+};
+
+/// Emits the packets of a well-formed TCP connection: handshake, data
+/// segments in both directions (segmented at the sender's MSS, each
+/// data segment piggybacking the latest ACK), and FIN teardown.
+///
+/// This is a *trace synthesizer*, not a congestion-controlled stack:
+/// the simulator decides packet times; the builder guarantees that the
+/// byte stream carried by the generated segments is exactly what was
+/// sent, so reassembly and TLS parsing downstream see a faithful wire
+/// image.
+class TcpConnectionBuilder {
+ public:
+  TcpConnectionBuilder(TcpEndpointConfig client, TcpEndpointConfig server);
+
+  /// Emit SYN / SYN-ACK / ACK at the given times.
+  void handshake(util::SimTime syn_time, util::Duration rtt);
+
+  /// Emit data from one endpoint; splits into MSS-sized segments. Each
+  /// segment is stamped `timestamp`; when `inter_packet_gap` is nonzero
+  /// consecutive segments are spaced by it.
+  void send(FlowDirection direction, util::SimTime timestamp, util::BytesView data,
+            util::Duration inter_packet_gap = {});
+
+  /// Emit a pure ACK from the given side (acknowledging all data).
+  void ack(FlowDirection direction, util::SimTime timestamp);
+
+  /// Emit FIN from client, FIN-ACK exchange, final ACK.
+  void close(util::SimTime fin_time, util::Duration rtt);
+
+  /// Duplicate a previously sent data segment (models a retransmission
+  /// visible to the capture point). `packet_index` indexes packets().
+  void retransmit(std::size_t packet_index, util::SimTime timestamp);
+
+  [[nodiscard]] const std::vector<Packet>& packets() const { return packets_; }
+  [[nodiscard]] std::vector<Packet> take_packets();
+
+ private:
+  struct Side {
+    TcpEndpointConfig config;
+    std::uint32_t next_seq = 0;
+  };
+
+  Side& side(FlowDirection direction);
+  Side& peer(FlowDirection direction);
+  void emit_segment(FlowDirection direction, util::SimTime timestamp,
+                    const TcpHeader& header, util::BytesView payload);
+
+  Side client_;
+  Side server_;
+  std::uint16_t next_ip_id_ = 1;
+  std::vector<Packet> packets_;
+};
+
+}  // namespace wm::net

@@ -1,0 +1,111 @@
+// Classic libpcap capture-file reading and writing, implemented from
+// the file format specification (no libpcap dependency).
+//
+// Supported: both byte orders, microsecond (0xa1b2c3d4) and nanosecond
+// (0xa1b23c4d) magic, arbitrary snaplen, LINKTYPE_ETHERNET. This is the
+// on-disk interchange format between the simulator (which writes
+// captures) and the attack pipeline (which reads them), exactly as
+// Wireshark/tcpdump would sit between a real capture and analysis.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "wm/net/packet.hpp"
+
+namespace wm::net {
+
+/// LINKTYPE_* values from the tcpdump registry (only Ethernet is used
+/// by this project, but the field round-trips).
+enum class LinkType : std::uint32_t {
+  kEthernet = 1,
+  kRawIp = 101,
+};
+
+struct PcapFileHeader {
+  static constexpr std::uint32_t kMagicMicros = 0xa1b2c3d4;
+  static constexpr std::uint32_t kMagicNanos = 0xa1b23c4d;
+  static constexpr std::size_t kSize = 24;
+
+  bool nanosecond_resolution = true;
+  bool byte_swapped = false;  // file written on an opposite-endian host
+  std::uint16_t version_major = 2;
+  std::uint16_t version_minor = 4;
+  std::uint32_t snaplen = 262144;
+  LinkType link_type = LinkType::kEthernet;
+};
+
+/// Streaming pcap writer.
+class PcapWriter {
+ public:
+  /// Create/truncate `path` and write the file header. Throws
+  /// std::runtime_error on I/O failure.
+  PcapWriter(const std::filesystem::path& path, bool nanosecond_resolution = true,
+             std::uint32_t snaplen = 262144);
+  /// Write to an arbitrary stream (used by tests to write in memory).
+  PcapWriter(std::ostream& out, bool nanosecond_resolution = true,
+             std::uint32_t snaplen = 262144);
+  ~PcapWriter();
+
+  PcapWriter(const PcapWriter&) = delete;
+  PcapWriter& operator=(const PcapWriter&) = delete;
+
+  /// Append one packet record. Frames longer than snaplen are truncated
+  /// with the original length preserved in the record header.
+  void write(const Packet& packet);
+
+  [[nodiscard]] std::size_t packets_written() const { return packets_written_; }
+
+  /// Flush underlying stream.
+  void flush();
+
+ private:
+  void write_file_header(std::uint32_t snaplen);
+
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* out_;
+  bool nanos_;
+  std::uint32_t snaplen_;
+  std::size_t packets_written_ = 0;
+};
+
+/// Streaming pcap reader.
+class PcapReader {
+ public:
+  /// Open `path` and parse the file header. Throws std::runtime_error
+  /// on malformed files.
+  explicit PcapReader(const std::filesystem::path& path);
+  /// Read from an arbitrary stream.
+  explicit PcapReader(std::istream& in);
+  ~PcapReader();
+
+  PcapReader(const PcapReader&) = delete;
+  PcapReader& operator=(const PcapReader&) = delete;
+
+  [[nodiscard]] const PcapFileHeader& header() const { return header_; }
+
+  /// Read the next packet; nullopt at clean end-of-file. Throws on a
+  /// truncated or corrupt record.
+  std::optional<Packet> next();
+
+  /// Drain the remainder of the file.
+  std::vector<Packet> read_all();
+
+ private:
+  void read_file_header();
+  std::uint32_t convert(std::uint32_t value) const;
+
+  std::unique_ptr<std::istream> owned_;
+  std::istream* in_;
+  PcapFileHeader header_;
+};
+
+/// Convenience helpers.
+void write_pcap(const std::filesystem::path& path, const std::vector<Packet>& packets);
+std::vector<Packet> read_pcap(const std::filesystem::path& path);
+
+}  // namespace wm::net

@@ -1,0 +1,108 @@
+// TCP stream reassembly.
+//
+// Reconstructs the ordered byte stream of each direction of a TCP
+// connection from possibly out-of-order, duplicated or overlapping
+// segments. The TLS layer parses records out of these streams, so
+// correctness here determines whether record lengths (the paper's
+// side-channel) survive network impairments — the paper's robustness
+// claim across "traffic conditions" depends on exactly this step.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "wm/net/flow.hpp"
+#include "wm/net/packet.hpp"
+#include "wm/util/bytes.hpp"
+#include "wm/util/time.hpp"
+
+namespace wm::net {
+
+/// A contiguous run of reassembled bytes, stamped with the capture time
+/// of the segment that *completed* it (i.e., made it deliverable).
+struct StreamChunk {
+  util::SimTime timestamp;
+  std::uint64_t stream_offset = 0;  // bytes since ISN+1
+  util::Bytes data;
+};
+
+/// Reassembles one direction of one TCP connection.
+///
+/// Handles: out-of-order arrival, duplicated segments (retransmits),
+/// overlapping segments (first-arrival wins, matching common OS
+/// behaviour), SYN/FIN sequence-space consumption, and 32-bit sequence
+/// wraparound. Data beyond a configurable reordering-buffer budget is
+/// dropped with a gap notation rather than growing without bound.
+class TcpStreamReassembler {
+ public:
+  struct Config {
+    /// Maximum bytes buffered ahead of the next expected sequence
+    /// number before the stream is declared gapped.
+    std::size_t max_buffered_bytes = 8 * 1024 * 1024;
+  };
+
+  TcpStreamReassembler() = default;
+  explicit TcpStreamReassembler(Config config) : config_(config) {}
+
+  /// Offer one segment of this direction. `sequence` is the raw TCP
+  /// sequence number; `syn` marks the segment carrying the initial
+  /// sequence number. Returns chunks that became deliverable.
+  std::vector<StreamChunk> on_segment(util::SimTime timestamp, std::uint32_t sequence,
+                                      bool syn, bool fin, util::BytesView payload);
+
+  /// Total contiguous bytes delivered so far.
+  [[nodiscard]] std::uint64_t delivered_bytes() const { return delivered_; }
+  /// True once a SYN (or first segment) established the base sequence.
+  [[nodiscard]] bool synchronized() const { return synchronized_; }
+  /// Count of bytes discarded due to buffer-budget overflow.
+  [[nodiscard]] std::uint64_t dropped_bytes() const { return dropped_; }
+  /// True if a FIN has been delivered in-order.
+  [[nodiscard]] bool finished() const { return finished_; }
+
+ private:
+  /// Unwraps a 32-bit sequence number into 64-bit stream space near the
+  /// current expected position.
+  std::uint64_t unwrap(std::uint32_t sequence) const;
+  std::vector<StreamChunk> drain(util::SimTime timestamp);
+
+  Config config_;
+  bool synchronized_ = false;
+  bool finished_ = false;
+  std::uint64_t base_ = 0;       // absolute sequence of first payload byte
+  std::uint64_t expected_ = 0;   // next in-order absolute sequence
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t fin_at_ = 0;
+  bool fin_seen_ = false;
+  std::size_t buffered_bytes_ = 0;
+  // Out-of-order hold: absolute sequence -> payload bytes.
+  std::map<std::uint64_t, util::Bytes> pending_;
+};
+
+/// Both directions of a TCP connection, reassembled together.
+class TcpConnectionReassembler {
+ public:
+  TcpConnectionReassembler() = default;
+  explicit TcpConnectionReassembler(TcpStreamReassembler::Config config)
+      : client_(config), server_(config) {}
+
+  struct DirectedChunk {
+    FlowDirection direction;
+    StreamChunk chunk;
+  };
+
+  /// Feed one decoded TCP packet with its flow direction.
+  std::vector<DirectedChunk> on_packet(const DecodedPacket& packet,
+                                       FlowDirection direction);
+
+  [[nodiscard]] const TcpStreamReassembler& client_stream() const { return client_; }
+  [[nodiscard]] const TcpStreamReassembler& server_stream() const { return server_; }
+
+ private:
+  TcpStreamReassembler client_;
+  TcpStreamReassembler server_;
+};
+
+}  // namespace wm::net

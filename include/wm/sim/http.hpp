@@ -1,0 +1,55 @@
+// HTTP/1.1 message modeling.
+//
+// The player's client messages are HTTP requests: media chunks are
+// range GETs against the CDN, state uploads are POSTs carrying the
+// JSON documents. This module renders those messages as real bytes —
+// request line, realistic header block, body — sized exactly to the
+// traffic profile's target, so the plaintext TLS hands to the cipher
+// is an actual protocol message rather than a length-only abstraction.
+// (On the wire only the sealed length is observable either way; this
+// keeps the simulation honest and gives tests real content to check.)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "wm/util/rng.hpp"
+
+namespace wm::sim {
+
+/// A parsed/printable HTTP/1.1 request.
+struct HttpRequest {
+  std::string method = "GET";
+  std::string target = "/";
+  /// Headers in emission order (the map is ordered; real stacks emit a
+  /// stable order too, which is part of why upload sizes are stable).
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  /// Serialize to wire bytes (request line + headers + CRLF + body).
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] std::size_t serialized_size() const;
+};
+
+/// Build a CDN media-chunk range GET. `target_size` pads the request
+/// (via an opaque cookie-like header) up to the profile-sampled size
+/// when attainable.
+HttpRequest make_chunk_request(std::string_view host, std::string_view segment_name,
+                               std::size_t chunk_index, std::uint64_t byte_offset,
+                               std::size_t chunk_bytes, std::size_t target_size,
+                               util::Rng& rng);
+
+/// Wrap a state JSON document in its POST envelope such that the TOTAL
+/// serialized request is exactly `target_size` bytes when attainable;
+/// the JSON body is whatever fits after the headers.
+HttpRequest make_state_post(std::string_view host, std::string_view json_body,
+                            std::size_t target_size);
+
+/// Parse the first line + headers of a serialized request (used by
+/// tests; tolerant of any body). Returns nullopt on malformed input.
+std::optional<HttpRequest> parse_http_request(std::string_view text);
+
+}  // namespace wm::sim

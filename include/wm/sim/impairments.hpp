@@ -1,0 +1,32 @@
+// Capture-side impairments: degrade a finished capture the way a real
+// monitoring point degrades one — dropped frames (tap overload),
+// snaplen truncation, heavier reordering. The paper's eavesdropper is
+// assumed lossless; these utilities quantify how much of the attack
+// survives when that assumption breaks (robustness ablation).
+#pragma once
+
+#include <vector>
+
+#include "wm/net/packet.hpp"
+#include "wm/util/rng.hpp"
+
+namespace wm::sim {
+
+/// Drop each packet independently with probability `loss_rate`.
+/// NOTE: this models loss at the CAPTURE point (the endpoints still
+/// exchanged the data), so no retransmission fills the gap — gaps are
+/// permanent for the observer.
+std::vector<net::Packet> drop_packets(const std::vector<net::Packet>& packets,
+                                      double loss_rate, util::Rng& rng);
+
+/// Truncate every frame to `snaplen` bytes (preserving
+/// original_length), as `tcpdump -s <snaplen>` would.
+std::vector<net::Packet> truncate_snaplen(const std::vector<net::Packet>& packets,
+                                          std::size_t snaplen);
+
+/// Perturb timestamps with N(0, jitter_seconds) and re-sort: the
+/// capture order scrambles locally while global order survives.
+std::vector<net::Packet> jitter_order(const std::vector<net::Packet>& packets,
+                                      double jitter_seconds, util::Rng& rng);
+
+}  // namespace wm::sim

@@ -1,0 +1,68 @@
+// Network-condition model: latency, jitter, loss and bandwidth as a
+// function of connection type and time-of-day load (Table I's
+// "Traffic Conditions" attribute), plus background cross-traffic
+// generation so captures contain more than the Netflix flow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wm/net/packet.hpp"
+#include "wm/sim/profile.hpp"
+#include "wm/util/rng.hpp"
+#include "wm/util/time.hpp"
+
+namespace wm::sim {
+
+/// Stochastic path model between the viewer and the CDN edge.
+class NetworkModel {
+ public:
+  struct Params {
+    util::Duration base_rtt = util::Duration::millis(18);
+    util::Duration jitter_stddev = util::Duration::millis(2);
+    double loss_rate = 0.0005;          // per-segment retransmit probability
+    double bandwidth_mbps = 100.0;      // access-link bandwidth
+    double load_factor = 1.0;           // >1 under congestion
+  };
+
+  /// Derive parameters from the operational conditions: wireless adds
+  /// latency/jitter/loss; morning/night shift the load factor.
+  static Params params_for(const OperationalConditions& conditions);
+
+  NetworkModel(Params params, util::Rng rng);
+
+  [[nodiscard]] const Params& params() const { return params_; }
+
+  /// One-way delay sample for a packet (half-RTT + jitter, scaled by
+  /// load). Never negative.
+  util::Duration sample_one_way_delay();
+
+  /// Whether a segment is "lost" (and will appear as a retransmission
+  /// later in the capture).
+  bool lose_segment();
+
+  /// Serialization + queueing time for `bytes` at the access link.
+  [[nodiscard]] util::Duration transmission_time(std::size_t bytes) const;
+
+ private:
+  Params params_;
+  util::Rng rng_;
+};
+
+/// Description of one background (non-Netflix) TLS flow to blend into
+/// the capture.
+struct CrossTrafficFlowSpec {
+  std::string sni;                 // e.g. "www.wikipedia.org"
+  std::uint16_t server_port = 443;
+  std::size_t request_count = 6;   // request/response pairs
+  std::size_t request_size = 500;  // plaintext bytes per request
+  std::size_t response_size = 40'000;
+  util::Duration spacing = util::Duration::millis(700);
+};
+
+/// Generate a plausible set of background flows for the session. The
+/// number of flows scales with the time-of-day load.
+std::vector<CrossTrafficFlowSpec> make_cross_traffic_plan(
+    TrafficCondition condition, util::Rng& rng);
+
+}  // namespace wm::sim

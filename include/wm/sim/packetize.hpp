@@ -1,0 +1,63 @@
+// Lowers an application event trace onto the wire: TLS records via
+// TlsSession, TCP segments via TcpConnectionBuilder, network timing via
+// NetworkModel, optional background cross-traffic — producing the
+// packet capture an on-path eavesdropper would record.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "wm/net/packet.hpp"
+#include "wm/net/packet_builder.hpp"
+#include "wm/sim/netmodel.hpp"
+#include "wm/sim/profile.hpp"
+#include "wm/sim/streaming.hpp"
+#include "wm/util/rng.hpp"
+
+namespace wm::sim {
+
+/// Countermeasure hook: map a client message (kind, plaintext size) to
+/// the plaintext sizes actually handed to TLS. Identity = one element,
+/// unchanged. Splitting returns several; padding returns one larger;
+/// compression returns one smaller.
+using ClientPayloadTransform =
+    std::function<std::vector<std::size_t>(ClientMessageKind, std::size_t)>;
+
+struct PacketizeConfig {
+  net::Ipv4Address client_ip = net::Ipv4Address(10, 0, 0, 23);
+  net::Ipv4Address cdn_ip = net::Ipv4Address(198, 45, 48, 10);
+  net::Ipv4Address api_ip = net::Ipv4Address(52, 89, 124, 203);
+  std::uint16_t cdn_client_port = 51342;
+  std::uint16_t api_client_port = 51343;
+  bool include_cross_traffic = true;
+  /// Std-dev of per-packet timestamp perturbation on server data
+  /// packets; produces mild capture reordering. 0 disables.
+  double reorder_jitter_ms = 0.2;
+  /// Optional countermeasure transform applied to API-flow client
+  /// messages (state JSONs, telemetry, logs).
+  ClientPayloadTransform client_transform;
+  /// TLS 1.3 record-padding quantum for the API connection (0 = off).
+  /// Only effective when the profile negotiates a TLS 1.3 suite: the
+  /// stack pads TLSInnerPlaintext to a multiple of this many bytes —
+  /// RFC 8446's built-in length countermeasure, applied end to end.
+  std::size_t api_tls13_pad_to = 0;
+};
+
+/// A finished capture plus the metadata tests/benches need.
+struct SessionCapture {
+  std::vector<net::Packet> packets;  // sorted by timestamp
+  net::Ipv4Address client_ip;
+  net::Ipv4Address cdn_ip;
+  net::Ipv4Address api_ip;
+  std::string cdn_sni;
+  std::string api_sni;
+  std::size_t cross_traffic_flows = 0;
+  std::size_t retransmitted_segments = 0;
+};
+
+/// Render an application trace into a packet capture.
+SessionCapture packetize(const AppTrace& trace, const TrafficProfile& profile,
+                         const PacketizeConfig& config, util::Rng& rng);
+
+}  // namespace wm::sim

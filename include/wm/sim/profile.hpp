@@ -1,0 +1,118 @@
+// Operational conditions and the traffic profiles they induce.
+//
+// Table I of the paper lists the operational attributes of the
+// IITM-Bandersnatch dataset: operating system, platform, traffic
+// condition (time of day), connection type, and browser. The paper's
+// Fig. 2 shows that the SSL record lengths of the two state-JSON types
+// depend on the (OS, browser) combination — the JSON content embeds
+// platform/user-agent details — while remaining in narrow, disjoint
+// bands within any one combination.
+//
+// TrafficProfile encodes that coupling: from the operational attributes
+// it derives the plaintext-size distributions of type-1 / type-2 state
+// uploads, the distributions of all other client messages, and the TLS
+// stack parameters. Calibration: for (Desktop, Firefox, Ethernet,
+// Ubuntu) and (..., Windows) the sealed record lengths reproduce the
+// bands of Fig. 2 (2211-2213 / 2992-3017 and 2341-2343 / 3118-3147).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wm/tls/session.hpp"
+#include "wm/util/rng.hpp"
+
+namespace wm::sim {
+
+enum class OperatingSystem : std::uint8_t { kWindows, kLinux, kMac };
+enum class Platform : std::uint8_t { kDesktop, kLaptop };
+enum class TrafficCondition : std::uint8_t { kMorning, kNoon, kNight };
+enum class ConnectionType : std::uint8_t { kWired, kWireless };
+enum class Browser : std::uint8_t { kChrome, kFirefox };
+
+std::string to_string(OperatingSystem value);
+std::string to_string(Platform value);
+std::string to_string(TrafficCondition value);
+std::string to_string(ConnectionType value);
+std::string to_string(Browser value);
+
+/// The operational half of a Table I row.
+struct OperationalConditions {
+  OperatingSystem os = OperatingSystem::kLinux;
+  Platform platform = Platform::kDesktop;
+  TrafficCondition traffic = TrafficCondition::kNoon;
+  ConnectionType connection = ConnectionType::kWired;
+  Browser browser = Browser::kFirefox;
+
+  [[nodiscard]] std::string to_string() const;
+  auto operator<=>(const OperationalConditions&) const = default;
+};
+
+/// All distinct operational combinations (3 OS x 2 platform x 3 traffic
+/// x 2 connection x 2 browser = 72).
+std::vector<OperationalConditions> all_operational_conditions();
+
+/// Kinds of client-to-server application messages the player emits.
+enum class ClientMessageKind : std::uint8_t {
+  kType1Json,     // state upload when a question appears
+  kType2Json,     // state upload when the non-default branch is chosen
+  kChunkRequest,  // media chunk HTTP request
+  kTelemetry,     // periodic playback telemetry ("others")
+  kLogBatch,      // large batched event log ("others", big records)
+  kDecoyUpload,   // timing-defence dummy: shaped like a type-2 JSON
+};
+
+std::string to_string(ClientMessageKind kind);
+
+/// A discrete size distribution: base + uniform jitter in [0, spread].
+struct SizeBand {
+  std::size_t base = 0;
+  std::size_t spread = 0;
+
+  [[nodiscard]] std::size_t sample(util::Rng& rng) const {
+    return base + static_cast<std::size_t>(rng.next_below(spread + 1));
+  }
+  [[nodiscard]] std::size_t max() const { return base + spread; }
+};
+
+/// Traffic shape of one operational combination.
+struct TrafficProfile {
+  OperationalConditions conditions;
+
+  /// Plaintext sizes of the two state-JSON uploads. Narrow bands: the
+  /// JSON schema is fixed; only ids/counters vary.
+  SizeBand type1_plaintext;
+  SizeBand type2_plaintext;
+
+  /// Other client messages.
+  SizeBand chunk_request_plaintext;  // a few hundred bytes
+  SizeBand telemetry_plaintext;      // mid-size periodic reports
+  SizeBand log_batch_plaintext;      // large, infrequent
+
+  /// Mean seconds between telemetry reports during playback.
+  double telemetry_period_seconds = 15.0;
+  /// Probability that a telemetry slot escalates to a log batch.
+  double log_batch_probability = 0.12;
+
+  /// TLS parameters of the player's connection.
+  tls::TlsSessionConfig tls;
+
+  /// TCP maximum segment size on this platform/connection.
+  std::uint16_t mss = 1448;
+
+  /// Sample the plaintext size of a client message kind.
+  [[nodiscard]] std::size_t sample_plaintext(ClientMessageKind kind,
+                                             util::Rng& rng) const;
+
+  /// Sealed (on-wire) record length band for a message kind — what the
+  /// eavesdropper will observe. Useful for tests and reports.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> sealed_band(
+      ClientMessageKind kind) const;
+};
+
+/// Derive the traffic profile for a set of operational conditions.
+/// Deterministic: the same conditions always map to the same profile.
+TrafficProfile make_traffic_profile(const OperationalConditions& conditions);
+
+}  // namespace wm::sim

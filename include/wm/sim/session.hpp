@@ -1,0 +1,32 @@
+// Session orchestrator: one call simulates a complete viewing session
+// — story traversal, application events, TLS/TCP lowering — and returns
+// the capture plus the ground truth the attack will be scored against.
+#pragma once
+
+#include "wm/sim/packetize.hpp"
+#include "wm/sim/profile.hpp"
+#include "wm/sim/streaming.hpp"
+#include "wm/story/graph.hpp"
+
+namespace wm::sim {
+
+struct SessionConfig {
+  OperationalConditions conditions;
+  StreamingConfig streaming;
+  PacketizeConfig packetize;
+  std::uint64_t seed = 1;
+};
+
+struct SessionResult {
+  SessionCapture capture;
+  SessionGroundTruth truth;
+  TrafficProfile profile;
+  util::Duration session_length;
+};
+
+/// Simulate one session of `graph` in which the viewer makes `choices`.
+SessionResult simulate_session(const story::StoryGraph& graph,
+                               const std::vector<story::Choice>& choices,
+                               const SessionConfig& config);
+
+}  // namespace wm::sim

@@ -1,0 +1,60 @@
+// Netflix-player state documents.
+//
+// The side-channel exists because the browser serializes a real JSON
+// document at every checkpoint. This module builds those documents —
+// type-1 (question reached) and type-2 (branch override) — with the
+// player-like schema, then pads the variable "impressionData" field so
+// the serialized size hits the byte target the traffic profile sampled.
+// The simulator uploads these actual bytes; tests verify the documents
+// parse back and carry the session state they claim to.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "wm/story/graph.hpp"
+#include "wm/util/json.hpp"
+#include "wm/util/rng.hpp"
+#include "wm/util/time.hpp"
+
+namespace wm::sim {
+
+/// Common identifiers of one playback session, embedded in every state
+/// upload (fixed per session; their stable serialization is why the
+/// bands are narrow).
+struct PlaybackIdentity {
+  std::uint64_t session_id = 0;
+  std::uint64_t movie_id = 80988062;  // Bandersnatch's public title id
+  std::string esn;                    // device identifier string
+  std::string profile_guid;
+
+  static PlaybackIdentity sample(util::Rng& rng);
+};
+
+/// Build the type-1 state JSON: "viewer has reached choice point
+/// `segment_name` at `position`". Serialized (compact) size is exactly
+/// `target_size` bytes when target_size is attainable (>= the base
+/// document size); otherwise the unpadded document is returned.
+util::JsonValue make_type1_state(const PlaybackIdentity& identity,
+                                 std::size_t question_index,
+                                 const std::string& segment_name,
+                                 util::SimTime position,
+                                 std::size_t target_size);
+
+/// Build the type-2 state JSON: "viewer overrode the default with
+/// `chosen_label`, switch to `next_segment`".
+util::JsonValue make_type2_state(const PlaybackIdentity& identity,
+                                 std::size_t question_index,
+                                 const std::string& chosen_label,
+                                 const std::string& next_segment,
+                                 util::SimTime position,
+                                 std::size_t target_size);
+
+/// Compact-serialize a state document; the byte count of this string is
+/// what TLS seals (and the eavesdropper measures).
+std::string serialize_state(const util::JsonValue& state);
+
+/// Exact serialized size the document would have on the wire.
+std::size_t serialized_size(const util::JsonValue& state);
+
+}  // namespace wm::sim

@@ -1,0 +1,133 @@
+// Interactive-streaming session engine.
+//
+// Reproduces the streaming process of §III / Fig. 1 of the paper as an
+// application-level event trace:
+//  * chunks of the current segment stream until the viewer reaches a
+//    choice question;
+//  * when question Qi appears on screen the browser uploads a type-1
+//    JSON state file;
+//  * during the ten-second choice window the player PREFETCHES chunks
+//    of the default branch Si;
+//  * choosing the default keeps streaming uninterrupted; choosing the
+//    non-default Si' uploads a type-2 JSON, abandons the prefetched
+//    chunks and requests Si' instead;
+//  * telemetry / log messages ride alongside as background client
+//    traffic ("others" in Fig. 2).
+//
+// The engine produces timestamped application events; the packetizer
+// (packetize.hpp) lowers them onto TLS/TCP/IP.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wm/sim/profile.hpp"
+#include "wm/story/graph.hpp"
+#include "wm/util/rng.hpp"
+#include "wm/util/time.hpp"
+
+namespace wm::sim {
+
+/// Which logical connection an event belongs to.
+enum class AppFlow : std::uint8_t {
+  kCdn,  // nflxvideo.net — chunk requests + media chunks
+  kApi,  // netflix.com API — state JSONs, telemetry, logs
+};
+
+std::string to_string(AppFlow flow);
+
+/// One application-level event.
+struct AppEvent {
+  util::SimTime time;
+  AppFlow flow = AppFlow::kCdn;
+  bool from_client = true;
+  /// Client messages carry a kind; server chunks use kChunkRequest as a
+  /// placeholder and are distinguished by from_client == false.
+  ClientMessageKind client_kind = ClientMessageKind::kChunkRequest;
+  std::size_t plaintext_size = 0;
+
+  /// The actual application bytes for client messages rendered as real
+  /// protocol content: HTTP range GETs for chunk requests, HTTP POSTs
+  /// carrying the state JSON for type-1/type-2 uploads. When non-empty,
+  /// plaintext_size equals its length.
+  std::string state_json;
+
+  // --- Annotations (ground truth / Fig. 1 rendering; the attacker
+  // never sees these) -------------------------------------------------
+  std::string note;
+  std::size_t question_index = 0;  // 1-based; 0 = not a question event
+  story::SegmentId segment = story::kInvalidSegment;
+  bool is_prefetch = false;        // chunk fetched during a choice window
+  bool prefetch_aborted = false;   // prefetched for Si but viewer chose Si'
+};
+
+/// Ground truth for one question encountered during a session.
+struct QuestionOutcome {
+  std::size_t index = 0;  // 1-based order of appearance
+  story::SegmentId segment = story::kInvalidSegment;
+  std::string prompt;
+  story::Choice choice = story::Choice::kDefault;
+  util::SimTime question_time;  // when the type-1 JSON was sent
+  util::SimTime decision_time;  // when the viewer committed
+};
+
+/// Ground truth for a whole session.
+struct SessionGroundTruth {
+  std::vector<QuestionOutcome> questions;
+  std::vector<story::SegmentId> path;
+  bool reached_ending = false;
+
+  [[nodiscard]] std::vector<story::Choice> choices() const;
+};
+
+/// Streaming parameters. The defaults give a faithful but *compressed*
+/// session (short chunks, modest bitrate) so that benches over many
+/// sessions stay tractable; time_scale < 1 shrinks script durations
+/// while preserving event structure and ordering.
+struct StreamingConfig {
+  double chunk_seconds = 2.0;       // media chunk playback duration
+  std::uint32_t bitrate_kbps = 800; // media bitrate (chunk size driver)
+  double time_scale = 0.08;         // script duration compression
+  std::size_t startup_buffer_chunks = 3;
+  /// Choice window length (the film uses 10 s; scaled by time_scale).
+  double choice_window_seconds = 10.0;
+  /// Decision delay within the window: uniform in
+  /// [min_fraction, max_fraction] of the window.
+  double decision_min_fraction = 0.15;
+  double decision_max_fraction = 0.95;
+  /// Telemetry cadence multiplier (1.0 = profile's period, scaled).
+  double telemetry_rate_multiplier = 1.0;
+  /// Adaptive bitrate: when enabled the player switches between the
+  /// ladder's rungs as simulated network load varies, as a real ABR
+  /// player would. Chunk sizes then vary several-fold within one
+  /// session — yet the client-side side-channel is untouched, which is
+  /// the paper's §II point sharpened.
+  bool adaptive_bitrate = false;
+  std::vector<std::uint32_t> bitrate_ladder_kbps = {400, 800, 1600, 3000};
+
+  /// Timing defence (our extension to §VI): the player holds EVERY
+  /// decision upload until the window closes and sends a type-2-shaped
+  /// upload there for default picks too (a decoy), so neither the
+  /// upload's presence nor its timing distinguishes the choice. Costs
+  /// latency (non-default switches wait for the window) and decoy
+  /// bytes.
+  bool uniform_decision_uploads = false;
+};
+
+/// Result of simulating one viewing session at the application level.
+struct AppTrace {
+  std::vector<AppEvent> events;  // sorted by time
+  SessionGroundTruth truth;
+  util::Duration session_length;
+};
+
+/// Simulate the application-level trace of one session: the viewer
+/// walks `graph` making `choices` (one per encountered question; if
+/// exhausted, the session ends as if the viewer stopped).
+AppTrace simulate_app_trace(const story::StoryGraph& graph,
+                            const std::vector<story::Choice>& choices,
+                            const TrafficProfile& profile,
+                            const StreamingConfig& config, util::Rng& rng);
+
+}  // namespace wm::sim

@@ -1,0 +1,25 @@
+// The canonical script used throughout the project: a Bandersnatch-like
+// interactive film with the choice questions the paper quotes
+// ("Frosties or Sugar Puffs?", "visit therapist or follow Colin?",
+// "throw tea over computer or shout at dad?") arranged in a branching
+// graph of the same flavour as the real film: a common opening segment
+// (Segment 0), ten-second choice windows, branch-and-merge structure,
+// and multiple endings.
+//
+// Segment names and question texts follow public episode descriptions;
+// durations and bitrates are representative, not measured.
+#pragma once
+
+#include "wm/story/graph.hpp"
+
+namespace wm::story {
+
+/// Build the canonical Bandersnatch-like story graph (12 choice points,
+/// 30+ segments, 5 endings). Deterministic: same graph on every call.
+StoryGraph make_bandersnatch();
+
+/// The film's nominal video bitrate in kbit/s (affects chunk sizes in
+/// the simulator; Netflix streams the film around 2-5 Mbps).
+inline constexpr std::uint32_t kBandersnatchBitrateKbps = 3500;
+
+}  // namespace wm::story

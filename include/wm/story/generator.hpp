@@ -1,0 +1,29 @@
+// Random story-graph generation for property tests and stress benches:
+// produces valid graphs of configurable depth/branching so the attack
+// pipeline can be exercised on scripts other than the canonical one.
+#pragma once
+
+#include "wm/story/graph.hpp"
+#include "wm/util/rng.hpp"
+
+namespace wm::story {
+
+struct GeneratorConfig {
+  /// Number of choice points along the spine of the story.
+  std::size_t questions = 8;
+  /// Probability that a branch merges back to the spine (vs. detouring
+  /// through an extra linear segment first).
+  double merge_probability = 0.6;
+  /// Probability that a non-default branch leads to an early ending.
+  double early_ending_probability = 0.15;
+  /// Segment duration bounds, in seconds.
+  int min_segment_seconds = 30;
+  int max_segment_seconds = 180;
+};
+
+/// Generate a random valid story graph. The result always passes
+/// StoryGraph::validate() and has at least `questions` choice points
+/// reachable along the all-default path.
+StoryGraph generate_story(GeneratorConfig config, util::Rng& rng);
+
+}  // namespace wm::story

@@ -1,0 +1,97 @@
+// Interactive-film script graph.
+//
+// Models the structure §III of the paper describes: the film is split
+// into *segments* (each a run of streamable chunks); a segment may end
+// in a *choice point* presenting two options, of which one is the
+// DEFAULT branch the player prefetches during the ten-second choice
+// window. The viewer's path through the graph is the sensitive
+// information the attack recovers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wm/util/time.hpp"
+
+namespace wm::story {
+
+/// Index of a segment within its StoryGraph.
+using SegmentId = std::uint32_t;
+inline constexpr SegmentId kInvalidSegment = 0xffffffffu;
+
+/// Which option a viewer picks at a choice point. The paper denotes the
+/// default branch of question Qi as Si and the other as Si'.
+enum class Choice : std::uint8_t {
+  kDefault,     // Si  — prefetched branch, streaming continues seamlessly
+  kNonDefault,  // Si' — prefetch aborted, new segment requested
+};
+
+std::string to_string(Choice choice);
+/// "S3" / "S3'" notation used in the paper's Fig. 1.
+std::string choice_notation(std::size_t question_index, Choice choice);
+
+/// A question shown at the end of a segment ("Frosties or Sugar Puffs?").
+struct ChoicePoint {
+  std::string prompt;
+  std::string default_label;      // on-screen text of the default option
+  std::string non_default_label;
+  SegmentId default_next = kInvalidSegment;      // Si
+  SegmentId non_default_next = kInvalidSegment;  // Si'
+  /// Seconds the player gives the viewer to decide (10 s in the film).
+  util::Duration window = util::Duration::seconds(10);
+};
+
+/// One linear run of content between choice points (or an ending).
+struct Segment {
+  std::string name;                  // e.g. "SUGAR_PUFFS", "NETFLIX_PITCH"
+  util::Duration duration;           // play time of the segment
+  std::uint32_t bitrate_kbps = 0;    // 0 = inherit the film's bitrate
+  std::optional<ChoicePoint> choice; // nullopt = ending or pass-through
+  SegmentId next = kInvalidSegment;  // pass-through target when no choice
+  bool is_ending = false;
+
+  [[nodiscard]] bool has_choice() const { return choice.has_value(); }
+};
+
+/// The full script graph.
+class StoryGraph {
+ public:
+  StoryGraph(std::string title, SegmentId start, std::vector<Segment> segments);
+
+  [[nodiscard]] const std::string& title() const { return title_; }
+  [[nodiscard]] SegmentId start() const { return start_; }
+  [[nodiscard]] std::size_t segment_count() const { return segments_.size(); }
+  [[nodiscard]] const Segment& segment(SegmentId id) const;
+
+  /// Structural validation: every edge targets a real segment, every
+  /// non-ending has a way forward, at least one ending is reachable.
+  /// Returns a list of human-readable problems (empty = valid).
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  /// Follow a choice sequence from the start. Consumes one Choice per
+  /// choice point encountered; pass-through segments are traversed
+  /// automatically. Stops at an ending or when choices run out.
+  struct Traversal {
+    std::vector<SegmentId> path;      // segments visited, in order
+    std::vector<SegmentId> questions; // segments whose choice was consumed
+    bool reached_ending = false;
+    std::size_t choices_consumed = 0;
+  };
+  [[nodiscard]] Traversal traverse(const std::vector<Choice>& choices) const;
+
+  /// Number of choice points on the longest possible path (upper bound
+  /// on questions a viewer can meet). Cycles are counted once.
+  [[nodiscard]] std::size_t max_questions() const;
+
+  /// All segments that contain a choice point.
+  [[nodiscard]] std::vector<SegmentId> choice_segments() const;
+
+ private:
+  std::string title_;
+  SegmentId start_;
+  std::vector<Segment> segments_;
+};
+
+}  // namespace wm::story

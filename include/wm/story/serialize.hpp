@@ -1,0 +1,25 @@
+// Story-graph serialization: interactive-film scripts as JSON, so a
+// script recovered once (the film's structure is public knowledge) can
+// be stored, shared and loaded by the attack and analysis tools.
+#pragma once
+
+#include <string>
+
+#include "wm/story/graph.hpp"
+#include "wm/util/json.hpp"
+
+namespace wm::story {
+
+/// Serialize a graph to a JSON document.
+util::JsonValue to_json(const StoryGraph& graph);
+
+/// Serialize to pretty-printed JSON text.
+std::string to_json_text(const StoryGraph& graph);
+
+/// Load a graph from a JSON document produced by to_json. Throws
+/// std::runtime_error on schema violations; the result always passes
+/// StoryGraph's constructor checks (validate() is the caller's call).
+StoryGraph from_json(const util::JsonValue& document);
+StoryGraph from_json_text(const std::string& text);
+
+}  // namespace wm::story

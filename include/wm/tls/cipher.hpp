@@ -1,0 +1,61 @@
+// Cipher-suite length model: how many ciphertext bytes a TLS record
+// carries for a given plaintext size.
+//
+// The attack never decrypts anything — it reasons about lengths — so
+// the simulation only needs the *length transform* of each cipher
+// construction to be faithful:
+//   TLS 1.2 AES-GCM:  ciphertext = 8 (explicit nonce) + plaintext + 16 (tag)
+//   TLS 1.2 AES-CBC+HMAC: IV + pad(plaintext + mac) to block size
+//   TLS 1.3 AEAD:     ciphertext = plaintext + 1 (inner type) + pad + 16 (tag)
+// ChaCha20-Poly1305 (TLS 1.2): plaintext + 16 (no explicit nonce).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wm::tls {
+
+enum class CipherSuite : std::uint16_t {
+  // TLS 1.2 suites (values from the IANA registry).
+  kTlsEcdheRsaAes128GcmSha256 = 0xc02f,
+  kTlsEcdheRsaAes256GcmSha384 = 0xc030,
+  kTlsEcdheRsaChacha20Poly1305 = 0xcca8,
+  kTlsRsaAes128CbcSha = 0x002f,
+  // TLS 1.3 suites.
+  kTlsAes128GcmSha256 = 0x1301,
+  kTlsAes256GcmSha384 = 0x1302,
+  kTlsChacha20Poly1305Sha256 = 0x1303,
+};
+
+std::string to_string(CipherSuite suite);
+
+/// True for suites that belong to TLS 1.3 (record format differs).
+bool is_tls13_suite(CipherSuite suite);
+
+/// Length transform of one cipher suite.
+class CipherModel {
+ public:
+  /// `tls13_pad_to` — when nonzero and the suite is TLS 1.3, plaintext
+  /// (+1 inner type byte) is padded up to a multiple of this many bytes
+  /// before sealing, modelling record-padding countermeasures.
+  explicit CipherModel(CipherSuite suite, std::size_t tls13_pad_to = 0);
+
+  [[nodiscard]] CipherSuite suite() const { return suite_; }
+
+  /// Ciphertext (record payload) size for a given plaintext size.
+  [[nodiscard]] std::size_t seal_size(std::size_t plaintext_size) const;
+
+  /// Inverse: plaintext size for a given ciphertext size. For CBC the
+  /// result is the *maximum* plaintext that could produce that
+  /// ciphertext (padding is ambiguous); for padded TLS 1.3 likewise.
+  [[nodiscard]] std::size_t open_size(std::size_t ciphertext_size) const;
+
+  /// Fixed per-record overhead (lower bound, useful for display).
+  [[nodiscard]] std::size_t overhead() const;
+
+ private:
+  CipherSuite suite_;
+  std::size_t tls13_pad_to_;
+};
+
+}  // namespace wm::tls

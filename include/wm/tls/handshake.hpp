@@ -1,0 +1,92 @@
+// TLS handshake message construction and parsing — enough of RFC 5246 /
+// 8446 to (a) let the simulator emit realistic ClientHello/ServerHello/
+// Certificate/Finished flights and (b) let the attacker extract the SNI
+// host name from a ClientHello, which is how Netflix flows are picked
+// out of a capture in practice.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wm/util/bytes.hpp"
+
+namespace wm::tls {
+
+enum class HandshakeType : std::uint8_t {
+  kHelloRequest = 0,
+  kClientHello = 1,
+  kServerHello = 2,
+  kNewSessionTicket = 4,
+  kCertificate = 11,
+  kServerKeyExchange = 12,
+  kCertificateRequest = 13,
+  kServerHelloDone = 14,
+  kClientKeyExchange = 16,
+  kFinished = 20,
+};
+
+std::string to_string(HandshakeType type);
+
+/// Extension identifiers used by this project.
+enum class ExtensionType : std::uint16_t {
+  kServerName = 0,
+  kSupportedGroups = 10,
+  kAlpn = 16,
+  kSupportedVersions = 43,
+  kKeyShare = 51,
+};
+
+struct Extension {
+  std::uint16_t type = 0;
+  util::Bytes body;
+};
+
+/// ClientHello with the fields this project reads or writes. Unknown
+/// extensions round-trip opaquely.
+struct ClientHello {
+  std::uint16_t legacy_version = 0x0303;
+  std::array<std::uint8_t, 32> random{};
+  util::Bytes session_id;
+  std::vector<std::uint16_t> cipher_suites;
+  std::vector<std::uint8_t> compression_methods{0};
+  std::vector<Extension> extensions;
+
+  /// Convenience: set/get the server_name (SNI) extension.
+  void set_sni(std::string_view host_name);
+  [[nodiscard]] std::optional<std::string> sni() const;
+  /// Convenience: set the ALPN protocol list (e.g. {"h2","http/1.1"}).
+  void set_alpn(const std::vector<std::string>& protocols);
+
+  /// Serialize as a handshake message (type + 24-bit length + body).
+  [[nodiscard]] util::Bytes serialize() const;
+  /// Parse from a handshake message. Returns nullopt on malformed input.
+  static std::optional<ClientHello> parse(util::BytesView handshake_message);
+};
+
+struct ServerHello {
+  std::uint16_t legacy_version = 0x0303;
+  std::array<std::uint8_t, 32> random{};
+  util::Bytes session_id;
+  std::uint16_t cipher_suite = 0;
+  std::uint8_t compression_method = 0;
+  std::vector<Extension> extensions;
+
+  [[nodiscard]] util::Bytes serialize() const;
+  static std::optional<ServerHello> parse(util::BytesView handshake_message);
+};
+
+/// Build an opaque handshake message of the given type whose *total*
+/// serialized size (header included) is `total_size`; used to model
+/// Certificate and other flights whose exact contents don't matter but
+/// whose sizes shape the trace. total_size must be >= 4.
+util::Bytes opaque_handshake_message(HandshakeType type, std::size_t total_size);
+
+/// Extract the SNI host name from raw handshake-record payload bytes
+/// (possibly containing multiple handshake messages). Returns nullopt
+/// when no ClientHello with an SNI is present.
+std::optional<std::string> extract_sni(util::BytesView handshake_payload);
+
+}  // namespace wm::tls

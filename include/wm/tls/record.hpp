@@ -1,0 +1,107 @@
+// TLS record layer: framing, parsing and emission.
+//
+// The paper's side-channel is the *length field of TLS (SSL) records*,
+// which stays in cleartext even when everything else is encrypted. This
+// module implements the record framing both ways:
+//  * the simulator uses TlsRecordEmitter to wrap application payloads
+//    into records exactly as a TLS stack would (16 KiB fragmentation,
+//    AEAD expansion, optional padding), and
+//  * the attacker uses TlsRecordParser to pull the record sequence —
+//    content type, version, length, direction, time — back out of a
+//    reassembled TCP stream.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wm/util/bytes.hpp"
+#include "wm/util/time.hpp"
+
+namespace wm::tls {
+
+/// TLS record content types (RFC 5246 / 8446).
+enum class ContentType : std::uint8_t {
+  kChangeCipherSpec = 20,
+  kAlert = 21,
+  kHandshake = 22,
+  kApplicationData = 23,
+  kHeartbeat = 24,
+};
+
+std::string to_string(ContentType type);
+bool is_known_content_type(std::uint8_t value);
+
+/// Legacy protocol version carried in the record header.
+enum class ProtocolVersion : std::uint16_t {
+  kSsl30 = 0x0300,
+  kTls10 = 0x0301,
+  kTls11 = 0x0302,
+  kTls12 = 0x0303,
+  // TLS 1.3 records carry 0x0303 on the wire; the enum value below is
+  // used only for cipher-model selection, never serialized.
+  kTls13 = 0x0304,
+};
+
+std::string to_string(ProtocolVersion version);
+
+/// Maximum plaintext fragment length (RFC: 2^14).
+inline constexpr std::size_t kMaxFragmentLength = 1 << 14;
+/// Maximum ciphertext length permitted in a record (2^14 + 2048).
+inline constexpr std::size_t kMaxCiphertextLength = (1 << 14) + 2048;
+/// Record header size: type (1) + version (2) + length (2).
+inline constexpr std::size_t kRecordHeaderSize = 5;
+
+/// One TLS record as seen on the wire.
+struct TlsRecord {
+  ContentType content_type = ContentType::kApplicationData;
+  std::uint16_t version_raw = 0x0303;
+  util::Bytes payload;  // ciphertext (or plaintext for handshake records)
+
+  /// Total bytes on the wire including the 5-byte header.
+  [[nodiscard]] std::size_t wire_size() const {
+    return kRecordHeaderSize + payload.size();
+  }
+  /// The length field value — the paper's "SSL record length".
+  [[nodiscard]] std::uint16_t length() const {
+    return static_cast<std::uint16_t>(payload.size());
+  }
+};
+
+/// Serialize a record (header + payload).
+void serialize_record(const TlsRecord& record, util::ByteWriter& out);
+util::Bytes serialize_records(const std::vector<TlsRecord>& records);
+
+/// Incremental parser over a (reassembled) TLS byte stream. Feed bytes
+/// as they are delivered; complete records pop out with the timestamp
+/// of the chunk that completed them.
+class TlsRecordParser {
+ public:
+  struct ParsedRecord {
+    util::SimTime timestamp;
+    std::uint64_t stream_offset = 0;  // offset of the record header
+    TlsRecord record;
+  };
+
+  /// Feed the next contiguous chunk of stream bytes.
+  std::vector<ParsedRecord> feed(util::SimTime timestamp, util::BytesView data);
+
+  /// True when the stream desynchronized (implausible header). Once
+  /// desynchronized the parser stops producing records: resynchronizing
+  /// inside ciphertext is not possible in general.
+  [[nodiscard]] bool desynchronized() const { return desynchronized_; }
+  /// Bytes consumed from the stream so far (including partial record).
+  [[nodiscard]] std::uint64_t bytes_consumed() const { return consumed_; }
+  /// Number of complete records produced.
+  [[nodiscard]] std::size_t records_parsed() const { return records_parsed_; }
+
+ private:
+  util::Bytes buffer_;
+  std::uint64_t consumed_ = 0;
+  std::uint64_t buffer_start_ = 0;  // stream offset of buffer_[0]
+  std::size_t records_parsed_ = 0;
+  bool desynchronized_ = false;
+};
+
+}  // namespace wm::tls

@@ -1,0 +1,90 @@
+// Attacker-side record-stream extraction.
+//
+// Chains the passive pipeline the paper's eavesdropper runs: decode
+// packets → group into flows → reassemble each TCP direction → parse
+// TLS records → emit, per flow, the time-ordered sequence of
+// (direction, content type, record length) events. Record *lengths* of
+// client-to-server application records are the side-channel of §III.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wm/net/flow.hpp"
+#include "wm/net/packet.hpp"
+#include "wm/net/reassembly.hpp"
+#include "wm/tls/record.hpp"
+
+namespace wm::tls {
+
+/// One observed TLS record, reduced to what an eavesdropper can see.
+struct RecordEvent {
+  util::SimTime timestamp;
+  net::FlowDirection direction = net::FlowDirection::kClientToServer;
+  ContentType content_type = ContentType::kApplicationData;
+  std::uint16_t record_length = 0;  // the visible SSL record length
+  std::uint64_t stream_offset = 0;
+
+  [[nodiscard]] bool is_client_application_data() const {
+    return direction == net::FlowDirection::kClientToServer &&
+           content_type == ContentType::kApplicationData;
+  }
+};
+
+/// All records of one TLS connection, plus flow metadata.
+struct FlowRecordStream {
+  net::FlowKey flow;
+  std::optional<std::string> sni;  // from the ClientHello, if seen
+  std::vector<RecordEvent> events;
+  std::uint64_t client_stream_bytes = 0;
+  std::uint64_t server_stream_bytes = 0;
+  bool client_desynchronized = false;
+  bool server_desynchronized = false;
+
+  [[nodiscard]] std::size_t count(net::FlowDirection direction,
+                                  ContentType type) const;
+};
+
+/// Streaming extractor: add packets in capture order, then finish().
+class RecordStreamExtractor {
+ public:
+  RecordStreamExtractor() = default;
+
+  /// Feed the next captured packet. Non-TCP and non-decodable packets
+  /// are counted and otherwise ignored.
+  void add_packet(const net::Packet& packet);
+
+  /// Complete extraction and return one stream per TCP flow, ordered by
+  /// first-seen time.
+  [[nodiscard]] std::vector<FlowRecordStream> finish() const;
+
+  [[nodiscard]] std::size_t packets_seen() const { return packets_seen_; }
+  [[nodiscard]] std::size_t packets_undecodable() const {
+    return packets_undecodable_;
+  }
+
+ private:
+  struct PerFlow {
+    net::TcpConnectionReassembler reassembler;
+    TlsRecordParser client_parser;
+    TlsRecordParser server_parser;
+    std::vector<RecordEvent> events;
+    std::optional<std::string> sni;
+    util::SimTime first_seen;
+    bool sni_searched = false;
+  };
+
+  net::FlowTable flow_table_;
+  std::map<net::FlowKey, PerFlow> flows_;
+  std::size_t packets_seen_ = 0;
+  std::size_t packets_undecodable_ = 0;
+};
+
+/// One-shot convenience: extract record streams from a full capture.
+std::vector<FlowRecordStream> extract_record_streams(
+    const std::vector<net::Packet>& packets);
+
+}  // namespace wm::tls

@@ -1,0 +1,86 @@
+// TLS session emitter: turns application-layer payloads into the exact
+// record sequences a TLS endpoint would put on the wire.
+//
+// The simulator drives one TlsSession per connection. Handshake flights
+// are generated with realistic message sizes (so the capture looks like
+// real TLS and the attacker's SNI extraction has something to parse);
+// application payloads are fragmented at the stack's limit and sealed
+// through the CipherModel length transform.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wm/tls/cipher.hpp"
+#include "wm/tls/record.hpp"
+#include "wm/util/rng.hpp"
+
+namespace wm::tls {
+
+/// Per-connection TLS parameters. Browser/OS profiles in the simulator
+/// map onto these.
+struct TlsSessionConfig {
+  CipherSuite suite = CipherSuite::kTlsEcdheRsaAes256GcmSha384;
+  /// Version bytes written in record headers (TLS 1.3 still writes 0x0303).
+  std::uint16_t record_version = 0x0303;
+  /// Stack's plaintext fragmentation limit (<= 2^14). Some stacks use
+  /// smaller write chunks; Netflix CDN connections use the full size.
+  std::size_t max_plaintext_fragment = kMaxFragmentLength;
+  /// TLS 1.3 record padding quantum (0 = no padding).
+  std::size_t tls13_pad_to = 0;
+  /// SNI host name the client sends (empty = no SNI extension).
+  std::string sni;
+  /// ALPN protocols offered by the client.
+  std::vector<std::string> alpn = {"h2", "http/1.1"};
+  /// Approximate certificate-chain size the server sends; real chains
+  /// are 3-6 KiB.
+  std::size_t certificate_chain_size = 4096;
+};
+
+/// Stateful record emitter for one TLS connection.
+class TlsSession {
+ public:
+  TlsSession(TlsSessionConfig config, util::Rng rng);
+
+  [[nodiscard]] const TlsSessionConfig& config() const { return config_; }
+  [[nodiscard]] const CipherModel& cipher() const { return cipher_; }
+
+  /// Client's first flight: one handshake record carrying ClientHello.
+  std::vector<TlsRecord> client_hello_flight();
+
+  /// Server's reply flight: ServerHello + Certificate(+...) +
+  /// ServerHelloDone (TLS1.2 shape) or ServerHello + encrypted
+  /// extensions blob (TLS1.3 shape), followed by CCS where applicable.
+  std::vector<TlsRecord> server_hello_flight();
+
+  /// Client's finishing flight (key exchange / finished + CCS).
+  std::vector<TlsRecord> client_finished_flight();
+
+  /// Seal one application-layer message; returns >= 1 records. Lengths
+  /// follow the cipher model exactly; payload bytes are pseudo-random
+  /// filler standing in for ciphertext.
+  std::vector<TlsRecord> seal_application_data(std::size_t plaintext_size);
+
+  /// Seal with the actual plaintext (used where tests want to verify
+  /// content round-trips; only the size matters on the wire).
+  std::vector<TlsRecord> seal_application_data(util::BytesView plaintext);
+
+  /// Closure alert record.
+  TlsRecord close_notify();
+
+  /// Total application records sealed so far (both helpers).
+  [[nodiscard]] std::size_t records_sealed() const { return records_sealed_; }
+
+ private:
+  TlsRecord make_record(ContentType type, std::size_t payload_size);
+  util::Bytes random_payload(std::size_t size);
+
+  TlsSessionConfig config_;
+  CipherModel cipher_;
+  util::Rng rng_;
+  std::size_t records_sealed_ = 0;
+};
+
+}  // namespace wm::tls

@@ -1,0 +1,124 @@
+// Byte-buffer reading and writing with explicit endianness.
+//
+// Network formats in this project (Ethernet/IP/TCP headers, TLS records,
+// pcap files) are defined in terms of octet sequences with a declared byte
+// order. ByteReader / ByteWriter make that order explicit at every access
+// and bounds-check every read, so parsers built on top of them never walk
+// off the end of a packet.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wm::util {
+
+/// Bytes are pushed/pulled as unsigned octets throughout the project.
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Render a byte span as lowercase hex, e.g. "16030300aa". Useful in
+/// test failure messages and debug logs.
+std::string to_hex(BytesView data);
+
+/// Parse a hex string (optionally with spaces between byte pairs) into
+/// bytes. Throws std::invalid_argument on malformed input.
+Bytes from_hex(std::string_view hex);
+
+/// Classic 17-bytes-per-line hex dump with offsets and ASCII gutter.
+std::string hex_dump(BytesView data, std::size_t bytes_per_line = 16);
+
+/// Thrown by ByteReader when a read would pass the end of the buffer.
+class OutOfBoundsError : public std::exception {
+ public:
+  OutOfBoundsError(std::size_t requested, std::size_t available);
+  [[nodiscard]] const char* what() const noexcept override { return message_.c_str(); }
+  [[nodiscard]] std::size_t requested() const noexcept { return requested_; }
+  [[nodiscard]] std::size_t available() const noexcept { return available_; }
+
+ private:
+  std::size_t requested_;
+  std::size_t available_;
+  std::string message_;
+};
+
+/// Bounds-checked sequential reader over a borrowed byte span.
+///
+/// All multi-byte reads come in big-endian (`_be`, network order) and
+/// little-endian (`_le`) flavours; there is deliberately no "host order"
+/// accessor so format code always states the order it means.
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) : data_(data) {}
+
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  [[nodiscard]] bool at_end() const noexcept { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+  /// Move the cursor to an absolute offset (must be <= size()).
+  void seek(std::size_t offset);
+  /// Advance the cursor without copying out data.
+  void skip(std::size_t count);
+
+  std::uint8_t read_u8();
+  std::uint16_t read_u16_be();
+  std::uint16_t read_u16_le();
+  std::uint32_t read_u24_be();
+  std::uint32_t read_u32_be();
+  std::uint32_t read_u32_le();
+  std::uint64_t read_u64_be();
+  std::uint64_t read_u64_le();
+
+  /// Borrow `count` bytes from the buffer (no copy) and advance.
+  BytesView read_view(std::size_t count);
+  /// Copy `count` bytes out of the buffer and advance.
+  Bytes read_bytes(std::size_t count);
+
+  /// Peek helpers: read without advancing the cursor.
+  [[nodiscard]] std::uint8_t peek_u8() const;
+  [[nodiscard]] std::uint16_t peek_u16_be() const;
+
+ private:
+  void require(std::size_t count) const;
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+/// Append-only builder for wire-format byte strings.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve_bytes) { buffer_.reserve(reserve_bytes); }
+
+  void write_u8(std::uint8_t value);
+  void write_u16_be(std::uint16_t value);
+  void write_u16_le(std::uint16_t value);
+  void write_u24_be(std::uint32_t value);
+  void write_u32_be(std::uint32_t value);
+  void write_u32_le(std::uint32_t value);
+  void write_u64_be(std::uint64_t value);
+  void write_u64_le(std::uint64_t value);
+  void write_bytes(BytesView data);
+  /// Append `count` copies of `fill` (used for padding fields).
+  void write_repeated(std::uint8_t fill, std::size_t count);
+
+  /// Overwrite 2 bytes at `offset` in big-endian order; used to patch
+  /// length fields after the body has been serialized.
+  void patch_u16_be(std::size_t offset, std::uint16_t value);
+
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+  [[nodiscard]] BytesView view() const noexcept { return buffer_; }
+  [[nodiscard]] const Bytes& bytes() const noexcept { return buffer_; }
+  /// Move the accumulated buffer out; the writer is empty afterwards.
+  Bytes take();
+
+ private:
+  Bytes buffer_;
+};
+
+}  // namespace wm::util

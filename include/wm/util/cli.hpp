@@ -1,0 +1,65 @@
+// Declarative command-line flag parsing for the examples and benches.
+//
+// Supports `--name value`, `--name=value` and boolean `--name` flags,
+// generates --help text, and validates that every required flag was
+// supplied and no unknown flag was passed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wm::util {
+
+class CliParser {
+ public:
+  CliParser(std::string program_name, std::string description);
+
+  /// Register flags before parse(). `default_value` doubles as the
+  /// documentation of the default; required flags pass std::nullopt.
+  void add_string(std::string name, std::string help,
+                  std::optional<std::string> default_value);
+  void add_int(std::string name, std::string help,
+               std::optional<std::int64_t> default_value);
+  void add_double(std::string name, std::string help,
+                  std::optional<double> default_value);
+  void add_bool(std::string name, std::string help);  // defaults to false
+
+  /// Parse argv. Returns false (after printing usage) if --help was
+  /// requested; throws std::runtime_error on invalid input.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get_string(std::string_view name) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view name) const;
+  [[nodiscard]] double get_double(std::string_view name) const;
+  [[nodiscard]] bool get_bool(std::string_view name) const;
+
+  /// Positional arguments left over after flag parsing.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Type type = Type::kString;
+    std::string help;
+    std::optional<std::string> value;  // textual; converted on get
+    bool required = false;
+    bool seen = false;
+  };
+
+  const Flag& find(std::string_view name, Type expected) const;
+
+  std::string program_name_;
+  std::string description_;
+  std::map<std::string, Flag, std::less<>> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace wm::util

@@ -1,0 +1,48 @@
+// Minimal RFC-4180-style CSV reading and writing, used for dataset
+// manifests, ground-truth files and benchmark output tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wm::util {
+
+/// Quote a field if it contains a comma, quote or newline.
+std::string csv_escape(std::string_view field);
+
+/// Incremental CSV writer. Rows are flushed to the stream as they are
+/// completed; the header (if any) must be written first.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience for mixed field types.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(CsvWriter& writer) : writer_(writer) {}
+    RowBuilder& add(std::string_view field);
+    RowBuilder& add(std::int64_t value);
+    RowBuilder& add(std::uint64_t value);
+    RowBuilder& add(double value);
+    void end();
+
+   private:
+    CsvWriter& writer_;
+    std::vector<std::string> fields_;
+  };
+
+  RowBuilder row() { return RowBuilder(*this); }
+
+ private:
+  std::ostream& out_;
+};
+
+/// Parse CSV text into rows of fields, honouring quotes and embedded
+/// newlines. The final newline is optional.
+std::vector<std::vector<std::string>> parse_csv(std::string_view text);
+
+}  // namespace wm::util

@@ -1,0 +1,90 @@
+// A small self-contained JSON document model, serializer and parser.
+//
+// Used in two distinct roles:
+//  * the simulator *builds* the type-1 / type-2 state JSONs the browser
+//    uploads at each choice point (their serialized size is the whole
+//    side-channel, so we need real serialization, not a size stub), and
+//  * the dataset layer stores/loads manifests and ground truth.
+// Supports the full JSON grammar except for non-finite numbers.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace wm::util {
+
+class JsonValue;
+
+using JsonArray = std::vector<JsonValue>;
+/// std::map keeps keys sorted; serialization is therefore canonical,
+/// which makes payload sizes deterministic for a given content.
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// A JSON document node: null, bool, number (int64 or double), string,
+/// array or object.
+class JsonValue {
+ public:
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}
+  JsonValue(int i) : value_(static_cast<std::int64_t>(i)) {}
+  JsonValue(std::int64_t i) : value_(i) {}
+  JsonValue(std::uint64_t u) : value_(static_cast<std::int64_t>(u)) {}
+  JsonValue(double d) : value_(d) {}
+  JsonValue(const char* s) : value_(std::string(s)) {}
+  JsonValue(std::string s) : value_(std::move(s)) {}
+  JsonValue(std::string_view s) : value_(std::string(s)) {}
+  JsonValue(JsonArray a) : value_(std::move(a)) {}
+  JsonValue(JsonObject o) : value_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  [[nodiscard]] bool is_int() const { return std::holds_alternative<std::int64_t>(value_); }
+  [[nodiscard]] bool is_double() const { return std::holds_alternative<double>(value_); }
+  [[nodiscard]] bool is_number() const { return is_int() || is_double(); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+
+  /// Typed accessors; throw std::runtime_error on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] double as_double() const;  // accepts int too
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const JsonArray& as_array() const;
+  [[nodiscard]] JsonArray& as_array();
+  [[nodiscard]] const JsonObject& as_object() const;
+  [[nodiscard]] JsonObject& as_object();
+
+  /// Object member access; throws if not an object / key missing.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  /// Serialize. With indent == 0 the output is compact (no whitespace);
+  /// otherwise pretty-printed with `indent` spaces per level.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Parse a complete JSON document; throws std::runtime_error with a
+  /// position-annotated message on malformed input.
+  static JsonValue parse(std::string_view text);
+
+  bool operator==(const JsonValue&) const = default;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, JsonArray,
+               JsonObject>
+      value_;
+};
+
+/// Escape a string for inclusion in JSON output (without quotes).
+std::string json_escape(std::string_view raw);
+
+}  // namespace wm::util

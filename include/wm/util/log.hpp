@@ -1,0 +1,49 @@
+// Leveled logging to stderr with a process-wide threshold. Kept simple
+// on purpose: the library's hot paths never log, so there is no need
+// for asynchronous sinks.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace wm::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set / get the process-wide minimum level (default: kWarn, so library
+/// use is quiet unless the application opts in).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+std::string_view to_string(LogLevel level);
+
+namespace detail {
+void emit_log(LogLevel level, std::string_view message);
+}
+
+/// Stream-style log statement builder:
+///   WM_LOG(Info) << "dataset written: " << path;
+class LogStatement {
+ public:
+  explicit LogStatement(LogLevel level) : level_(level) {}
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+  ~LogStatement() { detail::emit_log(level_, stream_.str()); }
+
+  template <typename T>
+  LogStatement& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace wm::util
+
+#define WM_LOG(severity)                                                    \
+  if (::wm::util::log_level() <= ::wm::util::LogLevel::k##severity)         \
+  ::wm::util::LogStatement(::wm::util::LogLevel::k##severity)

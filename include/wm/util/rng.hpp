@@ -1,0 +1,95 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the simulator (payload sizes, network
+// jitter, viewer choices, cohort sampling) draws from an Rng so that a
+// dataset or experiment is exactly reproducible from its seed. The
+// engine is xoshiro256**, seeded through splitmix64 per the reference
+// recommendation; both are implemented here so the project has no
+// dependence on unspecified standard-library distribution behaviour.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wm::util {
+
+/// splitmix64 step; used to expand a single 64-bit seed into engine state.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Deterministic random engine (xoshiro256**) with the distribution
+/// helpers this project needs. Cheap to copy; copies evolve independently.
+class Rng {
+ public:
+  /// Seed the engine. The same seed always yields the same sequence on
+  /// every platform.
+  explicit Rng(std::uint64_t seed = 0x57484954454d4952ull);  // "WHITEMIR"
+
+  /// Raw 64 uniform bits.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) without modulo bias. bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in the closed range [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// true with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Standard normal via Box–Muller (cached second value).
+  double normal();
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Log-normal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with the given rate (lambda > 0).
+  double exponential(double rate);
+
+  /// Sample an index in [0, weights.size()) proportional to weights.
+  /// Zero-weight entries are never chosen; at least one weight must be
+  /// positive.
+  std::size_t categorical(std::span<const double> weights);
+
+  /// Normal sample rounded and clamped into [lo, hi]; models "a size
+  /// that is nominally N bytes, give or take".
+  std::int64_t clamped_normal_int(double mean, double stddev, std::int64_t lo,
+                                  std::int64_t hi);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Pick a uniformly random element (container must be non-empty).
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return items[static_cast<std::size_t>(next_below(items.size()))];
+  }
+
+  /// Derive an independent child generator; used to give each subsystem
+  /// (sizes, timing, choices) its own stream so adding draws in one does
+  /// not perturb the others.
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace wm::util

@@ -1,0 +1,119 @@
+// Descriptive statistics used by the feature pipeline, the classifiers
+// and the benchmark harnesses: streaming mean/variance, quantiles,
+// integer-valued histograms with arbitrary bin edges, and a labelled
+// confusion matrix.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wm::util {
+
+/// Welford streaming mean / variance / min / max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Merge another accumulator into this one (parallel Welford).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Linear-interpolation quantile of a sample (sorts a copy).
+/// q in [0,1]; empty input returns nullopt.
+std::optional<double> quantile(std::vector<double> values, double q);
+
+/// Frequency count over exact integer values (e.g. record lengths).
+/// Suited to the paper's Fig. 2, whose bins are ranges of exact SSL
+/// record lengths.
+class IntHistogram {
+ public:
+  void add(std::int64_t value, std::uint64_t weight = 1);
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t count_of(std::int64_t value) const;
+  /// Total weight of values in the closed range [lo, hi].
+  [[nodiscard]] std::uint64_t count_in(std::int64_t lo, std::int64_t hi) const;
+  [[nodiscard]] std::optional<std::int64_t> min() const;
+  [[nodiscard]] std::optional<std::int64_t> max() const;
+  /// Most frequent value (smallest value wins ties); nullopt when empty.
+  [[nodiscard]] std::optional<std::int64_t> mode() const;
+  [[nodiscard]] const std::map<std::int64_t, std::uint64_t>& cells() const {
+    return cells_;
+  }
+
+ private:
+  std::map<std::int64_t, std::uint64_t> cells_;
+  std::uint64_t total_ = 0;
+};
+
+/// A half-open integer interval [lo, hi] (both inclusive, as the paper
+/// reports its Fig. 2 bins: "2211-2213", "<=2188", ">=4334").
+struct IntInterval {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+
+  [[nodiscard]] bool contains(std::int64_t v) const { return v >= lo && v <= hi; }
+  [[nodiscard]] bool overlaps(const IntInterval& other) const {
+    return lo <= other.hi && other.lo <= hi;
+  }
+  /// Render in the paper's style: "2211-2213", "2992" for singletons.
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const IntInterval&) const = default;
+};
+
+/// Smallest closed interval covering all values in a histogram;
+/// nullopt when the histogram is empty.
+std::optional<IntInterval> covering_interval(const IntHistogram& hist);
+
+/// Labelled confusion matrix for multi-class evaluation.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::vector<std::string> labels);
+
+  void add(std::size_t truth, std::size_t predicted, std::uint64_t weight = 1);
+
+  [[nodiscard]] std::size_t num_classes() const noexcept { return labels_.size(); }
+  [[nodiscard]] const std::vector<std::string>& labels() const noexcept {
+    return labels_;
+  }
+  [[nodiscard]] std::uint64_t at(std::size_t truth, std::size_t predicted) const;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Overall accuracy = trace / total. Returns 1.0 for an empty matrix.
+  [[nodiscard]] double accuracy() const;
+  [[nodiscard]] double precision(std::size_t cls) const;
+  [[nodiscard]] double recall(std::size_t cls) const;
+  [[nodiscard]] double f1(std::size_t cls) const;
+
+  /// Fixed-width text rendering for reports.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> labels_;
+  std::vector<std::uint64_t> cells_;  // row-major: truth * n + predicted
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace wm::util

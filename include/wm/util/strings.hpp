@@ -1,0 +1,38 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wm::util {
+
+/// Split on a single delimiter character. Adjacent delimiters produce
+/// empty fields; an empty input produces one empty field (CSV-style).
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+std::string to_lower(std::string_view text);
+
+/// Join string pieces with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Fixed-point percentage rendering: format_percent(0.9634) == "96.3%".
+std::string format_percent(double fraction, int decimals = 1);
+
+/// Pad or truncate to an exact column width (left-aligned).
+std::string pad_right(std::string_view text, std::size_t width);
+std::string pad_left(std::string_view text, std::size_t width);
+
+}  // namespace wm::util

@@ -1,0 +1,108 @@
+// Simulated-time types.
+//
+// All timestamps in the project — packet capture times, TLS record
+// times, streaming events — are expressed as SimTime: nanoseconds since
+// the start of the simulated capture. Using a dedicated strong type (not
+// std::chrono::time_point of a real clock) keeps simulated and wall time
+// from mixing, and keeps pcap serialization exact.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace wm::util {
+
+/// A span of simulated time, in nanoseconds. Signed so differences are
+/// representable.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration nanos(std::int64_t n) { return Duration(n); }
+  static constexpr Duration micros(std::int64_t us) { return Duration(us * 1'000); }
+  static constexpr Duration millis(std::int64_t ms) { return Duration(ms * 1'000'000); }
+  static constexpr Duration seconds(std::int64_t s) {
+    return Duration(s * 1'000'000'000);
+  }
+  /// Construct from fractional seconds (rounded to the nearest ns).
+  static Duration from_seconds(double s);
+
+  [[nodiscard]] constexpr std::int64_t total_nanos() const { return nanos_; }
+  [[nodiscard]] constexpr std::int64_t total_micros() const { return nanos_ / 1'000; }
+  [[nodiscard]] constexpr std::int64_t total_millis() const {
+    return nanos_ / 1'000'000;
+  }
+  [[nodiscard]] constexpr double to_seconds() const {
+    return static_cast<double>(nanos_) / 1e9;
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration other) const {
+    return Duration(nanos_ + other.nanos_);
+  }
+  constexpr Duration operator-(Duration other) const {
+    return Duration(nanos_ - other.nanos_);
+  }
+  constexpr Duration operator-() const { return Duration(-nanos_); }
+  constexpr Duration& operator+=(Duration other) {
+    nanos_ += other.nanos_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration other) {
+    nanos_ -= other.nanos_;
+    return *this;
+  }
+  constexpr Duration operator*(std::int64_t k) const { return Duration(nanos_ * k); }
+  constexpr Duration operator*(int k) const {
+    return Duration(nanos_ * static_cast<std::int64_t>(k));
+  }
+  Duration operator*(double k) const;
+
+  /// Render as a human-friendly string, e.g. "1.250s", "340ms", "12us".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t n) : nanos_(n) {}
+  std::int64_t nanos_ = 0;
+};
+
+/// An instant of simulated time: nanoseconds since capture start.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime from_nanos(std::int64_t n) { return SimTime(n); }
+  static SimTime from_seconds(double s);
+
+  [[nodiscard]] constexpr std::int64_t nanos() const { return nanos_; }
+  [[nodiscard]] constexpr double to_seconds() const {
+    return static_cast<double>(nanos_) / 1e9;
+  }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(Duration d) const {
+    return SimTime(nanos_ + d.total_nanos());
+  }
+  constexpr SimTime operator-(Duration d) const {
+    return SimTime(nanos_ - d.total_nanos());
+  }
+  constexpr Duration operator-(SimTime other) const {
+    return Duration::nanos(nanos_ - other.nanos_);
+  }
+  constexpr SimTime& operator+=(Duration d) {
+    nanos_ += d.total_nanos();
+    return *this;
+  }
+
+  /// Render as seconds with millisecond precision, e.g. "t=12.345s".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit SimTime(std::int64_t n) : nanos_(n) {}
+  std::int64_t nanos_ = 0;
+};
+
+}  // namespace wm::util

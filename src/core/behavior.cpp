@@ -1,0 +1,95 @@
+#include "wm/core/behavior.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "wm/util/strings.hpp"
+
+namespace wm::core {
+
+std::vector<TraitRule> default_trait_rules() {
+  return {
+      {"kill", "violence-affine"},
+      {"chop", "violence-affine"},
+      {"destroy", "destructive"},
+      {"throw tea", "destructive"},
+      {"lsd", "risk-taking"},
+      {"jump", "self-harm-risk"},
+      {"you jump", "self-harm-risk"},
+      {"netflix", "meta-aware"},
+      {"refuse", "independent"},
+      {"accept", "conforming"},
+      {"frosties", "brand:frosties"},
+      {"sugar puffs", "brand:sugar-puffs"},
+      {"thompson twins", "music:thompson-twins"},
+      {"now 2", "music:now-2"},
+      {"talk about mum", "trauma-open"},
+  };
+}
+
+ViewerTraitProfile profile_viewer(const story::StoryGraph& graph,
+                                  const std::vector<story::Choice>& choices,
+                                  const std::vector<TraitRule>& rules) {
+  ViewerTraitProfile profile;
+  std::set<std::string> tags;
+
+  story::SegmentId current = graph.start();
+  std::size_t next_choice = 0;
+  std::size_t non_default = 0;
+  std::size_t steps = 0;
+  const std::size_t step_limit = graph.segment_count() * (choices.size() + 2) + 16;
+
+  while (current != story::kInvalidSegment && steps++ < step_limit) {
+    const story::Segment& seg = graph.segment(current);
+    if (seg.is_ending) {
+      profile.ending = seg.name;
+      break;
+    }
+    if (!seg.has_choice()) {
+      current = seg.next;
+      continue;
+    }
+    if (next_choice >= choices.size()) break;
+    const story::Choice choice = choices[next_choice++];
+    ++profile.questions;
+    const std::string& label = choice == story::Choice::kDefault
+                                   ? seg.choice->default_label
+                                   : seg.choice->non_default_label;
+    profile.picked_labels.push_back(label);
+    if (choice == story::Choice::kNonDefault) ++non_default;
+
+    const std::string lowered = util::to_lower(label);
+    for (const TraitRule& rule : rules) {
+      if (lowered.find(util::to_lower(rule.keyword)) != std::string::npos) {
+        tags.insert(rule.tag);
+      }
+    }
+    current = choice == story::Choice::kDefault ? seg.choice->default_next
+                                                : seg.choice->non_default_next;
+  }
+
+  profile.exploration_rate =
+      profile.questions == 0
+          ? 0.0
+          : static_cast<double>(non_default) / static_cast<double>(profile.questions);
+  profile.tags.assign(tags.begin(), tags.end());
+  return profile;
+}
+
+void CohortBehaviorReport::add(const ViewerTraitProfile& profile,
+                               const std::vector<std::string>& group_keys) {
+  for (const std::string& key : group_keys) {
+    Group& group = groups[key];
+    // Streaming mean update.
+    group.mean_exploration =
+        (group.mean_exploration * static_cast<double>(group.viewers) +
+         profile.exploration_rate) /
+        static_cast<double>(group.viewers + 1);
+    ++group.viewers;
+    for (const std::string& tag : profile.tags) {
+      ++group.tag_counts[tag];
+    }
+  }
+}
+
+}  // namespace wm::core

@@ -1,0 +1,90 @@
+#include "wm/core/bitrate_baseline.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "wm/util/stats.hpp"
+
+namespace wm::core {
+
+std::vector<BitrateWindow> extract_bitrate_windows(
+    const std::vector<net::Packet>& packets,
+    const std::vector<util::SimTime>& question_times, util::Duration window) {
+  std::vector<BitrateWindow> out;
+  out.reserve(question_times.size());
+
+  // Collect (time, downstream payload bytes) pairs once.
+  std::vector<std::pair<util::SimTime, std::size_t>> downstream;
+  downstream.reserve(packets.size());
+  for (const net::Packet& packet : packets) {
+    const auto decoded = net::decode_packet(packet);
+    if (!decoded || !decoded->has_tcp()) continue;
+    // Downstream = from port 443.
+    if (decoded->tcp().source_port != 443) continue;
+    if (decoded->transport_payload.empty()) continue;
+    downstream.emplace_back(packet.timestamp, decoded->transport_payload.size());
+  }
+
+  for (util::SimTime question : question_times) {
+    BitrateWindow w;
+    w.window_start = question;
+    const util::SimTime end = question + window;
+    for (const auto& [t, bytes] : downstream) {
+      if (t >= question && t < end) {
+        w.bytes_in_window += static_cast<double>(bytes);
+      }
+    }
+    const double seconds = window.to_seconds();
+    w.mean_throughput_bps = seconds > 0.0 ? w.bytes_in_window * 8.0 / seconds : 0.0;
+    out.push_back(w);
+  }
+  return out;
+}
+
+void BitrateBaseline::fit(const std::vector<Calibration>& sessions) {
+  util::RunningStats default_stats;
+  util::RunningStats non_default_stats;
+
+  for (const Calibration& session : sessions) {
+    std::vector<util::SimTime> question_times;
+    question_times.reserve(session.truth.questions.size());
+    for (const sim::QuestionOutcome& q : session.truth.questions) {
+      question_times.push_back(q.question_time);
+    }
+    const auto windows =
+        extract_bitrate_windows(session.packets, question_times, window_);
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      if (session.truth.questions[i].choice == story::Choice::kDefault) {
+        default_stats.add(windows[i].bytes_in_window);
+      } else {
+        non_default_stats.add(windows[i].bytes_in_window);
+      }
+    }
+  }
+
+  if (default_stats.count() == 0 || non_default_stats.count() == 0) {
+    throw std::invalid_argument(
+        "BitrateBaseline::fit: calibration lacks one of the classes");
+  }
+  default_mean_ = default_stats.mean();
+  non_default_mean_ = non_default_stats.mean();
+  fitted_ = true;
+}
+
+std::vector<story::Choice> BitrateBaseline::predict(
+    const std::vector<net::Packet>& packets,
+    const std::vector<util::SimTime>& question_times) const {
+  if (!fitted_) throw std::logic_error("BitrateBaseline: predict before fit");
+  const auto windows = extract_bitrate_windows(packets, question_times, window_);
+  std::vector<story::Choice> out;
+  out.reserve(windows.size());
+  for (const BitrateWindow& w : windows) {
+    const double to_default = std::abs(w.bytes_in_window - default_mean_);
+    const double to_non_default = std::abs(w.bytes_in_window - non_default_mean_);
+    out.push_back(to_default <= to_non_default ? story::Choice::kDefault
+                                               : story::Choice::kNonDefault);
+  }
+  return out;
+}
+
+}  // namespace wm::core

@@ -1,0 +1,173 @@
+#include "wm/core/classifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace wm::core {
+
+namespace {
+
+util::IntHistogram histogram_of(const std::vector<LabeledObservation>& calibration,
+                                RecordClass cls) {
+  util::IntHistogram hist;
+  for (const LabeledObservation& item : calibration) {
+    if (item.label == cls) hist.add(item.observation.record_length);
+  }
+  return hist;
+}
+
+}  // namespace
+
+void IntervalClassifier::fit(const std::vector<LabeledObservation>& calibration) {
+  const util::IntHistogram type1 = histogram_of(calibration, RecordClass::kType1Json);
+  const util::IntHistogram type2 = histogram_of(calibration, RecordClass::kType2Json);
+  const auto band1 = util::covering_interval(type1);
+  const auto band2 = util::covering_interval(type2);
+  if (!band1) {
+    throw std::invalid_argument(
+        "IntervalClassifier::fit: no type-1 JSON calibration examples");
+  }
+  if (!band2) {
+    throw std::invalid_argument(
+        "IntervalClassifier::fit: no type-2 JSON calibration examples");
+  }
+  // Adaptive guard: a finite calibration set underestimates the true
+  // band (the covering interval of n uniform samples over width w has
+  // expected width w(n-1)/(n+1)), so widen proportionally to the
+  // observed width, never less than the fixed guard.
+  const auto widen = [this](const util::IntInterval& band) {
+    const std::int64_t width = band.hi - band.lo + 1;
+    const std::int64_t guard = std::max(guard_, width / 3);
+    return util::IntInterval{band.lo - guard, band.hi + guard};
+  };
+  type1_ = widen(*band1);
+  type2_ = widen(*band2);
+  bands_overlap_ = type1_.overlaps(type2_);
+  fitted_ = true;
+}
+
+RecordClass IntervalClassifier::classify(std::uint16_t record_length) const {
+  if (!fitted_) throw std::logic_error("IntervalClassifier: classify before fit");
+  const std::int64_t length = record_length;
+  const bool in1 = type1_.contains(length);
+  const bool in2 = type2_.contains(length);
+  if (in1 && in2) return RecordClass::kOther;  // contested -> abstain
+  if (in1) return RecordClass::kType1Json;
+  if (in2) return RecordClass::kType2Json;
+  return RecordClass::kOther;
+}
+
+void KnnClassifier::fit(const std::vector<LabeledObservation>& calibration) {
+  points_.clear();
+  points_.reserve(calibration.size());
+  for (const LabeledObservation& item : calibration) {
+    points_.emplace_back(item.observation.record_length, item.label);
+  }
+  if (points_.empty()) {
+    throw std::invalid_argument("KnnClassifier::fit: empty calibration set");
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+RecordClass KnnClassifier::classify(std::uint16_t record_length) const {
+  if (points_.empty()) throw std::logic_error("KnnClassifier: classify before fit");
+  const std::int64_t target = record_length;
+
+  // Two-pointer expansion around the insertion point.
+  const auto first_geq = std::lower_bound(
+      points_.begin(), points_.end(), std::make_pair(target, RecordClass::kType1Json),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::ptrdiff_t left = (first_geq - points_.begin()) - 1;
+  std::ptrdiff_t right = first_geq - points_.begin();
+
+  std::array<std::size_t, kRecordClassCount> votes{};
+  for (std::size_t taken = 0; taken < k_ && (left >= 0 || right < static_cast<std::ptrdiff_t>(points_.size()));
+       ++taken) {
+    const std::int64_t left_dist =
+        left >= 0 ? target - points_[static_cast<std::size_t>(left)].first
+                  : std::numeric_limits<std::int64_t>::max();
+    const std::int64_t right_dist =
+        right < static_cast<std::ptrdiff_t>(points_.size())
+            ? points_[static_cast<std::size_t>(right)].first - target
+            : std::numeric_limits<std::int64_t>::max();
+    if (left_dist <= right_dist) {
+      ++votes[static_cast<std::size_t>(points_[static_cast<std::size_t>(left)].second)];
+      --left;
+    } else {
+      ++votes[static_cast<std::size_t>(points_[static_cast<std::size_t>(right)].second)];
+      ++right;
+    }
+  }
+
+  // Majority vote; ties resolve to kOther (conservative).
+  std::size_t best = static_cast<std::size_t>(RecordClass::kOther);
+  for (std::size_t cls = 0; cls < kRecordClassCount; ++cls) {
+    if (votes[cls] > votes[best]) best = cls;
+  }
+  return static_cast<RecordClass>(best);
+}
+
+void GaussianNbClassifier::fit(const std::vector<LabeledObservation>& calibration) {
+  if (calibration.empty()) {
+    throw std::invalid_argument("GaussianNbClassifier::fit: empty calibration set");
+  }
+  std::array<util::RunningStats, kRecordClassCount> acc{};
+  for (const LabeledObservation& item : calibration) {
+    acc[static_cast<std::size_t>(item.label)].add(item.observation.record_length);
+  }
+  const double total = static_cast<double>(calibration.size());
+  for (std::size_t cls = 0; cls < kRecordClassCount; ++cls) {
+    ClassStats& s = stats_[cls];
+    s.present = acc[cls].count() > 0;
+    if (!s.present) continue;
+    s.mean = acc[cls].mean();
+    // Variance floor keeps near-constant bands from degenerating.
+    s.variance = std::max(acc[cls].variance(), 1.5);
+    s.log_prior = std::log(static_cast<double>(acc[cls].count()) / total);
+  }
+  fitted_ = true;
+}
+
+RecordClass GaussianNbClassifier::classify(std::uint16_t record_length) const {
+  if (!fitted_) throw std::logic_error("GaussianNbClassifier: classify before fit");
+  const double x = record_length;
+  double best_score = -std::numeric_limits<double>::infinity();
+  RecordClass best = RecordClass::kOther;
+  for (std::size_t cls = 0; cls < kRecordClassCount; ++cls) {
+    const ClassStats& s = stats_[cls];
+    if (!s.present) continue;
+    const double delta = x - s.mean;
+    const double score = s.log_prior -
+                         0.5 * std::log(2.0 * std::numbers::pi * s.variance) -
+                         delta * delta / (2.0 * s.variance);
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<RecordClass>(cls);
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<RecordClassifier> make_classifier(const std::string& name) {
+  if (name == "interval") return std::make_unique<IntervalClassifier>();
+  if (name == "knn") return std::make_unique<KnnClassifier>();
+  if (name == "gaussian-nb") return std::make_unique<GaussianNbClassifier>();
+  throw std::invalid_argument("make_classifier: unknown classifier '" + name + "'");
+}
+
+util::ConfusionMatrix evaluate_classifier(
+    const RecordClassifier& classifier,
+    const std::vector<LabeledObservation>& labelled) {
+  util::ConfusionMatrix matrix({"type-1", "type-2", "others"});
+  for (const LabeledObservation& item : labelled) {
+    matrix.add(static_cast<std::size_t>(item.label),
+               static_cast<std::size_t>(
+                   classifier.classify(item.observation.record_length)));
+  }
+  return matrix;
+}
+
+}  // namespace wm::core

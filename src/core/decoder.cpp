@@ -1,0 +1,68 @@
+#include "wm/core/decoder.hpp"
+
+namespace wm::core {
+
+std::vector<story::Choice> InferredSession::choices() const {
+  std::vector<story::Choice> out;
+  out.reserve(questions.size());
+  for (const InferredQuestion& q : questions) out.push_back(q.choice);
+  return out;
+}
+
+InferredSession decode_choices(
+    const RecordClassifier& classifier,
+    const std::vector<ClientRecordObservation>& observations,
+    util::Duration min_question_gap) {
+  InferredSession out;
+  std::optional<util::SimTime> last_type1;
+
+  for (const ClientRecordObservation& obs : observations) {
+    const RecordClass cls = classifier.classify(obs.record_length);
+    switch (cls) {
+      case RecordClass::kType1Json: {
+        ++out.type1_records;
+        // Suppress duplicates (retransmission artifacts).
+        if (last_type1 && obs.timestamp - *last_type1 < min_question_gap) break;
+        last_type1 = obs.timestamp;
+        InferredQuestion question;
+        question.index = out.questions.size() + 1;
+        question.question_time = obs.timestamp;
+        question.choice = story::Choice::kDefault;  // until a type-2 shows
+        out.questions.push_back(question);
+        break;
+      }
+      case RecordClass::kType2Json: {
+        ++out.type2_records;
+        if (out.questions.empty()) break;  // stray; nothing to attach to
+        InferredQuestion& current = out.questions.back();
+        // Only the first override of a question counts.
+        if (current.choice == story::Choice::kDefault) {
+          current.choice = story::Choice::kNonDefault;
+          current.override_time = obs.timestamp;
+        }
+        break;
+      }
+      case RecordClass::kOther:
+        ++out.other_records;
+        break;
+    }
+  }
+  return out;
+}
+
+InferredPath reconstruct_path(const story::StoryGraph& graph,
+                              const std::vector<story::Choice>& choices) {
+  InferredPath out;
+  const story::StoryGraph::Traversal traversal = graph.traverse(choices);
+  out.segments = traversal.path;
+  out.segment_names.reserve(traversal.path.size());
+  for (story::SegmentId id : traversal.path) {
+    out.segment_names.push_back(graph.segment(id).name);
+  }
+  out.reached_ending = traversal.reached_ending;
+  out.choice_surplus = static_cast<std::int64_t>(choices.size()) -
+                       static_cast<std::int64_t>(traversal.choices_consumed);
+  return out;
+}
+
+}  // namespace wm::core

@@ -1,0 +1,49 @@
+#include "wm/core/eval.hpp"
+
+#include <algorithm>
+
+namespace wm::core {
+
+SessionScore score_session(const sim::SessionGroundTruth& truth,
+                           const InferredSession& inferred) {
+  SessionScore score;
+  score.questions_truth = truth.questions.size();
+  score.questions_inferred = inferred.questions.size();
+  score.question_count_match =
+      score.questions_truth == score.questions_inferred;
+
+  const std::size_t aligned =
+      std::min(score.questions_truth, score.questions_inferred);
+  for (std::size_t i = 0; i < aligned; ++i) {
+    if (truth.questions[i].choice == inferred.questions[i].choice) {
+      ++score.choices_correct;
+    }
+  }
+  score.choice_accuracy =
+      score.questions_truth == 0
+          ? 1.0
+          : static_cast<double>(score.choices_correct) /
+                static_cast<double>(score.questions_truth);
+  return score;
+}
+
+AggregateScore aggregate_scores(const std::vector<SessionScore>& scores) {
+  AggregateScore out;
+  out.sessions = scores.size();
+  double accuracy_sum = 0.0;
+  for (const SessionScore& score : scores) {
+    out.questions += score.questions_truth;
+    out.correct += score.choices_correct;
+    accuracy_sum += score.choice_accuracy;
+    out.worst_accuracy = std::min(out.worst_accuracy, score.choice_accuracy);
+  }
+  out.mean_accuracy = scores.empty() ? 1.0 : accuracy_sum / static_cast<double>(scores.size());
+  out.pooled_accuracy =
+      out.questions == 0
+          ? 1.0
+          : static_cast<double>(out.correct) / static_cast<double>(out.questions);
+  if (scores.empty()) out.worst_accuracy = 1.0;
+  return out;
+}
+
+}  // namespace wm::core

@@ -1,0 +1,62 @@
+#include "wm/core/pipeline.hpp"
+
+#include "wm/net/pcapng.hpp"
+
+namespace wm::core {
+
+AttackPipeline::AttackPipeline(std::string classifier_name)
+    : classifier_(make_classifier(classifier_name)) {}
+
+void AttackPipeline::calibrate(const std::vector<CalibrationSession>& sessions) {
+  std::vector<LabeledObservation> labelled;
+  for (const CalibrationSession& session : sessions) {
+    const auto observations = extract_client_records(session.packets);
+    auto session_labels = label_observations(observations, session.truth);
+    labelled.insert(labelled.end(),
+                    std::make_move_iterator(session_labels.begin()),
+                    std::make_move_iterator(session_labels.end()));
+  }
+  classifier_->fit(labelled);
+}
+
+void AttackPipeline::calibrate(const std::vector<LabeledObservation>& labelled) {
+  classifier_->fit(labelled);
+}
+
+bool AttackPipeline::calibrated() const { return classifier_->fitted(); }
+
+InferredSession AttackPipeline::infer(const std::vector<net::Packet>& packets) const {
+  return decode_choices(*classifier_, extract_client_records(packets));
+}
+
+InferredSession AttackPipeline::infer_pcap(const std::filesystem::path& path) const {
+  // Accepts classic pcap or pcapng; the reader dispatches on the magic.
+  return infer(net::read_any_capture(path));
+}
+
+std::map<std::string, InferredSession> AttackPipeline::infer_per_client(
+    const std::vector<net::Packet>& packets) const {
+  const auto streams = tls::extract_record_streams(packets);
+
+  // Bucket streams by client endpoint address (ignoring the port: each
+  // viewer owns several connections).
+  std::map<std::string, std::vector<tls::FlowRecordStream>> by_client;
+  for (const tls::FlowRecordStream& stream : streams) {
+    const std::string key = stream.flow.client.is_v6
+                                ? stream.flow.client.v6.to_string()
+                                : stream.flow.client.v4.to_string();
+    by_client[key].push_back(stream);
+  }
+
+  std::map<std::string, InferredSession> out;
+  for (const auto& [client, client_streams] : by_client) {
+    InferredSession session =
+        decode_choices(*classifier_, extract_client_records(client_streams));
+    // Only report clients that look like interactive-video viewers.
+    if (session.questions.empty()) continue;
+    out.emplace(client, std::move(session));
+  }
+  return out;
+}
+
+}  // namespace wm::core

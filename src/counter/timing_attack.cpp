@@ -1,0 +1,135 @@
+#include "wm/counter/timing_attack.hpp"
+
+#include <algorithm>
+
+namespace wm::counter {
+
+using core::InferredQuestion;
+using core::InferredSession;
+using net::FlowDirection;
+using tls::ContentType;
+using tls::FlowRecordStream;
+using util::Duration;
+using util::SimTime;
+
+namespace {
+
+/// Client application-record timestamps of one flow.
+std::vector<SimTime> client_upload_times(const FlowRecordStream& stream) {
+  std::vector<SimTime> out;
+  for (const tls::RecordEvent& event : stream.events) {
+    if (event.is_client_application_data()) out.push_back(event.timestamp);
+  }
+  return out;
+}
+
+std::uint64_t server_volume(const FlowRecordStream& stream) {
+  std::uint64_t total = 0;
+  for (const tls::RecordEvent& event : stream.events) {
+    if (event.direction == FlowDirection::kServerToClient &&
+        event.content_type == ContentType::kApplicationData) {
+      total += event.record_length;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+TimingInference timing_attack(const std::vector<FlowRecordStream>& streams,
+                              const TimingAttackConfig& config) {
+  TimingInference out;
+  if (streams.empty()) return out;
+
+  // Identify roles. CDN: largest server volume. API: among the rest,
+  // the flow with the most client uploads (state + telemetry traffic).
+  const FlowRecordStream* cdn = nullptr;
+  std::uint64_t best_volume = 0;
+  for (const FlowRecordStream& stream : streams) {
+    const std::uint64_t volume = server_volume(stream);
+    if (volume > best_volume) {
+      best_volume = volume;
+      cdn = &stream;
+    }
+  }
+  if (cdn == nullptr) return out;
+
+  const FlowRecordStream* api = nullptr;
+  std::size_t best_uploads = 0;
+  for (const FlowRecordStream& stream : streams) {
+    if (&stream == cdn) continue;
+    const std::size_t uploads = client_upload_times(stream).size();
+    if (uploads > best_uploads) {
+      best_uploads = uploads;
+      api = &stream;
+    }
+  }
+
+  const std::vector<SimTime> requests = client_upload_times(*cdn);
+  const std::vector<SimTime> uploads =
+      api ? client_upload_times(*api) : std::vector<SimTime>{};
+
+  // Find runs of prefetch-cadence gaps between consecutive CDN requests.
+  const double lo = config.chunk_cadence_s * config.burst_min_fraction;
+  const double hi = config.chunk_cadence_s * config.burst_max_fraction;
+
+  struct Window {
+    SimTime start;
+    SimTime end;
+  };
+  std::vector<Window> windows;
+  std::size_t run_start = 0;
+  std::size_t run_length = 0;
+  for (std::size_t i = 1; i < requests.size(); ++i) {
+    const double gap = (requests[i] - requests[i - 1]).to_seconds();
+    if (gap > lo && gap < hi) {
+      if (run_length == 0) run_start = i - 1;
+      ++run_length;
+    } else if (run_length > 0) {
+      if (run_length >= config.min_burst_length) {
+        windows.push_back(Window{requests[run_start], requests[run_start + run_length]});
+      }
+      run_length = 0;
+    }
+  }
+  if (run_length >= config.min_burst_length && run_length > 0) {
+    windows.push_back(Window{requests[run_start], requests[run_start + run_length]});
+  }
+
+  out.windows_detected = windows.size();
+
+  const Duration slack = Duration::from_seconds(config.window_slack_s);
+  const Duration extension = Duration::from_seconds(config.search_extension_s);
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const Window& window = windows[i];
+    InferredQuestion question;
+    question.index = i + 1;
+    question.question_time = window.start;
+    question.choice = story::Choice::kDefault;
+    // The decision upload can land anywhere inside the UI's choice
+    // window, which may outlast the observable prefetch burst (the
+    // default branch can run out of chunks to prefetch). Search the
+    // full window but never past the next question's own start.
+    SimTime search_end = window.end + extension;
+    if (i + 1 < windows.size() &&
+        windows[i + 1].start - slack < search_end) {
+      search_end = windows[i + 1].start - slack;
+    }
+    for (SimTime upload : uploads) {
+      if (upload > window.start + slack && upload <= search_end + slack) {
+        question.choice = story::Choice::kNonDefault;
+        question.override_time = upload;
+        break;
+      }
+    }
+    out.session.questions.push_back(std::move(question));
+  }
+  return out;
+}
+
+TimingInference timing_attack(const std::vector<net::Packet>& packets,
+                              const TimingAttackConfig& config) {
+  return timing_attack(tls::extract_record_streams(packets), config);
+}
+
+}  // namespace wm::counter

@@ -1,0 +1,63 @@
+#include "wm/counter/transforms.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wm::counter {
+
+using sim::ClientMessageKind;
+
+sim::ClientPayloadTransform identity_transform() {
+  return [](ClientMessageKind, std::size_t size) {
+    return std::vector<std::size_t>{size};
+  };
+}
+
+sim::ClientPayloadTransform pad_to_bucket(std::size_t bucket) {
+  if (bucket == 0) throw std::invalid_argument("pad_to_bucket: bucket must be > 0");
+  return [bucket](ClientMessageKind, std::size_t size) {
+    const std::size_t padded = (size + bucket - 1) / bucket * bucket;
+    return std::vector<std::size_t>{padded == 0 ? bucket : padded};
+  };
+}
+
+sim::ClientPayloadTransform split_records(std::size_t piece) {
+  if (piece == 0) throw std::invalid_argument("split_records: piece must be > 0");
+  return [piece](ClientMessageKind, std::size_t size) {
+    std::vector<std::size_t> out;
+    while (size > piece) {
+      out.push_back(piece);
+      size -= piece;
+    }
+    if (size > 0) out.push_back(size);  // leaky tail
+    if (out.empty()) out.push_back(piece);
+    return out;
+  };
+}
+
+sim::ClientPayloadTransform split_and_pad(std::size_t piece) {
+  if (piece == 0) throw std::invalid_argument("split_and_pad: piece must be > 0");
+  return [piece](ClientMessageKind, std::size_t size) {
+    const std::size_t pieces = size == 0 ? 1 : (size + piece - 1) / piece;
+    return std::vector<std::size_t>(pieces, piece);
+  };
+}
+
+sim::ClientPayloadTransform compress(double ratio, double jitter) {
+  if (ratio <= 0.0 || ratio > 1.0) {
+    throw std::invalid_argument("compress: ratio must be in (0, 1]");
+  }
+  return [ratio, jitter](ClientMessageKind, std::size_t size) {
+    // Deterministic content-dependent wobble: hash the size into a
+    // phase so equal-sized payloads compress identically but nearby
+    // sizes do not collapse onto one value.
+    const double phase =
+        std::sin(static_cast<double>(size) * 2.399963) * 0.5 + 0.5;  // [0,1]
+    const double effective = ratio * (1.0 - jitter / 2.0 + jitter * phase);
+    const auto compressed =
+        static_cast<std::size_t>(std::llround(static_cast<double>(size) * effective));
+    return std::vector<std::size_t>{std::max<std::size_t>(compressed, 64)};
+  };
+}
+
+}  // namespace wm::counter

@@ -1,0 +1,159 @@
+#include "wm/dataset/attributes.hpp"
+
+#include <array>
+
+#include "wm/util/strings.hpp"
+
+namespace wm::dataset {
+
+std::string to_string(AgeGroup value) {
+  switch (value) {
+    case AgeGroup::kUnder20: return "<20";
+    case AgeGroup::k20To25: return "20-25";
+    case AgeGroup::k25To30: return "25-30";
+    case AgeGroup::kOver30: return ">30";
+  }
+  return "?";
+}
+
+std::string to_string(Gender value) {
+  switch (value) {
+    case Gender::kMale: return "Male";
+    case Gender::kFemale: return "Female";
+    case Gender::kUndisclosed: return "Undisclosed";
+  }
+  return "?";
+}
+
+std::string to_string(PoliticalAlignment value) {
+  switch (value) {
+    case PoliticalAlignment::kLiberal: return "Liberal";
+    case PoliticalAlignment::kCentrist: return "Centrist";
+    case PoliticalAlignment::kCommunist: return "Communist";
+    case PoliticalAlignment::kUndisclosed: return "Undisclosed";
+  }
+  return "?";
+}
+
+std::string to_string(StateOfMind value) {
+  switch (value) {
+    case StateOfMind::kHappy: return "Happy";
+    case StateOfMind::kStressed: return "Stressed";
+    case StateOfMind::kSad: return "Sad";
+    case StateOfMind::kUndisclosed: return "Undisclosed";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename Enum, std::size_t N>
+std::optional<Enum> parse_enum(std::string_view text,
+                               const std::array<Enum, N>& values) {
+  for (Enum value : values) {
+    if (util::iequals(text, to_string(value))) return value;
+  }
+  return std::nullopt;
+}
+
+template <typename Enum, std::size_t N>
+std::optional<Enum> parse_enum_sim(std::string_view text,
+                                   const std::array<Enum, N>& values) {
+  for (Enum value : values) {
+    if (util::iequals(text, sim::to_string(value))) return value;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<AgeGroup> parse_age_group(std::string_view text) {
+  return parse_enum(text, std::array{AgeGroup::kUnder20, AgeGroup::k20To25,
+                                     AgeGroup::k25To30, AgeGroup::kOver30});
+}
+
+std::optional<Gender> parse_gender(std::string_view text) {
+  return parse_enum(text,
+                    std::array{Gender::kMale, Gender::kFemale, Gender::kUndisclosed});
+}
+
+std::optional<PoliticalAlignment> parse_political(std::string_view text) {
+  return parse_enum(
+      text, std::array{PoliticalAlignment::kLiberal, PoliticalAlignment::kCentrist,
+                       PoliticalAlignment::kCommunist,
+                       PoliticalAlignment::kUndisclosed});
+}
+
+std::optional<StateOfMind> parse_state_of_mind(std::string_view text) {
+  return parse_enum(text, std::array{StateOfMind::kHappy, StateOfMind::kStressed,
+                                     StateOfMind::kSad, StateOfMind::kUndisclosed});
+}
+
+std::optional<sim::OperatingSystem> parse_os(std::string_view text) {
+  return parse_enum_sim(
+      text, std::array{sim::OperatingSystem::kWindows, sim::OperatingSystem::kLinux,
+                       sim::OperatingSystem::kMac});
+}
+
+std::optional<sim::Platform> parse_platform(std::string_view text) {
+  return parse_enum_sim(text,
+                        std::array{sim::Platform::kDesktop, sim::Platform::kLaptop});
+}
+
+std::optional<sim::TrafficCondition> parse_traffic(std::string_view text) {
+  return parse_enum_sim(
+      text, std::array{sim::TrafficCondition::kMorning, sim::TrafficCondition::kNoon,
+                       sim::TrafficCondition::kNight});
+}
+
+std::optional<sim::ConnectionType> parse_connection(std::string_view text) {
+  return parse_enum_sim(text, std::array{sim::ConnectionType::kWired,
+                                         sim::ConnectionType::kWireless});
+}
+
+std::optional<sim::Browser> parse_browser(std::string_view text) {
+  return parse_enum_sim(text,
+                        std::array{sim::Browser::kChrome, sim::Browser::kFirefox});
+}
+
+std::vector<Viewer> sample_cohort(std::size_t count, util::Rng& rng) {
+  std::vector<Viewer> out;
+  out.reserve(count);
+
+  // Weights resembling a university volunteer pool.
+  const std::array<double, 4> age_weights{0.18, 0.46, 0.24, 0.12};
+  const std::array<double, 3> gender_weights{0.55, 0.38, 0.07};
+  const std::array<double, 4> political_weights{0.30, 0.27, 0.13, 0.30};
+  const std::array<double, 4> mood_weights{0.40, 0.30, 0.12, 0.18};
+
+  const std::array<double, 3> os_weights{0.42, 0.38, 0.20};
+  const std::array<double, 2> platform_weights{0.55, 0.45};
+  const std::array<double, 3> traffic_weights{0.30, 0.36, 0.34};
+  const std::array<double, 2> connection_weights{0.52, 0.48};
+  const std::array<double, 2> browser_weights{0.57, 0.43};
+
+  for (std::size_t i = 0; i < count; ++i) {
+    Viewer viewer;
+    viewer.id = static_cast<std::uint32_t>(i + 1);
+    viewer.operational.os =
+        static_cast<sim::OperatingSystem>(rng.categorical(os_weights));
+    viewer.operational.platform =
+        static_cast<sim::Platform>(rng.categorical(platform_weights));
+    viewer.operational.traffic =
+        static_cast<sim::TrafficCondition>(rng.categorical(traffic_weights));
+    viewer.operational.connection =
+        static_cast<sim::ConnectionType>(rng.categorical(connection_weights));
+    viewer.operational.browser =
+        static_cast<sim::Browser>(rng.categorical(browser_weights));
+
+    viewer.behavioral.age = static_cast<AgeGroup>(rng.categorical(age_weights));
+    viewer.behavioral.gender = static_cast<Gender>(rng.categorical(gender_weights));
+    viewer.behavioral.political =
+        static_cast<PoliticalAlignment>(rng.categorical(political_weights));
+    viewer.behavioral.mood = static_cast<StateOfMind>(rng.categorical(mood_weights));
+    out.push_back(viewer);
+  }
+  return out;
+}
+
+}  // namespace wm::dataset

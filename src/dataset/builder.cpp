@@ -1,0 +1,235 @@
+#include "wm/dataset/builder.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "wm/dataset/choice_policy.hpp"
+#include "wm/net/pcap.hpp"
+#include "wm/net/pcapng.hpp"
+#include "wm/util/csv.hpp"
+#include "wm/util/json.hpp"
+#include "wm/util/log.hpp"
+#include "wm/util/strings.hpp"
+
+namespace wm::dataset {
+
+namespace fs = std::filesystem;
+using util::JsonArray;
+using util::JsonObject;
+using util::JsonValue;
+
+void generate_dataset(const story::StoryGraph& graph, const DatasetConfig& config,
+                      const std::function<void(DataPoint&&)>& sink) {
+  util::Rng cohort_rng(config.seed);
+  const std::vector<Viewer> cohort = sample_cohort(config.viewer_count, cohort_rng);
+
+  for (const Viewer& viewer : cohort) {
+    util::Rng viewer_rng(config.seed ^ (0x9e3779b97f4a7c15ull * viewer.id));
+    const std::vector<story::Choice> choices =
+        draw_choices(graph, viewer.behavioral, viewer_rng);
+
+    sim::SessionConfig session_config;
+    session_config.conditions = viewer.operational;
+    session_config.streaming = config.streaming;
+    session_config.packetize = config.packetize;
+    session_config.seed = viewer_rng.next_u64();
+
+    DataPoint point;
+    point.viewer = viewer;
+    point.session = sim::simulate_session(graph, choices, session_config);
+    sink(std::move(point));
+  }
+}
+
+std::vector<DataPoint> generate_dataset(const story::StoryGraph& graph,
+                                        const DatasetConfig& config) {
+  std::vector<DataPoint> out;
+  out.reserve(config.viewer_count);
+  generate_dataset(graph, config,
+                   [&out](DataPoint&& point) { out.push_back(std::move(point)); });
+  return out;
+}
+
+std::string ground_truth_to_json(const Viewer& viewer,
+                                 const sim::SessionGroundTruth& truth,
+                                 const story::StoryGraph& graph) {
+  JsonObject root;
+  root["viewer_id"] = JsonValue(static_cast<std::int64_t>(viewer.id));
+  root["reached_ending"] = JsonValue(truth.reached_ending);
+
+  JsonArray questions;
+  for (const sim::QuestionOutcome& q : truth.questions) {
+    JsonObject obj;
+    obj["index"] = JsonValue(static_cast<std::int64_t>(q.index));
+    obj["segment"] = JsonValue(graph.segment(q.segment).name);
+    obj["prompt"] = JsonValue(q.prompt);
+    obj["choice"] = JsonValue(story::to_string(q.choice));
+    obj["question_time_s"] = JsonValue(q.question_time.to_seconds());
+    obj["decision_time_s"] = JsonValue(q.decision_time.to_seconds());
+    questions.emplace_back(std::move(obj));
+  }
+  root["questions"] = JsonValue(std::move(questions));
+
+  JsonArray path;
+  for (story::SegmentId id : truth.path) {
+    path.emplace_back(graph.segment(id).name);
+  }
+  root["path"] = JsonValue(std::move(path));
+  return JsonValue(std::move(root)).dump(2);
+}
+
+sim::SessionGroundTruth ground_truth_from_json(const std::string& text) {
+  const JsonValue root = JsonValue::parse(text);
+  sim::SessionGroundTruth truth;
+  truth.reached_ending = root.at("reached_ending").as_bool();
+  for (const JsonValue& item : root.at("questions").as_array()) {
+    sim::QuestionOutcome q;
+    q.index = static_cast<std::size_t>(item.at("index").as_int());
+    q.prompt = item.at("prompt").as_string();
+    q.choice = item.at("choice").as_string() == "default"
+                   ? story::Choice::kDefault
+                   : story::Choice::kNonDefault;
+    q.question_time = util::SimTime::from_seconds(
+        item.at("question_time_s").as_double());
+    q.decision_time = util::SimTime::from_seconds(
+        item.at("decision_time_s").as_double());
+    truth.questions.push_back(std::move(q));
+  }
+  // Path is stored by name; ids are not reconstructible without the
+  // graph, so the loader leaves `path` empty. Choices are the payload.
+  return truth;
+}
+
+std::size_t write_dataset(const fs::path& dir, const story::StoryGraph& graph,
+                          const DatasetConfig& config) {
+  fs::create_directories(dir / "traces");
+  fs::create_directories(dir / "truth");
+
+  std::ofstream viewers_csv(dir / "viewers.csv");
+  if (!viewers_csv) {
+    throw std::runtime_error("write_dataset: cannot create viewers.csv");
+  }
+  util::CsvWriter csv(viewers_csv);
+  csv.write_row({"viewer_id", "os", "platform", "traffic", "connection", "browser",
+                 "age_group", "gender", "political", "state_of_mind"});
+
+  JsonArray index;
+  std::size_t written = 0;
+
+  generate_dataset(graph, config, [&](DataPoint&& point) {
+    const Viewer& v = point.viewer;
+    const std::string stem = util::format("viewer_%03u", v.id);
+    const bool ng = config.capture_format == CaptureFormat::kPcapng;
+    const fs::path trace_file =
+        dir / "traces" / (stem + (ng ? ".pcapng" : ".pcap"));
+    const fs::path truth_file = dir / "truth" / (stem + ".json");
+
+    if (ng) {
+      net::write_pcapng(trace_file, point.session.capture.packets);
+    } else {
+      net::write_pcap(trace_file, point.session.capture.packets);
+    }
+    std::ofstream truth_out(truth_file);
+    truth_out << ground_truth_to_json(v, point.session.truth, graph) << '\n';
+
+    csv.row()
+        .add(static_cast<std::int64_t>(v.id))
+        .add(sim::to_string(v.operational.os))
+        .add(sim::to_string(v.operational.platform))
+        .add(sim::to_string(v.operational.traffic))
+        .add(sim::to_string(v.operational.connection))
+        .add(sim::to_string(v.operational.browser))
+        .add(to_string(v.behavioral.age))
+        .add(to_string(v.behavioral.gender))
+        .add(to_string(v.behavioral.political))
+        .add(to_string(v.behavioral.mood))
+        .end();
+
+    JsonObject entry;
+    entry["viewer_id"] = JsonValue(static_cast<std::int64_t>(v.id));
+    entry["trace"] = JsonValue("traces/" + stem + (ng ? ".pcapng" : ".pcap"));
+    entry["truth"] = JsonValue("truth/" + stem + ".json");
+    entry["os"] = JsonValue(sim::to_string(v.operational.os));
+    entry["platform"] = JsonValue(sim::to_string(v.operational.platform));
+    entry["traffic"] = JsonValue(sim::to_string(v.operational.traffic));
+    entry["connection"] = JsonValue(sim::to_string(v.operational.connection));
+    entry["browser"] = JsonValue(sim::to_string(v.operational.browser));
+    entry["age_group"] = JsonValue(to_string(v.behavioral.age));
+    entry["gender"] = JsonValue(to_string(v.behavioral.gender));
+    entry["political"] = JsonValue(to_string(v.behavioral.political));
+    entry["state_of_mind"] = JsonValue(to_string(v.behavioral.mood));
+    index.emplace_back(std::move(entry));
+
+    ++written;
+    WM_LOG(Info) << "dataset: wrote " << stem << " ("
+                 << point.session.capture.packets.size() << " packets)";
+  });
+
+  JsonObject manifest;
+  manifest["name"] = JsonValue("IITM-Bandersnatch (synthetic reproduction)");
+  manifest["film"] = JsonValue(graph.title());
+  manifest["viewer_count"] = JsonValue(static_cast<std::int64_t>(written));
+  manifest["seed"] = JsonValue(static_cast<std::int64_t>(config.seed));
+  manifest["viewers"] = JsonValue(std::move(index));
+  std::ofstream manifest_out(dir / "manifest.json");
+  manifest_out << JsonValue(std::move(manifest)).dump(2) << '\n';
+  return written;
+}
+
+std::vector<DatasetIndexEntry> read_manifest(const fs::path& dir) {
+  std::ifstream in(dir / "manifest.json");
+  if (!in) {
+    throw std::runtime_error("read_manifest: cannot open " +
+                             (dir / "manifest.json").string());
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue root = JsonValue::parse(buffer.str());
+
+  std::vector<DatasetIndexEntry> out;
+  for (const JsonValue& item : root.at("viewers").as_array()) {
+    DatasetIndexEntry entry;
+    entry.viewer.id = static_cast<std::uint32_t>(item.at("viewer_id").as_int());
+    entry.trace_file = dir / item.at("trace").as_string();
+    entry.truth_file = dir / item.at("truth").as_string();
+
+    auto require = [](auto parsed, const char* what) {
+      if (!parsed) {
+        throw std::runtime_error(std::string("read_manifest: bad ") + what);
+      }
+      return *parsed;
+    };
+    entry.viewer.operational.os = require(parse_os(item.at("os").as_string()), "os");
+    entry.viewer.operational.platform =
+        require(parse_platform(item.at("platform").as_string()), "platform");
+    entry.viewer.operational.traffic =
+        require(parse_traffic(item.at("traffic").as_string()), "traffic");
+    entry.viewer.operational.connection =
+        require(parse_connection(item.at("connection").as_string()), "connection");
+    entry.viewer.operational.browser =
+        require(parse_browser(item.at("browser").as_string()), "browser");
+    entry.viewer.behavioral.age =
+        require(parse_age_group(item.at("age_group").as_string()), "age_group");
+    entry.viewer.behavioral.gender =
+        require(parse_gender(item.at("gender").as_string()), "gender");
+    entry.viewer.behavioral.political =
+        require(parse_political(item.at("political").as_string()), "political");
+    entry.viewer.behavioral.mood = require(
+        parse_state_of_mind(item.at("state_of_mind").as_string()), "state_of_mind");
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+sim::SessionGroundTruth read_ground_truth(const fs::path& truth_file) {
+  std::ifstream in(truth_file);
+  if (!in) {
+    throw std::runtime_error("read_ground_truth: cannot open " + truth_file.string());
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ground_truth_from_json(buffer.str());
+}
+
+}  // namespace wm::dataset

@@ -1,0 +1,60 @@
+#include "wm/dataset/choice_policy.hpp"
+
+#include <algorithm>
+
+namespace wm::dataset {
+
+double default_probability(const BehavioralAttributes& behavioral,
+                           std::size_t question_index) {
+  // Base rate: viewers slightly favour the highlighted default.
+  double p = 0.58;
+
+  // Age: older viewers are more default-prone (less exploratory).
+  switch (behavioral.age) {
+    case AgeGroup::kUnder20: p -= 0.10; break;
+    case AgeGroup::k20To25: p -= 0.04; break;
+    case AgeGroup::k25To30: p += 0.03; break;
+    case AgeGroup::kOver30: p += 0.10; break;
+  }
+
+  // Mood: stress and sadness push toward impulsive non-default picks.
+  switch (behavioral.mood) {
+    case StateOfMind::kHappy: p += 0.05; break;
+    case StateOfMind::kStressed: p -= 0.09; break;
+    case StateOfMind::kSad: p -= 0.05; break;
+    case StateOfMind::kUndisclosed: break;
+  }
+
+  // Politics: mild exploratory tilt for non-centrists.
+  switch (behavioral.political) {
+    case PoliticalAlignment::kLiberal: p -= 0.03; break;
+    case PoliticalAlignment::kCentrist: p += 0.05; break;
+    case PoliticalAlignment::kCommunist: p -= 0.04; break;
+    case PoliticalAlignment::kUndisclosed: break;
+  }
+
+  // Gender has no modelled effect (kept explicit for documentation).
+  (void)behavioral.gender;
+
+  // Late questions are the high-stakes ones; everyone becomes a little
+  // more deliberate (less default-prone) as stakes rise.
+  if (question_index >= 9) p -= 0.06;
+
+  return std::clamp(p, 0.05, 0.95);
+}
+
+std::vector<story::Choice> draw_choices(const story::StoryGraph& graph,
+                                        const BehavioralAttributes& behavioral,
+                                        util::Rng& rng) {
+  const std::size_t budget = graph.max_questions() + 4;
+  std::vector<story::Choice> out;
+  out.reserve(budget);
+  for (std::size_t q = 1; q <= budget; ++q) {
+    const double p = default_probability(behavioral, q);
+    out.push_back(rng.bernoulli(p) ? story::Choice::kDefault
+                                   : story::Choice::kNonDefault);
+  }
+  return out;
+}
+
+}  // namespace wm::dataset

@@ -1,0 +1,187 @@
+#include "wm/net/address.hpp"
+
+#include <cstdio>
+#include <vector>
+
+#include "wm/util/strings.hpp"
+
+namespace wm::net {
+
+namespace {
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::optional<MacAddress> MacAddress::parse(std::string_view text) {
+  std::array<std::uint8_t, 6> octets{};
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (pos + 2 > text.size()) return std::nullopt;
+    const int high = hex_nibble(text[pos]);
+    const int low = hex_nibble(text[pos + 1]);
+    if (high < 0 || low < 0) return std::nullopt;
+    octets[i] = static_cast<std::uint8_t>((high << 4) | low);
+    pos += 2;
+    if (i < 5) {
+      if (pos >= text.size() || (text[pos] != ':' && text[pos] != '-')) {
+        return std::nullopt;
+      }
+      ++pos;
+    }
+  }
+  if (pos != text.size()) return std::nullopt;
+  return MacAddress(octets);
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0],
+                octets_[1], octets_[2], octets_[3], octets_[4], octets_[5]);
+  return buf;
+}
+
+bool MacAddress::is_broadcast() const {
+  for (std::uint8_t b : octets_) {
+    if (b != 0xff) return false;
+  }
+  return true;
+}
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  const auto parts = util::split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const auto& part : parts) {
+    if (part.empty() || part.size() > 3) return std::nullopt;
+    unsigned octet = 0;
+    for (char c : part) {
+      if (c < '0' || c > '9') return std::nullopt;
+      octet = octet * 10 + static_cast<unsigned>(c - '0');
+    }
+    if (octet > 255) return std::nullopt;
+    value = (value << 8) | octet;
+  }
+  return Ipv4Address(value);
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+bool Ipv4Address::is_private() const {
+  const std::uint32_t v = value_;
+  if ((v >> 24) == 10) return true;                       // 10.0.0.0/8
+  if ((v >> 20) == (172u << 4 | 1)) return true;          // 172.16.0.0/12
+  if ((v >> 16) == ((192u << 8) | 168)) return true;      // 192.168.0.0/16
+  return false;
+}
+
+bool Ipv4Address::is_loopback() const { return (value_ >> 24) == 127; }
+
+std::optional<Ipv6Address> Ipv6Address::parse(std::string_view text) {
+  // Split on "::" first (at most one allowed).
+  std::vector<std::uint16_t> head;
+  std::vector<std::uint16_t> tail;
+  bool has_gap = false;
+
+  auto parse_groups = [](std::string_view part,
+                         std::vector<std::uint16_t>& out) -> bool {
+    if (part.empty()) return true;
+    for (const auto& group : util::split(part, ':')) {
+      if (group.empty() || group.size() > 4) return false;
+      unsigned value = 0;
+      for (char c : group) {
+        const int nibble = hex_nibble(c);
+        if (nibble < 0) return false;
+        value = (value << 4) | static_cast<unsigned>(nibble);
+      }
+      out.push_back(static_cast<std::uint16_t>(value));
+    }
+    return true;
+  };
+
+  const auto gap = text.find("::");
+  if (gap != std::string_view::npos) {
+    has_gap = true;
+    if (text.find("::", gap + 1) != std::string_view::npos) return std::nullopt;
+    if (!parse_groups(text.substr(0, gap), head)) return std::nullopt;
+    if (!parse_groups(text.substr(gap + 2), tail)) return std::nullopt;
+  } else {
+    if (!parse_groups(text, head)) return std::nullopt;
+  }
+
+  const std::size_t groups = head.size() + tail.size();
+  if (has_gap ? groups >= 8 : groups != 8) return std::nullopt;
+
+  std::array<std::uint8_t, 16> octets{};
+  std::size_t idx = 0;
+  for (std::uint16_t g : head) {
+    octets[idx++] = static_cast<std::uint8_t>(g >> 8);
+    octets[idx++] = static_cast<std::uint8_t>(g & 0xff);
+  }
+  idx = 16 - tail.size() * 2;
+  for (std::uint16_t g : tail) {
+    octets[idx++] = static_cast<std::uint8_t>(g >> 8);
+    octets[idx++] = static_cast<std::uint8_t>(g & 0xff);
+  }
+  return Ipv6Address(octets);
+}
+
+std::string Ipv6Address::to_string() const {
+  std::array<std::uint16_t, 8> groups{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    groups[i] = static_cast<std::uint16_t>((octets_[2 * i] << 8) | octets_[2 * i + 1]);
+  }
+
+  // Find the longest run of zero groups (length >= 2) for compression.
+  int best_start = -1;
+  int best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[static_cast<std::size_t>(i)] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[static_cast<std::size_t>(j)] == 0) ++j;
+    if (j - i > best_len) {
+      best_len = j - i;
+      best_start = i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    char buf[8];
+    std::snprintf(buf, sizeof buf, "%x", groups[static_cast<std::size_t>(i)]);
+    out += buf;
+    ++i;
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+bool Ipv6Address::is_loopback() const {
+  for (std::size_t i = 0; i < 15; ++i) {
+    if (octets_[i] != 0) return false;
+  }
+  return octets_[15] == 1;
+}
+
+}  // namespace wm::net

@@ -1,0 +1,73 @@
+#include "wm/net/checksum.hpp"
+
+namespace wm::net {
+
+void ChecksumAccumulator::add(util::BytesView data) {
+  std::size_t i = 0;
+  if (odd_ && !data.empty()) {
+    // Pair the dangling high byte from the previous chunk with this
+    // chunk's first byte.
+    sum_ += data[0];
+    odd_ = false;
+    i = 1;
+  }
+  for (; i + 1 < data.size(); i += 2) {
+    sum_ += static_cast<std::uint64_t>(data[i]) << 8 | data[i + 1];
+  }
+  if (i < data.size()) {
+    sum_ += static_cast<std::uint64_t>(data[i]) << 8;
+    odd_ = true;
+  }
+}
+
+void ChecksumAccumulator::add_u16(std::uint16_t value) {
+  const std::uint8_t bytes[2] = {static_cast<std::uint8_t>(value >> 8),
+                                 static_cast<std::uint8_t>(value & 0xff)};
+  add(util::BytesView(bytes, 2));
+}
+
+void ChecksumAccumulator::add_u32(std::uint32_t value) {
+  add_u16(static_cast<std::uint16_t>(value >> 16));
+  add_u16(static_cast<std::uint16_t>(value & 0xffff));
+}
+
+std::uint16_t ChecksumAccumulator::finish() const {
+  std::uint64_t sum = sum_;
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+std::uint16_t internet_checksum(util::BytesView data) {
+  ChecksumAccumulator acc;
+  acc.add(data);
+  return acc.finish();
+}
+
+std::uint16_t transport_checksum_v4(Ipv4Address source, Ipv4Address destination,
+                                    IpProtocolValue protocol,
+                                    util::BytesView transport_bytes) {
+  ChecksumAccumulator acc;
+  acc.add_u32(source.value());
+  acc.add_u32(destination.value());
+  acc.add_u16(protocol.value);  // zero byte + protocol
+  acc.add_u16(static_cast<std::uint16_t>(transport_bytes.size()));
+  acc.add(transport_bytes);
+  return acc.finish();
+}
+
+std::uint16_t transport_checksum_v6(const Ipv6Address& source,
+                                    const Ipv6Address& destination,
+                                    IpProtocolValue protocol,
+                                    util::BytesView transport_bytes) {
+  ChecksumAccumulator acc;
+  acc.add(source.octets());
+  acc.add(destination.octets());
+  acc.add_u32(static_cast<std::uint32_t>(transport_bytes.size()));
+  acc.add_u32(protocol.value);  // 3 zero bytes + next header
+  acc.add(transport_bytes);
+  return acc.finish();
+}
+
+}  // namespace wm::net

@@ -1,0 +1,141 @@
+#include "wm/net/flow.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace wm::net {
+
+std::string to_string(FlowDirection direction) {
+  return direction == FlowDirection::kClientToServer ? "client->server"
+                                                     : "server->client";
+}
+
+std::string Endpoint::to_string() const {
+  std::ostringstream out;
+  if (is_v6) {
+    out << '[' << v6.to_string() << "]:" << port;
+  } else {
+    out << v4.to_string() << ':' << port;
+  }
+  return out.str();
+}
+
+std::string FlowKey::to_string() const {
+  std::ostringstream out;
+  out << wm::net::to_string(protocol) << ' ' << client.to_string() << " <-> "
+      << server.to_string();
+  return out.str();
+}
+
+std::optional<PacketEndpoints> packet_endpoints(const DecodedPacket& packet) {
+  PacketEndpoints out;
+  if (packet.has_ipv4()) {
+    out.source.v4 = packet.ipv4().source;
+    out.destination.v4 = packet.ipv4().destination;
+  } else if (packet.has_ipv6()) {
+    out.source.is_v6 = true;
+    out.destination.is_v6 = true;
+    out.source.v6 = packet.ipv6().source;
+    out.destination.v6 = packet.ipv6().destination;
+  } else {
+    return std::nullopt;
+  }
+
+  if (packet.has_tcp()) {
+    out.protocol = IpProtocol::kTcp;
+    out.source.port = packet.tcp().source_port;
+    out.destination.port = packet.tcp().destination_port;
+  } else if (packet.has_udp()) {
+    out.protocol = IpProtocol::kUdp;
+    out.source.port = packet.udp().source_port;
+    out.destination.port = packet.udp().destination_port;
+  } else {
+    return std::nullopt;
+  }
+  return out;
+}
+
+std::optional<FlowTable::Assignment> FlowTable::add(const DecodedPacket& packet,
+                                                    std::size_t packet_index) {
+  const auto endpoints = packet_endpoints(packet);
+  if (!endpoints) return std::nullopt;
+
+  const bool is_tcp = endpoints->protocol == IpProtocol::kTcp;
+  const bool is_syn_only = is_tcp && packet.tcp().syn && !packet.tcp().ack;
+
+  // Try both orientations to find an existing flow.
+  FlowKey forward{endpoints->source, endpoints->destination, endpoints->protocol};
+  FlowKey reverse{endpoints->destination, endpoints->source, endpoints->protocol};
+
+  auto it = flows_.find(forward);
+  FlowDirection direction = FlowDirection::kClientToServer;
+  if (it == flows_.end()) {
+    const auto rev_it = flows_.find(reverse);
+    if (rev_it != flows_.end()) {
+      it = rev_it;
+      direction = FlowDirection::kServerToClient;
+    }
+  }
+
+  if (it == flows_.end()) {
+    // New flow: decide orientation.
+    FlowKey key = forward;
+    direction = FlowDirection::kClientToServer;
+    if (!is_syn_only) {
+      // Mid-stream heuristic: a well-known source port suggests the
+      // packet came *from* the server.
+      const bool src_service = endpoints->source.port < 1024;
+      const bool dst_service = endpoints->destination.port < 1024;
+      if (src_service && !dst_service) {
+        key = reverse;
+        direction = FlowDirection::kServerToClient;
+      }
+    }
+    FlowRecord record;
+    record.key = key;
+    record.first_seen = packet.timestamp;
+    record.last_seen = packet.timestamp;
+    it = flows_.emplace(key, std::move(record)).first;
+  }
+
+  FlowRecord& flow = it->second;
+  flow.last_seen = packet.timestamp;
+
+  FlowPacket member;
+  member.packet_index = packet_index;
+  member.timestamp = packet.timestamp;
+  member.direction = direction;
+  member.transport_payload_size = packet.transport_payload.size();
+  if (is_tcp) {
+    const TcpHeader& tcp = packet.tcp();
+    member.sequence = tcp.sequence;
+    member.syn = tcp.syn;
+    member.fin = tcp.fin;
+    member.rst = tcp.rst;
+    if (tcp.syn) flow.saw_syn = true;
+  }
+  if (direction == FlowDirection::kClientToServer) {
+    flow.client_bytes += member.transport_payload_size;
+  } else {
+    flow.server_bytes += member.transport_payload_size;
+  }
+  flow.packets.push_back(member);
+  return Assignment{it->first, direction};
+}
+
+const FlowRecord* FlowTable::find(const FlowKey& key) const {
+  const auto it = flows_.find(key);
+  return it == flows_.end() ? nullptr : &it->second;
+}
+
+std::vector<const FlowRecord*> FlowTable::by_volume() const {
+  std::vector<const FlowRecord*> out;
+  out.reserve(flows_.size());
+  for (const auto& [key, record] : flows_) out.push_back(&record);
+  std::sort(out.begin(), out.end(), [](const FlowRecord* a, const FlowRecord* b) {
+    return a->total_bytes() > b->total_bytes();
+  });
+  return out;
+}
+
+}  // namespace wm::net

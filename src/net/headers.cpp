@@ -1,0 +1,237 @@
+#include "wm/net/headers.hpp"
+
+#include "wm/net/checksum.hpp"
+#include "wm/util/bytes.hpp"
+
+namespace wm::net {
+
+using util::ByteReader;
+using util::ByteWriter;
+using util::BytesView;
+
+std::string to_string(EtherType type) {
+  switch (type) {
+    case EtherType::kIpv4: return "IPv4";
+    case EtherType::kArp: return "ARP";
+    case EtherType::kIpv6: return "IPv6";
+    case EtherType::kVlan: return "VLAN";
+  }
+  return "EtherType(0x" + util::to_hex({}) + ")";
+}
+
+std::string to_string(IpProtocol protocol) {
+  switch (protocol) {
+    case IpProtocol::kIcmp: return "ICMP";
+    case IpProtocol::kTcp: return "TCP";
+    case IpProtocol::kUdp: return "UDP";
+  }
+  return "proto(" + std::to_string(static_cast<int>(protocol)) + ")";
+}
+
+std::optional<ParsedEthernet> parse_ethernet(BytesView frame) {
+  if (frame.size() < EthernetHeader::kSize) return std::nullopt;
+  ByteReader reader(frame);
+  ParsedEthernet out;
+  std::array<std::uint8_t, 6> mac{};
+  auto read_mac = [&reader, &mac] {
+    const BytesView view = reader.read_view(6);
+    std::copy(view.begin(), view.end(), mac.begin());
+    return MacAddress(mac);
+  };
+  out.header.destination = read_mac();
+  out.header.source = read_mac();
+  out.header.ether_type = reader.read_u16_be();
+  out.payload = frame.subspan(EthernetHeader::kSize);
+  return out;
+}
+
+void EthernetHeader::serialize(ByteWriter& out) const {
+  out.write_bytes(destination.octets());
+  out.write_bytes(source.octets());
+  out.write_u16_be(ether_type);
+}
+
+std::optional<ParsedIpv4> parse_ipv4(BytesView packet) {
+  if (packet.size() < Ipv4Header::kMinSize) return std::nullopt;
+  ByteReader reader(packet);
+  const std::uint8_t version_ihl = reader.read_u8();
+  if ((version_ihl >> 4) != 4) return std::nullopt;
+  const std::size_t header_len = static_cast<std::size_t>(version_ihl & 0x0f) * 4;
+  if (header_len < Ipv4Header::kMinSize || header_len > packet.size()) return std::nullopt;
+
+  ParsedIpv4 out;
+  Ipv4Header& h = out.header;
+  h.dscp_ecn = reader.read_u8();
+  h.total_length = reader.read_u16_be();
+  if (h.total_length < header_len || h.total_length > packet.size()) {
+    return std::nullopt;
+  }
+  h.identification = reader.read_u16_be();
+  const std::uint16_t flags_frag = reader.read_u16_be();
+  h.dont_fragment = (flags_frag & 0x4000) != 0;
+  h.more_fragments = (flags_frag & 0x2000) != 0;
+  h.fragment_offset = flags_frag & 0x1fff;
+  h.ttl = reader.read_u8();
+  h.protocol = reader.read_u8();
+  h.header_checksum = reader.read_u16_be();
+  h.source = Ipv4Address(reader.read_u32_be());
+  h.destination = Ipv4Address(reader.read_u32_be());
+  if (header_len > Ipv4Header::kMinSize) {
+    h.options = reader.read_bytes(header_len - Ipv4Header::kMinSize);
+  }
+  out.checksum_valid = internet_checksum(packet.subspan(0, header_len)) == 0;
+  out.payload = packet.subspan(header_len, h.total_length - header_len);
+  return out;
+}
+
+void Ipv4Header::serialize(ByteWriter& out, std::size_t payload_length) const {
+  const std::size_t header_len = header_length();
+  const std::size_t start = out.size();
+  out.write_u8(static_cast<std::uint8_t>(0x40 | (header_len / 4)));
+  out.write_u8(dscp_ecn);
+  out.write_u16_be(static_cast<std::uint16_t>(header_len + payload_length));
+  out.write_u16_be(identification);
+  std::uint16_t flags_frag = fragment_offset & 0x1fff;
+  if (dont_fragment) flags_frag |= 0x4000;
+  if (more_fragments) flags_frag |= 0x2000;
+  out.write_u16_be(flags_frag);
+  out.write_u8(ttl);
+  out.write_u8(protocol);
+  out.write_u16_be(0);  // checksum placeholder
+  out.write_u32_be(source.value());
+  out.write_u32_be(destination.value());
+  out.write_bytes(options);
+  const std::uint16_t checksum =
+      internet_checksum(out.view().subspan(start, header_len));
+  out.patch_u16_be(start + 10, checksum);
+}
+
+std::optional<ParsedIpv6> parse_ipv6(BytesView packet) {
+  if (packet.size() < Ipv6Header::kSize) return std::nullopt;
+  ByteReader reader(packet);
+  const std::uint32_t first = reader.read_u32_be();
+  if ((first >> 28) != 6) return std::nullopt;
+
+  ParsedIpv6 out;
+  Ipv6Header& h = out.header;
+  h.traffic_class = static_cast<std::uint8_t>((first >> 20) & 0xff);
+  h.flow_label = first & 0xfffff;
+  h.payload_length = reader.read_u16_be();
+  h.next_header = reader.read_u8();
+  h.hop_limit = reader.read_u8();
+  std::array<std::uint8_t, 16> addr{};
+  auto read_addr = [&reader, &addr] {
+    const BytesView view = reader.read_view(16);
+    std::copy(view.begin(), view.end(), addr.begin());
+    return Ipv6Address(addr);
+  };
+  h.source = read_addr();
+  h.destination = read_addr();
+  if (Ipv6Header::kSize + h.payload_length > packet.size()) return std::nullopt;
+  out.payload = packet.subspan(Ipv6Header::kSize, h.payload_length);
+  return out;
+}
+
+void Ipv6Header::serialize(ByteWriter& out, std::size_t body_length) const {
+  const std::uint32_t first = (6u << 28) |
+                              (static_cast<std::uint32_t>(traffic_class) << 20) |
+                              (flow_label & 0xfffff);
+  out.write_u32_be(first);
+  out.write_u16_be(static_cast<std::uint16_t>(body_length));
+  out.write_u8(next_header);
+  out.write_u8(hop_limit);
+  out.write_bytes(source.octets());
+  out.write_bytes(destination.octets());
+}
+
+std::string TcpHeader::flags_string() const {
+  std::string out;
+  auto append = [&out](bool set, const char* name) {
+    if (!set) return;
+    if (!out.empty()) out += '|';
+    out += name;
+  };
+  append(syn, "SYN");
+  append(fin, "FIN");
+  append(rst, "RST");
+  append(psh, "PSH");
+  append(ack, "ACK");
+  append(urg, "URG");
+  return out.empty() ? "-" : out;
+}
+
+std::optional<ParsedTcp> parse_tcp(BytesView segment) {
+  if (segment.size() < TcpHeader::kMinSize) return std::nullopt;
+  ByteReader reader(segment);
+  ParsedTcp out;
+  TcpHeader& h = out.header;
+  h.source_port = reader.read_u16_be();
+  h.destination_port = reader.read_u16_be();
+  h.sequence = reader.read_u32_be();
+  h.ack_number = reader.read_u32_be();
+  const std::uint16_t offset_flags = reader.read_u16_be();
+  const std::size_t header_len = static_cast<std::size_t>(offset_flags >> 12) * 4;
+  if (header_len < TcpHeader::kMinSize || header_len > segment.size()) return std::nullopt;
+  h.urg = (offset_flags & 0x020) != 0;
+  h.ack = (offset_flags & 0x010) != 0;
+  h.psh = (offset_flags & 0x008) != 0;
+  h.rst = (offset_flags & 0x004) != 0;
+  h.syn = (offset_flags & 0x002) != 0;
+  h.fin = (offset_flags & 0x001) != 0;
+  h.window = reader.read_u16_be();
+  h.checksum = reader.read_u16_be();
+  h.urgent_pointer = reader.read_u16_be();
+  if (header_len > TcpHeader::kMinSize) {
+    h.options = reader.read_bytes(header_len - TcpHeader::kMinSize);
+  }
+  out.payload = segment.subspan(header_len);
+  return out;
+}
+
+void TcpHeader::serialize(ByteWriter& out) const {
+  // Options must keep the header a multiple of 4 bytes.
+  const std::size_t option_len = options.size();
+  const std::size_t padded_options = (option_len + 3) / 4 * 4;
+  const std::size_t header_len = kMinSize + padded_options;
+
+  out.write_u16_be(source_port);
+  out.write_u16_be(destination_port);
+  out.write_u32_be(sequence);
+  out.write_u32_be(ack_number);
+  std::uint16_t offset_flags = static_cast<std::uint16_t>((header_len / 4) << 12);
+  if (urg) offset_flags |= 0x020;
+  if (ack) offset_flags |= 0x010;
+  if (psh) offset_flags |= 0x008;
+  if (rst) offset_flags |= 0x004;
+  if (syn) offset_flags |= 0x002;
+  if (fin) offset_flags |= 0x001;
+  out.write_u16_be(offset_flags);
+  out.write_u16_be(window);
+  out.write_u16_be(checksum);
+  out.write_u16_be(urgent_pointer);
+  out.write_bytes(options);
+  out.write_repeated(0, padded_options - option_len);
+}
+
+std::optional<ParsedUdp> parse_udp(BytesView datagram) {
+  if (datagram.size() < UdpHeader::kSize) return std::nullopt;
+  ByteReader reader(datagram);
+  ParsedUdp out;
+  UdpHeader& h = out.header;
+  h.source_port = reader.read_u16_be();
+  h.destination_port = reader.read_u16_be();
+  h.length = reader.read_u16_be();
+  h.checksum = reader.read_u16_be();
+  if (h.length < UdpHeader::kSize || h.length > datagram.size()) return std::nullopt;
+  out.payload = datagram.subspan(UdpHeader::kSize, h.length - UdpHeader::kSize);
+  return out;
+}
+
+void UdpHeader::serialize(ByteWriter& out, std::size_t payload_length) const {
+  out.write_u16_be(source_port);
+  out.write_u16_be(destination_port);
+  out.write_u16_be(static_cast<std::uint16_t>(kSize + payload_length));
+  out.write_u16_be(checksum);
+}
+
+}  // namespace wm::net

@@ -1,0 +1,103 @@
+#include "wm/net/packet.hpp"
+
+#include <sstream>
+
+#include "wm/util/strings.hpp"
+
+namespace wm::net {
+
+std::optional<DecodedPacket> decode_packet(const Packet& packet) {
+  const auto eth = parse_ethernet(packet.data);
+  if (!eth) return std::nullopt;
+
+  DecodedPacket out;
+  out.timestamp = packet.timestamp;
+  out.ethernet = eth->header;
+
+  // Unwrap an optional 802.1Q VLAN tag: TCI (2 bytes) + inner type.
+  util::BytesView l3 = eth->payload;
+  std::uint16_t ether_type = eth->header.ether_type;
+  if (static_cast<EtherType>(ether_type) == EtherType::kVlan) {
+    if (l3.size() < 4) return std::nullopt;
+    out.vlan_id = static_cast<std::uint16_t>(((l3[0] << 8) | l3[1]) & 0x0fff);
+    ether_type = static_cast<std::uint16_t>((l3[2] << 8) | l3[3]);
+    l3 = l3.subspan(4);
+  }
+
+  util::BytesView ip_payload;
+  std::uint8_t protocol = 0;
+  switch (static_cast<EtherType>(ether_type)) {
+    case EtherType::kIpv4: {
+      const auto ip = parse_ipv4(l3);
+      if (!ip) return std::nullopt;
+      out.ip = ip->header;
+      ip_payload = ip->payload;
+      protocol = ip->header.protocol;
+      break;
+    }
+    case EtherType::kIpv6: {
+      const auto ip = parse_ipv6(l3);
+      if (!ip) return std::nullopt;
+      out.ip = ip->header;
+      ip_payload = ip->payload;
+      protocol = ip->header.next_header;
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+
+  switch (static_cast<IpProtocol>(protocol)) {
+    case IpProtocol::kTcp: {
+      const auto tcp = parse_tcp(ip_payload);
+      if (!tcp) return std::nullopt;
+      out.transport = tcp->header;
+      out.transport_payload = tcp->payload;
+      break;
+    }
+    case IpProtocol::kUdp: {
+      const auto udp = parse_udp(ip_payload);
+      if (!udp) return std::nullopt;
+      out.transport = udp->header;
+      out.transport_payload = udp->payload;
+      break;
+    }
+    default:
+      // IP packet with a transport we don't parse; still useful for
+      // volume statistics.
+      out.transport_payload = ip_payload;
+      break;
+  }
+  return out;
+}
+
+std::string DecodedPacket::summary() const {
+  std::ostringstream out;
+  out << timestamp.to_string() << ' ';
+
+  std::string src_ip = "?";
+  std::string dst_ip = "?";
+  if (has_ipv4()) {
+    src_ip = ipv4().source.to_string();
+    dst_ip = ipv4().destination.to_string();
+  } else if (has_ipv6()) {
+    src_ip = ipv6().source.to_string();
+    dst_ip = ipv6().destination.to_string();
+  }
+
+  if (has_tcp()) {
+    const TcpHeader& h = tcp();
+    out << src_ip << ':' << h.source_port << " -> " << dst_ip << ':'
+        << h.destination_port << " TCP " << h.flags_string() << " len="
+        << transport_payload.size();
+  } else if (has_udp()) {
+    const UdpHeader& h = udp();
+    out << src_ip << ':' << h.source_port << " -> " << dst_ip << ':'
+        << h.destination_port << " UDP len=" << transport_payload.size();
+  } else {
+    out << src_ip << " -> " << dst_ip << " len=" << transport_payload.size();
+  }
+  return out.str();
+}
+
+}  // namespace wm::net

@@ -1,0 +1,255 @@
+#include "wm/net/packet_builder.hpp"
+
+#include <stdexcept>
+
+#include "wm/net/checksum.hpp"
+
+namespace wm::net {
+
+using util::ByteWriter;
+using util::BytesView;
+
+Packet build_tcp_packet(util::SimTime timestamp, MacAddress src_mac,
+                        MacAddress dst_mac, Ipv4Address src_ip, Ipv4Address dst_ip,
+                        const TcpHeader& tcp, BytesView payload, std::uint16_t ip_id) {
+  // Serialize TCP header + payload first so the pseudo-header checksum
+  // can be computed, then patch it in.
+  ByteWriter transport;
+  tcp.serialize(transport);
+  const std::size_t header_len = transport.size();
+  transport.write_bytes(payload);
+  const std::uint16_t checksum = transport_checksum_v4(
+      src_ip, dst_ip, IpProtocolValue{static_cast<std::uint8_t>(IpProtocol::kTcp)},
+      transport.view());
+  transport.patch_u16_be(16, checksum);  // checksum at offset 16 of TCP header
+  (void)header_len;
+
+  EthernetHeader eth;
+  eth.destination = dst_mac;
+  eth.source = src_mac;
+  eth.ether_type = static_cast<std::uint16_t>(EtherType::kIpv4);
+
+  Ipv4Header ip;
+  ip.identification = ip_id;
+  ip.protocol = static_cast<std::uint8_t>(IpProtocol::kTcp);
+  ip.source = src_ip;
+  ip.destination = dst_ip;
+
+  ByteWriter frame(EthernetHeader::kSize + Ipv4Header::kMinSize + transport.size());
+  eth.serialize(frame);
+  ip.serialize(frame, transport.size());
+  frame.write_bytes(transport.view());
+  return Packet(timestamp, frame.take());
+}
+
+Packet build_tcp_packet_v6(util::SimTime timestamp, MacAddress src_mac,
+                           MacAddress dst_mac, const Ipv6Address& src_ip,
+                           const Ipv6Address& dst_ip, const TcpHeader& tcp,
+                           BytesView payload) {
+  ByteWriter transport;
+  tcp.serialize(transport);
+  transport.write_bytes(payload);
+  const std::uint16_t checksum = transport_checksum_v6(
+      src_ip, dst_ip, IpProtocolValue{static_cast<std::uint8_t>(IpProtocol::kTcp)},
+      transport.view());
+  transport.patch_u16_be(16, checksum);
+
+  EthernetHeader eth;
+  eth.destination = dst_mac;
+  eth.source = src_mac;
+  eth.ether_type = static_cast<std::uint16_t>(EtherType::kIpv6);
+
+  Ipv6Header ip;
+  ip.next_header = static_cast<std::uint8_t>(IpProtocol::kTcp);
+  ip.source = src_ip;
+  ip.destination = dst_ip;
+
+  ByteWriter frame(EthernetHeader::kSize + Ipv6Header::kSize + transport.size());
+  eth.serialize(frame);
+  ip.serialize(frame, transport.size());
+  frame.write_bytes(transport.view());
+  return Packet(timestamp, frame.take());
+}
+
+Packet build_udp_packet(util::SimTime timestamp, MacAddress src_mac,
+                        MacAddress dst_mac, Ipv4Address src_ip, Ipv4Address dst_ip,
+                        std::uint16_t src_port, std::uint16_t dst_port,
+                        BytesView payload, std::uint16_t ip_id) {
+  UdpHeader udp;
+  udp.source_port = src_port;
+  udp.destination_port = dst_port;
+
+  ByteWriter transport;
+  udp.serialize(transport, payload.size());
+  transport.write_bytes(payload);
+  const std::uint16_t checksum = transport_checksum_v4(
+      src_ip, dst_ip, IpProtocolValue{static_cast<std::uint8_t>(IpProtocol::kUdp)},
+      transport.view());
+  transport.patch_u16_be(6, checksum == 0 ? 0xffff : checksum);
+
+  EthernetHeader eth;
+  eth.destination = dst_mac;
+  eth.source = src_mac;
+  eth.ether_type = static_cast<std::uint16_t>(EtherType::kIpv4);
+
+  Ipv4Header ip;
+  ip.identification = ip_id;
+  ip.protocol = static_cast<std::uint8_t>(IpProtocol::kUdp);
+  ip.source = src_ip;
+  ip.destination = dst_ip;
+
+  ByteWriter frame(EthernetHeader::kSize + Ipv4Header::kMinSize + transport.size());
+  eth.serialize(frame);
+  ip.serialize(frame, transport.size());
+  frame.write_bytes(transport.view());
+  return Packet(timestamp, frame.take());
+}
+
+TcpConnectionBuilder::TcpConnectionBuilder(TcpEndpointConfig client,
+                                           TcpEndpointConfig server) {
+  client_.config = client;
+  client_.next_seq = client.initial_sequence;
+  server_.config = server;
+  server_.next_seq = server.initial_sequence;
+}
+
+TcpConnectionBuilder::Side& TcpConnectionBuilder::side(FlowDirection direction) {
+  return direction == FlowDirection::kClientToServer ? client_ : server_;
+}
+
+TcpConnectionBuilder::Side& TcpConnectionBuilder::peer(FlowDirection direction) {
+  return direction == FlowDirection::kClientToServer ? server_ : client_;
+}
+
+void TcpConnectionBuilder::emit_segment(FlowDirection direction,
+                                        util::SimTime timestamp,
+                                        const TcpHeader& header, BytesView payload) {
+  const Side& from = side(direction);
+  const Side& to = peer(direction);
+  packets_.push_back(build_tcp_packet(timestamp, from.config.mac, to.config.mac,
+                                      from.config.ip, to.config.ip, header, payload,
+                                      next_ip_id_++));
+}
+
+void TcpConnectionBuilder::handshake(util::SimTime syn_time, util::Duration rtt) {
+  const util::Duration half_rtt = rtt * 0.5;
+
+  TcpHeader syn;
+  syn.source_port = client_.config.port;
+  syn.destination_port = server_.config.port;
+  syn.sequence = client_.next_seq;
+  syn.syn = true;
+  syn.window = client_.config.window;
+  emit_segment(FlowDirection::kClientToServer, syn_time, syn, {});
+  client_.next_seq += 1;
+
+  TcpHeader syn_ack;
+  syn_ack.source_port = server_.config.port;
+  syn_ack.destination_port = client_.config.port;
+  syn_ack.sequence = server_.next_seq;
+  syn_ack.ack_number = client_.next_seq;
+  syn_ack.syn = true;
+  syn_ack.ack = true;
+  syn_ack.window = server_.config.window;
+  emit_segment(FlowDirection::kServerToClient, syn_time + half_rtt, syn_ack, {});
+  server_.next_seq += 1;
+
+  TcpHeader final_ack;
+  final_ack.source_port = client_.config.port;
+  final_ack.destination_port = server_.config.port;
+  final_ack.sequence = client_.next_seq;
+  final_ack.ack_number = server_.next_seq;
+  final_ack.ack = true;
+  final_ack.window = client_.config.window;
+  emit_segment(FlowDirection::kClientToServer, syn_time + rtt, final_ack, {});
+}
+
+void TcpConnectionBuilder::send(FlowDirection direction, util::SimTime timestamp,
+                                BytesView data, util::Duration inter_packet_gap) {
+  Side& from = side(direction);
+  const Side& to = peer(direction);
+  util::SimTime when = timestamp;
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const std::size_t take =
+        std::min<std::size_t>(from.config.mss, data.size() - offset);
+    TcpHeader header;
+    header.source_port = from.config.port;
+    header.destination_port = to.config.port;
+    header.sequence = from.next_seq;
+    header.ack_number = to.next_seq;
+    header.ack = true;
+    header.psh = offset + take == data.size();
+    header.window = from.config.window;
+    emit_segment(direction, when, header, data.subspan(offset, take));
+    from.next_seq += static_cast<std::uint32_t>(take);
+    offset += take;
+    when += inter_packet_gap;
+  }
+}
+
+void TcpConnectionBuilder::ack(FlowDirection direction, util::SimTime timestamp) {
+  Side& from = side(direction);
+  const Side& to = peer(direction);
+  TcpHeader header;
+  header.source_port = from.config.port;
+  header.destination_port = to.config.port;
+  header.sequence = from.next_seq;
+  header.ack_number = to.next_seq;
+  header.ack = true;
+  header.window = from.config.window;
+  emit_segment(direction, timestamp, header, {});
+}
+
+void TcpConnectionBuilder::close(util::SimTime fin_time, util::Duration rtt) {
+  const util::Duration half_rtt = rtt * 0.5;
+
+  TcpHeader fin;
+  fin.source_port = client_.config.port;
+  fin.destination_port = server_.config.port;
+  fin.sequence = client_.next_seq;
+  fin.ack_number = server_.next_seq;
+  fin.fin = true;
+  fin.ack = true;
+  fin.window = client_.config.window;
+  emit_segment(FlowDirection::kClientToServer, fin_time, fin, {});
+  client_.next_seq += 1;
+
+  TcpHeader fin_ack;
+  fin_ack.source_port = server_.config.port;
+  fin_ack.destination_port = client_.config.port;
+  fin_ack.sequence = server_.next_seq;
+  fin_ack.ack_number = client_.next_seq;
+  fin_ack.fin = true;
+  fin_ack.ack = true;
+  fin_ack.window = server_.config.window;
+  emit_segment(FlowDirection::kServerToClient, fin_time + half_rtt, fin_ack, {});
+  server_.next_seq += 1;
+
+  TcpHeader final_ack;
+  final_ack.source_port = client_.config.port;
+  final_ack.destination_port = server_.config.port;
+  final_ack.sequence = client_.next_seq;
+  final_ack.ack_number = server_.next_seq;
+  final_ack.ack = true;
+  final_ack.window = client_.config.window;
+  emit_segment(FlowDirection::kClientToServer, fin_time + rtt, final_ack, {});
+}
+
+void TcpConnectionBuilder::retransmit(std::size_t packet_index,
+                                      util::SimTime timestamp) {
+  if (packet_index >= packets_.size()) {
+    throw std::out_of_range("TcpConnectionBuilder::retransmit: bad index");
+  }
+  Packet copy = packets_[packet_index];
+  copy.timestamp = timestamp;
+  packets_.push_back(std::move(copy));
+}
+
+std::vector<Packet> TcpConnectionBuilder::take_packets() {
+  std::vector<Packet> out = std::move(packets_);
+  packets_.clear();
+  return out;
+}
+
+}  // namespace wm::net

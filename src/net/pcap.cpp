@@ -1,0 +1,196 @@
+#include "wm/net/pcap.hpp"
+
+#include <bit>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "wm/util/bytes.hpp"
+
+namespace wm::net {
+
+namespace {
+
+void write_u16(std::ostream& out, std::uint16_t v) {
+  const char bytes[2] = {static_cast<char>(v & 0xff), static_cast<char>(v >> 8)};
+  out.write(bytes, 2);
+}
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  const char bytes[4] = {
+      static_cast<char>(v & 0xff), static_cast<char>((v >> 8) & 0xff),
+      static_cast<char>((v >> 16) & 0xff), static_cast<char>((v >> 24) & 0xff)};
+  out.write(bytes, 4);
+}
+
+std::uint32_t read_u32_le(std::istream& in) {
+  unsigned char bytes[4];
+  in.read(reinterpret_cast<char*>(bytes), 4);
+  if (!in) throw std::runtime_error("pcap: unexpected end of file");
+  return static_cast<std::uint32_t>(bytes[0]) |
+         (static_cast<std::uint32_t>(bytes[1]) << 8) |
+         (static_cast<std::uint32_t>(bytes[2]) << 16) |
+         (static_cast<std::uint32_t>(bytes[3]) << 24);
+}
+
+std::uint32_t byteswap32(std::uint32_t v) {
+  return ((v & 0x000000ffu) << 24) | ((v & 0x0000ff00u) << 8) |
+         ((v & 0x00ff0000u) >> 8) | ((v & 0xff000000u) >> 24);
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(const std::filesystem::path& path, bool nanosecond_resolution,
+                       std::uint32_t snaplen)
+    : owned_(std::make_unique<std::ofstream>(path, std::ios::binary)),
+      out_(owned_.get()),
+      nanos_(nanosecond_resolution),
+      snaplen_(snaplen) {
+  if (!*out_) {
+    throw std::runtime_error("PcapWriter: cannot open " + path.string());
+  }
+  write_file_header(snaplen);
+}
+
+PcapWriter::PcapWriter(std::ostream& out, bool nanosecond_resolution,
+                       std::uint32_t snaplen)
+    : out_(&out), nanos_(nanosecond_resolution), snaplen_(snaplen) {
+  write_file_header(snaplen);
+}
+
+PcapWriter::~PcapWriter() {
+  if (out_) out_->flush();
+}
+
+void PcapWriter::write_file_header(std::uint32_t snaplen) {
+  write_u32(*out_, nanos_ ? PcapFileHeader::kMagicNanos : PcapFileHeader::kMagicMicros);
+  write_u16(*out_, 2);  // version major
+  write_u16(*out_, 4);  // version minor
+  write_u32(*out_, 0);  // thiszone
+  write_u32(*out_, 0);  // sigfigs
+  write_u32(*out_, snaplen);
+  write_u32(*out_, static_cast<std::uint32_t>(LinkType::kEthernet));
+}
+
+void PcapWriter::write(const Packet& packet) {
+  const std::int64_t total_ns = packet.timestamp.nanos();
+  if (total_ns < 0) {
+    throw std::invalid_argument("PcapWriter: negative timestamp");
+  }
+  const auto seconds = static_cast<std::uint32_t>(total_ns / 1'000'000'000);
+  const auto subsec = static_cast<std::uint32_t>(total_ns % 1'000'000'000);
+  const std::uint32_t fraction = nanos_ ? subsec : subsec / 1'000;
+
+  const std::size_t captured = std::min<std::size_t>(packet.data.size(), snaplen_);
+  const std::size_t original = std::max(packet.original_length, packet.data.size());
+
+  write_u32(*out_, seconds);
+  write_u32(*out_, fraction);
+  write_u32(*out_, static_cast<std::uint32_t>(captured));
+  write_u32(*out_, static_cast<std::uint32_t>(original));
+  out_->write(reinterpret_cast<const char*>(packet.data.data()),
+              static_cast<std::streamsize>(captured));
+  if (!*out_) throw std::runtime_error("PcapWriter: write failed");
+  ++packets_written_;
+}
+
+void PcapWriter::flush() { out_->flush(); }
+
+PcapReader::PcapReader(const std::filesystem::path& path)
+    : owned_(std::make_unique<std::ifstream>(path, std::ios::binary)),
+      in_(owned_.get()) {
+  if (!*in_) {
+    throw std::runtime_error("PcapReader: cannot open " + path.string());
+  }
+  read_file_header();
+}
+
+PcapReader::PcapReader(std::istream& in) : in_(&in) { read_file_header(); }
+
+PcapReader::~PcapReader() = default;
+
+std::uint32_t PcapReader::convert(std::uint32_t value) const {
+  return header_.byte_swapped ? byteswap32(value) : value;
+}
+
+void PcapReader::read_file_header() {
+  const std::uint32_t raw_magic = read_u32_le(*in_);
+  std::uint32_t magic = raw_magic;
+  if (magic == byteswap32(PcapFileHeader::kMagicMicros) ||
+      magic == byteswap32(PcapFileHeader::kMagicNanos)) {
+    header_.byte_swapped = true;
+    magic = byteswap32(magic);
+  }
+  if (magic == PcapFileHeader::kMagicMicros) {
+    header_.nanosecond_resolution = false;
+  } else if (magic == PcapFileHeader::kMagicNanos) {
+    header_.nanosecond_resolution = true;
+  } else {
+    throw std::runtime_error("PcapReader: bad magic number");
+  }
+
+  const std::uint32_t versions = convert(read_u32_le(*in_));
+  header_.version_major = static_cast<std::uint16_t>(versions & 0xffff);
+  header_.version_minor = static_cast<std::uint16_t>(versions >> 16);
+  if (header_.byte_swapped) {
+    // convert() flipped all four bytes; the two u16s are themselves
+    // stored in the file's native order, so swap halves back.
+    header_.version_major = static_cast<std::uint16_t>(versions >> 16);
+    header_.version_minor = static_cast<std::uint16_t>(versions & 0xffff);
+  }
+  (void)read_u32_le(*in_);  // thiszone
+  (void)read_u32_le(*in_);  // sigfigs
+  header_.snaplen = convert(read_u32_le(*in_));
+  header_.link_type = static_cast<LinkType>(convert(read_u32_le(*in_)));
+  if (header_.link_type != LinkType::kEthernet) {
+    throw std::runtime_error("PcapReader: unsupported link type");
+  }
+}
+
+std::optional<Packet> PcapReader::next() {
+  // Probe for EOF before committing to a record.
+  if (in_->peek() == std::char_traits<char>::eof()) return std::nullopt;
+
+  const std::uint32_t seconds = convert(read_u32_le(*in_));
+  const std::uint32_t fraction = convert(read_u32_le(*in_));
+  const std::uint32_t captured = convert(read_u32_le(*in_));
+  const std::uint32_t original = convert(read_u32_le(*in_));
+
+  if (captured > header_.snaplen + 65536) {
+    throw std::runtime_error("PcapReader: implausible captured length (corrupt file?)");
+  }
+
+  Packet packet;
+  const std::uint64_t nanos =
+      static_cast<std::uint64_t>(seconds) * 1'000'000'000ull +
+      (header_.nanosecond_resolution ? fraction
+                                     : static_cast<std::uint64_t>(fraction) * 1'000ull);
+  packet.timestamp = util::SimTime::from_nanos(static_cast<std::int64_t>(nanos));
+  packet.data.resize(captured);
+  in_->read(reinterpret_cast<char*>(packet.data.data()),
+            static_cast<std::streamsize>(captured));
+  if (!*in_) throw std::runtime_error("PcapReader: truncated packet record");
+  packet.original_length = original;
+  return packet;
+}
+
+std::vector<Packet> PcapReader::read_all() {
+  std::vector<Packet> out;
+  while (auto packet = next()) {
+    out.push_back(std::move(*packet));
+  }
+  return out;
+}
+
+void write_pcap(const std::filesystem::path& path, const std::vector<Packet>& packets) {
+  PcapWriter writer(path);
+  for (const Packet& packet : packets) writer.write(packet);
+}
+
+std::vector<Packet> read_pcap(const std::filesystem::path& path) {
+  PcapReader reader(path);
+  return reader.read_all();
+}
+
+}  // namespace wm::net

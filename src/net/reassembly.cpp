@@ -1,0 +1,170 @@
+#include "wm/net/reassembly.hpp"
+
+#include <algorithm>
+
+namespace wm::net {
+
+std::uint64_t TcpStreamReassembler::unwrap(std::uint32_t sequence) const {
+  // Choose the 64-bit value congruent to `sequence` (mod 2^32) closest
+  // to the current expectation.
+  const std::uint64_t modulus = 1ull << 32;
+  const std::uint64_t base_epoch = expected_ & ~(modulus - 1);
+  std::uint64_t candidate = base_epoch | sequence;
+  // Consider the neighbouring epochs and pick the closest to expected_.
+  std::uint64_t best = candidate;
+  std::uint64_t best_distance = candidate > expected_ ? candidate - expected_
+                                                      : expected_ - candidate;
+  for (const std::int64_t shift : {-1, +1}) {
+    const std::int64_t shifted =
+        static_cast<std::int64_t>(candidate) + shift * static_cast<std::int64_t>(modulus);
+    if (shifted < 0) continue;
+    const auto value = static_cast<std::uint64_t>(shifted);
+    const std::uint64_t distance =
+        value > expected_ ? value - expected_ : expected_ - value;
+    if (distance < best_distance) {
+      best = value;
+      best_distance = distance;
+    }
+  }
+  return best;
+}
+
+std::vector<StreamChunk> TcpStreamReassembler::on_segment(util::SimTime timestamp,
+                                                          std::uint32_t sequence,
+                                                          bool syn, bool fin,
+                                                          util::BytesView payload) {
+  std::vector<StreamChunk> out;
+
+  if (!synchronized_) {
+    // Establish the base sequence. A SYN consumes one sequence number;
+    // for mid-stream captures we accept the first segment's sequence as
+    // the base.
+    base_ = sequence;
+    if (syn) base_ += 1;
+    expected_ = base_;
+    synchronized_ = true;
+  }
+
+  std::uint64_t seg_start = unwrap(sequence);
+  if (syn) seg_start += 1;  // payload begins after the SYN's sequence slot
+
+  if (fin) {
+    const std::uint64_t fin_pos = seg_start + payload.size();
+    if (!fin_seen_ || fin_pos < fin_at_) {
+      fin_seen_ = true;
+      fin_at_ = fin_pos;
+    }
+  }
+
+  if (!payload.empty()) {
+    std::uint64_t start = seg_start;
+    util::BytesView data = payload;
+
+    // Trim the part we have already delivered (retransmission overlap).
+    if (start < expected_) {
+      const std::uint64_t overlap = expected_ - start;
+      if (overlap >= data.size()) {
+        data = {};
+      } else {
+        data = data.subspan(static_cast<std::size_t>(overlap));
+        start = expected_;
+      }
+    }
+
+    // Insert the pieces of [start, start+size) not already covered by a
+    // buffered segment: first-arrival content wins, and data spanning
+    // multiple buffered segments keeps all its uncovered pieces.
+    std::uint64_t cursor = start;
+    util::BytesView rest = data;
+    while (!rest.empty()) {
+      // Covered by the predecessor segment?
+      const auto after = pending_.upper_bound(cursor);
+      if (after != pending_.begin()) {
+        const auto prev_it = std::prev(after);
+        const std::uint64_t prev_end = prev_it->first + prev_it->second.size();
+        if (prev_end > cursor) {
+          const std::uint64_t overlap = prev_end - cursor;
+          if (overlap >= rest.size()) {
+            rest = {};
+            break;
+          }
+          rest = rest.subspan(static_cast<std::size_t>(overlap));
+          cursor += overlap;
+          continue;  // re-evaluate neighbours at the new cursor
+        }
+      }
+      // Free run until the next buffered segment (or the piece's end).
+      std::size_t take = rest.size();
+      const auto next_it = pending_.lower_bound(cursor);
+      if (next_it != pending_.end() && next_it->first < cursor + rest.size()) {
+        take = static_cast<std::size_t>(next_it->first - cursor);
+      }
+      if (take > 0) {
+        const util::BytesView piece = rest.subspan(0, take);
+        if (buffered_bytes_ + piece.size() > config_.max_buffered_bytes) {
+          dropped_ += piece.size();
+        } else {
+          pending_.emplace(cursor, util::Bytes(piece.begin(), piece.end()));
+          buffered_bytes_ += piece.size();
+        }
+        rest = rest.subspan(take);
+        cursor += take;
+      }
+    }
+  }
+
+  out = drain(timestamp);
+  if (fin_seen_ && expected_ >= fin_at_) finished_ = true;
+  return out;
+}
+
+std::vector<StreamChunk> TcpStreamReassembler::drain(util::SimTime timestamp) {
+  std::vector<StreamChunk> out;
+  for (;;) {
+    const auto it = pending_.begin();
+    if (it == pending_.end() || it->first > expected_) break;
+
+    const std::uint64_t start = it->first;
+    util::Bytes data = std::move(it->second);
+    buffered_bytes_ -= data.size();
+    pending_.erase(it);
+
+    // start <= expected_ is guaranteed; overlap was trimmed on entry,
+    // but a defensive re-trim is cheap.
+    if (start < expected_) {
+      const std::uint64_t overlap = expected_ - start;
+      if (overlap >= data.size()) continue;
+      data.erase(data.begin(),
+                 data.begin() + static_cast<std::ptrdiff_t>(overlap));
+    }
+
+    StreamChunk chunk;
+    chunk.timestamp = timestamp;
+    chunk.stream_offset = expected_ - base_;
+    expected_ += data.size();
+    delivered_ += data.size();
+    chunk.data = std::move(data);
+    out.push_back(std::move(chunk));
+  }
+  return out;
+}
+
+std::vector<TcpConnectionReassembler::DirectedChunk>
+TcpConnectionReassembler::on_packet(const DecodedPacket& packet,
+                                    FlowDirection direction) {
+  std::vector<DirectedChunk> out;
+  if (!packet.has_tcp()) return out;
+  const TcpHeader& tcp = packet.tcp();
+  if (tcp.rst) return out;  // no data delivery after reset
+
+  TcpStreamReassembler& stream =
+      direction == FlowDirection::kClientToServer ? client_ : server_;
+  for (StreamChunk& chunk :
+       stream.on_segment(packet.timestamp, tcp.sequence, tcp.syn, tcp.fin,
+                         packet.transport_payload)) {
+    out.push_back(DirectedChunk{direction, std::move(chunk)});
+  }
+  return out;
+}
+
+}  // namespace wm::net

@@ -1,0 +1,119 @@
+#include "wm/sim/http.hpp"
+
+#include "wm/util/strings.hpp"
+
+namespace wm::sim {
+
+std::string HttpRequest::serialize() const {
+  std::string out = method + " " + target + " HTTP/1.1\r\n";
+  for (const auto& [name, value] : headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+std::size_t HttpRequest::serialized_size() const { return serialize().size(); }
+
+namespace {
+
+std::string opaque_token(util::Rng& rng, std::size_t length) {
+  static const char kAlphabet[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(kAlphabet[rng.next_below(64)]);
+  }
+  return out;
+}
+
+/// Grow a designated padding header until the request hits target_size.
+void pad_request_to(HttpRequest& request, const std::string& header,
+                    std::size_t target_size) {
+  const std::size_t base = request.serialized_size();
+  if (target_size <= base) return;
+  std::size_t deficit = target_size - base;
+  // Adding the header itself costs "name: \r\n" + value.
+  const std::size_t envelope = header.size() + 4;
+  if (request.headers.count(header) == 0) {
+    if (deficit <= envelope) return;  // cannot hit exactly; stay under
+    deficit -= envelope;
+  }
+  std::string filler(deficit, 'x');
+  for (std::size_t i = 0; i < filler.size(); ++i) {
+    filler[i] = static_cast<char>('a' + (i * 13 + deficit) % 26);
+  }
+  request.headers[header] = std::move(filler);
+}
+
+}  // namespace
+
+HttpRequest make_chunk_request(std::string_view host, std::string_view segment_name,
+                               std::size_t chunk_index, std::uint64_t byte_offset,
+                               std::size_t chunk_bytes, std::size_t target_size,
+                               util::Rng& rng) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = util::format("/range/%llu-%llu?o=AQ&v=5&e=171&t=%s",
+                                static_cast<unsigned long long>(byte_offset),
+                                static_cast<unsigned long long>(byte_offset +
+                                                                chunk_bytes - 1),
+                                opaque_token(rng, 24).c_str());
+  request.headers["Host"] = std::string(host);
+  request.headers["Accept"] = "*/*";
+  request.headers["Accept-Encoding"] = "identity";
+  request.headers["Connection"] = "keep-alive";
+  request.headers["X-Playback-Session-Id"] = opaque_token(rng, 36);
+  request.headers["X-Segment"] =
+      util::format("%s/%zu", std::string(segment_name).c_str(), chunk_index);
+  pad_request_to(request, "Cookie", target_size);
+  return request;
+}
+
+HttpRequest make_state_post(std::string_view host, std::string_view json_body,
+                            std::size_t target_size) {
+  HttpRequest request;
+  request.method = "POST";
+  request.target = "/ichnaea/log";
+  request.headers["Host"] = std::string(host);
+  request.headers["Content-Type"] = "application/json";
+  request.headers["Accept"] = "application/json";
+  request.headers["Connection"] = "keep-alive";
+  request.body.assign(json_body.begin(), json_body.end());
+  request.headers["Content-Length"] = std::to_string(request.body.size());
+  pad_request_to(request, "Cookie", target_size);
+  return request;
+}
+
+std::optional<HttpRequest> parse_http_request(std::string_view text) {
+  const auto header_end = text.find("\r\n\r\n");
+  if (header_end == std::string_view::npos) return std::nullopt;
+
+  HttpRequest request;
+  const auto lines = util::split(text.substr(0, header_end), '\n');
+  if (lines.empty()) return std::nullopt;
+
+  // Request line: METHOD SP TARGET SP VERSION\r
+  std::string_view first = util::trim(lines[0]);
+  const auto sp1 = first.find(' ');
+  const auto sp2 = first.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) return std::nullopt;
+  request.method = std::string(first.substr(0, sp1));
+  request.target = std::string(first.substr(sp1 + 1, sp2 - sp1 - 1));
+  if (!util::starts_with(first.substr(sp2 + 1), "HTTP/")) return std::nullopt;
+
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    std::string_view line = util::trim(lines[i]);
+    if (line.empty()) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos) return std::nullopt;
+    request.headers[std::string(util::trim(line.substr(0, colon)))] =
+        std::string(util::trim(line.substr(colon + 1)));
+  }
+  request.body = std::string(text.substr(header_end + 4));
+  return request;
+}
+
+}  // namespace wm::sim

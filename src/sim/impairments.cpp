@@ -1,0 +1,49 @@
+#include "wm/sim/impairments.hpp"
+
+#include <algorithm>
+
+namespace wm::sim {
+
+std::vector<net::Packet> drop_packets(const std::vector<net::Packet>& packets,
+                                      double loss_rate, util::Rng& rng) {
+  std::vector<net::Packet> out;
+  out.reserve(packets.size());
+  for (const net::Packet& packet : packets) {
+    if (rng.bernoulli(loss_rate)) continue;
+    out.push_back(packet);
+  }
+  return out;
+}
+
+std::vector<net::Packet> truncate_snaplen(const std::vector<net::Packet>& packets,
+                                          std::size_t snaplen) {
+  std::vector<net::Packet> out;
+  out.reserve(packets.size());
+  for (const net::Packet& packet : packets) {
+    net::Packet copy = packet;
+    if (copy.data.size() > snaplen) {
+      copy.original_length = std::max(copy.original_length, copy.data.size());
+      copy.data.resize(snaplen);
+    }
+    out.push_back(std::move(copy));
+  }
+  return out;
+}
+
+std::vector<net::Packet> jitter_order(const std::vector<net::Packet>& packets,
+                                      double jitter_seconds, util::Rng& rng) {
+  std::vector<net::Packet> out = packets;
+  for (net::Packet& packet : out) {
+    const double shift = rng.normal(0.0, jitter_seconds);
+    const std::int64_t adjusted =
+        packet.timestamp.nanos() + static_cast<std::int64_t>(shift * 1e9);
+    packet.timestamp = util::SimTime::from_nanos(std::max<std::int64_t>(adjusted, 0));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const net::Packet& a, const net::Packet& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return out;
+}
+
+}  // namespace wm::sim

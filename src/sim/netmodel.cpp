@@ -1,0 +1,83 @@
+#include "wm/sim/netmodel.hpp"
+
+#include <algorithm>
+
+namespace wm::sim {
+
+NetworkModel::Params NetworkModel::params_for(
+    const OperationalConditions& conditions) {
+  Params params;
+  if (conditions.connection == ConnectionType::kWireless) {
+    params.base_rtt = util::Duration::millis(26);
+    params.jitter_stddev = util::Duration::millis(6);
+    params.loss_rate = 0.004;
+    params.bandwidth_mbps = 60.0;
+  } else {
+    params.base_rtt = util::Duration::millis(14);
+    params.jitter_stddev = util::Duration::millis(1);
+    params.loss_rate = 0.0003;
+    params.bandwidth_mbps = 150.0;
+  }
+  switch (conditions.traffic) {
+    case TrafficCondition::kMorning: params.load_factor = 1.15; break;
+    case TrafficCondition::kNoon: params.load_factor = 1.0; break;
+    case TrafficCondition::kNight: params.load_factor = 1.45; break;
+  }
+  return params;
+}
+
+NetworkModel::NetworkModel(Params params, util::Rng rng)
+    : params_(params), rng_(rng) {}
+
+util::Duration NetworkModel::sample_one_way_delay() {
+  const double half_rtt_s = params_.base_rtt.to_seconds() / 2.0;
+  const double jitter_s =
+      rng_.normal(0.0, params_.jitter_stddev.to_seconds() * params_.load_factor);
+  const double delay_s = std::max(half_rtt_s * params_.load_factor + jitter_s,
+                                  half_rtt_s * 0.5);
+  return util::Duration::from_seconds(delay_s);
+}
+
+bool NetworkModel::lose_segment() {
+  return rng_.bernoulli(params_.loss_rate * params_.load_factor);
+}
+
+util::Duration NetworkModel::transmission_time(std::size_t bytes) const {
+  const double seconds =
+      static_cast<double>(bytes) * 8.0 / (params_.bandwidth_mbps * 1e6) *
+      params_.load_factor;
+  return util::Duration::from_seconds(seconds);
+}
+
+std::vector<CrossTrafficFlowSpec> make_cross_traffic_plan(TrafficCondition condition,
+                                                          util::Rng& rng) {
+  static const std::vector<std::string> kHosts = {
+      "www.wikipedia.org",     "fonts.gstatic.com",     "cdn.sstatic.net",
+      "api.github.com",        "static.xx.fbcdn.net",   "www.google-analytics.com",
+      "updates.push.services.mozilla.com", "mail.example.org",
+  };
+
+  std::size_t flow_count = 2;
+  switch (condition) {
+    case TrafficCondition::kMorning: flow_count = 3; break;
+    case TrafficCondition::kNoon: flow_count = 2; break;
+    case TrafficCondition::kNight: flow_count = 5; break;
+  }
+  flow_count += static_cast<std::size_t>(rng.next_below(2));
+
+  std::vector<CrossTrafficFlowSpec> out;
+  out.reserve(flow_count);
+  for (std::size_t i = 0; i < flow_count; ++i) {
+    CrossTrafficFlowSpec spec;
+    spec.sni = kHosts[static_cast<std::size_t>(rng.next_below(kHosts.size()))];
+    spec.request_count = 3 + static_cast<std::size_t>(rng.next_below(8));
+    spec.request_size = 300 + static_cast<std::size_t>(rng.next_below(900));
+    spec.response_size = 8'000 + static_cast<std::size_t>(rng.next_below(120'000));
+    spec.spacing = util::Duration::millis(
+        300 + static_cast<std::int64_t>(rng.next_below(1500)));
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+}  // namespace wm::sim

@@ -1,0 +1,238 @@
+#include "wm/sim/packetize.hpp"
+
+#include <algorithm>
+
+#include "wm/tls/record.hpp"
+#include "wm/tls/session.hpp"
+
+namespace wm::sim {
+
+using net::FlowDirection;
+using net::Packet;
+using net::TcpConnectionBuilder;
+using net::TcpEndpointConfig;
+using util::Duration;
+using util::SimTime;
+
+namespace {
+
+net::MacAddress mac_from(std::uint64_t tag) {
+  std::array<std::uint8_t, 6> octets{};
+  octets[0] = 0x02;  // locally administered
+  for (std::size_t i = 1; i < 6; ++i) {
+    octets[i] = static_cast<std::uint8_t>((tag >> (8 * (5 - i))) & 0xff);
+  }
+  return net::MacAddress(octets);
+}
+
+/// One TLS-over-TCP connection being synthesized.
+class SimulatedConnection {
+ public:
+  SimulatedConnection(const PacketizeConfig& config, NetworkModel& network,
+                      net::Ipv4Address server_ip, std::uint16_t client_port,
+                      tls::TlsSessionConfig tls_config, std::uint16_t mss,
+                      util::Rng& rng)
+      : network_(network),
+        rng_(rng),
+        session_(std::move(tls_config), rng.fork()),
+        builder_(
+            TcpEndpointConfig{mac_from(0x0a0b0c01), config.client_ip, client_port,
+                              1000 + static_cast<std::uint32_t>(rng.next_below(1u << 20)),
+                              mss, 65535},
+            TcpEndpointConfig{mac_from(0x0a0b0c02), server_ip, 443,
+                              5000 + static_cast<std::uint32_t>(rng.next_below(1u << 20)),
+                              mss, 65535}) {}
+
+  /// TCP + TLS handshakes starting at `t`; returns time when the
+  /// connection is ready for application data.
+  SimTime establish(SimTime t) {
+    const Duration rtt = network_.sample_one_way_delay() * 2.0;
+    builder_.handshake(t, rtt);
+    SimTime cursor = t + rtt;
+    cursor = send_records(FlowDirection::kClientToServer, cursor,
+                          session_.client_hello_flight());
+    cursor += network_.sample_one_way_delay();
+    cursor = send_records(FlowDirection::kServerToClient, cursor,
+                          session_.server_hello_flight());
+    cursor += network_.sample_one_way_delay();
+    cursor = send_records(FlowDirection::kClientToServer, cursor,
+                          session_.client_finished_flight());
+    return cursor + network_.sample_one_way_delay();
+  }
+
+  /// Seal and transmit one application payload. Returns the timestamp
+  /// after the last emitted segment.
+  SimTime send_application(FlowDirection direction, SimTime t,
+                           std::size_t plaintext_size) {
+    return send_records(direction, t,
+                        session_.seal_application_data(plaintext_size));
+  }
+
+  void close(SimTime t) {
+    send_records(FlowDirection::kClientToServer, t, {session_.close_notify()});
+    builder_.close(t + Duration::millis(2), network_.sample_one_way_delay() * 2.0);
+  }
+
+  [[nodiscard]] std::vector<Packet> take_packets() { return builder_.take_packets(); }
+  [[nodiscard]] std::size_t retransmits() const { return retransmits_; }
+
+ private:
+  SimTime send_records(FlowDirection direction, SimTime t,
+                       const std::vector<tls::TlsRecord>& records) {
+    const util::Bytes bytes = tls::serialize_records(records);
+    const std::size_t first_packet = builder_.packets().size();
+    // Pace segments at the link's serialization rate.
+    const Duration gap = network_.transmission_time(1500);
+    builder_.send(direction, t, bytes, gap);
+    const std::size_t emitted = builder_.packets().size() - first_packet;
+
+    // Occasional visible retransmission of one segment in the batch.
+    if (emitted > 0 && network_.lose_segment()) {
+      const std::size_t victim =
+          first_packet + static_cast<std::size_t>(rng_.next_below(emitted));
+      const SimTime when = builder_.packets().back().timestamp +
+                           network_.sample_one_way_delay() * 3.0;
+      builder_.retransmit(victim, when);
+      ++retransmits_;
+    }
+
+    const SimTime last = builder_.packets().back().timestamp;
+    // Peer acknowledges the batch.
+    builder_.ack(direction == FlowDirection::kClientToServer
+                     ? FlowDirection::kServerToClient
+                     : FlowDirection::kClientToServer,
+                 last + network_.sample_one_way_delay());
+    return last + Duration::micros(50);
+  }
+
+  NetworkModel& network_;
+  util::Rng& rng_;
+  tls::TlsSession session_;
+  TcpConnectionBuilder builder_;
+  std::size_t retransmits_ = 0;
+};
+
+}  // namespace
+
+SessionCapture packetize(const AppTrace& trace, const TrafficProfile& profile,
+                         const PacketizeConfig& config, util::Rng& rng) {
+  SessionCapture capture;
+  capture.client_ip = config.client_ip;
+  capture.cdn_ip = config.cdn_ip;
+  capture.api_ip = config.api_ip;
+  capture.cdn_sni = profile.tls.sni;
+  capture.api_sni = "www.netflix.com";
+
+  NetworkModel network(NetworkModel::params_for(profile.conditions), rng.fork());
+
+  tls::TlsSessionConfig cdn_tls = profile.tls;
+  tls::TlsSessionConfig api_tls = profile.tls;
+  api_tls.sni = capture.api_sni;
+  if (config.api_tls13_pad_to > 0 && tls::is_tls13_suite(api_tls.suite)) {
+    api_tls.tls13_pad_to = config.api_tls13_pad_to;
+  }
+
+  SimulatedConnection cdn(config, network, config.cdn_ip, config.cdn_client_port,
+                          cdn_tls, profile.mss, rng);
+  SimulatedConnection api(config, network, config.api_ip, config.api_client_port,
+                          api_tls, profile.mss, rng);
+
+  // Bring both connections up before the first application event.
+  SimTime ready = cdn.establish(SimTime::from_seconds(0.02));
+  ready = std::max(ready, api.establish(SimTime::from_seconds(0.09)));
+
+  SimTime last_event_time = ready;
+  for (const AppEvent& event : trace.events) {
+    const SimTime t = std::max(event.time, ready);
+    last_event_time = std::max(last_event_time, t);
+    SimulatedConnection& conn = event.flow == AppFlow::kCdn ? cdn : api;
+
+    if (event.from_client) {
+      std::vector<std::size_t> sizes{event.plaintext_size};
+      if (config.client_transform && event.flow == AppFlow::kApi) {
+        sizes = config.client_transform(event.client_kind, event.plaintext_size);
+      }
+      SimTime cursor = t;
+      for (std::size_t size : sizes) {
+        if (size == 0) continue;
+        cursor = conn.send_application(FlowDirection::kClientToServer, cursor, size);
+        cursor += Duration::micros(200);
+      }
+      last_event_time = std::max(last_event_time, cursor);
+    } else {
+      const SimTime arrival = t + network.sample_one_way_delay();
+      const SimTime done = conn.send_application(FlowDirection::kServerToClient,
+                                                 arrival, event.plaintext_size);
+      last_event_time = std::max(last_event_time, done);
+    }
+  }
+
+  cdn.close(last_event_time + Duration::millis(500));
+  api.close(last_event_time + Duration::millis(520));
+
+  std::vector<Packet> packets = cdn.take_packets();
+  {
+    std::vector<Packet> api_packets = api.take_packets();
+    packets.insert(packets.end(), std::make_move_iterator(api_packets.begin()),
+                   std::make_move_iterator(api_packets.end()));
+  }
+  capture.retransmitted_segments = cdn.retransmits() + api.retransmits();
+
+  // Background flows.
+  if (config.include_cross_traffic) {
+    util::Rng cross_rng = rng.fork();
+    const auto plan = make_cross_traffic_plan(profile.conditions.traffic, cross_rng);
+    capture.cross_traffic_flows = plan.size();
+    std::uint16_t port = 52000;
+    std::uint8_t host_octet = 40;
+    for (const CrossTrafficFlowSpec& spec : plan) {
+      tls::TlsSessionConfig tls_config;
+      tls_config.suite = tls::CipherSuite::kTlsAes128GcmSha256;
+      tls_config.sni = spec.sni;
+      PacketizeConfig sub = config;
+      SimulatedConnection conn(sub, network,
+                               net::Ipv4Address(104, 16, 32, host_octet++), port++,
+                               tls_config, profile.mss, cross_rng);
+      SimTime t = conn.establish(
+          SimTime::from_seconds(0.2 + cross_rng.uniform(0.0, 2.0)));
+      for (std::size_t i = 0; i < spec.request_count; ++i) {
+        t = conn.send_application(FlowDirection::kClientToServer, t,
+                                  spec.request_size);
+        t = conn.send_application(FlowDirection::kServerToClient,
+                                  t + network.sample_one_way_delay(),
+                                  spec.response_size);
+        t += spec.spacing;
+      }
+      conn.close(t);
+      std::vector<Packet> cross_packets = conn.take_packets();
+      packets.insert(packets.end(), std::make_move_iterator(cross_packets.begin()),
+                     std::make_move_iterator(cross_packets.end()));
+    }
+  }
+
+  // Mild capture-order perturbation of server packets, then global sort.
+  if (config.reorder_jitter_ms > 0.0) {
+    util::Rng jitter_rng = rng.fork();
+    for (Packet& packet : packets) {
+      const double jitter =
+          jitter_rng.normal(0.0, config.reorder_jitter_ms / 1000.0);
+      const auto decoded = net::decode_packet(packet);
+      if (decoded && decoded->has_ipv4() &&
+          decoded->ipv4().source != config.client_ip) {
+        const std::int64_t adjusted =
+            packet.timestamp.nanos() +
+            static_cast<std::int64_t>(jitter * 1e9);
+        packet.timestamp = SimTime::from_nanos(std::max<std::int64_t>(adjusted, 0));
+      }
+    }
+  }
+
+  std::stable_sort(packets.begin(), packets.end(),
+                   [](const Packet& a, const Packet& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  capture.packets = std::move(packets);
+  return capture;
+}
+
+}  // namespace wm::sim

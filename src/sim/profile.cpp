@@ -1,0 +1,193 @@
+#include "wm/sim/profile.hpp"
+
+#include <stdexcept>
+
+#include "wm/util/strings.hpp"
+
+namespace wm::sim {
+
+std::string to_string(OperatingSystem value) {
+  switch (value) {
+    case OperatingSystem::kWindows: return "Windows";
+    case OperatingSystem::kLinux: return "Linux";
+    case OperatingSystem::kMac: return "Mac";
+  }
+  return "?";
+}
+
+std::string to_string(Platform value) {
+  switch (value) {
+    case Platform::kDesktop: return "Desktop";
+    case Platform::kLaptop: return "Laptop";
+  }
+  return "?";
+}
+
+std::string to_string(TrafficCondition value) {
+  switch (value) {
+    case TrafficCondition::kMorning: return "Morning";
+    case TrafficCondition::kNoon: return "Noon";
+    case TrafficCondition::kNight: return "Night";
+  }
+  return "?";
+}
+
+std::string to_string(ConnectionType value) {
+  switch (value) {
+    case ConnectionType::kWired: return "Wired";
+    case ConnectionType::kWireless: return "Wireless";
+  }
+  return "?";
+}
+
+std::string to_string(Browser value) {
+  switch (value) {
+    case Browser::kChrome: return "Google-chrome";
+    case Browser::kFirefox: return "Firefox";
+  }
+  return "?";
+}
+
+std::string OperationalConditions::to_string() const {
+  return "(" + sim::to_string(platform) + ", " + sim::to_string(browser) + ", " +
+         (connection == ConnectionType::kWired ? "Ethernet" : "WiFi") + ", " +
+         sim::to_string(os) + ", " + sim::to_string(traffic) + ")";
+}
+
+std::vector<OperationalConditions> all_operational_conditions() {
+  std::vector<OperationalConditions> out;
+  for (auto os : {OperatingSystem::kWindows, OperatingSystem::kLinux,
+                  OperatingSystem::kMac}) {
+    for (auto platform : {Platform::kDesktop, Platform::kLaptop}) {
+      for (auto traffic : {TrafficCondition::kMorning, TrafficCondition::kNoon,
+                           TrafficCondition::kNight}) {
+        for (auto connection : {ConnectionType::kWired, ConnectionType::kWireless}) {
+          for (auto browser : {Browser::kChrome, Browser::kFirefox}) {
+            out.push_back({os, platform, traffic, connection, browser});
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_string(ClientMessageKind kind) {
+  switch (kind) {
+    case ClientMessageKind::kType1Json: return "type-1 JSON";
+    case ClientMessageKind::kType2Json: return "type-2 JSON";
+    case ClientMessageKind::kChunkRequest: return "chunk request";
+    case ClientMessageKind::kTelemetry: return "telemetry";
+    case ClientMessageKind::kLogBatch: return "log batch";
+    case ClientMessageKind::kDecoyUpload: return "decoy upload";
+  }
+  return "?";
+}
+
+std::size_t TrafficProfile::sample_plaintext(ClientMessageKind kind,
+                                             util::Rng& rng) const {
+  switch (kind) {
+    case ClientMessageKind::kType1Json: return type1_plaintext.sample(rng);
+    case ClientMessageKind::kType2Json: return type2_plaintext.sample(rng);
+    case ClientMessageKind::kChunkRequest:
+      return chunk_request_plaintext.sample(rng);
+    case ClientMessageKind::kTelemetry: return telemetry_plaintext.sample(rng);
+    case ClientMessageKind::kLogBatch: return log_batch_plaintext.sample(rng);
+    case ClientMessageKind::kDecoyUpload:
+      // Indistinguishable from a genuine override upload by design.
+      return type2_plaintext.sample(rng);
+  }
+  throw std::logic_error("sample_plaintext: unknown kind");
+}
+
+std::pair<std::size_t, std::size_t> TrafficProfile::sealed_band(
+    ClientMessageKind kind) const {
+  const SizeBand* band = nullptr;
+  switch (kind) {
+    case ClientMessageKind::kType1Json: band = &type1_plaintext; break;
+    case ClientMessageKind::kType2Json: band = &type2_plaintext; break;
+    case ClientMessageKind::kChunkRequest: band = &chunk_request_plaintext; break;
+    case ClientMessageKind::kTelemetry: band = &telemetry_plaintext; break;
+    case ClientMessageKind::kLogBatch: band = &log_batch_plaintext; break;
+    case ClientMessageKind::kDecoyUpload: band = &type2_plaintext; break;
+  }
+  const tls::CipherModel cipher(tls.suite, tls.tls13_pad_to);
+  return {cipher.seal_size(band->base), cipher.seal_size(band->max())};
+}
+
+TrafficProfile make_traffic_profile(const OperationalConditions& conditions) {
+  TrafficProfile profile;
+  profile.conditions = conditions;
+
+  // --- State-JSON plaintext sizes -----------------------------------
+  // The JSON schema is fixed; the OS and browser contribute different
+  // user-agent / platform / capability strings, shifting the size by a
+  // per-combination constant. Calibrated so that with the Firefox TLS
+  // 1.2 AES-256-GCM stack (record = plaintext + 24) the sealed bands
+  // reproduce Fig. 2:
+  //   Linux/Firefox:   type-1 2211-2213, type-2 2992-3017
+  //   Windows/Firefox: type-1 2341-2343, type-2 3118-3147
+  std::size_t type1_os_delta = 0;
+  std::size_t type2_os_delta = 0;
+  std::size_t type2_os_spread = 25;
+  switch (conditions.os) {
+    case OperatingSystem::kLinux:
+      break;
+    case OperatingSystem::kWindows:
+      type1_os_delta = 130;
+      type2_os_delta = 126;
+      type2_os_spread = 29;
+      break;
+    case OperatingSystem::kMac:
+      type1_os_delta = 64;
+      type2_os_delta = 58;
+      type2_os_spread = 27;
+      break;
+  }
+  const std::size_t browser_delta =
+      conditions.browser == Browser::kChrome ? 41 : 0;
+
+  profile.type1_plaintext = SizeBand{2187 + type1_os_delta + browser_delta, 2};
+  profile.type2_plaintext =
+      SizeBand{2968 + type2_os_delta + browser_delta, type2_os_spread};
+
+  // --- Other client messages ----------------------------------------
+  // Chunk requests: HTTP range GETs, a few hundred bytes.
+  profile.chunk_request_plaintext = SizeBand{380, 320};
+  // Telemetry reports: sit between the type-1 band and the type-2 band,
+  // leaving the guard gaps visible in Fig. 2 (8 bytes above type-1,
+  // ~170 below type-2).
+  const std::size_t telemetry_base = profile.type1_plaintext.max() + 6;
+  const std::size_t telemetry_ceiling = profile.type2_plaintext.base - 170;
+  profile.telemetry_plaintext =
+      SizeBand{telemetry_base, telemetry_ceiling - telemetry_base};
+  // Log batches: large, always above every JSON band (>= 4334 sealed in
+  // the Linux/Firefox condition).
+  profile.log_batch_plaintext = SizeBand{4310, 2200};
+
+  // --- TLS stack ------------------------------------------------------
+  profile.tls.sni = "occ-0-2433-2430.1.nflxvideo.net";
+  profile.tls.alpn = {"h2", "http/1.1"};
+  if (conditions.browser == Browser::kChrome) {
+    // Chrome negotiates TLS 1.3 (record = plaintext + 17, no padding).
+    profile.tls.suite = tls::CipherSuite::kTlsAes128GcmSha256;
+    profile.tls.record_version = 0x0303;
+  } else {
+    // Firefox against this CDN host: TLS 1.2 ECDHE AES-256-GCM
+    // (record = plaintext + 24).
+    profile.tls.suite = tls::CipherSuite::kTlsEcdheRsaAes256GcmSha384;
+    profile.tls.record_version = 0x0303;
+  }
+  profile.tls.certificate_chain_size = 4208;
+
+  // --- Transport ------------------------------------------------------
+  profile.mss = conditions.connection == ConnectionType::kWired ? 1448 : 1412;
+
+  // Telemetry cadence is a player property, not an OS property.
+  profile.telemetry_period_seconds = 15.0;
+  profile.log_batch_probability = 0.12;
+
+  return profile;
+}
+
+}  // namespace wm::sim

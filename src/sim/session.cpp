@@ -1,0 +1,23 @@
+#include "wm/sim/session.hpp"
+
+namespace wm::sim {
+
+SessionResult simulate_session(const story::StoryGraph& graph,
+                               const std::vector<story::Choice>& choices,
+                               const SessionConfig& config) {
+  util::Rng rng(config.seed);
+  SessionResult result;
+  result.profile = make_traffic_profile(config.conditions);
+
+  util::Rng trace_rng = rng.fork();
+  AppTrace trace = simulate_app_trace(graph, choices, result.profile,
+                                      config.streaming, trace_rng);
+  result.truth = trace.truth;
+  result.session_length = trace.session_length;
+
+  util::Rng wire_rng = rng.fork();
+  result.capture = packetize(trace, result.profile, config.packetize, wire_rng);
+  return result;
+}
+
+}  // namespace wm::sim

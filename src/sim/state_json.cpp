@@ -1,0 +1,104 @@
+#include "wm/sim/state_json.hpp"
+
+#include "wm/util/strings.hpp"
+
+namespace wm::sim {
+
+using util::JsonArray;
+using util::JsonObject;
+using util::JsonValue;
+
+namespace {
+
+std::string hex_token(util::Rng& rng, std::size_t length) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(kDigits[rng.next_below(16)]);
+  }
+  return out;
+}
+
+/// Shared envelope of both state types.
+JsonObject base_envelope(const PlaybackIdentity& identity, util::SimTime position) {
+  JsonObject root;
+  root["version"] = JsonValue(2);
+  root["esn"] = JsonValue(identity.esn);
+  root["profileGuid"] = JsonValue(identity.profile_guid);
+  root["movieId"] = JsonValue(static_cast<std::int64_t>(identity.movie_id));
+  root["sessionId"] = JsonValue(static_cast<std::int64_t>(identity.session_id));
+  root["positionMs"] = JsonValue(position.nanos() / 1'000'000);
+  root["trackingInfo"] = JsonValue(JsonObject{
+      {"uiVersion", JsonValue("shakti-v1a2b3c4")},
+      {"playbackContext", JsonValue("interactive")},
+  });
+  return root;
+}
+
+/// Pad the document's "impressionData" member (an opaque base64-ish
+/// blob in the real player) so the compact serialization hits
+/// target_size exactly when attainable.
+JsonValue pad_to_size(JsonObject root, std::size_t target_size) {
+  // Insert an empty impressionData, then grow it by the deficit.
+  root["impressionData"] = JsonValue(std::string());
+  JsonValue document(std::move(root));
+  const std::size_t base = document.dump().size();
+  if (target_size > base) {
+    const std::size_t deficit = target_size - base;
+    std::string filler(deficit, 'A');
+    // Deterministic non-uniform content so the blob looks like data.
+    for (std::size_t i = 0; i < filler.size(); ++i) {
+      filler[i] = static_cast<char>('A' + (i * 31 + deficit) % 26);
+    }
+    document.as_object()["impressionData"] = JsonValue(std::move(filler));
+  }
+  return document;
+}
+
+}  // namespace
+
+PlaybackIdentity PlaybackIdentity::sample(util::Rng& rng) {
+  PlaybackIdentity identity;
+  identity.session_id = rng.next_u64() >> 1;
+  identity.esn = "NFCDIE-03-" + hex_token(rng, 24);
+  identity.profile_guid = hex_token(rng, 32);
+  return identity;
+}
+
+JsonValue make_type1_state(const PlaybackIdentity& identity,
+                           std::size_t question_index,
+                           const std::string& segment_name, util::SimTime position,
+                           std::size_t target_size) {
+  JsonObject root = base_envelope(identity, position);
+  root["event"] = JsonValue("interactiveStateSnapshot");
+  root["momentType"] = JsonValue("scene:cs_bs");  // choice-point moment
+  root["questionIndex"] = JsonValue(static_cast<std::int64_t>(question_index));
+  root["segment"] = JsonValue(segment_name);
+  root["choiceWindowMs"] = JsonValue(10'000);
+  return pad_to_size(std::move(root), target_size);
+}
+
+JsonValue make_type2_state(const PlaybackIdentity& identity,
+                           std::size_t question_index,
+                           const std::string& chosen_label,
+                           const std::string& next_segment, util::SimTime position,
+                           std::size_t target_size) {
+  JsonObject root = base_envelope(identity, position);
+  root["event"] = JsonValue("interactiveChoiceOverride");
+  root["momentType"] = JsonValue("notification:playbackImpression");
+  root["questionIndex"] = JsonValue(static_cast<std::int64_t>(question_index));
+  root["choice"] = JsonValue(JsonObject{
+      {"label", JsonValue(chosen_label)},
+      {"isDefault", JsonValue(false)},
+      {"nextSegment", JsonValue(next_segment)},
+  });
+  root["discardedPrefetch"] = JsonValue(true);
+  return pad_to_size(std::move(root), target_size);
+}
+
+std::string serialize_state(const JsonValue& state) { return state.dump(); }
+
+std::size_t serialized_size(const JsonValue& state) { return state.dump().size(); }
+
+}  // namespace wm::sim

@@ -1,0 +1,365 @@
+#include "wm/sim/streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wm/sim/http.hpp"
+#include "wm/sim/netmodel.hpp"
+#include "wm/sim/state_json.hpp"
+#include "wm/util/strings.hpp"
+
+namespace wm::sim {
+
+using story::Choice;
+using story::Segment;
+using story::SegmentId;
+using story::StoryGraph;
+using util::Duration;
+using util::SimTime;
+
+std::string to_string(AppFlow flow) {
+  return flow == AppFlow::kCdn ? "CDN" : "API";
+}
+
+std::vector<Choice> SessionGroundTruth::choices() const {
+  std::vector<Choice> out;
+  out.reserve(questions.size());
+  for (const QuestionOutcome& q : questions) out.push_back(q.choice);
+  return out;
+}
+
+namespace {
+
+/// Engine state wrapped in a class so helpers share context.
+class TraceBuilder {
+ public:
+  TraceBuilder(const StoryGraph& graph, const std::vector<Choice>& choices,
+               const TrafficProfile& profile, const StreamingConfig& config,
+               util::Rng& rng)
+      : graph_(graph),
+        choices_(choices),
+        profile_(profile),
+        config_(config),
+        rng_(rng),
+        identity_(PlaybackIdentity::sample(rng)) {}
+
+  AppTrace run() {
+    // Playback starts shortly after the connections come up; the
+    // packetizer inserts the handshakes before this.
+    clock_ = SimTime::from_seconds(0.8);
+    schedule_telemetry(clock_);
+
+    SegmentId current = graph_.start();
+    std::size_t next_choice_index = 0;
+
+    while (current != story::kInvalidSegment) {
+      const Segment& seg = graph_.segment(current);
+      trace_.truth.path.push_back(current);
+
+      if (seg.is_ending) {
+        stream_segment_chunks(current, seg, /*skip_chunks=*/0);
+        trace_.truth.reached_ending = true;
+        break;
+      }
+
+      if (!seg.has_choice()) {
+        stream_segment_chunks(current, seg, carried_prefetch_chunks_);
+        carried_prefetch_chunks_ = 0;
+        current = seg.next;
+        continue;
+      }
+
+      // Segment with a choice point.
+      stream_segment_chunks(current, seg, carried_prefetch_chunks_);
+      carried_prefetch_chunks_ = 0;
+
+      if (next_choice_index >= choices_.size()) break;  // viewer walked away
+      const Choice choice = choices_[next_choice_index++];
+      current = run_choice_point(current, seg, choice);
+    }
+
+    emit_telemetry_until(clock_);
+    std::stable_sort(trace_.events.begin(), trace_.events.end(),
+                     [](const AppEvent& a, const AppEvent& b) { return a.time < b.time; });
+    trace_.session_length = clock_ - SimTime();
+    return std::move(trace_);
+  }
+
+ private:
+  [[nodiscard]] Duration scaled(Duration d) const { return d * config_.time_scale; }
+
+  [[nodiscard]] std::size_t chunk_bytes() {
+    std::uint32_t kbps = config_.bitrate_kbps;
+    if (config_.adaptive_bitrate && !config_.bitrate_ladder_kbps.empty()) {
+      maybe_switch_quality();
+      kbps = config_.bitrate_ladder_kbps[quality_level_];
+    }
+    return static_cast<std::size_t>(static_cast<double>(kbps) * 1000.0 / 8.0 *
+                                    config_.chunk_seconds);
+  }
+
+  /// ABR controller: random-walk over the ladder, biased downward under
+  /// higher simulated load (night/wireless conditions).
+  void maybe_switch_quality() {
+    const auto params = NetworkModel::params_for(profile_.conditions);
+    // Switch on ~20% of chunks; heavier load biases down.
+    if (!rng_.bernoulli(0.2)) return;
+    const double down_bias = std::min(0.9, 0.35 * params.load_factor);
+    const std::size_t top = config_.bitrate_ladder_kbps.size() - 1;
+    if (rng_.bernoulli(down_bias)) {
+      if (quality_level_ > 0) --quality_level_;
+    } else if (quality_level_ < top) {
+      ++quality_level_;
+    }
+  }
+
+  [[nodiscard]] std::size_t chunks_in(const Segment& seg) const {
+    const double seconds = scaled(seg.duration).to_seconds();
+    return std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(seconds / config_.chunk_seconds)));
+  }
+
+  void emit_client(AppFlow flow, SimTime t, ClientMessageKind kind,
+                   std::string note, std::size_t question_index = 0,
+                   SegmentId segment = story::kInvalidSegment) {
+    AppEvent event;
+    event.time = t;
+    event.flow = flow;
+    event.from_client = true;
+    event.client_kind = kind;
+    event.plaintext_size = profile_.sample_plaintext(kind, rng_);
+    event.note = std::move(note);
+    event.question_index = question_index;
+    event.segment = segment;
+    trace_.events.push_back(std::move(event));
+  }
+
+  /// Request + receive one media chunk; returns the event index of the
+  /// server chunk (so prefetch abort can annotate it).
+  std::size_t emit_chunk(SimTime t, SegmentId segment, std::size_t chunk_index,
+                         bool prefetch) {
+    chunk_bytes_current_ = chunk_bytes();
+    emit_client(AppFlow::kCdn, t, ClientMessageKind::kChunkRequest,
+                util::format("GET %s chunk %zu",
+                             graph_.segment(segment).name.c_str(), chunk_index),
+                0, segment);
+    {
+      // Render the request as real HTTP bytes sized to the sample.
+      AppEvent& event = trace_.events.back();
+      const std::size_t bytes = chunk_bytes_current_;
+      const HttpRequest request = make_chunk_request(
+          profile_.tls.sni, graph_.segment(segment).name, chunk_index,
+          static_cast<std::uint64_t>(chunk_index) * bytes, bytes,
+          event.plaintext_size, rng_);
+      event.state_json = request.serialize();
+      event.plaintext_size = event.state_json.size();
+    }
+    AppEvent data;
+    data.time = t + Duration::millis(8);
+    data.flow = AppFlow::kCdn;
+    data.from_client = false;
+    data.plaintext_size = chunk_bytes_current_;
+    data.note = util::format("%s chunk %zu%s", graph_.segment(segment).name.c_str(),
+                             chunk_index, prefetch ? " (prefetch)" : "");
+    data.segment = segment;
+    data.is_prefetch = prefetch;
+    trace_.events.push_back(std::move(data));
+    return trace_.events.size() - 1;
+  }
+
+  /// Stream all chunks of a segment, pacing fetches at chunk cadence
+  /// after an initial buffer burst. `skip_chunks` were already
+  /// prefetched during the previous choice window.
+  void stream_segment_chunks(SegmentId id, const Segment& seg,
+                             std::size_t skip_chunks) {
+    const std::size_t total = chunks_in(seg);
+    const Duration cadence = Duration::from_seconds(config_.chunk_seconds);
+    SimTime t = clock_;
+    for (std::size_t i = skip_chunks; i < total; ++i) {
+      const bool buffered_burst = i < skip_chunks + config_.startup_buffer_chunks;
+      emit_chunk(t, id, i, /*prefetch=*/false);
+      t += buffered_burst ? Duration::millis(120) : cadence;
+      emit_telemetry_until(t);
+    }
+    // Playback time dominates the wall clock.
+    clock_ += scaled(seg.duration);
+    emit_telemetry_until(clock_);
+  }
+
+  /// Handle the question at the end of `seg`; returns the next segment.
+  SegmentId run_choice_point(SegmentId id, const Segment& seg, Choice choice) {
+    const story::ChoicePoint& cp = *seg.choice;
+    // The choice window is a UI constant (10 s in the film): it does
+    // NOT shrink with time_scale, which only compresses script content.
+    const Duration window = Duration::from_seconds(config_.choice_window_seconds);
+
+    // Question appears: type-1 JSON (Fig. 1) — a real document whose
+    // compact serialization has the profile-sampled size.
+    const std::size_t question_index = trace_.truth.questions.size() + 1;
+    const SimTime question_time = clock_;
+    emit_client(AppFlow::kApi, question_time, ClientMessageKind::kType1Json,
+                util::format("Q%zu appears: \"%s\" -> type-1 JSON", question_index,
+                             cp.prompt.c_str()),
+                question_index, id);
+    {
+      AppEvent& event = trace_.events.back();
+      const util::JsonValue doc = make_type1_state(
+          identity_, question_index, seg.name, question_time, /*target_size=*/0);
+      const HttpRequest post =
+          make_state_post("www.netflix.com", serialize_state(doc),
+                          event.plaintext_size);
+      event.state_json = post.serialize();
+      event.plaintext_size = event.state_json.size();
+    }
+
+    // Viewer decides somewhere inside the window.
+    const double frac = rng_.uniform(config_.decision_min_fraction,
+                                     config_.decision_max_fraction);
+    const SimTime decision_time = question_time + window * frac;
+
+    // Prefetch default-branch chunks during the window. Normally the
+    // prefetch stops at the (observable) decision; under the uniform-
+    // upload defence the player keeps prefetching to the window's end
+    // so the prefetch pattern is choice-independent too.
+    const SimTime window_end = question_time + window;
+    const SimTime prefetch_until =
+        config_.uniform_decision_uploads ? window_end : decision_time;
+    const SegmentId default_next = cp.default_next;
+    const Duration prefetch_cadence = Duration::from_seconds(
+        std::max(config_.chunk_seconds * 0.35, 0.05));
+    std::vector<std::size_t> prefetched_event_indices;
+    SimTime t = question_time + Duration::millis(60);
+    std::size_t prefetch_count = 0;
+    const std::size_t prefetch_cap = chunks_in(graph_.segment(default_next));
+    while (t < prefetch_until && prefetch_count < prefetch_cap) {
+      prefetched_event_indices.push_back(
+          emit_chunk(t, default_next, prefetch_count, /*prefetch=*/true));
+      ++prefetch_count;
+      t += prefetch_cadence;
+    }
+
+    QuestionOutcome outcome;
+    outcome.index = question_index;
+    outcome.segment = id;
+    outcome.prompt = cp.prompt;
+    outcome.choice = choice;
+    outcome.question_time = question_time;
+    outcome.decision_time = decision_time;
+    trace_.truth.questions.push_back(outcome);
+
+    if (config_.uniform_decision_uploads) {
+      // Timing defence: EVERY question produces exactly one upload, of
+      // type-2 shape, at the window's end — a real override for
+      // non-default picks, a decoy otherwise.
+      const bool overridden = choice == Choice::kNonDefault;
+      emit_client(AppFlow::kApi, window_end,
+                  overridden ? ClientMessageKind::kType2Json
+                             : ClientMessageKind::kDecoyUpload,
+                  util::format("Q%zu: uniform upload at window end (%s)",
+                               question_index, overridden ? "override" : "decoy"),
+                  question_index, id);
+      if (overridden) {
+        AppEvent& event = trace_.events.back();
+        const util::JsonValue doc = make_type2_state(
+            identity_, question_index, cp.non_default_label,
+            graph_.segment(cp.non_default_next).name, window_end,
+            /*target_size=*/0);
+        const HttpRequest post =
+            make_state_post("www.netflix.com", serialize_state(doc),
+                            event.plaintext_size);
+        event.state_json = post.serialize();
+        event.plaintext_size = event.state_json.size();
+      }
+      clock_ = window_end + Duration::millis(40);
+      if (overridden) {
+        for (std::size_t event_index : prefetched_event_indices) {
+          trace_.events[event_index].prefetch_aborted = true;
+        }
+        carried_prefetch_chunks_ = 0;
+        return cp.non_default_next;
+      }
+      carried_prefetch_chunks_ = prefetch_count;
+      return default_next;
+    }
+
+    clock_ = decision_time;
+
+    if (choice == Choice::kDefault) {
+      // Streaming continues uninterrupted; prefetched chunks count
+      // toward the next segment.
+      carried_prefetch_chunks_ = prefetch_count;
+      return default_next;
+    }
+
+    // Non-default: type-2 JSON, prefetch abandoned, request Si'.
+    emit_client(AppFlow::kApi, decision_time, ClientMessageKind::kType2Json,
+                util::format("Q%zu: viewer picks \"%s\" (non-default) -> type-2 JSON",
+                             question_index, cp.non_default_label.c_str()),
+                question_index, id);
+    {
+      AppEvent& event = trace_.events.back();
+      const util::JsonValue doc = make_type2_state(
+          identity_, question_index, cp.non_default_label,
+          graph_.segment(cp.non_default_next).name, decision_time,
+          /*target_size=*/0);
+      const HttpRequest post =
+          make_state_post("www.netflix.com", serialize_state(doc),
+                          event.plaintext_size);
+      event.state_json = post.serialize();
+      event.plaintext_size = event.state_json.size();
+    }
+    for (std::size_t event_index : prefetched_event_indices) {
+      trace_.events[event_index].prefetch_aborted = true;
+    }
+    carried_prefetch_chunks_ = 0;
+    clock_ += Duration::millis(40);  // request turnaround
+    return cp.non_default_next;
+  }
+
+  void schedule_telemetry(SimTime from) {
+    // Telemetry cadence is a player constant, not script content: it is
+    // not compressed by time_scale.
+    const double period = profile_.telemetry_period_seconds /
+                          std::max(config_.telemetry_rate_multiplier, 1e-9);
+    next_telemetry_ = from + Duration::from_seconds(period * rng_.uniform(0.4, 1.0));
+  }
+
+  void emit_telemetry_until(SimTime t) {
+    while (next_telemetry_ < t) {
+      const bool batch = rng_.bernoulli(profile_.log_batch_probability);
+      emit_client(AppFlow::kApi, next_telemetry_,
+                  batch ? ClientMessageKind::kLogBatch
+                        : ClientMessageKind::kTelemetry,
+                  batch ? "log batch" : "playback telemetry");
+      const double period = profile_.telemetry_period_seconds /
+                            std::max(config_.telemetry_rate_multiplier, 1e-9);
+      next_telemetry_ += Duration::from_seconds(period * rng_.uniform(0.7, 1.3));
+    }
+  }
+
+  const StoryGraph& graph_;
+  const std::vector<Choice>& choices_;
+  const TrafficProfile& profile_;
+  const StreamingConfig& config_;
+  util::Rng& rng_;
+
+  AppTrace trace_;
+  PlaybackIdentity identity_;
+  std::size_t quality_level_ = 1;  // ABR: start one rung above lowest
+  std::size_t chunk_bytes_current_ = 0;
+  SimTime clock_;
+  SimTime next_telemetry_;
+  std::size_t carried_prefetch_chunks_ = 0;
+};
+
+}  // namespace
+
+AppTrace simulate_app_trace(const StoryGraph& graph,
+                            const std::vector<Choice>& choices,
+                            const TrafficProfile& profile,
+                            const StreamingConfig& config, util::Rng& rng) {
+  TraceBuilder builder(graph, choices, profile, config, rng);
+  return builder.run();
+}
+
+}  // namespace wm::sim

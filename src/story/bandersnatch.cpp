@@ -1,0 +1,213 @@
+#include "wm/story/bandersnatch.hpp"
+
+#include <stdexcept>
+
+namespace wm::story {
+
+namespace {
+
+using util::Duration;
+
+/// Builder that lets the script below read like a script.
+class GraphBuilder {
+ public:
+  SegmentId add_linear(std::string name, int seconds, SegmentId next) {
+    Segment seg;
+    seg.name = std::move(name);
+    seg.duration = Duration::seconds(seconds);
+    seg.next = next;
+    return push(std::move(seg));
+  }
+
+  SegmentId add_choice(std::string name, int seconds, std::string prompt,
+                       std::string default_label, SegmentId default_next,
+                       std::string non_default_label, SegmentId non_default_next) {
+    Segment seg;
+    seg.name = std::move(name);
+    seg.duration = Duration::seconds(seconds);
+    ChoicePoint cp;
+    cp.prompt = std::move(prompt);
+    cp.default_label = std::move(default_label);
+    cp.non_default_label = std::move(non_default_label);
+    cp.default_next = default_next;
+    cp.non_default_next = non_default_next;
+    seg.choice = std::move(cp);
+    return push(std::move(seg));
+  }
+
+  SegmentId add_ending(std::string name, int seconds) {
+    Segment seg;
+    seg.name = std::move(name);
+    seg.duration = Duration::seconds(seconds);
+    seg.is_ending = true;
+    return push(std::move(seg));
+  }
+
+  /// Reserve an id now, fill it later (for forward references).
+  SegmentId reserve() {
+    segments_.emplace_back();
+    return static_cast<SegmentId>(segments_.size() - 1);
+  }
+
+  void fill_linear(SegmentId id, std::string name, int seconds, SegmentId next) {
+    Segment seg;
+    seg.name = std::move(name);
+    seg.duration = Duration::seconds(seconds);
+    seg.next = next;
+    segments_.at(id) = std::move(seg);
+  }
+
+  void fill_choice(SegmentId id, std::string name, int seconds, std::string prompt,
+                   std::string default_label, SegmentId default_next,
+                   std::string non_default_label, SegmentId non_default_next) {
+    Segment seg;
+    seg.name = std::move(name);
+    seg.duration = Duration::seconds(seconds);
+    ChoicePoint cp;
+    cp.prompt = std::move(prompt);
+    cp.default_label = std::move(default_label);
+    cp.non_default_label = std::move(non_default_label);
+    cp.default_next = default_next;
+    cp.non_default_next = non_default_next;
+    seg.choice = std::move(cp);
+    segments_.at(id) = std::move(seg);
+  }
+
+  StoryGraph build(std::string title, SegmentId start) {
+    return StoryGraph(std::move(title), start, std::move(segments_));
+  }
+
+ private:
+  SegmentId push(Segment seg) {
+    segments_.push_back(std::move(seg));
+    return static_cast<SegmentId>(segments_.size() - 1);
+  }
+
+  std::vector<Segment> segments_;
+};
+
+}  // namespace
+
+StoryGraph make_bandersnatch() {
+  GraphBuilder b;
+
+  // Build from the endings backwards so most edges are backward
+  // references; a few forward references use reserve()/fill_*.
+
+  // --- Endings -----------------------------------------------------
+  const SegmentId end_credits_low = b.add_ending("ENDING_ZERO_STARS", 90);
+  const SegmentId end_prison = b.add_ending("ENDING_PRISON", 150);
+  const SegmentId end_five_stars = b.add_ending("ENDING_FIVE_STARS", 180);
+  const SegmentId end_train = b.add_ending("ENDING_TRAIN_MEMORY", 160);
+  const SegmentId end_netflix = b.add_ending("ENDING_NETFLIX_META", 140);
+
+  // --- Act 3: the crunch -------------------------------------------
+  // Q12: what to do with the body.
+  const SegmentId q12 = b.add_choice(
+      "BODY_DILEMMA", 120, "Bury body or chop up body?",
+      "Bury body", end_prison,        // S12: buried -> found -> prison
+      "Chop up body", end_five_stars  // S12': game ships, 5 stars
+  );
+
+  // Q11: confront dad.
+  const SegmentId back_off_path = b.add_linear("BACK_OFF_COOLDOWN", 75, end_credits_low);
+  const SegmentId q11 = b.add_choice(
+      "DAD_CONFRONTATION", 95, "Kill dad or back off?",
+      "Back off", back_off_path,  // S11
+      "Kill dad", q12             // S11'
+  );
+
+  // Q10: frustration at the desk.
+  const SegmentId q10 = b.add_choice(
+      "DESK_FRUSTRATION", 80, "Destroy computer or hit desk?",
+      "Hit desk", q11,              // S10
+      "Destroy computer", end_credits_low  // S10': game unfinished
+  );
+
+  // Q9: the tea moment (quoted in the paper's introduction).
+  const SegmentId q9 = b.add_choice(
+      "TEA_MOMENT", 70, "Throw tea over computer or shout at dad?",
+      "Shout at dad", q10,          // S9
+      "Throw tea over computer", q11  // S9'
+  );
+
+  // --- Act 2b: Colin's flat ----------------------------------------
+  // Q8: the balcony.
+  const SegmentId q8 = b.add_choice(
+      "BALCONY", 110, "Who jumps: Colin or you?",
+      "Colin jumps", q9,        // S8 — story continues darker
+      "You jump", end_credits_low  // S8' — abrupt ending
+  );
+
+  // Q7: the acid.
+  const SegmentId refused_lsd = b.add_linear("SPIKED_TEA_ANYWAY", 60, q8);
+  const SegmentId q7 = b.add_choice(
+      "COLINS_FLAT", 100, "Take LSD or refuse?",
+      "Refuse", refused_lsd,  // S7 — Colin spikes the tea regardless
+      "Take LSD", q8          // S7'
+  );
+
+  // --- Act 2a: therapy track ----------------------------------------
+  // Q6: nervous habit (merges back into the main line at Q9).
+  const SegmentId q6 = b.add_choice(
+      "THERAPY_SESSION", 85, "Bite nails or pull earlobe?",
+      "Pull earlobe", q9,  // S6
+      "Bite nails", q9     // S6' — same next segment, different JSON path
+  );
+
+  // Q5: the paper's second quoted question.
+  const SegmentId q5 = b.add_choice(
+      "STREET_SPLIT", 65, "Visit therapist or follow Colin?",
+      "Visit therapist", q6,  // S5
+      "Follow Colin", q7      // S5'
+  );
+
+  // Q4: in Dr Haynes' office, only on the therapist track re-entry.
+  const SegmentId q4 = b.add_choice(
+      "HAYNES_OFFICE", 75, "Talk about mum or not now?",
+      "Not now", q5,          // S4
+      "Talk about mum", end_train  // S4' — early traumatic ending
+  );
+
+  // --- Act 1: Tuckersoft --------------------------------------------
+  // A meta branch: accepting the job leads to a final fourth-wall
+  // question that can reach the Netflix-aware ending, so all five
+  // endings are live.
+  const SegmentId q_meta = b.add_choice(
+      "PACS_DILEMMA", 50, "Who is controlling you? Netflix or PACS?",
+      "PACS", end_credits_low,  // S13
+      "Netflix", end_netflix    // S13'
+  );
+
+  // Q3: the job offer. Accepting ends the story early with a bad game
+  // (zero stars) unless the meta branch intervenes; refusing continues
+  // at home.
+  const SegmentId work_montage = b.add_linear("TUCKERSOFT_MONTAGE", 55, q_meta);
+  const SegmentId home_work = b.add_linear("HOME_CODING", 70, q4);
+  const SegmentId q3 = b.add_choice(
+      "TUCKERSOFT_OFFER", 90, "Accept or refuse the job offer?",
+      "Refuse", home_work,   // S3 — the 'correct' path
+      "Accept", work_montage  // S3'
+  );
+
+  // Q2: music on the bus (paper's Table/intro example of benign taste).
+  const SegmentId q2 = b.add_choice(
+      "BUS_RIDE", 60, "Thompson Twins or Now 2?",
+      "Thompson Twins", q3,  // S2
+      "Now 2", q3            // S2' — same next segment, different state
+  );
+
+  // Q1: breakfast (the paper's first quoted question).
+  const SegmentId q1 = b.add_choice(
+      "BREAKFAST", 45, "Frosties or Sugar Puffs?",
+      "Sugar Puffs", q2,  // S1
+      "Frosties", q2      // S1'
+  );
+
+  // Segment 0: common opening, as in Fig. 1.
+  const SegmentId opening = b.add_linear("SEGMENT_0_OPENING", 210, q1);
+
+  return b.build("Black Mirror: Bandersnatch (reproduction)", opening);
+}
+
+}  // namespace wm::story

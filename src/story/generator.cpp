@@ -1,0 +1,89 @@
+#include "wm/story/generator.hpp"
+
+#include <stdexcept>
+
+#include "wm/util/strings.hpp"
+
+namespace wm::story {
+
+StoryGraph generate_story(GeneratorConfig config, util::Rng& rng) {
+  if (config.questions == 0) {
+    throw std::invalid_argument("generate_story: need at least one question");
+  }
+  if (config.min_segment_seconds <= 0 ||
+      config.max_segment_seconds < config.min_segment_seconds) {
+    throw std::invalid_argument("generate_story: bad segment duration bounds");
+  }
+
+  std::vector<Segment> segments;
+  auto duration = [&] {
+    return util::Duration::seconds(
+        rng.uniform_int(config.min_segment_seconds, config.max_segment_seconds));
+  };
+  auto add = [&](Segment seg) {
+    segments.push_back(std::move(seg));
+    return static_cast<SegmentId>(segments.size() - 1);
+  };
+
+  // Final ending that the spine converges to.
+  Segment final_ending;
+  final_ending.name = "GEN_ENDING_MAIN";
+  final_ending.duration = duration();
+  final_ending.is_ending = true;
+  const SegmentId main_ending = add(std::move(final_ending));
+
+  // Build the spine backwards: question N -> ... -> question 1 -> start.
+  SegmentId next_on_spine = main_ending;
+  for (std::size_t q = config.questions; q >= 1; --q) {
+    // Non-default branch target.
+    SegmentId non_default_target = kInvalidSegment;
+    if (rng.bernoulli(config.early_ending_probability)) {
+      Segment early;
+      early.name = util::format("GEN_ENDING_Q%zu", q);
+      early.duration = duration();
+      early.is_ending = true;
+      non_default_target = add(std::move(early));
+    } else if (rng.bernoulli(config.merge_probability)) {
+      non_default_target = next_on_spine;  // immediate merge
+    } else {
+      Segment detour;
+      detour.name = util::format("GEN_DETOUR_Q%zu", q);
+      detour.duration = duration();
+      detour.next = next_on_spine;
+      non_default_target = add(std::move(detour));
+    }
+
+    Segment question;
+    question.name = util::format("GEN_Q%zu", q);
+    question.duration = duration();
+    ChoicePoint cp;
+    cp.prompt = util::format("Generated question %zu?", q);
+    cp.default_label = "Option A";
+    cp.non_default_label = "Option B";
+    cp.default_next = next_on_spine;
+    cp.non_default_next = non_default_target;
+    question.choice = std::move(cp);
+    next_on_spine = add(std::move(question));
+
+    // Occasionally interleave a linear segment before the question.
+    if (rng.bernoulli(0.5)) {
+      Segment filler;
+      filler.name = util::format("GEN_LINEAR_BEFORE_Q%zu", q);
+      filler.duration = duration();
+      filler.next = next_on_spine;
+      next_on_spine = add(std::move(filler));
+    }
+  }
+
+  Segment opening;
+  opening.name = "GEN_OPENING";
+  opening.duration = duration();
+  opening.next = next_on_spine;
+  const SegmentId start = add(std::move(opening));
+
+  StoryGraph graph(util::format("Generated story (%zu questions)", config.questions),
+                   start, std::move(segments));
+  return graph;
+}
+
+}  // namespace wm::story

@@ -1,0 +1,142 @@
+#include "wm/story/graph.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "wm/util/strings.hpp"
+
+namespace wm::story {
+
+std::string to_string(Choice choice) {
+  return choice == Choice::kDefault ? "default" : "non-default";
+}
+
+std::string choice_notation(std::size_t question_index, Choice choice) {
+  std::string out = "S" + std::to_string(question_index);
+  if (choice == Choice::kNonDefault) out += "'";
+  return out;
+}
+
+StoryGraph::StoryGraph(std::string title, SegmentId start,
+                       std::vector<Segment> segments)
+    : title_(std::move(title)), start_(start), segments_(std::move(segments)) {
+  if (segments_.empty()) {
+    throw std::invalid_argument("StoryGraph: no segments");
+  }
+  if (start_ >= segments_.size()) {
+    throw std::invalid_argument("StoryGraph: start segment out of range");
+  }
+}
+
+const Segment& StoryGraph::segment(SegmentId id) const {
+  if (id >= segments_.size()) {
+    throw std::out_of_range("StoryGraph::segment: id " + std::to_string(id) +
+                            " out of range");
+  }
+  return segments_[id];
+}
+
+std::vector<std::string> StoryGraph::validate() const {
+  std::vector<std::string> problems;
+  auto check_edge = [&](SegmentId from, SegmentId to, const char* kind) {
+    if (to == kInvalidSegment || to >= segments_.size()) {
+      problems.push_back(util::format("segment %u (%s): %s edge is invalid", from,
+                                      segments_[from].name.c_str(), kind));
+    }
+  };
+
+  bool has_ending = false;
+  for (SegmentId id = 0; id < segments_.size(); ++id) {
+    const Segment& seg = segments_[id];
+    if (seg.is_ending) {
+      has_ending = true;
+      if (seg.has_choice()) {
+        problems.push_back(
+            util::format("segment %u (%s): ending has a choice point", id,
+                         seg.name.c_str()));
+      }
+      continue;
+    }
+    if (seg.has_choice()) {
+      check_edge(id, seg.choice->default_next, "default");
+      check_edge(id, seg.choice->non_default_next, "non-default");
+    } else {
+      check_edge(id, seg.next, "pass-through");
+    }
+    if (seg.duration <= util::Duration()) {
+      problems.push_back(util::format("segment %u (%s): non-positive duration", id,
+                                      seg.name.c_str()));
+    }
+  }
+  if (!has_ending) problems.emplace_back("graph has no ending segment");
+
+  // Reachability of at least one ending from start.
+  std::set<SegmentId> visited;
+  std::vector<SegmentId> stack{start_};
+  bool ending_reachable = false;
+  while (!stack.empty()) {
+    const SegmentId id = stack.back();
+    stack.pop_back();
+    if (id == kInvalidSegment || id >= segments_.size()) continue;
+    if (!visited.insert(id).second) continue;
+    const Segment& seg = segments_[id];
+    if (seg.is_ending) {
+      ending_reachable = true;
+      continue;
+    }
+    if (seg.has_choice()) {
+      stack.push_back(seg.choice->default_next);
+      stack.push_back(seg.choice->non_default_next);
+    } else {
+      stack.push_back(seg.next);
+    }
+  }
+  if (!ending_reachable) {
+    problems.emplace_back("no ending is reachable from the start segment");
+  }
+  return problems;
+}
+
+StoryGraph::Traversal StoryGraph::traverse(const std::vector<Choice>& choices) const {
+  Traversal out;
+  SegmentId current = start_;
+  std::size_t next_choice = 0;
+  // Guard against cycles that consume no choices.
+  std::size_t steps = 0;
+  const std::size_t step_limit = segments_.size() * (choices.size() + 2) + 16;
+
+  while (current != kInvalidSegment && current < segments_.size() &&
+         steps++ < step_limit) {
+    out.path.push_back(current);
+    const Segment& seg = segments_[current];
+    if (seg.is_ending) {
+      out.reached_ending = true;
+      break;
+    }
+    if (seg.has_choice()) {
+      if (next_choice >= choices.size()) break;  // viewer stopped watching
+      out.questions.push_back(current);
+      const Choice choice = choices[next_choice++];
+      ++out.choices_consumed;
+      current = choice == Choice::kDefault ? seg.choice->default_next
+                                           : seg.choice->non_default_next;
+    } else {
+      current = seg.next;
+    }
+  }
+  return out;
+}
+
+std::size_t StoryGraph::max_questions() const {
+  return choice_segments().size();
+}
+
+std::vector<SegmentId> StoryGraph::choice_segments() const {
+  std::vector<SegmentId> out;
+  for (SegmentId id = 0; id < segments_.size(); ++id) {
+    if (segments_[id].has_choice()) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace wm::story

@@ -1,0 +1,105 @@
+#include "wm/story/serialize.hpp"
+
+#include <stdexcept>
+
+namespace wm::story {
+
+using util::JsonArray;
+using util::JsonObject;
+using util::JsonValue;
+
+JsonValue to_json(const StoryGraph& graph) {
+  JsonObject root;
+  root["title"] = JsonValue(graph.title());
+  root["start"] = JsonValue(static_cast<std::int64_t>(graph.start()));
+
+  JsonArray segments;
+  for (SegmentId id = 0; id < graph.segment_count(); ++id) {
+    const Segment& seg = graph.segment(id);
+    JsonObject entry;
+    entry["name"] = JsonValue(seg.name);
+    entry["duration_s"] = JsonValue(seg.duration.to_seconds());
+    entry["bitrate_kbps"] = JsonValue(static_cast<std::int64_t>(seg.bitrate_kbps));
+    entry["is_ending"] = JsonValue(seg.is_ending);
+    if (seg.has_choice()) {
+      const ChoicePoint& cp = *seg.choice;
+      JsonObject choice;
+      choice["prompt"] = JsonValue(cp.prompt);
+      choice["default_label"] = JsonValue(cp.default_label);
+      choice["non_default_label"] = JsonValue(cp.non_default_label);
+      choice["default_next"] =
+          JsonValue(static_cast<std::int64_t>(cp.default_next));
+      choice["non_default_next"] =
+          JsonValue(static_cast<std::int64_t>(cp.non_default_next));
+      choice["window_s"] = JsonValue(cp.window.to_seconds());
+      entry["choice"] = JsonValue(std::move(choice));
+    } else if (!seg.is_ending) {
+      entry["next"] = JsonValue(static_cast<std::int64_t>(seg.next));
+    }
+    segments.emplace_back(std::move(entry));
+  }
+  root["segments"] = JsonValue(std::move(segments));
+  return JsonValue(std::move(root));
+}
+
+std::string to_json_text(const StoryGraph& graph) { return to_json(graph).dump(2); }
+
+namespace {
+
+SegmentId read_segment_id(const JsonValue& value, std::size_t segment_count,
+                          const char* field) {
+  const std::int64_t raw = value.as_int();
+  if (raw < 0 || static_cast<std::size_t>(raw) >= segment_count) {
+    throw std::runtime_error(std::string("story from_json: field '") + field +
+                             "' references segment " + std::to_string(raw) +
+                             " outside the graph");
+  }
+  return static_cast<SegmentId>(raw);
+}
+
+}  // namespace
+
+StoryGraph from_json(const JsonValue& document) {
+  const std::string title = document.at("title").as_string();
+  const JsonArray& entries = document.at("segments").as_array();
+  if (entries.empty()) {
+    throw std::runtime_error("story from_json: no segments");
+  }
+
+  std::vector<Segment> segments;
+  segments.reserve(entries.size());
+  for (const JsonValue& entry : entries) {
+    Segment seg;
+    seg.name = entry.at("name").as_string();
+    seg.duration = util::Duration::from_seconds(entry.at("duration_s").as_double());
+    seg.bitrate_kbps =
+        static_cast<std::uint32_t>(entry.at("bitrate_kbps").as_int());
+    seg.is_ending = entry.at("is_ending").as_bool();
+    if (entry.contains("choice")) {
+      const JsonValue& choice = entry.at("choice");
+      ChoicePoint cp;
+      cp.prompt = choice.at("prompt").as_string();
+      cp.default_label = choice.at("default_label").as_string();
+      cp.non_default_label = choice.at("non_default_label").as_string();
+      cp.default_next =
+          read_segment_id(choice.at("default_next"), entries.size(), "default_next");
+      cp.non_default_next = read_segment_id(choice.at("non_default_next"),
+                                            entries.size(), "non_default_next");
+      cp.window = util::Duration::from_seconds(choice.at("window_s").as_double());
+      seg.choice = std::move(cp);
+    } else if (entry.contains("next")) {
+      seg.next = read_segment_id(entry.at("next"), entries.size(), "next");
+    }
+    segments.push_back(std::move(seg));
+  }
+
+  const SegmentId start =
+      read_segment_id(document.at("start"), segments.size(), "start");
+  return StoryGraph(title, start, std::move(segments));
+}
+
+StoryGraph from_json_text(const std::string& text) {
+  return from_json(JsonValue::parse(text));
+}
+
+}  // namespace wm::story

@@ -1,0 +1,95 @@
+#include "wm/tls/cipher.hpp"
+
+#include <stdexcept>
+
+namespace wm::tls {
+
+namespace {
+
+constexpr std::size_t kGcmTag = 16;
+constexpr std::size_t kGcmExplicitNonce = 8;  // TLS 1.2 GCM only
+constexpr std::size_t kCbcBlock = 16;
+constexpr std::size_t kCbcIv = 16;
+constexpr std::size_t kHmacSha1 = 20;
+
+}  // namespace
+
+std::string to_string(CipherSuite suite) {
+  switch (suite) {
+    case CipherSuite::kTlsEcdheRsaAes128GcmSha256:
+      return "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256";
+    case CipherSuite::kTlsEcdheRsaAes256GcmSha384:
+      return "TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384";
+    case CipherSuite::kTlsEcdheRsaChacha20Poly1305:
+      return "TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256";
+    case CipherSuite::kTlsRsaAes128CbcSha:
+      return "TLS_RSA_WITH_AES_128_CBC_SHA";
+    case CipherSuite::kTlsAes128GcmSha256:
+      return "TLS_AES_128_GCM_SHA256";
+    case CipherSuite::kTlsAes256GcmSha384:
+      return "TLS_AES_256_GCM_SHA384";
+    case CipherSuite::kTlsChacha20Poly1305Sha256:
+      return "TLS_CHACHA20_POLY1305_SHA256";
+  }
+  return "cipher_suite(unknown)";
+}
+
+bool is_tls13_suite(CipherSuite suite) {
+  const auto value = static_cast<std::uint16_t>(suite);
+  return value >= 0x1301 && value <= 0x1305;
+}
+
+CipherModel::CipherModel(CipherSuite suite, std::size_t tls13_pad_to)
+    : suite_(suite), tls13_pad_to_(tls13_pad_to) {}
+
+std::size_t CipherModel::seal_size(std::size_t plaintext_size) const {
+  if (is_tls13_suite(suite_)) {
+    // TLSInnerPlaintext = plaintext || content_type (1 byte) || zero pad
+    std::size_t inner = plaintext_size + 1;
+    if (tls13_pad_to_ > 0) {
+      inner = (inner + tls13_pad_to_ - 1) / tls13_pad_to_ * tls13_pad_to_;
+    }
+    return inner + kGcmTag;
+  }
+  switch (suite_) {
+    case CipherSuite::kTlsEcdheRsaAes128GcmSha256:
+    case CipherSuite::kTlsEcdheRsaAes256GcmSha384:
+      return kGcmExplicitNonce + plaintext_size + kGcmTag;
+    case CipherSuite::kTlsEcdheRsaChacha20Poly1305:
+      return plaintext_size + kGcmTag;
+    case CipherSuite::kTlsRsaAes128CbcSha: {
+      // IV || pad(plaintext || HMAC) — pad to block, always >= 1 byte.
+      const std::size_t macced = plaintext_size + kHmacSha1;
+      const std::size_t padded = (macced / kCbcBlock + 1) * kCbcBlock;
+      return kCbcIv + padded;
+    }
+    default:
+      throw std::logic_error("CipherModel: unhandled suite");
+  }
+}
+
+std::size_t CipherModel::open_size(std::size_t ciphertext_size) const {
+  if (is_tls13_suite(suite_)) {
+    if (ciphertext_size < kGcmTag + 1) return 0;
+    return ciphertext_size - kGcmTag - 1;  // maximum (pad unknown)
+  }
+  switch (suite_) {
+    case CipherSuite::kTlsEcdheRsaAes128GcmSha256:
+    case CipherSuite::kTlsEcdheRsaAes256GcmSha384:
+      if (ciphertext_size < kGcmExplicitNonce + kGcmTag) return 0;
+      return ciphertext_size - kGcmExplicitNonce - kGcmTag;
+    case CipherSuite::kTlsEcdheRsaChacha20Poly1305:
+      if (ciphertext_size < kGcmTag) return 0;
+      return ciphertext_size - kGcmTag;
+    case CipherSuite::kTlsRsaAes128CbcSha:
+      if (ciphertext_size < kCbcIv + kCbcBlock) return 0;
+      // Max plaintext: strip IV, minimum 1 pad byte, MAC.
+      return ciphertext_size - kCbcIv - 1 - kHmacSha1;
+    default:
+      throw std::logic_error("CipherModel: unhandled suite");
+  }
+}
+
+std::size_t CipherModel::overhead() const { return seal_size(0); }
+
+}  // namespace wm::tls

@@ -1,0 +1,243 @@
+#include "wm/tls/handshake.hpp"
+
+#include <stdexcept>
+
+#include "wm/util/bytes.hpp"
+
+namespace wm::tls {
+
+using util::ByteReader;
+using util::ByteWriter;
+using util::Bytes;
+using util::BytesView;
+
+std::string to_string(HandshakeType type) {
+  switch (type) {
+    case HandshakeType::kHelloRequest: return "hello_request";
+    case HandshakeType::kClientHello: return "client_hello";
+    case HandshakeType::kServerHello: return "server_hello";
+    case HandshakeType::kNewSessionTicket: return "new_session_ticket";
+    case HandshakeType::kCertificate: return "certificate";
+    case HandshakeType::kServerKeyExchange: return "server_key_exchange";
+    case HandshakeType::kCertificateRequest: return "certificate_request";
+    case HandshakeType::kServerHelloDone: return "server_hello_done";
+    case HandshakeType::kClientKeyExchange: return "client_key_exchange";
+    case HandshakeType::kFinished: return "finished";
+  }
+  return "handshake(" + std::to_string(static_cast<int>(type)) + ")";
+}
+
+namespace {
+
+void write_extensions(ByteWriter& out, const std::vector<Extension>& extensions) {
+  if (extensions.empty()) return;
+  std::size_t total = 0;
+  for (const Extension& ext : extensions) total += 4 + ext.body.size();
+  out.write_u16_be(static_cast<std::uint16_t>(total));
+  for (const Extension& ext : extensions) {
+    out.write_u16_be(ext.type);
+    out.write_u16_be(static_cast<std::uint16_t>(ext.body.size()));
+    out.write_bytes(ext.body);
+  }
+}
+
+std::optional<std::vector<Extension>> read_extensions(ByteReader& reader) {
+  std::vector<Extension> out;
+  if (reader.remaining() == 0) return out;  // extensions are optional
+  if (reader.remaining() < 2) return std::nullopt;
+  const std::uint16_t total = reader.read_u16_be();
+  if (reader.remaining() < total) return std::nullopt;
+  std::size_t consumed = 0;
+  while (consumed < total) {
+    if (reader.remaining() < 4) return std::nullopt;
+    Extension ext;
+    ext.type = reader.read_u16_be();
+    const std::uint16_t len = reader.read_u16_be();
+    if (reader.remaining() < len) return std::nullopt;
+    ext.body = reader.read_bytes(len);
+    consumed += 4 + len;
+    out.push_back(std::move(ext));
+  }
+  return out;
+}
+
+/// Wrap a body in the 4-byte handshake message header.
+Bytes wrap_handshake(HandshakeType type, BytesView body) {
+  ByteWriter out(4 + body.size());
+  out.write_u8(static_cast<std::uint8_t>(type));
+  out.write_u24_be(static_cast<std::uint32_t>(body.size()));
+  out.write_bytes(body);
+  return out.take();
+}
+
+}  // namespace
+
+void ClientHello::set_sni(std::string_view host_name) {
+  // server_name extension: list length (2) + type host_name(0) (1) +
+  // name length (2) + name bytes.
+  ByteWriter body;
+  body.write_u16_be(static_cast<std::uint16_t>(3 + host_name.size()));
+  body.write_u8(0);  // host_name
+  body.write_u16_be(static_cast<std::uint16_t>(host_name.size()));
+  for (char c : host_name) body.write_u8(static_cast<std::uint8_t>(c));
+
+  for (Extension& ext : extensions) {
+    if (ext.type == static_cast<std::uint16_t>(ExtensionType::kServerName)) {
+      ext.body = body.take();
+      return;
+    }
+  }
+  extensions.push_back(
+      Extension{static_cast<std::uint16_t>(ExtensionType::kServerName), body.take()});
+}
+
+std::optional<std::string> ClientHello::sni() const {
+  for (const Extension& ext : extensions) {
+    if (ext.type != static_cast<std::uint16_t>(ExtensionType::kServerName)) continue;
+    ByteReader reader(ext.body);
+    try {
+      const std::uint16_t list_len = reader.read_u16_be();
+      (void)list_len;
+      const std::uint8_t name_type = reader.read_u8();
+      if (name_type != 0) return std::nullopt;
+      const std::uint16_t name_len = reader.read_u16_be();
+      const BytesView name = reader.read_view(name_len);
+      return std::string(name.begin(), name.end());
+    } catch (const util::OutOfBoundsError&) {
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+void ClientHello::set_alpn(const std::vector<std::string>& protocols) {
+  ByteWriter list;
+  for (const std::string& protocol : protocols) {
+    list.write_u8(static_cast<std::uint8_t>(protocol.size()));
+    for (char c : protocol) list.write_u8(static_cast<std::uint8_t>(c));
+  }
+  ByteWriter body;
+  body.write_u16_be(static_cast<std::uint16_t>(list.size()));
+  body.write_bytes(list.view());
+  extensions.push_back(
+      Extension{static_cast<std::uint16_t>(ExtensionType::kAlpn), body.take()});
+}
+
+Bytes ClientHello::serialize() const {
+  ByteWriter body;
+  body.write_u16_be(legacy_version);
+  body.write_bytes(random);
+  body.write_u8(static_cast<std::uint8_t>(session_id.size()));
+  body.write_bytes(session_id);
+  body.write_u16_be(static_cast<std::uint16_t>(cipher_suites.size() * 2));
+  for (std::uint16_t suite : cipher_suites) body.write_u16_be(suite);
+  body.write_u8(static_cast<std::uint8_t>(compression_methods.size()));
+  for (std::uint8_t method : compression_methods) body.write_u8(method);
+  write_extensions(body, extensions);
+  return wrap_handshake(HandshakeType::kClientHello, body.view());
+}
+
+std::optional<ClientHello> ClientHello::parse(BytesView handshake_message) {
+  ByteReader reader(handshake_message);
+  try {
+    const std::uint8_t msg_type = reader.read_u8();
+    if (msg_type != static_cast<std::uint8_t>(HandshakeType::kClientHello)) {
+      return std::nullopt;
+    }
+    const std::uint32_t body_len = reader.read_u24_be();
+    if (reader.remaining() < body_len) return std::nullopt;
+
+    ClientHello out;
+    out.legacy_version = reader.read_u16_be();
+    const BytesView random = reader.read_view(32);
+    std::copy(random.begin(), random.end(), out.random.begin());
+    const std::uint8_t session_len = reader.read_u8();
+    out.session_id = reader.read_bytes(session_len);
+    const std::uint16_t suites_len = reader.read_u16_be();
+    if (suites_len % 2 != 0) return std::nullopt;
+    out.cipher_suites.clear();
+    for (std::size_t i = 0; i < suites_len / 2; ++i) {
+      out.cipher_suites.push_back(reader.read_u16_be());
+    }
+    const std::uint8_t compression_len = reader.read_u8();
+    out.compression_methods = reader.read_bytes(compression_len);
+    auto extensions = read_extensions(reader);
+    if (!extensions) return std::nullopt;
+    out.extensions = std::move(*extensions);
+    return out;
+  } catch (const util::OutOfBoundsError&) {
+    return std::nullopt;
+  }
+}
+
+Bytes ServerHello::serialize() const {
+  ByteWriter body;
+  body.write_u16_be(legacy_version);
+  body.write_bytes(random);
+  body.write_u8(static_cast<std::uint8_t>(session_id.size()));
+  body.write_bytes(session_id);
+  body.write_u16_be(cipher_suite);
+  body.write_u8(compression_method);
+  write_extensions(body, extensions);
+  return wrap_handshake(HandshakeType::kServerHello, body.view());
+}
+
+std::optional<ServerHello> ServerHello::parse(BytesView handshake_message) {
+  ByteReader reader(handshake_message);
+  try {
+    const std::uint8_t msg_type = reader.read_u8();
+    if (msg_type != static_cast<std::uint8_t>(HandshakeType::kServerHello)) {
+      return std::nullopt;
+    }
+    const std::uint32_t body_len = reader.read_u24_be();
+    if (reader.remaining() < body_len) return std::nullopt;
+
+    ServerHello out;
+    out.legacy_version = reader.read_u16_be();
+    const BytesView random = reader.read_view(32);
+    std::copy(random.begin(), random.end(), out.random.begin());
+    const std::uint8_t session_len = reader.read_u8();
+    out.session_id = reader.read_bytes(session_len);
+    out.cipher_suite = reader.read_u16_be();
+    out.compression_method = reader.read_u8();
+    auto extensions = read_extensions(reader);
+    if (!extensions) return std::nullopt;
+    out.extensions = std::move(*extensions);
+    return out;
+  } catch (const util::OutOfBoundsError&) {
+    return std::nullopt;
+  }
+}
+
+Bytes opaque_handshake_message(HandshakeType type, std::size_t total_size) {
+  if (total_size < 4) {
+    throw std::invalid_argument("opaque_handshake_message: total_size < 4");
+  }
+  const std::size_t body_size = total_size - 4;
+  ByteWriter out(total_size);
+  out.write_u8(static_cast<std::uint8_t>(type));
+  out.write_u24_be(static_cast<std::uint32_t>(body_size));
+  out.write_repeated(0xab, body_size);
+  return out.take();
+}
+
+std::optional<std::string> extract_sni(BytesView handshake_payload) {
+  // Walk handshake messages until a ClientHello is found.
+  std::size_t pos = 0;
+  while (pos + 4 <= handshake_payload.size()) {
+    const std::uint8_t type = handshake_payload[pos];
+    const std::uint32_t len = (static_cast<std::uint32_t>(handshake_payload[pos + 1]) << 16) |
+                              (static_cast<std::uint32_t>(handshake_payload[pos + 2]) << 8) |
+                              static_cast<std::uint32_t>(handshake_payload[pos + 3]);
+    if (pos + 4 + len > handshake_payload.size()) return std::nullopt;
+    if (type == static_cast<std::uint8_t>(HandshakeType::kClientHello)) {
+      const auto hello = ClientHello::parse(handshake_payload.subspan(pos, 4 + len));
+      if (!hello) return std::nullopt;
+      return hello->sni();
+    }
+    pos += 4 + len;
+  }
+  return std::nullopt;
+}
+
+}  // namespace wm::tls

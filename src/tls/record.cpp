@@ -1,0 +1,99 @@
+#include "wm/tls/record.hpp"
+
+namespace wm::tls {
+
+std::string to_string(ContentType type) {
+  switch (type) {
+    case ContentType::kChangeCipherSpec: return "change_cipher_spec";
+    case ContentType::kAlert: return "alert";
+    case ContentType::kHandshake: return "handshake";
+    case ContentType::kApplicationData: return "application_data";
+    case ContentType::kHeartbeat: return "heartbeat";
+  }
+  return "content_type(" + std::to_string(static_cast<int>(type)) + ")";
+}
+
+bool is_known_content_type(std::uint8_t value) {
+  return value >= 20 && value <= 24;
+}
+
+std::string to_string(ProtocolVersion version) {
+  switch (version) {
+    case ProtocolVersion::kSsl30: return "SSLv3.0";
+    case ProtocolVersion::kTls10: return "TLSv1.0";
+    case ProtocolVersion::kTls11: return "TLSv1.1";
+    case ProtocolVersion::kTls12: return "TLSv1.2";
+    case ProtocolVersion::kTls13: return "TLSv1.3";
+  }
+  return "version(0x" + std::to_string(static_cast<int>(version)) + ")";
+}
+
+void serialize_record(const TlsRecord& record, util::ByteWriter& out) {
+  out.write_u8(static_cast<std::uint8_t>(record.content_type));
+  out.write_u16_be(record.version_raw);
+  out.write_u16_be(record.length());
+  out.write_bytes(record.payload);
+}
+
+util::Bytes serialize_records(const std::vector<TlsRecord>& records) {
+  std::size_t total = 0;
+  for (const TlsRecord& record : records) total += record.wire_size();
+  util::ByteWriter out(total);
+  for (const TlsRecord& record : records) serialize_record(record, out);
+  return out.take();
+}
+
+std::vector<TlsRecordParser::ParsedRecord> TlsRecordParser::feed(
+    util::SimTime timestamp, util::BytesView data) {
+  std::vector<ParsedRecord> out;
+  if (desynchronized_) {
+    consumed_ += data.size();
+    return out;
+  }
+
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+  consumed_ += data.size();
+
+  std::size_t pos = 0;
+  while (buffer_.size() - pos >= kRecordHeaderSize) {
+    const std::uint8_t type = buffer_[pos];
+    const std::uint16_t version =
+        static_cast<std::uint16_t>((buffer_[pos + 1] << 8) | buffer_[pos + 2]);
+    const std::uint16_t length =
+        static_cast<std::uint16_t>((buffer_[pos + 3] << 8) | buffer_[pos + 4]);
+
+    // Sanity-check the header. A bad content type or version byte means
+    // we are looking at ciphertext or a gapped stream.
+    const bool plausible_version = (version >= 0x0300 && version <= 0x0304);
+    if (!is_known_content_type(type) || !plausible_version ||
+        length > kMaxCiphertextLength) {
+      desynchronized_ = true;
+      break;
+    }
+
+    if (buffer_.size() - pos - kRecordHeaderSize <
+        static_cast<std::size_t>(length)) {
+      break;  // incomplete record; wait for more bytes
+    }
+
+    ParsedRecord parsed;
+    parsed.timestamp = timestamp;
+    parsed.stream_offset = buffer_start_ + pos;
+    parsed.record.content_type = static_cast<ContentType>(type);
+    parsed.record.version_raw = version;
+    parsed.record.payload.assign(
+        buffer_.begin() + static_cast<std::ptrdiff_t>(pos + kRecordHeaderSize),
+        buffer_.begin() + static_cast<std::ptrdiff_t>(pos + kRecordHeaderSize + length));
+    out.push_back(std::move(parsed));
+    ++records_parsed_;
+    pos += kRecordHeaderSize + length;
+  }
+
+  if (pos > 0) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(pos));
+    buffer_start_ += pos;
+  }
+  return out;
+}
+
+}  // namespace wm::tls

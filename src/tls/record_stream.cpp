@@ -1,0 +1,88 @@
+#include "wm/tls/record_stream.hpp"
+
+#include <algorithm>
+
+#include "wm/tls/handshake.hpp"
+
+namespace wm::tls {
+
+std::size_t FlowRecordStream::count(net::FlowDirection direction,
+                                    ContentType type) const {
+  return static_cast<std::size_t>(
+      std::count_if(events.begin(), events.end(), [&](const RecordEvent& event) {
+        return event.direction == direction && event.content_type == type;
+      }));
+}
+
+void RecordStreamExtractor::add_packet(const net::Packet& packet) {
+  const std::size_t index = packets_seen_++;
+  const auto decoded = net::decode_packet(packet);
+  if (!decoded || !decoded->has_tcp()) {
+    if (!decoded) ++packets_undecodable_;
+    return;
+  }
+
+  const auto assignment = flow_table_.add(*decoded, index);
+  if (!assignment) return;
+
+  auto [it, inserted] = flows_.try_emplace(assignment->key);
+  PerFlow& state = it->second;
+  if (inserted) state.first_seen = packet.timestamp;
+
+  for (auto& directed : state.reassembler.on_packet(*decoded, assignment->direction)) {
+    TlsRecordParser& parser = directed.direction == net::FlowDirection::kClientToServer
+                                  ? state.client_parser
+                                  : state.server_parser;
+    for (auto& parsed : parser.feed(directed.chunk.timestamp, directed.chunk.data)) {
+      // Opportunistic SNI capture from client handshake records.
+      if (!state.sni_searched &&
+          directed.direction == net::FlowDirection::kClientToServer &&
+          parsed.record.content_type == ContentType::kHandshake) {
+        state.sni = extract_sni(parsed.record.payload);
+        state.sni_searched = true;
+      }
+      RecordEvent event;
+      event.timestamp = parsed.timestamp;
+      event.direction = directed.direction;
+      event.content_type = parsed.record.content_type;
+      event.record_length = parsed.record.length();
+      event.stream_offset = parsed.stream_offset;
+      state.events.push_back(event);
+    }
+  }
+}
+
+std::vector<FlowRecordStream> RecordStreamExtractor::finish() const {
+  std::vector<FlowRecordStream> out;
+  out.reserve(flows_.size());
+  for (const auto& [key, state] : flows_) {
+    FlowRecordStream stream;
+    stream.flow = key;
+    stream.sni = state.sni;
+    stream.events = state.events;
+    stream.client_stream_bytes = state.reassembler.client_stream().delivered_bytes();
+    stream.server_stream_bytes = state.reassembler.server_stream().delivered_bytes();
+    stream.client_desynchronized = state.client_parser.desynchronized();
+    stream.server_desynchronized = state.server_parser.desynchronized();
+    out.push_back(std::move(stream));
+  }
+  // Order by first event time (flows_ map order is key order).
+  std::sort(out.begin(), out.end(),
+            [](const FlowRecordStream& a, const FlowRecordStream& b) {
+              const util::SimTime ta =
+                  a.events.empty() ? util::SimTime() : a.events.front().timestamp;
+              const util::SimTime tb =
+                  b.events.empty() ? util::SimTime() : b.events.front().timestamp;
+              return ta < tb;
+            });
+  return out;
+}
+
+std::vector<FlowRecordStream> extract_record_streams(
+    const std::vector<net::Packet>& packets) {
+  RecordStreamExtractor extractor;
+  for (const net::Packet& packet : packets) extractor.add_packet(packet);
+  return extractor.finish();
+}
+
+}  // namespace wm::tls

@@ -1,0 +1,161 @@
+#include "wm/tls/session.hpp"
+
+#include <algorithm>
+
+#include "wm/tls/handshake.hpp"
+
+namespace wm::tls {
+
+using util::Bytes;
+using util::BytesView;
+
+TlsSession::TlsSession(TlsSessionConfig config, util::Rng rng)
+    : config_(std::move(config)),
+      cipher_(config_.suite, config_.tls13_pad_to),
+      rng_(rng) {
+  if (config_.max_plaintext_fragment == 0 ||
+      config_.max_plaintext_fragment > kMaxFragmentLength) {
+    config_.max_plaintext_fragment = kMaxFragmentLength;
+  }
+}
+
+Bytes TlsSession::random_payload(std::size_t size) {
+  Bytes out(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    out[i] = static_cast<std::uint8_t>(rng_.next_u64() & 0xff);
+  }
+  return out;
+}
+
+TlsRecord TlsSession::make_record(ContentType type, std::size_t payload_size) {
+  TlsRecord record;
+  record.content_type = type;
+  record.version_raw = config_.record_version;
+  record.payload = random_payload(payload_size);
+  return record;
+}
+
+std::vector<TlsRecord> TlsSession::client_hello_flight() {
+  ClientHello hello;
+  for (std::size_t i = 0; i < hello.random.size(); ++i) {
+    hello.random[i] = static_cast<std::uint8_t>(rng_.next_u64() & 0xff);
+  }
+  hello.session_id = random_payload(32);
+  hello.cipher_suites = {
+      static_cast<std::uint16_t>(CipherSuite::kTlsAes128GcmSha256),
+      static_cast<std::uint16_t>(CipherSuite::kTlsAes256GcmSha384),
+      static_cast<std::uint16_t>(CipherSuite::kTlsChacha20Poly1305Sha256),
+      static_cast<std::uint16_t>(CipherSuite::kTlsEcdheRsaAes256GcmSha384),
+      static_cast<std::uint16_t>(CipherSuite::kTlsEcdheRsaAes128GcmSha256),
+      static_cast<std::uint16_t>(config_.suite),
+  };
+  if (!config_.sni.empty()) hello.set_sni(config_.sni);
+  if (!config_.alpn.empty()) hello.set_alpn(config_.alpn);
+  // key_share-sized filler extension so the hello has a realistic size.
+  hello.extensions.push_back(Extension{
+      static_cast<std::uint16_t>(ExtensionType::kKeyShare), random_payload(38)});
+
+  TlsRecord record;
+  record.content_type = ContentType::kHandshake;
+  record.version_raw = 0x0301;  // first flight traditionally uses TLS1.0
+  record.payload = hello.serialize();
+  return {record};
+}
+
+std::vector<TlsRecord> TlsSession::server_hello_flight() {
+  std::vector<TlsRecord> out;
+
+  ServerHello hello;
+  for (std::size_t i = 0; i < hello.random.size(); ++i) {
+    hello.random[i] = static_cast<std::uint8_t>(rng_.next_u64() & 0xff);
+  }
+  hello.session_id = random_payload(32);
+  hello.cipher_suite = static_cast<std::uint16_t>(config_.suite);
+
+  if (is_tls13_suite(config_.suite)) {
+    TlsRecord sh;
+    sh.content_type = ContentType::kHandshake;
+    sh.version_raw = config_.record_version;
+    sh.payload = hello.serialize();
+    out.push_back(std::move(sh));
+
+    // Middlebox-compat CCS, then the encrypted extensions/cert/finished
+    // blob as application-data-typed ciphertext (TLS 1.3 disguise).
+    out.push_back(make_record(ContentType::kChangeCipherSpec, 1));
+    const std::size_t encrypted_flight =
+        cipher_.seal_size(config_.certificate_chain_size + 600);
+    out.push_back(make_record(ContentType::kApplicationData, encrypted_flight));
+    return out;
+  }
+
+  // TLS 1.2: ServerHello, Certificate, ServerKeyExchange,
+  // ServerHelloDone — typically coalesced into one or two records.
+  util::ByteWriter flight;
+  const Bytes sh_bytes = hello.serialize();
+  flight.write_bytes(sh_bytes);
+  flight.write_bytes(opaque_handshake_message(HandshakeType::kCertificate,
+                                              config_.certificate_chain_size));
+  flight.write_bytes(
+      opaque_handshake_message(HandshakeType::kServerKeyExchange, 300));
+  flight.write_bytes(opaque_handshake_message(HandshakeType::kServerHelloDone, 4));
+
+  // Fragment the flight at the record limit.
+  Bytes bytes = flight.take();
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    const std::size_t take =
+        std::min(config_.max_plaintext_fragment, bytes.size() - offset);
+    TlsRecord record;
+    record.content_type = ContentType::kHandshake;
+    record.version_raw = config_.record_version;
+    record.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(offset),
+                          bytes.begin() + static_cast<std::ptrdiff_t>(offset + take));
+    out.push_back(std::move(record));
+    offset += take;
+  }
+  return out;
+}
+
+std::vector<TlsRecord> TlsSession::client_finished_flight() {
+  std::vector<TlsRecord> out;
+  if (is_tls13_suite(config_.suite)) {
+    out.push_back(make_record(ContentType::kChangeCipherSpec, 1));
+    // Encrypted Finished.
+    out.push_back(
+        make_record(ContentType::kApplicationData, cipher_.seal_size(36)));
+    return out;
+  }
+  // TLS 1.2: ClientKeyExchange, CCS, encrypted Finished.
+  TlsRecord cke;
+  cke.content_type = ContentType::kHandshake;
+  cke.version_raw = config_.record_version;
+  cke.payload = opaque_handshake_message(HandshakeType::kClientKeyExchange, 70);
+  out.push_back(std::move(cke));
+  out.push_back(make_record(ContentType::kChangeCipherSpec, 1));
+  out.push_back(make_record(ContentType::kHandshake, cipher_.seal_size(16)));
+  return out;
+}
+
+std::vector<TlsRecord> TlsSession::seal_application_data(std::size_t plaintext_size) {
+  std::vector<TlsRecord> out;
+  std::size_t remaining = plaintext_size;
+  do {
+    const std::size_t take = std::min(config_.max_plaintext_fragment, remaining);
+    out.push_back(
+        make_record(ContentType::kApplicationData, cipher_.seal_size(take)));
+    remaining -= take;
+    ++records_sealed_;
+  } while (remaining > 0);
+  return out;
+}
+
+std::vector<TlsRecord> TlsSession::seal_application_data(BytesView plaintext) {
+  // Wire lengths are what matter; delegate to the size-based variant.
+  return seal_application_data(plaintext.size());
+}
+
+TlsRecord TlsSession::close_notify() {
+  return make_record(ContentType::kAlert, cipher_.seal_size(2));
+}
+
+}  // namespace wm::tls

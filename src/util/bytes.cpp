@@ -1,0 +1,239 @@
+#include "wm/util/bytes.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace wm::util {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string to_hex(BytesView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+Bytes from_hex(std::string_view hex) {
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  int high = -1;
+  for (char c : hex) {
+    if (c == ' ' || c == '\n' || c == '\t') continue;
+    const int v = hex_value(c);
+    if (v < 0) throw std::invalid_argument("from_hex: non-hex character");
+    if (high < 0) {
+      high = v;
+    } else {
+      out.push_back(static_cast<std::uint8_t>((high << 4) | v));
+      high = -1;
+    }
+  }
+  if (high >= 0) throw std::invalid_argument("from_hex: odd number of hex digits");
+  return out;
+}
+
+std::string hex_dump(BytesView data, std::size_t bytes_per_line) {
+  if (bytes_per_line == 0) bytes_per_line = 16;
+  std::ostringstream out;
+  for (std::size_t offset = 0; offset < data.size(); offset += bytes_per_line) {
+    char header[24];
+    std::snprintf(header, sizeof header, "%08zx  ", offset);
+    out << header;
+    const std::size_t line = std::min(bytes_per_line, data.size() - offset);
+    for (std::size_t i = 0; i < bytes_per_line; ++i) {
+      if (i < line) {
+        const std::uint8_t b = data[offset + i];
+        out << kHexDigits[b >> 4] << kHexDigits[b & 0x0f] << ' ';
+      } else {
+        out << "   ";
+      }
+    }
+    out << ' ';
+    for (std::size_t i = 0; i < line; ++i) {
+      const char c = static_cast<char>(data[offset + i]);
+      out << (std::isprint(static_cast<unsigned char>(c)) ? c : '.');
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+OutOfBoundsError::OutOfBoundsError(std::size_t requested, std::size_t available)
+    : requested_(requested), available_(available) {
+  std::ostringstream msg;
+  msg << "ByteReader: requested " << requested << " byte(s) but only " << available
+      << " remain";
+  message_ = msg.str();
+}
+
+void ByteReader::require(std::size_t count) const {
+  if (count > remaining()) throw OutOfBoundsError(count, remaining());
+}
+
+void ByteReader::seek(std::size_t offset) {
+  if (offset > data_.size()) throw OutOfBoundsError(offset, data_.size());
+  pos_ = offset;
+}
+
+void ByteReader::skip(std::size_t count) {
+  require(count);
+  pos_ += count;
+}
+
+std::uint8_t ByteReader::read_u8() {
+  require(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::read_u16_be() {
+  require(2);
+  const auto v = static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint16_t ByteReader::read_u16_le() {
+  require(2);
+  const auto v = static_cast<std::uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::read_u24_be() {
+  require(3);
+  const std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 16) |
+                          (static_cast<std::uint32_t>(data_[pos_ + 1]) << 8) |
+                          static_cast<std::uint32_t>(data_[pos_ + 2]);
+  pos_ += 3;
+  return v;
+}
+
+std::uint32_t ByteReader::read_u32_be() {
+  require(4);
+  const std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
+                          (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
+                          (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
+                          static_cast<std::uint32_t>(data_[pos_ + 3]);
+  pos_ += 4;
+  return v;
+}
+
+std::uint32_t ByteReader::read_u32_le() {
+  require(4);
+  const std::uint32_t v = static_cast<std::uint32_t>(data_[pos_]) |
+                          (static_cast<std::uint32_t>(data_[pos_ + 1]) << 8) |
+                          (static_cast<std::uint32_t>(data_[pos_ + 2]) << 16) |
+                          (static_cast<std::uint32_t>(data_[pos_ + 3]) << 24);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::read_u64_be() {
+  const std::uint64_t high = read_u32_be();
+  const std::uint64_t low = read_u32_be();
+  return (high << 32) | low;
+}
+
+std::uint64_t ByteReader::read_u64_le() {
+  const std::uint64_t low = read_u32_le();
+  const std::uint64_t high = read_u32_le();
+  return (high << 32) | low;
+}
+
+BytesView ByteReader::read_view(std::size_t count) {
+  require(count);
+  BytesView view = data_.subspan(pos_, count);
+  pos_ += count;
+  return view;
+}
+
+Bytes ByteReader::read_bytes(std::size_t count) {
+  BytesView view = read_view(count);
+  return Bytes(view.begin(), view.end());
+}
+
+std::uint8_t ByteReader::peek_u8() const {
+  require(1);
+  return data_[pos_];
+}
+
+std::uint16_t ByteReader::peek_u16_be() const {
+  require(2);
+  return static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+}
+
+void ByteWriter::write_u8(std::uint8_t value) { buffer_.push_back(value); }
+
+void ByteWriter::write_u16_be(std::uint16_t value) {
+  buffer_.push_back(static_cast<std::uint8_t>(value >> 8));
+  buffer_.push_back(static_cast<std::uint8_t>(value & 0xff));
+}
+
+void ByteWriter::write_u16_le(std::uint16_t value) {
+  buffer_.push_back(static_cast<std::uint8_t>(value & 0xff));
+  buffer_.push_back(static_cast<std::uint8_t>(value >> 8));
+}
+
+void ByteWriter::write_u24_be(std::uint32_t value) {
+  buffer_.push_back(static_cast<std::uint8_t>((value >> 16) & 0xff));
+  buffer_.push_back(static_cast<std::uint8_t>((value >> 8) & 0xff));
+  buffer_.push_back(static_cast<std::uint8_t>(value & 0xff));
+}
+
+void ByteWriter::write_u32_be(std::uint32_t value) {
+  write_u16_be(static_cast<std::uint16_t>(value >> 16));
+  write_u16_be(static_cast<std::uint16_t>(value & 0xffff));
+}
+
+void ByteWriter::write_u32_le(std::uint32_t value) {
+  write_u16_le(static_cast<std::uint16_t>(value & 0xffff));
+  write_u16_le(static_cast<std::uint16_t>(value >> 16));
+}
+
+void ByteWriter::write_u64_be(std::uint64_t value) {
+  write_u32_be(static_cast<std::uint32_t>(value >> 32));
+  write_u32_be(static_cast<std::uint32_t>(value & 0xffffffffu));
+}
+
+void ByteWriter::write_u64_le(std::uint64_t value) {
+  write_u32_le(static_cast<std::uint32_t>(value & 0xffffffffu));
+  write_u32_le(static_cast<std::uint32_t>(value >> 32));
+}
+
+void ByteWriter::write_bytes(BytesView data) {
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::write_repeated(std::uint8_t fill, std::size_t count) {
+  buffer_.insert(buffer_.end(), count, fill);
+}
+
+void ByteWriter::patch_u16_be(std::size_t offset, std::uint16_t value) {
+  if (offset + 2 > buffer_.size()) throw OutOfBoundsError(offset + 2, buffer_.size());
+  buffer_[offset] = static_cast<std::uint8_t>(value >> 8);
+  buffer_[offset + 1] = static_cast<std::uint8_t>(value & 0xff);
+}
+
+Bytes ByteWriter::take() {
+  Bytes out = std::move(buffer_);
+  buffer_.clear();
+  return out;
+}
+
+}  // namespace wm::util

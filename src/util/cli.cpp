@@ -1,0 +1,160 @@
+#include "wm/util/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "wm/util/strings.hpp"
+
+namespace wm::util {
+
+CliParser::CliParser(std::string program_name, std::string description)
+    : program_name_(std::move(program_name)), description_(std::move(description)) {}
+
+void CliParser::add_string(std::string name, std::string help,
+                           std::optional<std::string> default_value) {
+  Flag flag;
+  flag.type = Type::kString;
+  flag.help = std::move(help);
+  flag.required = !default_value.has_value();
+  flag.value = std::move(default_value);
+  flags_[std::move(name)] = std::move(flag);
+}
+
+void CliParser::add_int(std::string name, std::string help,
+                        std::optional<std::int64_t> default_value) {
+  Flag flag;
+  flag.type = Type::kInt;
+  flag.help = std::move(help);
+  flag.required = !default_value.has_value();
+  if (default_value) flag.value = std::to_string(*default_value);
+  flags_[std::move(name)] = std::move(flag);
+}
+
+void CliParser::add_double(std::string name, std::string help,
+                           std::optional<double> default_value) {
+  Flag flag;
+  flag.type = Type::kDouble;
+  flag.help = std::move(help);
+  flag.required = !default_value.has_value();
+  if (default_value) flag.value = format("%g", *default_value);
+  flags_[std::move(name)] = std::move(flag);
+}
+
+void CliParser::add_bool(std::string name, std::string help) {
+  Flag flag;
+  flag.type = Type::kBool;
+  flag.help = std::move(help);
+  flag.required = false;
+  flag.value = "false";
+  flags_[std::move(name)] = std::move(flag);
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (!starts_with(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    std::string_view body = arg.substr(2);
+    std::string name;
+    std::optional<std::string> inline_value;
+    if (const auto eq = body.find('='); eq != std::string_view::npos) {
+      name = std::string(body.substr(0, eq));
+      inline_value = std::string(body.substr(eq + 1));
+    } else {
+      name = std::string(body);
+    }
+
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      throw std::runtime_error("unknown flag --" + name + "\n" + usage());
+    }
+    Flag& flag = it->second;
+    flag.seen = true;
+    if (flag.type == Type::kBool) {
+      flag.value = inline_value.value_or("true");
+      continue;
+    }
+    if (inline_value) {
+      flag.value = std::move(inline_value);
+    } else {
+      if (i + 1 >= argc) {
+        throw std::runtime_error("flag --" + name + " expects a value");
+      }
+      flag.value = argv[++i];
+    }
+  }
+
+  for (const auto& [name, flag] : flags_) {
+    if (flag.required && !flag.value) {
+      throw std::runtime_error("missing required flag --" + name + "\n" + usage());
+    }
+  }
+  return true;
+}
+
+const CliParser::Flag& CliParser::find(std::string_view name, Type expected) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    throw std::logic_error("CliParser: flag --" + std::string(name) +
+                           " was never registered");
+  }
+  if (it->second.type != expected) {
+    throw std::logic_error("CliParser: flag --" + std::string(name) +
+                           " accessed with the wrong type");
+  }
+  return it->second;
+}
+
+std::string CliParser::get_string(std::string_view name) const {
+  return *find(name, Type::kString).value;
+}
+
+std::int64_t CliParser::get_int(std::string_view name) const {
+  const Flag& flag = find(name, Type::kInt);
+  try {
+    return std::stoll(*flag.value);
+  } catch (const std::exception&) {
+    throw std::runtime_error("flag --" + std::string(name) + ": '" + *flag.value +
+                             "' is not an integer");
+  }
+}
+
+double CliParser::get_double(std::string_view name) const {
+  const Flag& flag = find(name, Type::kDouble);
+  try {
+    return std::stod(*flag.value);
+  } catch (const std::exception&) {
+    throw std::runtime_error("flag --" + std::string(name) + ": '" + *flag.value +
+                             "' is not a number");
+  }
+}
+
+bool CliParser::get_bool(std::string_view name) const {
+  const Flag& flag = find(name, Type::kBool);
+  return *flag.value == "true" || *flag.value == "1";
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream out;
+  out << program_name_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out << "  --" << pad_right(name, 24) << flag.help;
+    if (flag.required) {
+      out << " (required)";
+    } else if (flag.type != Type::kBool && flag.value) {
+      out << " (default: " << *flag.value << ")";
+    }
+    out << '\n';
+  }
+  out << "  --" << pad_right("help", 24) << "show this message\n";
+  return out.str();
+}
+
+}  // namespace wm::util

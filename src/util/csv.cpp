@@ -1,0 +1,113 @@
+#include "wm/util/csv.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "wm/util/strings.hpp"
+
+namespace wm::util {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes = field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << csv_escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::add(std::string_view field) {
+  fields_.emplace_back(field);
+  return *this;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::add(std::int64_t value) {
+  fields_.push_back(std::to_string(value));
+  return *this;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::add(std::uint64_t value) {
+  fields_.push_back(std::to_string(value));
+  return *this;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::add(double value) {
+  fields_.push_back(format("%.6g", value));
+  return *this;
+}
+
+void CsvWriter::RowBuilder::end() { writer_.write_row(fields_); }
+
+std::vector<std::vector<std::string>> parse_csv(std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty()) {
+          throw std::runtime_error("parse_csv: quote inside unquoted field");
+        }
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        field_started = false;
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        end_row();
+        break;
+      default:
+        field.push_back(c);
+        field_started = true;
+    }
+  }
+  if (in_quotes) throw std::runtime_error("parse_csv: unterminated quoted field");
+  // Flush a final row that lacks a trailing newline.
+  if (field_started || !field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+}  // namespace wm::util

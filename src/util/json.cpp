@@ -1,0 +1,390 @@
+#include "wm/util/json.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <cstdio>
+#include <stdexcept>
+
+namespace wm::util {
+
+namespace {
+
+[[noreturn]] void type_error(const char* expected) {
+  throw std::runtime_error(std::string("JsonValue: value is not ") + expected);
+}
+
+/// Recursive-descent JSON parser over a string_view.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::runtime_error("JSON parse error at offset " + std::to_string(pos_) +
+                             ": " + message);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (next() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_whitespace();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return JsonValue(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue(nullptr);
+        fail("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonObject obj;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(obj));
+    }
+    for (;;) {
+      skip_whitespace();
+      if (peek() != '"') fail("expected string key");
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      obj[std::move(key)] = parse_value();
+      skip_whitespace();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+    return JsonValue(std::move(obj));
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonArray arr;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(arr));
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_whitespace();
+      const char c = next();
+      if (c == ']') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+    return JsonValue(std::move(arr));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = next();
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char esc = next();
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = next();
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("invalid \\u escape");
+            }
+            // Encode as UTF-8 (BMP only; surrogate pairs stored verbatim).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            } else {
+              out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            }
+            break;
+          }
+          default:
+            fail("invalid escape sequence");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        // '+'/'-' only legal inside exponents, but accepting them here is
+        // harmless: strtod/stoll below reject genuinely malformed text.
+        is_double = is_double || c == '.' || c == 'e' || c == 'E';
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (token.empty() || token == "-") fail("invalid number");
+    try {
+      if (is_double) return JsonValue(std::stod(token));
+      return JsonValue(static_cast<std::int64_t>(std::stoll(token)));
+    } catch (const std::exception&) {
+      fail("invalid number '" + token + "'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&value_)) return *b;
+  type_error("a bool");
+}
+
+std::int64_t JsonValue::as_int() const {
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) return *i;
+  type_error("an integer");
+}
+
+double JsonValue::as_double() const {
+  if (const auto* d = std::get_if<double>(&value_)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    return static_cast<double>(*i);
+  }
+  type_error("a number");
+}
+
+const std::string& JsonValue::as_string() const {
+  if (const auto* s = std::get_if<std::string>(&value_)) return *s;
+  type_error("a string");
+}
+
+const JsonArray& JsonValue::as_array() const {
+  if (const auto* a = std::get_if<JsonArray>(&value_)) return *a;
+  type_error("an array");
+}
+
+JsonArray& JsonValue::as_array() {
+  if (auto* a = std::get_if<JsonArray>(&value_)) return *a;
+  type_error("an array");
+}
+
+const JsonObject& JsonValue::as_object() const {
+  if (const auto* o = std::get_if<JsonObject>(&value_)) return *o;
+  type_error("an object");
+}
+
+JsonObject& JsonValue::as_object() {
+  if (auto* o = std::get_if<JsonObject>(&value_)) return *o;
+  type_error("an object");
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonObject& obj = as_object();
+  const auto it = obj.find(key);
+  if (it == obj.end()) {
+    throw std::runtime_error("JsonValue::at: missing key '" + key + "'");
+  }
+  return it->second;
+}
+
+bool JsonValue::contains(const std::string& key) const {
+  if (!is_object()) return false;
+  return as_object().count(key) > 0;
+}
+
+std::string json_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+  const std::string newline = indent > 0 ? "\n" : "";
+  const std::string pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent * (depth + 1)), ' ')
+                 : "";
+  const std::string pad_close =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent * depth), ' ') : "";
+  const char* colon = indent > 0 ? ": " : ":";
+
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += as_bool() ? "true" : "false";
+  } else if (is_int()) {
+    out += std::to_string(as_int());
+  } else if (is_double()) {
+    const double d = std::get<double>(value_);
+    if (!std::isfinite(d)) {
+      throw std::runtime_error("JsonValue::dump: non-finite number");
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out += buf;
+    // Keep the double-ness visible so dump/parse round-trips types:
+    // "1.0" must not come back as the integer 1.
+    if (out.find_first_of(".eE", out.size() - std::strlen(buf)) ==
+        std::string::npos) {
+      out += ".0";
+    }
+  } else if (is_string()) {
+    out += '"';
+    out += json_escape(as_string());
+    out += '"';
+  } else if (is_array()) {
+    const JsonArray& arr = as_array();
+    if (arr.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    out += newline;
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      out += pad;
+      arr[i].dump_to(out, indent, depth + 1);
+      if (i + 1 < arr.size()) out += ',';
+      out += newline;
+    }
+    out += pad_close;
+    out += ']';
+  } else {
+    const JsonObject& obj = as_object();
+    if (obj.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    out += newline;
+    std::size_t i = 0;
+    for (const auto& [key, value] : obj) {
+      out += pad;
+      out += '"';
+      out += json_escape(key);
+      out += '"';
+      out += colon;
+      value.dump_to(out, indent, depth + 1);
+      if (++i < obj.size()) out += ',';
+      out += newline;
+    }
+    out += pad_close;
+    out += '}';
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+JsonValue JsonValue::parse(std::string_view text) {
+  Parser parser(text);
+  return parser.parse_document();
+}
+
+}  // namespace wm::util

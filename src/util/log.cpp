@@ -1,0 +1,41 @@
+#include "wm/util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace wm::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_emit_mutex;
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+
+void emit_log(LogLevel level, std::string_view message) {
+  if (static_cast<int>(level) < g_level.load()) return;
+  const std::scoped_lock lock(g_emit_mutex);
+  std::fprintf(stderr, "[%.*s] %.*s\n", static_cast<int>(to_string(level).size()),
+               to_string(level).data(), static_cast<int>(message.size()),
+               message.data());
+}
+
+}  // namespace detail
+
+}  // namespace wm::util

@@ -1,0 +1,201 @@
+#include "wm/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace wm::util {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  mean_ = (n1 * mean_ + n2 * other.mean_) / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::optional<double> quantile(std::vector<double> values, double q) {
+  if (values.empty()) return std::nullopt;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  std::sort(values.begin(), values.end());
+  const double idx = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(idx));
+  const auto hi = static_cast<std::size_t>(std::ceil(idx));
+  if (lo == hi) return values[lo];
+  const double frac = idx - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+void IntHistogram::add(std::int64_t value, std::uint64_t weight) {
+  cells_[value] += weight;
+  total_ += weight;
+}
+
+std::uint64_t IntHistogram::count_of(std::int64_t value) const {
+  const auto it = cells_.find(value);
+  return it == cells_.end() ? 0 : it->second;
+}
+
+std::uint64_t IntHistogram::count_in(std::int64_t lo, std::int64_t hi) const {
+  std::uint64_t sum = 0;
+  for (auto it = cells_.lower_bound(lo); it != cells_.end() && it->first <= hi; ++it) {
+    sum += it->second;
+  }
+  return sum;
+}
+
+std::optional<std::int64_t> IntHistogram::min() const {
+  if (cells_.empty()) return std::nullopt;
+  return cells_.begin()->first;
+}
+
+std::optional<std::int64_t> IntHistogram::max() const {
+  if (cells_.empty()) return std::nullopt;
+  return cells_.rbegin()->first;
+}
+
+std::optional<std::int64_t> IntHistogram::mode() const {
+  if (cells_.empty()) return std::nullopt;
+  std::int64_t best_value = cells_.begin()->first;
+  std::uint64_t best_count = 0;
+  for (const auto& [value, count] : cells_) {
+    if (count > best_count) {
+      best_count = count;
+      best_value = value;
+    }
+  }
+  return best_value;
+}
+
+std::string IntInterval::to_string() const {
+  std::ostringstream out;
+  if (lo == hi) {
+    out << lo;
+  } else {
+    out << lo << "-" << hi;
+  }
+  return out.str();
+}
+
+std::optional<IntInterval> covering_interval(const IntHistogram& hist) {
+  const auto lo = hist.min();
+  const auto hi = hist.max();
+  if (!lo || !hi) return std::nullopt;
+  return IntInterval{*lo, *hi};
+}
+
+ConfusionMatrix::ConfusionMatrix(std::vector<std::string> labels)
+    : labels_(std::move(labels)), cells_(labels_.size() * labels_.size(), 0) {
+  if (labels_.empty()) {
+    throw std::invalid_argument("ConfusionMatrix: need at least one label");
+  }
+}
+
+void ConfusionMatrix::add(std::size_t truth, std::size_t predicted,
+                          std::uint64_t weight) {
+  if (truth >= labels_.size() || predicted >= labels_.size()) {
+    throw std::out_of_range("ConfusionMatrix::add: class index out of range");
+  }
+  cells_[truth * labels_.size() + predicted] += weight;
+  total_ += weight;
+}
+
+std::uint64_t ConfusionMatrix::at(std::size_t truth, std::size_t predicted) const {
+  if (truth >= labels_.size() || predicted >= labels_.size()) {
+    throw std::out_of_range("ConfusionMatrix::at: class index out of range");
+  }
+  return cells_[truth * labels_.size() + predicted];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 1.0;
+  std::uint64_t correct = 0;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    correct += cells_[i * labels_.size() + i];
+  }
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(std::size_t cls) const {
+  std::uint64_t predicted = 0;
+  for (std::size_t t = 0; t < labels_.size(); ++t) {
+    predicted += at(t, cls);
+  }
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(at(cls, cls)) / static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(std::size_t cls) const {
+  std::uint64_t actual = 0;
+  for (std::size_t p = 0; p < labels_.size(); ++p) {
+    actual += at(cls, p);
+  }
+  if (actual == 0) return 0.0;
+  return static_cast<double>(at(cls, cls)) / static_cast<double>(actual);
+}
+
+double ConfusionMatrix::f1(std::size_t cls) const {
+  const double p = precision(cls);
+  const double r = recall(cls);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::size_t width = 10;
+  for (const auto& label : labels_) width = std::max(width, label.size() + 2);
+
+  std::ostringstream out;
+  auto pad = [&](const std::string& s) {
+    out << s;
+    for (std::size_t i = s.size(); i < width; ++i) out << ' ';
+  };
+
+  pad("truth\\pred");
+  for (const auto& label : labels_) pad(label);
+  out << '\n';
+  for (std::size_t t = 0; t < labels_.size(); ++t) {
+    pad(labels_[t]);
+    for (std::size_t p = 0; p < labels_.size(); ++p) {
+      pad(std::to_string(at(t, p)));
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace wm::util

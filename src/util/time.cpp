@@ -1,0 +1,42 @@
+#include "wm/util/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace wm::util {
+
+Duration Duration::from_seconds(double s) {
+  return Duration::nanos(static_cast<std::int64_t>(std::llround(s * 1e9)));
+}
+
+Duration Duration::operator*(double k) const {
+  return Duration::nanos(
+      static_cast<std::int64_t>(std::llround(static_cast<double>(nanos_) * k)));
+}
+
+std::string Duration::to_string() const {
+  char buf[48];
+  const std::int64_t abs_ns = nanos_ < 0 ? -nanos_ : nanos_;
+  if (abs_ns >= 1'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(nanos_) / 1e9);
+  } else if (abs_ns >= 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fms", static_cast<double>(nanos_) / 1e6);
+  } else if (abs_ns >= 1'000) {
+    std::snprintf(buf, sizeof buf, "%.3fus", static_cast<double>(nanos_) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(nanos_));
+  }
+  return buf;
+}
+
+SimTime SimTime::from_seconds(double s) {
+  return SimTime::from_nanos(static_cast<std::int64_t>(std::llround(s * 1e9)));
+}
+
+std::string SimTime::to_string() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "t=%.3fs", to_seconds());
+  return buf;
+}
+
+}  // namespace wm::util

@@ -1,0 +1,125 @@
+// Adaptive bitrate: chunk sizes churn, the side-channel does not.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "wm/core/pipeline.hpp"
+#include "wm/sim/session.hpp"
+#include "wm/story/bandersnatch.hpp"
+
+namespace wm::sim {
+namespace {
+
+using story::Choice;
+
+AppTrace abr_trace(std::uint64_t seed) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  const TrafficProfile profile = make_traffic_profile(OperationalConditions{});
+  StreamingConfig config;
+  config.adaptive_bitrate = true;
+  util::Rng rng(seed);
+  return simulate_app_trace(graph, std::vector<Choice>(13, Choice::kDefault),
+                            profile, config, rng);
+}
+
+TEST(Abr, ChunkSizesSpanTheLadder) {
+  const AppTrace trace = abr_trace(41);
+  std::set<std::size_t> chunk_sizes;
+  for (const AppEvent& event : trace.events) {
+    if (!event.from_client) chunk_sizes.insert(event.plaintext_size);
+  }
+  // The random walk visits more than one rung of the 4-rung ladder.
+  EXPECT_GE(chunk_sizes.size(), 2u);
+  StreamingConfig config;
+  for (std::size_t size : chunk_sizes) {
+    bool on_ladder = false;
+    for (std::uint32_t kbps : config.bitrate_ladder_kbps) {
+      const auto expected = static_cast<std::size_t>(
+          static_cast<double>(kbps) * 1000.0 / 8.0 * config.chunk_seconds);
+      on_ladder |= size == expected;
+    }
+    EXPECT_TRUE(on_ladder) << "chunk size " << size << " not on the ladder";
+  }
+}
+
+TEST(Abr, FixedBitrateWhenDisabled) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  const TrafficProfile profile = make_traffic_profile(OperationalConditions{});
+  StreamingConfig config;  // adaptive_bitrate = false
+  util::Rng rng(42);
+  const AppTrace trace = simulate_app_trace(
+      graph, std::vector<Choice>(13, Choice::kDefault), profile, config, rng);
+  std::set<std::size_t> chunk_sizes;
+  for (const AppEvent& event : trace.events) {
+    if (!event.from_client) chunk_sizes.insert(event.plaintext_size);
+  }
+  EXPECT_EQ(chunk_sizes.size(), 1u);
+}
+
+TEST(Abr, ClientSideChannelUntouched) {
+  // The JSON upload sizes are identical with and without ABR at the
+  // same seed: quality switching only consumes chunk-size draws.
+  const story::StoryGraph graph = story::make_bandersnatch();
+  const TrafficProfile profile = make_traffic_profile(OperationalConditions{});
+  std::vector<Choice> choices(13, Choice::kNonDefault);
+
+  auto json_sizes = [&](bool abr) {
+    StreamingConfig config;
+    config.adaptive_bitrate = abr;
+    util::Rng rng(43);
+    const AppTrace trace =
+        simulate_app_trace(graph, choices, profile, config, rng);
+    std::vector<std::size_t> out;
+    for (const AppEvent& event : trace.events) {
+      if (event.from_client &&
+          (event.client_kind == ClientMessageKind::kType1Json ||
+           event.client_kind == ClientMessageKind::kType2Json)) {
+        out.push_back(event.plaintext_size);
+      }
+    }
+    return out;
+  };
+  // Same count; every size inside the profile bands either way.
+  const auto with_abr = json_sizes(true);
+  const auto without = json_sizes(false);
+  EXPECT_EQ(with_abr.size(), without.size());
+  for (std::size_t size : with_abr) {
+    const bool in_type1 = size >= profile.type1_plaintext.base &&
+                          size <= profile.type1_plaintext.max();
+    const bool in_type2 = size >= profile.type2_plaintext.base &&
+                          size <= profile.type2_plaintext.max();
+    EXPECT_TRUE(in_type1 || in_type2);
+  }
+}
+
+TEST(Abr, AttackUnaffectedEndToEnd) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  std::vector<Choice> alternating;
+  for (int i = 0; i < 13; ++i) {
+    alternating.push_back(i % 2 == 0 ? Choice::kNonDefault : Choice::kDefault);
+  }
+
+  std::vector<core::CalibrationSession> calibration;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    SessionConfig config;
+    config.seed = 9900 + s;
+    config.streaming.adaptive_bitrate = true;
+    auto session = simulate_session(graph, alternating, config);
+    calibration.push_back(core::CalibrationSession{
+        std::move(session.capture.packets), std::move(session.truth)});
+  }
+  core::AttackPipeline attack("interval");
+  attack.calibrate(calibration);
+
+  SessionConfig victim_config;
+  victim_config.seed = 9950;
+  victim_config.streaming.adaptive_bitrate = true;
+  const auto victim = simulate_session(graph, alternating, victim_config);
+  const auto score =
+      core::score_session(victim.truth, attack.infer(victim.capture.packets));
+  EXPECT_GE(score.choices_correct + 1, score.questions_truth);
+  EXPECT_TRUE(score.question_count_match);
+}
+
+}  // namespace
+}  // namespace wm::sim

@@ -1,0 +1,108 @@
+#include "wm/net/address.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wm::net {
+namespace {
+
+TEST(MacAddress, ParseAndFormat) {
+  const auto mac = MacAddress::parse("02:42:ac:11:00:02");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->to_string(), "02:42:ac:11:00:02");
+  EXPECT_EQ(MacAddress::parse("02-42-AC-11-00-02")->to_string(),
+            "02:42:ac:11:00:02");
+}
+
+TEST(MacAddress, ParseRejectsMalformed) {
+  EXPECT_FALSE(MacAddress::parse("").has_value());
+  EXPECT_FALSE(MacAddress::parse("02:42:ac:11:00").has_value());
+  EXPECT_FALSE(MacAddress::parse("02:42:ac:11:00:02:03").has_value());
+  EXPECT_FALSE(MacAddress::parse("gg:42:ac:11:00:02").has_value());
+  EXPECT_FALSE(MacAddress::parse("0242:ac:11:00:02").has_value());
+}
+
+TEST(MacAddress, Broadcast) {
+  EXPECT_TRUE(MacAddress::parse("ff:ff:ff:ff:ff:ff")->is_broadcast());
+  EXPECT_FALSE(MacAddress::parse("ff:ff:ff:ff:ff:fe")->is_broadcast());
+}
+
+TEST(Ipv4Address, ParseAndFormat) {
+  const auto addr = Ipv4Address::parse("192.168.1.200");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->to_string(), "192.168.1.200");
+  EXPECT_EQ(addr->value(), 0xc0a801c8u);
+  EXPECT_EQ(Ipv4Address(10, 0, 0, 1).to_string(), "10.0.0.1");
+}
+
+TEST(Ipv4Address, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::parse("256.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1..2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.1234").has_value());
+}
+
+TEST(Ipv4Address, Classification) {
+  EXPECT_TRUE(Ipv4Address::parse("10.1.2.3")->is_private());
+  EXPECT_TRUE(Ipv4Address::parse("192.168.0.1")->is_private());
+  EXPECT_TRUE(Ipv4Address::parse("172.16.0.1")->is_private());
+  EXPECT_TRUE(Ipv4Address::parse("172.31.255.255")->is_private());
+  EXPECT_FALSE(Ipv4Address::parse("172.32.0.1")->is_private());
+  EXPECT_FALSE(Ipv4Address::parse("8.8.8.8")->is_private());
+  EXPECT_TRUE(Ipv4Address::parse("127.0.0.1")->is_loopback());
+  EXPECT_FALSE(Ipv4Address::parse("128.0.0.1")->is_loopback());
+}
+
+TEST(Ipv4Address, Ordering) {
+  EXPECT_LT(*Ipv4Address::parse("10.0.0.1"), *Ipv4Address::parse("10.0.0.2"));
+}
+
+TEST(Ipv6Address, ParseFullForm) {
+  const auto addr =
+      Ipv6Address::parse("2001:0db8:0000:0000:0000:0000:0000:0001");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->to_string(), "2001:db8::1");
+}
+
+TEST(Ipv6Address, ParseCompressed) {
+  EXPECT_EQ(Ipv6Address::parse("::1")->to_string(), "::1");
+  EXPECT_EQ(Ipv6Address::parse("::")->to_string(), "::");
+  EXPECT_EQ(Ipv6Address::parse("fe80::1")->to_string(), "fe80::1");
+  EXPECT_EQ(Ipv6Address::parse("2001:db8::8:800:200c:417a")->to_string(),
+            "2001:db8::8:800:200c:417a");
+}
+
+TEST(Ipv6Address, CompressesLongestZeroRun) {
+  // Two zero runs: 1:0:0:2:0:0:0:3 -> compress the longer (second) one.
+  EXPECT_EQ(Ipv6Address::parse("1:0:0:2:0:0:0:3")->to_string(), "1:0:0:2::3");
+}
+
+TEST(Ipv6Address, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv6Address::parse("").has_value());
+  EXPECT_FALSE(Ipv6Address::parse(":::").has_value());
+  EXPECT_FALSE(Ipv6Address::parse("1:2:3:4:5:6:7").has_value());
+  EXPECT_FALSE(Ipv6Address::parse("1:2:3:4:5:6:7:8:9").has_value());
+  EXPECT_FALSE(Ipv6Address::parse("1::2::3").has_value());
+  EXPECT_FALSE(Ipv6Address::parse("12345::").has_value());
+  EXPECT_FALSE(Ipv6Address::parse("gggg::").has_value());
+  // :: present but already 8 groups.
+  EXPECT_FALSE(Ipv6Address::parse("1:2:3:4:5:6:7:8::").has_value());
+}
+
+TEST(Ipv6Address, Loopback) {
+  EXPECT_TRUE(Ipv6Address::parse("::1")->is_loopback());
+  EXPECT_FALSE(Ipv6Address::parse("::2")->is_loopback());
+  EXPECT_FALSE(Ipv6Address::parse("1::1")->is_loopback());
+}
+
+TEST(Ipv6Address, RoundTripThroughOctets) {
+  const auto addr = Ipv6Address::parse("2001:db8:a0b:12f0::1");
+  ASSERT_TRUE(addr.has_value());
+  const Ipv6Address copy(addr->octets());
+  EXPECT_EQ(copy, *addr);
+  EXPECT_EQ(copy.to_string(), "2001:db8:a0b:12f0::1");
+}
+
+}  // namespace
+}  // namespace wm::net

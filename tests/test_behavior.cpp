@@ -1,0 +1,181 @@
+// Behavioural profiling from recovered choices, and capture
+// impairments (robustness utilities).
+#include <gtest/gtest.h>
+
+#include "wm/core/behavior.hpp"
+#include "wm/core/pipeline.hpp"
+#include "wm/sim/impairments.hpp"
+#include "wm/sim/session.hpp"
+#include "wm/story/bandersnatch.hpp"
+#include "wm/util/strings.hpp"
+
+namespace wm::core {
+namespace {
+
+using story::Choice;
+
+TEST(Behavior, AllDefaultViewerIsUnremarkable) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  const auto profile = profile_viewer(graph, std::vector<Choice>(13, Choice::kDefault),
+                                      default_trait_rules());
+  EXPECT_DOUBLE_EQ(profile.exploration_rate, 0.0);
+  EXPECT_GT(profile.questions, 0u);
+  EXPECT_FALSE(profile.ending.empty());
+  // Default picks still tag benign traits (breakfast brand etc.).
+  EXPECT_EQ(profile.picked_labels.front(), "Sugar Puffs");
+}
+
+TEST(Behavior, ViolentPathTagged) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  // Follow the main line (defaults) until the dad confrontation — the
+  // 9th question on the all-default path — then kill (non-default) and
+  // chop up the body (non-default).
+  std::vector<Choice> choices(13, Choice::kDefault);
+  choices[8] = Choice::kNonDefault;  // "Kill dad"
+  choices[9] = Choice::kNonDefault;  // "Chop up body"
+  const auto profile = profile_viewer(graph, choices, default_trait_rules());
+  const auto& tags = profile.tags;
+  EXPECT_NE(std::find(tags.begin(), tags.end(), "violence-affine"), tags.end())
+      << "picked labels were: " << util::join(profile.picked_labels, " | ");
+  EXPECT_EQ(profile.ending, "ENDING_FIVE_STARS");
+}
+
+TEST(Behavior, BrandPreferenceLeaks) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  // Q1 non-default = Frosties.
+  std::vector<Choice> choices(13, Choice::kDefault);
+  choices[0] = Choice::kNonDefault;
+  const auto profile = profile_viewer(graph, choices, default_trait_rules());
+  const auto& tags = profile.tags;
+  EXPECT_NE(std::find(tags.begin(), tags.end(), "brand:frosties"), tags.end());
+}
+
+TEST(Behavior, MetaAwareTagViaJobPath) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  // Accept the job (Q3 non-default) then pick Netflix at the meta
+  // question (next non-default).
+  std::vector<Choice> choices{Choice::kDefault, Choice::kDefault,
+                              Choice::kNonDefault, Choice::kNonDefault};
+  const auto profile = profile_viewer(graph, choices, default_trait_rules());
+  const auto& tags = profile.tags;
+  EXPECT_NE(std::find(tags.begin(), tags.end(), "meta-aware"), tags.end());
+  EXPECT_EQ(profile.ending, "ENDING_NETFLIX_META");
+}
+
+TEST(Behavior, EmptyChoicesNoCrash) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  const auto profile = profile_viewer(graph, {}, default_trait_rules());
+  EXPECT_EQ(profile.questions, 0u);
+  EXPECT_DOUBLE_EQ(profile.exploration_rate, 0.0);
+  EXPECT_TRUE(profile.ending.empty());  // never reached one
+}
+
+TEST(Behavior, CohortReportAggregates) {
+  CohortBehaviorReport report;
+  ViewerTraitProfile explorer;
+  explorer.exploration_rate = 1.0;
+  explorer.tags = {"risk-taking"};
+  ViewerTraitProfile conformist;
+  conformist.exploration_rate = 0.0;
+
+  report.add(explorer, {"mood=Stressed", "all"});
+  report.add(conformist, {"mood=Happy", "all"});
+  report.add(conformist, {"mood=Happy", "all"});
+
+  ASSERT_EQ(report.groups.size(), 3u);
+  EXPECT_EQ(report.groups.at("all").viewers, 3u);
+  EXPECT_NEAR(report.groups.at("all").mean_exploration, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(report.groups.at("mood=Stressed").mean_exploration, 1.0);
+  EXPECT_DOUBLE_EQ(report.groups.at("mood=Happy").mean_exploration, 0.0);
+  EXPECT_EQ(report.groups.at("all").tag_counts.at("risk-taking"), 1u);
+}
+
+TEST(Behavior, ProfilesComputableFromAttackOutput) {
+  // End-to-end: infer choices from a capture, then profile them.
+  const story::StoryGraph graph = story::make_bandersnatch();
+  std::vector<Choice> calib_choices;
+  for (int i = 0; i < 13; ++i) {
+    calib_choices.push_back(i % 2 == 0 ? Choice::kNonDefault : Choice::kDefault);
+  }
+  std::vector<CalibrationSession> calibration;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    sim::SessionConfig config;
+    config.seed = 5600 + s;
+    auto session = sim::simulate_session(graph, calib_choices, config);
+    calibration.push_back(CalibrationSession{std::move(session.capture.packets),
+                                             std::move(session.truth)});
+  }
+  AttackPipeline attack("interval");
+  attack.calibrate(calibration);
+
+  sim::SessionConfig config;
+  config.seed = 5700;
+  const auto victim = sim::simulate_session(
+      graph, std::vector<Choice>(13, Choice::kNonDefault), config);
+  const auto inferred = attack.infer(victim.capture.packets);
+  const auto profile =
+      profile_viewer(graph, inferred.choices(), default_trait_rules());
+  EXPECT_GT(profile.exploration_rate, 0.9);
+  EXPECT_FALSE(profile.tags.empty());
+}
+
+}  // namespace
+}  // namespace wm::core
+
+namespace wm::sim {
+namespace {
+
+std::vector<net::Packet> sample_capture() {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  SessionConfig config;
+  config.seed = 777;
+  return simulate_session(graph,
+                          std::vector<story::Choice>(13, story::Choice::kDefault),
+                          config)
+      .capture.packets;
+}
+
+TEST(Impairments, DropRateRoughlyHonoured) {
+  const auto packets = sample_capture();
+  util::Rng rng(1);
+  const auto degraded = drop_packets(packets, 0.1, rng);
+  const double kept =
+      static_cast<double>(degraded.size()) / static_cast<double>(packets.size());
+  EXPECT_NEAR(kept, 0.9, 0.03);
+  util::Rng rng2(2);
+  EXPECT_EQ(drop_packets(packets, 0.0, rng2).size(), packets.size());
+}
+
+TEST(Impairments, SnaplenTruncates) {
+  const auto packets = sample_capture();
+  const auto truncated = truncate_snaplen(packets, 96);
+  ASSERT_EQ(truncated.size(), packets.size());
+  for (std::size_t i = 0; i < truncated.size(); ++i) {
+    EXPECT_LE(truncated[i].data.size(), 96u);
+    if (packets[i].data.size() > 96) {
+      EXPECT_EQ(truncated[i].original_length, packets[i].data.size());
+    }
+  }
+}
+
+TEST(Impairments, JitterPreservesPacketSet) {
+  const auto packets = sample_capture();
+  util::Rng rng(3);
+  const auto jittered = jitter_order(packets, 0.001, rng);
+  ASSERT_EQ(jittered.size(), packets.size());
+  // Sorted by time.
+  for (std::size_t i = 1; i < jittered.size(); ++i) {
+    EXPECT_LE(jittered[i - 1].timestamp, jittered[i].timestamp);
+  }
+  // Same multiset of payload sizes.
+  auto sizes = [](const std::vector<net::Packet>& v) {
+    std::vector<std::size_t> out;
+    for (const auto& p : v) out.push_back(p.data.size());
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(sizes(jittered), sizes(packets));
+}
+
+}  // namespace
+}  // namespace wm::sim

@@ -1,0 +1,134 @@
+#include "wm/util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wm::util {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x16, 0x03, 0xff, 0xab};
+  EXPECT_EQ(to_hex(data), "001603ffab");
+  EXPECT_EQ(from_hex("001603ffab"), data);
+  EXPECT_EQ(from_hex("00 16 03 ff ab"), data);
+  EXPECT_EQ(from_hex("0016 03FF AB"), data);
+}
+
+TEST(Bytes, FromHexRejectsBadInput) {
+  EXPECT_THROW(from_hex("0g"), std::invalid_argument);
+  EXPECT_THROW(from_hex("012"), std::invalid_argument);
+}
+
+TEST(Bytes, FromHexEmpty) { EXPECT_TRUE(from_hex("").empty()); }
+
+TEST(Bytes, HexDumpShape) {
+  Bytes data(20, 0x41);  // 'A'
+  const std::string dump = hex_dump(data);
+  EXPECT_NE(dump.find("00000000"), std::string::npos);
+  EXPECT_NE(dump.find("00000010"), std::string::npos);
+  EXPECT_NE(dump.find("AAAA"), std::string::npos);  // ASCII gutter
+}
+
+TEST(ByteReader, ReadsBigEndian) {
+  const Bytes data = from_hex("0102030405060708");
+  ByteReader reader(data);
+  EXPECT_EQ(reader.read_u16_be(), 0x0102);
+  EXPECT_EQ(reader.read_u24_be(), 0x030405u);
+  EXPECT_EQ(reader.read_u8(), 0x06);
+  EXPECT_EQ(reader.remaining(), 2u);
+}
+
+TEST(ByteReader, ReadsLittleEndian) {
+  const Bytes data = from_hex("d4c3b2a10100");
+  ByteReader reader(data);
+  EXPECT_EQ(reader.read_u32_le(), 0xa1b2c3d4u);
+  EXPECT_EQ(reader.read_u16_le(), 0x0001);
+}
+
+TEST(ByteReader, Reads64Bit) {
+  const Bytes data = from_hex("0102030405060708" "0807060504030201");
+  ByteReader reader(data);
+  EXPECT_EQ(reader.read_u64_be(), 0x0102030405060708ull);
+  EXPECT_EQ(reader.read_u64_le(), 0x0102030405060708ull);
+}
+
+TEST(ByteReader, BoundsChecked) {
+  const Bytes data = {0x01, 0x02};
+  ByteReader reader(data);
+  reader.read_u16_be();
+  EXPECT_THROW(reader.read_u8(), OutOfBoundsError);
+  EXPECT_TRUE(reader.at_end());
+}
+
+TEST(ByteReader, BoundsErrorCarriesCounts) {
+  const Bytes data = {0x01};
+  ByteReader reader(data);
+  try {
+    reader.read_u32_be();
+    FAIL() << "expected OutOfBoundsError";
+  } catch (const OutOfBoundsError& e) {
+    EXPECT_EQ(e.requested(), 4u);
+    EXPECT_EQ(e.available(), 1u);
+  }
+}
+
+TEST(ByteReader, SeekAndSkip) {
+  const Bytes data = from_hex("00112233445566");
+  ByteReader reader(data);
+  reader.skip(2);
+  EXPECT_EQ(reader.read_u8(), 0x22);
+  reader.seek(0);
+  EXPECT_EQ(reader.read_u8(), 0x00);
+  EXPECT_THROW(reader.seek(8), OutOfBoundsError);
+  EXPECT_THROW(reader.skip(10), OutOfBoundsError);
+}
+
+TEST(ByteReader, PeekDoesNotAdvance) {
+  const Bytes data = from_hex("1603");
+  ByteReader reader(data);
+  EXPECT_EQ(reader.peek_u8(), 0x16);
+  EXPECT_EQ(reader.peek_u16_be(), 0x1603);
+  EXPECT_EQ(reader.position(), 0u);
+}
+
+TEST(ByteReader, ViewsBorrowWithoutCopy) {
+  const Bytes data = from_hex("aabbccdd");
+  ByteReader reader(data);
+  const BytesView view = reader.read_view(2);
+  EXPECT_EQ(view.data(), data.data());
+  EXPECT_EQ(view.size(), 2u);
+}
+
+TEST(ByteWriter, WritesAllWidths) {
+  ByteWriter writer;
+  writer.write_u8(0x01);
+  writer.write_u16_be(0x0203);
+  writer.write_u24_be(0x040506);
+  writer.write_u32_be(0x0708090a);
+  writer.write_u16_le(0x0c0b);
+  writer.write_u32_le(0x100f0e0d);
+  writer.write_u64_be(0x1112131415161718ull);
+  EXPECT_EQ(to_hex(writer.view()),
+            "0102030405060708090a0b0c0d0e0f101112131415161718");
+}
+
+TEST(ByteWriter, PatchLengthField) {
+  ByteWriter writer;
+  writer.write_u8(0x16);
+  writer.write_u16_be(0x0303);
+  writer.write_u16_be(0);  // placeholder
+  writer.write_repeated(0xaa, 5);
+  writer.patch_u16_be(3, 5);
+  EXPECT_EQ(to_hex(writer.view()), "1603030005aaaaaaaaaa");
+  EXPECT_THROW(writer.patch_u16_be(9, 1), OutOfBoundsError);
+}
+
+TEST(ByteWriter, TakeResets) {
+  ByteWriter writer;
+  writer.write_u32_be(42);
+  const Bytes taken = writer.take();
+  EXPECT_EQ(taken.size(), 4u);
+  EXPECT_EQ(writer.size(), 0u);
+}
+
+}  // namespace
+}  // namespace wm::util

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "wm/core/classifier.hpp"
+
+namespace wm::core {
+namespace {
+
+LabeledObservation labelled(std::uint16_t length, RecordClass cls,
+                            double seconds = 0.0) {
+  LabeledObservation out;
+  out.observation.timestamp = util::SimTime::from_seconds(seconds);
+  out.observation.record_length = length;
+  out.label = cls;
+  return out;
+}
+
+/// Calibration set mimicking the Linux/Firefox bands of Fig. 2.
+std::vector<LabeledObservation> fig2_calibration() {
+  std::vector<LabeledObservation> out;
+  for (std::uint16_t len : {2211, 2212, 2213, 2212, 2211}) {
+    out.push_back(labelled(len, RecordClass::kType1Json));
+  }
+  for (std::uint16_t len : {2992, 3001, 3017, 2999, 3010}) {
+    out.push_back(labelled(len, RecordClass::kType2Json));
+  }
+  for (std::uint16_t len : {404, 650, 2250, 2400, 2800, 4500, 16408}) {
+    out.push_back(labelled(len, RecordClass::kOther));
+  }
+  return out;
+}
+
+TEST(IntervalClassifier, LearnsFig2Bands) {
+  IntervalClassifier clf(/*guard=*/0);
+  clf.fit(fig2_calibration());
+  EXPECT_TRUE(clf.fitted());
+  EXPECT_FALSE(clf.bands_overlap());
+  // Observed covering intervals are 2211-2213 (width 3) and 2992-3017
+  // (width 26); the adaptive guard widens each side by width/3.
+  EXPECT_EQ(clf.type1_band().to_string(), "2210-2214");
+  EXPECT_EQ(clf.type2_band().to_string(), "2984-3025");
+
+  EXPECT_EQ(clf.classify(2212), RecordClass::kType1Json);
+  EXPECT_EQ(clf.classify(3000), RecordClass::kType2Json);
+  EXPECT_EQ(clf.classify(2992), RecordClass::kType2Json);
+  EXPECT_EQ(clf.classify(2500), RecordClass::kOther);
+  EXPECT_EQ(clf.classify(100), RecordClass::kOther);
+  EXPECT_EQ(clf.classify(16408), RecordClass::kOther);
+}
+
+TEST(IntervalClassifier, GuardWidensBands) {
+  IntervalClassifier clf(/*guard=*/3);
+  clf.fit(fig2_calibration());
+  // guard 3 > width/3 = 1 for the type-1 band: [2208, 2216].
+  EXPECT_EQ(clf.classify(2208), RecordClass::kType1Json);
+  EXPECT_EQ(clf.classify(2216), RecordClass::kType1Json);
+  EXPECT_EQ(clf.classify(2217), RecordClass::kOther);
+  EXPECT_EQ(clf.classify(2207), RecordClass::kOther);
+}
+
+TEST(IntervalClassifier, RequiresBothJsonClasses) {
+  IntervalClassifier clf;
+  std::vector<LabeledObservation> only_type1{
+      labelled(2212, RecordClass::kType1Json)};
+  EXPECT_THROW(clf.fit(only_type1), std::invalid_argument);
+  std::vector<LabeledObservation> only_type2{
+      labelled(3000, RecordClass::kType2Json)};
+  EXPECT_THROW(clf.fit(only_type2), std::invalid_argument);
+}
+
+TEST(IntervalClassifier, ClassifyBeforeFitThrows) {
+  IntervalClassifier clf;
+  EXPECT_THROW(clf.classify(100), std::logic_error);
+}
+
+TEST(IntervalClassifier, OverlappingBandsAbstain) {
+  std::vector<LabeledObservation> overlapping;
+  for (std::uint16_t len : {1000, 1010}) {
+    overlapping.push_back(labelled(len, RecordClass::kType1Json));
+  }
+  for (std::uint16_t len : {1005, 1020}) {
+    overlapping.push_back(labelled(len, RecordClass::kType2Json));
+  }
+  IntervalClassifier clf(/*guard=*/0);
+  clf.fit(overlapping);
+  EXPECT_TRUE(clf.bands_overlap());
+  // Adaptive widening: type-1 [1000,1010]+3 -> [997,1013]; type-2
+  // [1005,1020]+5 -> [1000,1025]. Contested lengths abstain to "other".
+  EXPECT_EQ(clf.classify(1007), RecordClass::kOther);
+  EXPECT_EQ(clf.classify(1001), RecordClass::kOther);  // now contested too
+  // Uncontested parts still classify.
+  EXPECT_EQ(clf.classify(998), RecordClass::kType1Json);
+  EXPECT_EQ(clf.classify(1015), RecordClass::kType2Json);
+}
+
+TEST(KnnClassifier, OneNnSelfClassifiesPerfectly) {
+  KnnClassifier clf(1);
+  const auto calibration = fig2_calibration();
+  clf.fit(calibration);
+  const auto matrix = evaluate_classifier(clf, calibration);
+  EXPECT_DOUBLE_EQ(matrix.accuracy(), 1.0);
+}
+
+TEST(KnnClassifier, ThreeNnMostlyCorrectOnSparseOthers) {
+  // With k=3 the sparse "others" points near a dense JSON band can be
+  // outvoted — kNN is a sanity baseline, not the paper's method.
+  KnnClassifier clf(3);
+  const auto calibration = fig2_calibration();
+  clf.fit(calibration);
+  const auto matrix = evaluate_classifier(clf, calibration);
+  EXPECT_GE(matrix.accuracy(), 0.8);
+}
+
+TEST(KnnClassifier, NearestNeighbourWins) {
+  KnnClassifier clf(1);
+  clf.fit(fig2_calibration());
+  EXPECT_EQ(clf.classify(2214), RecordClass::kType1Json);
+  EXPECT_EQ(clf.classify(2980), RecordClass::kType2Json);
+  EXPECT_EQ(clf.classify(500), RecordClass::kOther);
+}
+
+TEST(KnnClassifier, EmptyCalibrationRejected) {
+  KnnClassifier clf;
+  EXPECT_THROW(clf.fit({}), std::invalid_argument);
+  EXPECT_THROW(clf.classify(1), std::logic_error);
+}
+
+TEST(KnnClassifier, KLargerThanDataset) {
+  KnnClassifier clf(100);
+  std::vector<LabeledObservation> tiny{
+      labelled(100, RecordClass::kOther),
+      labelled(2212, RecordClass::kType1Json),
+      labelled(2212, RecordClass::kType1Json),
+      labelled(3000, RecordClass::kType2Json),
+      labelled(3000, RecordClass::kType2Json),
+      labelled(3001, RecordClass::kType2Json),
+  };
+  clf.fit(tiny);
+  // All points vote; type-2 has plurality.
+  EXPECT_EQ(clf.classify(5000), RecordClass::kType2Json);
+}
+
+TEST(GaussianNb, ClassifiesFig2) {
+  GaussianNbClassifier clf;
+  const auto calibration = fig2_calibration();
+  clf.fit(calibration);
+  EXPECT_EQ(clf.classify(2212), RecordClass::kType1Json);
+  EXPECT_EQ(clf.classify(3005), RecordClass::kType2Json);
+  EXPECT_EQ(clf.classify(400), RecordClass::kOther);
+}
+
+TEST(GaussianNb, EmptyCalibrationRejected) {
+  GaussianNbClassifier clf;
+  EXPECT_THROW(clf.fit({}), std::invalid_argument);
+  EXPECT_THROW(clf.classify(1), std::logic_error);
+}
+
+TEST(GaussianNb, MissingClassNeverPredicted) {
+  GaussianNbClassifier clf;
+  std::vector<LabeledObservation> two_class{
+      labelled(2212, RecordClass::kType1Json),
+      labelled(2213, RecordClass::kType1Json),
+      labelled(400, RecordClass::kOther),
+      labelled(500, RecordClass::kOther),
+  };
+  clf.fit(two_class);
+  for (std::uint16_t len : {100, 2212, 3000, 10000}) {
+    EXPECT_NE(clf.classify(len), RecordClass::kType2Json);
+  }
+}
+
+TEST(MakeClassifier, FactoryNames) {
+  EXPECT_EQ(make_classifier("interval")->name(), "interval");
+  EXPECT_EQ(make_classifier("knn")->name(), "knn");
+  EXPECT_EQ(make_classifier("gaussian-nb")->name(), "gaussian-nb");
+  EXPECT_THROW(make_classifier("svm"), std::invalid_argument);
+}
+
+TEST(EvaluateClassifier, ConfusionMatrixShape) {
+  IntervalClassifier clf;
+  const auto calibration = fig2_calibration();
+  clf.fit(calibration);
+  const auto matrix = evaluate_classifier(clf, calibration);
+  EXPECT_EQ(matrix.total(), calibration.size());
+  EXPECT_DOUBLE_EQ(matrix.accuracy(), 1.0);
+  EXPECT_EQ(matrix.labels()[0], "type-1");
+}
+
+/// Property sweep: for every operational profile, a classifier fitted
+/// on samples drawn from that profile classifies fresh samples
+/// perfectly — the in-profile disjointness that Fig. 2 demonstrates.
+class PerProfileClassification
+    : public ::testing::TestWithParam<sim::OperationalConditions> {};
+
+TEST_P(PerProfileClassification, IntervalPerfectWithinProfile) {
+  const sim::TrafficProfile profile = sim::make_traffic_profile(GetParam());
+  const tls::CipherModel cipher(profile.tls.suite, profile.tls.tls13_pad_to);
+  util::Rng rng(4242);
+
+  auto draw = [&](sim::ClientMessageKind kind, RecordClass cls, int n,
+                  std::vector<LabeledObservation>& out) {
+    for (int i = 0; i < n; ++i) {
+      const std::size_t sealed =
+          cipher.seal_size(profile.sample_plaintext(kind, rng));
+      out.push_back(labelled(static_cast<std::uint16_t>(sealed), cls));
+    }
+  };
+
+  std::vector<LabeledObservation> calibration;
+  draw(sim::ClientMessageKind::kType1Json, RecordClass::kType1Json, 40, calibration);
+  draw(sim::ClientMessageKind::kType2Json, RecordClass::kType2Json, 40, calibration);
+  draw(sim::ClientMessageKind::kChunkRequest, RecordClass::kOther, 60, calibration);
+  draw(sim::ClientMessageKind::kTelemetry, RecordClass::kOther, 60, calibration);
+  draw(sim::ClientMessageKind::kLogBatch, RecordClass::kOther, 20, calibration);
+
+  IntervalClassifier clf;
+  clf.fit(calibration);
+  EXPECT_FALSE(clf.bands_overlap()) << GetParam().to_string();
+
+  std::vector<LabeledObservation> fresh;
+  draw(sim::ClientMessageKind::kType1Json, RecordClass::kType1Json, 20, fresh);
+  draw(sim::ClientMessageKind::kType2Json, RecordClass::kType2Json, 20, fresh);
+  draw(sim::ClientMessageKind::kChunkRequest, RecordClass::kOther, 30, fresh);
+  draw(sim::ClientMessageKind::kTelemetry, RecordClass::kOther, 30, fresh);
+  const auto matrix = evaluate_classifier(clf, fresh);
+  EXPECT_DOUBLE_EQ(matrix.accuracy(), 1.0) << GetParam().to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConditions, PerProfileClassification,
+    ::testing::ValuesIn(sim::all_operational_conditions()),
+    [](const ::testing::TestParamInfo<sim::OperationalConditions>& info) {
+      std::string name =
+          sim::to_string(info.param.os) + sim::to_string(info.param.platform) +
+          sim::to_string(info.param.traffic) +
+          sim::to_string(info.param.connection) + sim::to_string(info.param.browser);
+      std::erase_if(name, [](char c) { return !std::isalnum(
+                                           static_cast<unsigned char>(c)); });
+      return name;
+    });
+
+}  // namespace
+}  // namespace wm::core

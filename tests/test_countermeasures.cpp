@@ -1,0 +1,231 @@
+// Countermeasure transforms and the residual timing attack (§VI).
+#include <gtest/gtest.h>
+
+#include "wm/counter/eval.hpp"
+#include "wm/counter/timing_attack.hpp"
+#include "wm/counter/transforms.hpp"
+#include "wm/story/bandersnatch.hpp"
+
+namespace wm::counter {
+namespace {
+
+using sim::ClientMessageKind;
+using story::Choice;
+
+TEST(Transforms, IdentityPassesThrough) {
+  const auto t = identity_transform();
+  EXPECT_EQ(t(ClientMessageKind::kType1Json, 2188),
+            std::vector<std::size_t>{2188});
+}
+
+TEST(Transforms, PadToBucketRoundsUp) {
+  const auto t = pad_to_bucket(1024);
+  EXPECT_EQ(t(ClientMessageKind::kType1Json, 2188),
+            std::vector<std::size_t>{3072});
+  EXPECT_EQ(t(ClientMessageKind::kType2Json, 3000),
+            std::vector<std::size_t>{3072});  // both JSONs collide
+  EXPECT_EQ(t(ClientMessageKind::kTelemetry, 1024),
+            std::vector<std::size_t>{1024});  // exact multiple unchanged
+  EXPECT_EQ(t(ClientMessageKind::kTelemetry, 0), std::vector<std::size_t>{1024});
+  EXPECT_THROW(pad_to_bucket(0), std::invalid_argument);
+}
+
+TEST(Transforms, SplitKeepsLeakyTail) {
+  const auto t = split_records(1024);
+  const auto pieces = t(ClientMessageKind::kType1Json, 2188);
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], 1024u);
+  EXPECT_EQ(pieces[1], 1024u);
+  EXPECT_EQ(pieces[2], 140u);  // 2188 mod 1024 — still distinguishable!
+  std::size_t total = 0;
+  for (std::size_t p : pieces) total += p;
+  EXPECT_EQ(total, 2188u);
+  EXPECT_THROW(split_records(0), std::invalid_argument);
+}
+
+TEST(Transforms, SplitAndPadRemovesTail) {
+  const auto t = split_and_pad(1024);
+  const auto a = t(ClientMessageKind::kType1Json, 2188);
+  const auto b = t(ClientMessageKind::kType2Json, 3000);
+  ASSERT_EQ(a.size(), 3u);
+  ASSERT_EQ(b.size(), 3u);
+  for (std::size_t p : a) EXPECT_EQ(p, 1024u);
+  for (std::size_t p : b) EXPECT_EQ(p, 1024u);
+  EXPECT_EQ(t(ClientMessageKind::kTelemetry, 0).size(), 1u);
+  EXPECT_THROW(split_and_pad(0), std::invalid_argument);
+}
+
+TEST(Transforms, CompressShrinksDeterministically) {
+  const auto t = compress(0.5, 0.1);
+  const auto a = t(ClientMessageKind::kType1Json, 2188);
+  const auto b = t(ClientMessageKind::kType1Json, 2188);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a, b);  // deterministic per size
+  EXPECT_LT(a[0], 2188u);
+  EXPECT_GE(a[0], 64u);
+  EXPECT_THROW(compress(0.0), std::invalid_argument);
+  EXPECT_THROW(compress(1.5), std::invalid_argument);
+}
+
+TEST(Transforms, CompressFloorsTinyPayloads) {
+  const auto t = compress(0.3, 0.0);
+  EXPECT_EQ(t(ClientMessageKind::kTelemetry, 10), std::vector<std::size_t>{64});
+}
+
+// --- end-to-end countermeasure evaluation -------------------------------
+
+class CountermeasureEndToEnd : public ::testing::Test {
+ protected:
+  static CountermeasureEvalConfig small_config() {
+    CountermeasureEvalConfig config;
+    config.calibration_sessions = 3;
+    config.eval_sessions = 3;
+    config.seed = 424242;
+    return config;
+  }
+};
+
+TEST_F(CountermeasureEndToEnd, NoCountermeasureAttackWins) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  const auto run = evaluate_countermeasure(graph, "none", identity_transform(),
+                                           small_config());
+  EXPECT_FALSE(run.classifier_bands_overlap);
+  // Worst case tolerates one band-edge miss on a short session.
+  EXPECT_GE(run.length_attack.worst_accuracy, 0.7);
+  EXPECT_GE(run.length_attack.pooled_accuracy, 0.85);
+  EXPECT_NEAR(run.overhead_fraction, 0.0, 1e-9);
+}
+
+TEST_F(CountermeasureEndToEnd, PaddingCollapsesLengthAttack) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  const auto run = evaluate_countermeasure(graph, "pad", pad_to_bucket(4096),
+                                           small_config());
+  EXPECT_TRUE(run.classifier_bands_overlap);
+  // With all uploads identical, the decoder cannot find questions.
+  EXPECT_LT(run.length_attack.pooled_accuracy, 0.5);
+  EXPECT_GT(run.overhead_fraction, 0.0);
+}
+
+TEST_F(CountermeasureEndToEnd, SplitAloneStillLeaks) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  const auto run = evaluate_countermeasure(graph, "split", split_records(1024),
+                                           small_config());
+  // The final-fragment length still separates the two JSON types, so
+  // the attack retains signal (the paper's "easy fix" is not so easy).
+  EXPECT_FALSE(run.classifier_bands_overlap);
+  EXPECT_GE(run.length_attack.pooled_accuracy, 0.8);
+}
+
+TEST_F(CountermeasureEndToEnd, SplitAndPadDefeatsLengthAttack) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  const auto run = evaluate_countermeasure(graph, "split+pad",
+                                           split_and_pad(1024), small_config());
+  EXPECT_TRUE(run.classifier_bands_overlap);
+  EXPECT_LT(run.length_attack.pooled_accuracy, 0.5);
+}
+
+TEST_F(CountermeasureEndToEnd, TimingChannelSurvivesPadding) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  const auto run = evaluate_countermeasure(graph, "pad", pad_to_bucket(4096),
+                                           small_config());
+  // The timing attack recovers a meaningful share of choices even when
+  // lengths are uniform — the §VI caveat.
+  EXPECT_GT(run.timing_attack.pooled_accuracy, 0.55);
+}
+
+TEST_F(CountermeasureEndToEnd, UniformUploadsKillTimingChannel) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  CountermeasureEvalConfig config = small_config();
+  config.eval_sessions = 5;
+  config.streaming.uniform_decision_uploads = true;
+  const auto run = evaluate_countermeasure(graph, "split+pad+uniform",
+                                           split_and_pad(1024), config);
+  // Neither channel carries information beyond the blind majority guess.
+  EXPECT_LE(run.length_attack.pooled_accuracy,
+            run.blind_guess_accuracy + 0.05);
+  EXPECT_LE(run.timing_attack.pooled_accuracy,
+            run.blind_guess_accuracy + 0.05);
+}
+
+TEST(UniformUploads, EveryQuestionGetsExactlyOneWindowEndUpload) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  const sim::TrafficProfile profile =
+      sim::make_traffic_profile(sim::OperationalConditions{});
+  sim::StreamingConfig config;
+  config.uniform_decision_uploads = true;
+  util::Rng rng(31);
+  std::vector<Choice> choices;
+  for (int i = 0; i < 13; ++i) {
+    choices.push_back(i % 2 == 0 ? Choice::kNonDefault : Choice::kDefault);
+  }
+  const sim::AppTrace trace =
+      sim::simulate_app_trace(graph, choices, profile, config, rng);
+
+  std::size_t type2 = 0;
+  std::size_t decoys = 0;
+  std::vector<util::SimTime> upload_times;
+  for (const sim::AppEvent& event : trace.events) {
+    if (!event.from_client) continue;
+    if (event.client_kind == sim::ClientMessageKind::kType2Json) {
+      ++type2;
+      upload_times.push_back(event.time);
+    } else if (event.client_kind == sim::ClientMessageKind::kDecoyUpload) {
+      ++decoys;
+      upload_times.push_back(event.time);
+    }
+  }
+  // One upload per question: overrides + decoys == questions.
+  EXPECT_EQ(type2 + decoys, trace.truth.questions.size());
+  std::size_t non_defaults = 0;
+  for (const auto& q : trace.truth.questions) {
+    if (q.choice == Choice::kNonDefault) ++non_defaults;
+  }
+  EXPECT_EQ(type2, non_defaults);
+  EXPECT_EQ(decoys, trace.truth.questions.size() - non_defaults);
+
+  // Every upload sits exactly at its question's window end — the wire
+  // timing is choice-independent.
+  ASSERT_EQ(upload_times.size(), trace.truth.questions.size());
+  std::sort(upload_times.begin(), upload_times.end());
+  for (std::size_t i = 0; i < trace.truth.questions.size(); ++i) {
+    const util::SimTime expected =
+        trace.truth.questions[i].question_time +
+        util::Duration::from_seconds(config.choice_window_seconds);
+    EXPECT_EQ(upload_times[i], expected);
+  }
+}
+
+TEST(UniformUploads, DecoysShapedLikeType2) {
+  const sim::TrafficProfile profile =
+      sim::make_traffic_profile(sim::OperationalConditions{});
+  const auto real_band = profile.sealed_band(sim::ClientMessageKind::kType2Json);
+  const auto decoy_band =
+      profile.sealed_band(sim::ClientMessageKind::kDecoyUpload);
+  EXPECT_EQ(real_band, decoy_band);
+}
+
+// --- timing attack unit behaviour ---------------------------------------
+
+TEST(TimingAttack, DetectsWindowsOnPlainSessions) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  sim::SessionConfig config;
+  config.seed = 9001;
+  const std::vector<Choice> choices(13, Choice::kNonDefault);
+  const auto session = sim::simulate_session(graph, choices, config);
+
+  TimingAttackConfig timing_config;
+  const TimingInference result =
+      timing_attack(session.capture.packets, timing_config);
+  // Should detect roughly one window per question.
+  EXPECT_GE(result.windows_detected, session.truth.questions.size() - 1);
+  EXPECT_LE(result.windows_detected, session.truth.questions.size() + 2);
+}
+
+TEST(TimingAttack, EmptyCaptureHandled) {
+  const TimingInference result = timing_attack(std::vector<net::Packet>{}, {});
+  EXPECT_EQ(result.windows_detected, 0u);
+  EXPECT_TRUE(result.session.questions.empty());
+}
+
+}  // namespace
+}  // namespace wm::counter

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "wm/dataset/builder.hpp"
+#include "wm/dataset/choice_policy.hpp"
+#include "wm/net/pcap.hpp"
+#include "wm/net/pcapng.hpp"
+#include "wm/story/bandersnatch.hpp"
+
+namespace wm::dataset {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(Attributes, StringRoundTrips) {
+  for (AgeGroup v : {AgeGroup::kUnder20, AgeGroup::k20To25, AgeGroup::k25To30,
+                     AgeGroup::kOver30}) {
+    EXPECT_EQ(parse_age_group(to_string(v)), v);
+  }
+  for (Gender v : {Gender::kMale, Gender::kFemale, Gender::kUndisclosed}) {
+    EXPECT_EQ(parse_gender(to_string(v)), v);
+  }
+  for (PoliticalAlignment v :
+       {PoliticalAlignment::kLiberal, PoliticalAlignment::kCentrist,
+        PoliticalAlignment::kCommunist, PoliticalAlignment::kUndisclosed}) {
+    EXPECT_EQ(parse_political(to_string(v)), v);
+  }
+  for (StateOfMind v : {StateOfMind::kHappy, StateOfMind::kStressed,
+                        StateOfMind::kSad, StateOfMind::kUndisclosed}) {
+    EXPECT_EQ(parse_state_of_mind(to_string(v)), v);
+  }
+  EXPECT_EQ(parse_os("Windows"), sim::OperatingSystem::kWindows);
+  EXPECT_EQ(parse_browser("Google-chrome"), sim::Browser::kChrome);
+  EXPECT_FALSE(parse_os("BeOS").has_value());
+  EXPECT_FALSE(parse_age_group("ancient").has_value());
+}
+
+TEST(Attributes, TableIValueSetsMatchPaper) {
+  // The paper's Table I enumerates exactly these values.
+  EXPECT_EQ(to_string(AgeGroup::kUnder20), "<20");
+  EXPECT_EQ(to_string(AgeGroup::kOver30), ">30");
+  EXPECT_EQ(to_string(PoliticalAlignment::kCommunist), "Communist");
+  EXPECT_EQ(to_string(StateOfMind::kStressed), "Stressed");
+  EXPECT_EQ(sim::to_string(sim::Browser::kChrome), "Google-chrome");
+  EXPECT_EQ(sim::to_string(sim::TrafficCondition::kNoon), "Noon");
+}
+
+TEST(Cohort, SamplesRequestedCountWithIds) {
+  util::Rng rng(1);
+  const auto cohort = sample_cohort(100, rng);
+  ASSERT_EQ(cohort.size(), 100u);
+  for (std::size_t i = 0; i < cohort.size(); ++i) {
+    EXPECT_EQ(cohort[i].id, i + 1);
+  }
+}
+
+TEST(Cohort, CoversAttributeSpace) {
+  util::Rng rng(2);
+  const auto cohort = sample_cohort(100, rng);
+  std::set<std::string> os_seen;
+  std::set<std::string> age_seen;
+  std::set<std::string> mood_seen;
+  for (const Viewer& v : cohort) {
+    os_seen.insert(sim::to_string(v.operational.os));
+    age_seen.insert(to_string(v.behavioral.age));
+    mood_seen.insert(to_string(v.behavioral.mood));
+  }
+  EXPECT_EQ(os_seen.size(), 3u);
+  EXPECT_EQ(age_seen.size(), 4u);
+  EXPECT_EQ(mood_seen.size(), 4u);
+}
+
+TEST(ChoicePolicy, ProbabilityBoundedAndAttributeSensitive) {
+  BehavioralAttributes young_stressed;
+  young_stressed.age = AgeGroup::kUnder20;
+  young_stressed.mood = StateOfMind::kStressed;
+  BehavioralAttributes old_happy;
+  old_happy.age = AgeGroup::kOver30;
+  old_happy.mood = StateOfMind::kHappy;
+
+  for (std::size_t q = 1; q <= 12; ++q) {
+    const double p_young = default_probability(young_stressed, q);
+    const double p_old = default_probability(old_happy, q);
+    EXPECT_GE(p_young, 0.05);
+    EXPECT_LE(p_old, 0.95);
+    EXPECT_LT(p_young, p_old);  // stress + youth -> more exploratory
+  }
+  // Late questions shift everyone toward non-default.
+  EXPECT_LT(default_probability(old_happy, 10), default_probability(old_happy, 2));
+}
+
+TEST(ChoicePolicy, DrawsEnoughChoicesForGraph) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  util::Rng rng(3);
+  BehavioralAttributes behavioral;
+  const auto choices = draw_choices(graph, behavioral, rng);
+  EXPECT_GE(choices.size(), graph.max_questions());
+}
+
+TEST(GroundTruthJson, RoundTrip) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  sim::SessionGroundTruth truth;
+  truth.reached_ending = true;
+  truth.path = {graph.start()};
+  sim::QuestionOutcome q;
+  q.index = 1;
+  q.segment = graph.choice_segments()[0];
+  q.prompt = "Frosties or Sugar Puffs?";
+  q.choice = story::Choice::kNonDefault;
+  q.question_time = util::SimTime::from_seconds(17.25);
+  q.decision_time = util::SimTime::from_seconds(20.5);
+  truth.questions.push_back(q);
+
+  Viewer viewer;
+  viewer.id = 7;
+  const std::string json = ground_truth_to_json(viewer, truth, graph);
+  const sim::SessionGroundTruth loaded = ground_truth_from_json(json);
+  EXPECT_TRUE(loaded.reached_ending);
+  ASSERT_EQ(loaded.questions.size(), 1u);
+  EXPECT_EQ(loaded.questions[0].prompt, "Frosties or Sugar Puffs?");
+  EXPECT_EQ(loaded.questions[0].choice, story::Choice::kNonDefault);
+  EXPECT_NEAR(loaded.questions[0].question_time.to_seconds(), 17.25, 1e-6);
+  EXPECT_NEAR(loaded.questions[0].decision_time.to_seconds(), 20.5, 1e-6);
+}
+
+TEST(DatasetBuilder, GeneratesDeterministicDataPoints) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  DatasetConfig config;
+  config.viewer_count = 3;
+  config.seed = 99;
+  const auto points_a = generate_dataset(graph, config);
+  const auto points_b = generate_dataset(graph, config);
+  ASSERT_EQ(points_a.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(points_a[i].viewer.id, points_b[i].viewer.id);
+    EXPECT_EQ(points_a[i].session.capture.packets.size(),
+              points_b[i].session.capture.packets.size());
+    EXPECT_EQ(points_a[i].session.truth.choices(),
+              points_b[i].session.truth.choices());
+  }
+}
+
+TEST(DatasetBuilder, ViewersDiffer) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  DatasetConfig config;
+  config.viewer_count = 4;
+  config.seed = 100;
+  const auto points = generate_dataset(graph, config);
+  // At least two viewers made different choice sequences.
+  bool differ = false;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    differ |= points[i].session.truth.choices() !=
+              points[0].session.truth.choices();
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(DatasetBuilder, WriteAndReadBack) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  const fs::path dir = fs::temp_directory_path() / "wm_test_dataset";
+  fs::remove_all(dir);
+
+  DatasetConfig config;
+  config.viewer_count = 2;
+  config.seed = 123;
+  const std::size_t written = write_dataset(dir, graph, config);
+  EXPECT_EQ(written, 2u);
+
+  EXPECT_TRUE(fs::exists(dir / "manifest.json"));
+  EXPECT_TRUE(fs::exists(dir / "viewers.csv"));
+
+  const auto index = read_manifest(dir);
+  ASSERT_EQ(index.size(), 2u);
+  for (const DatasetIndexEntry& entry : index) {
+    EXPECT_TRUE(fs::exists(entry.trace_file)) << entry.trace_file;
+    EXPECT_TRUE(fs::exists(entry.truth_file)) << entry.truth_file;
+
+    // Traces load as valid pcap with plausible packet counts.
+    const auto packets = net::read_pcap(entry.trace_file);
+    EXPECT_GT(packets.size(), 100u);
+
+    const auto truth = read_ground_truth(entry.truth_file);
+    EXPECT_FALSE(truth.questions.empty());
+  }
+
+  // Attributes in the manifest match a regeneration of the cohort.
+  util::Rng rng(config.seed);
+  const auto cohort = sample_cohort(config.viewer_count, rng);
+  for (std::size_t i = 0; i < cohort.size(); ++i) {
+    EXPECT_EQ(index[i].viewer.operational, cohort[i].operational);
+    EXPECT_EQ(index[i].viewer.behavioral, cohort[i].behavioral);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(DatasetBuilder, PcapngFormatRoundTrips) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  const fs::path dir = fs::temp_directory_path() / "wm_test_dataset_ng";
+  fs::remove_all(dir);
+
+  DatasetConfig config;
+  config.viewer_count = 1;
+  config.seed = 321;
+  config.capture_format = CaptureFormat::kPcapng;
+  ASSERT_EQ(write_dataset(dir, graph, config), 1u);
+
+  const auto index = read_manifest(dir);
+  ASSERT_EQ(index.size(), 1u);
+  EXPECT_EQ(index[0].trace_file.extension(), ".pcapng");
+  // read_any_capture dispatches on the SHB magic.
+  const auto packets = net::read_any_capture(index[0].trace_file);
+  EXPECT_GT(packets.size(), 100u);
+  fs::remove_all(dir);
+}
+
+TEST(DatasetBuilder, ManifestErrorsSurface) {
+  EXPECT_THROW(read_manifest("/nonexistent/path"), std::runtime_error);
+  EXPECT_THROW(read_ground_truth("/nonexistent/truth.json"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wm::dataset

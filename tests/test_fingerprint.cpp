@@ -1,0 +1,122 @@
+// Condition fingerprinting: identify the victim's platform from the
+// capture, then attack with the matched per-condition classifier.
+#include <gtest/gtest.h>
+
+#include "wm/core/fingerprint.hpp"
+#include "wm/sim/session.hpp"
+#include "wm/story/bandersnatch.hpp"
+
+namespace wm::core {
+namespace {
+
+using story::Choice;
+
+std::vector<sim::OperationalConditions> library_conditions() {
+  sim::OperationalConditions linux_ff;
+  sim::OperationalConditions windows_ff = linux_ff;
+  windows_ff.os = sim::OperatingSystem::kWindows;
+  sim::OperationalConditions mac_ff = linux_ff;
+  mac_ff.os = sim::OperatingSystem::kMac;
+  sim::OperationalConditions linux_chrome = linux_ff;
+  linux_chrome.browser = sim::Browser::kChrome;
+  sim::OperationalConditions windows_chrome = windows_ff;
+  windows_chrome.browser = sim::Browser::kChrome;
+  sim::OperationalConditions mac_chrome = mac_ff;
+  mac_chrome.browser = sim::Browser::kChrome;
+  return {linux_ff, windows_ff, mac_ff, linux_chrome, windows_chrome, mac_chrome};
+}
+
+const story::StoryGraph& graph() {
+  static const story::StoryGraph g = story::make_bandersnatch();
+  return g;
+}
+
+const ConditionFingerprinter& library() {
+  static const ConditionFingerprinter lib = ConditionFingerprinter::build_library(
+      graph(), library_conditions(), /*sessions_per_condition=*/3, /*seed=*/6100);
+  return lib;
+}
+
+sim::SessionResult victim_session(const sim::OperationalConditions& conditions,
+                                  std::uint64_t seed) {
+  std::vector<Choice> choices;
+  for (int i = 0; i < 13; ++i) {
+    choices.push_back(i % 3 == 0 ? Choice::kNonDefault : Choice::kDefault);
+  }
+  sim::SessionConfig config;
+  config.conditions = conditions;
+  config.seed = seed;
+  return sim::simulate_session(graph(), choices, config);
+}
+
+TEST(Fingerprint, LibraryBuilds) {
+  EXPECT_EQ(library().size(), 6u);
+}
+
+class FingerprintPerCondition
+    : public ::testing::TestWithParam<sim::OperationalConditions> {};
+
+TEST_P(FingerprintPerCondition, IdentifiesVictimPlatform) {
+  const auto victim = victim_session(GetParam(), 6200);
+  const auto observations = extract_client_records(victim.capture.packets);
+  const auto identified = library().identify(observations);
+  ASSERT_TRUE(identified.has_value());
+  EXPECT_EQ(identified->os, GetParam().os) << GetParam().to_string();
+  EXPECT_EQ(identified->browser, GetParam().browser) << GetParam().to_string();
+}
+
+TEST_P(FingerprintPerCondition, AttacksWithoutPriorKnowledge) {
+  const auto victim = victim_session(GetParam(), 6300);
+  const auto result = library().infer(victim.capture.packets);
+  ASSERT_TRUE(result.conditions.has_value());
+  const SessionScore score = score_session(victim.truth, result.session);
+  EXPECT_GE(score.choice_accuracy, 0.75) << GetParam().to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SixConditions, FingerprintPerCondition,
+    ::testing::ValuesIn(library_conditions()),
+    [](const ::testing::TestParamInfo<sim::OperationalConditions>& info) {
+      std::string name =
+          sim::to_string(info.param.os) + sim::to_string(info.param.browser);
+      std::erase_if(name, [](char c) { return !std::isalnum(
+                                           static_cast<unsigned char>(c)); });
+      return name;
+    });
+
+TEST(Fingerprint, ScoresExposeStructure) {
+  const auto victim = victim_session(sim::OperationalConditions{}, 6400);
+  const auto observations = extract_client_records(victim.capture.packets);
+  const auto scores = library().score(observations);
+  ASSERT_EQ(scores.size(), 6u);
+  // Best hypothesis is plausible and matches the victim.
+  EXPECT_TRUE(scores.front().plausible);
+  EXPECT_EQ(scores.front().conditions.os, sim::OperatingSystem::kLinux);
+  EXPECT_GE(scores.front().type1_hits, 1u);
+  EXPECT_LE(scores.front().type2_hits, scores.front().type1_hits);
+}
+
+TEST(Fingerprint, PaddedTrafficYieldsNoPlausibleHypothesis) {
+  // Under a padding countermeasure the bands catch nothing (or absurd
+  // amounts); the fingerprinter must abstain rather than guess.
+  std::vector<Choice> choices(13, Choice::kNonDefault);
+  sim::SessionConfig config;
+  config.seed = 6500;
+  config.packetize.client_transform = [](sim::ClientMessageKind, std::size_t) {
+    return std::vector<std::size_t>{4096};
+  };
+  const auto victim = sim::simulate_session(graph(), choices, config);
+  const auto observations = extract_client_records(victim.capture.packets);
+  const auto identified = library().identify(observations);
+  EXPECT_FALSE(identified.has_value());
+}
+
+TEST(Fingerprint, EmptyCaptureAbstains) {
+  EXPECT_FALSE(library().identify({}).has_value());
+  const auto result = library().infer({});
+  EXPECT_FALSE(result.conditions.has_value());
+  EXPECT_TRUE(result.session.questions.empty());
+}
+
+}  // namespace
+}  // namespace wm::core

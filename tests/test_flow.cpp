@@ -1,0 +1,129 @@
+#include "wm/net/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wm/net/packet_builder.hpp"
+
+namespace wm::net {
+namespace {
+
+Packet tcp_packet(double t, Ipv4Address src, std::uint16_t sport, Ipv4Address dst,
+                  std::uint16_t dport, bool syn, bool ack,
+                  std::size_t payload_size) {
+  TcpHeader tcp;
+  tcp.source_port = sport;
+  tcp.destination_port = dport;
+  tcp.sequence = 1;
+  tcp.syn = syn;
+  tcp.ack = ack;
+  const util::Bytes payload(payload_size, 0x5a);
+  return build_tcp_packet(util::SimTime::from_seconds(t),
+                          *MacAddress::parse("02:00:00:00:00:01"),
+                          *MacAddress::parse("02:00:00:00:00:02"), src, dst, tcp,
+                          payload, 1);
+}
+
+const Ipv4Address kClient(10, 0, 0, 2);
+const Ipv4Address kServer(198, 51, 100, 1);
+
+TEST(FlowTable, SynEstablishesClientOrientation) {
+  FlowTable table;
+  const auto decoded =
+      decode_packet(tcp_packet(0.0, kClient, 50000, kServer, 443, true, false, 0));
+  ASSERT_TRUE(decoded.has_value());
+  const auto assignment = table.add(*decoded, 0);
+  ASSERT_TRUE(assignment.has_value());
+  EXPECT_EQ(assignment->direction, FlowDirection::kClientToServer);
+  EXPECT_EQ(assignment->key.client.port, 50000);
+  EXPECT_EQ(assignment->key.server.port, 443);
+
+  // Reply maps to the same flow, opposite direction.
+  const auto reply =
+      decode_packet(tcp_packet(0.1, kServer, 443, kClient, 50000, true, true, 0));
+  const auto reply_assignment = table.add(*reply, 1);
+  ASSERT_TRUE(reply_assignment.has_value());
+  EXPECT_EQ(reply_assignment->key, assignment->key);
+  EXPECT_EQ(reply_assignment->direction, FlowDirection::kServerToClient);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlowTable, MidStreamServicePortHeuristic) {
+  FlowTable table;
+  // First observed packet comes FROM the server (mid-capture).
+  const auto decoded =
+      decode_packet(tcp_packet(0.0, kServer, 443, kClient, 50001, false, true, 100));
+  const auto assignment = table.add(*decoded, 0);
+  ASSERT_TRUE(assignment.has_value());
+  EXPECT_EQ(assignment->direction, FlowDirection::kServerToClient);
+  EXPECT_EQ(assignment->key.client.port, 50001);
+}
+
+TEST(FlowTable, ByteCountsPerDirection) {
+  FlowTable table;
+  table.add(*decode_packet(tcp_packet(0.0, kClient, 50000, kServer, 443, true, false, 0)), 0);
+  table.add(*decode_packet(tcp_packet(0.2, kClient, 50000, kServer, 443, false, true, 120)), 1);
+  table.add(*decode_packet(tcp_packet(0.3, kServer, 443, kClient, 50000, false, true, 4000)), 2);
+
+  ASSERT_EQ(table.size(), 1u);
+  const FlowRecord& flow = table.flows().begin()->second;
+  EXPECT_EQ(flow.client_bytes, 120u);
+  EXPECT_EQ(flow.server_bytes, 4000u);
+  EXPECT_EQ(flow.total_bytes(), 4120u);
+  EXPECT_EQ(flow.packets.size(), 3u);
+  EXPECT_TRUE(flow.saw_syn);
+  EXPECT_DOUBLE_EQ(flow.duration().to_seconds(), 0.3);
+}
+
+TEST(FlowTable, DistinctFlowsSeparated) {
+  FlowTable table;
+  table.add(*decode_packet(tcp_packet(0.0, kClient, 50000, kServer, 443, true, false, 0)), 0);
+  table.add(*decode_packet(tcp_packet(0.1, kClient, 50001, kServer, 443, true, false, 0)), 1);
+  table.add(*decode_packet(
+                tcp_packet(0.2, kClient, 50000, Ipv4Address(1, 2, 3, 4), 443, true, false, 0)),
+            2);
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(FlowTable, ByVolumeOrdering) {
+  FlowTable table;
+  table.add(*decode_packet(tcp_packet(0.0, kClient, 50000, kServer, 443, false, true, 10)), 0);
+  table.add(*decode_packet(tcp_packet(0.1, kClient, 50001, kServer, 443, false, true, 5000)), 1);
+  const auto ordered = table.by_volume();
+  ASSERT_EQ(ordered.size(), 2u);
+  EXPECT_GE(ordered[0]->total_bytes(), ordered[1]->total_bytes());
+  EXPECT_EQ(ordered[0]->key.client.port, 50001);
+}
+
+TEST(FlowKey, StringRendering) {
+  const auto decoded =
+      decode_packet(tcp_packet(0.0, kClient, 50000, kServer, 443, true, false, 0));
+  FlowTable table;
+  const auto assignment = table.add(*decoded, 0);
+  const std::string text = assignment->key.to_string();
+  EXPECT_NE(text.find("10.0.0.2:50000"), std::string::npos);
+  EXPECT_NE(text.find("198.51.100.1:443"), std::string::npos);
+  EXPECT_NE(text.find("TCP"), std::string::npos);
+}
+
+TEST(PacketEndpoints, NonTransportPacketsRejected) {
+  // An ARP frame decodes to nullopt entirely.
+  util::ByteWriter writer;
+  EthernetHeader eth;
+  eth.ether_type = static_cast<std::uint16_t>(EtherType::kArp);
+  eth.serialize(writer);
+  writer.write_repeated(0, 28);
+  Packet arp(util::SimTime::from_seconds(0), writer.take());
+  EXPECT_FALSE(decode_packet(arp).has_value());
+}
+
+TEST(DecodedPacket, SummaryContainsEssentials) {
+  const auto decoded =
+      decode_packet(tcp_packet(1.5, kClient, 50000, kServer, 443, true, false, 0));
+  const std::string summary = decoded->summary();
+  EXPECT_NE(summary.find("t=1.500s"), std::string::npos);
+  EXPECT_NE(summary.find("SYN"), std::string::npos);
+  EXPECT_NE(summary.find("10.0.0.2:50000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wm::net

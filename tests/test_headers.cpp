@@ -1,0 +1,283 @@
+// Header serialize/parse round trips and checksum correctness.
+#include <gtest/gtest.h>
+
+#include "wm/net/checksum.hpp"
+#include "wm/net/headers.hpp"
+#include "wm/net/packet_builder.hpp"
+
+namespace wm::net {
+namespace {
+
+using util::ByteWriter;
+using util::Bytes;
+
+TEST(Checksum, Rfc1071Example) {
+  // Classic example: 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d.
+  const Bytes data = util::from_hex("0001f203f4f5f6f7");
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, ZeroOverComplementedData) {
+  // Appending the checksum makes the sum complement to zero.
+  Bytes data = util::from_hex("45000054abcd40004001");
+  const std::uint16_t checksum = internet_checksum(data);
+  data.push_back(static_cast<std::uint8_t>(checksum >> 8));
+  data.push_back(static_cast<std::uint8_t>(checksum & 0xff));
+  EXPECT_EQ(internet_checksum(data), 0);
+}
+
+TEST(Checksum, OddLengthHandled) {
+  const Bytes even = util::from_hex("ab00");
+  const Bytes odd = util::from_hex("ab");
+  EXPECT_EQ(internet_checksum(even), internet_checksum(odd));
+}
+
+TEST(Checksum, AccumulatorMatchesOneShot) {
+  const Bytes data = util::from_hex("0102030405060708090a0b");
+  ChecksumAccumulator acc;
+  acc.add(util::BytesView(data).subspan(0, 3));  // odd split
+  acc.add(util::BytesView(data).subspan(3, 5));
+  acc.add(util::BytesView(data).subspan(8));
+  EXPECT_EQ(acc.finish(), internet_checksum(data));
+}
+
+TEST(Ethernet, SerializeParseRoundTrip) {
+  EthernetHeader header;
+  header.destination = *MacAddress::parse("aa:bb:cc:dd:ee:ff");
+  header.source = *MacAddress::parse("02:00:00:00:00:01");
+  header.ether_type = static_cast<std::uint16_t>(EtherType::kIpv4);
+
+  ByteWriter out;
+  header.serialize(out);
+  Bytes frame = out.take();
+  frame.push_back(0x99);  // one payload byte
+
+  const auto parsed = parse_ethernet(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.destination, header.destination);
+  EXPECT_EQ(parsed->header.source, header.source);
+  EXPECT_EQ(parsed->header.ether_type, header.ether_type);
+  ASSERT_EQ(parsed->payload.size(), 1u);
+  EXPECT_EQ(parsed->payload[0], 0x99);
+}
+
+TEST(Ethernet, TooShortRejected) {
+  const Bytes short_frame(13, 0);
+  EXPECT_FALSE(parse_ethernet(short_frame).has_value());
+}
+
+TEST(Ipv4, SerializeParseRoundTrip) {
+  Ipv4Header header;
+  header.identification = 0x1234;
+  header.ttl = 57;
+  header.protocol = static_cast<std::uint8_t>(IpProtocol::kTcp);
+  header.source = Ipv4Address(10, 0, 0, 5);
+  header.destination = Ipv4Address(198, 51, 100, 7);
+
+  ByteWriter out;
+  header.serialize(out, 4);
+  Bytes packet = out.take();
+  for (std::uint8_t b : {1, 2, 3, 4}) packet.push_back(b);
+
+  const auto parsed = parse_ipv4(packet);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->checksum_valid);
+  EXPECT_EQ(parsed->header.identification, 0x1234);
+  EXPECT_EQ(parsed->header.ttl, 57);
+  EXPECT_EQ(parsed->header.source, header.source);
+  EXPECT_EQ(parsed->header.destination, header.destination);
+  EXPECT_EQ(parsed->header.total_length, 24);
+  ASSERT_EQ(parsed->payload.size(), 4u);
+  EXPECT_EQ(parsed->payload[3], 4);
+}
+
+TEST(Ipv4, CorruptChecksumDetected) {
+  Ipv4Header header;
+  header.protocol = 6;
+  ByteWriter out;
+  header.serialize(out, 0);
+  Bytes packet = out.take();
+  packet[8] ^= 0xff;  // corrupt TTL
+  const auto parsed = parse_ipv4(packet);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->checksum_valid);
+}
+
+TEST(Ipv4, RejectsWrongVersionAndBadLengths) {
+  Ipv4Header header;
+  ByteWriter out;
+  header.serialize(out, 0);
+  Bytes packet = out.take();
+
+  Bytes wrong_version = packet;
+  wrong_version[0] = 0x65;  // version 6
+  EXPECT_FALSE(parse_ipv4(wrong_version).has_value());
+
+  Bytes bad_ihl = packet;
+  bad_ihl[0] = 0x44;  // IHL 4 -> 16 bytes < minimum
+  EXPECT_FALSE(parse_ipv4(bad_ihl).has_value());
+
+  Bytes truncated(packet.begin(), packet.begin() + 10);
+  EXPECT_FALSE(parse_ipv4(truncated).has_value());
+}
+
+TEST(Ipv4, OptionsRoundTrip) {
+  Ipv4Header header;
+  header.options = {0x01, 0x01, 0x01, 0x01};  // NOP x4
+  ByteWriter out;
+  header.serialize(out, 0);
+  const auto parsed = parse_ipv4(out.view());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.options, header.options);
+  EXPECT_TRUE(parsed->checksum_valid);
+}
+
+TEST(Ipv6, SerializeParseRoundTrip) {
+  Ipv6Header header;
+  header.traffic_class = 0x12;
+  header.flow_label = 0xabcde;
+  header.next_header = static_cast<std::uint8_t>(IpProtocol::kTcp);
+  header.hop_limit = 61;
+  header.source = *Ipv6Address::parse("2001:db8::1");
+  header.destination = *Ipv6Address::parse("2001:db8::2");
+
+  ByteWriter out;
+  header.serialize(out, 3);
+  Bytes packet = out.take();
+  packet.insert(packet.end(), {0xaa, 0xbb, 0xcc});
+
+  const auto parsed = parse_ipv6(packet);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.traffic_class, 0x12);
+  EXPECT_EQ(parsed->header.flow_label, 0xabcdeu);
+  EXPECT_EQ(parsed->header.hop_limit, 61);
+  EXPECT_EQ(parsed->header.source, header.source);
+  ASSERT_EQ(parsed->payload.size(), 3u);
+}
+
+TEST(Ipv6, RejectsTruncatedPayload) {
+  Ipv6Header header;
+  ByteWriter out;
+  header.serialize(out, 10);  // claims 10 payload bytes
+  EXPECT_FALSE(parse_ipv6(out.view()).has_value());  // none present
+}
+
+TEST(Tcp, SerializeParseRoundTrip) {
+  TcpHeader header;
+  header.source_port = 51342;
+  header.destination_port = 443;
+  header.sequence = 0xdeadbeef;
+  header.ack_number = 0x01020304;
+  header.syn = true;
+  header.ack = true;
+  header.window = 29200;
+
+  ByteWriter out;
+  header.serialize(out);
+  Bytes segment = out.take();
+  segment.push_back(0x77);
+
+  const auto parsed = parse_tcp(segment);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.source_port, 51342);
+  EXPECT_EQ(parsed->header.destination_port, 443);
+  EXPECT_EQ(parsed->header.sequence, 0xdeadbeefu);
+  EXPECT_TRUE(parsed->header.syn);
+  EXPECT_TRUE(parsed->header.ack);
+  EXPECT_FALSE(parsed->header.fin);
+  EXPECT_EQ(parsed->header.window, 29200);
+  ASSERT_EQ(parsed->payload.size(), 1u);
+}
+
+TEST(Tcp, OptionsPaddedToWordBoundary) {
+  TcpHeader header;
+  header.options = {0x02, 0x04, 0x05, 0xb4, 0x01};  // 5 bytes -> pad to 8
+  ByteWriter out;
+  header.serialize(out);
+  EXPECT_EQ(out.size(), TcpHeader::kMinSize + 8);
+  const auto parsed = parse_tcp(out.view());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.options.size(), 8u);
+}
+
+TEST(Tcp, FlagsString) {
+  TcpHeader header;
+  EXPECT_EQ(header.flags_string(), "-");
+  header.syn = true;
+  header.ack = true;
+  EXPECT_EQ(header.flags_string(), "SYN|ACK");
+}
+
+TEST(Tcp, RejectsBadOffset) {
+  TcpHeader header;
+  ByteWriter out;
+  header.serialize(out);
+  Bytes segment = out.take();
+  segment[12] = 0x30;  // data offset 3 words < 5
+  EXPECT_FALSE(parse_tcp(segment).has_value());
+}
+
+TEST(Udp, SerializeParseRoundTrip) {
+  UdpHeader header;
+  header.source_port = 5353;
+  header.destination_port = 5353;
+  ByteWriter out;
+  header.serialize(out, 2);
+  Bytes datagram = out.take();
+  datagram.insert(datagram.end(), {0x01, 0x02});
+  const auto parsed = parse_udp(datagram);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.length, 10);
+  ASSERT_EQ(parsed->payload.size(), 2u);
+}
+
+TEST(Udp, RejectsBadLength) {
+  UdpHeader header;
+  ByteWriter out;
+  header.serialize(out, 100);  // claims 100 payload bytes
+  EXPECT_FALSE(parse_udp(out.view()).has_value());
+}
+
+TEST(PacketBuilder, TcpPacketHasValidChecksums) {
+  TcpHeader tcp;
+  tcp.source_port = 1000;
+  tcp.destination_port = 443;
+  tcp.sequence = 1;
+  tcp.ack = true;
+  const Bytes payload = {0x16, 0x03, 0x03};
+  const Packet packet = build_tcp_packet(
+      util::SimTime::from_seconds(1.0), *MacAddress::parse("02:00:00:00:00:01"),
+      *MacAddress::parse("02:00:00:00:00:02"), Ipv4Address(10, 0, 0, 1),
+      Ipv4Address(10, 0, 0, 2), tcp, payload, 7);
+
+  const auto eth = parse_ethernet(packet.data);
+  ASSERT_TRUE(eth.has_value());
+  const auto ip = parse_ipv4(eth->payload);
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_TRUE(ip->checksum_valid);
+
+  // Transport checksum validates over the pseudo-header.
+  const std::uint16_t check = transport_checksum_v4(
+      ip->header.source, ip->header.destination,
+      IpProtocolValue{static_cast<std::uint8_t>(IpProtocol::kTcp)}, ip->payload);
+  EXPECT_EQ(check, 0);
+
+  const auto parsed_tcp = parse_tcp(ip->payload);
+  ASSERT_TRUE(parsed_tcp.has_value());
+  EXPECT_EQ(parsed_tcp->payload.size(), payload.size());
+}
+
+TEST(PacketBuilder, UdpPacketHasValidChecksums) {
+  const Bytes payload = {1, 2, 3, 4};
+  const Packet packet = build_udp_packet(
+      util::SimTime::from_seconds(0.5), *MacAddress::parse("02:00:00:00:00:01"),
+      *MacAddress::parse("02:00:00:00:00:02"), Ipv4Address(10, 0, 0, 1),
+      Ipv4Address(8, 8, 8, 8), 5000, 53, payload, 9);
+  const auto decoded = decode_packet(packet);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(decoded->has_udp());
+  EXPECT_EQ(decoded->transport_payload.size(), 4u);
+}
+
+}  // namespace
+}  // namespace wm::net

@@ -1,0 +1,86 @@
+// HTTP message modeling: serialization, exact sizing, parsing.
+#include <gtest/gtest.h>
+
+#include "wm/sim/http.hpp"
+#include "wm/sim/state_json.hpp"
+
+namespace wm::sim {
+namespace {
+
+TEST(Http, SerializeShape) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = "/path?q=1";
+  request.headers["Host"] = "example.com";
+  request.body = "xyz";
+  const std::string wire = request.serialize();
+  EXPECT_EQ(wire, "GET /path?q=1 HTTP/1.1\r\nHost: example.com\r\n\r\nxyz");
+  EXPECT_EQ(request.serialized_size(), wire.size());
+}
+
+TEST(Http, ChunkRequestSizedExactly) {
+  util::Rng rng(5);
+  for (std::size_t target : {450u, 500u, 620u, 700u}) {
+    const HttpRequest request = make_chunk_request(
+        "occ-0-2433-2430.1.nflxvideo.net", "BREAKFAST", 3, 600000, 200000,
+        target, rng);
+    EXPECT_EQ(request.serialized_size(), target);
+    EXPECT_EQ(request.method, "GET");
+    EXPECT_NE(request.target.find("/range/600000-799999"), std::string::npos);
+    EXPECT_EQ(request.headers.at("Host"), "occ-0-2433-2430.1.nflxvideo.net");
+  }
+}
+
+TEST(Http, ChunkRequestUnattainableTargetStaysValid) {
+  util::Rng rng(6);
+  const HttpRequest request = make_chunk_request("h", "S", 0, 0, 100, 10, rng);
+  EXPECT_GT(request.serialized_size(), 10u);
+  EXPECT_TRUE(parse_http_request(request.serialize()).has_value());
+}
+
+TEST(Http, StatePostWrapsJsonExactly) {
+  util::Rng rng(7);
+  const auto identity = PlaybackIdentity::sample(rng);
+  const auto doc = make_type1_state(identity, 2, "BUS_RIDE",
+                                    util::SimTime::from_seconds(60.0), 0);
+  const std::string body = serialize_state(doc);
+  const HttpRequest post = make_state_post("www.netflix.com", body, 2188);
+  EXPECT_EQ(post.serialized_size(), 2188u);
+  EXPECT_EQ(post.method, "POST");
+  EXPECT_EQ(post.target, "/ichnaea/log");
+  EXPECT_EQ(post.body, body);
+  EXPECT_EQ(post.headers.at("Content-Length"), std::to_string(body.size()));
+}
+
+TEST(Http, ParseRoundTrip) {
+  util::Rng rng(8);
+  const HttpRequest original = make_chunk_request("host.example", "SEG", 1, 100,
+                                                  200, 512, rng);
+  const auto parsed = parse_http_request(original.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->method, original.method);
+  EXPECT_EQ(parsed->target, original.target);
+  EXPECT_EQ(parsed->headers.at("Host"), "host.example");
+  EXPECT_EQ(parsed->headers.size(), original.headers.size());
+}
+
+TEST(Http, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_http_request("").has_value());
+  EXPECT_FALSE(parse_http_request("GET /\r\n\r\n").has_value());  // no version
+  EXPECT_FALSE(parse_http_request("GET / HTTP/1.1\r\nbadheader\r\n\r\n")
+                   .has_value());
+  EXPECT_FALSE(
+      parse_http_request("GET / HTTP/1.1\r\nHost: x\r\n").has_value());  // no end
+}
+
+TEST(Http, ParseTolerantOfBinaryBody) {
+  std::string wire = "POST /x HTTP/1.1\r\nHost: a\r\n\r\n";
+  wire.push_back('\0');
+  wire.push_back('\xff');
+  const auto parsed = parse_http_request(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->body.size(), 2u);
+}
+
+}  // namespace
+}  // namespace wm::sim

@@ -1,0 +1,159 @@
+// Broad integration sweeps: the full pipeline across generated story
+// graphs, TLS 1.3 record padding end to end, and the log utility.
+#include <gtest/gtest.h>
+
+#include "wm/core/pipeline.hpp"
+#include "wm/sim/session.hpp"
+#include "wm/story/bandersnatch.hpp"
+#include "wm/story/generator.hpp"
+#include "wm/tls/record_stream.hpp"
+#include "wm/util/log.hpp"
+
+namespace wm::core {
+namespace {
+
+using story::Choice;
+
+struct SweepCase {
+  std::uint64_t story_seed;
+  std::size_t questions;
+};
+
+class PipelineStorySweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(PipelineStorySweep, AttackGeneralizesAcrossScripts) {
+  util::Rng story_rng(GetParam().story_seed);
+  story::GeneratorConfig gen;
+  gen.questions = GetParam().questions;
+  // No early endings: a story that ends at Q1' gives the calibration
+  // sessions a single type-2 example, too few to cover the band (the
+  // small-calibration regime is studied separately in result_accuracy).
+  gen.early_ending_probability = 0.0;
+  const story::StoryGraph graph = story::generate_story(gen, story_rng);
+
+  std::vector<Choice> alternating;
+  for (std::size_t i = 0; i < gen.questions + 4; ++i) {
+    alternating.push_back(i % 2 == 0 ? Choice::kNonDefault : Choice::kDefault);
+  }
+
+  std::vector<CalibrationSession> calibration;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    sim::SessionConfig config;
+    config.seed = GetParam().story_seed * 1000 + s;
+    auto session = sim::simulate_session(graph, alternating, config);
+    calibration.push_back(CalibrationSession{std::move(session.capture.packets),
+                                             std::move(session.truth)});
+  }
+  AttackPipeline attack("interval");
+  attack.calibrate(calibration);
+
+  util::Rng victim_rng(GetParam().story_seed + 5);
+  std::vector<Choice> victim_choices;
+  for (std::size_t i = 0; i < gen.questions + 4; ++i) {
+    victim_choices.push_back(victim_rng.bernoulli(0.5) ? Choice::kDefault
+                                                       : Choice::kNonDefault);
+  }
+  sim::SessionConfig config;
+  config.seed = GetParam().story_seed * 7 + 99;
+  const auto victim = sim::simulate_session(graph, victim_choices, config);
+  const auto score =
+      score_session(victim.truth, attack.infer(victim.capture.packets));
+  // Allow at most one band-edge miss (the statistical tail studied in
+  // result_accuracy); everything else must decode.
+  EXPECT_GE(score.choices_correct + 1, score.questions_truth)
+      << "story seed " << GetParam().story_seed;
+  EXPECT_TRUE(score.question_count_match);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Stories, PipelineStorySweep,
+    ::testing::Values(SweepCase{11, 4}, SweepCase{23, 6}, SweepCase{37, 8},
+                      SweepCase{53, 10}, SweepCase{71, 5}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return "seed" + std::to_string(info.param.story_seed) + "q" +
+             std::to_string(info.param.questions);
+    });
+
+TEST(Tls13Padding, QuantizesApiRecordLengthsEndToEnd) {
+  // A Chrome (TLS 1.3) victim with RFC 8446 record padding on the API
+  // connection: every API client record length becomes a multiple of
+  // the quantum (+16 tag), so the JSON bands collapse.
+  const story::StoryGraph graph = story::make_bandersnatch();
+  sim::OperationalConditions chrome;
+  chrome.browser = sim::Browser::kChrome;
+
+  sim::SessionConfig config;
+  config.conditions = chrome;
+  config.seed = 1212;
+  config.packetize.api_tls13_pad_to = 1024;
+  const auto session = sim::simulate_session(
+      graph, std::vector<Choice>(13, Choice::kNonDefault), config);
+
+  const auto streams = tls::extract_record_streams(session.capture.packets);
+  bool saw_api_records = false;
+  for (const auto& stream : streams) {
+    if (!stream.sni || *stream.sni != session.capture.api_sni) continue;
+    for (const auto& event : stream.events) {
+      if (!event.is_client_application_data()) continue;
+      saw_api_records = true;
+      // ciphertext = padded inner (multiple of 1024) + 16 tag.
+      EXPECT_EQ((event.record_length - 16u) % 1024u, 0u)
+          << "record length " << event.record_length;
+    }
+  }
+  EXPECT_TRUE(saw_api_records);
+
+  // The CDN connection is untouched (chunk requests stay small).
+  for (const auto& stream : streams) {
+    if (!stream.sni || *stream.sni != session.capture.cdn_sni) continue;
+    std::size_t small_records = 0;
+    for (const auto& event : stream.events) {
+      if (event.is_client_application_data() && event.record_length < 800) {
+        ++small_records;
+      }
+    }
+    EXPECT_GT(small_records, 0u);
+  }
+}
+
+TEST(Tls13Padding, NoEffectOnTls12Profiles) {
+  // Firefox negotiates TLS 1.2; the padding knob must be inert there.
+  const story::StoryGraph graph = story::make_bandersnatch();
+  sim::SessionConfig padded;
+  padded.seed = 1313;
+  padded.packetize.api_tls13_pad_to = 1024;
+  sim::SessionConfig plain;
+  plain.seed = 1313;
+  const std::vector<Choice> choices(13, Choice::kDefault);
+  const auto a = sim::simulate_session(graph, choices, padded);
+  const auto b = sim::simulate_session(graph, choices, plain);
+  EXPECT_EQ(a.capture.packets.size(), b.capture.packets.size());
+}
+
+}  // namespace
+}  // namespace wm::core
+
+namespace wm::util {
+namespace {
+
+TEST(Log, LevelGateAndNames) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Statements below the threshold are cheap no-ops (this mostly
+  // exercises the macro's guard path).
+  WM_LOG(Debug) << "should not be emitted";
+  WM_LOG(Info) << "should not be emitted";
+  set_log_level(LogLevel::kOff);
+  WM_LOG(Error) << "suppressed too";
+  set_log_level(original);
+
+  EXPECT_EQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_EQ(to_string(LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace wm::util

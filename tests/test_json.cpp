@@ -1,0 +1,127 @@
+#include "wm/util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wm::util {
+namespace {
+
+TEST(Json, ScalarRoundTrips) {
+  EXPECT_EQ(JsonValue::parse("null"), JsonValue(nullptr));
+  EXPECT_EQ(JsonValue::parse("true"), JsonValue(true));
+  EXPECT_EQ(JsonValue::parse("false"), JsonValue(false));
+  EXPECT_EQ(JsonValue::parse("42"), JsonValue(std::int64_t{42}));
+  EXPECT_EQ(JsonValue::parse("-17"), JsonValue(std::int64_t{-17}));
+  EXPECT_EQ(JsonValue::parse("\"hi\""), JsonValue("hi"));
+}
+
+TEST(Json, DoubleParsing) {
+  const JsonValue v = JsonValue::parse("3.25");
+  ASSERT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.as_double(), 3.25);
+  const JsonValue e = JsonValue::parse("1e3");
+  EXPECT_DOUBLE_EQ(e.as_double(), 1000.0);
+  const JsonValue n = JsonValue::parse("-2.5e-2");
+  EXPECT_DOUBLE_EQ(n.as_double(), -0.025);
+}
+
+TEST(Json, IntAccessibleAsDouble) {
+  const JsonValue v(std::int64_t{7});
+  EXPECT_DOUBLE_EQ(v.as_double(), 7.0);
+  EXPECT_THROW(v.as_string(), std::runtime_error);
+}
+
+TEST(Json, ObjectAndArray) {
+  const JsonValue v = JsonValue::parse(R"({"a": [1, 2, {"b": true}], "c": "x"})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_TRUE(v.contains("a"));
+  EXPECT_FALSE(v.contains("missing"));
+  const JsonArray& arr = v.at("a").as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr[0].as_int(), 1);
+  EXPECT_TRUE(arr[2].at("b").as_bool());
+  EXPECT_EQ(v.at("c").as_string(), "x");
+  EXPECT_THROW(v.at("missing"), std::runtime_error);
+}
+
+TEST(Json, CompactDumpIsCanonical) {
+  JsonObject obj;
+  obj["b"] = JsonValue(1);
+  obj["a"] = JsonValue(JsonArray{JsonValue(true), JsonValue(nullptr)});
+  const JsonValue v(std::move(obj));
+  EXPECT_EQ(v.dump(), R"({"a":[true,null],"b":1})");
+}
+
+TEST(Json, DumpParseRoundTrip) {
+  const std::string text =
+      R"({"choices":[{"index":1,"pick":"default"},{"index":2,"pick":"non-default"}],)"
+      R"("viewer":17,"weights":[0.25,0.75]})";
+  const JsonValue v = JsonValue::parse(text);
+  EXPECT_EQ(JsonValue::parse(v.dump()), v);
+  EXPECT_EQ(JsonValue::parse(v.dump(2)), v);  // pretty print parses back
+}
+
+TEST(Json, StringEscapes) {
+  const JsonValue v = JsonValue::parse(R"("line\nquote\"back\\slash\ttab")");
+  EXPECT_EQ(v.as_string(), "line\nquote\"back\\slash\ttab");
+  // Escapes survive a round trip.
+  EXPECT_EQ(JsonValue::parse(v.dump()), v);
+}
+
+TEST(Json, UnicodeEscapes) {
+  const JsonValue v = JsonValue::parse(R"("Aé€")");
+  EXPECT_EQ(v.as_string(), "A\xc3\xa9\xe2\x82\xac");  // A, é, €
+}
+
+TEST(Json, ControlCharactersEscapedOnDump) {
+  const JsonValue v(std::string("a\x01"
+                                "b"));
+  EXPECT_EQ(v.dump(), "\"a\\u0001b\"");
+}
+
+TEST(Json, RejectsMalformed) {
+  EXPECT_THROW(JsonValue::parse(""), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{\"a\":}"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("tru"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("1 2"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{a:1}"), std::runtime_error);
+}
+
+TEST(Json, WhitespaceTolerated) {
+  const JsonValue v = JsonValue::parse("  {\n\t\"a\" :\r 1 }  ");
+  EXPECT_EQ(v.at("a").as_int(), 1);
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(JsonValue::parse("{}").dump(), "{}");
+  EXPECT_EQ(JsonValue::parse("[]").dump(), "[]");
+  EXPECT_EQ(JsonValue::parse("{}").dump(2), "{}");
+}
+
+TEST(Json, NonFiniteNumbersRejectedOnDump) {
+  const JsonValue v(std::numeric_limits<double>::infinity());
+  EXPECT_THROW(v.dump(), std::runtime_error);
+}
+
+TEST(Json, DeepNesting) {
+  std::string text;
+  for (int i = 0; i < 40; ++i) text += "[";
+  text += "1";
+  for (int i = 0; i < 40; ++i) text += "]";
+  JsonValue v = JsonValue::parse(text);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(v.is_array());
+    JsonValue inner = v.as_array()[0];  // copy out before replacing v
+    v = std::move(inner);
+  }
+  EXPECT_EQ(v.as_int(), 1);
+}
+
+TEST(JsonEscape, PassthroughForPlainText) {
+  EXPECT_EQ(json_escape("plain text 123"), "plain text 123");
+}
+
+}  // namespace
+}  // namespace wm::util

@@ -1,0 +1,207 @@
+// VLAN decoding, IPv6 end-to-end (builder -> decode -> flow ->
+// reassembly -> TLS records), the network model, and parser fuzzing.
+#include <gtest/gtest.h>
+
+#include "wm/net/checksum.hpp"
+#include "wm/net/packet_builder.hpp"
+#include "wm/sim/netmodel.hpp"
+#include "wm/tls/record.hpp"
+#include "wm/tls/record_stream.hpp"
+#include "wm/util/rng.hpp"
+#include "wm/util/stats.hpp"
+
+namespace wm::net {
+namespace {
+
+const MacAddress kMacA = *MacAddress::parse("02:00:00:00:00:01");
+const MacAddress kMacB = *MacAddress::parse("02:00:00:00:00:02");
+
+TEST(Vlan, TaggedFrameDecodes) {
+  // Build a normal IPv4/TCP frame, then splice in an 802.1Q tag.
+  TcpHeader tcp;
+  tcp.source_port = 50000;
+  tcp.destination_port = 443;
+  tcp.sequence = 1;
+  const util::Bytes payload = {0x01, 0x02, 0x03};
+  Packet packet = build_tcp_packet(util::SimTime::from_seconds(1.0), kMacA, kMacB,
+                                   Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2),
+                                   tcp, payload, 7);
+
+  util::Bytes tagged(packet.data.begin(), packet.data.begin() + 12);
+  tagged.push_back(0x81);  // 802.1Q TPID
+  tagged.push_back(0x00);
+  tagged.push_back(0x00);  // PCP/DEI/VID high bits
+  tagged.push_back(0x2a);  // VID = 42
+  tagged.insert(tagged.end(), packet.data.begin() + 12, packet.data.end());
+  Packet vlan_packet(packet.timestamp, std::move(tagged));
+
+  const auto decoded = decode_packet(vlan_packet);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->vlan_id, 42);
+  ASSERT_TRUE(decoded->has_tcp());
+  EXPECT_EQ(decoded->tcp().destination_port, 443);
+  EXPECT_EQ(decoded->transport_payload.size(), 3u);
+}
+
+TEST(Vlan, TruncatedTagRejected) {
+  util::Bytes frame(14, 0);
+  frame[12] = 0x81;
+  frame[13] = 0x00;
+  frame.push_back(0x00);  // only 1 byte of tag
+  Packet packet(util::SimTime::from_seconds(0), std::move(frame));
+  EXPECT_FALSE(decode_packet(packet).has_value());
+}
+
+TEST(Ipv6Path, BuilderPacketDecodes) {
+  TcpHeader tcp;
+  tcp.source_port = 51000;
+  tcp.destination_port = 443;
+  tcp.sequence = 100;
+  tcp.syn = true;
+  const auto src = *Ipv6Address::parse("2001:db8::10");
+  const auto dst = *Ipv6Address::parse("2001:db8::443");
+  const Packet packet = build_tcp_packet_v6(util::SimTime::from_seconds(0.5), kMacA,
+                                            kMacB, src, dst, tcp, {});
+  const auto decoded = decode_packet(packet);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(decoded->has_ipv6());
+  EXPECT_EQ(decoded->ipv6().source, src);
+  ASSERT_TRUE(decoded->has_tcp());
+  EXPECT_TRUE(decoded->tcp().syn);
+
+  // Transport checksum verifies over the v6 pseudo-header.
+  const auto eth = parse_ethernet(packet.data);
+  const auto ip = parse_ipv6(eth->payload);
+  const std::uint16_t check = transport_checksum_v6(
+      ip->header.source, ip->header.destination,
+      IpProtocolValue{static_cast<std::uint8_t>(IpProtocol::kTcp)}, ip->payload);
+  EXPECT_EQ(check, 0);
+}
+
+TEST(Ipv6Path, FlowAndRecordExtractionEndToEnd) {
+  // A whole TLS exchange over IPv6: records survive the v6 pipeline.
+  const auto client_ip = *Ipv6Address::parse("2001:db8::10");
+  const auto server_ip = *Ipv6Address::parse("2606:2800:21f::1");
+
+  auto v6_segment = [&](bool from_client, std::uint32_t seq, bool syn,
+                        util::BytesView payload, double t) {
+    TcpHeader tcp;
+    tcp.source_port = from_client ? 51000 : 443;
+    tcp.destination_port = from_client ? 443 : 51000;
+    tcp.sequence = seq;
+    tcp.syn = syn;
+    tcp.ack = !syn;
+    return build_tcp_packet_v6(util::SimTime::from_seconds(t), kMacA, kMacB,
+                               from_client ? client_ip : server_ip,
+                               from_client ? server_ip : client_ip, tcp, payload);
+  };
+
+  tls::TlsRecord record;
+  record.content_type = tls::ContentType::kApplicationData;
+  record.payload = util::Bytes(2212 - 5, 0x5a);  // wire length field 2207
+  const util::Bytes wire = tls::serialize_records({record});
+
+  std::vector<Packet> packets;
+  packets.push_back(v6_segment(true, 100, true, {}, 0.0));
+  packets.push_back(v6_segment(false, 500, true, {}, 0.01));
+  // Split the record across two segments.
+  const std::size_t half = wire.size() / 2;
+  packets.push_back(
+      v6_segment(true, 101, false, util::BytesView(wire).subspan(0, half), 0.1));
+  packets.push_back(v6_segment(
+      true, static_cast<std::uint32_t>(101 + half), false,
+      util::BytesView(wire).subspan(half), 0.2));
+
+  const auto streams = tls::extract_record_streams(packets);
+  ASSERT_EQ(streams.size(), 1u);
+  EXPECT_TRUE(streams[0].flow.client.is_v6);
+  EXPECT_EQ(streams[0].flow.client.to_string(), "[2001:db8::10]:51000");
+  ASSERT_EQ(streams[0].events.size(), 1u);
+  EXPECT_EQ(streams[0].events[0].record_length, record.payload.size());
+  EXPECT_TRUE(streams[0].events[0].is_client_application_data());
+}
+
+TEST(DecodeFuzz, RandomBytesNeverCrash) {
+  util::Rng rng(0xf022);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const std::size_t size = static_cast<std::size_t>(rng.next_below(200));
+    util::Bytes data(size);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+    // Seed plausible ethertypes half the time to reach deeper code.
+    if (size >= 14 && rng.bernoulli(0.5)) {
+      data[12] = 0x08;
+      data[13] = rng.bernoulli(0.5) ? 0x00 : 0xdd;
+      if (data[13] == 0xdd) data[12] = 0x86;
+    }
+    Packet packet(util::SimTime::from_seconds(0), std::move(data));
+    (void)decode_packet(packet);  // must not throw or crash
+  }
+}
+
+}  // namespace
+}  // namespace wm::net
+
+namespace wm::sim {
+namespace {
+
+TEST(NetworkModel, ParamsReflectConditions) {
+  OperationalConditions wired;
+  OperationalConditions wireless = wired;
+  wireless.connection = ConnectionType::kWireless;
+  const auto p_wired = NetworkModel::params_for(wired);
+  const auto p_wireless = NetworkModel::params_for(wireless);
+  EXPECT_LT(p_wired.base_rtt, p_wireless.base_rtt);
+  EXPECT_LT(p_wired.loss_rate, p_wireless.loss_rate);
+  EXPECT_GT(p_wired.bandwidth_mbps, p_wireless.bandwidth_mbps);
+
+  OperationalConditions night = wired;
+  night.traffic = TrafficCondition::kNight;
+  EXPECT_GT(NetworkModel::params_for(night).load_factor,
+            NetworkModel::params_for(wired).load_factor);
+}
+
+TEST(NetworkModel, DelaysPositiveAndPlausible) {
+  NetworkModel model(NetworkModel::params_for(OperationalConditions{}),
+                     util::Rng(5));
+  util::RunningStats stats;
+  for (int i = 0; i < 2000; ++i) {
+    const double d = model.sample_one_way_delay().to_seconds();
+    EXPECT_GT(d, 0.0);
+    EXPECT_LT(d, 0.5);
+    stats.add(d);
+  }
+  // Mean near half the base RTT.
+  EXPECT_NEAR(stats.mean(), 0.007, 0.003);
+}
+
+TEST(NetworkModel, TransmissionTimeScalesWithBytes) {
+  NetworkModel model(NetworkModel::params_for(OperationalConditions{}),
+                     util::Rng(6));
+  const double t1 = model.transmission_time(1500).to_seconds();
+  const double t10 = model.transmission_time(15000).to_seconds();
+  EXPECT_NEAR(t10 / t1, 10.0, 0.01);
+}
+
+TEST(NetworkModel, LossRateRoughlyHonoured) {
+  NetworkModel::Params params;
+  params.loss_rate = 0.05;
+  NetworkModel model(params, util::Rng(7));
+  int losses = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) losses += model.lose_segment() ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(losses) / n, 0.05, 0.01);
+}
+
+TEST(CrossTraffic, PlanScalesWithTimeOfDay) {
+  util::Rng rng(8);
+  std::size_t noon_total = 0;
+  std::size_t night_total = 0;
+  for (int i = 0; i < 20; ++i) {
+    noon_total += make_cross_traffic_plan(TrafficCondition::kNoon, rng).size();
+    night_total += make_cross_traffic_plan(TrafficCondition::kNight, rng).size();
+  }
+  EXPECT_GT(night_total, noon_total);
+}
+
+}  // namespace
+}  // namespace wm::sim

@@ -1,0 +1,185 @@
+// Wire-level session synthesis: decodability, flow structure, SNI, and
+// faithfulness of record lengths to the application trace.
+#include <gtest/gtest.h>
+
+#include "wm/core/features.hpp"
+#include "wm/sim/session.hpp"
+#include "wm/story/bandersnatch.hpp"
+#include "wm/tls/record_stream.hpp"
+
+namespace wm::sim {
+namespace {
+
+using story::Choice;
+
+SessionResult quick_session(std::uint64_t seed,
+                            std::vector<Choice> choices = {},
+                            OperationalConditions conditions = {}) {
+  if (choices.empty()) {
+    choices = {Choice::kDefault, Choice::kNonDefault, Choice::kDefault,
+               Choice::kNonDefault, Choice::kDefault, Choice::kDefault,
+               Choice::kNonDefault, Choice::kDefault, Choice::kDefault,
+               Choice::kDefault, Choice::kDefault, Choice::kDefault};
+  }
+  const story::StoryGraph graph = story::make_bandersnatch();
+  SessionConfig config;
+  config.conditions = conditions;
+  config.seed = seed;
+  return simulate_session(graph, choices, config);
+}
+
+TEST(Packetize, EveryPacketDecodes) {
+  const SessionResult result = quick_session(11);
+  ASSERT_GT(result.capture.packets.size(), 100u);
+  for (const net::Packet& packet : result.capture.packets) {
+    const auto decoded = net::decode_packet(packet);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_TRUE(decoded->has_tcp());
+    ASSERT_TRUE(decoded->has_ipv4());
+    // IP checksums must all be valid.
+    const auto eth = net::parse_ethernet(packet.data);
+    const auto ip = net::parse_ipv4(eth->payload);
+    EXPECT_TRUE(ip->checksum_valid);
+  }
+}
+
+TEST(Packetize, PacketsSortedByTimestamp) {
+  const SessionResult result = quick_session(12);
+  for (std::size_t i = 1; i < result.capture.packets.size(); ++i) {
+    EXPECT_LE(result.capture.packets[i - 1].timestamp,
+              result.capture.packets[i].timestamp);
+  }
+}
+
+TEST(Packetize, ContainsCdnAndApiFlowsWithSni) {
+  const SessionResult result = quick_session(13);
+  const auto streams = tls::extract_record_streams(result.capture.packets);
+  ASSERT_GE(streams.size(), 2u);
+
+  bool saw_cdn = false;
+  bool saw_api = false;
+  for (const auto& stream : streams) {
+    if (!stream.sni) continue;
+    saw_cdn |= *stream.sni == result.capture.cdn_sni;
+    saw_api |= *stream.sni == result.capture.api_sni;
+  }
+  EXPECT_TRUE(saw_cdn);
+  EXPECT_TRUE(saw_api);
+}
+
+TEST(Packetize, CrossTrafficPresentAndDistinct) {
+  const SessionResult result = quick_session(14);
+  EXPECT_GT(result.capture.cross_traffic_flows, 0u);
+  const auto streams = tls::extract_record_streams(result.capture.packets);
+  EXPECT_GE(streams.size(), 2u + result.capture.cross_traffic_flows);
+}
+
+TEST(Packetize, NoDesynchronizedStreams) {
+  const SessionResult result = quick_session(15);
+  for (const auto& stream : tls::extract_record_streams(result.capture.packets)) {
+    EXPECT_FALSE(stream.client_desynchronized) << stream.flow.to_string();
+    EXPECT_FALSE(stream.server_desynchronized) << stream.flow.to_string();
+  }
+}
+
+TEST(Packetize, JsonUploadsVisibleAtGroundTruthTimes) {
+  const SessionResult result = quick_session(16);
+  const auto observations =
+      core::extract_client_records(result.capture.packets);
+  const auto labelled = core::label_observations(observations, result.truth);
+
+  std::size_t type1 = 0;
+  std::size_t type2 = 0;
+  for (const auto& item : labelled) {
+    if (item.label == core::RecordClass::kType1Json) ++type1;
+    if (item.label == core::RecordClass::kType2Json) ++type2;
+  }
+  EXPECT_EQ(type1, result.truth.questions.size());
+  std::size_t expected_type2 = 0;
+  for (const auto& q : result.truth.questions) {
+    if (q.choice == Choice::kNonDefault) ++expected_type2;
+  }
+  EXPECT_EQ(type2, expected_type2);
+}
+
+TEST(Packetize, LabeledJsonLengthsFallInProfileBands) {
+  const SessionResult result = quick_session(17);
+  const auto observations =
+      core::extract_client_records(result.capture.packets);
+  const auto labelled = core::label_observations(observations, result.truth);
+  const auto [t1_lo, t1_hi] =
+      result.profile.sealed_band(ClientMessageKind::kType1Json);
+  const auto [t2_lo, t2_hi] =
+      result.profile.sealed_band(ClientMessageKind::kType2Json);
+  for (const auto& item : labelled) {
+    if (item.label == core::RecordClass::kType1Json) {
+      EXPECT_GE(item.observation.record_length, t1_lo);
+      EXPECT_LE(item.observation.record_length, t1_hi);
+    } else if (item.label == core::RecordClass::kType2Json) {
+      EXPECT_GE(item.observation.record_length, t2_lo);
+      EXPECT_LE(item.observation.record_length, t2_hi);
+    }
+  }
+}
+
+TEST(Packetize, RetransmissionsOccurUnderLossyConditions) {
+  OperationalConditions lossy;
+  lossy.connection = ConnectionType::kWireless;
+  lossy.traffic = TrafficCondition::kNight;
+  // Aggregate across a few seeds: wireless night loss ~0.6% per batch.
+  std::size_t retransmits = 0;
+  for (std::uint64_t seed = 30; seed < 34; ++seed) {
+    retransmits += quick_session(seed, {}, lossy).capture.retransmitted_segments;
+  }
+  EXPECT_GT(retransmits, 0u);
+}
+
+TEST(Packetize, ClientTransformChangesUploadSizes) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  const std::vector<Choice> choices(12, Choice::kNonDefault);
+
+  SessionConfig plain;
+  plain.seed = 40;
+  const SessionResult baseline = simulate_session(graph, choices, plain);
+
+  SessionConfig padded = plain;
+  padded.packetize.client_transform = [](ClientMessageKind, std::size_t) {
+    return std::vector<std::size_t>{4096};
+  };
+  const SessionResult transformed = simulate_session(graph, choices, padded);
+
+  // In the padded capture, all API-flow client records have one size.
+  const auto streams = tls::extract_record_streams(transformed.capture.packets);
+  bool found_api = false;
+  for (const auto& stream : streams) {
+    if (stream.sni && *stream.sni == transformed.capture.api_sni) {
+      found_api = true;
+      for (const auto& event : stream.events) {
+        if (event.is_client_application_data()) {
+          EXPECT_EQ(event.record_length, 4096u + 24u);
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(found_api);
+  (void)baseline;
+}
+
+TEST(Packetize, DeterministicForSeed) {
+  const SessionResult a = quick_session(55);
+  const SessionResult b = quick_session(55);
+  ASSERT_EQ(a.capture.packets.size(), b.capture.packets.size());
+  for (std::size_t i = 0; i < a.capture.packets.size(); i += 97) {
+    EXPECT_EQ(a.capture.packets[i].timestamp, b.capture.packets[i].timestamp);
+    EXPECT_EQ(a.capture.packets[i].data, b.capture.packets[i].data);
+  }
+}
+
+TEST(Packetize, DifferentSeedsDiffer) {
+  const SessionResult a = quick_session(56);
+  const SessionResult b = quick_session(57);
+  EXPECT_NE(a.capture.packets.size(), b.capture.packets.size());
+}
+
+}  // namespace
+}  // namespace wm::sim

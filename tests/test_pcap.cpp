@@ -1,0 +1,145 @@
+#include "wm/net/pcap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "wm/util/bytes.hpp"
+
+namespace wm::net {
+namespace {
+
+Packet make_packet(double seconds, std::size_t size, std::uint8_t fill) {
+  return Packet(util::SimTime::from_seconds(seconds), util::Bytes(size, fill));
+}
+
+TEST(Pcap, InMemoryRoundTripNanos) {
+  std::stringstream stream;
+  {
+    PcapWriter writer(stream, /*nanosecond_resolution=*/true);
+    writer.write(make_packet(1.5, 60, 0xaa));
+    writer.write(make_packet(2.000000123, 1500, 0xbb));
+    EXPECT_EQ(writer.packets_written(), 2u);
+  }
+  PcapReader reader(stream);
+  EXPECT_TRUE(reader.header().nanosecond_resolution);
+  EXPECT_FALSE(reader.header().byte_swapped);
+  EXPECT_EQ(reader.header().link_type, LinkType::kEthernet);
+
+  const auto packets = reader.read_all();
+  ASSERT_EQ(packets.size(), 2u);
+  EXPECT_EQ(packets[0].timestamp.nanos(), 1'500'000'000);
+  EXPECT_EQ(packets[1].timestamp.nanos(), 2'000'000'123);
+  EXPECT_EQ(packets[0].data.size(), 60u);
+  EXPECT_EQ(packets[1].data[0], 0xbb);
+}
+
+TEST(Pcap, MicrosecondResolutionTruncatesSubMicro) {
+  std::stringstream stream;
+  {
+    PcapWriter writer(stream, /*nanosecond_resolution=*/false);
+    writer.write(make_packet(1.000000999, 10, 0x01));
+  }
+  PcapReader reader(stream);
+  EXPECT_FALSE(reader.header().nanosecond_resolution);
+  const auto packets = reader.read_all();
+  ASSERT_EQ(packets.size(), 1u);
+  EXPECT_EQ(packets[0].timestamp.nanos(), 1'000'000'000);
+}
+
+TEST(Pcap, SnaplenTruncatesButKeepsOriginalLength) {
+  std::stringstream stream;
+  {
+    PcapWriter writer(stream, true, /*snaplen=*/100);
+    writer.write(make_packet(0.1, 500, 0xcc));
+  }
+  PcapReader reader(stream);
+  const auto packets = reader.read_all();
+  ASSERT_EQ(packets.size(), 1u);
+  EXPECT_EQ(packets[0].data.size(), 100u);
+  EXPECT_EQ(packets[0].original_length, 500u);
+}
+
+TEST(Pcap, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "wm_test_rt.pcap";
+  std::vector<Packet> packets;
+  for (int i = 0; i < 25; ++i) {
+    packets.push_back(make_packet(0.01 * i, 64 + static_cast<std::size_t>(i),
+                                  static_cast<std::uint8_t>(i)));
+  }
+  write_pcap(path, packets);
+  const auto loaded = read_pcap(path);
+  ASSERT_EQ(loaded.size(), packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ(loaded[i].timestamp, packets[i].timestamp);
+    EXPECT_EQ(loaded[i].data, packets[i].data);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Pcap, EmptyFileHasHeaderOnly) {
+  std::stringstream stream;
+  { PcapWriter writer(stream); }
+  EXPECT_EQ(stream.str().size(), PcapFileHeader::kSize);
+  PcapReader reader(stream);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(Pcap, RejectsBadMagic) {
+  std::stringstream stream;
+  stream.write("\x01\x02\x03\x04garbagegarbagegarbage", 25);
+  EXPECT_THROW(PcapReader reader(stream), std::runtime_error);
+}
+
+TEST(Pcap, RejectsTruncatedRecord) {
+  std::stringstream stream;
+  {
+    PcapWriter writer(stream);
+    writer.write(make_packet(1.0, 100, 0x11));
+  }
+  std::string bytes = stream.str();
+  bytes.resize(bytes.size() - 40);  // cut into the packet body
+  std::stringstream cut(bytes);
+  PcapReader reader(cut);
+  EXPECT_THROW((void)reader.next(), std::runtime_error);
+}
+
+TEST(Pcap, RejectsNegativeTimestampOnWrite) {
+  std::stringstream stream;
+  PcapWriter writer(stream);
+  Packet packet(util::SimTime::from_nanos(-5), util::Bytes(10, 0));
+  EXPECT_THROW(writer.write(packet), std::invalid_argument);
+}
+
+TEST(Pcap, ByteSwappedFileReadable) {
+  // Hand-build a byte-swapped (big-endian written) header + one record.
+  util::ByteWriter out;
+  out.write_u32_be(PcapFileHeader::kMagicMicros);  // reader sees swapped
+  out.write_u16_be(2);
+  out.write_u16_be(4);
+  out.write_u32_be(0);
+  out.write_u32_be(0);
+  out.write_u32_be(65535);   // snaplen
+  out.write_u32_be(1);       // ethernet
+  out.write_u32_be(3);       // ts sec
+  out.write_u32_be(500000);  // ts usec
+  out.write_u32_be(4);       // incl len
+  out.write_u32_be(4);       // orig len
+  out.write_u32_be(0xdeadbeef);
+
+  std::string text(reinterpret_cast<const char*>(out.view().data()),
+                   out.view().size());
+  std::stringstream stream(text);
+  PcapReader reader(stream);
+  EXPECT_TRUE(reader.header().byte_swapped);
+  EXPECT_EQ(reader.header().snaplen, 65535u);
+  const auto packet = reader.next();
+  ASSERT_TRUE(packet.has_value());
+  EXPECT_EQ(packet->timestamp.nanos(), 3'500'000'000);
+  EXPECT_EQ(packet->data.size(), 4u);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+}  // namespace
+}  // namespace wm::net

@@ -1,0 +1,153 @@
+#include "wm/net/pcapng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "wm/net/pcap.hpp"
+#include "wm/util/bytes.hpp"
+
+namespace wm::net {
+namespace {
+
+Packet make_packet(double seconds, std::size_t size, std::uint8_t fill) {
+  return Packet(util::SimTime::from_seconds(seconds), util::Bytes(size, fill));
+}
+
+TEST(Pcapng, InMemoryRoundTrip) {
+  std::stringstream stream;
+  {
+    PcapngWriter writer(stream);
+    writer.write(make_packet(1.5, 60, 0xaa));
+    writer.write(make_packet(2.000000123, 1501, 0xbb));  // odd size -> padding
+    EXPECT_EQ(writer.packets_written(), 2u);
+  }
+  PcapngReader reader(stream);
+  const auto packets = reader.read_all();
+  ASSERT_EQ(packets.size(), 2u);
+  EXPECT_EQ(packets[0].timestamp.nanos(), 1'500'000'000);
+  EXPECT_EQ(packets[1].timestamp.nanos(), 2'000'000'123);
+  EXPECT_EQ(packets[0].data.size(), 60u);
+  EXPECT_EQ(packets[1].data.size(), 1501u);
+  EXPECT_EQ(packets[1].data[0], 0xbb);
+}
+
+TEST(Pcapng, FileRoundTripPreservesEverything) {
+  const auto path = std::filesystem::temp_directory_path() / "wm_test.pcapng";
+  std::vector<Packet> packets;
+  for (int i = 0; i < 40; ++i) {
+    packets.push_back(make_packet(0.001 * i + 1.0, 64 + static_cast<std::size_t>(i * 3),
+                                  static_cast<std::uint8_t>(i)));
+  }
+  write_pcapng(path, packets);
+  const auto loaded = read_pcapng(path);
+  ASSERT_EQ(loaded.size(), packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ(loaded[i].timestamp, packets[i].timestamp);
+    EXPECT_EQ(loaded[i].data, packets[i].data);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Pcapng, EmptyFileYieldsNoPackets) {
+  std::stringstream stream;
+  { PcapngWriter writer(stream); }
+  PcapngReader reader(stream);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(Pcapng, UnknownBlocksSkipped) {
+  std::stringstream stream;
+  {
+    PcapngWriter writer(stream);
+    writer.write(make_packet(1.0, 100, 0x42));
+  }
+  // Append an unknown block type (e.g. Name Resolution Block, 0x4).
+  std::string data = stream.str();
+  util::ByteWriter extra;
+  // little-endian framing
+  const std::uint32_t kNrb = 0x00000004;
+  const std::uint32_t total = 16;
+  extra.write_u32_le(kNrb);
+  extra.write_u32_le(total);
+  extra.write_u32_le(0);  // body filler
+  extra.write_u32_le(total);
+  data.append(reinterpret_cast<const char*>(extra.view().data()),
+              extra.view().size());
+  // And another packet block after it.
+  std::stringstream stream2(data);
+  {
+    // Re-open for append via string manipulation: write a second stream
+    // containing one more EPB block and concatenate.
+    std::stringstream tail;
+    PcapngWriter writer(tail);
+    writer.write(make_packet(2.0, 50, 0x43));
+    std::string tail_str = tail.str();
+    // Skip tail's SHB+IDB (they would start a new section, which is
+    // legal pcapng; simpler here: keep them — reader handles sections).
+    data += tail_str;
+  }
+  std::stringstream full(data);
+  PcapngReader reader(full);
+  const auto packets = reader.read_all();
+  ASSERT_EQ(packets.size(), 2u);
+  EXPECT_EQ(reader.blocks_skipped(), 1u);
+  EXPECT_EQ(packets[1].data.size(), 50u);
+}
+
+TEST(Pcapng, RejectsCorruptTrailer) {
+  std::stringstream stream;
+  {
+    PcapngWriter writer(stream);
+    writer.write(make_packet(1.0, 20, 0x11));
+  }
+  std::string data = stream.str();
+  data[data.size() - 2] ^= 0x7f;  // corrupt final trailer length
+  std::stringstream corrupt(data);
+  PcapngReader reader(corrupt);
+  EXPECT_THROW(reader.read_all(), std::runtime_error);
+}
+
+TEST(Pcapng, RejectsTruncatedBody) {
+  std::stringstream stream;
+  {
+    PcapngWriter writer(stream);
+    writer.write(make_packet(1.0, 400, 0x11));
+  }
+  std::string data = stream.str();
+  data.resize(data.size() - 100);
+  std::stringstream corrupt(data);
+  PcapngReader reader(corrupt);
+  EXPECT_THROW(reader.read_all(), std::runtime_error);
+}
+
+TEST(Pcapng, NegativeTimestampRejectedOnWrite) {
+  std::stringstream stream;
+  PcapngWriter writer(stream);
+  Packet packet(util::SimTime::from_nanos(-1), util::Bytes(4, 0));
+  EXPECT_THROW(writer.write(packet), std::invalid_argument);
+}
+
+TEST(ReadAnyCapture, DispatchesOnMagic) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto pcap_path = dir / "wm_any.pcap";
+  const auto pcapng_path = dir / "wm_any.pcapng";
+  const std::vector<Packet> packets{make_packet(1.0, 80, 0x77)};
+  write_pcap(pcap_path, packets);
+  write_pcapng(pcapng_path, packets);
+
+  const auto from_pcap = read_any_capture(pcap_path);
+  const auto from_pcapng = read_any_capture(pcapng_path);
+  ASSERT_EQ(from_pcap.size(), 1u);
+  ASSERT_EQ(from_pcapng.size(), 1u);
+  EXPECT_EQ(from_pcap[0].data, from_pcapng[0].data);
+  EXPECT_EQ(from_pcap[0].timestamp, from_pcapng[0].timestamp);
+
+  std::filesystem::remove(pcap_path);
+  std::filesystem::remove(pcapng_path);
+  EXPECT_THROW(read_any_capture(dir / "wm_missing.pcap"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wm::net

@@ -1,0 +1,183 @@
+// Traffic-profile calibration: the sealed record-length bands must
+// reproduce Fig. 2 of the paper for the two calibrated conditions, and
+// stay disjoint (type-1 / type-2 / others) for EVERY operational
+// combination — the paper's robustness claim.
+#include <gtest/gtest.h>
+
+#include "wm/sim/profile.hpp"
+
+namespace wm::sim {
+namespace {
+
+OperationalConditions linux_firefox_wired() {
+  OperationalConditions c;
+  c.os = OperatingSystem::kLinux;
+  c.platform = Platform::kDesktop;
+  c.browser = Browser::kFirefox;
+  c.connection = ConnectionType::kWired;
+  c.traffic = TrafficCondition::kNoon;
+  return c;
+}
+
+TEST(Profile, Fig2LinuxFirefoxBands) {
+  const TrafficProfile profile = make_traffic_profile(linux_firefox_wired());
+  const auto [t1_lo, t1_hi] = profile.sealed_band(ClientMessageKind::kType1Json);
+  EXPECT_EQ(t1_lo, 2211u);
+  EXPECT_EQ(t1_hi, 2213u);
+  const auto [t2_lo, t2_hi] = profile.sealed_band(ClientMessageKind::kType2Json);
+  EXPECT_EQ(t2_lo, 2992u);
+  EXPECT_EQ(t2_hi, 3017u);
+}
+
+TEST(Profile, Fig2WindowsFirefoxBands) {
+  OperationalConditions c = linux_firefox_wired();
+  c.os = OperatingSystem::kWindows;
+  const TrafficProfile profile = make_traffic_profile(c);
+  const auto [t1_lo, t1_hi] = profile.sealed_band(ClientMessageKind::kType1Json);
+  EXPECT_EQ(t1_lo, 2341u);
+  EXPECT_EQ(t1_hi, 2343u);
+  const auto [t2_lo, t2_hi] = profile.sealed_band(ClientMessageKind::kType2Json);
+  EXPECT_EQ(t2_lo, 3118u);
+  EXPECT_EQ(t2_hi, 3147u);
+}
+
+TEST(Profile, AllOperationalConditionsEnumerated) {
+  const auto all = all_operational_conditions();
+  EXPECT_EQ(all.size(), 72u);  // 3 x 2 x 3 x 2 x 2
+  // No duplicates.
+  std::set<std::string> seen;
+  for (const auto& c : all) {
+    seen.insert(c.to_string());
+  }
+  EXPECT_EQ(seen.size(), all.size());
+}
+
+TEST(Profile, ConditionStringMatchesPaperStyle) {
+  const std::string text = linux_firefox_wired().to_string();
+  EXPECT_EQ(text, "(Desktop, Firefox, Ethernet, Linux, Noon)");
+}
+
+/// Parameterized over all 72 operational combinations.
+class ProfileProperty
+    : public ::testing::TestWithParam<OperationalConditions> {};
+
+TEST_P(ProfileProperty, JsonBandsDisjointFromEachOther) {
+  const TrafficProfile profile = make_traffic_profile(GetParam());
+  const auto [t1_lo, t1_hi] = profile.sealed_band(ClientMessageKind::kType1Json);
+  const auto [t2_lo, t2_hi] = profile.sealed_band(ClientMessageKind::kType2Json);
+  EXPECT_LT(t1_hi, t2_lo) << GetParam().to_string();
+  (void)t1_lo;
+  (void)t2_hi;
+}
+
+TEST_P(ProfileProperty, OthersAvoidJsonBands) {
+  const TrafficProfile profile = make_traffic_profile(GetParam());
+  const auto [t1_lo, t1_hi] = profile.sealed_band(ClientMessageKind::kType1Json);
+  const auto [t2_lo, t2_hi] = profile.sealed_band(ClientMessageKind::kType2Json);
+
+  const auto [req_lo, req_hi] =
+      profile.sealed_band(ClientMessageKind::kChunkRequest);
+  EXPECT_LT(req_hi, t1_lo) << GetParam().to_string();
+  (void)req_lo;
+
+  const auto [tel_lo, tel_hi] =
+      profile.sealed_band(ClientMessageKind::kTelemetry);
+  EXPECT_GT(tel_lo, t1_hi) << GetParam().to_string();
+  EXPECT_LT(tel_hi, t2_lo) << GetParam().to_string();
+
+  const auto [log_lo, log_hi] = profile.sealed_band(ClientMessageKind::kLogBatch);
+  EXPECT_GT(log_lo, t2_hi) << GetParam().to_string();
+  (void)log_hi;
+}
+
+TEST_P(ProfileProperty, SamplesStayInsideBands) {
+  const TrafficProfile profile = make_traffic_profile(GetParam());
+  util::Rng rng(99);
+  const tls::CipherModel cipher(profile.tls.suite, profile.tls.tls13_pad_to);
+  for (ClientMessageKind kind :
+       {ClientMessageKind::kType1Json, ClientMessageKind::kType2Json,
+        ClientMessageKind::kChunkRequest, ClientMessageKind::kTelemetry,
+        ClientMessageKind::kLogBatch}) {
+    const auto [lo, hi] = profile.sealed_band(kind);
+    for (int i = 0; i < 200; ++i) {
+      const std::size_t sealed = cipher.seal_size(profile.sample_plaintext(kind, rng));
+      EXPECT_GE(sealed, lo);
+      EXPECT_LE(sealed, hi);
+    }
+  }
+}
+
+TEST_P(ProfileProperty, DeterministicForConditions) {
+  const TrafficProfile a = make_traffic_profile(GetParam());
+  const TrafficProfile b = make_traffic_profile(GetParam());
+  EXPECT_EQ(a.type1_plaintext.base, b.type1_plaintext.base);
+  EXPECT_EQ(a.type2_plaintext.base, b.type2_plaintext.base);
+  EXPECT_EQ(a.tls.suite, b.tls.suite);
+  EXPECT_EQ(a.mss, b.mss);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConditions, ProfileProperty,
+    ::testing::ValuesIn(all_operational_conditions()),
+    [](const ::testing::TestParamInfo<OperationalConditions>& info) {
+      std::string name = to_string(info.param.os) + to_string(info.param.platform) +
+                         to_string(info.param.traffic) +
+                         to_string(info.param.connection) +
+                         to_string(info.param.browser);
+      std::erase_if(name, [](char c) { return !std::isalnum(
+                                           static_cast<unsigned char>(c)); });
+      return name;
+    });
+
+TEST(Profile, OsShiftsBands) {
+  OperationalConditions linux_cond = linux_firefox_wired();
+  OperationalConditions windows_cond = linux_cond;
+  windows_cond.os = OperatingSystem::kWindows;
+  OperationalConditions mac_cond = linux_cond;
+  mac_cond.os = OperatingSystem::kMac;
+
+  const auto l = make_traffic_profile(linux_cond).sealed_band(
+      ClientMessageKind::kType1Json);
+  const auto w = make_traffic_profile(windows_cond)
+                     .sealed_band(ClientMessageKind::kType1Json);
+  const auto m =
+      make_traffic_profile(mac_cond).sealed_band(ClientMessageKind::kType1Json);
+  EXPECT_NE(l.first, w.first);
+  EXPECT_NE(l.first, m.first);
+  EXPECT_NE(w.first, m.first);
+}
+
+TEST(Profile, BrowserChangesTlsStack) {
+  OperationalConditions firefox = linux_firefox_wired();
+  OperationalConditions chrome = firefox;
+  chrome.browser = Browser::kChrome;
+  const TrafficProfile f = make_traffic_profile(firefox);
+  const TrafficProfile c = make_traffic_profile(chrome);
+  EXPECT_FALSE(tls::is_tls13_suite(f.tls.suite));
+  EXPECT_TRUE(tls::is_tls13_suite(c.tls.suite));
+}
+
+TEST(Profile, ConnectionAffectsMss) {
+  OperationalConditions wired = linux_firefox_wired();
+  OperationalConditions wireless = wired;
+  wireless.connection = ConnectionType::kWireless;
+  EXPECT_GT(make_traffic_profile(wired).mss,
+            make_traffic_profile(wireless).mss);
+}
+
+TEST(Profile, SizeBandSampling) {
+  SizeBand band{100, 5};
+  util::Rng rng(3);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 300; ++i) {
+    const std::size_t v = band.sample(rng);
+    EXPECT_GE(v, 100u);
+    EXPECT_LE(v, 105u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(band.max(), 105u);
+}
+
+}  // namespace
+}  // namespace wm::sim

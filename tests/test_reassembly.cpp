@@ -1,0 +1,208 @@
+#include "wm/net/reassembly.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace wm::net {
+namespace {
+
+using util::Bytes;
+using util::SimTime;
+
+Bytes bytes_of(std::string_view text) {
+  return Bytes(text.begin(), text.end());
+}
+
+std::string drain_to_string(const std::vector<StreamChunk>& chunks) {
+  std::string out;
+  for (const StreamChunk& chunk : chunks) {
+    out.append(chunk.data.begin(), chunk.data.end());
+  }
+  return out;
+}
+
+TEST(Reassembly, InOrderDelivery) {
+  TcpStreamReassembler r;
+  auto first = r.on_segment(SimTime::from_seconds(1), 1000, true, false,
+                            bytes_of("hello "));
+  auto second = r.on_segment(SimTime::from_seconds(2), 1007, false, false,
+                             bytes_of("world"));
+  EXPECT_EQ(drain_to_string(first), "hello ");
+  EXPECT_EQ(drain_to_string(second), "world");
+  EXPECT_EQ(r.delivered_bytes(), 11u);
+  EXPECT_TRUE(r.synchronized());
+}
+
+TEST(Reassembly, SynConsumesSequenceSlot) {
+  TcpStreamReassembler r;
+  // Pure SYN (no payload), then data at ISN+1.
+  auto none = r.on_segment(SimTime::from_seconds(0), 5000, true, false, {});
+  EXPECT_TRUE(none.empty());
+  auto data =
+      r.on_segment(SimTime::from_seconds(1), 5001, false, false, bytes_of("abc"));
+  EXPECT_EQ(drain_to_string(data), "abc");
+}
+
+TEST(Reassembly, OutOfOrderBufferedThenDelivered) {
+  TcpStreamReassembler r;
+  (void)r.on_segment(SimTime::from_seconds(0), 100, true, false, {});
+  auto late = r.on_segment(SimTime::from_seconds(1), 104, false, false,
+                           bytes_of("DEF"));
+  EXPECT_TRUE(late.empty());  // gap at 101..103
+  auto fill =
+      r.on_segment(SimTime::from_seconds(2), 101, false, false, bytes_of("ABC"));
+  EXPECT_EQ(drain_to_string(fill), "ABCDEF");
+  EXPECT_EQ(r.delivered_bytes(), 6u);
+}
+
+TEST(Reassembly, RetransmissionIgnored) {
+  TcpStreamReassembler r;
+  (void)r.on_segment(SimTime::from_seconds(0), 100, true, false, {});
+  (void)r.on_segment(SimTime::from_seconds(1), 101, false, false, bytes_of("xyz"));
+  auto dup =
+      r.on_segment(SimTime::from_seconds(2), 101, false, false, bytes_of("xyz"));
+  EXPECT_TRUE(dup.empty());
+  EXPECT_EQ(r.delivered_bytes(), 3u);
+}
+
+TEST(Reassembly, PartialOverlapTrimmed) {
+  TcpStreamReassembler r;
+  (void)r.on_segment(SimTime::from_seconds(0), 100, true, false, {});
+  (void)r.on_segment(SimTime::from_seconds(1), 101, false, false, bytes_of("abcd"));
+  // Retransmit covering old data plus two new bytes.
+  auto more =
+      r.on_segment(SimTime::from_seconds(2), 103, false, false, bytes_of("cdEF"));
+  EXPECT_EQ(drain_to_string(more), "EF");
+  EXPECT_EQ(r.delivered_bytes(), 6u);
+}
+
+TEST(Reassembly, OverlapAmongBufferedSegmentsFirstWins) {
+  TcpStreamReassembler r;
+  (void)r.on_segment(SimTime::from_seconds(0), 100, true, false, {});
+  // Buffer 105.."WXYZ" out of order.
+  (void)r.on_segment(SimTime::from_seconds(1), 105, false, false, bytes_of("WXYZ"));
+  // Overlapping later arrival 103.."abWX??" — only 103..104 and beyond-109 are new.
+  (void)r.on_segment(SimTime::from_seconds(2), 103, false, false,
+                     bytes_of("ab????"));
+  auto fill =
+      r.on_segment(SimTime::from_seconds(3), 101, false, false, bytes_of("12"));
+  // First-arrival content survives in the overlap region.
+  EXPECT_EQ(drain_to_string(fill), "12abWXYZ");
+}
+
+TEST(Reassembly, SequenceWraparound) {
+  TcpStreamReassembler r;
+  const std::uint32_t near_wrap = 0xfffffffc;
+  (void)r.on_segment(SimTime::from_seconds(0), near_wrap, true, false, {});
+  auto first = r.on_segment(SimTime::from_seconds(1), near_wrap + 1, false, false,
+                            bytes_of("abc"));  // fills fffffffd..ffffffff
+  EXPECT_EQ(drain_to_string(first), "abc");
+  // Next segment wraps to sequence 0.
+  auto wrapped =
+      r.on_segment(SimTime::from_seconds(2), 0, false, false, bytes_of("def"));
+  EXPECT_EQ(drain_to_string(wrapped), "def");
+  EXPECT_EQ(r.delivered_bytes(), 6u);
+}
+
+TEST(Reassembly, FinMarksFinished) {
+  TcpStreamReassembler r;
+  (void)r.on_segment(SimTime::from_seconds(0), 10, true, false, {});
+  EXPECT_FALSE(r.finished());
+  (void)r.on_segment(SimTime::from_seconds(1), 11, false, true, bytes_of("end"));
+  EXPECT_TRUE(r.finished());
+}
+
+TEST(Reassembly, FinOutOfOrderWaitsForData) {
+  TcpStreamReassembler r;
+  (void)r.on_segment(SimTime::from_seconds(0), 10, true, false, {});
+  // FIN arrives with the last bytes, but earlier bytes are missing.
+  (void)r.on_segment(SimTime::from_seconds(1), 14, false, true, bytes_of("zz"));
+  EXPECT_FALSE(r.finished());
+  (void)r.on_segment(SimTime::from_seconds(2), 11, false, false, bytes_of("aaa"));
+  EXPECT_TRUE(r.finished());
+  EXPECT_EQ(r.delivered_bytes(), 5u);
+}
+
+TEST(Reassembly, BufferBudgetDropsRunawayData) {
+  TcpStreamReassembler::Config config;
+  config.max_buffered_bytes = 8;
+  TcpStreamReassembler r(config);
+  (void)r.on_segment(SimTime::from_seconds(0), 0, true, false, {});
+  // Far-ahead segments exceeding the budget get dropped.
+  (void)r.on_segment(SimTime::from_seconds(1), 100, false, false, bytes_of("12345678"));
+  EXPECT_EQ(r.dropped_bytes(), 0u);
+  (void)r.on_segment(SimTime::from_seconds(2), 200, false, false, bytes_of("abc"));
+  EXPECT_EQ(r.dropped_bytes(), 3u);
+}
+
+TEST(Reassembly, StreamOffsetsAreContiguous) {
+  TcpStreamReassembler r;
+  (void)r.on_segment(SimTime::from_seconds(0), 500, true, false, {});
+  auto a = r.on_segment(SimTime::from_seconds(1), 501, false, false, bytes_of("aa"));
+  auto b = r.on_segment(SimTime::from_seconds(2), 503, false, false, bytes_of("bbb"));
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(a[0].stream_offset, 0u);
+  EXPECT_EQ(b[0].stream_offset, 2u);
+}
+
+TEST(Reassembly, MidStreamCaptureWithoutSyn) {
+  TcpStreamReassembler r;
+  auto data = r.on_segment(SimTime::from_seconds(5), 777777, false, false,
+                           bytes_of("midstream"));
+  EXPECT_EQ(drain_to_string(data), "midstream");
+  EXPECT_TRUE(r.synchronized());
+}
+
+TEST(Reassembly, SegmentSpanningMultipleBufferedPiecesKeepsTail) {
+  TcpStreamReassembler r;
+  (void)r.on_segment(SimTime::from_seconds(0), 100, true, false, {});
+  // Buffer two islands: 105-106 and 109-110.
+  (void)r.on_segment(SimTime::from_seconds(1), 105, false, false, bytes_of("CC"));
+  (void)r.on_segment(SimTime::from_seconds(2), 109, false, false, bytes_of("EE"));
+  // One big segment 103..112 spanning both islands; the pieces between
+  // and after the islands must survive.
+  (void)r.on_segment(SimTime::from_seconds(3), 103, false, false,
+                     bytes_of("bb**dd**ff"));
+  auto fill =
+      r.on_segment(SimTime::from_seconds(4), 101, false, false, bytes_of("aa"));
+  EXPECT_EQ(drain_to_string(fill), "aabbCCddEEff");
+}
+
+TEST(Reassembly, ManySegmentsRandomOrder) {
+  // Property-style: split a byte string into segments, deliver in a
+  // scrambled order, expect exact reconstruction.
+  std::string payload;
+  for (int i = 0; i < 997; ++i) payload.push_back(static_cast<char>('A' + i % 26));
+
+  struct Seg {
+    std::uint32_t seq;
+    std::string data;
+  };
+  std::vector<Seg> segments;
+  const std::uint32_t isn = 42;
+  for (std::size_t offset = 0; offset < payload.size(); offset += 83) {
+    const std::size_t len = std::min<std::size_t>(83, payload.size() - offset);
+    segments.push_back(
+        Seg{static_cast<std::uint32_t>(isn + 1 + offset), payload.substr(offset, len)});
+  }
+  // Deterministic scramble.
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    std::swap(segments[i], segments[(i * 7 + 3) % segments.size()]);
+  }
+
+  TcpStreamReassembler r;
+  (void)r.on_segment(SimTime::from_seconds(0), isn, true, false, {});
+  std::string reconstructed;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const auto chunks =
+        r.on_segment(SimTime::from_seconds(1.0 + 0.001 * static_cast<double>(i)),
+                     segments[i].seq, false, false, bytes_of(segments[i].data));
+    reconstructed += drain_to_string(chunks);
+  }
+  EXPECT_EQ(reconstructed, payload);
+}
+
+}  // namespace
+}  // namespace wm::net

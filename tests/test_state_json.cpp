@@ -1,0 +1,137 @@
+// State-document generation: schema, exact sizing, and presence of the
+// real serialized documents in the simulated trace.
+#include <gtest/gtest.h>
+
+#include "wm/sim/http.hpp"
+#include "wm/sim/state_json.hpp"
+#include "wm/sim/streaming.hpp"
+#include "wm/story/bandersnatch.hpp"
+
+namespace wm::sim {
+namespace {
+
+PlaybackIdentity test_identity() {
+  util::Rng rng(7);
+  return PlaybackIdentity::sample(rng);
+}
+
+TEST(StateJson, Type1SchemaAndExactSize) {
+  const auto identity = test_identity();
+  const auto doc = make_type1_state(identity, 3, "STREET_SPLIT",
+                                    util::SimTime::from_seconds(412.5), 2188);
+  EXPECT_EQ(serialized_size(doc), 2188u);
+  EXPECT_EQ(doc.at("event").as_string(), "interactiveStateSnapshot");
+  EXPECT_EQ(doc.at("questionIndex").as_int(), 3);
+  EXPECT_EQ(doc.at("segment").as_string(), "STREET_SPLIT");
+  EXPECT_EQ(doc.at("positionMs").as_int(), 412'500);
+  EXPECT_EQ(doc.at("movieId").as_int(), 80988062);
+  EXPECT_EQ(doc.at("esn").as_string(), identity.esn);
+  // The padded document is still valid JSON that round-trips.
+  EXPECT_EQ(util::JsonValue::parse(serialize_state(doc)), doc);
+}
+
+TEST(StateJson, Type2SchemaAndExactSize) {
+  const auto identity = test_identity();
+  const auto doc =
+      make_type2_state(identity, 5, "Follow Colin", "COLINS_FLAT",
+                       util::SimTime::from_seconds(500.0), 2994);
+  EXPECT_EQ(serialized_size(doc), 2994u);
+  EXPECT_EQ(doc.at("event").as_string(), "interactiveChoiceOverride");
+  EXPECT_EQ(doc.at("choice").at("label").as_string(), "Follow Colin");
+  EXPECT_FALSE(doc.at("choice").at("isDefault").as_bool());
+  EXPECT_EQ(doc.at("choice").at("nextSegment").as_string(), "COLINS_FLAT");
+  EXPECT_TRUE(doc.at("discardedPrefetch").as_bool());
+}
+
+TEST(StateJson, UnattainableTargetReturnsBaseDocument) {
+  const auto identity = test_identity();
+  const auto doc = make_type1_state(identity, 1, "X",
+                                    util::SimTime::from_seconds(1.0), 10);
+  EXPECT_GT(serialized_size(doc), 10u);  // base document is bigger
+  EXPECT_TRUE(doc.contains("impressionData"));
+}
+
+TEST(StateJson, SizesAreMonotoneInTarget) {
+  const auto identity = test_identity();
+  std::size_t previous = 0;
+  for (std::size_t target : {1000u, 2000u, 2188u, 3000u, 8000u}) {
+    const auto doc = make_type1_state(identity, 1, "SEG",
+                                      util::SimTime::from_seconds(0.0), target);
+    EXPECT_EQ(serialized_size(doc), target);
+    EXPECT_GT(serialized_size(doc), previous);
+    previous = serialized_size(doc);
+  }
+}
+
+TEST(StateJson, IdentitiesDiffer) {
+  util::Rng rng(1);
+  const auto a = PlaybackIdentity::sample(rng);
+  const auto b = PlaybackIdentity::sample(rng);
+  EXPECT_NE(a.session_id, b.session_id);
+  EXPECT_NE(a.esn, b.esn);
+  EXPECT_NE(a.profile_guid, b.profile_guid);
+  EXPECT_EQ(a.esn.substr(0, 10), "NFCDIE-03-");
+}
+
+TEST(StateJson, TraceCarriesParsableDocuments) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  const TrafficProfile profile = make_traffic_profile(OperationalConditions{});
+  StreamingConfig config;
+  util::Rng rng(11);
+  const AppTrace trace = simulate_app_trace(
+      graph, std::vector<story::Choice>(13, story::Choice::kNonDefault), profile,
+      config, rng);
+
+  std::size_t type1 = 0;
+  std::size_t type2 = 0;
+  for (const AppEvent& event : trace.events) {
+    if (!event.from_client) continue;
+    if (event.client_kind == ClientMessageKind::kType1Json) {
+      ++type1;
+      ASSERT_FALSE(event.state_json.empty());
+      const auto post = parse_http_request(event.state_json);
+      ASSERT_TRUE(post.has_value());
+      EXPECT_EQ(post->method, "POST");
+      const auto doc = util::JsonValue::parse(post->body);
+      EXPECT_EQ(doc.at("event").as_string(), "interactiveStateSnapshot");
+      EXPECT_EQ(static_cast<std::size_t>(doc.at("questionIndex").as_int()),
+                event.question_index);
+      EXPECT_EQ(event.state_json.size(), event.plaintext_size);
+    } else if (event.client_kind == ClientMessageKind::kType2Json) {
+      ++type2;
+      ASSERT_FALSE(event.state_json.empty());
+      const auto post = parse_http_request(event.state_json);
+      ASSERT_TRUE(post.has_value());
+      const auto doc = util::JsonValue::parse(post->body);
+      EXPECT_EQ(doc.at("event").as_string(), "interactiveChoiceOverride");
+      EXPECT_EQ(event.state_json.size(), event.plaintext_size);
+    }
+  }
+  EXPECT_GT(type1, 0u);
+  EXPECT_GT(type2, 0u);
+}
+
+TEST(StateJson, SizesStayInsideProfileBands) {
+  // Padding to the sampled target must keep documents in the Fig. 2
+  // bands (the whole point of the narrow-band phenomenon).
+  const story::StoryGraph graph = story::make_bandersnatch();
+  const TrafficProfile profile = make_traffic_profile(OperationalConditions{});
+  StreamingConfig config;
+  util::Rng rng(13);
+  const AppTrace trace = simulate_app_trace(
+      graph, std::vector<story::Choice>(13, story::Choice::kNonDefault), profile,
+      config, rng);
+  for (const AppEvent& event : trace.events) {
+    if (!event.from_client) continue;
+    if (event.client_kind == ClientMessageKind::kType1Json) {
+      EXPECT_GE(event.plaintext_size, profile.type1_plaintext.base);
+      EXPECT_LE(event.plaintext_size, profile.type1_plaintext.max());
+    } else if (event.client_kind == ClientMessageKind::kType2Json) {
+      EXPECT_GE(event.plaintext_size, profile.type2_plaintext.base);
+      EXPECT_LE(event.plaintext_size, profile.type2_plaintext.max());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wm::sim

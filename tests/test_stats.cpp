@@ -1,0 +1,146 @@
+#include "wm/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wm::util {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero) {
+  RunningStats stats;
+  stats.add(3.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.7 - 10;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(Quantile, EmptyReturnsNullopt) {
+  EXPECT_FALSE(quantile({}, 0.5).has_value());
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  const std::vector<double> values{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(*quantile(values, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(*quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(*quantile(values, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(*quantile(values, 0.25), 2.0);
+}
+
+TEST(Quantile, Interpolates) {
+  const std::vector<double> values{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(*quantile(values, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(*quantile(values, 0.3), 3.0);
+}
+
+TEST(IntHistogram, CountsAndRanges) {
+  IntHistogram hist;
+  hist.add(2211);
+  hist.add(2212, 3);
+  hist.add(2213);
+  hist.add(3000);
+  EXPECT_EQ(hist.total(), 6u);
+  EXPECT_EQ(hist.count_of(2212), 3u);
+  EXPECT_EQ(hist.count_of(9999), 0u);
+  EXPECT_EQ(hist.count_in(2211, 2213), 5u);
+  EXPECT_EQ(hist.count_in(2214, 2999), 0u);
+  EXPECT_EQ(*hist.min(), 2211);
+  EXPECT_EQ(*hist.max(), 3000);
+  EXPECT_EQ(*hist.mode(), 2212);
+}
+
+TEST(IntHistogram, EmptyBehaviour) {
+  IntHistogram hist;
+  EXPECT_FALSE(hist.min().has_value());
+  EXPECT_FALSE(hist.max().has_value());
+  EXPECT_FALSE(hist.mode().has_value());
+  EXPECT_FALSE(covering_interval(hist).has_value());
+}
+
+TEST(IntInterval, ContainsAndOverlaps) {
+  const IntInterval a{10, 20};
+  EXPECT_TRUE(a.contains(10));
+  EXPECT_TRUE(a.contains(20));
+  EXPECT_FALSE(a.contains(9));
+  EXPECT_TRUE(a.overlaps({20, 30}));
+  EXPECT_TRUE(a.overlaps({0, 10}));
+  EXPECT_FALSE(a.overlaps({21, 30}));
+  EXPECT_EQ(a.to_string(), "10-20");
+  EXPECT_EQ((IntInterval{7, 7}).to_string(), "7");
+}
+
+TEST(ConfusionMatrix, AccuracyAndPerClass) {
+  ConfusionMatrix m({"a", "b", "c"});
+  m.add(0, 0, 8);
+  m.add(0, 2, 2);
+  m.add(1, 1, 5);
+  m.add(2, 1, 1);
+  m.add(2, 2, 4);
+  EXPECT_EQ(m.total(), 20u);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 17.0 / 20.0);
+  EXPECT_DOUBLE_EQ(m.recall(0), 0.8);
+  EXPECT_DOUBLE_EQ(m.precision(1), 5.0 / 6.0);
+  EXPECT_DOUBLE_EQ(m.precision(2), 4.0 / 6.0);
+  EXPECT_GT(m.f1(0), 0.8);
+}
+
+TEST(ConfusionMatrix, EmptyAccuracyIsOne) {
+  ConfusionMatrix m({"x", "y"});
+  EXPECT_DOUBLE_EQ(m.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(m.precision(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.recall(1), 0.0);
+}
+
+TEST(ConfusionMatrix, BoundsChecked) {
+  ConfusionMatrix m({"x"});
+  EXPECT_THROW(m.add(0, 1), std::out_of_range);
+  EXPECT_THROW(m.at(1, 0), std::out_of_range);
+  EXPECT_THROW(ConfusionMatrix({}), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, RendersLabels) {
+  ConfusionMatrix m({"type-1", "type-2", "others"});
+  m.add(0, 0);
+  const std::string text = m.to_string();
+  EXPECT_NE(text.find("type-1"), std::string::npos);
+  EXPECT_NE(text.find("others"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wm::util

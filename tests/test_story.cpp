@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "wm/story/bandersnatch.hpp"
+#include "wm/story/generator.hpp"
+#include "wm/story/serialize.hpp"
+#include "wm/story/graph.hpp"
+
+namespace wm::story {
+namespace {
+
+TEST(ChoiceNotation, MatchesPaper) {
+  EXPECT_EQ(choice_notation(1, Choice::kDefault), "S1");
+  EXPECT_EQ(choice_notation(2, Choice::kNonDefault), "S2'");
+  EXPECT_EQ(to_string(Choice::kDefault), "default");
+  EXPECT_EQ(to_string(Choice::kNonDefault), "non-default");
+}
+
+TEST(StoryGraph, RejectsDegenerateConstruction) {
+  EXPECT_THROW(StoryGraph("x", 0, {}), std::invalid_argument);
+  Segment seg;
+  seg.name = "only";
+  seg.duration = util::Duration::seconds(10);
+  seg.is_ending = true;
+  EXPECT_THROW(StoryGraph("x", 5, {seg}), std::invalid_argument);
+}
+
+TEST(StoryGraph, SegmentBoundsChecked) {
+  const StoryGraph graph = make_bandersnatch();
+  EXPECT_THROW(graph.segment(static_cast<SegmentId>(graph.segment_count())),
+               std::out_of_range);
+}
+
+TEST(Bandersnatch, IsValid) {
+  const StoryGraph graph = make_bandersnatch();
+  const auto problems = graph.validate();
+  for (const std::string& problem : problems) {
+    ADD_FAILURE() << problem;
+  }
+  EXPECT_TRUE(problems.empty());
+}
+
+TEST(Bandersnatch, HasExpectedShape) {
+  const StoryGraph graph = make_bandersnatch();
+  EXPECT_GE(graph.segment_count(), 20u);
+  EXPECT_GE(graph.choice_segments().size(), 12u);
+  // Segment 0 is the opening and has no choice.
+  const Segment& opening = graph.segment(graph.start());
+  EXPECT_EQ(opening.name, "SEGMENT_0_OPENING");
+  EXPECT_FALSE(opening.has_choice());
+}
+
+TEST(Bandersnatch, ContainsPaperQuotedQuestions) {
+  const StoryGraph graph = make_bandersnatch();
+  bool frosties = false;
+  bool therapist = false;
+  bool tea = false;
+  for (SegmentId id : graph.choice_segments()) {
+    const std::string& prompt = graph.segment(id).choice->prompt;
+    frosties |= prompt.find("Frosties") != std::string::npos;
+    therapist |= prompt.find("therapist") != std::string::npos;
+    tea |= prompt.find("tea") != std::string::npos;
+  }
+  EXPECT_TRUE(frosties);
+  EXPECT_TRUE(therapist);
+  EXPECT_TRUE(tea);
+}
+
+TEST(Bandersnatch, AllDefaultPathReachesEnding) {
+  const StoryGraph graph = make_bandersnatch();
+  const std::vector<Choice> defaults(20, Choice::kDefault);
+  const auto traversal = graph.traverse(defaults);
+  EXPECT_TRUE(traversal.reached_ending);
+  EXPECT_GE(traversal.questions.size(), 5u);
+  EXPECT_TRUE(graph.segment(traversal.path.back()).is_ending);
+}
+
+TEST(Bandersnatch, AllNonDefaultPathReachesEnding) {
+  const StoryGraph graph = make_bandersnatch();
+  const std::vector<Choice> picks(20, Choice::kNonDefault);
+  const auto traversal = graph.traverse(picks);
+  EXPECT_TRUE(traversal.reached_ending);
+}
+
+TEST(Bandersnatch, EveryEndingReachable) {
+  const StoryGraph graph = make_bandersnatch();
+  std::set<std::string> endings_found;
+  // Enumerate all choice sequences up to depth 6 (questions on any
+  // single path are fewer than that before diverging meaningfully) plus
+  // exhaustive 2^8 deeper sweep.
+  for (unsigned mask = 0; mask < (1u << 10); ++mask) {
+    std::vector<Choice> choices;
+    for (int bit = 0; bit < 10; ++bit) {
+      choices.push_back((mask >> bit) & 1 ? Choice::kNonDefault
+                                          : Choice::kDefault);
+    }
+    const auto traversal = graph.traverse(choices);
+    if (traversal.reached_ending) {
+      endings_found.insert(graph.segment(traversal.path.back()).name);
+    }
+  }
+  EXPECT_GE(endings_found.size(), 5u);
+}
+
+TEST(Bandersnatch, TraversalStopsWhenChoicesRunOut) {
+  const StoryGraph graph = make_bandersnatch();
+  const auto traversal = graph.traverse({Choice::kDefault});
+  EXPECT_FALSE(traversal.reached_ending);
+  EXPECT_EQ(traversal.choices_consumed, 1u);
+}
+
+TEST(Bandersnatch, Deterministic) {
+  const StoryGraph a = make_bandersnatch();
+  const StoryGraph b = make_bandersnatch();
+  ASSERT_EQ(a.segment_count(), b.segment_count());
+  for (SegmentId id = 0; id < a.segment_count(); ++id) {
+    EXPECT_EQ(a.segment(id).name, b.segment(id).name);
+    EXPECT_EQ(a.segment(id).duration, b.segment(id).duration);
+  }
+}
+
+// --- generator property tests ------------------------------------------
+
+class GeneratorProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorProperty, GeneratedGraphsAreValid) {
+  util::Rng rng(GetParam());
+  GeneratorConfig config;
+  config.questions = 3 + static_cast<std::size_t>(GetParam() % 10);
+  const StoryGraph graph = generate_story(config, rng);
+  const auto problems = graph.validate();
+  for (const std::string& problem : problems) ADD_FAILURE() << problem;
+
+  // All-default traversal must hit every spine question and end.
+  const std::vector<Choice> defaults(config.questions + 5, Choice::kDefault);
+  const auto traversal = graph.traverse(defaults);
+  EXPECT_TRUE(traversal.reached_ending);
+  EXPECT_EQ(traversal.questions.size(), config.questions);
+}
+
+TEST_P(GeneratorProperty, AnyChoiceSequenceTerminates) {
+  util::Rng rng(GetParam() * 977);
+  GeneratorConfig config;
+  config.questions = 6;
+  const StoryGraph graph = generate_story(config, rng);
+  util::Rng choice_rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Choice> choices;
+    for (int i = 0; i < 12; ++i) {
+      choices.push_back(choice_rng.bernoulli(0.5) ? Choice::kDefault
+                                                  : Choice::kNonDefault);
+    }
+    const auto traversal = graph.traverse(choices);
+    EXPECT_TRUE(traversal.reached_ending);  // generator never strands
+    EXPECT_FALSE(traversal.path.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST(Serialize, BandersnatchRoundTrips) {
+  const StoryGraph original = make_bandersnatch();
+  const StoryGraph loaded = from_json_text(to_json_text(original));
+  ASSERT_EQ(loaded.segment_count(), original.segment_count());
+  EXPECT_EQ(loaded.title(), original.title());
+  EXPECT_EQ(loaded.start(), original.start());
+  for (SegmentId id = 0; id < original.segment_count(); ++id) {
+    const Segment& a = original.segment(id);
+    const Segment& b = loaded.segment(id);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.duration, b.duration);
+    EXPECT_EQ(a.is_ending, b.is_ending);
+    EXPECT_EQ(a.has_choice(), b.has_choice());
+    if (a.has_choice()) {
+      EXPECT_EQ(a.choice->prompt, b.choice->prompt);
+      EXPECT_EQ(a.choice->default_next, b.choice->default_next);
+      EXPECT_EQ(a.choice->non_default_next, b.choice->non_default_next);
+    } else if (!a.is_ending) {
+      EXPECT_EQ(a.next, b.next);
+    }
+  }
+  EXPECT_TRUE(loaded.validate().empty());
+
+  // Traversals agree.
+  const std::vector<Choice> picks(13, Choice::kNonDefault);
+  EXPECT_EQ(original.traverse(picks).path, loaded.traverse(picks).path);
+}
+
+TEST(Serialize, GeneratedGraphsRoundTrip) {
+  for (std::uint64_t seed : {3u, 17u, 99u}) {
+    util::Rng rng(seed);
+    GeneratorConfig config;
+    config.questions = 5;
+    const StoryGraph original = generate_story(config, rng);
+    const StoryGraph loaded = from_json_text(to_json_text(original));
+    EXPECT_EQ(loaded.segment_count(), original.segment_count());
+    EXPECT_TRUE(loaded.validate().empty());
+  }
+}
+
+TEST(Serialize, RejectsBadReferences) {
+  const StoryGraph graph = make_bandersnatch();
+  util::JsonValue doc = to_json(graph);
+  doc.as_object()["start"] = util::JsonValue(9999);
+  EXPECT_THROW(from_json(doc), std::runtime_error);
+
+  util::JsonValue doc2 = to_json(graph);
+  doc2.as_object()["segments"] = util::JsonValue(util::JsonArray{});
+  EXPECT_THROW(from_json(doc2), std::runtime_error);
+}
+
+TEST(Serialize, RejectsMalformedText) {
+  EXPECT_THROW(from_json_text("{"), std::runtime_error);
+  EXPECT_THROW(from_json_text("{}"), std::runtime_error);
+}
+
+TEST(Generator, RejectsBadConfig) {
+  util::Rng rng(1);
+  GeneratorConfig config;
+  config.questions = 0;
+  EXPECT_THROW(generate_story(config, rng), std::invalid_argument);
+  config.questions = 3;
+  config.min_segment_seconds = 10;
+  config.max_segment_seconds = 5;
+  EXPECT_THROW(generate_story(config, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wm::story

@@ -1,0 +1,196 @@
+// Streaming-engine semantics: the Fig. 1 process — type-1 at each
+// question, type-2 only on non-default choices, prefetch + abort.
+#include <gtest/gtest.h>
+
+#include "wm/sim/streaming.hpp"
+#include "wm/story/bandersnatch.hpp"
+
+namespace wm::sim {
+namespace {
+
+using story::Choice;
+
+struct TraceCounts {
+  std::size_t type1 = 0;
+  std::size_t type2 = 0;
+  std::size_t prefetch = 0;
+  std::size_t aborted = 0;
+};
+
+TraceCounts count_events(const AppTrace& trace) {
+  TraceCounts counts;
+  for (const AppEvent& event : trace.events) {
+    if (event.from_client) {
+      if (event.client_kind == ClientMessageKind::kType1Json) ++counts.type1;
+      if (event.client_kind == ClientMessageKind::kType2Json) ++counts.type2;
+    } else {
+      if (event.is_prefetch) ++counts.prefetch;
+      if (event.prefetch_aborted) ++counts.aborted;
+    }
+  }
+  return counts;
+}
+
+AppTrace run_trace(const std::vector<Choice>& choices, std::uint64_t seed = 5) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  const TrafficProfile profile = make_traffic_profile(OperationalConditions{});
+  StreamingConfig config;
+  util::Rng rng(seed);
+  return simulate_app_trace(graph, choices, profile, config, rng);
+}
+
+TEST(Streaming, OneType1PerQuestion) {
+  const AppTrace trace = run_trace(std::vector<Choice>(20, Choice::kDefault));
+  const TraceCounts counts = count_events(trace);
+  EXPECT_EQ(counts.type1, trace.truth.questions.size());
+  EXPECT_EQ(counts.type2, 0u);  // all defaults -> no type-2 at all
+  EXPECT_TRUE(trace.truth.reached_ending);
+}
+
+TEST(Streaming, Type2CountMatchesNonDefaultChoices) {
+  const AppTrace trace = run_trace(std::vector<Choice>(20, Choice::kNonDefault));
+  const TraceCounts counts = count_events(trace);
+  std::size_t non_defaults = 0;
+  for (const QuestionOutcome& q : trace.truth.questions) {
+    if (q.choice == Choice::kNonDefault) ++non_defaults;
+  }
+  EXPECT_EQ(counts.type2, non_defaults);
+  EXPECT_GT(non_defaults, 0u);
+}
+
+TEST(Streaming, PrefetchAbortedExactlyOnNonDefault) {
+  // Mixed choices: default, non-default, default, ...
+  std::vector<Choice> choices;
+  for (int i = 0; i < 20; ++i) {
+    choices.push_back(i % 2 == 0 ? Choice::kDefault : Choice::kNonDefault);
+  }
+  const AppTrace trace = run_trace(choices);
+  // Aborted prefetch chunks exist iff some non-default choice followed
+  // a window in which prefetch happened.
+  const TraceCounts counts = count_events(trace);
+  EXPECT_GT(counts.prefetch, 0u);
+  bool any_non_default = false;
+  for (const QuestionOutcome& q : trace.truth.questions) {
+    any_non_default |= q.choice == Choice::kNonDefault;
+  }
+  if (any_non_default) {
+    EXPECT_GT(counts.aborted, 0u);
+  }
+  EXPECT_LE(counts.aborted, counts.prefetch);
+
+  // Aborted chunks always belong to the *default* branch of a question
+  // answered non-default.
+  for (const AppEvent& event : trace.events) {
+    if (event.prefetch_aborted) {
+      EXPECT_TRUE(event.is_prefetch);
+    }
+  }
+}
+
+TEST(Streaming, EventsSortedByTime) {
+  const AppTrace trace = run_trace(std::vector<Choice>(20, Choice::kNonDefault));
+  for (std::size_t i = 1; i < trace.events.size(); ++i) {
+    EXPECT_LE(trace.events[i - 1].time, trace.events[i].time);
+  }
+}
+
+TEST(Streaming, QuestionTimesMatchType1Events) {
+  const AppTrace trace = run_trace(std::vector<Choice>(20, Choice::kDefault));
+  std::vector<util::SimTime> type1_times;
+  for (const AppEvent& event : trace.events) {
+    if (event.from_client && event.client_kind == ClientMessageKind::kType1Json) {
+      type1_times.push_back(event.time);
+    }
+  }
+  ASSERT_EQ(type1_times.size(), trace.truth.questions.size());
+  for (std::size_t i = 0; i < type1_times.size(); ++i) {
+    EXPECT_EQ(type1_times[i], trace.truth.questions[i].question_time);
+  }
+}
+
+TEST(Streaming, DecisionInsideWindow) {
+  const AppTrace trace = run_trace(std::vector<Choice>(20, Choice::kNonDefault));
+  StreamingConfig config;
+  for (const QuestionOutcome& q : trace.truth.questions) {
+    const double delay = (q.decision_time - q.question_time).to_seconds();
+    EXPECT_GT(delay, 0.0);
+    EXPECT_LE(delay, config.choice_window_seconds);
+  }
+}
+
+TEST(Streaming, ViewerStopsWhenChoicesRunOut) {
+  const AppTrace trace = run_trace({Choice::kDefault, Choice::kDefault});
+  EXPECT_EQ(trace.truth.questions.size(), 2u);
+  EXPECT_FALSE(trace.truth.reached_ending);
+}
+
+TEST(Streaming, GroundTruthChoicesAccessor) {
+  const AppTrace trace =
+      run_trace({Choice::kDefault, Choice::kNonDefault, Choice::kDefault});
+  const auto choices = trace.truth.choices();
+  ASSERT_EQ(choices.size(), trace.truth.questions.size());
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    EXPECT_EQ(choices[i], trace.truth.questions[i].choice);
+  }
+}
+
+TEST(Streaming, TimeScaleCompressesSession) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  const TrafficProfile profile = make_traffic_profile(OperationalConditions{});
+  const std::vector<Choice> choices(20, Choice::kDefault);
+
+  StreamingConfig slow;
+  slow.time_scale = 0.2;
+  util::Rng rng1(3);
+  const AppTrace long_trace =
+      simulate_app_trace(graph, choices, profile, slow, rng1);
+
+  StreamingConfig fast;
+  fast.time_scale = 0.05;
+  util::Rng rng2(3);
+  const AppTrace short_trace =
+      simulate_app_trace(graph, choices, profile, fast, rng2);
+
+  EXPECT_GT(long_trace.session_length, short_trace.session_length);
+  // Same structural ground truth regardless of scale.
+  EXPECT_EQ(long_trace.truth.questions.size(), short_trace.truth.questions.size());
+}
+
+TEST(Streaming, DeterministicForSeed) {
+  const AppTrace a = run_trace(std::vector<Choice>(20, Choice::kNonDefault), 77);
+  const AppTrace b = run_trace(std::vector<Choice>(20, Choice::kNonDefault), 77);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].time, b.events[i].time);
+    EXPECT_EQ(a.events[i].plaintext_size, b.events[i].plaintext_size);
+  }
+}
+
+TEST(Streaming, TelemetryPresent) {
+  const AppTrace trace = run_trace(std::vector<Choice>(20, Choice::kDefault));
+  std::size_t telemetry = 0;
+  for (const AppEvent& event : trace.events) {
+    if (event.from_client &&
+        (event.client_kind == ClientMessageKind::kTelemetry ||
+         event.client_kind == ClientMessageKind::kLogBatch)) {
+      ++telemetry;
+    }
+  }
+  EXPECT_GT(telemetry, 0u);
+}
+
+TEST(Streaming, ChunksCoverEverySegmentOnPath) {
+  const AppTrace trace = run_trace(std::vector<Choice>(20, Choice::kDefault));
+  std::set<story::SegmentId> chunked;
+  for (const AppEvent& event : trace.events) {
+    if (!event.from_client && event.segment != story::kInvalidSegment) {
+      chunked.insert(event.segment);
+    }
+  }
+  for (story::SegmentId id : trace.truth.path) {
+    EXPECT_TRUE(chunked.count(id)) << "segment " << id << " never streamed";
+  }
+}
+
+}  // namespace
+}  // namespace wm::sim

@@ -1,0 +1,264 @@
+// TLS record framing, handshake messages, cipher length model.
+#include <gtest/gtest.h>
+
+#include "wm/tls/cipher.hpp"
+#include "wm/tls/handshake.hpp"
+#include "wm/tls/record.hpp"
+
+namespace wm::tls {
+namespace {
+
+using util::Bytes;
+using util::SimTime;
+
+TlsRecord make_record(ContentType type, std::size_t size) {
+  TlsRecord record;
+  record.content_type = type;
+  record.payload = Bytes(size, 0x5a);
+  return record;
+}
+
+TEST(TlsRecord, SerializeHeaderLayout) {
+  const TlsRecord record = make_record(ContentType::kApplicationData, 3);
+  util::ByteWriter out;
+  serialize_record(record, out);
+  EXPECT_EQ(util::to_hex(out.view()), "17030300035a5a5a");
+  EXPECT_EQ(record.wire_size(), 8u);
+  EXPECT_EQ(record.length(), 3u);
+}
+
+TEST(TlsRecordParser, SingleRecord) {
+  const Bytes wire = serialize_records({make_record(ContentType::kHandshake, 10)});
+  TlsRecordParser parser;
+  const auto records = parser.feed(SimTime::from_seconds(1), wire);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].record.content_type, ContentType::kHandshake);
+  EXPECT_EQ(records[0].record.length(), 10u);
+  EXPECT_EQ(records[0].stream_offset, 0u);
+  EXPECT_EQ(records[0].timestamp, SimTime::from_seconds(1));
+  EXPECT_FALSE(parser.desynchronized());
+}
+
+TEST(TlsRecordParser, MultipleRecordsOneChunk) {
+  const Bytes wire = serialize_records({
+      make_record(ContentType::kHandshake, 100),
+      make_record(ContentType::kChangeCipherSpec, 1),
+      make_record(ContentType::kApplicationData, 2212),
+  });
+  TlsRecordParser parser;
+  const auto records = parser.feed(SimTime::from_seconds(0), wire);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[2].record.length(), 2212u);
+  EXPECT_EQ(records[2].stream_offset, 105u + 6u);
+  EXPECT_EQ(parser.records_parsed(), 3u);
+}
+
+TEST(TlsRecordParser, RecordSplitAcrossChunks) {
+  const Bytes wire = serialize_records({make_record(ContentType::kApplicationData, 1000)});
+  TlsRecordParser parser;
+  // Feed in 3 pieces, cutting inside the header and inside the body.
+  auto first = parser.feed(SimTime::from_seconds(1),
+                           util::BytesView(wire).subspan(0, 3));
+  EXPECT_TRUE(first.empty());
+  auto second = parser.feed(SimTime::from_seconds(2),
+                            util::BytesView(wire).subspan(3, 500));
+  EXPECT_TRUE(second.empty());
+  auto third = parser.feed(SimTime::from_seconds(3),
+                           util::BytesView(wire).subspan(503));
+  ASSERT_EQ(third.size(), 1u);
+  // The record is stamped with the time of the completing chunk.
+  EXPECT_EQ(third[0].timestamp, SimTime::from_seconds(3));
+  EXPECT_EQ(third[0].record.length(), 1000u);
+}
+
+TEST(TlsRecordParser, DesynchronizesOnGarbage) {
+  TlsRecordParser parser;
+  const Bytes garbage = {0x99, 0x99, 0x99, 0x99, 0x99, 0x99};
+  const auto records = parser.feed(SimTime::from_seconds(0), garbage);
+  EXPECT_TRUE(records.empty());
+  EXPECT_TRUE(parser.desynchronized());
+  // Once desynchronized, further valid input produces nothing.
+  const Bytes valid = serialize_records({make_record(ContentType::kAlert, 2)});
+  EXPECT_TRUE(parser.feed(SimTime::from_seconds(1), valid).empty());
+}
+
+TEST(TlsRecordParser, RejectsOversizedLength) {
+  // length field 0x4800 = 18432 > max ciphertext 18432? max is 16384+2048=18432,
+  // use 18433.
+  Bytes wire = {0x17, 0x03, 0x03, 0x48, 0x01};
+  TlsRecordParser parser;
+  (void)parser.feed(SimTime::from_seconds(0), wire);
+  EXPECT_TRUE(parser.desynchronized());
+}
+
+TEST(TlsRecordParser, EmptyRecordAllowed) {
+  const Bytes wire = serialize_records({make_record(ContentType::kApplicationData, 0)});
+  TlsRecordParser parser;
+  const auto records = parser.feed(SimTime::from_seconds(0), wire);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].record.length(), 0u);
+}
+
+TEST(ContentTypeHelpers, Names) {
+  EXPECT_EQ(to_string(ContentType::kApplicationData), "application_data");
+  EXPECT_TRUE(is_known_content_type(23));
+  EXPECT_FALSE(is_known_content_type(25));
+  EXPECT_FALSE(is_known_content_type(19));
+}
+
+// --- handshake --------------------------------------------------------
+
+TEST(ClientHello, RoundTripWithSniAndAlpn) {
+  ClientHello hello;
+  hello.cipher_suites = {0x1301, 0xc02f};
+  hello.session_id = Bytes(32, 0x11);
+  hello.set_sni("occ-0-2433-2430.1.nflxvideo.net");
+  hello.set_alpn({"h2", "http/1.1"});
+
+  const Bytes wire = hello.serialize();
+  const auto parsed = ClientHello::parse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->cipher_suites, hello.cipher_suites);
+  EXPECT_EQ(parsed->session_id, hello.session_id);
+  ASSERT_TRUE(parsed->sni().has_value());
+  EXPECT_EQ(*parsed->sni(), "occ-0-2433-2430.1.nflxvideo.net");
+}
+
+TEST(ClientHello, SetSniReplacesExisting) {
+  ClientHello hello;
+  hello.cipher_suites = {0x1301};
+  hello.set_sni("first.example");
+  hello.set_sni("second.example");
+  const auto parsed = ClientHello::parse(hello.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed->sni(), "second.example");
+  // Only one server_name extension.
+  int count = 0;
+  for (const auto& ext : parsed->extensions) {
+    if (ext.type == 0) ++count;
+  }
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ClientHello, NoSniReturnsNullopt) {
+  ClientHello hello;
+  hello.cipher_suites = {0x1301};
+  const auto parsed = ClientHello::parse(hello.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->sni().has_value());
+}
+
+TEST(ClientHello, ParseRejectsTruncated) {
+  ClientHello hello;
+  hello.cipher_suites = {0x1301};
+  Bytes wire = hello.serialize();
+  wire.resize(wire.size() - 3);
+  // The 24-bit length no longer matches.
+  EXPECT_FALSE(ClientHello::parse(wire).has_value());
+}
+
+TEST(ClientHello, ParseRejectsWrongType) {
+  ServerHello server;
+  EXPECT_FALSE(ClientHello::parse(server.serialize()).has_value());
+}
+
+TEST(ServerHello, RoundTrip) {
+  ServerHello hello;
+  hello.cipher_suite = 0xc030;
+  hello.session_id = Bytes(16, 0xab);
+  const auto parsed = ServerHello::parse(hello.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->cipher_suite, 0xc030);
+  EXPECT_EQ(parsed->session_id.size(), 16u);
+}
+
+TEST(OpaqueHandshake, ExactTotalSize) {
+  const Bytes msg = opaque_handshake_message(HandshakeType::kCertificate, 4096);
+  EXPECT_EQ(msg.size(), 4096u);
+  EXPECT_EQ(msg[0], static_cast<std::uint8_t>(HandshakeType::kCertificate));
+  EXPECT_THROW(opaque_handshake_message(HandshakeType::kCertificate, 3),
+               std::invalid_argument);
+}
+
+TEST(ExtractSni, FindsHelloAmongMessages) {
+  ClientHello hello;
+  hello.cipher_suites = {0x1301};
+  hello.set_sni("www.netflix.com");
+  // Prepend an unrelated handshake message.
+  Bytes payload = opaque_handshake_message(HandshakeType::kHelloRequest, 4);
+  const Bytes hello_bytes = hello.serialize();
+  payload.insert(payload.end(), hello_bytes.begin(), hello_bytes.end());
+  const auto sni = extract_sni(payload);
+  ASSERT_TRUE(sni.has_value());
+  EXPECT_EQ(*sni, "www.netflix.com");
+}
+
+TEST(ExtractSni, NoHelloReturnsNullopt) {
+  const Bytes payload = opaque_handshake_message(HandshakeType::kFinished, 20);
+  EXPECT_FALSE(extract_sni(payload).has_value());
+  EXPECT_FALSE(extract_sni({}).has_value());
+}
+
+// --- cipher model ------------------------------------------------------
+
+TEST(CipherModel, Tls12GcmLengths) {
+  const CipherModel model(CipherSuite::kTlsEcdheRsaAes256GcmSha384);
+  EXPECT_EQ(model.seal_size(0), 24u);
+  EXPECT_EQ(model.seal_size(2188), 2212u);  // the paper's type-1 band
+  EXPECT_EQ(model.open_size(2212), 2188u);
+  EXPECT_EQ(model.overhead(), 24u);
+}
+
+TEST(CipherModel, Tls13Lengths) {
+  const CipherModel model(CipherSuite::kTlsAes128GcmSha256);
+  EXPECT_EQ(model.seal_size(100), 117u);  // +1 type byte +16 tag
+  EXPECT_EQ(model.open_size(117), 100u);
+}
+
+TEST(CipherModel, Tls13PaddingQuantizes) {
+  const CipherModel model(CipherSuite::kTlsAes128GcmSha256, 256);
+  EXPECT_EQ(model.seal_size(1), 256u + 16u);
+  EXPECT_EQ(model.seal_size(255), 256u + 16u);
+  EXPECT_EQ(model.seal_size(256), 512u + 16u);
+}
+
+TEST(CipherModel, Chacha20Lengths) {
+  const CipherModel model(CipherSuite::kTlsEcdheRsaChacha20Poly1305);
+  EXPECT_EQ(model.seal_size(100), 116u);
+  EXPECT_EQ(model.open_size(116), 100u);
+}
+
+TEST(CipherModel, CbcPadsToBlock) {
+  const CipherModel model(CipherSuite::kTlsRsaAes128CbcSha);
+  // 0 bytes: IV(16) + pad(0 + 20 mac) -> 32 padded -> 16+32 = 48.
+  EXPECT_EQ(model.seal_size(0), 48u);
+  // Full block boundary still adds a full pad block.
+  const std::size_t at_boundary = model.seal_size(12);  // 12+20=32 -> pad to 48
+  EXPECT_EQ(at_boundary, 16u + 48u);
+  EXPECT_GE(model.open_size(64), 12u);
+}
+
+TEST(CipherModel, SealOpenMonotonic) {
+  for (CipherSuite suite :
+       {CipherSuite::kTlsEcdheRsaAes256GcmSha384, CipherSuite::kTlsAes128GcmSha256,
+        CipherSuite::kTlsEcdheRsaChacha20Poly1305}) {
+    const CipherModel model(suite);
+    std::size_t prev = 0;
+    for (std::size_t size : {1u, 10u, 100u, 1000u, 16384u}) {
+      const std::size_t sealed = model.seal_size(size);
+      EXPECT_GT(sealed, prev);
+      EXPECT_EQ(model.open_size(sealed), size);
+      prev = sealed;
+    }
+  }
+}
+
+TEST(CipherSuiteHelpers, Tls13Detection) {
+  EXPECT_TRUE(is_tls13_suite(CipherSuite::kTlsAes128GcmSha256));
+  EXPECT_FALSE(is_tls13_suite(CipherSuite::kTlsEcdheRsaAes256GcmSha384));
+  EXPECT_NE(to_string(CipherSuite::kTlsAes128GcmSha256).find("AES_128"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace wm::tls

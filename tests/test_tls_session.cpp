@@ -1,0 +1,234 @@
+// TlsSession emission and attacker-side record stream extraction over a
+// synthesized connection.
+#include <gtest/gtest.h>
+
+#include "wm/net/packet_builder.hpp"
+#include "wm/tls/handshake.hpp"
+#include "wm/tls/record_stream.hpp"
+#include "wm/tls/session.hpp"
+
+namespace wm::tls {
+namespace {
+
+using net::FlowDirection;
+using util::Duration;
+using util::SimTime;
+
+TlsSessionConfig firefox_config() {
+  TlsSessionConfig config;
+  config.suite = CipherSuite::kTlsEcdheRsaAes256GcmSha384;
+  config.sni = "occ-0-2433-2430.1.nflxvideo.net";
+  return config;
+}
+
+TEST(TlsSession, ClientHelloFlightCarriesSni) {
+  TlsSession session(firefox_config(), util::Rng(1));
+  const auto flight = session.client_hello_flight();
+  ASSERT_EQ(flight.size(), 1u);
+  EXPECT_EQ(flight[0].content_type, ContentType::kHandshake);
+  const auto sni = extract_sni(flight[0].payload);
+  ASSERT_TRUE(sni.has_value());
+  EXPECT_EQ(*sni, "occ-0-2433-2430.1.nflxvideo.net");
+}
+
+TEST(TlsSession, ServerFlightTls12Shape) {
+  TlsSession session(firefox_config(), util::Rng(2));
+  const auto flight = session.server_hello_flight();
+  ASSERT_GE(flight.size(), 1u);
+  for (const TlsRecord& record : flight) {
+    EXPECT_EQ(record.content_type, ContentType::kHandshake);
+    EXPECT_LE(record.payload.size(), kMaxFragmentLength);
+  }
+  // The flight carries the certificate chain, so it is multi-KB.
+  std::size_t total = 0;
+  for (const TlsRecord& record : flight) total += record.payload.size();
+  EXPECT_GT(total, 4000u);
+}
+
+TEST(TlsSession, ServerFlightTls13Shape) {
+  TlsSessionConfig config = firefox_config();
+  config.suite = CipherSuite::kTlsAes128GcmSha256;
+  TlsSession session(config, util::Rng(3));
+  const auto flight = session.server_hello_flight();
+  ASSERT_EQ(flight.size(), 3u);
+  EXPECT_EQ(flight[0].content_type, ContentType::kHandshake);
+  EXPECT_EQ(flight[1].content_type, ContentType::kChangeCipherSpec);
+  EXPECT_EQ(flight[2].content_type, ContentType::kApplicationData);
+}
+
+TEST(TlsSession, SealedSizeMatchesCipherModel) {
+  TlsSession session(firefox_config(), util::Rng(4));
+  const auto records = session.seal_application_data(std::size_t{2188});
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].length(), 2212u);  // +24 GCM overhead
+  EXPECT_EQ(records[0].content_type, ContentType::kApplicationData);
+}
+
+TEST(TlsSession, FragmentsAtMaxPlaintext) {
+  TlsSession session(firefox_config(), util::Rng(5));
+  const std::size_t big = kMaxFragmentLength * 2 + 100;
+  const auto records = session.seal_application_data(big);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].length(), kMaxFragmentLength + 24);
+  EXPECT_EQ(records[1].length(), kMaxFragmentLength + 24);
+  EXPECT_EQ(records[2].length(), 100u + 24u);
+  EXPECT_EQ(session.records_sealed(), 3u);
+}
+
+TEST(TlsSession, CustomFragmentLimit) {
+  TlsSessionConfig config = firefox_config();
+  config.max_plaintext_fragment = 1000;
+  TlsSession session(config, util::Rng(6));
+  const auto records = session.seal_application_data(std::size_t{2500});
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].length(), 1024u);
+}
+
+TEST(TlsSession, ZeroSizePayloadStillEmitsRecord) {
+  TlsSession session(firefox_config(), util::Rng(7));
+  const auto records = session.seal_application_data(std::size_t{0});
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].length(), 24u);
+}
+
+TEST(TlsSession, CloseNotifyIsAlert) {
+  TlsSession session(firefox_config(), util::Rng(8));
+  EXPECT_EQ(session.close_notify().content_type, ContentType::kAlert);
+}
+
+// --- record stream extraction -----------------------------------------
+
+class RecordStreamTest : public ::testing::Test {
+ protected:
+  /// Build a full connection: handshakes + app data both ways.
+  std::vector<net::Packet> build_connection(
+      std::vector<std::size_t> client_sizes,
+      std::vector<std::size_t> server_sizes) {
+    TlsSession session(firefox_config(), util::Rng(9));
+    net::TcpEndpointConfig client;
+    client.mac = *net::MacAddress::parse("02:00:00:00:00:01");
+    client.ip = net::Ipv4Address(10, 0, 0, 2);
+    client.port = 51000;
+    net::TcpEndpointConfig server = client;
+    server.mac = *net::MacAddress::parse("02:00:00:00:00:02");
+    server.ip = net::Ipv4Address(198, 45, 48, 10);
+    server.port = 443;
+    net::TcpConnectionBuilder conn(client, server);
+
+    SimTime t = SimTime::from_seconds(0.0);
+    conn.handshake(t, Duration::millis(20));
+    t += Duration::millis(30);
+    conn.send(FlowDirection::kClientToServer, t,
+              serialize_records(session.client_hello_flight()));
+    t += Duration::millis(20);
+    conn.send(FlowDirection::kServerToClient, t,
+              serialize_records(session.server_hello_flight()));
+    t += Duration::millis(20);
+    conn.send(FlowDirection::kClientToServer, t,
+              serialize_records(session.client_finished_flight()));
+    t += Duration::millis(20);
+    for (std::size_t size : client_sizes) {
+      conn.send(FlowDirection::kClientToServer, t,
+                serialize_records(session.seal_application_data(size)));
+      t += Duration::millis(15);
+    }
+    for (std::size_t size : server_sizes) {
+      conn.send(FlowDirection::kServerToClient, t,
+                serialize_records(session.seal_application_data(size)));
+      t += Duration::millis(15);
+    }
+    conn.close(t, Duration::millis(20));
+    return conn.take_packets();
+  }
+};
+
+TEST_F(RecordStreamTest, ExtractsFlowWithSniAndRecords) {
+  const auto packets = build_connection({2188, 2970}, {100000});
+  const auto streams = extract_record_streams(packets);
+  ASSERT_EQ(streams.size(), 1u);
+  const FlowRecordStream& stream = streams[0];
+  ASSERT_TRUE(stream.sni.has_value());
+  EXPECT_EQ(*stream.sni, "occ-0-2433-2430.1.nflxvideo.net");
+  EXPECT_FALSE(stream.client_desynchronized);
+  EXPECT_FALSE(stream.server_desynchronized);
+
+  // Client app records: 2 uploads.
+  EXPECT_EQ(stream.count(FlowDirection::kClientToServer,
+                         ContentType::kApplicationData),
+            2u);
+  // Server app data: 100000 bytes -> ceil(100000/16384) = 7 records.
+  EXPECT_EQ(stream.count(FlowDirection::kServerToClient,
+                         ContentType::kApplicationData),
+            7u);
+
+  // Record lengths are exactly plaintext + 24.
+  for (const RecordEvent& event : stream.events) {
+    if (event.is_client_application_data()) {
+      EXPECT_TRUE(event.record_length == 2212 || event.record_length == 2994);
+    }
+  }
+}
+
+TEST_F(RecordStreamTest, EventsAreTimeOrdered) {
+  const auto packets = build_connection({500, 600, 700}, {20000});
+  const auto streams = extract_record_streams(packets);
+  ASSERT_EQ(streams.size(), 1u);
+  for (std::size_t i = 1; i < streams[0].events.size(); ++i) {
+    EXPECT_LE(streams[0].events[i - 1].timestamp, streams[0].events[i].timestamp);
+  }
+}
+
+TEST_F(RecordStreamTest, SurvivesCaptureReordering) {
+  auto packets = build_connection({2188}, {60000});
+  // Swap a couple of adjacent server data packets (capture reorder).
+  for (std::size_t i = 10; i + 1 < packets.size(); i += 7) {
+    std::swap(packets[i], packets[i + 1]);
+  }
+  const auto streams = extract_record_streams(packets);
+  ASSERT_EQ(streams.size(), 1u);
+  EXPECT_FALSE(streams[0].client_desynchronized);
+  EXPECT_FALSE(streams[0].server_desynchronized);
+  EXPECT_EQ(streams[0].count(FlowDirection::kClientToServer,
+                             ContentType::kApplicationData),
+            1u);
+}
+
+TEST_F(RecordStreamTest, SurvivesRetransmission) {
+  TlsSession session(firefox_config(), util::Rng(10));
+  net::TcpEndpointConfig client;
+  client.mac = *net::MacAddress::parse("02:00:00:00:00:01");
+  client.ip = net::Ipv4Address(10, 0, 0, 2);
+  client.port = 51000;
+  net::TcpEndpointConfig server = client;
+  server.ip = net::Ipv4Address(198, 45, 48, 10);
+  server.port = 443;
+  net::TcpConnectionBuilder conn(client, server);
+  conn.handshake(SimTime::from_seconds(0), Duration::millis(20));
+  conn.send(FlowDirection::kClientToServer, SimTime::from_seconds(0.1),
+            serialize_records(session.seal_application_data(std::size_t{2188})));
+  const std::size_t data_packet = conn.packets().size() - 1;
+  conn.retransmit(data_packet, SimTime::from_seconds(0.2));
+  const auto streams = extract_record_streams(conn.take_packets());
+  ASSERT_EQ(streams.size(), 1u);
+  // The retransmitted record is delivered exactly once.
+  EXPECT_EQ(streams[0].count(FlowDirection::kClientToServer,
+                             ContentType::kApplicationData),
+            1u);
+}
+
+TEST(RecordStreamExtractor, IgnoresNonTcpTraffic) {
+  RecordStreamExtractor extractor;
+  const net::Packet udp = net::build_udp_packet(
+      SimTime::from_seconds(0), *net::MacAddress::parse("02:00:00:00:00:01"),
+      *net::MacAddress::parse("02:00:00:00:00:02"), net::Ipv4Address(10, 0, 0, 1),
+      net::Ipv4Address(8, 8, 8, 8), 5000, 53, util::Bytes{1, 2, 3}, 1);
+  extractor.add_packet(udp);
+  net::Packet garbage(SimTime::from_seconds(1), util::Bytes(10, 0xff));
+  extractor.add_packet(garbage);
+  EXPECT_EQ(extractor.packets_seen(), 2u);
+  EXPECT_EQ(extractor.packets_undecodable(), 1u);
+  EXPECT_TRUE(extractor.finish().empty());
+}
+
+}  // namespace
+}  // namespace wm::tls

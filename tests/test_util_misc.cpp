@@ -1,0 +1,196 @@
+// Tests for strings, csv, time and cli utilities.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "wm/util/cli.hpp"
+#include "wm/util/csv.hpp"
+#include "wm/util/strings.hpp"
+#include "wm/util/time.hpp"
+
+namespace wm::util {
+namespace {
+
+// --- strings ---------------------------------------------------------
+
+TEST(Strings, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("\t\nx\r "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, CaseHelpers) {
+  EXPECT_TRUE(iequals("Firefox", "firefox"));
+  EXPECT_FALSE(iequals("Firefox", "Firefo"));
+  EXPECT_EQ(to_lower("AbC"), "abc");
+  EXPECT_TRUE(starts_with("netflix.com", "net"));
+  EXPECT_FALSE(starts_with("net", "netflix"));
+  EXPECT_TRUE(ends_with("trace.pcap", ".pcap"));
+  EXPECT_FALSE(ends_with(".pcap", "trace.pcap"));
+}
+
+TEST(Strings, JoinAndFormat) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(format_percent(0.9634), "96.3%");
+  EXPECT_EQ(format_percent(0.5, 0), "50%");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_right("abcdef", 4), "abcd");
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+}
+
+// --- csv -------------------------------------------------------------
+
+TEST(Csv, EscapeRules) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WriterRoundTrip) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"id", "name", "note"});
+  writer.row().add(std::int64_t{1}).add("a,b").add(2.5).end();
+  const auto rows = parse_csv(out.str());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"id", "name", "note"}));
+  EXPECT_EQ(rows[1][1], "a,b");
+  EXPECT_EQ(rows[1][2], "2.5");
+}
+
+TEST(Csv, ParseQuotedNewlines) {
+  const auto rows = parse_csv("a,\"x\ny\",c\r\n1,2,3\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1], "x\ny");
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(Csv, ParseWithoutTrailingNewline) {
+  const auto rows = parse_csv("a,b");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Csv, ParseErrors) {
+  EXPECT_THROW(parse_csv("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(parse_csv("ab\"cd\""), std::runtime_error);
+}
+
+TEST(Csv, EmptyInput) { EXPECT_TRUE(parse_csv("").empty()); }
+
+// --- time ------------------------------------------------------------
+
+TEST(Time, DurationArithmetic) {
+  const Duration a = Duration::millis(1500);
+  EXPECT_EQ(a.total_nanos(), 1'500'000'000);
+  EXPECT_EQ(a.total_micros(), 1'500'000);
+  EXPECT_EQ(a.total_millis(), 1500);
+  EXPECT_DOUBLE_EQ(a.to_seconds(), 1.5);
+  EXPECT_EQ((a + Duration::millis(500)).total_millis(), 2000);
+  EXPECT_EQ((a - Duration::seconds(1)).total_millis(), 500);
+  EXPECT_EQ((a * 2).total_millis(), 3000);
+  EXPECT_EQ((a * 0.5).total_millis(), 750);
+  EXPECT_EQ((-a).total_millis(), -1500);
+  EXPECT_LT(Duration::millis(1), Duration::millis(2));
+}
+
+TEST(Time, DurationFromSecondsRounds) {
+  EXPECT_EQ(Duration::from_seconds(0.0000000015).total_nanos(), 2);
+}
+
+TEST(Time, SimTimeArithmetic) {
+  const SimTime t = SimTime::from_seconds(2.0);
+  EXPECT_EQ((t + Duration::millis(500)).to_seconds(), 2.5);
+  EXPECT_EQ((t - SimTime::from_seconds(0.5)).to_seconds(), 1.5);
+  EXPECT_LT(SimTime::from_nanos(1), SimTime::from_nanos(2));
+}
+
+TEST(Time, Rendering) {
+  EXPECT_EQ(Duration::seconds(2).to_string(), "2.000s");
+  EXPECT_EQ(Duration::millis(340).to_string(), "340.000ms");
+  EXPECT_EQ(Duration::micros(12).to_string(), "12.000us");
+  EXPECT_EQ(Duration::nanos(7).to_string(), "7ns");
+  EXPECT_EQ(SimTime::from_seconds(12.345).to_string(), "t=12.345s");
+}
+
+// --- cli -------------------------------------------------------------
+
+TEST(Cli, ParsesAllTypes) {
+  CliParser cli("prog", "test");
+  cli.add_string("name", "a name", "default");
+  cli.add_int("count", "a count", 3);
+  cli.add_double("rate", "a rate", 0.5);
+  cli.add_bool("verbose", "chatty");
+  const char* argv[] = {"prog", "--name", "x", "--count=7", "--verbose",
+                        "positional"};
+  ASSERT_TRUE(cli.parse(6, argv));
+  EXPECT_EQ(cli.get_string("name"), "x");
+  EXPECT_EQ(cli.get_int("count"), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 0.5);
+  EXPECT_TRUE(cli.get_bool("verbose"));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "positional");
+}
+
+TEST(Cli, DefaultsApply) {
+  CliParser cli("prog", "test");
+  cli.add_int("n", "num", 12);
+  cli.add_bool("flag", "flag");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("n"), 12);
+  EXPECT_FALSE(cli.get_bool("flag"));
+}
+
+TEST(Cli, RequiredFlagEnforced) {
+  CliParser cli("prog", "test");
+  cli.add_string("out", "output path", std::nullopt);
+  const char* argv[] = {"prog"};
+  EXPECT_THROW(cli.parse(1, argv), std::runtime_error);
+}
+
+TEST(Cli, UnknownFlagRejected) {
+  CliParser cli("prog", "test");
+  const char* argv[] = {"prog", "--nope"};
+  EXPECT_THROW(cli.parse(2, argv), std::runtime_error);
+}
+
+TEST(Cli, BadNumberRejected) {
+  CliParser cli("prog", "test");
+  cli.add_int("n", "num", 0);
+  const char* argv[] = {"prog", "--n", "abc"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_THROW(cli.get_int("n"), std::runtime_error);
+}
+
+TEST(Cli, MissingValueRejected) {
+  CliParser cli("prog", "test");
+  cli.add_string("s", "str", "");
+  const char* argv[] = {"prog", "--s"};
+  EXPECT_THROW(cli.parse(2, argv), std::runtime_error);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser cli("prog", "test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+  EXPECT_NE(cli.usage().find("prog"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wm::util
