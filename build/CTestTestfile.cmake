@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("src/util")
+subdirs("src/net")
+subdirs("src/tls")
+subdirs("src/story")
+subdirs("src/sim")
+subdirs("src/dataset")
+subdirs("src/core")
+subdirs("src/counter")
+subdirs("examples")
+subdirs("bench")
+subdirs("tests")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_baseline_bitrate.dir/ablation_baseline_bitrate.cpp.o"
+  "CMakeFiles/ablation_baseline_bitrate.dir/ablation_baseline_bitrate.cpp.o.d"
+  "ablation_baseline_bitrate"
+  "ablation_baseline_bitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_baseline_bitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

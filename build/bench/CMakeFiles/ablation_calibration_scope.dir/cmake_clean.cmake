@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_calibration_scope.dir/ablation_calibration_scope.cpp.o"
+  "CMakeFiles/ablation_calibration_scope.dir/ablation_calibration_scope.cpp.o.d"
+  "ablation_calibration_scope"
+  "ablation_calibration_scope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_calibration_scope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_calibration_scope.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/behavior_profiling.dir/behavior_profiling.cpp.o"
+  "CMakeFiles/behavior_profiling.dir/behavior_profiling.cpp.o.d"
+  "behavior_profiling"
+  "behavior_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/behavior_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

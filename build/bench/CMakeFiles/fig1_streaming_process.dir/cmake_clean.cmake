@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_streaming_process.dir/fig1_streaming_process.cpp.o"
+  "CMakeFiles/fig1_streaming_process.dir/fig1_streaming_process.cpp.o.d"
+  "fig1_streaming_process"
+  "fig1_streaming_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_streaming_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

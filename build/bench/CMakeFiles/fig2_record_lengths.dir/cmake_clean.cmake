@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_record_lengths.dir/fig2_record_lengths.cpp.o"
+  "CMakeFiles/fig2_record_lengths.dir/fig2_record_lengths.cpp.o.d"
+  "fig2_record_lengths"
+  "fig2_record_lengths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_record_lengths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/result_accuracy.dir/result_accuracy.cpp.o"
+  "CMakeFiles/result_accuracy.dir/result_accuracy.cpp.o.d"
+  "result_accuracy"
+  "result_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/result_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_dataset_attributes.dir/table1_dataset_attributes.cpp.o"
+  "CMakeFiles/table1_dataset_attributes.dir/table1_dataset_attributes.cpp.o.d"
+  "table1_dataset_attributes"
+  "table1_dataset_attributes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_dataset_attributes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capture_to_choices.dir/capture_to_choices.cpp.o"
+  "CMakeFiles/capture_to_choices.dir/capture_to_choices.cpp.o.d"
+  "capture_to_choices"
+  "capture_to_choices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capture_to_choices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

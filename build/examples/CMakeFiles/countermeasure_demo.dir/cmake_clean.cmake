@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/countermeasure_demo.dir/countermeasure_demo.cpp.o"
+  "CMakeFiles/countermeasure_demo.dir/countermeasure_demo.cpp.o.d"
+  "countermeasure_demo"
+  "countermeasure_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/countermeasure_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

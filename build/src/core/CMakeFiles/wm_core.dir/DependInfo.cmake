@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/behavior.cpp" "src/core/CMakeFiles/wm_core.dir/behavior.cpp.o" "gcc" "src/core/CMakeFiles/wm_core.dir/behavior.cpp.o.d"
+  "/root/repo/src/core/bitrate_baseline.cpp" "src/core/CMakeFiles/wm_core.dir/bitrate_baseline.cpp.o" "gcc" "src/core/CMakeFiles/wm_core.dir/bitrate_baseline.cpp.o.d"
+  "/root/repo/src/core/classifier.cpp" "src/core/CMakeFiles/wm_core.dir/classifier.cpp.o" "gcc" "src/core/CMakeFiles/wm_core.dir/classifier.cpp.o.d"
+  "/root/repo/src/core/decoder.cpp" "src/core/CMakeFiles/wm_core.dir/decoder.cpp.o" "gcc" "src/core/CMakeFiles/wm_core.dir/decoder.cpp.o.d"
+  "/root/repo/src/core/eval.cpp" "src/core/CMakeFiles/wm_core.dir/eval.cpp.o" "gcc" "src/core/CMakeFiles/wm_core.dir/eval.cpp.o.d"
+  "/root/repo/src/core/features.cpp" "src/core/CMakeFiles/wm_core.dir/features.cpp.o" "gcc" "src/core/CMakeFiles/wm_core.dir/features.cpp.o.d"
+  "/root/repo/src/core/fingerprint.cpp" "src/core/CMakeFiles/wm_core.dir/fingerprint.cpp.o" "gcc" "src/core/CMakeFiles/wm_core.dir/fingerprint.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/wm_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/wm_core.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tls/CMakeFiles/wm_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/story/CMakeFiles/wm_story.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wm_core.dir/behavior.cpp.o"
+  "CMakeFiles/wm_core.dir/behavior.cpp.o.d"
+  "CMakeFiles/wm_core.dir/bitrate_baseline.cpp.o"
+  "CMakeFiles/wm_core.dir/bitrate_baseline.cpp.o.d"
+  "CMakeFiles/wm_core.dir/classifier.cpp.o"
+  "CMakeFiles/wm_core.dir/classifier.cpp.o.d"
+  "CMakeFiles/wm_core.dir/decoder.cpp.o"
+  "CMakeFiles/wm_core.dir/decoder.cpp.o.d"
+  "CMakeFiles/wm_core.dir/eval.cpp.o"
+  "CMakeFiles/wm_core.dir/eval.cpp.o.d"
+  "CMakeFiles/wm_core.dir/features.cpp.o"
+  "CMakeFiles/wm_core.dir/features.cpp.o.d"
+  "CMakeFiles/wm_core.dir/fingerprint.cpp.o"
+  "CMakeFiles/wm_core.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/wm_core.dir/pipeline.cpp.o"
+  "CMakeFiles/wm_core.dir/pipeline.cpp.o.d"
+  "libwm_core.a"
+  "libwm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

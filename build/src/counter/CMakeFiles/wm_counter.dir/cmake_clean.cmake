@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wm_counter.dir/eval.cpp.o"
+  "CMakeFiles/wm_counter.dir/eval.cpp.o.d"
+  "CMakeFiles/wm_counter.dir/timing_attack.cpp.o"
+  "CMakeFiles/wm_counter.dir/timing_attack.cpp.o.d"
+  "CMakeFiles/wm_counter.dir/transforms.cpp.o"
+  "CMakeFiles/wm_counter.dir/transforms.cpp.o.d"
+  "libwm_counter.a"
+  "libwm_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wm_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

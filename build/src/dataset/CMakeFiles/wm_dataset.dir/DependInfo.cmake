@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/attributes.cpp" "src/dataset/CMakeFiles/wm_dataset.dir/attributes.cpp.o" "gcc" "src/dataset/CMakeFiles/wm_dataset.dir/attributes.cpp.o.d"
+  "/root/repo/src/dataset/builder.cpp" "src/dataset/CMakeFiles/wm_dataset.dir/builder.cpp.o" "gcc" "src/dataset/CMakeFiles/wm_dataset.dir/builder.cpp.o.d"
+  "/root/repo/src/dataset/choice_policy.cpp" "src/dataset/CMakeFiles/wm_dataset.dir/choice_policy.cpp.o" "gcc" "src/dataset/CMakeFiles/wm_dataset.dir/choice_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/story/CMakeFiles/wm_story.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/wm_tls.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wm_dataset.dir/attributes.cpp.o"
+  "CMakeFiles/wm_dataset.dir/attributes.cpp.o.d"
+  "CMakeFiles/wm_dataset.dir/builder.cpp.o"
+  "CMakeFiles/wm_dataset.dir/builder.cpp.o.d"
+  "CMakeFiles/wm_dataset.dir/choice_policy.cpp.o"
+  "CMakeFiles/wm_dataset.dir/choice_policy.cpp.o.d"
+  "libwm_dataset.a"
+  "libwm_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wm_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

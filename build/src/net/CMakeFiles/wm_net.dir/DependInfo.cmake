@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/address.cpp" "src/net/CMakeFiles/wm_net.dir/address.cpp.o" "gcc" "src/net/CMakeFiles/wm_net.dir/address.cpp.o.d"
+  "/root/repo/src/net/checksum.cpp" "src/net/CMakeFiles/wm_net.dir/checksum.cpp.o" "gcc" "src/net/CMakeFiles/wm_net.dir/checksum.cpp.o.d"
+  "/root/repo/src/net/flow.cpp" "src/net/CMakeFiles/wm_net.dir/flow.cpp.o" "gcc" "src/net/CMakeFiles/wm_net.dir/flow.cpp.o.d"
+  "/root/repo/src/net/headers.cpp" "src/net/CMakeFiles/wm_net.dir/headers.cpp.o" "gcc" "src/net/CMakeFiles/wm_net.dir/headers.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/wm_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/wm_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/packet_builder.cpp" "src/net/CMakeFiles/wm_net.dir/packet_builder.cpp.o" "gcc" "src/net/CMakeFiles/wm_net.dir/packet_builder.cpp.o.d"
+  "/root/repo/src/net/pcap.cpp" "src/net/CMakeFiles/wm_net.dir/pcap.cpp.o" "gcc" "src/net/CMakeFiles/wm_net.dir/pcap.cpp.o.d"
+  "/root/repo/src/net/pcapng.cpp" "src/net/CMakeFiles/wm_net.dir/pcapng.cpp.o" "gcc" "src/net/CMakeFiles/wm_net.dir/pcapng.cpp.o.d"
+  "/root/repo/src/net/reassembly.cpp" "src/net/CMakeFiles/wm_net.dir/reassembly.cpp.o" "gcc" "src/net/CMakeFiles/wm_net.dir/reassembly.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wm_net.dir/address.cpp.o"
+  "CMakeFiles/wm_net.dir/address.cpp.o.d"
+  "CMakeFiles/wm_net.dir/checksum.cpp.o"
+  "CMakeFiles/wm_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/wm_net.dir/flow.cpp.o"
+  "CMakeFiles/wm_net.dir/flow.cpp.o.d"
+  "CMakeFiles/wm_net.dir/headers.cpp.o"
+  "CMakeFiles/wm_net.dir/headers.cpp.o.d"
+  "CMakeFiles/wm_net.dir/packet.cpp.o"
+  "CMakeFiles/wm_net.dir/packet.cpp.o.d"
+  "CMakeFiles/wm_net.dir/packet_builder.cpp.o"
+  "CMakeFiles/wm_net.dir/packet_builder.cpp.o.d"
+  "CMakeFiles/wm_net.dir/pcap.cpp.o"
+  "CMakeFiles/wm_net.dir/pcap.cpp.o.d"
+  "CMakeFiles/wm_net.dir/pcapng.cpp.o"
+  "CMakeFiles/wm_net.dir/pcapng.cpp.o.d"
+  "CMakeFiles/wm_net.dir/reassembly.cpp.o"
+  "CMakeFiles/wm_net.dir/reassembly.cpp.o.d"
+  "libwm_net.a"
+  "libwm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/http.cpp" "src/sim/CMakeFiles/wm_sim.dir/http.cpp.o" "gcc" "src/sim/CMakeFiles/wm_sim.dir/http.cpp.o.d"
+  "/root/repo/src/sim/impairments.cpp" "src/sim/CMakeFiles/wm_sim.dir/impairments.cpp.o" "gcc" "src/sim/CMakeFiles/wm_sim.dir/impairments.cpp.o.d"
+  "/root/repo/src/sim/netmodel.cpp" "src/sim/CMakeFiles/wm_sim.dir/netmodel.cpp.o" "gcc" "src/sim/CMakeFiles/wm_sim.dir/netmodel.cpp.o.d"
+  "/root/repo/src/sim/packetize.cpp" "src/sim/CMakeFiles/wm_sim.dir/packetize.cpp.o" "gcc" "src/sim/CMakeFiles/wm_sim.dir/packetize.cpp.o.d"
+  "/root/repo/src/sim/profile.cpp" "src/sim/CMakeFiles/wm_sim.dir/profile.cpp.o" "gcc" "src/sim/CMakeFiles/wm_sim.dir/profile.cpp.o.d"
+  "/root/repo/src/sim/session.cpp" "src/sim/CMakeFiles/wm_sim.dir/session.cpp.o" "gcc" "src/sim/CMakeFiles/wm_sim.dir/session.cpp.o.d"
+  "/root/repo/src/sim/state_json.cpp" "src/sim/CMakeFiles/wm_sim.dir/state_json.cpp.o" "gcc" "src/sim/CMakeFiles/wm_sim.dir/state_json.cpp.o.d"
+  "/root/repo/src/sim/streaming.cpp" "src/sim/CMakeFiles/wm_sim.dir/streaming.cpp.o" "gcc" "src/sim/CMakeFiles/wm_sim.dir/streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tls/CMakeFiles/wm_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/story/CMakeFiles/wm_story.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wm_sim.dir/http.cpp.o"
+  "CMakeFiles/wm_sim.dir/http.cpp.o.d"
+  "CMakeFiles/wm_sim.dir/impairments.cpp.o"
+  "CMakeFiles/wm_sim.dir/impairments.cpp.o.d"
+  "CMakeFiles/wm_sim.dir/netmodel.cpp.o"
+  "CMakeFiles/wm_sim.dir/netmodel.cpp.o.d"
+  "CMakeFiles/wm_sim.dir/packetize.cpp.o"
+  "CMakeFiles/wm_sim.dir/packetize.cpp.o.d"
+  "CMakeFiles/wm_sim.dir/profile.cpp.o"
+  "CMakeFiles/wm_sim.dir/profile.cpp.o.d"
+  "CMakeFiles/wm_sim.dir/session.cpp.o"
+  "CMakeFiles/wm_sim.dir/session.cpp.o.d"
+  "CMakeFiles/wm_sim.dir/state_json.cpp.o"
+  "CMakeFiles/wm_sim.dir/state_json.cpp.o.d"
+  "CMakeFiles/wm_sim.dir/streaming.cpp.o"
+  "CMakeFiles/wm_sim.dir/streaming.cpp.o.d"
+  "libwm_sim.a"
+  "libwm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

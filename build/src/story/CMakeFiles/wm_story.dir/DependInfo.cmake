@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/story/bandersnatch.cpp" "src/story/CMakeFiles/wm_story.dir/bandersnatch.cpp.o" "gcc" "src/story/CMakeFiles/wm_story.dir/bandersnatch.cpp.o.d"
+  "/root/repo/src/story/generator.cpp" "src/story/CMakeFiles/wm_story.dir/generator.cpp.o" "gcc" "src/story/CMakeFiles/wm_story.dir/generator.cpp.o.d"
+  "/root/repo/src/story/graph.cpp" "src/story/CMakeFiles/wm_story.dir/graph.cpp.o" "gcc" "src/story/CMakeFiles/wm_story.dir/graph.cpp.o.d"
+  "/root/repo/src/story/serialize.cpp" "src/story/CMakeFiles/wm_story.dir/serialize.cpp.o" "gcc" "src/story/CMakeFiles/wm_story.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

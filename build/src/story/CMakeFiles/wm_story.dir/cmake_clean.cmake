@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wm_story.dir/bandersnatch.cpp.o"
+  "CMakeFiles/wm_story.dir/bandersnatch.cpp.o.d"
+  "CMakeFiles/wm_story.dir/generator.cpp.o"
+  "CMakeFiles/wm_story.dir/generator.cpp.o.d"
+  "CMakeFiles/wm_story.dir/graph.cpp.o"
+  "CMakeFiles/wm_story.dir/graph.cpp.o.d"
+  "CMakeFiles/wm_story.dir/serialize.cpp.o"
+  "CMakeFiles/wm_story.dir/serialize.cpp.o.d"
+  "libwm_story.a"
+  "libwm_story.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wm_story.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

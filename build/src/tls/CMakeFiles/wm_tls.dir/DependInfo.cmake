@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tls/cipher.cpp" "src/tls/CMakeFiles/wm_tls.dir/cipher.cpp.o" "gcc" "src/tls/CMakeFiles/wm_tls.dir/cipher.cpp.o.d"
+  "/root/repo/src/tls/handshake.cpp" "src/tls/CMakeFiles/wm_tls.dir/handshake.cpp.o" "gcc" "src/tls/CMakeFiles/wm_tls.dir/handshake.cpp.o.d"
+  "/root/repo/src/tls/record.cpp" "src/tls/CMakeFiles/wm_tls.dir/record.cpp.o" "gcc" "src/tls/CMakeFiles/wm_tls.dir/record.cpp.o.d"
+  "/root/repo/src/tls/record_stream.cpp" "src/tls/CMakeFiles/wm_tls.dir/record_stream.cpp.o" "gcc" "src/tls/CMakeFiles/wm_tls.dir/record_stream.cpp.o.d"
+  "/root/repo/src/tls/session.cpp" "src/tls/CMakeFiles/wm_tls.dir/session.cpp.o" "gcc" "src/tls/CMakeFiles/wm_tls.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/wm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wm_tls.dir/cipher.cpp.o"
+  "CMakeFiles/wm_tls.dir/cipher.cpp.o.d"
+  "CMakeFiles/wm_tls.dir/handshake.cpp.o"
+  "CMakeFiles/wm_tls.dir/handshake.cpp.o.d"
+  "CMakeFiles/wm_tls.dir/record.cpp.o"
+  "CMakeFiles/wm_tls.dir/record.cpp.o.d"
+  "CMakeFiles/wm_tls.dir/record_stream.cpp.o"
+  "CMakeFiles/wm_tls.dir/record_stream.cpp.o.d"
+  "CMakeFiles/wm_tls.dir/session.cpp.o"
+  "CMakeFiles/wm_tls.dir/session.cpp.o.d"
+  "libwm_tls.a"
+  "libwm_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wm_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

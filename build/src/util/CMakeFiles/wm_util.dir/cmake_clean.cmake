@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wm_util.dir/bytes.cpp.o"
+  "CMakeFiles/wm_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/wm_util.dir/cli.cpp.o"
+  "CMakeFiles/wm_util.dir/cli.cpp.o.d"
+  "CMakeFiles/wm_util.dir/csv.cpp.o"
+  "CMakeFiles/wm_util.dir/csv.cpp.o.d"
+  "CMakeFiles/wm_util.dir/json.cpp.o"
+  "CMakeFiles/wm_util.dir/json.cpp.o.d"
+  "CMakeFiles/wm_util.dir/log.cpp.o"
+  "CMakeFiles/wm_util.dir/log.cpp.o.d"
+  "CMakeFiles/wm_util.dir/rng.cpp.o"
+  "CMakeFiles/wm_util.dir/rng.cpp.o.d"
+  "CMakeFiles/wm_util.dir/stats.cpp.o"
+  "CMakeFiles/wm_util.dir/stats.cpp.o.d"
+  "CMakeFiles/wm_util.dir/strings.cpp.o"
+  "CMakeFiles/wm_util.dir/strings.cpp.o.d"
+  "CMakeFiles/wm_util.dir/time.cpp.o"
+  "CMakeFiles/wm_util.dir/time.cpp.o.d"
+  "libwm_util.a"
+  "libwm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

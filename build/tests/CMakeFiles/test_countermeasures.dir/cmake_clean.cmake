@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_countermeasures.dir/test_countermeasures.cpp.o"
+  "CMakeFiles/test_countermeasures.dir/test_countermeasures.cpp.o.d"
+  "test_countermeasures"
+  "test_countermeasures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_countermeasures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

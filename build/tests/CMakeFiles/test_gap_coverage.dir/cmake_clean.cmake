@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gap_coverage.dir/test_gap_coverage.cpp.o"
+  "CMakeFiles/test_gap_coverage.dir/test_gap_coverage.cpp.o.d"
+  "test_gap_coverage"
+  "test_gap_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gap_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_sweep.dir/test_integration_sweep.cpp.o"
+  "CMakeFiles/test_integration_sweep.dir/test_integration_sweep.cpp.o.d"
+  "test_integration_sweep"
+  "test_integration_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiviewer.dir/test_multiviewer.cpp.o"
+  "CMakeFiles/test_multiviewer.dir/test_multiviewer.cpp.o.d"
+  "test_multiviewer"
+  "test_multiviewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiviewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

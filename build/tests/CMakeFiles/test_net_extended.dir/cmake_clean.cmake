@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_extended.dir/test_net_extended.cpp.o"
+  "CMakeFiles/test_net_extended.dir/test_net_extended.cpp.o.d"
+  "test_net_extended"
+  "test_net_extended.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packetize.dir/test_packetize.cpp.o"
+  "CMakeFiles/test_packetize.dir/test_packetize.cpp.o.d"
+  "test_packetize"
+  "test_packetize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packetize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

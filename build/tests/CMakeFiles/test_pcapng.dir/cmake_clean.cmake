@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcapng.dir/test_pcapng.cpp.o"
+  "CMakeFiles/test_pcapng.dir/test_pcapng.cpp.o.d"
+  "test_pcapng"
+  "test_pcapng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcapng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_state_json.dir/test_state_json.cpp.o"
+  "CMakeFiles/test_state_json.dir/test_state_json.cpp.o.d"
+  "test_state_json"
+  "test_state_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_state_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_story.dir/test_story.cpp.o"
+  "CMakeFiles/test_story.dir/test_story.cpp.o.d"
+  "test_story"
+  "test_story.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_story.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tls_session.dir/test_tls_session.cpp.o"
+  "CMakeFiles/test_tls_session.dir/test_tls_session.cpp.o.d"
+  "test_tls_session"
+  "test_tls_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tls_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
