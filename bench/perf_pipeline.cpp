@@ -5,6 +5,10 @@
 // numbers for OUR implementation (the paper reports none).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
+#include "wm/core/engine/engine.hpp"
+#include "wm/core/engine/source.hpp"
 #include "wm/core/pipeline.hpp"
 #include "wm/net/pcap.hpp"
 #include "wm/sim/session.hpp"
@@ -108,6 +112,100 @@ void BM_FullAttack(benchmark::State& state) {
       capture_bytes(packets) * static_cast<std::uint64_t>(state.iterations())));
 }
 BENCHMARK(BM_FullAttack);
+
+// --- Streaming engine scaling -----------------------------------------
+//
+// A merged many-viewer trace (8 concurrent sessions behind one tap) fed
+// through the sharded engine at 1/2/4/8 workers, against the batch
+// pipeline on the identical trace as the baseline. The interesting
+// number is packets/s at 4 shards vs BM_BatchBaselineMultiViewer: the
+// per-packet work (decode, reassembly, record extraction) is
+// parallelised; only completed-record collection is serialised.
+// Speedup tops out at min(shards, hardware cores).
+
+const std::vector<net::Packet>& merged_multiviewer_capture() {
+  static const std::vector<net::Packet> merged = [] {
+    const story::StoryGraph graph = story::make_bandersnatch();
+    std::vector<story::Choice> choices;
+    for (int i = 0; i < 13; ++i) {
+      choices.push_back(i % 2 == 0 ? story::Choice::kNonDefault
+                                   : story::Choice::kDefault);
+    }
+    std::vector<net::Packet> packets;
+    for (std::uint64_t v = 0; v < 8; ++v) {
+      sim::SessionConfig config;
+      config.seed = 5000 + v;
+      config.packetize.client_ip =
+          net::Ipv4Address(10, 0, 2, static_cast<std::uint8_t>(50 + v));
+      config.packetize.cdn_client_port = static_cast<std::uint16_t>(51000 + 2 * v);
+      config.packetize.api_client_port = static_cast<std::uint16_t>(51001 + 2 * v);
+      auto session = sim::simulate_session(graph, choices, config);
+      for (net::Packet& packet : session.capture.packets) {
+        packet.timestamp += util::Duration::millis(900) * static_cast<int>(v);
+        packets.push_back(std::move(packet));
+      }
+    }
+    std::stable_sort(packets.begin(), packets.end(),
+                     [](const net::Packet& a, const net::Packet& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+    return packets;
+  }();
+  return merged;
+}
+
+void set_trace_counters(benchmark::State& state,
+                        const std::vector<net::Packet>& packets,
+                        std::uint64_t records) {
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      capture_bytes(packets) * static_cast<std::uint64_t>(state.iterations())));
+  state.counters["packets/s"] = benchmark::Counter(
+      static_cast<double>(packets.size() *
+                          static_cast<std::size_t>(state.iterations())),
+      benchmark::Counter::kIsRate);
+  state.counters["records/s"] = benchmark::Counter(
+      static_cast<double>(records * static_cast<std::uint64_t>(state.iterations())),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_BatchBaselineMultiViewer(benchmark::State& state) {
+  const auto& packets = merged_multiviewer_capture();
+  const auto& pipeline = shared_pipeline();
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    const auto per_client = pipeline.infer_per_client(packets);
+    records = 0;
+    for (const auto& [client, session] : per_client) {
+      records += session.type1_records + session.type2_records;
+    }
+    benchmark::DoNotOptimize(per_client.size());
+  }
+  set_trace_counters(state, packets, records);
+}
+BENCHMARK(BM_BatchBaselineMultiViewer)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_EngineStreaming(benchmark::State& state) {
+  const auto& packets = merged_multiviewer_capture();
+  const auto& pipeline = shared_pipeline();
+  core::InferOptions options;
+  options.shards = static_cast<std::size_t>(state.range(0));
+  options.per_client = true;
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    engine::VectorSource source(&packets);
+    const auto report = pipeline.infer(source, options);
+    records = report.stats.type1_records + report.stats.type2_records;
+    benchmark::DoNotOptimize(report.per_client.size());
+  }
+  set_trace_counters(state, packets, records);
+}
+BENCHMARK(BM_EngineStreaming)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_SessionSynthesis(benchmark::State& state) {
   const story::StoryGraph graph = story::make_bandersnatch();

@@ -124,7 +124,16 @@ int main(int argc, char** argv) {
     std::printf("calibrated '%s' classifier on %zu session(s)\n",
                 cli.get_string("classifier").c_str(), calibration.size());
 
-    const core::InferredSession inferred = attack.infer_pcap(target);
+    // The typed-error path: open/parse failures come back as a
+    // wm::Result instead of an exception, so an operational tool can
+    // distinguish "file missing" from "not a capture" from "corrupt".
+    const auto result = attack.infer_capture(target);
+    if (!result.ok()) {
+      std::fprintf(stderr, "cannot analyse %s: %s\n", target.c_str(),
+                   result.error().to_string().c_str());
+      return result.error().code == ErrorCode::kNotFound ? 2 : 3;
+    }
+    const core::InferredSession& inferred = result->combined;
     std::printf("target: %s\n", target.c_str());
     std::printf("detected %zu questions (%zu type-1, %zu type-2, %zu other "
                 "client records)\n\n",

@@ -1,77 +1,32 @@
-// Online eavesdropper: consumes a capture packet by packet (as a tap
-// would) and prints choices the moment the corresponding record is
-// observed — demonstrating that the attack is real-time, not post-hoc.
+// Online eavesdropper: feeds a merged two-viewer capture through the
+// streaming engine packet by packet (as a tap would) and prints each
+// viewer's decoded choices the moment the corresponding TLS record is
+// observed — demonstrating that the attack is real-time and separates
+// concurrent viewers behind one vantage point.
 //
-// Uses the streaming RecordStreamExtractor: after every packet we
-// drain any newly completed TLS records, classify them, and update the
-// running choice decode.
+// The engine does all the plumbing the old version of this example did
+// by hand: per-flow reassembly, record extraction, classification, and
+// per-client decoding, sharded across worker threads. This program is
+// just a sink.
+#include <algorithm>
 #include <cstdio>
 #include <map>
-#include <optional>
+#include <mutex>
+#include <vector>
 
+#include "wm/core/engine/engine.hpp"
+#include "wm/core/engine/source.hpp"
 #include "wm/core/pipeline.hpp"
 #include "wm/sim/session.hpp"
 #include "wm/story/bandersnatch.hpp"
-#include "wm/tls/record_stream.hpp"
 #include "wm/util/cli.hpp"
 
 using namespace wm;
 
-namespace {
-
-/// Incremental decoder: same semantics as core::decode_choices, fed one
-/// observation at a time.
-class LiveDecoder {
- public:
-  explicit LiveDecoder(const core::RecordClassifier& classifier)
-      : classifier_(classifier) {}
-
-  void on_record(const tls::RecordEvent& event) {
-    if (!event.is_client_application_data()) return;
-    switch (classifier_.classify(event.record_length)) {
-      case core::RecordClass::kType1Json: {
-        if (has_last_type1_ &&
-            event.timestamp - last_type1_ < util::Duration::millis(120)) {
-          break;
-        }
-        has_last_type1_ = true;
-        last_type1_ = event.timestamp;
-        ++questions_;
-        std::printf("[%s] Q%zu appeared (record %u B) — assuming DEFAULT until "
-                    "overridden\n",
-                    event.timestamp.to_string().c_str(), questions_,
-                    event.record_length);
-        overridden_ = false;
-        break;
-      }
-      case core::RecordClass::kType2Json:
-        if (questions_ == 0 || overridden_) break;
-        overridden_ = true;
-        std::printf("[%s] Q%zu OVERRIDE: viewer picked the NON-DEFAULT branch "
-                    "(record %u B)\n",
-                    event.timestamp.to_string().c_str(), questions_,
-                    event.record_length);
-        break;
-      case core::RecordClass::kOther:
-        break;
-    }
-  }
-
-  [[nodiscard]] std::size_t questions() const { return questions_; }
-
- private:
-  const core::RecordClassifier& classifier_;
-  util::SimTime last_type1_;
-  bool has_last_type1_ = false;
-  std::size_t questions_ = 0;
-  bool overridden_ = false;
-};
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  util::CliParser cli("live_monitor", "online choice inference demo");
-  cli.add_int("seed", "victim session seed", 99);
+  util::CliParser cli("live_monitor", "online multi-viewer choice inference demo");
+  cli.add_int("seed", "first victim session seed", 99);
+  cli.add_int("shards", "engine worker threads (0 = inline)", 2);
   try {
     if (!cli.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
@@ -98,7 +53,7 @@ int main(int argc, char** argv) {
   core::AttackPipeline attack("interval");
   attack.calibrate(calibration);
 
-  // Victim session to monitor.
+  // Two victims behind the same tap, starts offset by a couple seconds.
   std::vector<story::Choice> victim_choices{
       story::Choice::kDefault,    story::Choice::kNonDefault,
       story::Choice::kNonDefault, story::Choice::kDefault,
@@ -107,41 +62,76 @@ int main(int argc, char** argv) {
       story::Choice::kDefault,    story::Choice::kDefault,
       story::Choice::kDefault,    story::Choice::kDefault,
       story::Choice::kDefault};
-  sim::SessionConfig victim_config;
-  victim_config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-  const auto victim = sim::simulate_session(graph, victim_choices, victim_config);
 
-  std::printf("monitoring %zu packets as they arrive...\n\n",
-              victim.capture.packets.size());
-
-  // Streaming loop: packet in -> any completed records out -> decode.
-  // RecordStreamExtractor accumulates per-flow state; we drain by
-  // re-running finish() only at the end, so for live output we keep our
-  // own per-flow reassembly here via the extractor's streaming sibling:
-  // feed packets one at a time and track how many events we've consumed
-  // per flow.
-  tls::RecordStreamExtractor extractor;
-  LiveDecoder decoder(attack.classifier());
-  std::map<std::string, std::size_t> consumed;
-
-  for (const net::Packet& packet : victim.capture.packets) {
-    extractor.add_packet(packet);
-    // Poll for new events (finish() is cheap relative to a demo).
-    for (const auto& stream : extractor.finish()) {
-      const std::string key = stream.flow.to_string();
-      std::size_t& seen = consumed[key];
-      for (std::size_t i = seen; i < stream.events.size(); ++i) {
-        decoder.on_record(stream.events[i]);
-      }
-      seen = stream.events.size();
+  std::vector<net::Packet> merged;
+  std::map<std::string, sim::SessionGroundTruth> truths;
+  for (int v = 0; v < 2; ++v) {
+    sim::SessionConfig config;
+    config.seed = static_cast<std::uint64_t>(cli.get_int("seed")) +
+                  static_cast<std::uint64_t>(v);
+    if (v == 1) {
+      config.packetize.client_ip = net::Ipv4Address(10, 0, 0, 77);
+      config.packetize.cdn_client_port = 53342;
+      config.packetize.api_client_port = 53343;
+      std::reverse(victim_choices.begin(), victim_choices.end());
+    }
+    auto victim = sim::simulate_session(graph, victim_choices, config);
+    truths.emplace(victim.capture.client_ip.to_string(), victim.truth);
+    for (net::Packet& packet : victim.capture.packets) {
+      packet.timestamp += util::Duration::millis(2300) * v;
+      merged.push_back(std::move(packet));
     }
   }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const net::Packet& a, const net::Packet& b) {
+                     return a.timestamp < b.timestamp;
+                   });
 
-  std::printf("\nsession over: %zu questions observed\n", decoder.questions());
-  std::printf("ground truth was:");
-  for (const auto& q : victim.truth.questions) {
-    std::printf(" %s", story::choice_notation(q.index, q.choice).c_str());
+  std::printf("monitoring %zu packets from %zu viewers...\n\n", merged.size(),
+              truths.size());
+
+  // Live output: the engine invokes the sink from its worker threads on
+  // every significant (type-1/type-2) record, with a fresh best-effort
+  // decode of that viewer's session so far.
+  std::mutex print_mutex;
+  std::map<std::string, std::size_t> last_question_count;
+  core::InferOptions options;
+  options.shards = static_cast<std::size_t>(cli.get_int("shards"));
+  options.per_client = true;
+  options.sink = [&](const engine::ViewerUpdate& update) {
+    const std::lock_guard<std::mutex> lock(print_mutex);
+    const auto& session = update.session;
+    if (update.record_class == core::RecordClass::kType1Json) {
+      std::size_t& seen = last_question_count[update.client];
+      if (session.questions.size() <= seen) return;  // duplicate suppressed
+      seen = session.questions.size();
+      std::printf("[%s] %s: Q%zu appeared (record %u B) — assuming DEFAULT "
+                  "until overridden\n",
+                  update.at.to_string().c_str(), update.client.c_str(),
+                  session.questions.size(), update.record_length);
+    } else if (!session.questions.empty()) {
+      std::printf("[%s] %s: Q%zu OVERRIDE: viewer picked the NON-DEFAULT "
+                  "branch (record %u B)\n",
+                  update.at.to_string().c_str(), update.client.c_str(),
+                  session.questions.size(), update.record_length);
+    }
+  };
+
+  engine::VectorSource source(&merged);
+  const core::InferReport report = attack.infer(source, options);
+
+  std::printf("\nsession over: %s\n", report.stats.to_string().c_str());
+  for (const auto& [client, session] : report.per_client) {
+    std::printf("\nviewer %s decoded %zu questions:", client.c_str(),
+                session.questions.size());
+    for (const auto& q : session.questions) {
+      std::printf(" %s", story::choice_notation(q.index, q.choice).c_str());
+    }
+    std::printf("\n  ground truth was:          ");
+    for (const auto& q : truths.at(client).questions) {
+      std::printf(" %s", story::choice_notation(q.index, q.choice).c_str());
+    }
+    std::printf("\n");
   }
-  std::printf("\n");
   return 0;
 }

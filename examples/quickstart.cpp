@@ -9,9 +9,11 @@
 //
 //   ./quickstart [--seed N] [--victim-os Windows|Linux|Mac]
 #include <cstdio>
+#include <filesystem>
 
 #include "wm/core/pipeline.hpp"
 #include "wm/dataset/choice_policy.hpp"
+#include "wm/net/pcap.hpp"
 #include "wm/sim/session.hpp"
 #include "wm/story/bandersnatch.hpp"
 #include "wm/util/cli.hpp"
@@ -122,5 +124,27 @@ int main(int argc, char** argv) {
   for (const std::string& name : path.segment_names) {
     std::printf("  -> %s\n", name.c_str());
   }
+
+  // --- 4. Same attack, from a capture file -----------------------------
+  // infer_capture() returns wm::Result: failures are typed error codes,
+  // not exceptions, so callers can branch on what went wrong.
+  const auto pcap_path =
+      std::filesystem::temp_directory_path() / "wm_quickstart_victim.pcap";
+  net::write_pcap(pcap_path, victim.capture.packets);
+  const auto from_file = attack.infer_capture(pcap_path);
+  if (!from_file.ok()) {
+    std::fprintf(stderr, "pcap analysis failed: %s\n",
+                 from_file.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("\nre-ran from %s: %zu questions (matches in-memory run: %s)\n",
+              pcap_path.c_str(), from_file->combined.questions.size(),
+              from_file->combined.questions.size() == inferred.questions.size()
+                  ? "yes"
+                  : "NO");
+  const auto missing = attack.infer_capture(pcap_path.string() + ".does-not-exist");
+  std::printf("a missing file reports a typed error, no throw: [%s]\n",
+              missing.ok() ? "??" : missing.error().to_string().c_str());
+  std::filesystem::remove(pcap_path);
   return 0;
 }

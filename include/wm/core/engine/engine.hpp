@@ -1,0 +1,134 @@
+// wm::engine — multi-threaded streaming analysis engine.
+//
+// The batch AttackPipeline buffers a whole capture, then analyzes it.
+// A monitoring middlebox cannot: packets arrive forever, from many
+// viewers at once. The engine ingests packets incrementally and shards
+// flows across N worker threads by flow-key hash. Each worker owns its
+// own flow table, TCP reassemblers, and TLS record-stream extractor,
+// so the per-packet hot path touches no shared state and takes no
+// locks; workers only converge on a small mutex-protected collector
+// when a *record* (orders of magnitude rarer than a packet) completes.
+//
+//     PacketSource -> dispatcher --(flow-hash)--> shard 0..N-1
+//       each shard: reassemble -> TLS records -> classify
+//         -> collector (per-viewer observation log, sink callbacks)
+//     finish(): drain, join, per-viewer + combined choice decode
+//
+// Determinism: the final EngineResult is byte-identical to the batch
+// pipeline's output on the same packets for ANY shard count, because
+// choice decoding runs on the collector's time-ordered observation log,
+// not on racy arrival order. Live sink updates are best-effort
+// snapshots (arrival order); the final result is exact.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wm/core/classifier.hpp"
+#include "wm/core/decoder.hpp"
+#include "wm/core/engine/source.hpp"
+#include "wm/core/engine/stats.hpp"
+#include "wm/util/time.hpp"
+
+namespace wm::engine {
+
+struct EngineConfig {
+  /// Worker threads. 0 = run inline on the calling thread (no threads,
+  /// no queues) — the mode the batch-compatibility wrappers use.
+  std::size_t shards = 0;
+  /// Packets per dispatch batch: amortizes queue locking.
+  std::size_t dispatch_batch = 256;
+  /// Maximum batches buffered per shard before feed() blocks
+  /// (backpressure; the engine never drops packets).
+  std::size_t queue_capacity = 64;
+  /// Evict per-flow analysis state idle longer than this. Zero = never
+  /// (batch semantics). Classified observations survive eviction; only
+  /// reassembly/parser state is freed.
+  util::Duration flow_idle_timeout{};
+  /// Duplicate-suppression window for question detection (same meaning
+  /// as core::decode_choices).
+  util::Duration min_question_gap = util::Duration::millis(120);
+};
+
+/// One live inference update for one viewer, emitted through the sink
+/// the moment a type-1/type-2 record is observed.
+struct ViewerUpdate {
+  std::string client;             // viewer address (collector key)
+  core::RecordClass record_class; // what just fired
+  std::uint16_t record_length = 0;
+  util::SimTime at;               // record timestamp
+  core::InferredSession session;  // running decode snapshot
+};
+
+/// Sink callbacks run on worker threads (or the calling thread in
+/// inline mode); implementations must be thread-safe.
+using SessionSink = std::function<void(const ViewerUpdate&)>;
+
+/// Final output of an engine run.
+struct EngineResult {
+  /// All observations decoded as one stream — equals the batch
+  /// pipeline's whole-capture infer() on the same packets.
+  core::InferredSession combined;
+  /// Per-viewer decode, keyed by client address — equals the batch
+  /// pipeline's per-client inference (before its "has questions"
+  /// filter, which is the caller's policy).
+  std::map<std::string, core::InferredSession> per_client;
+  EngineStats stats;
+};
+
+class ShardedFlowEngine {
+ public:
+  /// The classifier must already be fitted and must outlive the engine;
+  /// classify() is called concurrently from worker threads.
+  explicit ShardedFlowEngine(const core::RecordClassifier& classifier,
+                             EngineConfig config = {}, SessionSink sink = {});
+  ~ShardedFlowEngine();
+
+  ShardedFlowEngine(const ShardedFlowEngine&) = delete;
+  ShardedFlowEngine& operator=(const ShardedFlowEngine&) = delete;
+
+  /// Offer one packet. May block on shard-queue backpressure.
+  void feed(net::Packet packet);
+
+  /// Pull `source` to exhaustion through feed(). Returns packets fed.
+  std::size_t consume(PacketSource& source);
+
+  /// Flush queues, join workers, and produce the final result. The
+  /// engine cannot be fed afterwards.
+  EngineResult finish();
+
+  /// Packets offered so far (safe to read concurrently with feed()).
+  [[nodiscard]] std::uint64_t packets_in() const;
+
+ private:
+  struct Shard;
+  class Collector;
+
+  std::size_t shard_for(const net::Packet& packet) const;
+  void process(Shard& shard, const net::Packet& packet);
+  void enqueue(std::size_t shard_index, std::vector<net::Packet> batch);
+  void flush_pending();
+
+  const core::RecordClassifier& classifier_;
+  EngineConfig config_;
+  std::unique_ptr<Collector> collector_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Per-shard accumulation buffers owned by the feeding thread.
+  std::vector<std::vector<net::Packet>> pending_;
+  std::atomic<std::uint64_t> packets_in_{0};
+  std::uint64_t batches_dispatched_ = 0;
+  std::uint64_t backpressure_waits_ = 0;
+  bool finished_ = false;
+};
+
+/// One-call convenience: run `source` through an engine.
+EngineResult analyze(const core::RecordClassifier& classifier,
+                     PacketSource& source, EngineConfig config = {},
+                     SessionSink sink = {});
+
+}  // namespace wm::engine

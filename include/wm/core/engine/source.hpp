@@ -1,0 +1,129 @@
+// Packet sources for the streaming engine.
+//
+// The engine consumes packets through one interface regardless of
+// where they come from: a capture file on disk (classic pcap or
+// pcapng, streamed record by record — the file is never loaded whole),
+// an in-memory packet vector (simulator output, tests), or a chunked
+// replay source that re-plays a base capture lap after lap with fresh
+// flow identities — the stand-in for an indefinitely running tap.
+//
+// Failure handling: sources do not throw. Open-time failures surface
+// as wm::Result from open_capture(); mid-stream corruption ends the
+// stream (next() returns nullopt) and is reported through error().
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "wm/net/packet.hpp"
+#include "wm/util/result.hpp"
+#include "wm/util/time.hpp"
+
+namespace wm::engine {
+
+/// Pull-based packet stream. next() yields packets in capture order
+/// until the source is exhausted (or fails — see error()).
+class PacketSource {
+ public:
+  virtual ~PacketSource() = default;
+
+  /// The next packet, or nullopt at end-of-stream.
+  virtual std::optional<net::Packet> next() = 0;
+
+  /// Set when the stream terminated abnormally (e.g. a corrupt capture
+  /// record); nullopt after a clean end.
+  [[nodiscard]] virtual const std::optional<Error>& error() const {
+    return no_error_;
+  }
+
+  /// Pull up to `max` packets into `out` (appended). Returns the number
+  /// pulled; 0 means end-of-stream. Lets batching consumers avoid a
+  /// virtual call per packet.
+  virtual std::size_t read_batch(std::size_t max, std::vector<net::Packet>& out);
+
+ private:
+  std::optional<Error> no_error_;
+};
+
+/// In-memory source over a packet vector, either borrowed (zero-copy
+/// for the caller who keeps the vector alive) or owned.
+class VectorSource final : public PacketSource {
+ public:
+  /// Borrow: `packets` must outlive the source.
+  explicit VectorSource(const std::vector<net::Packet>* packets)
+      : packets_(packets) {}
+  /// Own.
+  explicit VectorSource(std::vector<net::Packet> packets)
+      : owned_(std::move(packets)), packets_(&owned_) {}
+
+  std::optional<net::Packet> next() override;
+
+ private:
+  std::vector<net::Packet> owned_;
+  const std::vector<net::Packet>* packets_;
+  std::size_t index_ = 0;
+};
+
+/// Streaming capture-file source (classic pcap or pcapng; the format is
+/// sniffed from the file magic). Construct via open_capture().
+class CaptureFileSource final : public PacketSource {
+ public:
+  ~CaptureFileSource() override;
+  CaptureFileSource(CaptureFileSource&&) noexcept;
+  CaptureFileSource& operator=(CaptureFileSource&&) noexcept;
+
+  std::optional<net::Packet> next() override;
+  [[nodiscard]] const std::optional<Error>& error() const override {
+    return error_;
+  }
+
+ private:
+  friend Result<std::unique_ptr<PacketSource>> open_capture(
+      const std::filesystem::path& path);
+  struct Impl;
+  explicit CaptureFileSource(std::unique_ptr<Impl> impl);
+
+  std::unique_ptr<Impl> impl_;
+  std::optional<Error> error_;
+};
+
+/// Open a capture file as a streaming source. Errors are typed:
+/// kNotFound (unopenable path), kUnsupportedFormat (unknown magic),
+/// kMalformedCapture (recognized format, corrupt header).
+Result<std::unique_ptr<PacketSource>> open_capture(
+    const std::filesystem::path& path);
+
+/// Replays a base capture for `laps` laps, shifting timestamps each lap
+/// so the result is one continuous stream, and (by default) rewriting
+/// IP addresses per lap so every lap carries fresh flows from a fresh
+/// viewer. This turns a single captured session into an arbitrarily
+/// long monitoring workload — the tool for soak-testing flow eviction
+/// and multi-shard throughput.
+class ChunkedReplaySource final : public PacketSource {
+ public:
+  struct Config {
+    std::size_t laps = 1;
+    /// Quiet gap appended after each lap before the next begins.
+    util::Duration lap_gap = util::Duration::millis(50);
+    /// Give each lap distinct IPv4 addresses (both endpoints; IPv4
+    /// header checksum is recomputed). Off = replay identical bytes.
+    bool rewrite_addresses = true;
+  };
+
+  ChunkedReplaySource(std::vector<net::Packet> base, Config config);
+
+  std::optional<net::Packet> next() override;
+
+  [[nodiscard]] std::size_t laps_completed() const { return lap_; }
+
+ private:
+  std::vector<net::Packet> base_;
+  Config config_;
+  util::Duration lap_span_{};
+  std::size_t lap_ = 0;
+  std::size_t index_ = 0;
+};
+
+}  // namespace wm::engine

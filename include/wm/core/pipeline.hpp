@@ -1,19 +1,33 @@
-// End-to-end attack pipeline: pcap (or in-memory packets) in, inferred
-// choices out. Bundles calibration (training sessions -> fitted
-// classifier) and inference (capture -> record stream -> classify ->
-// decode -> optional path reconstruction).
+// End-to-end attack pipeline: packets (from any PacketSource) in,
+// inferred choices out. Bundles calibration (training sessions ->
+// fitted classifier) and inference (capture -> record stream ->
+// classify -> decode -> optional path reconstruction).
+//
+// The inference surface is a single entry point,
+//
+//     InferReport infer(engine::PacketSource&, const InferOptions&)
+//
+// whose options carry every knob that used to multiply overloads:
+// per-client splitting, story-graph path reconstruction, shard count
+// for the streaming engine, flow eviction, and a live update sink.
+// The historic overloads (infer(vector), infer_pcap, infer_per_client)
+// remain as thin compatibility wrappers over it and are deprecated;
+// new code should use infer()/infer_capture().
 #pragma once
 
 #include <filesystem>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "wm/core/decoder.hpp"
+#include "wm/core/engine/engine.hpp"
 #include "wm/core/eval.hpp"
 #include "wm/core/features.hpp"
 #include "wm/sim/session.hpp"
+#include "wm/util/result.hpp"
 
 namespace wm::core {
 
@@ -21,6 +35,38 @@ namespace wm::core {
 struct CalibrationSession {
   std::vector<net::Packet> packets;
   sim::SessionGroundTruth truth;
+};
+
+/// Every inference knob in one place, so new capabilities extend this
+/// struct instead of adding overloads.
+struct InferOptions {
+  /// Worker threads for the streaming engine. 0 = run inline on the
+  /// calling thread (exact batch semantics, no threads).
+  std::size_t shards = 0;
+  /// Also decode each viewer (client endpoint) separately; fills
+  /// InferReport::per_client with viewers that produced questions.
+  bool per_client = false;
+  /// When set, reconstruct the watched path through this story graph
+  /// from the combined choice sequence; fills InferReport::path.
+  const story::StoryGraph* story = nullptr;
+  /// Duplicate-suppression window for question detection.
+  util::Duration min_question_gap = util::Duration::millis(120);
+  /// Evict idle per-flow analysis state (0 = never; see EngineConfig).
+  util::Duration flow_idle_timeout{};
+  /// Live per-viewer updates as type-1/type-2 records are observed.
+  engine::SessionSink sink{};
+};
+
+/// Everything one inference run produced.
+struct InferReport {
+  /// Whole-capture decode (all viewers as one stream).
+  InferredSession combined;
+  /// Per-viewer decode, keyed by client address; only viewers whose
+  /// traffic contained questions (InferOptions::per_client).
+  std::map<std::string, InferredSession> per_client;
+  /// Path reconstruction of `combined` (InferOptions::story).
+  std::optional<InferredPath> path;
+  engine::EngineStats stats;
 };
 
 class AttackPipeline {
@@ -39,14 +85,28 @@ class AttackPipeline {
   [[nodiscard]] bool calibrated() const;
   [[nodiscard]] const RecordClassifier& classifier() const { return *classifier_; }
 
-  /// Run inference on a capture.
-  [[nodiscard]] InferredSession infer(const std::vector<net::Packet>& packets) const;
-  /// Run inference on a capture file (classic pcap or pcapng).
-  [[nodiscard]] InferredSession infer_pcap(const std::filesystem::path& path) const;
+  /// Run inference on a packet stream. The source is consumed; with
+  /// options.shards > 0 analysis is parallelized across worker threads
+  /// and produces output byte-identical to the inline run.
+  [[nodiscard]] InferReport infer(engine::PacketSource& source,
+                                  const InferOptions& options = {}) const;
 
-  /// A monitoring point often carries several viewers at once. Group
-  /// flows by client endpoint (the viewer's address) and decode each
-  /// viewer separately; the map key is the client address string.
+  /// Open a capture file (classic pcap or pcapng) and infer. Failures
+  /// — missing file, unknown format, corrupt contents — come back as
+  /// typed errors instead of exceptions.
+  [[nodiscard]] Result<InferReport> infer_capture(
+      const std::filesystem::path& path, const InferOptions& options = {}) const;
+
+  // --- Deprecated compatibility wrappers ----------------------------
+  // Thin shims over infer(PacketSource&, InferOptions). Prefer the
+  // options-based API; these keep old call sites compiling.
+
+  /// DEPRECATED: use infer(VectorSource, options).
+  [[nodiscard]] InferredSession infer(const std::vector<net::Packet>& packets) const;
+  /// DEPRECATED: use infer_capture(), which reports typed errors
+  /// instead of throwing std::runtime_error.
+  [[nodiscard]] InferredSession infer_pcap(const std::filesystem::path& path) const;
+  /// DEPRECATED: use infer() with options.per_client = true.
   [[nodiscard]] std::map<std::string, InferredSession> infer_per_client(
       const std::vector<net::Packet>& packets) const;
 

@@ -92,6 +92,20 @@ struct FlowRecord {
 /// not, in which case orientation flips.
 class FlowTable {
  public:
+  struct Config {
+    /// Flows idle for longer than this become eligible for eviction
+    /// via evict_idle(). Zero means "never" (the historical behaviour:
+    /// a batch analysis over a finite capture keeps every flow).
+    util::Duration idle_timeout{};
+    /// Keep the per-packet membership list in each FlowRecord.
+    /// Streaming consumers that only need the aggregates turn this off
+    /// so per-flow memory stays constant regardless of flow length.
+    bool track_packets = true;
+  };
+
+  FlowTable() = default;
+  explicit FlowTable(Config config) : config_(config) {}
+
   /// Add one decoded packet (with its index in the capture order).
   /// Returns the flow key and direction assigned, or nullopt if the
   /// packet has no TCP/UDP transport.
@@ -100,6 +114,15 @@ class FlowTable {
     FlowDirection direction;
   };
   std::optional<Assignment> add(const DecodedPacket& packet, std::size_t packet_index);
+
+  /// Drop every flow whose last activity is more than the configured
+  /// idle timeout before `now`, returning the evicted keys so owners of
+  /// parallel per-flow state (reassemblers, TLS parsers) can drop it
+  /// too. No-op (returns empty) when the timeout is zero.
+  std::vector<FlowKey> evict_idle(util::SimTime now);
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] std::uint64_t flows_evicted() const { return evicted_; }
 
   [[nodiscard]] const std::map<FlowKey, FlowRecord>& flows() const { return flows_; }
   [[nodiscard]] std::size_t size() const { return flows_.size(); }
@@ -110,7 +133,17 @@ class FlowTable {
   [[nodiscard]] std::vector<const FlowRecord*> by_volume() const;
 
  private:
+  Config config_;
   std::map<FlowKey, FlowRecord> flows_;
+  std::uint64_t evicted_ = 0;
 };
+
+/// Direction-symmetric 64-bit hash of a raw frame's 5-tuple, parsed
+/// straight from the wire bytes (Ethernet → IPv4/IPv6 → TCP/UDP)
+/// without building a DecodedPacket. Both directions of a flow hash
+/// identically, so a dispatcher can shard packets across workers while
+/// each worker still sees every packet of the flows it owns. Returns
+/// nullopt for frames with no TCP/UDP transport.
+std::optional<std::uint64_t> flow_shard_hash(const Packet& packet);
 
 }  // namespace wm::net

@@ -58,6 +58,12 @@ class TcpStreamReassembler {
   [[nodiscard]] bool synchronized() const { return synchronized_; }
   /// Count of bytes discarded due to buffer-budget overflow.
   [[nodiscard]] std::uint64_t dropped_bytes() const { return dropped_; }
+  /// Bytes currently held in the out-of-order buffer. Together with
+  /// pending_segments() this is the reassembler's live memory footprint,
+  /// which streaming consumers watch to keep per-flow state bounded.
+  [[nodiscard]] std::size_t buffered_bytes() const { return buffered_bytes_; }
+  /// Number of out-of-order segments currently held.
+  [[nodiscard]] std::size_t pending_segments() const { return pending_.size(); }
   /// True if a FIN has been delivered in-order.
   [[nodiscard]] bool finished() const { return finished_; }
 
@@ -99,6 +105,10 @@ class TcpConnectionReassembler {
 
   [[nodiscard]] const TcpStreamReassembler& client_stream() const { return client_; }
   [[nodiscard]] const TcpStreamReassembler& server_stream() const { return server_; }
+  /// Combined live out-of-order buffer footprint of both directions.
+  [[nodiscard]] std::size_t buffered_bytes() const {
+    return client_.buffered_bytes() + server_.buffered_bytes();
+  }
 
  private:
   TcpStreamReassembler client_;

@@ -48,23 +48,62 @@ struct FlowRecordStream {
                                   ContentType type) const;
 };
 
-/// Streaming extractor: add packets in capture order, then finish().
+/// One newly parsed record, delivered incrementally by
+/// RecordStreamExtractor::feed() with the flow it belongs to.
+struct StreamEvent {
+  net::FlowKey flow;
+  RecordEvent event;
+};
+
+/// Streaming extractor. Two modes of use:
+///
+///  * Batch (historic): add_packet() every packet, then finish() for
+///    one FlowRecordStream per flow.
+///  * Resumable (the engine's hot path): feed() returns the records
+///    each packet completed, so analysis proceeds as traffic arrives.
+///    With Config::retain_events=false and an idle timeout set, memory
+///    stays bounded by the number of *live* flows, not capture length.
 class RecordStreamExtractor {
  public:
+  struct Config {
+    /// Keep per-flow event history so finish() can return it. Online
+    /// consumers that react to feed()'s return value turn this off.
+    bool retain_events = true;
+    /// Evict per-flow state (reassembler, parsers) for flows idle
+    /// longer than this. Zero = never evict.
+    util::Duration idle_timeout{};
+  };
+
   RecordStreamExtractor() = default;
+  explicit RecordStreamExtractor(Config config);
 
-  /// Feed the next captured packet. Non-TCP and non-decodable packets
-  /// are counted and otherwise ignored.
-  void add_packet(const net::Packet& packet);
+  /// Feed the next captured packet and return the TLS records it
+  /// completed, in parse order. Non-TCP and non-decodable packets are
+  /// counted and otherwise ignored.
+  std::vector<StreamEvent> feed(const net::Packet& packet);
 
-  /// Complete extraction and return one stream per TCP flow, ordered by
-  /// first-seen time.
+  /// Historic entry point: feed() with the results dropped (they are
+  /// still retained for finish() when Config::retain_events is on).
+  void add_packet(const net::Packet& packet) { feed(packet); }
+
+  /// Complete extraction and return one stream per TCP flow (including
+  /// evicted ones, when events are retained), ordered by first-seen
+  /// time.
   [[nodiscard]] std::vector<FlowRecordStream> finish() const;
 
   [[nodiscard]] std::size_t packets_seen() const { return packets_seen_; }
   [[nodiscard]] std::size_t packets_undecodable() const {
     return packets_undecodable_;
   }
+  /// Flows currently holding reassembly/parser state.
+  [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
+  /// Total flows opened / evicted over the extractor's lifetime.
+  [[nodiscard]] std::uint64_t flows_opened() const { return flows_opened_; }
+  [[nodiscard]] std::uint64_t flows_evicted() const { return flows_evicted_; }
+  /// Sum of live out-of-order reassembly buffers across active flows.
+  [[nodiscard]] std::size_t buffered_reassembly_bytes() const;
+  /// The SNI observed on a flow, if its ClientHello has been parsed.
+  [[nodiscard]] std::optional<std::string> sni_of(const net::FlowKey& flow) const;
 
  private:
   struct PerFlow {
@@ -74,11 +113,23 @@ class RecordStreamExtractor {
     std::vector<RecordEvent> events;
     std::optional<std::string> sni;
     util::SimTime first_seen;
+    util::SimTime last_seen;
     bool sni_searched = false;
   };
 
+  void evict_idle(util::SimTime now);
+  FlowRecordStream snapshot(const net::FlowKey& key, const PerFlow& state) const;
+
+  Config config_;
   net::FlowTable flow_table_;
   std::map<net::FlowKey, PerFlow> flows_;
+  /// Streams of evicted flows, kept only when retain_events is on so
+  /// batch callers never lose data to eviction.
+  std::vector<FlowRecordStream> completed_;
+  util::SimTime last_sweep_;
+  bool sweep_armed_ = false;
+  std::uint64_t flows_opened_ = 0;
+  std::uint64_t flows_evicted_ = 0;
   std::size_t packets_seen_ = 0;
   std::size_t packets_undecodable_ = 0;
 };

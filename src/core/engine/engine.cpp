@@ -1,0 +1,316 @@
+#include "wm/core/engine/engine.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "wm/core/features.hpp"
+#include "wm/net/flow.hpp"
+#include "wm/tls/record_stream.hpp"
+
+namespace wm::engine {
+
+std::string EngineStats::to_string() const {
+  std::ostringstream out;
+  out << "shards=" << shards << " packets=" << packets_in
+      << " records=" << records << " client_records=" << client_records
+      << " type1=" << type1_records << " type2=" << type2_records
+      << " viewers=" << viewers_seen << " flows=" << flows_opened
+      << " evicted=" << flows_evicted << " peak_flows=" << peak_active_flows
+      << " backpressure=" << backpressure_waits;
+  return out.str();
+}
+
+namespace {
+
+/// The deterministic observation order both the batch pipeline and the
+/// engine decode in. Record length breaks timestamp ties so the result
+/// is independent of which shard delivered an observation first; two
+/// records equal in both fields classify identically, so any residual
+/// tie is decode-neutral.
+bool observation_before(const core::ClientRecordObservation& a,
+                        const core::ClientRecordObservation& b) {
+  if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+  return a.record_length < b.record_length;
+}
+
+std::string client_key(const net::FlowKey& flow) {
+  return flow.client.is_v6 ? flow.client.v6.to_string()
+                           : flow.client.v4.to_string();
+}
+
+}  // namespace
+
+// --- Collector -------------------------------------------------------
+//
+// The only cross-shard state. Workers call on_record() once per
+// *client application record* — orders of magnitude rarer than packets
+// — so one mutex suffices; the packet hot path never reaches here.
+
+class ShardedFlowEngine::Collector {
+ public:
+  Collector(const core::RecordClassifier& classifier, util::Duration gap,
+            SessionSink sink)
+      : classifier_(classifier), gap_(gap), sink_(std::move(sink)) {}
+
+  void on_record(const std::string& client,
+                 const core::ClientRecordObservation& observation,
+                 core::RecordClass cls) {
+    std::vector<core::ClientRecordObservation> snapshot;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      auto& observations = clients_[client];
+      observations.push_back(observation);
+      ++client_records_;
+      if (cls == core::RecordClass::kType1Json) ++type1_;
+      if (cls == core::RecordClass::kType2Json) ++type2_;
+      if (sink_ && cls != core::RecordClass::kOther) snapshot = observations;
+    }
+    if (snapshot.empty()) return;
+    // Decode outside the lock; the snapshot is this viewer's few
+    // hundred observations at most.
+    std::sort(snapshot.begin(), snapshot.end(), observation_before);
+    ViewerUpdate update;
+    update.client = client;
+    update.record_class = cls;
+    update.record_length = observation.record_length;
+    update.at = observation.timestamp;
+    update.session = core::decode_choices(classifier_, snapshot, gap_);
+    sink_(update);
+  }
+
+  /// Single-threaded (post-join). Sorting per viewer then decoding
+  /// reproduces the batch pipeline's observation order exactly.
+  void finalize(EngineResult& result) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<core::ClientRecordObservation> all;
+    for (auto& [client, observations] : clients_) {
+      std::sort(observations.begin(), observations.end(), observation_before);
+      result.per_client.emplace(
+          client, core::decode_choices(classifier_, observations, gap_));
+      all.insert(all.end(), observations.begin(), observations.end());
+    }
+    std::sort(all.begin(), all.end(), observation_before);
+    result.combined = core::decode_choices(classifier_, all, gap_);
+    result.stats.viewers_seen = clients_.size();
+    result.stats.client_records = client_records_;
+    result.stats.type1_records = type1_;
+    result.stats.type2_records = type2_;
+  }
+
+ private:
+  const core::RecordClassifier& classifier_;
+  const util::Duration gap_;
+  const SessionSink sink_;
+  std::mutex mutex_;
+  std::map<std::string, std::vector<core::ClientRecordObservation>> clients_;
+  std::uint64_t client_records_ = 0;
+  std::uint64_t type1_ = 0;
+  std::uint64_t type2_ = 0;
+};
+
+// --- Shard -----------------------------------------------------------
+
+struct ShardedFlowEngine::Shard {
+  explicit Shard(const tls::RecordStreamExtractor::Config& extractor_config)
+      : extractor(extractor_config) {}
+
+  // Queue half: shared between the feeding thread and the worker.
+  std::mutex mutex;
+  std::condition_variable can_push;
+  std::condition_variable can_pop;
+  std::deque<std::vector<net::Packet>> queue;
+  bool closed = false;
+  std::thread thread;
+
+  // Analysis half: owned by the worker thread (or the feeding thread
+  // in inline mode, or the joiner after shutdown) — never shared, so
+  // the per-packet path is lock-free.
+  tls::RecordStreamExtractor extractor;
+  std::map<net::FlowKey, std::string> client_keys;
+  std::uint64_t records = 0;
+  std::uint64_t peak_active_flows = 0;
+};
+
+ShardedFlowEngine::ShardedFlowEngine(const core::RecordClassifier& classifier,
+                                     EngineConfig config, SessionSink sink)
+    : classifier_(classifier),
+      config_(config),
+      collector_(std::make_unique<Collector>(classifier, config.min_question_gap,
+                                             std::move(sink))) {
+  tls::RecordStreamExtractor::Config extractor_config;
+  extractor_config.retain_events = false;  // the collector is the memory
+  extractor_config.idle_timeout = config_.flow_idle_timeout;
+
+  const std::size_t shard_count = std::max<std::size_t>(config_.shards, 1);
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>(extractor_config));
+  }
+  pending_.resize(shard_count);
+
+  if (config_.shards > 0) {
+    for (auto& shard : shards_) {
+      Shard* s = shard.get();
+      s->thread = std::thread([this, s] {
+        for (;;) {
+          std::vector<net::Packet> batch;
+          {
+            std::unique_lock<std::mutex> lock(s->mutex);
+            s->can_pop.wait(lock, [s] { return s->closed || !s->queue.empty(); });
+            if (s->queue.empty()) return;  // closed and drained
+            batch = std::move(s->queue.front());
+            s->queue.pop_front();
+          }
+          s->can_push.notify_one();
+          for (const net::Packet& packet : batch) process(*s, packet);
+        }
+      });
+    }
+  }
+}
+
+ShardedFlowEngine::~ShardedFlowEngine() {
+  if (!finished_ && config_.shards > 0) {
+    for (auto& shard : shards_) {
+      {
+        const std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->closed = true;
+      }
+      shard->can_pop.notify_all();
+    }
+    for (auto& shard : shards_) {
+      if (shard->thread.joinable()) shard->thread.join();
+    }
+  }
+}
+
+void ShardedFlowEngine::process(Shard& shard, const net::Packet& packet) {
+  for (const tls::StreamEvent& stream_event : shard.extractor.feed(packet)) {
+    ++shard.records;
+    const tls::RecordEvent& event = stream_event.event;
+    if (!event.is_client_application_data()) continue;
+
+    auto [it, inserted] =
+        shard.client_keys.try_emplace(stream_event.flow, std::string());
+    if (inserted) it->second = client_key(stream_event.flow);
+
+    core::ClientRecordObservation observation;
+    observation.timestamp = event.timestamp;
+    observation.record_length = event.record_length;
+    observation.flow_sni = shard.extractor.sni_of(stream_event.flow);
+    collector_->on_record(it->second, observation,
+                          classifier_.classify(event.record_length));
+  }
+  shard.peak_active_flows = std::max<std::uint64_t>(
+      shard.peak_active_flows, shard.extractor.active_flows());
+}
+
+std::size_t ShardedFlowEngine::shard_for(const net::Packet& packet) const {
+  const auto hash = net::flow_shard_hash(packet);
+  return hash ? static_cast<std::size_t>(*hash % shards_.size()) : 0;
+}
+
+void ShardedFlowEngine::enqueue(std::size_t shard_index,
+                                std::vector<net::Packet> batch) {
+  Shard& shard = *shards_[shard_index];
+  {
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    if (shard.queue.size() >= config_.queue_capacity) {
+      ++backpressure_waits_;
+      shard.can_push.wait(
+          lock, [&] { return shard.queue.size() < config_.queue_capacity; });
+    }
+    shard.queue.push_back(std::move(batch));
+  }
+  shard.can_pop.notify_one();
+  ++batches_dispatched_;
+}
+
+void ShardedFlowEngine::feed(net::Packet packet) {
+  packets_in_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.shards == 0) {
+    process(*shards_[0], packet);
+    return;
+  }
+  const std::size_t index = shard_for(packet);
+  std::vector<net::Packet>& batch = pending_[index];
+  batch.push_back(std::move(packet));
+  if (batch.size() >= config_.dispatch_batch) {
+    std::vector<net::Packet> full;
+    full.reserve(config_.dispatch_batch);
+    std::swap(full, batch);
+    enqueue(index, std::move(full));
+  }
+}
+
+void ShardedFlowEngine::flush_pending() {
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (!pending_[i].empty()) {
+      enqueue(i, std::move(pending_[i]));
+      pending_[i] = {};
+    }
+  }
+}
+
+std::size_t ShardedFlowEngine::consume(PacketSource& source) {
+  std::size_t total = 0;
+  std::vector<net::Packet> buffer;
+  buffer.reserve(config_.dispatch_batch);
+  for (;;) {
+    buffer.clear();
+    if (source.read_batch(config_.dispatch_batch, buffer) == 0) break;
+    total += buffer.size();
+    for (net::Packet& packet : buffer) feed(std::move(packet));
+  }
+  return total;
+}
+
+EngineResult ShardedFlowEngine::finish() {
+  if (config_.shards > 0 && !finished_) {
+    flush_pending();
+    for (auto& shard : shards_) {
+      {
+        const std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->closed = true;
+      }
+      shard->can_pop.notify_all();
+    }
+    for (auto& shard : shards_) {
+      if (shard->thread.joinable()) shard->thread.join();
+    }
+  }
+  finished_ = true;
+
+  EngineResult result;
+  collector_->finalize(result);
+  result.stats.shards = config_.shards;
+  result.stats.packets_in = packets_in_.load(std::memory_order_relaxed);
+  result.stats.batches_dispatched = batches_dispatched_;
+  result.stats.backpressure_waits = backpressure_waits_;
+  for (const auto& shard : shards_) {
+    result.stats.packets_undecodable += shard->extractor.packets_undecodable();
+    result.stats.records += shard->records;
+    result.stats.flows_opened += shard->extractor.flows_opened();
+    result.stats.flows_evicted += shard->extractor.flows_evicted();
+    result.stats.peak_active_flows += shard->peak_active_flows;
+  }
+  return result;
+}
+
+std::uint64_t ShardedFlowEngine::packets_in() const {
+  return packets_in_.load(std::memory_order_relaxed);
+}
+
+EngineResult analyze(const core::RecordClassifier& classifier,
+                     PacketSource& source, EngineConfig config,
+                     SessionSink sink) {
+  ShardedFlowEngine engine(classifier, config, std::move(sink));
+  engine.consume(source);
+  return engine.finish();
+}
+
+}  // namespace wm::engine

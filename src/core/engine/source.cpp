@@ -1,0 +1,200 @@
+#include "wm/core/engine/source.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "wm/net/checksum.hpp"
+#include "wm/net/pcap.hpp"
+#include "wm/net/pcapng.hpp"
+
+namespace wm::engine {
+
+std::size_t PacketSource::read_batch(std::size_t max, std::vector<net::Packet>& out) {
+  std::size_t pulled = 0;
+  while (pulled < max) {
+    auto packet = next();
+    if (!packet) break;
+    out.push_back(std::move(*packet));
+    ++pulled;
+  }
+  return pulled;
+}
+
+// --- VectorSource ----------------------------------------------------
+
+std::optional<net::Packet> VectorSource::next() {
+  if (index_ >= packets_->size()) return std::nullopt;
+  return (*packets_)[index_++];
+}
+
+// --- CaptureFileSource ----------------------------------------------
+
+struct CaptureFileSource::Impl {
+  // Exactly one is set, chosen by the file magic at open time.
+  std::unique_ptr<net::PcapReader> pcap;
+  std::unique_ptr<net::PcapngReader> pcapng;
+};
+
+CaptureFileSource::CaptureFileSource(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+CaptureFileSource::~CaptureFileSource() = default;
+CaptureFileSource::CaptureFileSource(CaptureFileSource&&) noexcept = default;
+CaptureFileSource& CaptureFileSource::operator=(CaptureFileSource&&) noexcept =
+    default;
+
+std::optional<net::Packet> CaptureFileSource::next() {
+  if (error_) return std::nullopt;
+  try {
+    return impl_->pcap ? impl_->pcap->next() : impl_->pcapng->next();
+  } catch (const std::exception& e) {
+    // A corrupt record ends the stream; what was already delivered
+    // stays valid (a tap that dies mid-capture loses the tail only).
+    error_ = Error{ErrorCode::kMalformedCapture, e.what()};
+    return std::nullopt;
+  }
+}
+
+Result<std::unique_ptr<PacketSource>> open_capture(
+    const std::filesystem::path& path) {
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe) {
+    return Error{ErrorCode::kNotFound, "cannot open " + path.string()};
+  }
+  std::uint8_t magic_bytes[4] = {0, 0, 0, 0};
+  probe.read(reinterpret_cast<char*>(magic_bytes), 4);
+  if (probe.gcount() != 4) {
+    return Error{ErrorCode::kUnsupportedFormat,
+                 path.string() + " is too short to hold a capture-file magic"};
+  }
+  probe.close();
+
+  // Assemble the magic in both byte orders; pcap files may be written
+  // on either endianness, pcapng's SHB type is order-invariant.
+  const std::uint32_t le = static_cast<std::uint32_t>(magic_bytes[0]) |
+                           (static_cast<std::uint32_t>(magic_bytes[1]) << 8) |
+                           (static_cast<std::uint32_t>(magic_bytes[2]) << 16) |
+                           (static_cast<std::uint32_t>(magic_bytes[3]) << 24);
+  const std::uint32_t be = static_cast<std::uint32_t>(magic_bytes[3]) |
+                           (static_cast<std::uint32_t>(magic_bytes[2]) << 8) |
+                           (static_cast<std::uint32_t>(magic_bytes[1]) << 16) |
+                           (static_cast<std::uint32_t>(magic_bytes[0]) << 24);
+  const bool is_pcapng =
+      le == static_cast<std::uint32_t>(net::PcapngBlockType::kSectionHeader);
+  const bool is_pcap = le == net::PcapFileHeader::kMagicMicros ||
+                       le == net::PcapFileHeader::kMagicNanos ||
+                       be == net::PcapFileHeader::kMagicMicros ||
+                       be == net::PcapFileHeader::kMagicNanos;
+  if (!is_pcapng && !is_pcap) {
+    return Error{ErrorCode::kUnsupportedFormat,
+                 path.string() + " has no pcap/pcapng magic"};
+  }
+
+  auto impl = std::make_unique<CaptureFileSource::Impl>();
+  try {
+    if (is_pcapng) {
+      impl->pcapng = std::make_unique<net::PcapngReader>(path);
+    } else {
+      impl->pcap = std::make_unique<net::PcapReader>(path);
+    }
+  } catch (const std::exception& e) {
+    return Error{ErrorCode::kMalformedCapture, e.what()};
+  }
+  return std::unique_ptr<PacketSource>(
+      new CaptureFileSource(std::move(impl)));
+}
+
+// --- ChunkedReplaySource --------------------------------------------
+
+namespace {
+
+/// RFC 1624 incremental checksum update for one changed 16-bit word.
+void incremental_checksum_fix(std::uint8_t* checksum, std::uint16_t old_word,
+                              std::uint16_t new_word) {
+  std::uint32_t sum = static_cast<std::uint16_t>(
+      ~((static_cast<std::uint16_t>(checksum[0]) << 8) | checksum[1]));
+  sum += static_cast<std::uint16_t>(~old_word);
+  sum += new_word;
+  while (sum >> 16) sum = (sum & 0xffffu) + (sum >> 16);
+  const std::uint16_t fixed = static_cast<std::uint16_t>(~sum);
+  checksum[0] = static_cast<std::uint8_t>(fixed >> 8);
+  checksum[1] = static_cast<std::uint8_t>(fixed & 0xff);
+}
+
+std::uint16_t word_at(const util::Bytes& data, std::size_t offset) {
+  return static_cast<std::uint16_t>((static_cast<std::uint16_t>(data[offset]) << 8) |
+                                    data[offset + 1]);
+}
+
+/// XOR `lap` into the second/third octet of both IPv4 addresses and
+/// repair both checksums (IP header fully recomputed, TCP/UDP updated
+/// incrementally through the pseudo-header delta). Leaves non-IPv4 and
+/// VLAN-tagged frames untouched.
+void rewrite_ipv4_lap(util::Bytes& data, std::uint16_t lap) {
+  constexpr std::size_t kIp = 14;
+  if (data.size() < kIp + 20) return;
+  if (data[12] != 0x08 || data[13] != 0x00) return;
+  const std::size_t header_len = static_cast<std::size_t>(data[kIp] & 0x0f) * 4;
+  if (header_len < 20 || data.size() < kIp + header_len) return;
+
+  const std::uint8_t protocol = data[kIp + 9];
+  std::size_t transport_checksum = 0;
+  const std::size_t transport = kIp + header_len;
+  if (protocol == 6 && data.size() >= transport + 18) {
+    transport_checksum = transport + 16;
+  } else if (protocol == 17 && data.size() >= transport + 8 &&
+             (data[transport + 6] != 0 || data[transport + 7] != 0)) {
+    transport_checksum = transport + 6;  // zero means "no UDP checksum"
+  }
+
+  for (const std::size_t addr : {kIp + 12, kIp + 16}) {
+    const std::uint16_t old_hi = word_at(data, addr);
+    const std::uint16_t old_lo = word_at(data, addr + 2);
+    data[addr + 1] ^= static_cast<std::uint8_t>(lap >> 8);
+    data[addr + 2] ^= static_cast<std::uint8_t>(lap & 0xff);
+    if (transport_checksum != 0) {
+      incremental_checksum_fix(data.data() + transport_checksum, old_hi,
+                               word_at(data, addr));
+      incremental_checksum_fix(data.data() + transport_checksum, old_lo,
+                               word_at(data, addr + 2));
+    }
+  }
+
+  data[kIp + 10] = 0;
+  data[kIp + 11] = 0;
+  const std::uint16_t ip_checksum =
+      net::internet_checksum(util::BytesView(data.data() + kIp, header_len));
+  data[kIp + 10] = static_cast<std::uint8_t>(ip_checksum >> 8);
+  data[kIp + 11] = static_cast<std::uint8_t>(ip_checksum & 0xff);
+}
+
+}  // namespace
+
+ChunkedReplaySource::ChunkedReplaySource(std::vector<net::Packet> base,
+                                         Config config)
+    : base_(std::move(base)), config_(config) {
+  util::SimTime last;
+  for (const net::Packet& packet : base_) {
+    last = std::max(last, packet.timestamp);
+  }
+  lap_span_ = (last - util::SimTime()) + config_.lap_gap;
+}
+
+std::optional<net::Packet> ChunkedReplaySource::next() {
+  if (base_.empty()) return std::nullopt;
+  if (index_ >= base_.size()) {
+    ++lap_;
+    index_ = 0;
+  }
+  if (lap_ >= config_.laps) return std::nullopt;
+
+  net::Packet packet = base_[index_++];
+  if (lap_ > 0) {
+    packet.timestamp += lap_span_ * static_cast<std::int64_t>(lap_);
+    if (config_.rewrite_addresses) {
+      rewrite_ipv4_lap(packet.data, static_cast<std::uint16_t>(lap_));
+    }
+  }
+  return packet;
+}
+
+}  // namespace wm::engine

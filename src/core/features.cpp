@@ -27,9 +27,13 @@ std::vector<ClientRecordObservation> extract_client_records(
       out.push_back(std::move(obs));
     }
   }
+  // Record length breaks timestamp ties so the order (and therefore
+  // the decode) is deterministic and matches the streaming engine's
+  // collector, whose observations arrive in shard order.
   std::sort(out.begin(), out.end(),
             [](const ClientRecordObservation& a, const ClientRecordObservation& b) {
-              return a.timestamp < b.timestamp;
+              if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+              return a.record_length < b.record_length;
             });
   return out;
 }

@@ -1,6 +1,6 @@
 #include "wm/core/pipeline.hpp"
 
-#include "wm/net/pcapng.hpp"
+#include <stdexcept>
 
 namespace wm::core {
 
@@ -25,38 +25,61 @@ void AttackPipeline::calibrate(const std::vector<LabeledObservation>& labelled) 
 
 bool AttackPipeline::calibrated() const { return classifier_->fitted(); }
 
+InferReport AttackPipeline::infer(engine::PacketSource& source,
+                                  const InferOptions& options) const {
+  engine::EngineConfig config;
+  config.shards = options.shards;
+  config.min_question_gap = options.min_question_gap;
+  config.flow_idle_timeout = options.flow_idle_timeout;
+  engine::EngineResult result =
+      engine::analyze(*classifier_, source, config, options.sink);
+
+  InferReport report;
+  report.combined = std::move(result.combined);
+  report.stats = result.stats;
+  if (options.per_client) {
+    for (auto& [client, session] : result.per_client) {
+      // Only report clients that look like interactive-video viewers.
+      if (session.questions.empty()) continue;
+      report.per_client.emplace(client, std::move(session));
+    }
+  }
+  if (options.story != nullptr) {
+    report.path = reconstruct_path(*options.story, report.combined.choices());
+  }
+  return report;
+}
+
+Result<InferReport> AttackPipeline::infer_capture(
+    const std::filesystem::path& path, const InferOptions& options) const {
+  auto source = engine::open_capture(path);
+  if (!source.ok()) return source.error();
+  InferReport report = infer(**source, options);
+  // A corrupt tail surfaces after the stream ends, not as an exception.
+  if (const auto& error = (*source)->error()) return *error;
+  return report;
+}
+
 InferredSession AttackPipeline::infer(const std::vector<net::Packet>& packets) const {
-  return decode_choices(*classifier_, extract_client_records(packets));
+  engine::VectorSource source(&packets);
+  return infer(source).combined;
 }
 
 InferredSession AttackPipeline::infer_pcap(const std::filesystem::path& path) const {
-  // Accepts classic pcap or pcapng; the reader dispatches on the magic.
-  return infer(net::read_any_capture(path));
+  // Legacy contract: failures throw. infer_capture() reports them.
+  auto result = infer_capture(path);
+  if (!result.ok()) {
+    throw std::runtime_error("infer_pcap: " + result.error().to_string());
+  }
+  return std::move(result->combined);
 }
 
 std::map<std::string, InferredSession> AttackPipeline::infer_per_client(
     const std::vector<net::Packet>& packets) const {
-  const auto streams = tls::extract_record_streams(packets);
-
-  // Bucket streams by client endpoint address (ignoring the port: each
-  // viewer owns several connections).
-  std::map<std::string, std::vector<tls::FlowRecordStream>> by_client;
-  for (const tls::FlowRecordStream& stream : streams) {
-    const std::string key = stream.flow.client.is_v6
-                                ? stream.flow.client.v6.to_string()
-                                : stream.flow.client.v4.to_string();
-    by_client[key].push_back(stream);
-  }
-
-  std::map<std::string, InferredSession> out;
-  for (const auto& [client, client_streams] : by_client) {
-    InferredSession session =
-        decode_choices(*classifier_, extract_client_records(client_streams));
-    // Only report clients that look like interactive-video viewers.
-    if (session.questions.empty()) continue;
-    out.emplace(client, std::move(session));
-  }
-  return out;
+  engine::VectorSource source(&packets);
+  InferOptions options;
+  options.per_client = true;
+  return infer(source, options).per_client;
 }
 
 }  // namespace wm::core

@@ -119,13 +119,99 @@ std::optional<FlowTable::Assignment> FlowTable::add(const DecodedPacket& packet,
   } else {
     flow.server_bytes += member.transport_payload_size;
   }
-  flow.packets.push_back(member);
+  if (config_.track_packets) flow.packets.push_back(member);
   return Assignment{it->first, direction};
+}
+
+std::vector<FlowKey> FlowTable::evict_idle(util::SimTime now) {
+  std::vector<FlowKey> evicted;
+  if (config_.idle_timeout == util::Duration{}) return evicted;
+  const util::SimTime cutoff = now - config_.idle_timeout;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.last_seen < cutoff) {
+      evicted.push_back(it->first);
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  evicted_ += evicted.size();
+  return evicted;
 }
 
 const FlowRecord* FlowTable::find(const FlowKey& key) const {
   const auto it = flows_.find(key);
   return it == flows_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+// FNV-1a over a byte span; the seed lets the endpoint hash fold in the
+// port after the address without a second pass.
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t size,
+                    std::uint64_t hash = 14695981039346656037ull) {
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::uint64_t mix(std::uint64_t x) {
+  // splitmix64 finalizer: spreads the commutative combine's bits.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> flow_shard_hash(const Packet& packet) {
+  const std::uint8_t* p = packet.data.data();
+  std::size_t size = packet.data.size();
+  if (size < 14) return std::nullopt;
+  std::size_t offset = 12;
+  std::uint16_t ethertype = static_cast<std::uint16_t>((p[offset] << 8) | p[offset + 1]);
+  offset += 2;
+  if (ethertype == 0x8100) {  // 802.1Q tag
+    if (size < offset + 4) return std::nullopt;
+    ethertype = static_cast<std::uint16_t>((p[offset + 2] << 8) | p[offset + 3]);
+    offset += 4;
+  }
+
+  const std::uint8_t* addr_a = nullptr;
+  const std::uint8_t* addr_b = nullptr;
+  std::size_t addr_len = 0;
+  std::uint8_t protocol = 0;
+  std::size_t transport = 0;
+  if (ethertype == 0x0800) {  // IPv4
+    if (size < offset + 20) return std::nullopt;
+    const std::size_t header_len = static_cast<std::size_t>(p[offset] & 0x0f) * 4;
+    if (header_len < 20 || size < offset + header_len) return std::nullopt;
+    protocol = p[offset + 9];
+    addr_a = p + offset + 12;
+    addr_b = p + offset + 16;
+    addr_len = 4;
+    transport = offset + header_len;
+  } else if (ethertype == 0x86dd) {  // IPv6 (no extension-header walk)
+    if (size < offset + 40) return std::nullopt;
+    protocol = p[offset + 6];
+    addr_a = p + offset + 8;
+    addr_b = p + offset + 24;
+    addr_len = 16;
+    transport = offset + 40;
+  } else {
+    return std::nullopt;
+  }
+  if (protocol != 6 && protocol != 17) return std::nullopt;  // TCP/UDP only
+  if (size < transport + 4) return std::nullopt;
+
+  // Endpoint hash = fnv(address bytes, then port bytes); combining the
+  // two endpoints commutatively makes the result direction-symmetric.
+  const std::uint64_t ha = fnv1a(p + transport, 2, fnv1a(addr_a, addr_len));
+  const std::uint64_t hb = fnv1a(p + transport + 2, 2, fnv1a(addr_b, addr_len));
+  return mix((ha + hb) ^ protocol) ^ mix(ha ^ hb);
 }
 
 std::vector<const FlowRecord*> FlowTable::by_volume() const {

@@ -14,20 +14,33 @@ std::size_t FlowRecordStream::count(net::FlowDirection direction,
       }));
 }
 
-void RecordStreamExtractor::add_packet(const net::Packet& packet) {
+RecordStreamExtractor::RecordStreamExtractor(Config config)
+    : config_(config),
+      // The extractor keeps its own per-flow state; the flow table is
+      // only consulted for keying/orientation, so per-packet membership
+      // lists would be dead weight.
+      flow_table_(net::FlowTable::Config{config.idle_timeout,
+                                         /*track_packets=*/false}) {}
+
+std::vector<StreamEvent> RecordStreamExtractor::feed(const net::Packet& packet) {
+  std::vector<StreamEvent> out;
   const std::size_t index = packets_seen_++;
   const auto decoded = net::decode_packet(packet);
   if (!decoded || !decoded->has_tcp()) {
     if (!decoded) ++packets_undecodable_;
-    return;
+    return out;
   }
 
   const auto assignment = flow_table_.add(*decoded, index);
-  if (!assignment) return;
+  if (!assignment) return out;
 
   auto [it, inserted] = flows_.try_emplace(assignment->key);
   PerFlow& state = it->second;
-  if (inserted) state.first_seen = packet.timestamp;
+  if (inserted) {
+    state.first_seen = packet.timestamp;
+    ++flows_opened_;
+  }
+  state.last_seen = packet.timestamp;
 
   for (auto& directed : state.reassembler.on_packet(*decoded, assignment->direction)) {
     TlsRecordParser& parser = directed.direction == net::FlowDirection::kClientToServer
@@ -47,24 +60,51 @@ void RecordStreamExtractor::add_packet(const net::Packet& packet) {
       event.content_type = parsed.record.content_type;
       event.record_length = parsed.record.length();
       event.stream_offset = parsed.stream_offset;
-      state.events.push_back(event);
+      if (config_.retain_events) state.events.push_back(event);
+      out.push_back(StreamEvent{assignment->key, event});
     }
+  }
+
+  if (config_.idle_timeout != util::Duration{}) evict_idle(packet.timestamp);
+  return out;
+}
+
+void RecordStreamExtractor::evict_idle(util::SimTime now) {
+  // Sweep at a fraction of the timeout so the scan cost amortizes to
+  // O(1) per packet while flows still leave within ~1.25x the timeout.
+  const util::Duration cadence =
+      util::Duration::nanos(config_.idle_timeout.total_nanos() / 4);
+  if (sweep_armed_ && now - last_sweep_ < cadence) return;
+  sweep_armed_ = true;
+  last_sweep_ = now;
+
+  for (const net::FlowKey& key : flow_table_.evict_idle(now)) {
+    const auto it = flows_.find(key);
+    if (it == flows_.end()) continue;
+    if (config_.retain_events) completed_.push_back(snapshot(key, it->second));
+    flows_.erase(it);
+    ++flows_evicted_;
   }
 }
 
+FlowRecordStream RecordStreamExtractor::snapshot(const net::FlowKey& key,
+                                                 const PerFlow& state) const {
+  FlowRecordStream stream;
+  stream.flow = key;
+  stream.sni = state.sni;
+  stream.events = state.events;
+  stream.client_stream_bytes = state.reassembler.client_stream().delivered_bytes();
+  stream.server_stream_bytes = state.reassembler.server_stream().delivered_bytes();
+  stream.client_desynchronized = state.client_parser.desynchronized();
+  stream.server_desynchronized = state.server_parser.desynchronized();
+  return stream;
+}
+
 std::vector<FlowRecordStream> RecordStreamExtractor::finish() const {
-  std::vector<FlowRecordStream> out;
-  out.reserve(flows_.size());
+  std::vector<FlowRecordStream> out = completed_;
+  out.reserve(completed_.size() + flows_.size());
   for (const auto& [key, state] : flows_) {
-    FlowRecordStream stream;
-    stream.flow = key;
-    stream.sni = state.sni;
-    stream.events = state.events;
-    stream.client_stream_bytes = state.reassembler.client_stream().delivered_bytes();
-    stream.server_stream_bytes = state.reassembler.server_stream().delivered_bytes();
-    stream.client_desynchronized = state.client_parser.desynchronized();
-    stream.server_desynchronized = state.server_parser.desynchronized();
-    out.push_back(std::move(stream));
+    out.push_back(snapshot(key, state));
   }
   // Order by first event time (flows_ map order is key order).
   std::sort(out.begin(), out.end(),
@@ -76,6 +116,18 @@ std::vector<FlowRecordStream> RecordStreamExtractor::finish() const {
               return ta < tb;
             });
   return out;
+}
+
+std::size_t RecordStreamExtractor::buffered_reassembly_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [key, state] : flows_) total += state.reassembler.buffered_bytes();
+  return total;
+}
+
+std::optional<std::string> RecordStreamExtractor::sni_of(
+    const net::FlowKey& flow) const {
+  const auto it = flows_.find(flow);
+  return it == flows_.end() ? std::nullopt : it->second.sni;
 }
 
 std::vector<FlowRecordStream> extract_record_streams(

@@ -125,5 +125,83 @@ TEST(DecodedPacket, SummaryContainsEssentials) {
   EXPECT_NE(summary.find("10.0.0.2:50000"), std::string::npos);
 }
 
+TEST(FlowTableEviction, IdleFlowsEvictedActiveFlowsKept) {
+  FlowTable::Config config;
+  config.idle_timeout = util::Duration::seconds(10);
+  FlowTable table(config);
+
+  const auto idle =
+      decode_packet(tcp_packet(0.0, kClient, 50000, kServer, 443, true, false, 0));
+  const auto busy =
+      decode_packet(tcp_packet(0.0, kClient, 50001, kServer, 443, true, false, 0));
+  table.add(*idle, 0);
+  const auto busy_key = table.add(*busy, 1)->key;
+
+  // Keep the second flow alive past the first one's deadline.
+  const auto refresh =
+      decode_packet(tcp_packet(9.0, kClient, 50001, kServer, 443, false, true, 64));
+  table.add(*refresh, 2);
+
+  const auto evicted = table.evict_idle(util::SimTime::from_seconds(12.0));
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].client.port, 50000);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_NE(table.find(busy_key), nullptr);
+  EXPECT_EQ(table.flows_evicted(), 1u);
+
+  // A flow exactly at the threshold survives; strictly-older goes.
+  EXPECT_TRUE(table.evict_idle(util::SimTime::from_seconds(19.0)).empty());
+  EXPECT_EQ(table.evict_idle(util::SimTime::from_seconds(19.5)).size(), 1u);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FlowTableEviction, ZeroTimeoutNeverEvicts) {
+  FlowTable table;  // default config: idle_timeout zero
+  const auto decoded =
+      decode_packet(tcp_packet(0.0, kClient, 50000, kServer, 443, true, false, 0));
+  table.add(*decoded, 0);
+  EXPECT_TRUE(table.evict_idle(util::SimTime::from_seconds(1e6)).empty());
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlowTableEviction, TrackPacketsOffKeepsAggregatesOnly) {
+  FlowTable::Config config;
+  config.track_packets = false;
+  FlowTable table(config);
+  for (int i = 0; i < 5; ++i) {
+    const auto decoded = decode_packet(
+        tcp_packet(0.1 * i, kClient, 50000, kServer, 443, i == 0, i > 0, 100));
+    table.add(*decoded, static_cast<std::size_t>(i));
+  }
+  ASSERT_EQ(table.size(), 1u);
+  const FlowRecord& flow = table.flows().begin()->second;
+  EXPECT_TRUE(flow.packets.empty());
+  EXPECT_EQ(flow.client_bytes, 500u);  // aggregates still accumulate
+  EXPECT_EQ(flow.last_seen, util::SimTime::from_seconds(0.4));
+}
+
+TEST(FlowShardHash, DirectionSymmetricAndFlowDistinct) {
+  const Packet forward = tcp_packet(0.0, kClient, 50000, kServer, 443, false, true, 10);
+  const Packet reverse = tcp_packet(0.1, kServer, 443, kClient, 50000, false, true, 10);
+  const Packet other = tcp_packet(0.2, kClient, 50001, kServer, 443, false, true, 10);
+
+  const auto ha = flow_shard_hash(forward);
+  const auto hb = flow_shard_hash(reverse);
+  const auto hc = flow_shard_hash(other);
+  ASSERT_TRUE(ha && hb && hc);
+  EXPECT_EQ(*ha, *hb);  // both directions land on the same shard
+  EXPECT_NE(*ha, *hc);  // sibling flow (port+1) lands elsewhere
+
+  // Non-transport frames get no hash (the dispatcher routes them to a
+  // fixed shard instead).
+  util::ByteWriter writer;
+  EthernetHeader eth;
+  eth.ether_type = static_cast<std::uint16_t>(EtherType::kArp);
+  eth.serialize(writer);
+  writer.write_repeated(0, 28);
+  const Packet arp(util::SimTime::from_seconds(0), writer.take());
+  EXPECT_FALSE(flow_shard_hash(arp).has_value());
+}
+
 }  // namespace
 }  // namespace wm::net
