@@ -16,6 +16,7 @@
 
 #include "wm/core/pipeline.hpp"
 #include "wm/dataset/builder.hpp"
+#include "wm/obs/registry.hpp"
 #include "wm/net/pcap.hpp"
 #include "wm/net/pcapng.hpp"
 #include "wm/sim/session.hpp"
@@ -98,6 +99,8 @@ int main(int argc, char** argv) {
   cli.add_string("calibrate", "comma-separated trace.pcap:truth.json pairs", "");
   cli.add_string("target", "pcap to attack", "");
   cli.add_string("classifier", "interval | knn | gaussian-nb", "interval");
+  cli.add_int("shards", "engine worker threads (0 = inline)", 0);
+  cli.add_bool("metrics", "print the wm::obs stage report after the attack");
   try {
     if (!cli.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
@@ -116,6 +119,13 @@ int main(int argc, char** argv) {
     }
 
     core::AttackPipeline attack(cli.get_string("classifier"));
+    // Observability: with --metrics every stage (calibration, capture
+    // source, per-shard extraction, collector, decode) reports into a
+    // registry and the run ends with the stage report. Without it, the
+    // null registry costs nothing.
+    obs::Registry registry;
+    if (cli.get_bool("metrics")) attack.set_metrics(&registry);
+
     std::vector<core::CalibrationSession> calibration;
     for (const std::string& pair : util::split(calibration_spec, ',')) {
       calibration.push_back(load_pair(pair));
@@ -124,10 +134,13 @@ int main(int argc, char** argv) {
     std::printf("calibrated '%s' classifier on %zu session(s)\n",
                 cli.get_string("classifier").c_str(), calibration.size());
 
+    core::InferOptions options;
+    options.shards = static_cast<std::size_t>(cli.get_int("shards"));
+
     // The typed-error path: open/parse failures come back as a
     // wm::Result instead of an exception, so an operational tool can
     // distinguish "file missing" from "not a capture" from "corrupt".
-    const auto result = attack.infer_capture(target);
+    const auto result = attack.infer_capture(target, options);
     if (!result.ok()) {
       std::fprintf(stderr, "cannot analyse %s: %s\n", target.c_str(),
                    result.error().to_string().c_str());
@@ -152,6 +165,10 @@ int main(int argc, char** argv) {
     const auto path = core::reconstruct_path(graph, inferred.choices());
     std::printf("\nimplied path: %s\n",
                 util::join(path.segment_names, " -> ").c_str());
+
+    if (cli.get_bool("metrics")) {
+      std::printf("\n%s", registry.snapshot().to_text().c_str());
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

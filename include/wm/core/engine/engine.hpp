@@ -33,6 +33,7 @@
 #include "wm/core/decoder.hpp"
 #include "wm/core/engine/source.hpp"
 #include "wm/core/engine/stats.hpp"
+#include "wm/obs/registry.hpp"
 #include "wm/util/time.hpp"
 
 namespace wm::engine {
@@ -53,6 +54,13 @@ struct EngineConfig {
   /// Duplicate-suppression window for question detection (same meaning
   /// as core::decode_choices).
   util::Duration min_question_gap = util::Duration::millis(120);
+  /// Observability (wm::obs): when set, every stage registers live
+  /// counters/timers here — per-shard scopes ("engine.shard[2].flows.
+  /// opened"), shard-count-invariant rollups ("engine.flows.opened"),
+  /// collector totals and stage timings. Null = zero overhead. The
+  /// registry must outlive the engine; snapshots may be taken from any
+  /// thread (including a SessionSink) while the engine runs.
+  obs::Registry* metrics = nullptr;
 };
 
 /// One live inference update for one viewer, emitted through the sink
@@ -124,6 +132,10 @@ class ShardedFlowEngine {
   std::uint64_t batches_dispatched_ = 0;
   std::uint64_t backpressure_waits_ = 0;
   bool finished_ = false;
+  // Observability handles (null when EngineConfig::metrics is null).
+  obs::Counter* packets_in_counter_ = nullptr;
+  obs::Counter* batches_counter_ = nullptr;
+  obs::Counter* backpressure_counter_ = nullptr;
 };
 
 /// One-call convenience: run `source` through an engine.

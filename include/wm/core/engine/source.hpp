@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "wm/net/packet.hpp"
+#include "wm/obs/registry.hpp"
 #include "wm/util/result.hpp"
 #include "wm/util/time.hpp"
 
@@ -81,7 +82,7 @@ class CaptureFileSource final : public PacketSource {
 
  private:
   friend Result<std::unique_ptr<PacketSource>> open_capture(
-      const std::filesystem::path& path);
+      const std::filesystem::path& path, obs::Registry* metrics);
   struct Impl;
   explicit CaptureFileSource(std::unique_ptr<Impl> impl);
 
@@ -91,9 +92,11 @@ class CaptureFileSource final : public PacketSource {
 
 /// Open a capture file as a streaming source. Errors are typed:
 /// kNotFound (unopenable path), kUnsupportedFormat (unknown magic),
-/// kMalformedCapture (recognized format, corrupt header).
+/// kMalformedCapture (recognized format, corrupt header). With a
+/// registry, the source reports "source.packets", "source.bytes",
+/// "source.format.{pcap,pcapng}" and "source.errors" as it streams.
 Result<std::unique_ptr<PacketSource>> open_capture(
-    const std::filesystem::path& path);
+    const std::filesystem::path& path, obs::Registry* metrics = nullptr);
 
 /// Replays a base capture for `laps` laps, shifting timestamps each lap
 /// so the result is one continuous stream, and (by default) rewriting

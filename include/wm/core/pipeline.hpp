@@ -26,6 +26,7 @@
 #include "wm/core/engine/engine.hpp"
 #include "wm/core/eval.hpp"
 #include "wm/core/features.hpp"
+#include "wm/obs/registry.hpp"
 #include "wm/sim/session.hpp"
 #include "wm/util/result.hpp"
 
@@ -55,6 +56,12 @@ struct InferOptions {
   util::Duration flow_idle_timeout{};
   /// Live per-viewer updates as type-1/type-2 records are observed.
   engine::SessionSink sink{};
+  /// Observability (wm::obs): registry every stage reports into —
+  /// pipeline decode totals, engine per-shard/rollup counters, capture
+  /// source counters, stage timings. Null (the default) means no
+  /// instrumentation and no overhead. Overrides the registry installed
+  /// with AttackPipeline::set_metrics() for this run.
+  obs::Registry* metrics = nullptr;
 };
 
 /// Everything one inference run produced.
@@ -85,6 +92,12 @@ class AttackPipeline {
   [[nodiscard]] bool calibrated() const;
   [[nodiscard]] const RecordClassifier& classifier() const { return *classifier_; }
 
+  /// Install a default metrics registry: calibrate() and every infer
+  /// call without InferOptions::metrics report here. The registry must
+  /// outlive the pipeline (or a subsequent set_metrics(nullptr)).
+  void set_metrics(obs::Registry* metrics) { metrics_ = metrics; }
+  [[nodiscard]] obs::Registry* metrics() const { return metrics_; }
+
   /// Run inference on a packet stream. The source is consumed; with
   /// options.shards > 0 analysis is parallelized across worker threads
   /// and produces output byte-identical to the inline run.
@@ -112,6 +125,7 @@ class AttackPipeline {
 
  private:
   std::unique_ptr<RecordClassifier> classifier_;
+  obs::Registry* metrics_ = nullptr;
 };
 
 }  // namespace wm::core

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "wm/net/packet.hpp"
+#include "wm/obs/metrics.hpp"
 
 namespace wm::net {
 
@@ -101,6 +102,11 @@ class FlowTable {
     /// Streaming consumers that only need the aggregates turn this off
     /// so per-flow memory stays constant regardless of flow length.
     bool track_packets = true;
+    /// Observability hooks (wm::obs). May be null — the uninstrumented
+    /// table pays one branch per event. Bumped on new-flow creation and
+    /// on each idle eviction respectively.
+    obs::Counter* created_counter = nullptr;
+    obs::Counter* evicted_counter = nullptr;
   };
 
   FlowTable() = default;

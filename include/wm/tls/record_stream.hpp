@@ -16,6 +16,7 @@
 #include "wm/net/flow.hpp"
 #include "wm/net/packet.hpp"
 #include "wm/net/reassembly.hpp"
+#include "wm/obs/registry.hpp"
 #include "wm/tls/record.hpp"
 
 namespace wm::tls {
@@ -72,6 +73,18 @@ class RecordStreamExtractor {
     /// Evict per-flow state (reassembler, parsers) for flows idle
     /// longer than this. Zero = never evict.
     util::Duration idle_timeout{};
+    /// Observability (wm::obs). When `registry` is set, the extractor
+    /// registers counters for packets, flows, TCP reassembly and TLS
+    /// records under `metrics_scope` ("<scope>.records.application",
+    /// "<scope>.flows.evicted", ...) with `metrics_stability`. A
+    /// non-empty `metrics_rollup` additionally publishes each metric
+    /// into "<rollup><suffix>" rollups summed across extractors — how
+    /// the engine's per-shard extractors produce shard-count-invariant
+    /// totals. Null registry = zero instrumentation cost.
+    obs::Registry* registry = nullptr;
+    std::string metrics_scope = "tls";
+    obs::Stability metrics_stability = obs::Stability::kStable;
+    std::string metrics_rollup;
   };
 
   RecordStreamExtractor() = default;
@@ -120,7 +133,26 @@ class RecordStreamExtractor {
   void evict_idle(util::SimTime now);
   FlowRecordStream snapshot(const net::FlowKey& key, const PerFlow& state) const;
 
+  /// Resolved metric handles; all null when Config::registry is null.
+  struct Metrics {
+    obs::Counter* packets = nullptr;
+    obs::Counter* packets_undecodable = nullptr;
+    obs::Counter* tcp_segments = nullptr;
+    obs::Counter* tcp_segments_buffered = nullptr;
+    obs::Counter* tcp_chunks = nullptr;
+    obs::Counter* tcp_bytes = nullptr;
+    obs::Counter* tcp_dropped_bytes = nullptr;
+    obs::Counter* records = nullptr;
+    obs::Counter* records_handshake = nullptr;
+    obs::Counter* records_application = nullptr;
+    obs::Counter* records_alert = nullptr;
+    obs::Counter* records_other = nullptr;
+    obs::Counter* client_app_records = nullptr;
+    obs::Histogram* client_record_lengths = nullptr;
+  };
+
   Config config_;
+  Metrics metrics_;
   net::FlowTable flow_table_;
   std::map<net::FlowKey, PerFlow> flows_;
   /// Streams of evicted flows, kept only when retain_events is on so

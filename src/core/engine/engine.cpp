@@ -53,8 +53,17 @@ std::string client_key(const net::FlowKey& flow) {
 class ShardedFlowEngine::Collector {
  public:
   Collector(const core::RecordClassifier& classifier, util::Duration gap,
-            SessionSink sink)
-      : classifier_(classifier), gap_(gap), sink_(std::move(sink)) {}
+            SessionSink sink, obs::Registry* metrics)
+      : classifier_(classifier), gap_(gap), sink_(std::move(sink)) {
+    if (metrics != nullptr) {
+      client_records_counter_ = metrics->counter("engine.collector.client_records");
+      type1_counter_ = metrics->counter("engine.collector.type1");
+      type2_counter_ = metrics->counter("engine.collector.type2");
+      other_counter_ = metrics->counter("engine.collector.other");
+      viewers_counter_ = metrics->counter("engine.collector.viewers");
+      sink_updates_counter_ = metrics->counter("engine.collector.sink_updates");
+    }
+  }
 
   void on_record(const std::string& client,
                  const core::ClientRecordObservation& observation,
@@ -63,13 +72,24 @@ class ShardedFlowEngine::Collector {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       auto& observations = clients_[client];
+      if (observations.empty()) obs::inc(viewers_counter_);
       observations.push_back(observation);
       ++client_records_;
       if (cls == core::RecordClass::kType1Json) ++type1_;
       if (cls == core::RecordClass::kType2Json) ++type2_;
+      // Per-class counters before the total: a snapshot that reads the
+      // total first (map order: "...client_records" < "...other" <
+      // "...type1") then the parts can never see parts < total.
+      switch (cls) {
+        case core::RecordClass::kType1Json: obs::inc(type1_counter_); break;
+        case core::RecordClass::kType2Json: obs::inc(type2_counter_); break;
+        case core::RecordClass::kOther: obs::inc(other_counter_); break;
+      }
+      obs::inc(client_records_counter_);
       if (sink_ && cls != core::RecordClass::kOther) snapshot = observations;
     }
     if (snapshot.empty()) return;
+    obs::inc(sink_updates_counter_);
     // Decode outside the lock; the snapshot is this viewer's few
     // hundred observations at most.
     std::sort(snapshot.begin(), snapshot.end(), observation_before);
@@ -110,6 +130,13 @@ class ShardedFlowEngine::Collector {
   std::uint64_t client_records_ = 0;
   std::uint64_t type1_ = 0;
   std::uint64_t type2_ = 0;
+  // Observability handles (null without a registry).
+  obs::Counter* client_records_counter_ = nullptr;
+  obs::Counter* type1_counter_ = nullptr;
+  obs::Counter* type2_counter_ = nullptr;
+  obs::Counter* other_counter_ = nullptr;
+  obs::Counter* viewers_counter_ = nullptr;
+  obs::Counter* sink_updates_counter_ = nullptr;
 };
 
 // --- Shard -----------------------------------------------------------
@@ -133,6 +160,8 @@ struct ShardedFlowEngine::Shard {
   std::map<net::FlowKey, std::string> client_keys;
   std::uint64_t records = 0;
   std::uint64_t peak_active_flows = 0;
+  /// Worker busy time per dequeued batch (null without a registry).
+  obs::TimingSpan* work_span = nullptr;
 };
 
 ShardedFlowEngine::ShardedFlowEngine(const core::RecordClassifier& classifier,
@@ -140,15 +169,40 @@ ShardedFlowEngine::ShardedFlowEngine(const core::RecordClassifier& classifier,
     : classifier_(classifier),
       config_(config),
       collector_(std::make_unique<Collector>(classifier, config.min_question_gap,
-                                             std::move(sink))) {
+                                             std::move(sink), config.metrics)) {
   tls::RecordStreamExtractor::Config extractor_config;
   extractor_config.retain_events = false;  // the collector is the memory
   extractor_config.idle_timeout = config_.flow_idle_timeout;
 
+  if (config_.metrics != nullptr) {
+    packets_in_counter_ = config_.metrics->counter("engine.packets_in");
+    batches_counter_ =
+        config_.metrics->counter("engine.batches", obs::Stability::kSharded);
+    backpressure_counter_ = config_.metrics->counter(
+        "engine.backpressure_waits", obs::Stability::kVolatile);
+    config_.metrics
+        ->counter("engine.shards_configured", obs::Stability::kSharded)
+        ->add(config_.shards);
+  }
+
   const std::size_t shard_count = std::max<std::size_t>(config_.shards, 1);
   shards_.reserve(shard_count);
   for (std::size_t i = 0; i < shard_count; ++i) {
+    if (config_.metrics != nullptr) {
+      // Per-shard breakdowns are configuration-dependent; their sums
+      // roll up under "engine." and stay invariant across shard counts
+      // (every packet of a flow lands on exactly one shard).
+      extractor_config.registry = config_.metrics;
+      extractor_config.metrics_scope =
+          "engine.shard[" + std::to_string(i) + "]";
+      extractor_config.metrics_stability = obs::Stability::kSharded;
+      extractor_config.metrics_rollup = "engine";
+    }
     shards_.push_back(std::make_unique<Shard>(extractor_config));
+    if (config_.metrics != nullptr) {
+      shards_.back()->work_span = config_.metrics->timing(
+          "engine.shard[" + std::to_string(i) + "].work");
+    }
   }
   pending_.resize(shard_count);
 
@@ -166,6 +220,7 @@ ShardedFlowEngine::ShardedFlowEngine(const core::RecordClassifier& classifier,
             s->queue.pop_front();
           }
           s->can_push.notify_one();
+          const obs::StageTimer timer(s->work_span);
           for (const net::Packet& packet : batch) process(*s, packet);
         }
       });
@@ -221,6 +276,7 @@ void ShardedFlowEngine::enqueue(std::size_t shard_index,
     std::unique_lock<std::mutex> lock(shard.mutex);
     if (shard.queue.size() >= config_.queue_capacity) {
       ++backpressure_waits_;
+      obs::inc(backpressure_counter_);
       shard.can_push.wait(
           lock, [&] { return shard.queue.size() < config_.queue_capacity; });
     }
@@ -228,10 +284,12 @@ void ShardedFlowEngine::enqueue(std::size_t shard_index,
   }
   shard.can_pop.notify_one();
   ++batches_dispatched_;
+  obs::inc(batches_counter_);
 }
 
 void ShardedFlowEngine::feed(net::Packet packet) {
   packets_in_.fetch_add(1, std::memory_order_relaxed);
+  obs::inc(packets_in_counter_);
   if (config_.shards == 0) {
     process(*shards_[0], packet);
     return;
@@ -257,6 +315,7 @@ void ShardedFlowEngine::flush_pending() {
 }
 
 std::size_t ShardedFlowEngine::consume(PacketSource& source) {
+  const obs::StageTimer timer(config_.metrics, "engine.consume");
   std::size_t total = 0;
   std::vector<net::Packet> buffer;
   buffer.reserve(config_.dispatch_batch);
@@ -270,6 +329,7 @@ std::size_t ShardedFlowEngine::consume(PacketSource& source) {
 }
 
 EngineResult ShardedFlowEngine::finish() {
+  const obs::StageTimer timer(config_.metrics, "engine.finish");
   if (config_.shards > 0 && !finished_) {
     flush_pending();
     for (auto& shard : shards_) {

@@ -33,6 +33,10 @@ struct CaptureFileSource::Impl {
   // Exactly one is set, chosen by the file magic at open time.
   std::unique_ptr<net::PcapReader> pcap;
   std::unique_ptr<net::PcapngReader> pcapng;
+  // Observability handles (null without a registry).
+  obs::Counter* packets = nullptr;
+  obs::Counter* bytes = nullptr;
+  obs::Counter* errors = nullptr;
 };
 
 CaptureFileSource::CaptureFileSource(std::unique_ptr<Impl> impl)
@@ -45,17 +49,23 @@ CaptureFileSource& CaptureFileSource::operator=(CaptureFileSource&&) noexcept =
 std::optional<net::Packet> CaptureFileSource::next() {
   if (error_) return std::nullopt;
   try {
-    return impl_->pcap ? impl_->pcap->next() : impl_->pcapng->next();
+    auto packet = impl_->pcap ? impl_->pcap->next() : impl_->pcapng->next();
+    if (packet) {
+      obs::inc(impl_->packets);
+      obs::inc(impl_->bytes, packet->data.size());
+    }
+    return packet;
   } catch (const std::exception& e) {
     // A corrupt record ends the stream; what was already delivered
     // stays valid (a tap that dies mid-capture loses the tail only).
     error_ = Error{ErrorCode::kMalformedCapture, e.what()};
+    obs::inc(impl_->errors);
     return std::nullopt;
   }
 }
 
 Result<std::unique_ptr<PacketSource>> open_capture(
-    const std::filesystem::path& path) {
+    const std::filesystem::path& path, obs::Registry* metrics) {
   std::ifstream probe(path, std::ios::binary);
   if (!probe) {
     return Error{ErrorCode::kNotFound, "cannot open " + path.string()};
@@ -98,6 +108,13 @@ Result<std::unique_ptr<PacketSource>> open_capture(
     }
   } catch (const std::exception& e) {
     return Error{ErrorCode::kMalformedCapture, e.what()};
+  }
+  if (metrics != nullptr) {
+    impl->packets = metrics->counter("source.packets");
+    impl->bytes = metrics->counter("source.bytes");
+    impl->errors = metrics->counter("source.errors");
+    metrics->counter(is_pcapng ? "source.format.pcapng" : "source.format.pcap")
+        ->add(1);
   }
   return std::unique_ptr<PacketSource>(
       new CaptureFileSource(std::move(impl)));

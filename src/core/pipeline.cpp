@@ -8,6 +8,7 @@ AttackPipeline::AttackPipeline(std::string classifier_name)
     : classifier_(make_classifier(classifier_name)) {}
 
 void AttackPipeline::calibrate(const std::vector<CalibrationSession>& sessions) {
+  const obs::StageTimer timer(metrics_, "pipeline.calibrate");
   std::vector<LabeledObservation> labelled;
   for (const CalibrationSession& session : sessions) {
     const auto observations = extract_client_records(session.packets);
@@ -15,6 +16,10 @@ void AttackPipeline::calibrate(const std::vector<CalibrationSession>& sessions) 
     labelled.insert(labelled.end(),
                     std::make_move_iterator(session_labels.begin()),
                     std::make_move_iterator(session_labels.end()));
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("pipeline.calibration.sessions")->add(sessions.size());
+    metrics_->counter("pipeline.calibration.observations")->add(labelled.size());
   }
   classifier_->fit(labelled);
 }
@@ -27,10 +32,15 @@ bool AttackPipeline::calibrated() const { return classifier_->fitted(); }
 
 InferReport AttackPipeline::infer(engine::PacketSource& source,
                                   const InferOptions& options) const {
+  obs::Registry* registry =
+      options.metrics != nullptr ? options.metrics : metrics_;
+  const obs::StageTimer timer(registry, "pipeline.infer");
+
   engine::EngineConfig config;
   config.shards = options.shards;
   config.min_question_gap = options.min_question_gap;
   config.flow_idle_timeout = options.flow_idle_timeout;
+  config.metrics = registry;
   engine::EngineResult result =
       engine::analyze(*classifier_, source, config, options.sink);
 
@@ -47,12 +57,31 @@ InferReport AttackPipeline::infer(engine::PacketSource& source,
   if (options.story != nullptr) {
     report.path = reconstruct_path(*options.story, report.combined.choices());
   }
+
+  if (registry != nullptr) {
+    registry->counter("pipeline.infer.runs")->add(1);
+    registry->counter("pipeline.questions")
+        ->add(report.combined.questions.size());
+    std::uint64_t non_default = 0;
+    for (const auto& question : report.combined.questions) {
+      if (question.choice == story::Choice::kNonDefault) ++non_default;
+    }
+    registry->counter("pipeline.choices.non_default")->add(non_default);
+    registry->counter("pipeline.choices.default")
+        ->add(report.combined.questions.size() - non_default);
+    registry->counter("pipeline.viewers.reported")
+        ->add(report.per_client.size());
+    if (report.path) {
+      registry->counter("pipeline.paths.reconstructed")->add(1);
+    }
+  }
   return report;
 }
 
 Result<InferReport> AttackPipeline::infer_capture(
     const std::filesystem::path& path, const InferOptions& options) const {
-  auto source = engine::open_capture(path);
+  auto source = engine::open_capture(
+      path, options.metrics != nullptr ? options.metrics : metrics_);
   if (!source.ok()) return source.error();
   InferReport report = infer(**source, options);
   // A corrupt tail surfaces after the stream ends, not as an exception.

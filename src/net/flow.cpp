@@ -96,6 +96,7 @@ std::optional<FlowTable::Assignment> FlowTable::add(const DecodedPacket& packet,
     record.first_seen = packet.timestamp;
     record.last_seen = packet.timestamp;
     it = flows_.emplace(key, std::move(record)).first;
+    obs::inc(config_.created_counter);
   }
 
   FlowRecord& flow = it->second;
@@ -136,6 +137,7 @@ std::vector<FlowKey> FlowTable::evict_idle(util::SimTime now) {
     }
   }
   evicted_ += evicted.size();
+  obs::inc(config_.evicted_counter, evicted.size());
   return evicted;
 }
 

@@ -1,0 +1,261 @@
+#include "wm/obs/registry.hpp"
+
+#include <chrono>
+#include <ctime>
+#include <sstream>
+
+#include "wm/util/json.hpp"
+
+namespace wm::obs {
+
+namespace {
+
+/// Add `member` to a rollup's member list exactly once, however many
+/// times the same metric re-registers under the rollup (shards resolve
+/// their pointers independently). Member lists are tiny (one entry per
+/// shard), so a linear scan beats bookkeeping.
+template <typename T>
+void add_rollup_member(std::vector<const T*>& members, const T* member) {
+  for (const T* existing : members) {
+    if (existing == member) return;
+  }
+  members.push_back(member);
+}
+
+std::uint64_t wall_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// CPU time of the calling thread. Falls back to 0 where the POSIX
+/// thread-CPU clock is unavailable; timings are advisory, never part of
+/// deterministic snapshots.
+std::uint64_t thread_cpu_now_ns() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000u +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+  }
+#endif
+  return 0;
+}
+
+/// Flatten one histogram into bucket/count/sum entries of `out`.
+void flatten_histogram(const std::string& name,
+                       const std::vector<std::uint64_t>& bounds,
+                       const std::vector<std::uint64_t>& buckets,
+                       std::uint64_t count, std::uint64_t sum,
+                       std::map<std::string, std::uint64_t>& out) {
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    out[name + ".le_" + std::to_string(bounds[i])] = buckets[i];
+  }
+  out[name + ".le_inf"] = buckets[bounds.size()];
+  out[name + ".count"] = count;
+  out[name + ".sum"] = sum;
+}
+
+util::JsonValue section_json(const std::map<std::string, std::uint64_t>& section) {
+  util::JsonObject object;
+  for (const auto& [name, value] : section) object.emplace(name, value);
+  return util::JsonValue(std::move(object));
+}
+
+void append_section_text(std::ostringstream& out, const char* title,
+                         const std::map<std::string, std::uint64_t>& section) {
+  if (section.empty()) return;
+  out << title << ":\n";
+  for (const auto& [name, value] : section) {
+    out << "  " << name;
+    for (std::size_t pad = name.size(); pad < 52; ++pad) out << ' ';
+    out << ' ' << value << '\n';
+  }
+}
+
+}  // namespace
+
+// --- Registry --------------------------------------------------------
+
+Counter* Registry::counter(const std::string& name, Stability stability) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = counters_.try_emplace(name);
+  if (inserted) {
+    it->second.stability = stability;
+    it->second.counter = std::make_unique<Counter>();
+  }
+  return it->second.counter.get();
+}
+
+Counter* Registry::counter(const std::string& name, Stability stability,
+                           const std::string& rollup_name,
+                           Stability rollup_stability) {
+  Counter* resolved = counter(name, stability);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = counter_rollups_.try_emplace(rollup_name);
+  if (inserted) it->second.stability = rollup_stability;
+  add_rollup_member(it->second.members, static_cast<const Counter*>(resolved));
+  return resolved;
+}
+
+Histogram* Registry::histogram(const std::string& name,
+                               std::vector<std::uint64_t> upper_bounds,
+                               Stability stability) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = histograms_.try_emplace(name);
+  if (inserted) {
+    it->second.stability = stability;
+    it->second.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return it->second.histogram.get();
+}
+
+Histogram* Registry::histogram(const std::string& name,
+                               std::vector<std::uint64_t> upper_bounds,
+                               Stability stability,
+                               const std::string& rollup_name,
+                               Stability rollup_stability) {
+  Histogram* resolved = histogram(name, std::move(upper_bounds), stability);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = histogram_rollups_.try_emplace(rollup_name);
+  if (inserted) it->second.stability = rollup_stability;
+  add_rollup_member(it->second.members,
+                    static_cast<const Histogram*>(resolved));
+  return resolved;
+}
+
+TimingSpan* Registry::timing(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = timings_.try_emplace(name);
+  if (inserted) it->second = std::make_unique<TimingSpan>();
+  return it->second.get();
+}
+
+Snapshot Registry::snapshot() const {
+  // The lock protects the registration maps only; metric values are
+  // read through their own acquire loads, so concurrent increments on
+  // worker threads never block or tear the snapshot.
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+
+  const auto section = [&snap](Stability stability)
+      -> std::map<std::string, std::uint64_t>& {
+    switch (stability) {
+      case Stability::kStable: return snap.stable;
+      case Stability::kSharded: return snap.sharded;
+      case Stability::kVolatile: break;
+    }
+    return snap.runtime;
+  };
+
+  for (const auto& [name, entry] : counters_) {
+    section(entry.stability)[name] = entry.counter->value();
+  }
+  for (const auto& [name, rollup] : counter_rollups_) {
+    std::uint64_t total = 0;
+    for (const Counter* member : rollup.members) total += member->value();
+    section(rollup.stability)[name] = total;
+  }
+
+  const auto flatten = [&](const std::string& name, Stability stability,
+                           const std::vector<const Histogram*>& members) {
+    const auto& bounds = members.front()->upper_bounds();
+    std::vector<std::uint64_t> buckets(bounds.size() + 1, 0);
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    for (const Histogram* member : members) {
+      // Read in writer-opposite order (observe() updates bucket, then
+      // sum, then count): count first, buckets last, so a mid-run
+      // snapshot always satisfies sum(buckets) >= count.
+      count += member->count();
+      sum += member->sum();
+      for (std::size_t i = 0; i <= bounds.size(); ++i) {
+        buckets[i] += member->bucket(i);
+      }
+    }
+    flatten_histogram(name, bounds, buckets, count, sum, section(stability));
+  };
+  for (const auto& [name, entry] : histograms_) {
+    flatten(name, entry.stability, {entry.histogram.get()});
+  }
+  for (const auto& [name, rollup] : histogram_rollups_) {
+    flatten(name, rollup.stability, rollup.members);
+  }
+
+  for (const auto& [name, span] : timings_) {
+    snap.timings[name] =
+        Snapshot::Timing{span->wall_ns(), span->cpu_ns(), span->count()};
+  }
+  return snap;
+}
+
+// --- Snapshot --------------------------------------------------------
+
+std::string Snapshot::stable_json() const {
+  return section_json(stable).dump();
+}
+
+std::string Snapshot::deterministic_json() const {
+  util::JsonObject object;
+  object.emplace("sharded", section_json(sharded));
+  object.emplace("stable", section_json(stable));
+  return util::JsonValue(std::move(object)).dump();
+}
+
+std::string Snapshot::to_json() const {
+  util::JsonObject object;
+  object.emplace("runtime", section_json(runtime));
+  object.emplace("sharded", section_json(sharded));
+  object.emplace("stable", section_json(stable));
+  util::JsonObject timing_object;
+  for (const auto& [name, timing] : timings) {
+    util::JsonObject one;
+    one.emplace("count", timing.count);
+    one.emplace("cpu_ns", timing.cpu_ns);
+    one.emplace("wall_ns", timing.wall_ns);
+    timing_object.emplace(name, std::move(one));
+  }
+  object.emplace("timings", std::move(timing_object));
+  return util::JsonValue(std::move(object)).dump();
+}
+
+std::string Snapshot::to_text() const {
+  std::ostringstream out;
+  out << "== wm::obs stage report ==\n";
+  append_section_text(out, "counters (stable)", stable);
+  append_section_text(out, "counters (sharded)", sharded);
+  append_section_text(out, "counters (runtime)", runtime);
+  if (!timings.empty()) {
+    out << "timings:\n";
+    for (const auto& [name, timing] : timings) {
+      out << "  " << name;
+      for (std::size_t pad = name.size(); pad < 40; ++pad) out << ' ';
+      out << " wall " << static_cast<double>(timing.wall_ns) / 1e6 << "ms"
+          << "  cpu " << static_cast<double>(timing.cpu_ns) / 1e6 << "ms"
+          << "  spans " << timing.count << '\n';
+    }
+  }
+  return out.str();
+}
+
+// --- StageTimer ------------------------------------------------------
+
+StageTimer::StageTimer(TimingSpan* span) : span_(span) {
+  if (span_ != nullptr) {
+    wall_start_ns_ = wall_now_ns();
+    cpu_start_ns_ = thread_cpu_now_ns();
+  }
+}
+
+StageTimer::StageTimer(Registry* registry, const std::string& name)
+    : StageTimer(registry != nullptr ? registry->timing(name) : nullptr) {}
+
+StageTimer::~StageTimer() {
+  if (span_ != nullptr) {
+    span_->record(wall_now_ns() - wall_start_ns_,
+                  thread_cpu_now_ns() - cpu_start_ns_);
+  }
+}
+
+}  // namespace wm::obs

@@ -15,19 +15,74 @@ std::size_t FlowRecordStream::count(net::FlowDirection direction,
 }
 
 RecordStreamExtractor::RecordStreamExtractor(Config config)
-    : config_(config),
-      // The extractor keeps its own per-flow state; the flow table is
-      // only consulted for keying/orientation, so per-packet membership
-      // lists would be dead weight.
-      flow_table_(net::FlowTable::Config{config.idle_timeout,
-                                         /*track_packets=*/false}) {}
+    : config_(std::move(config)) {
+  // The extractor keeps its own per-flow state; the flow table is
+  // only consulted for keying/orientation, so per-packet membership
+  // lists would be dead weight.
+  net::FlowTable::Config table_config;
+  table_config.idle_timeout = config_.idle_timeout;
+  table_config.track_packets = false;
+
+  if (config_.registry != nullptr) {
+    const auto resolve = [this](const std::string& suffix,
+                                obs::Stability rollup_stability =
+                                    obs::Stability::kStable) {
+      const std::string name = config_.metrics_scope + suffix;
+      if (config_.metrics_rollup.empty()) {
+        return config_.registry->counter(name, config_.metrics_stability);
+      }
+      return config_.registry->counter(name, config_.metrics_stability,
+                                       config_.metrics_rollup + suffix,
+                                       rollup_stability);
+    };
+    metrics_.packets = resolve(".packets");
+    metrics_.packets_undecodable = resolve(".packets.undecodable");
+    metrics_.tcp_segments = resolve(".tcp.segments");
+    metrics_.tcp_segments_buffered = resolve(".tcp.segments.buffered");
+    metrics_.tcp_chunks = resolve(".tcp.chunks");
+    metrics_.tcp_bytes = resolve(".tcp.bytes");
+    metrics_.tcp_dropped_bytes = resolve(".tcp.bytes.dropped");
+    metrics_.records = resolve(".records");
+    metrics_.records_handshake = resolve(".records.handshake");
+    metrics_.records_application = resolve(".records.application");
+    metrics_.records_alert = resolve(".records.alert");
+    metrics_.records_other = resolve(".records.other");
+    metrics_.client_app_records = resolve(".records.client_app");
+    // Client-upload record lengths, binned around the paper's Fig. 2
+    // range: the type-1/type-2 JSON bands live in the few-hundred-byte
+    // region; video/API traffic fills the tails.
+    const std::vector<std::uint64_t> bounds{128,  192,  256,  320,   384,  512,
+                                            768,  1024, 2048, 4096, 16384};
+    const std::string histogram_name =
+        config_.metrics_scope + ".record_length.client_app";
+    if (config_.metrics_rollup.empty()) {
+      metrics_.client_record_lengths = config_.registry->histogram(
+          histogram_name, bounds, config_.metrics_stability);
+    } else {
+      metrics_.client_record_lengths = config_.registry->histogram(
+          histogram_name, bounds, config_.metrics_stability,
+          config_.metrics_rollup + ".record_length.client_app",
+          obs::Stability::kStable);
+    }
+    table_config.created_counter = resolve(".flows.opened");
+    // Eviction totals depend on per-shard sweep cadence, so their
+    // cross-shard sum is only deterministic for a fixed shard count.
+    table_config.evicted_counter =
+        resolve(".flows.evicted", obs::Stability::kSharded);
+  }
+  flow_table_ = net::FlowTable(table_config);
+}
 
 std::vector<StreamEvent> RecordStreamExtractor::feed(const net::Packet& packet) {
   std::vector<StreamEvent> out;
   const std::size_t index = packets_seen_++;
+  obs::inc(metrics_.packets);
   const auto decoded = net::decode_packet(packet);
   if (!decoded || !decoded->has_tcp()) {
-    if (!decoded) ++packets_undecodable_;
+    if (!decoded) {
+      ++packets_undecodable_;
+      obs::inc(metrics_.packets_undecodable);
+    }
     return out;
   }
 
@@ -42,7 +97,24 @@ std::vector<StreamEvent> RecordStreamExtractor::feed(const net::Packet& packet) 
   }
   state.last_seen = packet.timestamp;
 
-  for (auto& directed : state.reassembler.on_packet(*decoded, assignment->direction)) {
+  const bool has_payload = !decoded->transport_payload.empty();
+  if (has_payload) obs::inc(metrics_.tcp_segments);
+  const std::uint64_t dropped_before =
+      state.reassembler.client_stream().dropped_bytes() +
+      state.reassembler.server_stream().dropped_bytes();
+
+  auto chunks = state.reassembler.on_packet(*decoded, assignment->direction);
+  if (has_payload && chunks.empty()) obs::inc(metrics_.tcp_segments_buffered);
+  for (const auto& directed : chunks) {
+    obs::inc(metrics_.tcp_chunks);
+    obs::inc(metrics_.tcp_bytes, directed.chunk.data.size());
+  }
+  const std::uint64_t dropped_after =
+      state.reassembler.client_stream().dropped_bytes() +
+      state.reassembler.server_stream().dropped_bytes();
+  obs::inc(metrics_.tcp_dropped_bytes, dropped_after - dropped_before);
+
+  for (auto& directed : chunks) {
     TlsRecordParser& parser = directed.direction == net::FlowDirection::kClientToServer
                                   ? state.client_parser
                                   : state.server_parser;
@@ -60,6 +132,25 @@ std::vector<StreamEvent> RecordStreamExtractor::feed(const net::Packet& packet) 
       event.content_type = parsed.record.content_type;
       event.record_length = parsed.record.length();
       event.stream_offset = parsed.stream_offset;
+      obs::inc(metrics_.records);
+      switch (event.content_type) {
+        case ContentType::kHandshake:
+          obs::inc(metrics_.records_handshake);
+          break;
+        case ContentType::kApplicationData:
+          obs::inc(metrics_.records_application);
+          break;
+        case ContentType::kAlert:
+          obs::inc(metrics_.records_alert);
+          break;
+        default:
+          obs::inc(metrics_.records_other);
+          break;
+      }
+      if (event.is_client_application_data()) {
+        obs::inc(metrics_.client_app_records);
+        obs::observe(metrics_.client_record_lengths, event.record_length);
+      }
       if (config_.retain_events) state.events.push_back(event);
       out.push_back(StreamEvent{assignment->key, event});
     }

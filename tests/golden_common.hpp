@@ -1,0 +1,128 @@
+// Shared recipe for the golden-trace corpus: the fixture generator
+// (gen_fixtures.cpp) and the replay test (test_golden.cpp) must agree
+// on every seed, impairment, and calibration input, or the committed
+// .expected.json files would drift from what the test reproduces.
+// Everything here is deterministic: fixed seeds, platform-stable Rng.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wm/core/pipeline.hpp"
+#include "wm/sim/impairments.hpp"
+#include "wm/sim/session.hpp"
+#include "wm/story/bandersnatch.hpp"
+
+namespace wm::golden {
+
+/// One fixture: a tiny capture file plus its expected decode/snapshot.
+struct FixtureSpec {
+  std::string name;    // file stem: <name>.pcap[ng] / <name>.expected.json
+  bool pcapng = false; // container format to exercise both readers
+};
+
+inline const std::vector<FixtureSpec>& fixture_specs() {
+  static const std::vector<FixtureSpec> specs = {
+      {"single_viewer", false},
+      {"two_viewers", true},
+      {"lossy_capture", false},
+      {"snaplen_trimmed", false},
+  };
+  return specs;
+}
+
+inline std::vector<story::Choice> golden_choices(std::size_t n,
+                                                 bool start_non_default) {
+  std::vector<story::Choice> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool non_default = (i % 2 == 0) == start_non_default;
+    out.push_back(non_default ? story::Choice::kNonDefault
+                              : story::Choice::kDefault);
+  }
+  return out;
+}
+
+inline std::vector<net::Packet> one_viewer(const story::StoryGraph& graph,
+                                           std::uint64_t seed,
+                                           std::size_t choices,
+                                           bool start_non_default,
+                                           std::uint8_t ip_octet = 10,
+                                           std::uint16_t port_base = 54000) {
+  sim::SessionConfig config;
+  config.seed = seed;
+  // Committed-corpus diet: the side-channel lives in the API flow's
+  // client record lengths, so the media bitrate and cross traffic can
+  // be minimal without touching what the attack (or its counters)
+  // sees. Keeps each fixture capture small enough to commit.
+  config.streaming.bitrate_kbps = 24;
+  config.streaming.time_scale = 0.05;
+  config.packetize.include_cross_traffic = false;
+  config.packetize.client_ip = net::Ipv4Address(10, 0, 3, ip_octet);
+  config.packetize.cdn_client_port = port_base;
+  config.packetize.api_client_port = static_cast<std::uint16_t>(port_base + 1);
+  return sim::simulate_session(graph, golden_choices(choices, start_non_default),
+                               config)
+      .capture.packets;
+}
+
+/// The deterministic packet stream behind fixture `name`.
+inline std::vector<net::Packet> fixture_packets(const std::string& name) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  if (name == "single_viewer") {
+    // One viewer, five choice points: the smallest end-to-end decode.
+    return one_viewer(graph, 8811, 5, true);
+  }
+  if (name == "two_viewers") {
+    // Two staggered viewers behind one tap, merged by time — exercises
+    // per-client separation and the pcapng reader.
+    std::vector<net::Packet> merged;
+    for (std::size_t v = 0; v < 2; ++v) {
+      auto packets = one_viewer(graph, 8821 + v, 4, v == 0,
+                                static_cast<std::uint8_t>(20 + v),
+                                static_cast<std::uint16_t>(54100 + 2 * v));
+      const util::Duration stagger =
+          util::Duration::millis(1300) * static_cast<int>(v);
+      for (net::Packet& packet : packets) {
+        packet.timestamp += stagger;
+        merged.push_back(std::move(packet));
+      }
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const net::Packet& a, const net::Packet& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+    return merged;
+  }
+  if (name == "lossy_capture") {
+    // 3% seeded capture loss: gaps are permanent for the observer.
+    util::Rng rng(8831);
+    return sim::drop_packets(one_viewer(graph, 8831, 5, false), 0.03, rng);
+  }
+  if (name == "snaplen_trimmed") {
+    // tcpdump -s 200 style truncation; original_length preserved.
+    return sim::truncate_snaplen(one_viewer(graph, 8841, 5, true), 200);
+  }
+  return {};
+}
+
+/// The corpus classifier: calibrated from three fixed-seed sessions,
+/// identically in the generator and the test.
+inline core::AttackPipeline calibrated_pipeline() {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  std::vector<core::CalibrationSession> calibration;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    sim::SessionConfig config;
+    config.seed = 8800 + s;
+    auto session =
+        sim::simulate_session(graph, golden_choices(13, true), config);
+    calibration.push_back(core::CalibrationSession{
+        std::move(session.capture.packets), std::move(session.truth)});
+  }
+  core::AttackPipeline pipeline("interval");
+  pipeline.calibrate(calibration);
+  return pipeline;
+}
+
+}  // namespace wm::golden

@@ -1,0 +1,229 @@
+// Differential suite: across seeds × capture impairments, the sharded
+// streaming engine must reproduce the batch pipeline's decode exactly
+// for every shard count — and the wm::obs *stable* counter snapshot
+// must be byte-identical too. The stable section is the contract: it
+// holds only per-flow/per-record quantities (and their shard rollups),
+// so 1, 2, 4 and 8 workers chewing the same impaired capture must
+// export the same bytes the inline batch run does.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "wm/core/engine/source.hpp"
+#include "wm/core/pipeline.hpp"
+#include "wm/obs/registry.hpp"
+#include "wm/sim/impairments.hpp"
+#include "wm/sim/session.hpp"
+#include "wm/story/bandersnatch.hpp"
+
+namespace wm::core {
+namespace {
+
+using story::Choice;
+
+std::vector<Choice> alternating(std::size_t n, bool start_non_default) {
+  std::vector<Choice> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool non_default = (i % 2 == 0) == start_non_default;
+    out.push_back(non_default ? Choice::kNonDefault : Choice::kDefault);
+  }
+  return out;
+}
+
+AttackPipeline calibrated_pipeline(const story::StoryGraph& graph) {
+  std::vector<CalibrationSession> calibration;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    sim::SessionConfig config;
+    config.seed = 7400 + s;
+    auto session = sim::simulate_session(graph, alternating(13, true), config);
+    calibration.push_back(CalibrationSession{std::move(session.capture.packets),
+                                             std::move(session.truth)});
+  }
+  AttackPipeline pipeline("interval");
+  pipeline.calibrate(calibration);
+  return pipeline;
+}
+
+std::vector<net::Packet> merged_capture(const story::StoryGraph& graph,
+                                        std::size_t viewers,
+                                        std::uint64_t seed) {
+  std::vector<net::Packet> merged;
+  for (std::size_t v = 0; v < viewers; ++v) {
+    sim::SessionConfig config;
+    config.seed = seed + v;
+    config.packetize.client_ip =
+        net::Ipv4Address(10, 0, 2, static_cast<std::uint8_t>(10 + v));
+    config.packetize.cdn_client_port = static_cast<std::uint16_t>(53000 + 2 * v);
+    config.packetize.api_client_port = static_cast<std::uint16_t>(53001 + 2 * v);
+    auto session =
+        sim::simulate_session(graph, alternating(13, v % 2 == 0), config);
+    const util::Duration stagger =
+        util::Duration::millis(1500) * static_cast<int>(v);
+    for (net::Packet& packet : session.capture.packets) {
+      packet.timestamp += stagger;
+      merged.push_back(std::move(packet));
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const net::Packet& a, const net::Packet& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return merged;
+}
+
+struct Scenario {
+  std::string name;
+  std::vector<net::Packet> packets;
+};
+
+/// The capture as an ideal tap saw it, plus three degraded variants:
+/// random frame loss, snaplen truncation, timestamp jitter. Impairments
+/// are seeded so every run of the suite replays the same damage.
+std::vector<Scenario> impaired_variants(const std::vector<net::Packet>& base,
+                                        std::uint64_t seed) {
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"pristine", base});
+  {
+    util::Rng rng(seed * 31 + 1);
+    scenarios.push_back({"drop2pct", sim::drop_packets(base, 0.02, rng)});
+  }
+  scenarios.push_back({"snaplen200", sim::truncate_snaplen(base, 200)});
+  {
+    util::Rng rng(seed * 31 + 2);
+    scenarios.push_back({"jitter2ms", sim::jitter_order(base, 0.002, rng)});
+  }
+  return scenarios;
+}
+
+void expect_sessions_identical(const InferredSession& a,
+                               const InferredSession& b,
+                               const std::string& context) {
+  ASSERT_EQ(a.questions.size(), b.questions.size()) << context;
+  for (std::size_t i = 0; i < a.questions.size(); ++i) {
+    EXPECT_EQ(a.questions[i].index, b.questions[i].index) << context << " Q" << i;
+    EXPECT_EQ(a.questions[i].question_time, b.questions[i].question_time)
+        << context << " Q" << i;
+    EXPECT_EQ(a.questions[i].choice, b.questions[i].choice) << context << " Q" << i;
+    EXPECT_EQ(a.questions[i].override_time, b.questions[i].override_time)
+        << context << " Q" << i;
+  }
+  EXPECT_EQ(a.type1_records, b.type1_records) << context;
+  EXPECT_EQ(a.type2_records, b.type2_records) << context;
+  EXPECT_EQ(a.other_records, b.other_records) << context;
+}
+
+TEST(Differential, EngineMatchesBatchAcrossSeedsImpairmentsAndShardCounts) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  const AttackPipeline pipeline = calibrated_pipeline(graph);
+
+  for (const std::uint64_t seed : {std::uint64_t{7501}, std::uint64_t{7520}}) {
+    const std::vector<net::Packet> base = merged_capture(graph, 2, seed);
+    for (const Scenario& scenario : impaired_variants(base, seed)) {
+      // Batch reference: inline run, instrumented.
+      obs::Registry batch_registry;
+      engine::VectorSource batch_source(&scenario.packets);
+      InferOptions batch_options;
+      batch_options.shards = 0;
+      batch_options.per_client = true;
+      batch_options.metrics = &batch_registry;
+      const InferReport batch = pipeline.infer(batch_source, batch_options);
+      const std::string batch_stable = batch_registry.snapshot().stable_json();
+      ASSERT_FALSE(batch_stable.empty());
+
+      for (const std::size_t shards :
+           {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+        const std::string context = "seed=" + std::to_string(seed) + " " +
+                                    scenario.name +
+                                    " shards=" + std::to_string(shards);
+        obs::Registry registry;
+        engine::VectorSource source(&scenario.packets);
+        InferOptions options;
+        options.shards = shards;
+        options.per_client = true;
+        options.metrics = &registry;
+        const InferReport report = pipeline.infer(source, options);
+
+        // Identical decode: combined and per-viewer.
+        expect_sessions_identical(report.combined, batch.combined, context);
+        ASSERT_EQ(report.per_client.size(), batch.per_client.size()) << context;
+        for (const auto& [client, session] : batch.per_client) {
+          ASSERT_TRUE(report.per_client.count(client)) << context << " " << client;
+          expect_sessions_identical(report.per_client.at(client), session,
+                                    context + " client " + client);
+        }
+
+        // Identical counters: the stable snapshot section is
+        // byte-for-byte the batch run's, timing excluded by design.
+        EXPECT_EQ(registry.snapshot().stable_json(), batch_stable) << context;
+      }
+    }
+  }
+}
+
+TEST(Differential, StableSnapshotIsByteStableAcrossRepeatedRuns) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  const AttackPipeline pipeline = calibrated_pipeline(graph);
+  const std::vector<net::Packet> base = merged_capture(graph, 2, 7560);
+
+  // Same capture, same configuration, two independent threaded runs:
+  // stable AND sharded sections must export identical bytes (only the
+  // runtime/timing sections may differ between runs).
+  std::vector<std::string> deterministic_exports;
+  for (int run = 0; run < 2; ++run) {
+    obs::Registry registry;
+    engine::VectorSource source(&base);
+    InferOptions options;
+    options.shards = 4;
+    options.per_client = true;
+    options.metrics = &registry;
+    (void)pipeline.infer(source, options);
+    deterministic_exports.push_back(registry.snapshot().deterministic_json());
+  }
+  EXPECT_EQ(deterministic_exports[0], deterministic_exports[1]);
+}
+
+TEST(Differential, StableSectionCoversEveryStage) {
+  // The differential assertion is only as strong as the section it
+  // compares: pin the presence of each instrumented stage's rollup so
+  // a future rename cannot silently empty the contract.
+  const story::StoryGraph graph = story::make_bandersnatch();
+  const AttackPipeline pipeline = calibrated_pipeline(graph);
+  const std::vector<net::Packet> base = merged_capture(graph, 2, 7570);
+
+  obs::Registry registry;
+  engine::VectorSource source(&base);
+  InferOptions options;
+  options.shards = 2;
+  options.per_client = true;
+  options.metrics = &registry;
+  const InferReport report = pipeline.infer(source, options);
+  const obs::Snapshot snap = registry.snapshot();
+
+  for (const char* key :
+       {"engine.packets_in", "engine.packets", "engine.records",
+        "engine.records.client_app", "engine.flows.opened",
+        "engine.collector.client_records", "engine.collector.viewers",
+        "pipeline.infer.runs", "pipeline.questions"}) {
+    EXPECT_TRUE(snap.stable.count(key)) << "missing stable key " << key;
+  }
+  EXPECT_EQ(snap.stable.at("engine.packets_in"), base.size());
+  EXPECT_EQ(snap.stable.at("engine.collector.viewers"), 2u);
+  EXPECT_EQ(snap.stable.at("pipeline.questions"),
+            report.combined.questions.size());
+  EXPECT_EQ(snap.stable.at("engine.collector.client_records"),
+            snap.stable.at("engine.collector.type1") +
+                snap.stable.at("engine.collector.type2") +
+                snap.stable.at("engine.collector.other"));
+  // Sharded section carries the configuration-dependent breakdowns.
+  EXPECT_TRUE(snap.sharded.count("engine.shards_configured"));
+  EXPECT_TRUE(snap.sharded.count("engine.shard[0].packets"));
+  EXPECT_TRUE(snap.sharded.count("engine.shard[1].packets"));
+  EXPECT_EQ(snap.sharded.at("engine.shard[0].packets") +
+                snap.sharded.at("engine.shard[1].packets"),
+            snap.stable.at("engine.packets"));
+}
+
+}  // namespace
+}  // namespace wm::core

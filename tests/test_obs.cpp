@@ -1,0 +1,283 @@
+// wm::obs unit coverage plus the tear-free-snapshot hammer: concurrent
+// writers increment metrics while a reader snapshots mid-flight, and
+// the acquire/release ordering invariants are asserted on every read.
+// Built into the TSan job via the "concurrency" ctest label.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "wm/obs/registry.hpp"
+#include "wm/util/json.hpp"
+
+namespace wm::obs {
+namespace {
+
+TEST(ObsCounter, ResolveIsIdempotentAndShared) {
+  Registry registry;
+  Counter* a = registry.counter("engine.packets_in");
+  Counter* b = registry.counter("engine.packets_in", Stability::kVolatile);
+  EXPECT_EQ(a, b);  // same name -> same counter; first stability wins
+  a->add(3);
+  b->add(2);
+  EXPECT_EQ(a->value(), 5u);
+  // First registration declared kStable, so it reports there.
+  const Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.stable.at("engine.packets_in"), 5u);
+  EXPECT_TRUE(snap.runtime.empty());
+}
+
+TEST(ObsCounter, NullSafeHelpers) {
+  inc(nullptr);
+  inc(nullptr, 42);
+  observe(nullptr, 7);  // must not crash
+}
+
+TEST(ObsCounter, StabilityRoutesToSections) {
+  Registry registry;
+  registry.counter("a.stable")->add(1);
+  registry.counter("b.sharded", Stability::kSharded)->add(2);
+  registry.counter("c.volatile", Stability::kVolatile)->add(3);
+  const Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.stable.at("a.stable"), 1u);
+  EXPECT_EQ(snap.sharded.at("b.sharded"), 2u);
+  EXPECT_EQ(snap.runtime.at("c.volatile"), 3u);
+  EXPECT_EQ(snap.stable.count("b.sharded"), 0u);
+  EXPECT_EQ(snap.stable.count("c.volatile"), 0u);
+}
+
+TEST(ObsCounter, RollupSumsMembers) {
+  Registry registry;
+  // Per-shard members are kSharded; their rollup is declared kStable —
+  // the exact shape the engine uses for per-flow quantities.
+  registry
+      .counter("engine.shard[0].flows.opened", Stability::kSharded,
+               "engine.flows.opened")
+      ->add(4);
+  registry
+      .counter("engine.shard[1].flows.opened", Stability::kSharded,
+               "engine.flows.opened")
+      ->add(6);
+  const Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.stable.at("engine.flows.opened"), 10u);
+  EXPECT_EQ(snap.sharded.at("engine.shard[0].flows.opened"), 4u);
+  EXPECT_EQ(snap.sharded.at("engine.shard[1].flows.opened"), 6u);
+}
+
+TEST(ObsHistogram, BucketsCountAndSum) {
+  Registry registry;
+  Histogram* h = registry.histogram("lengths", {100, 200});
+  h->observe(50);    // bucket 0 (<= 100)
+  h->observe(100);   // bucket 0 (inclusive upper bound)
+  h->observe(150);   // bucket 1
+  h->observe(9999);  // overflow bucket
+  EXPECT_EQ(h->bucket(0), 2u);
+  EXPECT_EQ(h->bucket(1), 1u);
+  EXPECT_EQ(h->bucket(2), 1u);
+  EXPECT_EQ(h->count(), 4u);
+  EXPECT_EQ(h->sum(), 50u + 100u + 150u + 9999u);
+
+  const Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.stable.at("lengths.le_100"), 2u);
+  EXPECT_EQ(snap.stable.at("lengths.le_200"), 1u);
+  EXPECT_EQ(snap.stable.at("lengths.le_inf"), 1u);
+  EXPECT_EQ(snap.stable.at("lengths.count"), 4u);
+  EXPECT_EQ(snap.stable.at("lengths.sum"), 50u + 100u + 150u + 9999u);
+}
+
+TEST(ObsHistogram, FirstRegistrationFixesBounds) {
+  Registry registry;
+  Histogram* a = registry.histogram("h", {10, 20});
+  Histogram* b = registry.histogram("h", {99});  // bounds ignored
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a->upper_bounds(), (std::vector<std::uint64_t>{10, 20}));
+}
+
+TEST(ObsHistogram, RollupSumsBucketwise) {
+  Registry registry;
+  Histogram* s0 = registry.histogram("shard[0].len", {100}, Stability::kSharded,
+                                     "len");
+  Histogram* s1 = registry.histogram("shard[1].len", {100}, Stability::kSharded,
+                                     "len");
+  s0->observe(50);
+  s1->observe(50);
+  s1->observe(500);
+  const Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.stable.at("len.le_100"), 2u);
+  EXPECT_EQ(snap.stable.at("len.le_inf"), 1u);
+  EXPECT_EQ(snap.stable.at("len.count"), 3u);
+  EXPECT_EQ(snap.stable.at("len.sum"), 600u);
+}
+
+TEST(ObsSnapshot, JsonIsCanonicalAndOrderIndependent) {
+  // Two registries fed identically but registered in opposite orders
+  // must export byte-identical JSON: map-backed sections sort keys.
+  Registry forward;
+  forward.counter("alpha")->add(1);
+  forward.counter("beta")->add(2);
+  Registry backward;
+  backward.counter("beta")->add(2);
+  backward.counter("alpha")->add(1);
+  EXPECT_EQ(forward.snapshot().stable_json(), backward.snapshot().stable_json());
+  EXPECT_EQ(forward.snapshot().stable_json(),
+            R"({"alpha":1,"beta":2})");
+  // Repeated snapshots of an idle registry are byte-identical.
+  EXPECT_EQ(forward.snapshot().to_json(), forward.snapshot().to_json());
+}
+
+TEST(ObsSnapshot, DeterministicJsonExcludesRuntimeAndTimings) {
+  Registry registry;
+  registry.counter("stable.x")->add(1);
+  registry.counter("sharded.y", Stability::kSharded)->add(2);
+  registry.counter("volatile.z", Stability::kVolatile)->add(3);
+  registry.timing("stage")->record(123456, 9999);
+  const Snapshot snap = registry.snapshot();
+  const std::string json = snap.deterministic_json();
+  EXPECT_NE(json.find("stable.x"), std::string::npos);
+  EXPECT_NE(json.find("sharded.y"), std::string::npos);
+  EXPECT_EQ(json.find("volatile.z"), std::string::npos);
+  EXPECT_EQ(json.find("stage"), std::string::npos);
+  // The full export carries everything.
+  const std::string full = snap.to_json();
+  EXPECT_NE(full.find("volatile.z"), std::string::npos);
+  EXPECT_NE(full.find("stage"), std::string::npos);
+}
+
+TEST(ObsSnapshot, TextReportMentionsEverySection) {
+  Registry registry;
+  registry.counter("pipeline.questions")->add(7);
+  registry.counter("engine.batches", Stability::kSharded)->add(3);
+  registry.counter("engine.backpressure_waits", Stability::kVolatile)->add(1);
+  registry.timing("pipeline.infer")->record(2'000'000, 1'000'000);
+  const std::string text = registry.snapshot().to_text();
+  EXPECT_NE(text.find("pipeline.questions"), std::string::npos);
+  EXPECT_NE(text.find("engine.batches"), std::string::npos);
+  EXPECT_NE(text.find("engine.backpressure_waits"), std::string::npos);
+  EXPECT_NE(text.find("pipeline.infer"), std::string::npos);
+}
+
+TEST(ObsStageTimer, RecordsWallAndCountAndToleratesNull) {
+  Registry registry;
+  {
+    const StageTimer timer(&registry, "stage.a");
+    (void)timer;
+  }
+  {
+    const StageTimer timer(&registry, "stage.a");
+    (void)timer;
+  }
+  const Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.timings.at("stage.a").count, 2u);
+  // Null registry / null span: constructing and destroying is a no-op.
+  {
+    const StageTimer null_registry(static_cast<Registry*>(nullptr), "x");
+    const StageTimer null_span(static_cast<TimingSpan*>(nullptr));
+    (void)null_registry;
+    (void)null_span;
+  }
+}
+
+// --- Tear-free concurrent snapshot hammer ---------------------------
+//
+// Writers maintain the collector's invariant discipline: increment the
+// per-class *parts* first, the *total* last. A reader that loads the
+// total (acquire) and then the parts must therefore never observe
+// parts_sum < total — the release/acquire pairing makes every part
+// increment that happened-before the total increment visible. The same
+// argument covers histograms (observe() updates buckets before count;
+// snapshots read count before buckets).
+//
+// Registry::snapshot() reads counters in name order, so the invariant
+// holds in snapshots exactly when the total sorts before its parts —
+// the convention the engine collector follows ("...client_records" <
+// "...type1"). The hammer names its total "hammer.all" accordingly.
+TEST(ObsConcurrency, SnapshotsAreTearFreeUnderContention) {
+  Registry registry;
+  Counter* part_a = registry.counter("hammer.class.a");
+  Counter* part_b = registry.counter("hammer.class.b");
+  Counter* total = registry.counter("hammer.all");
+  Histogram* lengths = registry.histogram("hammer.len", {128, 512, 2048});
+
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 20'000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        if ((i + static_cast<std::uint64_t>(w)) % 2 == 0) {
+          part_a->add(1);
+        } else {
+          part_b->add(1);
+        }
+        lengths->observe((i * 37 + static_cast<std::uint64_t>(w)) % 4096);
+        total->add(1);  // total strictly after its parts
+      }
+    });
+  }
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      // Raw acquire reads in writer-opposite order...
+      const std::uint64_t seen_total = total->value();
+      const std::uint64_t seen_parts = part_a->value() + part_b->value();
+      EXPECT_GE(seen_parts, seen_total);
+      const std::uint64_t seen_count = lengths->count();
+      std::uint64_t bucket_events = 0;
+      for (std::size_t b = 0; b <= lengths->upper_bounds().size(); ++b) {
+        bucket_events += lengths->bucket(b);
+      }
+      EXPECT_GE(bucket_events, seen_count);
+      // ...and full registry snapshots while writers hammer on.
+      const Snapshot snap = registry.snapshot();
+      EXPECT_GE(snap.stable.at("hammer.class.a") + snap.stable.at("hammer.class.b"),
+                snap.stable.at("hammer.all"));
+      EXPECT_GE(snap.stable.at("hammer.len.le_128") +
+                    snap.stable.at("hammer.len.le_512") +
+                    snap.stable.at("hammer.len.le_2048") +
+                    snap.stable.at("hammer.len.le_inf"),
+                snap.stable.at("hammer.len.count"));
+    }
+  });
+
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  const Snapshot final_snap = registry.snapshot();
+  const std::uint64_t expected = kWriters * kPerWriter;
+  EXPECT_EQ(final_snap.stable.at("hammer.all"), expected);
+  EXPECT_EQ(final_snap.stable.at("hammer.class.a") +
+                final_snap.stable.at("hammer.class.b"),
+            expected);
+  EXPECT_EQ(final_snap.stable.at("hammer.len.count"), expected);
+}
+
+// Registration itself is thread-safe: shards resolve their metric
+// pointers concurrently at engine start.
+TEST(ObsConcurrency, ConcurrentRegistrationYieldsOneMetricPerName) {
+  Registry registry;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> resolved(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      resolved[static_cast<std::size_t>(t)] =
+          registry.counter("race.shared", Stability::kSharded, "race.rollup");
+      resolved[static_cast<std::size_t>(t)]->add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(resolved[static_cast<std::size_t>(t)], resolved[0]);
+  }
+  const Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.sharded.at("race.shared"), static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(snap.stable.at("race.rollup"), static_cast<std::uint64_t>(kThreads));
+}
+
+}  // namespace
+}  // namespace wm::obs

@@ -3,6 +3,9 @@
 // failing intra-video (the §II argument).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
+
 #include "wm/core/bitrate_baseline.hpp"
 #include "wm/core/pipeline.hpp"
 #include "wm/net/pcap.hpp"
@@ -253,6 +256,143 @@ TEST(BitrateBaseline, FailsIntraVideo) {
   // Near chance: decisively worse than the record-length attack.
   EXPECT_LT(accuracy, 0.75);
   EXPECT_GT(total, 10u);
+}
+
+// --- Deprecated wrapper equivalence ---------------------------------
+// The historic entry points are documented as thin shims over
+// infer(PacketSource&, InferOptions); these tests hold them to it,
+// byte for byte, so the deprecation path cannot silently fork
+// behaviour from the options-based API.
+
+void expect_equal_sessions(const InferredSession& a, const InferredSession& b,
+                           const std::string& context) {
+  ASSERT_EQ(a.questions.size(), b.questions.size()) << context;
+  for (std::size_t i = 0; i < a.questions.size(); ++i) {
+    EXPECT_EQ(a.questions[i].index, b.questions[i].index) << context << " Q" << i;
+    EXPECT_EQ(a.questions[i].question_time, b.questions[i].question_time)
+        << context << " Q" << i;
+    EXPECT_EQ(a.questions[i].choice, b.questions[i].choice) << context << " Q" << i;
+    EXPECT_EQ(a.questions[i].override_time, b.questions[i].override_time)
+        << context << " Q" << i;
+  }
+  EXPECT_EQ(a.type1_records, b.type1_records) << context;
+  EXPECT_EQ(a.type2_records, b.type2_records) << context;
+  EXPECT_EQ(a.other_records, b.other_records) << context;
+}
+
+/// Two interleaved viewers with distinct endpoints, merged by time.
+std::vector<net::Packet> two_viewer_capture(const story::StoryGraph& graph) {
+  std::vector<net::Packet> merged;
+  for (std::size_t v = 0; v < 2; ++v) {
+    sim::SessionConfig config;
+    config.seed = 7301 + v;
+    config.packetize.client_ip =
+        net::Ipv4Address(10, 0, 4, static_cast<std::uint8_t>(10 + v));
+    config.packetize.cdn_client_port = static_cast<std::uint16_t>(55000 + 2 * v);
+    config.packetize.api_client_port = static_cast<std::uint16_t>(55001 + 2 * v);
+    auto session = sim::simulate_session(graph, alternating(9), config);
+    const util::Duration stagger = util::Duration::millis(900) * static_cast<int>(v);
+    for (net::Packet& packet : session.capture.packets) {
+      packet.timestamp += stagger;
+      merged.push_back(std::move(packet));
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const net::Packet& a, const net::Packet& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return merged;
+}
+
+AttackPipeline wrapper_test_pipeline(const story::StoryGraph& graph) {
+  std::vector<CalibrationSession> calibration;
+  for (std::uint64_t seed : {7311u, 7312u, 7313u}) {
+    auto session = simulate(graph, sim::OperationalConditions{},
+                            alternating(13), seed);
+    calibration.push_back(CalibrationSession{std::move(session.capture.packets),
+                                             std::move(session.truth)});
+  }
+  AttackPipeline pipeline("interval");
+  pipeline.calibrate(calibration);
+  return pipeline;
+}
+
+TEST(DeprecatedWrappers, InferVectorMatchesOptionsApi) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  const AttackPipeline pipeline = wrapper_test_pipeline(graph);
+  const auto packets = two_viewer_capture(graph);
+
+  const InferredSession via_wrapper = pipeline.infer(packets);
+  engine::VectorSource source(&packets);
+  const InferReport via_options = pipeline.infer(source);
+  expect_equal_sessions(via_wrapper, via_options.combined,
+                        "infer(vector) vs infer(source)");
+}
+
+TEST(DeprecatedWrappers, InferPerClientMatchesOptionsApi) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  const AttackPipeline pipeline = wrapper_test_pipeline(graph);
+  const auto packets = two_viewer_capture(graph);
+
+  const auto via_wrapper = pipeline.infer_per_client(packets);
+  engine::VectorSource source(&packets);
+  InferOptions options;
+  options.per_client = true;
+  const InferReport via_options = pipeline.infer(source, options);
+
+  ASSERT_EQ(via_wrapper.size(), via_options.per_client.size());
+  ASSERT_EQ(via_wrapper.size(), 2u);
+  for (const auto& [client, session] : via_wrapper) {
+    ASSERT_TRUE(via_options.per_client.count(client)) << client;
+    expect_equal_sessions(session, via_options.per_client.at(client),
+                          "infer_per_client vs options, client " + client);
+  }
+}
+
+TEST(DeprecatedWrappers, InferPcapMatchesInferCapture) {
+  const story::StoryGraph graph = story::make_bandersnatch();
+  const AttackPipeline pipeline = wrapper_test_pipeline(graph);
+  const auto packets = two_viewer_capture(graph);
+
+  const auto path =
+      std::filesystem::temp_directory_path() / "wm_wrapper_equiv.pcap";
+  net::write_pcap(path, packets);
+
+  const InferredSession via_wrapper = pipeline.infer_pcap(path);
+  const auto via_capture = pipeline.infer_capture(path);
+  ASSERT_TRUE(via_capture.ok()) << via_capture.error().to_string();
+  expect_equal_sessions(via_wrapper, via_capture->combined,
+                        "infer_pcap vs infer_capture");
+
+  // And both match the in-memory options API on the same packets.
+  engine::VectorSource source(&packets);
+  expect_equal_sessions(via_wrapper, pipeline.infer(source).combined,
+                        "infer_pcap vs infer(source)");
+
+  // The legacy throwing contract still holds for failures.
+  EXPECT_THROW((void)pipeline.infer_pcap("/nonexistent/nowhere.pcap"),
+               std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(DeprecatedWrappers, WrappersReportIntoInstalledRegistry) {
+  // The wrappers forward through infer(), so a registry installed with
+  // set_metrics() observes their runs too — no instrumentation gap for
+  // unconverted call sites.
+  const story::StoryGraph graph = story::make_bandersnatch();
+  AttackPipeline pipeline = wrapper_test_pipeline(graph);
+  const auto packets = two_viewer_capture(graph);
+
+  obs::Registry registry;
+  pipeline.set_metrics(&registry);
+  (void)pipeline.infer(packets);
+  (void)pipeline.infer_per_client(packets);
+  pipeline.set_metrics(nullptr);
+
+  const obs::Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.stable.at("pipeline.infer.runs"), 2u);
+  EXPECT_EQ(snap.stable.at("engine.packets_in"), packets.size() * 2);
+  EXPECT_GT(snap.stable.at("pipeline.questions"), 0u);
 }
 
 TEST(BitrateBaseline, RequiresBothClasses) {
