@@ -1,0 +1,691 @@
+// Ingestion-path benchmark (hand-rolled timing, machine-readable JSON).
+//
+// Generates a multi-viewer pcap trace (a simulated session replayed
+// with fresh flow identities per lap), then measures the capture
+// ingestion layer end to end:
+//  * reader throughput: buffered-istream per-packet next() (the
+//    pre-zero-copy baseline path), istream read_batch, mmap read_batch
+//    (recycled slots), and a pure mmap next_view() scan (zero-copy);
+//  * queue handoff: a mutex+deque+condvar bounded queue (the engine's
+//    old shard queue design) vs util::SpscRing;
+//  * ingestion pipeline (the headline mmap+ring vs PR 2 comparison):
+//    two-thread file -> queue -> consumer pipelines with analysis
+//    stripped out — mmap views batched through a lock-free ring with
+//    freelist recycling, against the PR 2 reader pushing owned packets
+//    through the old mutex+deque queue;
+//  * engine end-to-end: file -> analysis through the per-packet istream
+//    path vs the batched mmap path.
+//
+// All reader paths must agree on the packet and byte totals — the
+// benchmark aborts if they diverge, so it doubles as a coarse
+// differential check on whatever trace size it is given.
+//
+//   perf_ingest [--mb 1024] [--json BENCH_pr3.json] [--smoke]
+//
+// --smoke shrinks everything to a couple of MB, validates the emitted
+// JSON by re-parsing it, and exits non-zero on any failure: the
+// `bench-smoke` ctest entry runs exactly that, so this binary cannot
+// bit-rot silently.
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "wm/core/engine/engine.hpp"
+#include "wm/core/engine/source.hpp"
+#include "wm/core/pipeline.hpp"
+#include "wm/net/pcap.hpp"
+#include "wm/sim/session.hpp"
+#include "wm/story/bandersnatch.hpp"
+#include "wm/util/cli.hpp"
+#include "wm/util/json.hpp"
+#include "wm/util/spsc_ring.hpp"
+
+using namespace wm;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;  // payload bytes delivered
+
+  [[nodiscard]] double packets_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(packets) / seconds : 0.0;
+  }
+  [[nodiscard]] double bytes_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(bytes) / seconds : 0.0;
+  }
+  [[nodiscard]] util::JsonValue to_json() const {
+    util::JsonObject object;
+    object["seconds"] = seconds;
+    object["packets"] = packets;
+    object["bytes"] = bytes;
+    object["packets_per_sec"] = packets_per_sec();
+    object["bytes_per_sec"] = bytes_per_sec();
+    return util::JsonValue(std::move(object));
+  }
+};
+
+/// Build the trace: one simulated viewing session replayed `laps` times
+/// through ChunkedReplaySource (fresh IPv4 identities per lap), written
+/// straight to a pcap file. Returns {packets, payload bytes}.
+RunResult generate_trace(const std::filesystem::path& path,
+                         const std::vector<net::Packet>& base,
+                         std::size_t laps) {
+  engine::ChunkedReplaySource::Config config;
+  config.laps = laps;
+  engine::ChunkedReplaySource replay(base, config);
+  RunResult out;
+  net::PcapWriter writer(path);
+  engine::PacketBatch batch;
+  while (replay.read_batch(batch, 1024) != 0) {
+    for (const net::Packet& packet : batch) {
+      writer.write(packet);
+      ++out.packets;
+      out.bytes += packet.data.size();
+    }
+  }
+  return out;
+}
+
+/// Forces the per-packet pull path: read_batch falls back to the base
+/// class's next() adapter loop, the shape of the pre-batching engine.
+class PerPacketAdapter final : public engine::PacketSource {
+ public:
+  explicit PerPacketAdapter(engine::PacketSource& inner) : inner_(inner) {}
+  std::optional<net::Packet> next() override { return inner_.next(); }
+  [[nodiscard]] const std::optional<Error>& error() const override {
+    return inner_.error();
+  }
+
+ private:
+  engine::PacketSource& inner_;
+};
+
+/// A faithful replica of the pre-zero-copy PcapReader read pattern —
+/// the measured baseline: an EOF peek plus four separate 4-byte
+/// istream reads per record header, then a freshly constructed Packet
+/// whose resize() allocates and zero-fills before the payload read
+/// overwrites it. This is what every packet used to cost before the
+/// mmap fast path, bulk header reads and slot recycling.
+class Pr2BaselineReader {
+ public:
+  explicit Pr2BaselineReader(const std::filesystem::path& path)
+      : in_(path, std::ios::binary) {
+    if (!in_) throw std::runtime_error("baseline: cannot open " + path.string());
+    const std::uint32_t magic = read_u32();
+    nanos_ = magic == 0xa1b23c4du;  // trace is always ours: never swapped
+    for (int i = 0; i < 3; ++i) (void)read_u32();  // versions, zone, sigfigs
+    snaplen_ = read_u32();
+    (void)read_u32();  // link type
+  }
+
+  std::optional<net::Packet> next() {
+    if (in_.peek() == std::char_traits<char>::eof()) return std::nullopt;
+    const std::uint32_t seconds = read_u32();
+    const std::uint32_t fraction = read_u32();
+    const std::uint32_t captured = read_u32();
+    const std::uint32_t original = read_u32();
+    net::Packet packet;
+    const std::uint64_t nanos =
+        static_cast<std::uint64_t>(seconds) * 1'000'000'000ull +
+        (nanos_ ? fraction : static_cast<std::uint64_t>(fraction) * 1'000ull);
+    packet.timestamp = util::SimTime::from_nanos(static_cast<std::int64_t>(nanos));
+    packet.data.resize(captured);
+    in_.read(reinterpret_cast<char*>(packet.data.data()),
+             static_cast<std::streamsize>(captured));
+    if (!in_) throw std::runtime_error("baseline: truncated record");
+    packet.original_length = original;
+    return packet;
+  }
+
+ private:
+  std::uint32_t read_u32() {
+    unsigned char bytes[4];
+    in_.read(reinterpret_cast<char*>(bytes), 4);
+    if (!in_) throw std::runtime_error("baseline: unexpected end of file");
+    return static_cast<std::uint32_t>(bytes[0]) |
+           (static_cast<std::uint32_t>(bytes[1]) << 8) |
+           (static_cast<std::uint32_t>(bytes[2]) << 16) |
+           (static_cast<std::uint32_t>(bytes[3]) << 24);
+  }
+
+  std::ifstream in_;
+  bool nanos_ = true;
+  std::uint32_t snaplen_ = 0;
+};
+
+/// PacketSource facade over the baseline reader, per-packet next()
+/// only — the whole pre-batching ingest stack for the engine bench.
+class Pr2BaselineSource final : public engine::PacketSource {
+ public:
+  explicit Pr2BaselineSource(const std::filesystem::path& path) : reader_(path) {}
+  std::optional<net::Packet> next() override { return reader_.next(); }
+
+ private:
+  Pr2BaselineReader reader_;
+};
+
+RunResult bench_pr2_baseline(const std::filesystem::path& path) {
+  RunResult out;
+  const auto start = std::chrono::steady_clock::now();
+  Pr2BaselineReader reader(path);
+  while (auto packet = reader.next()) {
+    ++out.packets;
+    out.bytes += packet->data.size();
+  }
+  out.seconds = seconds_since(start);
+  return out;
+}
+
+// Every reader bench times the open as well as the sweep, so costs a
+// path pays up front (e.g. mmap prefaulting) stay inside the window.
+RunResult bench_source_next(const std::filesystem::path& path, bool allow_mmap) {
+  engine::CaptureOptions options;
+  options.allow_mmap = allow_mmap;
+  RunResult out;
+  const auto start = std::chrono::steady_clock::now();
+  auto source = engine::open_capture(path, options);
+  if (!source.ok()) throw std::runtime_error(source.error().to_string());
+  while (auto packet = (*source)->next()) {
+    ++out.packets;
+    out.bytes += packet->data.size();
+  }
+  out.seconds = seconds_since(start);
+  if ((*source)->error()) throw std::runtime_error("source error mid-bench");
+  return out;
+}
+
+RunResult bench_source_batch(const std::filesystem::path& path, bool allow_mmap,
+                             std::size_t batch_size) {
+  engine::CaptureOptions options;
+  options.allow_mmap = allow_mmap;
+  RunResult out;
+  engine::PacketBatch batch;
+  const auto start = std::chrono::steady_clock::now();
+  auto source = engine::open_capture(path, options);
+  if (!source.ok()) throw std::runtime_error(source.error().to_string());
+  while ((*source)->read_batch(batch, batch_size) != 0) {
+    for (const net::Packet& packet : batch) {
+      ++out.packets;
+      out.bytes += packet.data.size();
+    }
+  }
+  out.seconds = seconds_since(start);
+  if ((*source)->error()) throw std::runtime_error("source error mid-bench");
+  return out;
+}
+
+/// Zero-copy ceiling: iterate reader views without materializing
+/// packets at all.
+RunResult bench_mmap_scan(const std::filesystem::path& path) {
+  RunResult out;
+  const auto start = std::chrono::steady_clock::now();
+  net::PcapReader reader(path);
+  if (!reader.memory_mapped()) {
+    throw std::runtime_error("mmap scan: reader fell back to istream");
+  }
+  while (const auto view = reader.next_view()) {
+    ++out.packets;
+    out.bytes += view->data.size();
+  }
+  out.seconds = seconds_since(start);
+  return out;
+}
+
+/// The engine's pre-ring shard queue design: std::deque guarded by a
+/// mutex with a condvar per edge. Kept here as the baseline half of the
+/// mutex-vs-ring comparison and of the pipeline bench.
+template <typename T>
+class MutexDequeQueue {
+ public:
+  explicit MutexDequeQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  bool push(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] { return queue_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    queue_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  bool pop(T& value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return false;
+    value = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  void close() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  const std::size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+/// The headline "mmap + ring" measurement: this PR's ingestion pipeline
+/// with the analysis stripped out, so only the moving of packets is on
+/// the clock. A producer parses records straight out of the mapping
+/// with next_view() and hands batches of views across a lock-free SPSC
+/// ring to a consumer thread — no packet byte is ever copied, which is
+/// sound precisely because mmap-backed views stay valid for the
+/// reader's whole lifetime (istream scratch views die on the next
+/// read). Batch vectors recycle through a freelist ring, engine-style.
+RunResult bench_mmap_ring_pipeline(const std::filesystem::path& path,
+                                   std::size_t batch_size) {
+  using ViewBatch = std::vector<net::PacketView>;
+  util::SpscRing<ViewBatch*> inbound(64);
+  util::SpscRing<ViewBatch*> freelist(inbound.capacity() + 2);
+  std::vector<std::unique_ptr<ViewBatch>> arena;
+  for (std::size_t i = 0; i < inbound.capacity() + 2; ++i) {
+    arena.push_back(std::make_unique<ViewBatch>());
+    arena.back()->reserve(batch_size);
+    ViewBatch* fresh = arena.back().get();
+    freelist.try_push(fresh);  // pre-start, single-threaded: always fits
+  }
+
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::thread consumer([&] {
+    ViewBatch* batch = nullptr;
+    while (inbound.pop(batch)) {
+      for (const net::PacketView& view : *batch) {
+        ++packets;
+        bytes += view.data.size();
+      }
+      batch->clear();
+      freelist.push(batch);
+    }
+  });
+
+  RunResult out;
+  const auto start = std::chrono::steady_clock::now();
+  {
+    net::PcapReader reader(path);
+    if (!reader.memory_mapped()) {
+      inbound.close();
+      consumer.join();
+      throw std::runtime_error("mmap ring pipeline: reader fell back to istream");
+    }
+    ViewBatch* pending = nullptr;
+    freelist.pop(pending);
+    while (const auto view = reader.next_view()) {
+      pending->push_back(*view);
+      if (pending->size() >= batch_size) {
+        inbound.push(pending);
+        freelist.pop(pending);
+      }
+    }
+    if (!pending->empty()) inbound.push(pending);
+    inbound.close();  // drains, then the consumer's pop returns false
+    consumer.join();  // views reference the mapping: join before unmap
+  }
+  out.seconds = seconds_since(start);
+  out.packets = packets;
+  out.bytes = bytes;
+  return out;
+}
+
+/// The same trace through the pre-PR ingestion pipeline: the PR 2
+/// reader (per-field istream reads, a fresh allocation per packet)
+/// feeding owned-packet batches through the old mutex+deque shard
+/// queue, with a fresh batch vector per handoff as the deque-of-batches
+/// design had (nothing recycled; the consumer frees every batch).
+RunResult bench_pr2_pipeline(const std::filesystem::path& path,
+                             std::size_t batch_size) {
+  using Batch = std::vector<net::Packet>;
+  MutexDequeQueue<Batch> queue(64);
+
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::thread consumer([&] {
+    Batch batch;
+    while (queue.pop(batch)) {
+      for (const net::Packet& packet : batch) {
+        ++packets;
+        bytes += packet.data.size();
+      }
+    }
+  });
+
+  RunResult out;
+  const auto start = std::chrono::steady_clock::now();
+  Pr2BaselineReader reader(path);
+  Batch pending;
+  while (auto packet = reader.next()) {
+    pending.push_back(std::move(*packet));
+    if (pending.size() >= batch_size) {
+      queue.push(std::move(pending));
+      pending = Batch{};
+    }
+  }
+  if (!pending.empty()) queue.push(std::move(pending));
+  queue.close();
+  consumer.join();
+  out.seconds = seconds_since(start);
+  out.packets = packets;
+  out.bytes = bytes;
+  return out;
+}
+
+/// Two-thread pipelines inherit cross-thread wakeup noise; median of 3.
+template <typename BenchFn>
+RunResult median_run(BenchFn bench) {
+  std::vector<RunResult> runs;
+  for (int rep = 0; rep < 3; ++rep) runs.push_back(bench());
+  std::sort(runs.begin(), runs.end(),
+            [](const RunResult& a, const RunResult& b) {
+              return a.seconds < b.seconds;
+            });
+  return runs[1];
+}
+
+template <typename Queue>
+double bench_queue_once(Queue& queue, std::uint64_t items) {
+  std::uint64_t received = 0;
+  std::uint64_t checksum = 0;
+  std::thread consumer([&] {
+    std::uint64_t value = 0;
+    while (queue.pop(value)) {
+      ++received;
+      checksum += value;
+    }
+  });
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t value = 0; value < items; ++value) {
+    if (!queue.push(value)) break;
+  }
+  queue.close();
+  consumer.join();
+  const double elapsed = seconds_since(start);
+  if (received != items || checksum != items * (items - 1) / 2) {
+    throw std::runtime_error("queue bench lost or corrupted items");
+  }
+  return elapsed;
+}
+
+/// Cross-thread wakeup timing makes single runs noisy; take the median
+/// of three fresh queues.
+template <typename MakeQueue>
+double bench_queue(MakeQueue make_queue, std::uint64_t items) {
+  std::vector<double> runs;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto queue = make_queue();
+    runs.push_back(bench_queue_once(queue, items));
+  }
+  std::sort(runs.begin(), runs.end());
+  return runs[1];
+}
+
+enum class EngineMode { kPr2Baseline, kIstreamNext, kMmapBatch };
+
+RunResult bench_engine(const std::filesystem::path& path,
+                       const core::RecordClassifier& classifier,
+                       util::Duration idle_timeout, EngineMode mode) {
+  engine::EngineConfig config;
+  config.shards = 1;  // one worker: the ring handoff is on the path
+  config.flow_idle_timeout = idle_timeout;
+  RunResult out;
+  const auto start = std::chrono::steady_clock::now();
+  std::optional<Pr2BaselineSource> baseline;
+  Result<std::unique_ptr<engine::PacketSource>> opened{nullptr};
+  if (mode == EngineMode::kPr2Baseline) {
+    baseline.emplace(path);
+  } else {
+    engine::CaptureOptions capture_options;
+    capture_options.allow_mmap = mode == EngineMode::kMmapBatch;
+    opened = engine::open_capture(path, capture_options);
+    if (!opened.ok()) throw std::runtime_error(opened.error().to_string());
+  }
+  engine::ShardedFlowEngine engine(classifier, config);
+  switch (mode) {
+    case EngineMode::kPr2Baseline:
+      engine.consume(*baseline);
+      break;
+    case EngineMode::kIstreamNext: {
+      PerPacketAdapter adapter(**opened);
+      engine.consume(adapter);
+      break;
+    }
+    case EngineMode::kMmapBatch:
+      engine.consume(**opened);
+      break;
+  }
+  const engine::EngineResult result = engine.finish();
+  out.seconds = seconds_since(start);
+  out.packets = result.stats.packets_in;
+  return out;
+}
+
+void require(bool condition, const std::string& what) {
+  if (!condition) throw std::runtime_error("self-check failed: " + what);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  util::CliParser cli("perf_ingest",
+                      "Capture-ingestion throughput: istream vs mmap readers, "
+                      "mutex+deque vs SPSC-ring handoff, engine end-to-end.");
+  cli.add_int("mb", "approximate generated trace size in MB", 1024);
+  cli.add_int("batch", "packets per read_batch() call", 256);
+  cli.add_int("queue-items", "items for the queue microbench", 2'000'000);
+  cli.add_string("json", "write results as JSON to this path (empty = stdout only)",
+                 std::string{});
+  cli.add_bool("smoke", "tiny trace + JSON self-validation (CI mode)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const bool smoke = cli.get_bool("smoke");
+  const std::uint64_t target_bytes =
+      (smoke ? 2ull : static_cast<std::uint64_t>(cli.get_int("mb"))) * 1024 * 1024;
+  const std::uint64_t queue_items =
+      smoke ? 100'000 : static_cast<std::uint64_t>(cli.get_int("queue-items"));
+  const auto batch_size = static_cast<std::size_t>(cli.get_int("batch"));
+
+  // One real simulated session is the replay unit.
+  const story::StoryGraph graph = story::make_bandersnatch();
+  std::vector<story::Choice> choices;
+  for (int i = 0; i < 13; ++i) {
+    choices.push_back(i % 2 == 0 ? story::Choice::kNonDefault
+                                 : story::Choice::kDefault);
+  }
+  sim::SessionConfig session_config;
+  session_config.seed = 47474;
+  const auto session = sim::simulate_session(graph, choices, session_config);
+
+  std::uint64_t lap_bytes = 24;  // pcap file header
+  for (const net::Packet& packet : session.capture.packets) {
+    lap_bytes += 16 + packet.data.size();
+  }
+  const std::size_t laps = static_cast<std::size_t>(
+      std::max<std::uint64_t>(1, target_bytes / lap_bytes));
+
+  const auto path =
+      std::filesystem::temp_directory_path() / "wm_perf_ingest_trace.pcap";
+  std::cerr << "generating trace: " << laps << " laps x "
+            << session.capture.packets.size() << " packets ("
+            << (laps * lap_bytes) / (1024 * 1024) << " MB) -> " << path << "\n";
+  const RunResult trace = generate_trace(path, session.capture.packets, laps);
+  const std::uint64_t file_bytes = std::filesystem::file_size(path);
+
+  // --- readers ------------------------------------------------------
+  std::cerr << "readers...\n";
+  const RunResult pr2_next = bench_pr2_baseline(path);
+  const RunResult istream_next = bench_source_next(path, /*allow_mmap=*/false);
+  const RunResult istream_batch =
+      bench_source_batch(path, /*allow_mmap=*/false, batch_size);
+  const RunResult mmap_batch =
+      bench_source_batch(path, /*allow_mmap=*/true, batch_size);
+  const RunResult mmap_scan = bench_mmap_scan(path);
+
+  // Every path must have read the same trace.
+  for (const RunResult* run :
+       {&pr2_next, &istream_next, &istream_batch, &mmap_batch, &mmap_scan}) {
+    require(run->packets == trace.packets, "reader packet totals diverged");
+    require(run->bytes == trace.bytes, "reader byte totals diverged");
+  }
+
+  // --- queue handoff ------------------------------------------------
+  std::cerr << "queues...\n";
+  const double mutex_seconds =
+      bench_queue([] { return MutexDequeQueue<std::uint64_t>(64); }, queue_items);
+  const double ring_seconds =
+      bench_queue([] { return util::SpscRing<std::uint64_t>(64); }, queue_items);
+
+  // --- ingestion pipeline (the headline mmap+ring comparison) -------
+  std::cerr << "ingestion pipelines...\n";
+  const RunResult pipeline_pr2 =
+      median_run([&] { return bench_pr2_pipeline(path, batch_size); });
+  const RunResult pipeline_mmap_ring =
+      median_run([&] { return bench_mmap_ring_pipeline(path, batch_size); });
+  for (const RunResult* run : {&pipeline_pr2, &pipeline_mmap_ring}) {
+    require(run->packets == trace.packets, "pipeline packet totals diverged");
+    require(run->bytes == trace.bytes, "pipeline byte totals diverged");
+  }
+
+  // --- engine end-to-end --------------------------------------------
+  std::cerr << "engine end-to-end...\n";
+  core::AttackPipeline pipeline("interval");
+  pipeline.calibrate(
+      {core::CalibrationSession{session.capture.packets, session.truth}});
+  const RunResult engine_pr2 =
+      bench_engine(path, pipeline.classifier(), session.session_length,
+                   EngineMode::kPr2Baseline);
+  const RunResult engine_istream =
+      bench_engine(path, pipeline.classifier(), session.session_length,
+                   EngineMode::kIstreamNext);
+  const RunResult engine_mmap =
+      bench_engine(path, pipeline.classifier(), session.session_length,
+                   EngineMode::kMmapBatch);
+  require(engine_pr2.packets == trace.packets, "engine dropped packets");
+  require(engine_istream.packets == trace.packets, "engine dropped packets");
+  require(engine_mmap.packets == trace.packets, "engine dropped packets");
+
+  // --- report -------------------------------------------------------
+  util::JsonObject readers;
+  readers["pr2_baseline_next"] = pr2_next.to_json();
+  readers["istream_next"] = istream_next.to_json();
+  readers["istream_batch"] = istream_batch.to_json();
+  readers["mmap_batch"] = mmap_batch.to_json();
+  readers["mmap_scan"] = mmap_scan.to_json();
+
+  util::JsonObject queue;
+  queue["items"] = queue_items;
+  queue["mutex_deque_items_per_sec"] =
+      static_cast<double>(queue_items) / mutex_seconds;
+  queue["spsc_ring_items_per_sec"] =
+      static_cast<double>(queue_items) / ring_seconds;
+
+  util::JsonObject ingest_pipeline;
+  ingest_pipeline["pr2_reader_mutex_deque"] = pipeline_pr2.to_json();
+  ingest_pipeline["mmap_ring"] = pipeline_mmap_ring.to_json();
+
+  util::JsonObject engine;
+  engine["pr2_baseline_shard1"] = engine_pr2.to_json();
+  engine["istream_next_shard1"] = engine_istream.to_json();
+  engine["mmap_batch_shard1"] = engine_mmap.to_json();
+
+  util::JsonObject speedup;
+  speedup["ingest_mmap_ring_vs_pr2_baseline"] =
+      pipeline_mmap_ring.packets_per_sec() / pipeline_pr2.packets_per_sec();
+  speedup["reader_mmap_batch_vs_pr2_baseline"] =
+      mmap_batch.packets_per_sec() / pr2_next.packets_per_sec();
+  speedup["reader_mmap_scan_vs_pr2_baseline"] =
+      mmap_scan.packets_per_sec() / pr2_next.packets_per_sec();
+  speedup["reader_mmap_batch_vs_istream_next"] =
+      mmap_batch.packets_per_sec() / istream_next.packets_per_sec();
+  speedup["queue_ring_vs_mutex"] = mutex_seconds / ring_seconds;
+  speedup["engine_mmap_batch_vs_pr2_baseline"] =
+      engine_mmap.packets_per_sec() / engine_pr2.packets_per_sec();
+
+  util::JsonObject trace_info;
+  trace_info["file_bytes"] = file_bytes;
+  trace_info["packets"] = trace.packets;
+  trace_info["payload_bytes"] = trace.bytes;
+  trace_info["laps"] = static_cast<std::uint64_t>(laps);
+  trace_info["batch_size"] = static_cast<std::uint64_t>(batch_size);
+
+  util::JsonObject root;
+  root["bench"] = "perf_ingest";
+  root["version"] = 1;
+  root["smoke"] = smoke;
+  root["trace"] = util::JsonValue(std::move(trace_info));
+  root["readers"] = util::JsonValue(std::move(readers));
+  root["queue"] = util::JsonValue(std::move(queue));
+  root["pipeline"] = util::JsonValue(std::move(ingest_pipeline));
+  root["engine"] = util::JsonValue(std::move(engine));
+  root["speedup"] = util::JsonValue(std::move(speedup));
+  const util::JsonValue document{std::move(root)};
+  const std::string rendered = document.dump(2);
+  std::cout << rendered << "\n";
+
+  const std::string json_path = cli.get_string("json");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::trunc);
+    out << rendered << "\n";
+    if (!out) throw std::runtime_error("cannot write " + json_path);
+  }
+
+  if (smoke) {
+    // CI self-validation: the emitted document must round-trip and
+    // carry every section the dashboard expects.
+    std::string emitted = rendered;
+    if (!json_path.empty()) {
+      std::ifstream in(json_path);
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      emitted = buffer.str();
+    }
+    const util::JsonValue parsed = util::JsonValue::parse(emitted);
+    for (const char* key :
+         {"trace", "readers", "queue", "pipeline", "engine", "speedup"}) {
+      require(parsed.contains(key), std::string("missing JSON section ") + key);
+    }
+    require(parsed.at("readers").at("mmap_batch").at("packets").as_int() > 0,
+            "no packets measured");
+    require(
+        parsed.at("speedup").at("reader_mmap_batch_vs_pr2_baseline").as_double() >
+            0.0,
+        "speedup not computed");
+    require(
+        parsed.at("speedup").at("ingest_mmap_ring_vs_pr2_baseline").as_double() >
+            0.0,
+        "pipeline speedup not computed");
+    std::cerr << "smoke OK\n";
+  }
+
+  std::filesystem::remove(path);
+  return 0;
+} catch (const std::exception& error) {
+  std::cerr << "perf_ingest: " << error.what() << "\n";
+  return 1;
+}

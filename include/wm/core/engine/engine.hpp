@@ -9,10 +9,17 @@
 // locks; workers only converge on a small mutex-protected collector
 // when a *record* (orders of magnitude rarer than a packet) completes.
 //
-//     PacketSource -> dispatcher --(flow-hash)--> shard 0..N-1
-//       each shard: reassemble -> TLS records -> classify
-//         -> collector (per-viewer observation log, sink callbacks)
+//     PacketSource --read_batch--> dispatcher --(flow-hash)--> shards
+//       each shard: a pair of lock-free SPSC rings (inbound batches in,
+//         drained batches recycled back) -> reassemble -> TLS records
+//         -> classify -> collector (per-viewer log, sink callbacks)
 //     finish(): drain, join, per-viewer + combined choice decode
+//
+// The dispatcher→shard handoff is a bounded SPSC ring of PacketBatch
+// pointers into a per-shard arena; drained batches flow back through a
+// freelist ring with their slot capacity intact, so the steady-state
+// ingest path performs no heap allocation and takes no locks (a
+// condvar pair wakes parked threads only at the full/empty edges).
 //
 // Determinism: the final EngineResult is byte-identical to the batch
 // pipeline's output on the same packets for ANY shard count, because
@@ -42,10 +49,12 @@ struct EngineConfig {
   /// Worker threads. 0 = run inline on the calling thread (no threads,
   /// no queues) — the mode the batch-compatibility wrappers use.
   std::size_t shards = 0;
-  /// Packets per dispatch batch: amortizes queue locking.
+  /// Packets per dispatch batch: amortizes the ring handoff and the
+  /// per-batch virtual source read.
   std::size_t dispatch_batch = 256;
   /// Maximum batches buffered per shard before feed() blocks
-  /// (backpressure; the engine never drops packets).
+  /// (backpressure; the engine never drops packets). Rounded up to a
+  /// power of two by the underlying ring.
   std::size_t queue_capacity = 64;
   /// Evict per-flow analysis state idle longer than this. Zero = never
   /// (batch semantics). Classified observations survive eviction; only
@@ -103,7 +112,17 @@ class ShardedFlowEngine {
   /// Offer one packet. May block on shard-queue backpressure.
   void feed(net::Packet packet);
 
-  /// Pull `source` to exhaustion through feed(). Returns packets fed.
+  /// Offer a batch (borrowed or owned); packets are copied into
+  /// recycled shard slots. May block on backpressure.
+  void ingest(const PacketBatch& batch);
+
+  /// Offer an owned batch for consumption: packet buffers are swapped
+  /// into the shard slots instead of copied (borrowed batches fall
+  /// back to the copying overload). The batch is left cleared with its
+  /// slot capacity intact, ready for the next read_batch() refill.
+  void ingest(PacketBatch&& batch);
+
+  /// Pull `source` to exhaustion via read_batch(). Returns packets fed.
   std::size_t consume(PacketSource& source);
 
   /// Flush queues, join workers, and produce the final result. The
@@ -119,15 +138,17 @@ class ShardedFlowEngine {
 
   std::size_t shard_for(const net::Packet& packet) const;
   void process(Shard& shard, const net::Packet& packet);
-  void enqueue(std::size_t shard_index, std::vector<net::Packet> batch);
+  void dispatch(std::size_t shard_index);
   void flush_pending();
+  void shutdown_workers();
 
   const core::RecordClassifier& classifier_;
   EngineConfig config_;
   std::unique_ptr<Collector> collector_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  /// Per-shard accumulation buffers owned by the feeding thread.
-  std::vector<std::vector<net::Packet>> pending_;
+  /// Per-shard batch being filled by the feeding thread; points into
+  /// the owning shard's arena (acquired from its freelist ring).
+  std::vector<PacketBatch*> pending_;
   std::atomic<std::uint64_t> packets_in_{0};
   std::uint64_t batches_dispatched_ = 0;
   std::uint64_t backpressure_waits_ = 0;

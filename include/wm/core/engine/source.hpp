@@ -7,9 +7,16 @@
 // replay source that re-plays a base capture lap after lap with fresh
 // flow identities — the stand-in for an indefinitely running tap.
 //
+// The primary pull interface is read_batch(): one virtual call fills a
+// reusable PacketBatch, so per-packet virtual dispatch disappears from
+// the hot path and sources can hand packets over zero-copy (borrowed
+// spans for in-memory vectors, mmap-backed views copied once into
+// recycled slots for capture files).
+//
 // Failure handling: sources do not throw. Open-time failures surface
 // as wm::Result from open_capture(); mid-stream corruption ends the
-// stream (next() returns nullopt) and is reported through error().
+// stream (next()/read_batch() report end-of-stream) and is reported
+// through error().
 #pragma once
 
 #include <filesystem>
@@ -24,13 +31,110 @@
 
 namespace wm::engine {
 
-/// Pull-based packet stream. next() yields packets in capture order
-/// until the source is exhausted (or fails — see error()).
+/// A reusable batch of packets — the unit the batched source API and
+/// the engine's shard rings move around. Two modes:
+///  - owned: packets live in recycled slots. clear() keeps every
+///    slot's heap buffer, so a steady-state refill writes into
+///    already-sized storage and never mallocs;
+///  - borrowed: the batch is a view over a contiguous run of packets
+///    owned elsewhere (zero-copy hand-off from in-memory sources).
+///    The underlying packets must stay alive and unmodified until the
+///    batch is cleared or refilled.
+class PacketBatch {
+ public:
+  PacketBatch() = default;
+  PacketBatch(PacketBatch&&) noexcept = default;
+  PacketBatch& operator=(PacketBatch&&) noexcept = default;
+  PacketBatch(const PacketBatch&) = delete;
+  PacketBatch& operator=(const PacketBatch&) = delete;
+
+  /// Empty the batch. Owned slots keep their capacity for reuse.
+  void clear() noexcept {
+    borrowed_ = nullptr;
+    borrowed_size_ = 0;
+    size_ = 0;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return borrowed_ != nullptr ? borrowed_size_ : size_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  [[nodiscard]] bool is_borrowed() const noexcept { return borrowed_ != nullptr; }
+
+  [[nodiscard]] const net::Packet& operator[](std::size_t index) const noexcept {
+    return begin()[index];
+  }
+  [[nodiscard]] const net::Packet* begin() const noexcept {
+    return borrowed_ != nullptr ? borrowed_ : slots_.data();
+  }
+  [[nodiscard]] const net::Packet* end() const noexcept {
+    return begin() + size();
+  }
+
+  /// Expose the next recycled slot for in-place filling. Appending to
+  /// a borrowed batch first drops the borrow (the batch becomes owned).
+  net::Packet& append_slot() {
+    if (borrowed_ != nullptr) clear();
+    if (size_ == slots_.size()) slots_.emplace_back();
+    return slots_[size_++];
+  }
+
+  /// Capacity-recycled copy into the next slot.
+  net::Packet& append(const net::Packet& packet) {
+    net::Packet& slot = append_slot();
+    slot.timestamp = packet.timestamp;
+    slot.original_length = packet.original_length;
+    slot.data.assign(packet.data.begin(), packet.data.end());
+    return slot;
+  }
+
+  /// Materialize a reader view into the next slot (one copy).
+  net::Packet& append(const net::PacketView& view) {
+    net::Packet& slot = append_slot();
+    view.assign_to(slot);
+    return slot;
+  }
+
+  /// Adopt an already-owned packet's buffer (no byte copy).
+  net::Packet& append(net::Packet&& packet) {
+    net::Packet& slot = append_slot();
+    slot.timestamp = packet.timestamp;
+    slot.original_length = packet.original_length;
+    slot.data.swap(packet.data);
+    return slot;
+  }
+
+  /// Mutable access to the owned slots (nullptr while borrowed). Lets
+  /// a consumer adopt slot buffers via append(Packet&&) swaps, so
+  /// capacity recycles in both directions; the batch must be cleared
+  /// or refilled afterwards.
+  [[nodiscard]] net::Packet* mutable_slots() noexcept {
+    return borrowed_ != nullptr ? nullptr : slots_.data();
+  }
+
+  /// Switch to borrowed mode over `count` packets starting at
+  /// `packets`. Any owned contents are dropped (capacity retained).
+  void borrow(const net::Packet* packets, std::size_t count) noexcept {
+    size_ = 0;
+    borrowed_ = packets;
+    borrowed_size_ = count;
+  }
+
+ private:
+  std::vector<net::Packet> slots_;  // owned storage; active prefix is size_
+  std::size_t size_ = 0;
+  const net::Packet* borrowed_ = nullptr;
+  std::size_t borrowed_size_ = 0;
+};
+
+/// Pull-based packet stream, yielding packets in capture order until
+/// the source is exhausted (or fails — see error()).
 class PacketSource {
  public:
   virtual ~PacketSource() = default;
 
-  /// The next packet, or nullopt at end-of-stream.
+  /// The next packet, or nullopt at end-of-stream. Convenience for
+  /// simple consumers; batching consumers use read_batch().
   virtual std::optional<net::Packet> next() = 0;
 
   /// Set when the stream terminated abnormally (e.g. a corrupt capture
@@ -39,10 +143,12 @@ class PacketSource {
     return no_error_;
   }
 
-  /// Pull up to `max` packets into `out` (appended). Returns the number
-  /// pulled; 0 means end-of-stream. Lets batching consumers avoid a
-  /// virtual call per packet.
-  virtual std::size_t read_batch(std::size_t max, std::vector<net::Packet>& out);
+  /// Primary pull interface: refill `out` (cleared first) with up to
+  /// `max` packets. Returns the number delivered; 0 means
+  /// end-of-stream. One virtual call per batch; sources override this
+  /// with zero-copy or slot-recycling fast paths, and the default
+  /// adapts next() for external implementations.
+  virtual std::size_t read_batch(PacketBatch& out, std::size_t max);
 
  private:
   std::optional<Error> no_error_;
@@ -59,7 +165,12 @@ class VectorSource final : public PacketSource {
   explicit VectorSource(std::vector<net::Packet> packets)
       : owned_(std::move(packets)), packets_(&owned_) {}
 
+  /// Moves owned packets out; copies borrowed ones (the caller keeps
+  /// the vector).
   std::optional<net::Packet> next() override;
+
+  /// Zero-copy: hands out a borrowed span over the vector.
+  std::size_t read_batch(PacketBatch& out, std::size_t max) override;
 
  private:
   std::vector<net::Packet> owned_;
@@ -76,13 +187,18 @@ class CaptureFileSource final : public PacketSource {
   CaptureFileSource& operator=(CaptureFileSource&&) noexcept;
 
   std::optional<net::Packet> next() override;
+  /// Drains reader views into recycled slots: zero per-packet
+  /// allocation in the steady state, metrics amortized per batch.
+  std::size_t read_batch(PacketBatch& out, std::size_t max) override;
   [[nodiscard]] const std::optional<Error>& error() const override {
     return error_;
   }
+  /// True when the underlying reader runs on the mmap fast path.
+  [[nodiscard]] bool memory_mapped() const;
 
  private:
   friend Result<std::unique_ptr<PacketSource>> open_capture(
-      const std::filesystem::path& path, obs::Registry* metrics);
+      const std::filesystem::path& path, const struct CaptureOptions& options);
   struct Impl;
   explicit CaptureFileSource(std::unique_ptr<Impl> impl);
 
@@ -90,11 +206,23 @@ class CaptureFileSource final : public PacketSource {
   std::optional<Error> error_;
 };
 
+/// Knobs for open_capture().
+struct CaptureOptions {
+  /// When set, the source reports "source.packets", "source.bytes",
+  /// "source.format.{pcap,pcapng}" and "source.errors" as it streams,
+  /// plus "source.mmap" when the fast path engaged.
+  obs::Registry* metrics = nullptr;
+  /// Allow the memory-mapped fast path (default). Off forces the
+  /// buffered istream path — the differential tests' oracle and the
+  /// bench baseline. Both paths yield byte-identical packets.
+  bool allow_mmap = true;
+};
+
 /// Open a capture file as a streaming source. Errors are typed:
 /// kNotFound (unopenable path), kUnsupportedFormat (unknown magic),
-/// kMalformedCapture (recognized format, corrupt header). With a
-/// registry, the source reports "source.packets", "source.bytes",
-/// "source.format.{pcap,pcapng}" and "source.errors" as it streams.
+/// kMalformedCapture (recognized format, corrupt header).
+Result<std::unique_ptr<PacketSource>> open_capture(
+    const std::filesystem::path& path, const CaptureOptions& options);
 Result<std::unique_ptr<PacketSource>> open_capture(
     const std::filesystem::path& path, obs::Registry* metrics = nullptr);
 
@@ -118,6 +246,10 @@ class ChunkedReplaySource final : public PacketSource {
   ChunkedReplaySource(std::vector<net::Packet> base, Config config);
 
   std::optional<net::Packet> next() override;
+
+  /// Lap 0 is handed out as a borrowed span (zero-copy); later laps
+  /// shift/rewrite into recycled slots, leaving the base pristine.
+  std::size_t read_batch(PacketBatch& out, std::size_t max) override;
 
   [[nodiscard]] std::size_t laps_completed() const { return lap_; }
 

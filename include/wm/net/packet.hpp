@@ -28,6 +28,40 @@ struct Packet {
       : timestamp(t), data(std::move(bytes)), original_length(data.size()) {}
 };
 
+/// A non-owning captured frame: what the zero-copy readers yield. The
+/// bytes borrow from the producer's backing store (an mmap'd capture
+/// file, a reader's staging buffer, a Packet someone else owns), so a
+/// PacketView is valid only until the producer's next read — consumers
+/// either finish with it immediately or assign_to() an owned Packet.
+struct PacketView {
+  util::SimTime timestamp;
+  util::BytesView data;
+  std::size_t original_length = 0;
+
+  PacketView() = default;
+  PacketView(util::SimTime t, util::BytesView bytes, std::size_t original)
+      : timestamp(t), data(bytes), original_length(original) {}
+  explicit PacketView(const Packet& packet)
+      : timestamp(packet.timestamp),
+        data(packet.data),
+        original_length(packet.original_length) {}
+
+  /// Copy into `out`, reusing out.data's existing capacity (the slot-
+  /// recycling idiom: steady-state ingestion never mallocs per packet).
+  void assign_to(Packet& out) const {
+    out.timestamp = timestamp;
+    out.data.assign(data.begin(), data.end());
+    out.original_length = original_length;
+  }
+
+  /// Materialize an owning copy.
+  [[nodiscard]] Packet to_packet() const {
+    Packet packet;
+    assign_to(packet);
+    return packet;
+  }
+};
+
 /// Fully parsed view of one packet. Views borrow from the Packet's
 /// buffer, so a DecodedPacket must not outlive the Packet it came from.
 struct DecodedPacket {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "wm/net/packet.hpp"
+#include "wm/util/mmap_file.hpp"
 
 namespace wm::net {
 
@@ -73,13 +74,17 @@ class PcapWriter {
   std::size_t packets_written_ = 0;
 };
 
-/// Streaming pcap reader.
+/// Streaming pcap reader with a zero-copy fast path: opening by path
+/// memory-maps the file and parses records straight out of the
+/// mapping; opening from an istream (or when mmap is unavailable)
+/// falls back to buffered streaming. Both paths yield byte-identical
+/// packet sequences.
 class PcapReader {
  public:
-  /// Open `path` and parse the file header. Throws std::runtime_error
-  /// on malformed files.
+  /// Open `path` (mmap fast path when possible) and parse the file
+  /// header. Throws std::runtime_error on malformed files.
   explicit PcapReader(const std::filesystem::path& path);
-  /// Read from an arbitrary stream.
+  /// Read from an arbitrary stream (always the streaming path).
   explicit PcapReader(std::istream& in);
   ~PcapReader();
 
@@ -88,19 +93,41 @@ class PcapReader {
 
   [[nodiscard]] const PcapFileHeader& header() const { return header_; }
 
+  /// True when records are parsed from a memory-mapped file.
+  [[nodiscard]] bool memory_mapped() const noexcept { return map_.valid(); }
+
   /// Read the next packet; nullopt at clean end-of-file. Throws on a
   /// truncated or corrupt record.
   std::optional<Packet> next();
+
+  /// Zero-copy read: the view borrows from the mapping (valid for the
+  /// reader's lifetime) or, on the streaming path, from an internal
+  /// staging buffer (valid until the next call). Same end/throw
+  /// behaviour as next().
+  std::optional<PacketView> next_view();
 
   /// Drain the remainder of the file.
   std::vector<Packet> read_all();
 
  private:
+  struct RecordHeader {
+    util::SimTime timestamp;
+    std::uint32_t captured = 0;
+    std::uint32_t original = 0;
+  };
+
+  void parse_file_header(const std::uint8_t* bytes);
   void read_file_header();
+  RecordHeader parse_record_header(const std::uint8_t* bytes) const;
+  /// Streaming path: one buffered 16-byte read. False at clean EOF.
+  bool read_record_header(RecordHeader& out);
   std::uint32_t convert(std::uint32_t value) const;
 
+  util::MappedFile map_;
+  std::size_t map_pos_ = 0;
   std::unique_ptr<std::istream> owned_;
-  std::istream* in_;
+  std::istream* in_ = nullptr;
+  util::Bytes scratch_;  // streaming next_view() staging
   PcapFileHeader header_;
 };
 

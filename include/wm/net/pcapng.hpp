@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "wm/net/packet.hpp"
+#include "wm/util/mmap_file.hpp"
 
 namespace wm::net {
 
@@ -51,7 +52,10 @@ class PcapngWriter {
 };
 
 /// Streaming pcapng reader. Handles multiple sections and interfaces;
-/// packets from non-Ethernet interfaces are skipped.
+/// packets from non-Ethernet interfaces are skipped. Opening by path
+/// memory-maps the file and parses blocks in place (zero-copy); the
+/// istream constructor streams block-by-block through one recycled
+/// staging buffer. Both paths yield byte-identical packet sequences.
 class PcapngReader {
  public:
   explicit PcapngReader(const std::filesystem::path& path);
@@ -61,8 +65,17 @@ class PcapngReader {
   PcapngReader(const PcapngReader&) = delete;
   PcapngReader& operator=(const PcapngReader&) = delete;
 
+  /// True when blocks are parsed from a memory-mapped file.
+  [[nodiscard]] bool memory_mapped() const noexcept { return map_.valid(); }
+
   /// Next packet, or nullopt at end of file. Throws on corrupt blocks.
   std::optional<Packet> next();
+
+  /// Zero-copy read: the view borrows from the mapping (valid for the
+  /// reader's lifetime) or, when streaming, from the staging buffer
+  /// (valid until the next call). Same end/throw behaviour as next().
+  std::optional<PacketView> next_view();
+
   std::vector<Packet> read_all();
 
   [[nodiscard]] std::size_t blocks_skipped() const { return blocks_skipped_; }
@@ -74,13 +87,20 @@ class PcapngReader {
     std::uint64_t ticks_per_second = 1'000'000;
   };
 
-  bool read_block_header(std::uint32_t& type, std::uint32_t& length);
-  void start_section(const std::vector<std::uint8_t>& body);
-  void add_interface(const std::vector<std::uint8_t>& body);
-  std::optional<Packet> parse_enhanced(const std::vector<std::uint8_t>& body);
+  /// Streaming path: pull the next block's body into the staging
+  /// buffer. False at clean EOF.
+  bool read_block_streamed(std::uint32_t& type, util::BytesView& body);
+  /// Mapped path: parse the next block header in place. False at EOF.
+  bool read_block_mapped(std::uint32_t& type, util::BytesView& body);
+  void start_section(util::BytesView body);
+  void add_interface(util::BytesView body);
+  std::optional<PacketView> parse_enhanced(util::BytesView body);
 
+  util::MappedFile map_;
+  std::size_t map_pos_ = 0;
   std::unique_ptr<std::istream> owned_;
-  std::istream* in_;
+  std::istream* in_ = nullptr;
+  util::Bytes body_scratch_;  // streaming staging, recycled per block
   bool byte_swapped_ = false;
   std::vector<Interface> interfaces_;
   std::size_t blocks_skipped_ = 0;

@@ -1,0 +1,177 @@
+// Allocation-recycling pools for the ingestion hot path.
+//
+// ObjectPool<T> retains drained objects (byte slabs, observation
+// vectors, packet batches) and hands them back on the next acquire, so
+// a steady-state pipeline performs zero heap allocation per packet:
+// the first lap of a workload pays the mallocs, every later lap reuses
+// the same capacity. Leases are RAII — dropping one returns the object
+// (its capacity intact) to the pool. The pool is mutex-protected:
+// acquisition happens per batch / per record, orders of magnitude
+// rarer than per packet, so a lock here never sits on the hot path.
+//
+// Observability: attach obs counters to see hits (recycled), misses
+// (fresh construction) and high_water (peak simultaneously-leased
+// objects — the counter monotonically tracks the running maximum).
+//
+// BufferPool is the byte-slab specialisation: fixed-size util::Bytes
+// slabs for paths that must own bytes (capture-record staging, replay
+// rewrites); acquired slabs arrive cleared with slab_size capacity.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "wm/obs/metrics.hpp"
+#include "wm/util/bytes.hpp"
+
+namespace wm::util {
+
+/// Null-safe counter handles a pool reports through. All three are
+/// optional; semantics: hits + misses == acquires, and high_water's
+/// value equals the peak number of simultaneously leased objects.
+struct PoolMetrics {
+  obs::Counter* hits = nullptr;
+  obs::Counter* misses = nullptr;
+  obs::Counter* high_water = nullptr;
+};
+
+template <typename T>
+class ObjectPool {
+ public:
+  /// Retain at most `max_retained` idle objects; beyond that, released
+  /// objects are destroyed (bounds pool memory after a burst).
+  explicit ObjectPool(std::size_t max_retained = 64)
+      : max_retained_(max_retained) {}
+
+  ObjectPool(const ObjectPool&) = delete;
+  ObjectPool& operator=(const ObjectPool&) = delete;
+
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(ObjectPool* pool, T object)
+        : pool_(pool), object_(std::move(object)), live_(true) {}
+    ~Lease() { release(); }
+
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), object_(std::move(other.object_)),
+          live_(other.live_) {
+      other.live_ = false;
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = other.pool_;
+        object_ = std::move(other.object_);
+        live_ = other.live_;
+        other.live_ = false;
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    [[nodiscard]] T& operator*() noexcept { return object_; }
+    [[nodiscard]] T* operator->() noexcept { return &object_; }
+    [[nodiscard]] T& get() noexcept { return object_; }
+    explicit operator bool() const noexcept { return live_; }
+
+    /// Hand the object back early (no-op on an empty lease).
+    void release() {
+      if (live_ && pool_ != nullptr) pool_->release(std::move(object_));
+      live_ = false;
+      pool_ = nullptr;
+    }
+
+   private:
+    ObjectPool* pool_ = nullptr;
+    T object_{};
+    bool live_ = false;
+  };
+
+  /// A recycled object when one is retained, otherwise a fresh T.
+  /// The pool must outlive every lease it issued.
+  [[nodiscard]] Lease acquire() {
+    T object{};
+    bool recycled = false;
+    std::size_t outstanding = 0;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!idle_.empty()) {
+        object = std::move(idle_.back());
+        idle_.pop_back();
+        recycled = true;
+      }
+      outstanding = ++outstanding_;
+      if (outstanding > high_water_) {
+        obs::inc(metrics_.high_water, outstanding - high_water_);
+        high_water_ = outstanding;
+      }
+    }
+    obs::inc(recycled ? metrics_.hits : metrics_.misses);
+    return Lease(this, std::move(object));
+  }
+
+  void set_metrics(const PoolMetrics& metrics) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    metrics_ = metrics;
+  }
+
+  [[nodiscard]] std::size_t idle_count() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return idle_.size();
+  }
+  [[nodiscard]] std::size_t outstanding() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return outstanding_;
+  }
+  [[nodiscard]] std::size_t high_water() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return high_water_;
+  }
+
+ private:
+  friend class Lease;
+
+  void release(T object) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (outstanding_ > 0) --outstanding_;
+    if (idle_.size() < max_retained_) idle_.push_back(std::move(object));
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<T> idle_;
+  std::size_t max_retained_;
+  std::size_t outstanding_ = 0;
+  std::size_t high_water_ = 0;
+  PoolMetrics metrics_{};
+};
+
+/// Fixed-size byte-slab pool: every acquired slab comes back cleared
+/// with at least slab_size bytes of capacity already reserved.
+class BufferPool {
+ public:
+  explicit BufferPool(std::size_t slab_size = 64 * 1024,
+                      std::size_t max_retained = 64);
+
+  /// RAII slab handle; the buffer returns to the pool on destruction.
+  using Slab = ObjectPool<Bytes>::Lease;
+
+  [[nodiscard]] Slab acquire();
+
+  void set_metrics(const PoolMetrics& metrics) { pool_.set_metrics(metrics); }
+  [[nodiscard]] std::size_t slab_size() const noexcept { return slab_size_; }
+  [[nodiscard]] std::size_t idle_count() const { return pool_.idle_count(); }
+  [[nodiscard]] std::size_t outstanding() const { return pool_.outstanding(); }
+  [[nodiscard]] std::size_t high_water() const { return pool_.high_water(); }
+
+ private:
+  ObjectPool<Bytes> pool_;
+  std::size_t slab_size_;
+};
+
+}  // namespace wm::util

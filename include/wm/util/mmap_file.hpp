@@ -1,0 +1,48 @@
+// Read-only memory-mapped file access for the zero-copy capture path.
+//
+// A MappedFile exposes a whole file as one contiguous BytesView, so
+// capture parsers can hand out PacketViews that borrow directly from
+// the page cache instead of copying every record through an istream.
+// Mapping is strictly an optimisation: open() returns an invalid
+// (empty) object on any failure — unsupported platform, unmappable
+// file, pipe instead of a regular file — and callers fall back to the
+// streaming path. An empty regular file maps as a valid, empty view.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+
+#include "wm/util/bytes.hpp"
+
+namespace wm::util {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Map `path` read-only. Invalid (valid() == false) when the platform
+  /// has no mmap, the path is not a mappable regular file, or any
+  /// syscall fails — never throws.
+  static MappedFile open(const std::filesystem::path& path);
+
+  [[nodiscard]] bool valid() const noexcept { return valid_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] BytesView view() const noexcept {
+    return BytesView(static_cast<const std::uint8_t*>(data_), size_);
+  }
+
+ private:
+  void reset() noexcept;
+
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool valid_ = false;
+};
+
+}  // namespace wm::util

@@ -1,0 +1,177 @@
+// Bounded single-producer / single-consumer ring buffer.
+//
+// The engine's dispatcher→shard handoff is structurally SPSC: exactly
+// one thread feeds each shard queue and exactly one worker drains it.
+// This ring makes that handoff lock-free in the steady state — one
+// release store and one acquire load per operation, with cached
+// counterpart indices so an uncontended push/pop touches a single
+// shared cache line — and keeps a mutex/condvar pair strictly for the
+// park/unpark edge when the ring runs full (producer backpressure) or
+// empty (idle consumer).
+//
+// Wakeup protocol: a parking side publishes its parked flag with
+// sequential consistency, then rechecks the ring before sleeping; the
+// other side publishes its index update, fences, then checks the flag.
+// Either the parker sees the update and never sleeps, or the peer sees
+// the flag and notifies. A short timed wait backstops the handshake so
+// no missed edge can ever become a deadlock.
+//
+// Thread roles are a contract: try_push/push from the one producer
+// thread, try_pop/pop from the one consumer thread. close() may be
+// called from the producer (or an owner) and wakes both sides.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace wm::util {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two, minimum 2.
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Producer: push without blocking. False when the ring is full (the
+  /// value is left untouched in that case).
+  bool try_push(T& value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ == slots_.size()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ == slots_.size()) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    wake(consumer_parked_, consumer_cv_);
+    return true;
+  }
+
+  /// Producer: push, parking when full. False only when the ring was
+  /// closed before space appeared (the value is dropped then — a
+  /// closed ring accepts nothing).
+  bool push(T value) {
+    for (;;) {
+      if (closed_.load(std::memory_order_acquire)) return false;
+      if (try_push(value)) return true;
+      park(producer_parked_, producer_cv_,
+           [this] { return !full() || closed_.load(std::memory_order_relaxed); });
+    }
+  }
+
+  /// Consumer: pop without blocking. False when the ring is empty.
+  bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    wake(producer_parked_, producer_cv_);
+    return true;
+  }
+
+  /// Consumer: pop, parking when empty. False means closed AND fully
+  /// drained — the stream is over.
+  bool pop(T& out) {
+    for (;;) {
+      if (try_pop(out)) return true;
+      if (closed_.load(std::memory_order_acquire)) {
+        // close() happens after the final push; one refreshed retry
+        // cannot miss it.
+        return try_pop(out);
+      }
+      park(consumer_parked_, consumer_cv_,
+           [this] { return !empty() || closed_.load(std::memory_order_relaxed); });
+    }
+  }
+
+  /// End the stream: consumers drain what is queued then see false;
+  /// blocked producers unblock with false.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(park_mutex_);
+      closed_.store(true, std::memory_order_release);
+    }
+    producer_cv_.notify_all();
+    consumer_cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  /// Approximate occupancy (exact only from a quiesced ring).
+  [[nodiscard]] std::size_t size_approx() const noexcept {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+
+ private:
+  [[nodiscard]] bool full() const noexcept {
+    return tail_.load(std::memory_order_relaxed) -
+               head_.load(std::memory_order_relaxed) ==
+           slots_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    return tail_.load(std::memory_order_relaxed) ==
+           head_.load(std::memory_order_relaxed);
+  }
+
+  template <typename Ready>
+  void park(std::atomic<bool>& parked_flag, std::condition_variable& cv,
+            Ready ready) {
+    std::unique_lock<std::mutex> lock(park_mutex_);
+    parked_flag.store(true, std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (!ready()) {
+      // Timed backstop: a missed edge costs a blip, never a deadlock.
+      cv.wait_for(lock, std::chrono::milliseconds(10), ready);
+    }
+    parked_flag.store(false, std::memory_order_relaxed);
+  }
+
+  void wake(std::atomic<bool>& parked_flag, std::condition_variable& cv) {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (parked_flag.load(std::memory_order_seq_cst)) {
+      // Empty critical section orders the notify against the parker's
+      // flag-set/recheck window.
+      { const std::lock_guard<std::mutex> lock(park_mutex_); }
+      cv.notify_all();
+    }
+  }
+
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // consumer cursor
+  std::uint64_t tail_cache_ = 0;                    // consumer-owned
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // producer cursor
+  std::uint64_t head_cache_ = 0;                    // producer-owned
+  alignas(64) std::atomic<bool> closed_{false};
+
+  // Park/unpark edge only; never touched on the lock-free fast path.
+  std::mutex park_mutex_;
+  std::condition_variable producer_cv_;
+  std::condition_variable consumer_cv_;
+  std::atomic<bool> producer_parked_{false};
+  std::atomic<bool> consumer_parked_{false};
+};
+
+}  // namespace wm::util

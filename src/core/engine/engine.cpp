@@ -1,8 +1,6 @@
 #include "wm/core/engine/engine.hpp"
 
 #include <algorithm>
-#include <condition_variable>
-#include <deque>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -10,6 +8,8 @@
 #include "wm/core/features.hpp"
 #include "wm/net/flow.hpp"
 #include "wm/tls/record_stream.hpp"
+#include "wm/util/buffer_pool.hpp"
+#include "wm/util/spsc_ring.hpp"
 
 namespace wm::engine {
 
@@ -65,10 +65,21 @@ class ShardedFlowEngine::Collector {
     }
   }
 
+  /// Attach pool counters (hit/miss/high-water for the live-update
+  /// snapshot pool). Volatile: recycling depends on worker timing.
+  void set_pool_metrics(const util::PoolMetrics& metrics) {
+    snapshot_pool_.set_metrics(metrics);
+  }
+
   void on_record(const std::string& client,
                  const core::ClientRecordObservation& observation,
                  core::RecordClass cls) {
-    std::vector<core::ClientRecordObservation> snapshot;
+    // Live updates copy this viewer's observation log into a pooled
+    // vector: after the first few records the pool hands back retained
+    // capacity, so the per-record path stops allocating.
+    SnapshotPool::Lease snapshot;
+    if (sink_) snapshot = snapshot_pool_.acquire();
+    bool live_update = false;
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       auto& observations = clients_[client];
@@ -86,19 +97,22 @@ class ShardedFlowEngine::Collector {
         case core::RecordClass::kOther: obs::inc(other_counter_); break;
       }
       obs::inc(client_records_counter_);
-      if (sink_ && cls != core::RecordClass::kOther) snapshot = observations;
+      if (sink_ && cls != core::RecordClass::kOther) {
+        snapshot->assign(observations.begin(), observations.end());
+        live_update = true;
+      }
     }
-    if (snapshot.empty()) return;
+    if (!live_update) return;
     obs::inc(sink_updates_counter_);
     // Decode outside the lock; the snapshot is this viewer's few
     // hundred observations at most.
-    std::sort(snapshot.begin(), snapshot.end(), observation_before);
+    std::sort(snapshot->begin(), snapshot->end(), observation_before);
     ViewerUpdate update;
     update.client = client;
     update.record_class = cls;
     update.record_length = observation.record_length;
     update.at = observation.timestamp;
-    update.session = core::decode_choices(classifier_, snapshot, gap_);
+    update.session = core::decode_choices(classifier_, *snapshot, gap_);
     sink_(update);
   }
 
@@ -122,9 +136,12 @@ class ShardedFlowEngine::Collector {
   }
 
  private:
+  using SnapshotPool = util::ObjectPool<std::vector<core::ClientRecordObservation>>;
+
   const core::RecordClassifier& classifier_;
   const util::Duration gap_;
   const SessionSink sink_;
+  SnapshotPool snapshot_pool_;
   std::mutex mutex_;
   std::map<std::string, std::vector<core::ClientRecordObservation>> clients_;
   std::uint64_t client_records_ = 0;
@@ -142,15 +159,33 @@ class ShardedFlowEngine::Collector {
 // --- Shard -----------------------------------------------------------
 
 struct ShardedFlowEngine::Shard {
-  explicit Shard(const tls::RecordStreamExtractor::Config& extractor_config)
-      : extractor(extractor_config) {}
+  Shard(const tls::RecordStreamExtractor::Config& extractor_config,
+        std::size_t queue_capacity)
+      : inbound(queue_capacity),
+        freelist(inbound.capacity() + 2),
+        extractor(extractor_config) {
+    // The arena backs both rings. Sizing: with inbound full (capacity
+    // C), the worker holding one batch and the dispatcher holding one
+    // pending batch, C + 2 batches are live — so after any successful
+    // inbound push at least one batch sits in the freelist, and the
+    // dispatcher's refill pop never blocks. Addresses are stable: the
+    // arena never grows after construction.
+    const std::size_t arena_size = inbound.capacity() + 2;
+    arena.reserve(arena_size);
+    for (std::size_t i = 0; i < arena_size; ++i) {
+      arena.push_back(std::make_unique<PacketBatch>());
+      PacketBatch* batch = arena.back().get();
+      freelist.try_push(batch);  // pre-start, single-threaded: always fits
+    }
+  }
 
-  // Queue half: shared between the feeding thread and the worker.
-  std::mutex mutex;
-  std::condition_variable can_push;
-  std::condition_variable can_pop;
-  std::deque<std::vector<net::Packet>> queue;
-  bool closed = false;
+  // Queue half: a lock-free SPSC ring pair between the feeding thread
+  // (producer of inbound, consumer of freelist) and the worker. Full
+  // batches travel down inbound; drained batches come back through
+  // freelist with their slot capacity intact.
+  util::SpscRing<PacketBatch*> inbound;
+  util::SpscRing<PacketBatch*> freelist;
+  std::vector<std::unique_ptr<PacketBatch>> arena;
   std::thread thread;
 
   // Analysis half: owned by the worker thread (or the feeding thread
@@ -198,30 +233,41 @@ ShardedFlowEngine::ShardedFlowEngine(const core::RecordClassifier& classifier,
       extractor_config.metrics_stability = obs::Stability::kSharded;
       extractor_config.metrics_rollup = "engine";
     }
-    shards_.push_back(std::make_unique<Shard>(extractor_config));
+    shards_.push_back(
+        std::make_unique<Shard>(extractor_config, config_.queue_capacity));
     if (config_.metrics != nullptr) {
       shards_.back()->work_span = config_.metrics->timing(
           "engine.shard[" + std::to_string(i) + "].work");
     }
   }
-  pending_.resize(shard_count);
+
+  if (config_.metrics != nullptr) {
+    util::PoolMetrics pool_metrics;
+    pool_metrics.hits = config_.metrics->counter(
+        "engine.collector.snapshot_pool.hits", obs::Stability::kVolatile);
+    pool_metrics.misses = config_.metrics->counter(
+        "engine.collector.snapshot_pool.misses", obs::Stability::kVolatile);
+    pool_metrics.high_water = config_.metrics->counter(
+        "engine.collector.snapshot_pool.high_water", obs::Stability::kVolatile);
+    collector_->set_pool_metrics(pool_metrics);
+  }
 
   if (config_.shards > 0) {
+    pending_.resize(shards_.size(), nullptr);
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      shards_[i]->freelist.try_pop(pending_[i]);  // arena is pre-filled
+    }
     for (auto& shard : shards_) {
       Shard* s = shard.get();
       s->thread = std::thread([this, s] {
-        for (;;) {
-          std::vector<net::Packet> batch;
+        PacketBatch* batch = nullptr;
+        while (s->inbound.pop(batch)) {
           {
-            std::unique_lock<std::mutex> lock(s->mutex);
-            s->can_pop.wait(lock, [s] { return s->closed || !s->queue.empty(); });
-            if (s->queue.empty()) return;  // closed and drained
-            batch = std::move(s->queue.front());
-            s->queue.pop_front();
+            const obs::StageTimer timer(s->work_span);
+            for (const net::Packet& packet : *batch) process(*s, packet);
           }
-          s->can_push.notify_one();
-          const obs::StageTimer timer(s->work_span);
-          for (const net::Packet& packet : batch) process(*s, packet);
+          batch->clear();  // slots keep their capacity for the refill
+          s->freelist.push(batch);
         }
       });
     }
@@ -229,17 +275,14 @@ ShardedFlowEngine::ShardedFlowEngine(const core::RecordClassifier& classifier,
 }
 
 ShardedFlowEngine::~ShardedFlowEngine() {
-  if (!finished_ && config_.shards > 0) {
-    for (auto& shard : shards_) {
-      {
-        const std::lock_guard<std::mutex> lock(shard->mutex);
-        shard->closed = true;
-      }
-      shard->can_pop.notify_all();
-    }
-    for (auto& shard : shards_) {
-      if (shard->thread.joinable()) shard->thread.join();
-    }
+  if (!finished_) shutdown_workers();
+}
+
+void ShardedFlowEngine::shutdown_workers() {
+  if (config_.shards == 0) return;
+  for (auto& shard : shards_) shard->inbound.close();
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
   }
 }
 
@@ -269,22 +312,25 @@ std::size_t ShardedFlowEngine::shard_for(const net::Packet& packet) const {
   return hash ? static_cast<std::size_t>(*hash % shards_.size()) : 0;
 }
 
-void ShardedFlowEngine::enqueue(std::size_t shard_index,
-                                std::vector<net::Packet> batch) {
+void ShardedFlowEngine::dispatch(std::size_t shard_index) {
+  PacketBatch* batch = pending_[shard_index];
+  if (batch == nullptr || batch->empty()) return;
   Shard& shard = *shards_[shard_index];
-  {
-    std::unique_lock<std::mutex> lock(shard.mutex);
-    if (shard.queue.size() >= config_.queue_capacity) {
-      ++backpressure_waits_;
-      obs::inc(backpressure_counter_);
-      shard.can_push.wait(
-          lock, [&] { return shard.queue.size() < config_.queue_capacity; });
-    }
-    shard.queue.push_back(std::move(batch));
+  if (!shard.inbound.try_push(batch)) {
+    // Ring full: the worker is behind. Park until it drains a slot —
+    // backpressure, never packet loss.
+    ++backpressure_waits_;
+    obs::inc(backpressure_counter_);
+    shard.inbound.push(batch);
   }
-  shard.can_pop.notify_one();
   ++batches_dispatched_;
   obs::inc(batches_counter_);
+  // Refill from the freelist. Arena sizing guarantees a recycled batch
+  // is available once the push above has landed (see Shard's note), so
+  // this pop returns without parking in practice.
+  PacketBatch* fresh = nullptr;
+  shard.freelist.pop(fresh);
+  pending_[shard_index] = fresh;
 }
 
 void ShardedFlowEngine::feed(net::Packet packet) {
@@ -295,53 +341,75 @@ void ShardedFlowEngine::feed(net::Packet packet) {
     return;
   }
   const std::size_t index = shard_for(packet);
-  std::vector<net::Packet>& batch = pending_[index];
-  batch.push_back(std::move(packet));
-  if (batch.size() >= config_.dispatch_batch) {
-    std::vector<net::Packet> full;
-    full.reserve(config_.dispatch_batch);
-    std::swap(full, batch);
-    enqueue(index, std::move(full));
+  pending_[index]->append(std::move(packet));
+  if (pending_[index]->size() >= config_.dispatch_batch) dispatch(index);
+}
+
+void ShardedFlowEngine::ingest(const PacketBatch& batch) {
+  packets_in_.fetch_add(batch.size(), std::memory_order_relaxed);
+  obs::inc(packets_in_counter_, batch.size());
+  if (config_.shards == 0) {
+    // Inline mode analyzes straight out of the source's batch — the
+    // fully zero-copy path (mmap page cache → TLS extractor).
+    for (const net::Packet& packet : batch) process(*shards_[0], packet);
+    return;
+  }
+  // Sharded mode pays exactly one capacity-recycled copy per packet:
+  // the batch's bytes are assigned into the shard's own slots, because
+  // a borrowed batch only lives until the source's next read while the
+  // worker drains asynchronously.
+  for (const net::Packet& packet : batch) {
+    const std::size_t index = shard_for(packet);
+    pending_[index]->append(packet);
+    if (pending_[index]->size() >= config_.dispatch_batch) dispatch(index);
   }
 }
 
-void ShardedFlowEngine::flush_pending() {
-  for (std::size_t i = 0; i < pending_.size(); ++i) {
-    if (!pending_[i].empty()) {
-      enqueue(i, std::move(pending_[i]));
-      pending_[i] = {};
-    }
+void ShardedFlowEngine::ingest(PacketBatch&& batch) {
+  net::Packet* slots = batch.mutable_slots();
+  if (config_.shards == 0 || slots == nullptr) {
+    // Inline mode analyzes in place anyway, and a borrowed batch does
+    // not own its buffers — both take the copying overload.
+    ingest(batch);
+    return;
   }
+  const std::size_t count = batch.size();
+  packets_in_.fetch_add(count, std::memory_order_relaxed);
+  obs::inc(packets_in_counter_, count);
+  // Owned batch, sharded mode: demux by swapping each slot's buffer
+  // into the shard's pending batch — no byte copy. The emptied source
+  // slot inherits the shard slot's previous capacity, so buffers
+  // recycle in both directions and the steady state stays
+  // allocation-free.
+  for (std::size_t i = 0; i < count; ++i) {
+    net::Packet& packet = slots[i];
+    const std::size_t index = shard_for(packet);
+    pending_[index]->append(std::move(packet));
+    if (pending_[index]->size() >= config_.dispatch_batch) dispatch(index);
+  }
+  batch.clear();
+}
+
+void ShardedFlowEngine::flush_pending() {
+  for (std::size_t i = 0; i < pending_.size(); ++i) dispatch(i);
 }
 
 std::size_t ShardedFlowEngine::consume(PacketSource& source) {
   const obs::StageTimer timer(config_.metrics, "engine.consume");
   std::size_t total = 0;
-  std::vector<net::Packet> buffer;
-  buffer.reserve(config_.dispatch_batch);
-  for (;;) {
-    buffer.clear();
-    if (source.read_batch(config_.dispatch_batch, buffer) == 0) break;
-    total += buffer.size();
-    for (net::Packet& packet : buffer) feed(std::move(packet));
+  PacketBatch batch;
+  while (source.read_batch(batch, config_.dispatch_batch) != 0) {
+    total += batch.size();
+    ingest(std::move(batch));  // read_batch() clears before refilling
   }
   return total;
 }
 
 EngineResult ShardedFlowEngine::finish() {
   const obs::StageTimer timer(config_.metrics, "engine.finish");
-  if (config_.shards > 0 && !finished_) {
+  if (!finished_ && config_.shards > 0) {
     flush_pending();
-    for (auto& shard : shards_) {
-      {
-        const std::lock_guard<std::mutex> lock(shard->mutex);
-        shard->closed = true;
-      }
-      shard->can_pop.notify_all();
-    }
-    for (auto& shard : shards_) {
-      if (shard->thread.joinable()) shard->thread.join();
-    }
+    shutdown_workers();
   }
   finished_ = true;
 

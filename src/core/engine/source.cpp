@@ -9,34 +9,52 @@
 
 namespace wm::engine {
 
-std::size_t PacketSource::read_batch(std::size_t max, std::vector<net::Packet>& out) {
-  std::size_t pulled = 0;
-  while (pulled < max) {
+std::size_t PacketSource::read_batch(PacketBatch& out, std::size_t max) {
+  out.clear();
+  while (out.size() < max) {
     auto packet = next();
     if (!packet) break;
-    out.push_back(std::move(*packet));
-    ++pulled;
+    out.append(std::move(*packet));
   }
-  return pulled;
+  return out.size();
 }
 
 // --- VectorSource ----------------------------------------------------
 
 std::optional<net::Packet> VectorSource::next() {
   if (index_ >= packets_->size()) return std::nullopt;
+  if (packets_ == &owned_) return std::move(owned_[index_++]);
   return (*packets_)[index_++];
+}
+
+std::size_t VectorSource::read_batch(PacketBatch& out, std::size_t max) {
+  out.clear();
+  if (index_ >= packets_->size()) return 0;
+  const std::size_t count = std::min(max, packets_->size() - index_);
+  out.borrow(packets_->data() + index_, count);
+  index_ += count;
+  return count;
 }
 
 // --- CaptureFileSource ----------------------------------------------
 
 struct CaptureFileSource::Impl {
-  // Exactly one is set, chosen by the file magic at open time.
+  // Exactly one reader is set, chosen by the file magic at open time.
   std::unique_ptr<net::PcapReader> pcap;
   std::unique_ptr<net::PcapngReader> pcapng;
+  // Backing stream when the istream path was forced (allow_mmap off).
+  std::unique_ptr<std::ifstream> stream;
   // Observability handles (null without a registry).
   obs::Counter* packets = nullptr;
   obs::Counter* bytes = nullptr;
   obs::Counter* errors = nullptr;
+
+  std::optional<net::PacketView> next_view() {
+    return pcap ? pcap->next_view() : pcapng->next_view();
+  }
+  [[nodiscard]] bool memory_mapped() const {
+    return pcap ? pcap->memory_mapped() : pcapng->memory_mapped();
+  }
 };
 
 CaptureFileSource::CaptureFileSource(std::unique_ptr<Impl> impl)
@@ -45,6 +63,8 @@ CaptureFileSource::~CaptureFileSource() = default;
 CaptureFileSource::CaptureFileSource(CaptureFileSource&&) noexcept = default;
 CaptureFileSource& CaptureFileSource::operator=(CaptureFileSource&&) noexcept =
     default;
+
+bool CaptureFileSource::memory_mapped() const { return impl_->memory_mapped(); }
 
 std::optional<net::Packet> CaptureFileSource::next() {
   if (error_) return std::nullopt;
@@ -64,8 +84,39 @@ std::optional<net::Packet> CaptureFileSource::next() {
   }
 }
 
+std::size_t CaptureFileSource::read_batch(PacketBatch& out, std::size_t max) {
+  out.clear();
+  if (error_) return 0;
+  std::uint64_t bytes = 0;
+  try {
+    while (out.size() < max) {
+      const auto view = impl_->next_view();
+      if (!view) break;
+      bytes += view->data.size();
+      out.append(*view);
+    }
+  } catch (const std::exception& e) {
+    error_ = Error{ErrorCode::kMalformedCapture, e.what()};
+    obs::inc(impl_->errors);
+  }
+  // Metrics land once per batch, not once per packet; totals match the
+  // next() path exactly.
+  if (!out.empty()) {
+    obs::inc(impl_->packets, out.size());
+    obs::inc(impl_->bytes, bytes);
+  }
+  return out.size();
+}
+
 Result<std::unique_ptr<PacketSource>> open_capture(
     const std::filesystem::path& path, obs::Registry* metrics) {
+  CaptureOptions options;
+  options.metrics = metrics;
+  return open_capture(path, options);
+}
+
+Result<std::unique_ptr<PacketSource>> open_capture(
+    const std::filesystem::path& path, const CaptureOptions& options) {
   std::ifstream probe(path, std::ios::binary);
   if (!probe) {
     return Error{ErrorCode::kNotFound, "cannot open " + path.string()};
@@ -101,20 +152,42 @@ Result<std::unique_ptr<PacketSource>> open_capture(
 
   auto impl = std::make_unique<CaptureFileSource::Impl>();
   try {
-    if (is_pcapng) {
-      impl->pcapng = std::make_unique<net::PcapngReader>(path);
+    if (options.allow_mmap) {
+      // Path constructors take the mmap fast path when the platform
+      // allows and fall back to buffered streaming themselves.
+      if (is_pcapng) {
+        impl->pcapng = std::make_unique<net::PcapngReader>(path);
+      } else {
+        impl->pcap = std::make_unique<net::PcapReader>(path);
+      }
     } else {
-      impl->pcap = std::make_unique<net::PcapReader>(path);
+      // Forced streaming path: the readers' istream constructors never
+      // map, so this is the oracle the mmap path is differenced against.
+      impl->stream = std::make_unique<std::ifstream>(path, std::ios::binary);
+      if (!*impl->stream) {
+        return Error{ErrorCode::kNotFound, "cannot open " + path.string()};
+      }
+      if (is_pcapng) {
+        impl->pcapng = std::make_unique<net::PcapngReader>(*impl->stream);
+      } else {
+        impl->pcap = std::make_unique<net::PcapReader>(*impl->stream);
+      }
     }
   } catch (const std::exception& e) {
     return Error{ErrorCode::kMalformedCapture, e.what()};
   }
-  if (metrics != nullptr) {
-    impl->packets = metrics->counter("source.packets");
-    impl->bytes = metrics->counter("source.bytes");
-    impl->errors = metrics->counter("source.errors");
-    metrics->counter(is_pcapng ? "source.format.pcapng" : "source.format.pcap")
+  if (options.metrics != nullptr) {
+    impl->packets = options.metrics->counter("source.packets");
+    impl->bytes = options.metrics->counter("source.bytes");
+    impl->errors = options.metrics->counter("source.errors");
+    options.metrics
+        ->counter(is_pcapng ? "source.format.pcapng" : "source.format.pcap")
         ->add(1);
+    // Whether mmap engaged depends on the platform and open mode, not
+    // on the packet stream — keep it out of the stable section.
+    if (impl->memory_mapped()) {
+      options.metrics->counter("source.mmap", obs::Stability::kSharded)->add(1);
+    }
   }
   return std::unique_ptr<PacketSource>(
       new CaptureFileSource(std::move(impl)));
@@ -212,6 +285,35 @@ std::optional<net::Packet> ChunkedReplaySource::next() {
     }
   }
   return packet;
+}
+
+std::size_t ChunkedReplaySource::read_batch(PacketBatch& out, std::size_t max) {
+  out.clear();
+  if (base_.empty()) return 0;
+  if (index_ >= base_.size()) {
+    ++lap_;
+    index_ = 0;
+  }
+  if (lap_ >= config_.laps) return 0;
+
+  // Batches never straddle a lap boundary; the next call rolls over.
+  const std::size_t count = std::min(max, base_.size() - index_);
+  if (lap_ == 0) {
+    // First lap replays the base verbatim — borrow it outright.
+    out.borrow(base_.data() + index_, count);
+    index_ += count;
+    return count;
+  }
+  const util::Duration shift = lap_span_ * static_cast<std::int64_t>(lap_);
+  for (std::size_t i = 0; i < count; ++i) {
+    net::Packet& slot = out.append(base_[index_ + i]);
+    slot.timestamp += shift;
+    if (config_.rewrite_addresses) {
+      rewrite_ipv4_lap(slot.data, static_cast<std::uint16_t>(lap_));
+    }
+  }
+  index_ += count;
+  return count;
 }
 
 }  // namespace wm::engine

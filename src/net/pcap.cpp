@@ -24,10 +24,7 @@ void write_u32(std::ostream& out, std::uint32_t v) {
   out.write(bytes, 4);
 }
 
-std::uint32_t read_u32_le(std::istream& in) {
-  unsigned char bytes[4];
-  in.read(reinterpret_cast<char*>(bytes), 4);
-  if (!in) throw std::runtime_error("pcap: unexpected end of file");
+std::uint32_t load_u32_le(const std::uint8_t* bytes) {
   return static_cast<std::uint32_t>(bytes[0]) |
          (static_cast<std::uint32_t>(bytes[1]) << 8) |
          (static_cast<std::uint32_t>(bytes[2]) << 16) |
@@ -98,8 +95,19 @@ void PcapWriter::write(const Packet& packet) {
 void PcapWriter::flush() { out_->flush(); }
 
 PcapReader::PcapReader(const std::filesystem::path& path)
-    : owned_(std::make_unique<std::ifstream>(path, std::ios::binary)),
-      in_(owned_.get()) {
+    : map_(util::MappedFile::open(path)) {
+  if (map_.valid()) {
+    // Fast path: the whole capture is addressable; records are parsed
+    // in place and next_view() borrows straight from the mapping.
+    if (map_.size() < PcapFileHeader::kSize) {
+      throw std::runtime_error("pcap: unexpected end of file");
+    }
+    parse_file_header(map_.view().data());
+    map_pos_ = PcapFileHeader::kSize;
+    return;
+  }
+  owned_ = std::make_unique<std::ifstream>(path, std::ios::binary);
+  in_ = owned_.get();
   if (!*in_) {
     throw std::runtime_error("PcapReader: cannot open " + path.string());
   }
@@ -114,9 +122,8 @@ std::uint32_t PcapReader::convert(std::uint32_t value) const {
   return header_.byte_swapped ? byteswap32(value) : value;
 }
 
-void PcapReader::read_file_header() {
-  const std::uint32_t raw_magic = read_u32_le(*in_);
-  std::uint32_t magic = raw_magic;
+void PcapReader::parse_file_header(const std::uint8_t* bytes) {
+  std::uint32_t magic = load_u32_le(bytes);
   if (magic == byteswap32(PcapFileHeader::kMagicMicros) ||
       magic == byteswap32(PcapFileHeader::kMagicNanos)) {
     header_.byte_swapped = true;
@@ -130,7 +137,7 @@ void PcapReader::read_file_header() {
     throw std::runtime_error("PcapReader: bad magic number");
   }
 
-  const std::uint32_t versions = convert(read_u32_le(*in_));
+  const std::uint32_t versions = convert(load_u32_le(bytes + 4));
   header_.version_major = static_cast<std::uint16_t>(versions & 0xffff);
   header_.version_minor = static_cast<std::uint16_t>(versions >> 16);
   if (header_.byte_swapped) {
@@ -139,39 +146,105 @@ void PcapReader::read_file_header() {
     header_.version_major = static_cast<std::uint16_t>(versions >> 16);
     header_.version_minor = static_cast<std::uint16_t>(versions & 0xffff);
   }
-  (void)read_u32_le(*in_);  // thiszone
-  (void)read_u32_le(*in_);  // sigfigs
-  header_.snaplen = convert(read_u32_le(*in_));
-  header_.link_type = static_cast<LinkType>(convert(read_u32_le(*in_)));
+  // bytes + 8: thiszone, bytes + 12: sigfigs — both ignored.
+  header_.snaplen = convert(load_u32_le(bytes + 16));
+  header_.link_type = static_cast<LinkType>(convert(load_u32_le(bytes + 20)));
   if (header_.link_type != LinkType::kEthernet) {
     throw std::runtime_error("PcapReader: unsupported link type");
   }
 }
 
-std::optional<Packet> PcapReader::next() {
-  // Probe for EOF before committing to a record.
-  if (in_->peek() == std::char_traits<char>::eof()) return std::nullopt;
-
-  const std::uint32_t seconds = convert(read_u32_le(*in_));
-  const std::uint32_t fraction = convert(read_u32_le(*in_));
-  const std::uint32_t captured = convert(read_u32_le(*in_));
-  const std::uint32_t original = convert(read_u32_le(*in_));
-
-  if (captured > header_.snaplen + 65536) {
-    throw std::runtime_error("PcapReader: implausible captured length (corrupt file?)");
+void PcapReader::read_file_header() {
+  std::uint8_t bytes[PcapFileHeader::kSize];
+  in_->read(reinterpret_cast<char*>(bytes), PcapFileHeader::kSize);
+  if (in_->gcount() != static_cast<std::streamsize>(PcapFileHeader::kSize)) {
+    throw std::runtime_error("pcap: unexpected end of file");
   }
+  parse_file_header(bytes);
+}
 
-  Packet packet;
+PcapReader::RecordHeader PcapReader::parse_record_header(
+    const std::uint8_t* bytes) const {
+  const std::uint32_t seconds = convert(load_u32_le(bytes));
+  const std::uint32_t fraction = convert(load_u32_le(bytes + 4));
+  RecordHeader record;
+  record.captured = convert(load_u32_le(bytes + 8));
+  record.original = convert(load_u32_le(bytes + 12));
+  if (record.captured > header_.snaplen + 65536) {
+    throw std::runtime_error(
+        "PcapReader: implausible captured length (corrupt file?)");
+  }
   const std::uint64_t nanos =
       static_cast<std::uint64_t>(seconds) * 1'000'000'000ull +
-      (header_.nanosecond_resolution ? fraction
-                                     : static_cast<std::uint64_t>(fraction) * 1'000ull);
-  packet.timestamp = util::SimTime::from_nanos(static_cast<std::int64_t>(nanos));
-  packet.data.resize(captured);
-  in_->read(reinterpret_cast<char*>(packet.data.data()),
-            static_cast<std::streamsize>(captured));
+      (header_.nanosecond_resolution
+           ? fraction
+           : static_cast<std::uint64_t>(fraction) * 1'000ull);
+  record.timestamp = util::SimTime::from_nanos(static_cast<std::int64_t>(nanos));
+  return record;
+}
+
+bool PcapReader::read_record_header(RecordHeader& out) {
+  // Probe for EOF before committing to a record, then take the whole
+  // 16-byte header in one buffered read instead of four field reads.
+  if (in_->peek() == std::char_traits<char>::eof()) return false;
+  std::uint8_t bytes[16];
+  in_->read(reinterpret_cast<char*>(bytes), 16);
+  if (in_->gcount() != 16) {
+    throw std::runtime_error("pcap: unexpected end of file");
+  }
+  out = parse_record_header(bytes);
+  return true;
+}
+
+std::optional<PacketView> PcapReader::next_view() {
+  if (map_.valid()) {
+    const util::BytesView file = map_.view();
+    if (map_pos_ == file.size()) return std::nullopt;
+    if (file.size() - map_pos_ < 16) {
+      throw std::runtime_error("pcap: unexpected end of file");
+    }
+    const RecordHeader record = parse_record_header(file.data() + map_pos_);
+    map_pos_ += 16;
+    if (file.size() - map_pos_ < record.captured) {
+      throw std::runtime_error("PcapReader: truncated packet record");
+    }
+    const PacketView view(record.timestamp,
+                          file.subspan(map_pos_, record.captured),
+                          record.original);
+    map_pos_ += record.captured;
+    // Start pulling the next record header now: its cache miss (the
+    // record stride defeats the hardware prefetcher) overlaps whatever
+    // the caller does with this view, instead of stalling the next call.
+    if (map_pos_ < file.size()) __builtin_prefetch(file.data() + map_pos_);
+    return view;
+  }
+
+  RecordHeader record;
+  if (!read_record_header(record)) return std::nullopt;
+  scratch_.resize(record.captured);
+  in_->read(reinterpret_cast<char*>(scratch_.data()),
+            static_cast<std::streamsize>(record.captured));
   if (!*in_) throw std::runtime_error("PcapReader: truncated packet record");
-  packet.original_length = original;
+  return PacketView(record.timestamp, scratch_, record.original);
+}
+
+std::optional<Packet> PcapReader::next() {
+  if (map_.valid()) {
+    const auto view = next_view();
+    if (!view) return std::nullopt;
+    return view->to_packet();
+  }
+  // Streaming path reads straight into the packet's buffer — one copy,
+  // no staging detour.
+  RecordHeader record;
+  if (!read_record_header(record)) return std::nullopt;
+  Packet packet;
+  packet.timestamp = record.timestamp;
+  packet.data.resize(record.captured);
+  in_->read(reinterpret_cast<char*>(packet.data.data()),
+            static_cast<std::streamsize>(record.captured));
+  if (!*in_) throw std::runtime_error("PcapReader: truncated packet record");
+  packet.original_length = record.original;
   return packet;
 }
 

@@ -137,8 +137,10 @@ void PcapngWriter::write(const Packet& packet) {
 void PcapngWriter::flush() { out_->flush(); }
 
 PcapngReader::PcapngReader(const std::filesystem::path& path)
-    : owned_(std::make_unique<std::ifstream>(path, std::ios::binary)),
-      in_(owned_.get()) {
+    : map_(util::MappedFile::open(path)) {
+  if (map_.valid()) return;  // fast path: blocks parsed in place
+  owned_ = std::make_unique<std::ifstream>(path, std::ios::binary);
+  in_ = owned_.get();
   if (!*in_) {
     throw std::runtime_error("PcapngReader: cannot open " + path.string());
   }
@@ -148,17 +150,59 @@ PcapngReader::PcapngReader(std::istream& in) : in_(&in) {}
 
 PcapngReader::~PcapngReader() = default;
 
-bool PcapngReader::read_block_header(std::uint32_t& type, std::uint32_t& length) {
+bool PcapngReader::read_block_mapped(std::uint32_t& type, util::BytesView& body) {
+  const util::BytesView file = map_.view();
+  if (map_pos_ == file.size()) return false;  // clean EOF
+  if (file.size() - map_pos_ < 12) {
+    throw std::runtime_error("pcapng: truncated block header");
+  }
+  const std::uint8_t* base = file.data() + map_pos_;
+  std::uint32_t length = 0;
+  std::memcpy(&type, base, 4);
+  std::memcpy(&length, base + 4, 4);
+  // The SHB announces byte order; other blocks use the section's order.
+  if (type == static_cast<std::uint32_t>(PcapngBlockType::kSectionHeader)) {
+    std::uint32_t magic = 0;
+    std::memcpy(&magic, base + 8, 4);
+    byte_swapped_ = magic != kByteOrderMagic;
+    if (byte_swapped_ && byteswap32(magic) != kByteOrderMagic) {
+      throw std::runtime_error("pcapng: bad byte-order magic");
+    }
+  }
+  if (byte_swapped_) length = byteswap32(length);
+  if (length < 12 || length % 4 != 0) {
+    throw std::runtime_error("pcapng: implausible block length");
+  }
+  if (file.size() - map_pos_ < length) {
+    throw std::runtime_error("pcapng: truncated block body");
+  }
+  std::uint32_t trailing = 0;
+  std::memcpy(&trailing, base + length - 4, 4);
+  if ((byte_swapped_ ? byteswap32(trailing) : trailing) != length) {
+    throw std::runtime_error("pcapng: trailer length mismatch");
+  }
+  body = file.subspan(map_pos_ + 8, length - 12);
+  map_pos_ += length;
+  // Overlap the next block header's cache miss with the caller's work
+  // on this block (the block stride defeats the hardware prefetcher).
+  if (map_pos_ < file.size()) __builtin_prefetch(file.data() + map_pos_);
+  return true;
+}
+
+bool PcapngReader::read_block_streamed(std::uint32_t& type, util::BytesView& body) {
   unsigned char header[8];
   in_->read(reinterpret_cast<char*>(header), 8);
   if (in_->gcount() == 0) return false;  // clean EOF
   if (in_->gcount() != 8) throw std::runtime_error("pcapng: truncated block header");
+  std::uint32_t length = 0;
   std::memcpy(&type, header, 4);
   std::memcpy(&length, header + 4, 4);
   // The SHB announces byte order; other blocks use the section's order.
+  // Its byte-order magic (first body word) must be consumed before the
+  // length can be interpreted, so stage it ahead of the bulk body read.
+  std::size_t prefix = 0;
+  unsigned char magic_bytes[4];
   if (type == static_cast<std::uint32_t>(PcapngBlockType::kSectionHeader)) {
-    // Peek the byte-order magic to decide endianness for this section.
-    unsigned char magic_bytes[4];
     in_->read(reinterpret_cast<char*>(magic_bytes), 4);
     if (in_->gcount() != 4) throw std::runtime_error("pcapng: truncated SHB");
     std::uint32_t magic = 0;
@@ -167,25 +211,41 @@ bool PcapngReader::read_block_header(std::uint32_t& type, std::uint32_t& length)
     if (byte_swapped_ && byteswap32(magic) != kByteOrderMagic) {
       throw std::runtime_error("pcapng: bad byte-order magic");
     }
-    // Rewind the 4 magic bytes into the body by remembering them: we
-    // re-read the body below including these bytes, so seek back.
-    in_->seekg(-4, std::ios::cur);
+    prefix = 4;
   }
   if (byte_swapped_) length = byteswap32(length);
-  if (length < 12 || length % 4 != 0) {
+  if (length < 12 || length % 4 != 0 || length - 12 < prefix) {
     throw std::runtime_error("pcapng: implausible block length");
   }
+  const std::size_t body_size = length - 12;
+  // Body and trailer land in the recycled staging buffer with one bulk
+  // read; steady state re-uses the buffer's capacity (no per-block
+  // allocation).
+  body_scratch_.resize(body_size + 4);
+  std::memcpy(body_scratch_.data(), magic_bytes, prefix);
+  const std::streamsize want =
+      static_cast<std::streamsize>(body_size + 4 - prefix);
+  in_->read(reinterpret_cast<char*>(body_scratch_.data() + prefix), want);
+  if (in_->gcount() != want) {
+    throw std::runtime_error("pcapng: truncated block body");
+  }
+  std::uint32_t trailing = 0;
+  std::memcpy(&trailing, body_scratch_.data() + body_size, 4);
+  if ((byte_swapped_ ? byteswap32(trailing) : trailing) != length) {
+    throw std::runtime_error("pcapng: trailer length mismatch");
+  }
+  body = util::BytesView(body_scratch_.data(), body_size);
   return true;
 }
 
-void PcapngReader::start_section(const std::vector<std::uint8_t>& body) {
+void PcapngReader::start_section(util::BytesView body) {
   interfaces_.clear();
   if (body.size() < 4) throw std::runtime_error("pcapng: SHB too short");
-  // Byte order was already established from the magic in
-  // read_block_header; nothing else needed here.
+  // Byte order was already established from the magic while framing the
+  // block; nothing else needed here.
 }
 
-void PcapngReader::add_interface(const std::vector<std::uint8_t>& body) {
+void PcapngReader::add_interface(util::BytesView body) {
   if (body.size() < 8) throw std::runtime_error("pcapng: IDB too short");
   Interface iface;
   std::uint16_t link = 0;
@@ -219,8 +279,7 @@ void PcapngReader::add_interface(const std::vector<std::uint8_t>& body) {
   interfaces_.push_back(iface);
 }
 
-std::optional<Packet> PcapngReader::parse_enhanced(
-    const std::vector<std::uint8_t>& body) {
+std::optional<PacketView> PcapngReader::parse_enhanced(util::BytesView body) {
   if (body.size() < 20) throw std::runtime_error("pcapng: EPB too short");
   auto read_u32_at = [&](std::size_t offset) {
     std::uint32_t v = 0;
@@ -241,41 +300,29 @@ std::optional<Packet> PcapngReader::parse_enhanced(
   const Interface& iface = interfaces_[interface_id];
   if (iface.link_type != 1) return std::nullopt;  // non-Ethernet: skip
 
-  Packet packet;
+  PacketView view;
   const double seconds =
       static_cast<double>(ticks) / static_cast<double>(iface.ticks_per_second);
   // Exact when ticks_per_second divides 1e9 (the common cases).
   if (1'000'000'000ull % iface.ticks_per_second == 0) {
     const std::uint64_t scale = 1'000'000'000ull / iface.ticks_per_second;
-    packet.timestamp =
+    view.timestamp =
         util::SimTime::from_nanos(static_cast<std::int64_t>(ticks * scale));
   } else {
-    packet.timestamp = util::SimTime::from_seconds(seconds);
+    view.timestamp = util::SimTime::from_seconds(seconds);
   }
-  packet.data.assign(body.begin() + 20, body.begin() + 20 + captured);
-  packet.original_length = original;
-  return packet;
+  view.data = body.subspan(20, captured);
+  view.original_length = original;
+  return view;
 }
 
-std::optional<Packet> PcapngReader::next() {
+std::optional<PacketView> PcapngReader::next_view() {
   for (;;) {
     std::uint32_t type = 0;
-    std::uint32_t length = 0;
-    if (!read_block_header(type, length)) return std::nullopt;
-
-    const std::size_t body_size = length - 12;
-    std::vector<std::uint8_t> body(body_size);
-    in_->read(reinterpret_cast<char*>(body.data()),
-              static_cast<std::streamsize>(body_size));
-    if (in_->gcount() != static_cast<std::streamsize>(body_size)) {
-      throw std::runtime_error("pcapng: truncated block body");
-    }
-    std::uint32_t trailing = 0;
-    in_->read(reinterpret_cast<char*>(&trailing), 4);
-    if (in_->gcount() != 4) throw std::runtime_error("pcapng: missing trailer");
-    if ((byte_swapped_ ? byteswap32(trailing) : trailing) != length) {
-      throw std::runtime_error("pcapng: trailer length mismatch");
-    }
+    util::BytesView body;
+    const bool have_block = map_.valid() ? read_block_mapped(type, body)
+                                         : read_block_streamed(type, body);
+    if (!have_block) return std::nullopt;
 
     switch (static_cast<PcapngBlockType>(type)) {
       case PcapngBlockType::kSectionHeader:
@@ -285,8 +332,8 @@ std::optional<Packet> PcapngReader::next() {
         add_interface(body);
         break;
       case PcapngBlockType::kEnhancedPacket: {
-        auto packet = parse_enhanced(body);
-        if (packet) return packet;
+        auto view = parse_enhanced(body);
+        if (view) return view;
         break;
       }
       default:
@@ -294,6 +341,12 @@ std::optional<Packet> PcapngReader::next() {
         break;
     }
   }
+}
+
+std::optional<Packet> PcapngReader::next() {
+  const auto view = next_view();
+  if (!view) return std::nullopt;
+  return view->to_packet();
 }
 
 std::vector<Packet> PcapngReader::read_all() {

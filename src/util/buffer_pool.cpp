@@ -1,0 +1,15 @@
+#include "wm/util/buffer_pool.hpp"
+
+namespace wm::util {
+
+BufferPool::BufferPool(std::size_t slab_size, std::size_t max_retained)
+    : pool_(max_retained), slab_size_(slab_size) {}
+
+BufferPool::Slab BufferPool::acquire() {
+  Slab slab = pool_.acquire();
+  slab->clear();  // capacity survives clear(): recycled slabs stay warm
+  slab->reserve(slab_size_);
+  return slab;
+}
+
+}  // namespace wm::util

@@ -6,11 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "wm/core/engine/engine.hpp"
@@ -188,6 +190,38 @@ TEST(Engine, SinkStreamsPerViewerUpdates) {
       EXPECT_NE(update.record_class, RecordClass::kOther);
     }
   }
+}
+
+TEST(Engine, SlowConsumerBackpressureLosesNothing) {
+  // A deliberately starved configuration: tiny rings, tiny batches, and
+  // a sink that naps on every record so the workers fall far behind the
+  // dispatcher. The dispatcher must park at queue_capacity (counted as
+  // backpressure), and despite all that blocking the result must be
+  // byte-identical to the batch decode — no batch lost or reordered.
+  const story::StoryGraph graph = story::make_bandersnatch();
+  const AttackPipeline pipeline = calibrated_pipeline(graph);
+  const MergedCapture merged = make_merged_capture(graph, 2);
+
+  const InferredSession golden_combined = decode_choices(
+      pipeline.classifier(), extract_client_records(merged.packets));
+
+  engine::EngineConfig config;
+  config.shards = 2;
+  config.dispatch_batch = 8;
+  config.queue_capacity = 1;  // rounds up to the 2-slot ring minimum
+  engine::SessionSink sink = [](const engine::ViewerUpdate&) {
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+  };
+  engine::ShardedFlowEngine engine(pipeline.classifier(), config, sink);
+  engine::VectorSource source(&merged.packets);
+  EXPECT_EQ(engine.consume(source), merged.packets.size());
+  const engine::EngineResult result = engine.finish();
+
+  expect_sessions_identical(result.combined, golden_combined, "slow consumer");
+  EXPECT_EQ(result.stats.packets_in, merged.packets.size());
+  EXPECT_GT(result.stats.backpressure_waits, 0u);
+  EXPECT_GE(result.stats.batches_dispatched,
+            merged.packets.size() / (config.dispatch_batch * 2));
 }
 
 TEST(Engine, LongReplayEvictsIdleFlowsAndStaysBounded) {
