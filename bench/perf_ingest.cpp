@@ -47,6 +47,7 @@
 #include "wm/net/pcap.hpp"
 #include "wm/sim/session.hpp"
 #include "wm/story/bandersnatch.hpp"
+#include "wm/util/bytes.hpp"
 #include "wm/util/cli.hpp"
 #include "wm/util/json.hpp"
 #include "wm/util/spsc_ring.hpp"
@@ -148,18 +149,19 @@ class Pr2BaselineReader {
         (nanos_ ? fraction : static_cast<std::uint64_t>(fraction) * 1'000ull);
     packet.timestamp = util::SimTime::from_nanos(static_cast<std::int64_t>(nanos));
     packet.data.resize(captured);
-    in_.read(reinterpret_cast<char*>(packet.data.data()),
-             static_cast<std::streamsize>(captured));
-    if (!in_) throw std::runtime_error("baseline: truncated record");
+    if (util::read_exact(in_, packet.data.data(), captured) != captured) {
+      throw std::runtime_error("baseline: truncated record");
+    }
     packet.original_length = original;
     return packet;
   }
 
  private:
   std::uint32_t read_u32() {
-    unsigned char bytes[4];
-    in_.read(reinterpret_cast<char*>(bytes), 4);
-    if (!in_) throw std::runtime_error("baseline: unexpected end of file");
+    std::uint8_t bytes[4];
+    if (util::read_exact(in_, bytes, 4) != 4) {
+      throw std::runtime_error("baseline: unexpected end of file");
+    }
     return static_cast<std::uint32_t>(bytes[0]) |
            (static_cast<std::uint32_t>(bytes[1]) << 8) |
            (static_cast<std::uint32_t>(bytes[2]) << 16) |
@@ -310,7 +312,7 @@ RunResult bench_mmap_ring_pipeline(const std::filesystem::path& path,
     arena.push_back(std::make_unique<ViewBatch>());
     arena.back()->reserve(batch_size);
     ViewBatch* fresh = arena.back().get();
-    freelist.try_push(fresh);  // pre-start, single-threaded: always fits
+    (void)freelist.try_push(fresh);  // pre-start, single-threaded: always fits
   }
 
   std::uint64_t packets = 0;

@@ -1,0 +1,106 @@
+#include "drivers.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "wm/net/pcap.hpp"
+#include "wm/net/pcapng.hpp"
+#include "wm/tls/record.hpp"
+#include "wm/util/json.hpp"
+#include "wm/util/time.hpp"
+
+namespace wm::fuzz {
+
+namespace {
+
+/// In-memory stream over the fuzzer's bytes (streaming-parser path —
+/// the mmap path is covered by the same parse code via the block/record
+/// parsers, and fuzzing must not touch the filesystem).
+std::istringstream byte_stream(util::BytesView data) {
+  return std::istringstream(std::string(util::as_chars(data)));
+}
+
+/// The documented failure surface of the capture/JSON parsers:
+/// std::runtime_error (malformed input) and ByteReader's bounds error.
+/// Anything else — bad variant access, logic errors, raw UB — escapes
+/// to the harness and counts as a finding.
+template <typename Fn>
+Outcome expect_rejection(Fn&& parse) {
+  try {
+    return parse();
+  } catch (const std::runtime_error&) {
+    return Outcome::kRejected;
+  } catch (const util::OutOfBoundsError&) {
+    return Outcome::kRejected;
+  }
+}
+
+}  // namespace
+
+std::string to_string(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kOk: return "ok";
+    case Outcome::kRejected: return "rejected";
+    case Outcome::kDesync: return "desync";
+  }
+  return "?";
+}
+
+Outcome drive_pcap(util::BytesView data) {
+  return expect_rejection([data] {
+    auto in = byte_stream(data);
+    net::PcapReader reader(in);
+    while (reader.next().has_value()) {
+    }
+    // Second pass through the zero-copy API: both must agree that the
+    // input is well-formed.
+    auto again = byte_stream(data);
+    net::PcapReader views(again);
+    while (views.next_view().has_value()) {
+    }
+    return Outcome::kOk;
+  });
+}
+
+Outcome drive_pcapng(util::BytesView data) {
+  return expect_rejection([data] {
+    auto in = byte_stream(data);
+    net::PcapngReader reader(in);
+    while (reader.next().has_value()) {
+    }
+    return Outcome::kOk;
+  });
+}
+
+Outcome drive_tls(util::BytesView data) {
+  if (data.empty()) return Outcome::kOk;
+  // Byte 0 selects the chunking so corpus entries pin specific split
+  // positions (mid-header, mid-record) rather than always feeding one
+  // contiguous buffer.
+  const std::size_t chunk = 1 + data[0] % 97;
+  data = data.subspan(1);
+  tls::TlsRecordParser parser;
+  std::int64_t tick = 0;
+  while (!data.empty()) {
+    const std::size_t take = data.size() < chunk ? data.size() : chunk;
+    (void)parser.feed(util::SimTime::from_nanos(tick++), data.first(take));
+    data = data.subspan(take);
+  }
+  return parser.desynchronized() ? Outcome::kDesync : Outcome::kOk;
+}
+
+Outcome drive_json(util::BytesView data) {
+  return expect_rejection([data] {
+    const util::JsonValue value =
+        util::JsonValue::parse(util::as_chars(data));
+    // Round-trip: whatever parsed must serialize and re-parse to the
+    // same document (canonical form is part of the side-channel model).
+    const std::string dumped = value.dump();
+    if (util::JsonValue::parse(dumped) != value) {
+      throw std::logic_error("json round-trip mismatch");  // escapes: a bug
+    }
+    return Outcome::kOk;
+  });
+}
+
+}  // namespace wm::fuzz

@@ -1,0 +1,11 @@
+// libFuzzer harness for the JSON document parser.
+#include <cstddef>
+#include <cstdint>
+
+#include "drivers.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  (void)wm::fuzz::drive_json(wm::util::BytesView(data, size));
+  return 0;
+}

@@ -1,0 +1,11 @@
+// libFuzzer harness for the classic-pcap stream reader.
+#include <cstddef>
+#include <cstdint>
+
+#include "drivers.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  (void)wm::fuzz::drive_pcap(wm::util::BytesView(data, size));
+  return 0;
+}

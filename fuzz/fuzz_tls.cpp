@@ -1,0 +1,11 @@
+// libFuzzer harness for the incremental TLS record parser.
+#include <cstddef>
+#include <cstdint>
+
+#include "drivers.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  (void)wm::fuzz::drive_tls(wm::util::BytesView(data, size));
+  return 0;
+}

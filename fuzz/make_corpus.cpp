@@ -1,0 +1,190 @@
+// Seed-corpus generator: writes the committed fuzz/corpus/ tree.
+//
+//   gen_corpus <corpus-dir>
+//
+// Every seed is produced deterministically from the project's own
+// writers (then surgically corrupted), so regenerating after a
+// deliberate format change is one command. Each file name carries the
+// Outcome the driver produced at generation time —
+// `<name>.<outcome>` — and tests/test_fuzz_corpus.cpp asserts replays
+// still produce that outcome: the taxonomy is pinned by the tree
+// itself, with no side-channel expectations file.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "drivers.hpp"
+#include "wm/net/pcap.hpp"
+#include "wm/net/pcapng.hpp"
+#include "wm/tls/record.hpp"
+#include "wm/util/bytes.hpp"
+#include "wm/util/time.hpp"
+
+namespace fs = std::filesystem;
+using wm::fuzz::Outcome;
+using wm::util::Bytes;
+using wm::util::BytesView;
+
+namespace {
+
+using Driver = Outcome (*)(BytesView);
+
+void emit(const fs::path& dir, const std::string& name, Driver driver,
+          BytesView bytes) {
+  const Outcome outcome = driver(bytes);
+  fs::create_directories(dir);
+  const fs::path path = dir / (name + "." + wm::fuzz::to_string(outcome));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  wm::util::write_all(out, bytes);
+  if (!out) {
+    std::cerr << "write failed: " << path << "\n";
+    std::exit(2);
+  }
+  std::cout << path.string() << " (" << bytes.size() << " bytes)\n";
+}
+
+/// A tiny two-packet capture serialized by the project's own writer.
+template <typename Writer>
+Bytes capture_bytes() {
+  std::ostringstream out;
+  {
+    Writer writer(out);
+    Bytes frame;
+    for (int i = 0; i < 64; ++i) frame.push_back(static_cast<std::uint8_t>(i));
+    writer.write(wm::net::Packet(wm::util::SimTime::from_nanos(1'000), frame));
+    frame.push_back(0xff);
+    writer.write(wm::net::Packet(wm::util::SimTime::from_nanos(2'000), frame));
+  }
+  const std::string text = out.str();
+  return Bytes(text.begin(), text.end());
+}
+
+Bytes truncated(BytesView bytes, std::size_t keep) {
+  return Bytes(bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(
+                                  std::min(keep, bytes.size())));
+}
+
+void make_pcap(const fs::path& dir) {
+  const Bytes good = capture_bytes<wm::net::PcapWriter>();
+  emit(dir, "two-packets", wm::fuzz::drive_pcap, good);
+  emit(dir, "empty", wm::fuzz::drive_pcap, Bytes{});
+  emit(dir, "header-only", wm::fuzz::drive_pcap, truncated(good, 24));
+  emit(dir, "truncated-file-header", wm::fuzz::drive_pcap,
+       truncated(good, 17));
+  emit(dir, "truncated-record-header", wm::fuzz::drive_pcap,
+       truncated(good, 24 + 9));
+  emit(dir, "truncated-record-body", wm::fuzz::drive_pcap,
+       truncated(good, 24 + 16 + 30));
+  Bytes bad_magic = good;
+  bad_magic[0] ^= 0x5a;
+  emit(dir, "bad-magic", wm::fuzz::drive_pcap, bad_magic);
+  Bytes huge_record = good;
+  // captured-length field of record 1 inflated past the buffer.
+  huge_record[24 + 8] = 0xff;
+  huge_record[24 + 9] = 0xff;
+  emit(dir, "captured-length-lies", wm::fuzz::drive_pcap, huge_record);
+}
+
+void make_pcapng(const fs::path& dir) {
+  const Bytes good = capture_bytes<wm::net::PcapngWriter>();
+  emit(dir, "two-packets", wm::fuzz::drive_pcapng, good);
+  emit(dir, "empty", wm::fuzz::drive_pcapng, Bytes{});
+  // ISSUE case: a block whose declared total length runs past EOF.
+  emit(dir, "truncated-shb", wm::fuzz::drive_pcapng, truncated(good, 11));
+  emit(dir, "truncated-mid-block", wm::fuzz::drive_pcapng,
+       truncated(good, good.size() - 13));
+  Bytes bad_bom = good;
+  bad_bom[8] ^= 0xff;  // byte-order magic inside the SHB body
+  emit(dir, "bad-byte-order-magic", wm::fuzz::drive_pcapng, bad_bom);
+  Bytes tiny_len = good;
+  tiny_len[4] = 8;  // SHB total length below the 12-byte minimum
+  tiny_len[5] = 0;
+  tiny_len[6] = 0;
+  tiny_len[7] = 0;
+  emit(dir, "block-length-below-minimum", wm::fuzz::drive_pcapng, tiny_len);
+  Bytes odd_len = good;
+  odd_len[4] = static_cast<std::uint8_t>(odd_len[4] + 2);  // break 4-align
+  emit(dir, "block-length-unaligned", wm::fuzz::drive_pcapng, odd_len);
+}
+
+/// Prepend the chunk-size selector byte the TLS driver consumes.
+Bytes with_chunking(std::uint8_t selector, BytesView stream) {
+  Bytes out;
+  out.push_back(selector);
+  out.insert(out.end(), stream.begin(), stream.end());
+  return out;
+}
+
+void make_tls(const fs::path& dir) {
+  std::vector<wm::tls::TlsRecord> records(2);
+  records[0].payload.assign(200, 0xaa);
+  records[1].payload.assign(1400, 0xbb);
+  const Bytes stream = wm::tls::serialize_records(records);
+
+  // selector 0 -> 1-byte chunks: every split position, including all
+  // four mid-header cuts and every mid-record cut (the ISSUE's
+  // "mid-record split" case in its most hostile form).
+  emit(dir, "two-records-one-byte-chunks", wm::fuzz::drive_tls,
+       with_chunking(0, stream));
+  // 96 -> 97-byte chunks: splits that land mid-record at varying phase.
+  emit(dir, "two-records-97-byte-chunks", wm::fuzz::drive_tls,
+       with_chunking(96, stream));
+  emit(dir, "truncated-final-record", wm::fuzz::drive_tls,
+       with_chunking(12, BytesView(stream).first(stream.size() - 37)));
+  emit(dir, "empty", wm::fuzz::drive_tls, Bytes{});
+
+  Bytes garbage(64, 0x00);
+  emit(dir, "desync-zero-type", wm::fuzz::drive_tls,
+       with_chunking(7, garbage));
+  Bytes oversize = stream;
+  oversize[3 + 1] = 0x50;  // record length field above kMaxCiphertextLength
+  emit(dir, "desync-implausible-length", wm::fuzz::drive_tls,
+       with_chunking(30, oversize));
+}
+
+void make_json(const fs::path& dir) {
+  const auto text_bytes = [](std::string_view text) {
+    const BytesView view = wm::util::as_bytes(text);
+    return Bytes(view.begin(), view.end());
+  };
+  emit(dir, "state-shape", wm::fuzz::drive_json,
+       text_bytes(R"({"choices":[{"id":"a1","weight":1.5},null,true],)"
+                  R"("token":"é\n","segments":[[0,1],[2,3]]})"));
+  emit(dir, "empty", wm::fuzz::drive_json, Bytes{});
+  emit(dir, "trailing-garbage", wm::fuzz::drive_json, text_bytes("{} x"));
+  emit(dir, "bad-escape", wm::fuzz::drive_json, text_bytes(R"("\q")"));
+  emit(dir, "unterminated-string", wm::fuzz::drive_json,
+       text_bytes("\"never closed"));
+  emit(dir, "number-overflow", wm::fuzz::drive_json,
+       text_bytes("999999999999999999999999999"));
+  // ISSUE case: nesting far past the parser's 192-level cap — must be
+  // a clean rejection, never a stack overflow.
+  std::string deep;
+  for (int i = 0; i < 5000; ++i) deep += "[{\"k\":";
+  emit(dir, "nested-past-depth-cap", wm::fuzz::drive_json,
+       text_bytes(deep));
+  std::string near_cap;
+  for (int i = 0; i < 95; ++i) near_cap += "[";
+  near_cap += "0";
+  for (int i = 0; i < 95; ++i) near_cap += "]";
+  emit(dir, "nested-near-depth-cap", wm::fuzz::drive_json,
+       text_bytes(near_cap));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: " << argv[0] << " <corpus-dir>\n";
+    return 2;
+  }
+  const fs::path root = argv[1];
+  make_pcap(root / "pcap");
+  make_pcapng(root / "pcapng");
+  make_tls(root / "tls");
+  make_json(root / "json");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Standalone replacement for libFuzzer's driver, used when the compiler
+// has no -fsanitize=fuzzer runtime (GCC). Links against the same
+// LLVMFuzzerTestOneInput as the fuzzing build and replays the files
+// given on the command line, so `fuzz_pcap corpus/pcap/*` behaves the
+// same in both toolchains (minus the mutation loop).
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: " << argv[0] << " <input-file>...\n"
+              << "(no-mutation replay driver; build with Clang and "
+                 "-DWM_FUZZ=ON for real fuzzing)\n";
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot open " << argv[i] << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string bytes = buffer.str();
+    const std::vector<std::uint8_t> data(bytes.begin(), bytes.end());
+    (void)LLVMFuzzerTestOneInput(data.data(), data.size());
+    std::cout << argv[i] << ": ok (" << data.size() << " bytes)\n";
+  }
+  return 0;
+}

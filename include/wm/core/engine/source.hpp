@@ -148,7 +148,7 @@ class PacketSource {
   /// end-of-stream. One virtual call per batch; sources override this
   /// with zero-copy or slot-recycling fast paths, and the default
   /// adapts next() for external implementations.
-  virtual std::size_t read_batch(PacketBatch& out, std::size_t max);
+  [[nodiscard]] virtual std::size_t read_batch(PacketBatch& out, std::size_t max);
 
  private:
   std::optional<Error> no_error_;
@@ -170,7 +170,7 @@ class VectorSource final : public PacketSource {
   std::optional<net::Packet> next() override;
 
   /// Zero-copy: hands out a borrowed span over the vector.
-  std::size_t read_batch(PacketBatch& out, std::size_t max) override;
+  [[nodiscard]] std::size_t read_batch(PacketBatch& out, std::size_t max) override;
 
  private:
   std::vector<net::Packet> owned_;
@@ -189,7 +189,7 @@ class CaptureFileSource final : public PacketSource {
   std::optional<net::Packet> next() override;
   /// Drains reader views into recycled slots: zero per-packet
   /// allocation in the steady state, metrics amortized per batch.
-  std::size_t read_batch(PacketBatch& out, std::size_t max) override;
+  [[nodiscard]] std::size_t read_batch(PacketBatch& out, std::size_t max) override;
   [[nodiscard]] const std::optional<Error>& error() const override {
     return error_;
   }
@@ -221,9 +221,9 @@ struct CaptureOptions {
 /// Open a capture file as a streaming source. Errors are typed:
 /// kNotFound (unopenable path), kUnsupportedFormat (unknown magic),
 /// kMalformedCapture (recognized format, corrupt header).
-Result<std::unique_ptr<PacketSource>> open_capture(
+[[nodiscard]] Result<std::unique_ptr<PacketSource>> open_capture(
     const std::filesystem::path& path, const CaptureOptions& options);
-Result<std::unique_ptr<PacketSource>> open_capture(
+[[nodiscard]] Result<std::unique_ptr<PacketSource>> open_capture(
     const std::filesystem::path& path, obs::Registry* metrics = nullptr);
 
 /// Replays a base capture for `laps` laps, shifting timestamps each lap
@@ -249,7 +249,7 @@ class ChunkedReplaySource final : public PacketSource {
 
   /// Lap 0 is handed out as a borrowed span (zero-copy); later laps
   /// shift/rewrite into recycled slots, leaving the base pristine.
-  std::size_t read_batch(PacketBatch& out, std::size_t max) override;
+  [[nodiscard]] std::size_t read_batch(PacketBatch& out, std::size_t max) override;
 
   [[nodiscard]] std::size_t laps_completed() const { return lap_; }
 

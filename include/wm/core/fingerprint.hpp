@@ -70,7 +70,7 @@ class ConditionFingerprinter {
 
   /// Full attack without prior platform knowledge: fingerprint, then
   /// decode with the matched per-condition classifier.
-  struct Result {
+  struct [[nodiscard]] Result {
     std::optional<sim::OperationalConditions> conditions;
     InferredSession session;
   };

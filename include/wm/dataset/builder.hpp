@@ -68,9 +68,9 @@ struct DatasetIndexEntry {
 };
 
 /// Read the manifest of a persisted dataset.
-std::vector<DatasetIndexEntry> read_manifest(const std::filesystem::path& dir);
+[[nodiscard]] std::vector<DatasetIndexEntry> read_manifest(const std::filesystem::path& dir);
 
 /// Load the ground truth of one persisted data point.
-sim::SessionGroundTruth read_ground_truth(const std::filesystem::path& truth_file);
+[[nodiscard]] sim::SessionGroundTruth read_ground_truth(const std::filesystem::path& truth_file);
 
 }  // namespace wm::dataset

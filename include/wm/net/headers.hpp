@@ -45,6 +45,8 @@ struct EthernetHeader {
 /// Parsed header + the payload that follows it.
 struct ParsedEthernet {
   EthernetHeader header;
+  // wm-lint: allow(borrow): transient parse result; consumed before the
+  // decoder touches the next frame, never stored (DESIGN.md s3.3).
   util::BytesView payload;
 };
 std::optional<ParsedEthernet> parse_ethernet(util::BytesView frame);
@@ -77,6 +79,8 @@ struct Ipv4Header {
 
 struct ParsedIpv4 {
   Ipv4Header header;
+  // wm-lint: allow(borrow): transient parse result, same contract as
+  // ParsedEthernet::payload.
   util::BytesView payload;
   bool checksum_valid = false;
 };
@@ -98,6 +102,8 @@ struct Ipv6Header {
 
 struct ParsedIpv6 {
   Ipv6Header header;
+  // wm-lint: allow(borrow): transient parse result, same contract as
+  // ParsedEthernet::payload.
   util::BytesView payload;
 };
 std::optional<ParsedIpv6> parse_ipv6(util::BytesView packet);
@@ -132,6 +138,8 @@ struct TcpHeader {
 
 struct ParsedTcp {
   TcpHeader header;
+  // wm-lint: allow(borrow): transient parse result, same contract as
+  // ParsedEthernet::payload.
   util::BytesView payload;
 };
 std::optional<ParsedTcp> parse_tcp(util::BytesView segment);
@@ -149,6 +157,8 @@ struct UdpHeader {
 
 struct ParsedUdp {
   UdpHeader header;
+  // wm-lint: allow(borrow): transient parse result, same contract as
+  // ParsedEthernet::payload.
   util::BytesView payload;
 };
 std::optional<ParsedUdp> parse_udp(util::BytesView datagram);

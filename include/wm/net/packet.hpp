@@ -71,6 +71,8 @@ struct DecodedPacket {
   std::uint16_t vlan_id = 0;
   std::variant<std::monostate, Ipv4Header, Ipv6Header> ip;
   std::variant<std::monostate, TcpHeader, UdpHeader> transport;
+  // wm-lint: allow(borrow): points into the Packet::data the decoder was
+  // handed; a DecodedPacket never outlives its Packet (batch contract).
   util::BytesView transport_payload;
 
   [[nodiscard]] bool has_ipv4() const { return std::holds_alternative<Ipv4Header>(ip); }

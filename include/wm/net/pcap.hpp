@@ -107,7 +107,7 @@ class PcapReader {
   std::optional<PacketView> next_view();
 
   /// Drain the remainder of the file.
-  std::vector<Packet> read_all();
+  [[nodiscard]] std::vector<Packet> read_all();
 
  private:
   struct RecordHeader {
@@ -120,7 +120,7 @@ class PcapReader {
   void read_file_header();
   RecordHeader parse_record_header(const std::uint8_t* bytes) const;
   /// Streaming path: one buffered 16-byte read. False at clean EOF.
-  bool read_record_header(RecordHeader& out);
+  [[nodiscard]] bool read_record_header(RecordHeader& out);
   std::uint32_t convert(std::uint32_t value) const;
 
   util::MappedFile map_;
@@ -133,6 +133,6 @@ class PcapReader {
 
 /// Convenience helpers.
 void write_pcap(const std::filesystem::path& path, const std::vector<Packet>& packets);
-std::vector<Packet> read_pcap(const std::filesystem::path& path);
+[[nodiscard]] std::vector<Packet> read_pcap(const std::filesystem::path& path);
 
 }  // namespace wm::net

@@ -76,7 +76,7 @@ class PcapngReader {
   /// (valid until the next call). Same end/throw behaviour as next().
   std::optional<PacketView> next_view();
 
-  std::vector<Packet> read_all();
+  [[nodiscard]] std::vector<Packet> read_all();
 
   [[nodiscard]] std::size_t blocks_skipped() const { return blocks_skipped_; }
 
@@ -89,9 +89,9 @@ class PcapngReader {
 
   /// Streaming path: pull the next block's body into the staging
   /// buffer. False at clean EOF.
-  bool read_block_streamed(std::uint32_t& type, util::BytesView& body);
+  [[nodiscard]] bool read_block_streamed(std::uint32_t& type, util::BytesView& body);
   /// Mapped path: parse the next block header in place. False at EOF.
-  bool read_block_mapped(std::uint32_t& type, util::BytesView& body);
+  [[nodiscard]] bool read_block_mapped(std::uint32_t& type, util::BytesView& body);
   void start_section(util::BytesView body);
   void add_interface(util::BytesView body);
   std::optional<PacketView> parse_enhanced(util::BytesView body);
@@ -109,10 +109,10 @@ class PcapngReader {
 /// Convenience helpers.
 void write_pcapng(const std::filesystem::path& path,
                   const std::vector<Packet>& packets);
-std::vector<Packet> read_pcapng(const std::filesystem::path& path);
+[[nodiscard]] std::vector<Packet> read_pcapng(const std::filesystem::path& path);
 
 /// Sniff a capture file's format from its first bytes and read it with
 /// the right reader ("pcap" magic vs pcapng SHB).
-std::vector<Packet> read_any_capture(const std::filesystem::path& path);
+[[nodiscard]] std::vector<Packet> read_any_capture(const std::filesystem::path& path);
 
 }  // namespace wm::net

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <string>
 #include <string_view>
@@ -19,6 +20,24 @@ namespace wm::util {
 /// Bytes are pushed/pulled as unsigned octets throughout the project.
 using Bytes = std::vector<std::uint8_t>;
 using BytesView = std::span<const std::uint8_t>;
+
+/// Blessed byte<->char crossing points. Stream I/O and text APIs traffic
+/// in char while the project traffics in std::uint8_t; these helpers are
+/// the one audited place that bridges the two, so parser code never
+/// needs a raw reinterpret_cast on capture bytes (tools/wm_lint enforces
+/// this — rule `cast`).
+///
+/// Read up to `count` bytes from `in` into `dst`; returns the number
+/// actually read (== count on success, fewer only at EOF or stream
+/// failure — callers decide which of those is an error).
+[[nodiscard]] std::size_t read_exact(std::istream& in, std::uint8_t* dst,
+                                     std::size_t count);
+/// Write a whole byte span to a stream (stream state tells success).
+void write_all(std::ostream& out, BytesView data);
+/// View a byte span as chars (e.g. to build a std::string).
+[[nodiscard]] std::string_view as_chars(BytesView data);
+/// View a string's storage as bytes.
+[[nodiscard]] BytesView as_bytes(std::string_view text);
 
 /// Render a byte span as lowercase hex, e.g. "16030300aa". Useful in
 /// test failure messages and debug logs.
@@ -64,19 +83,21 @@ class ByteReader {
   /// Advance the cursor without copying out data.
   void skip(std::size_t count);
 
-  std::uint8_t read_u8();
-  std::uint16_t read_u16_be();
-  std::uint16_t read_u16_le();
-  std::uint32_t read_u24_be();
-  std::uint32_t read_u32_be();
-  std::uint32_t read_u32_le();
-  std::uint64_t read_u64_be();
-  std::uint64_t read_u64_le();
+  // Reads advance the cursor; discarding the value means the call was
+  // really a skip() — [[nodiscard]] keeps that intent explicit.
+  [[nodiscard]] std::uint8_t read_u8();
+  [[nodiscard]] std::uint16_t read_u16_be();
+  [[nodiscard]] std::uint16_t read_u16_le();
+  [[nodiscard]] std::uint32_t read_u24_be();
+  [[nodiscard]] std::uint32_t read_u32_be();
+  [[nodiscard]] std::uint32_t read_u32_le();
+  [[nodiscard]] std::uint64_t read_u64_be();
+  [[nodiscard]] std::uint64_t read_u64_le();
 
   /// Borrow `count` bytes from the buffer (no copy) and advance.
-  BytesView read_view(std::size_t count);
+  [[nodiscard]] BytesView read_view(std::size_t count);
   /// Copy `count` bytes out of the buffer and advance.
-  Bytes read_bytes(std::size_t count);
+  [[nodiscard]] Bytes read_bytes(std::size_t count);
 
   /// Peek helpers: read without advancing the cursor.
   [[nodiscard]] std::uint8_t peek_u8() const;
@@ -85,6 +106,8 @@ class ByteReader {
  private:
   void require(std::size_t count) const;
 
+  // wm-lint: allow(borrow): a reader IS a cursor over the caller's
+  // buffer; documented above as borrowing, never escapes the parse call.
   BytesView data_;
   std::size_t pos_ = 0;
 };

@@ -72,7 +72,7 @@ class JsonValue {
 
   /// Parse a complete JSON document; throws std::runtime_error with a
   /// position-annotated message on malformed input.
-  static JsonValue parse(std::string_view text);
+  [[nodiscard]] static JsonValue parse(std::string_view text);
 
   bool operator==(const JsonValue&) const = default;
 

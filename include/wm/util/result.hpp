@@ -8,6 +8,7 @@
 // PacketSource implementations propagate it instead of throwing.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <utility>
 #include <variant>
@@ -49,14 +50,16 @@ struct Error {
 
 /// Either a T or an Error. Implicitly constructible from both so
 /// `return value;` and `return Error{...};` both work in a function
-/// returning Result<T>.
+/// returning Result<T>. The class-level [[nodiscard]] makes every
+/// discarded Result-returning call a compiler warning, and tools/
+/// wm_lint additionally checks the attribute and known call sites.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : data_(std::in_place_index<0>, std::move(value)) {}  // NOLINT
   Result(Error error) : data_(std::in_place_index<1>, std::move(error)) {}  // NOLINT
 
-  static Result failure(ErrorCode code, std::string message) {
+  [[nodiscard]] static Result failure(ErrorCode code, std::string message) {
     return Result(Error{code, std::move(message)});
   }
 
@@ -81,6 +84,30 @@ class Result {
 
  private:
   std::variant<T, Error> data_;
+};
+
+/// Success-or-Error for fallible operations with no value to hand back.
+/// Same consumption contract as Result<T>: a returned Status must be
+/// inspected, never silently dropped.
+class [[nodiscard]] Status {
+ public:
+  /// Default construction is success, so `return {};` reads naturally.
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT
+
+  [[nodiscard]] static Status success() { return {}; }
+  [[nodiscard]] static Status failure(ErrorCode code, std::string message) {
+    return Status(Error{code, std::move(message)});
+  }
+
+  [[nodiscard]] bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Error access: only valid when !ok().
+  [[nodiscard]] const Error& error() const { return *error_; }
+
+ private:
+  std::optional<Error> error_;
 };
 
 }  // namespace wm

@@ -56,12 +56,12 @@ class ShardedFlowEngine::Collector {
             SessionSink sink, obs::Registry* metrics)
       : classifier_(classifier), gap_(gap), sink_(std::move(sink)) {
     if (metrics != nullptr) {
-      client_records_counter_ = metrics->counter("engine.collector.client_records");
-      type1_counter_ = metrics->counter("engine.collector.type1");
-      type2_counter_ = metrics->counter("engine.collector.type2");
-      other_counter_ = metrics->counter("engine.collector.other");
-      viewers_counter_ = metrics->counter("engine.collector.viewers");
-      sink_updates_counter_ = metrics->counter("engine.collector.sink_updates");
+      client_records_counter_ = metrics->counter("engine.collector.client_records", obs::Stability::kStable);
+      type1_counter_ = metrics->counter("engine.collector.type1", obs::Stability::kStable);
+      type2_counter_ = metrics->counter("engine.collector.type2", obs::Stability::kStable);
+      other_counter_ = metrics->counter("engine.collector.other", obs::Stability::kStable);
+      viewers_counter_ = metrics->counter("engine.collector.viewers", obs::Stability::kStable);
+      sink_updates_counter_ = metrics->counter("engine.collector.sink_updates", obs::Stability::kStable);
     }
   }
 
@@ -142,6 +142,8 @@ class ShardedFlowEngine::Collector {
   const util::Duration gap_;
   const SessionSink sink_;
   SnapshotPool snapshot_pool_;
+  // wm-lint: allow(mutex): collector merge point — workers hit it once
+  // per flushed session batch, not per packet (see DESIGN.md s2.4).
   std::mutex mutex_;
   std::map<std::string, std::vector<core::ClientRecordObservation>> clients_;
   std::uint64_t client_records_ = 0;
@@ -175,7 +177,8 @@ struct ShardedFlowEngine::Shard {
     for (std::size_t i = 0; i < arena_size; ++i) {
       arena.push_back(std::make_unique<PacketBatch>());
       PacketBatch* batch = arena.back().get();
-      freelist.try_push(batch);  // pre-start, single-threaded: always fits
+      // Pre-start, single-threaded: the arena was sized to fit.
+      (void)freelist.try_push(batch);
     }
   }
 
@@ -210,7 +213,7 @@ ShardedFlowEngine::ShardedFlowEngine(const core::RecordClassifier& classifier,
   extractor_config.idle_timeout = config_.flow_idle_timeout;
 
   if (config_.metrics != nullptr) {
-    packets_in_counter_ = config_.metrics->counter("engine.packets_in");
+    packets_in_counter_ = config_.metrics->counter("engine.packets_in", obs::Stability::kStable);
     batches_counter_ =
         config_.metrics->counter("engine.batches", obs::Stability::kSharded);
     backpressure_counter_ = config_.metrics->counter(
@@ -255,7 +258,7 @@ ShardedFlowEngine::ShardedFlowEngine(const core::RecordClassifier& classifier,
   if (config_.shards > 0) {
     pending_.resize(shards_.size(), nullptr);
     for (std::size_t i = 0; i < shards_.size(); ++i) {
-      shards_[i]->freelist.try_pop(pending_[i]);  // arena is pre-filled
+      (void)shards_[i]->freelist.try_pop(pending_[i]);  // arena is pre-filled
     }
     for (auto& shard : shards_) {
       Shard* s = shard.get();

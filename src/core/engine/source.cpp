@@ -122,8 +122,7 @@ Result<std::unique_ptr<PacketSource>> open_capture(
     return Error{ErrorCode::kNotFound, "cannot open " + path.string()};
   }
   std::uint8_t magic_bytes[4] = {0, 0, 0, 0};
-  probe.read(reinterpret_cast<char*>(magic_bytes), 4);
-  if (probe.gcount() != 4) {
+  if (util::read_exact(probe, magic_bytes, 4) != 4) {
     return Error{ErrorCode::kUnsupportedFormat,
                  path.string() + " is too short to hold a capture-file magic"};
   }
@@ -177,11 +176,15 @@ Result<std::unique_ptr<PacketSource>> open_capture(
     return Error{ErrorCode::kMalformedCapture, e.what()};
   }
   if (options.metrics != nullptr) {
-    impl->packets = options.metrics->counter("source.packets");
-    impl->bytes = options.metrics->counter("source.bytes");
-    impl->errors = options.metrics->counter("source.errors");
+    impl->packets =
+        options.metrics->counter("source.packets", obs::Stability::kStable);
+    impl->bytes =
+        options.metrics->counter("source.bytes", obs::Stability::kStable);
+    impl->errors =
+        options.metrics->counter("source.errors", obs::Stability::kStable);
     options.metrics
-        ->counter(is_pcapng ? "source.format.pcapng" : "source.format.pcap")
+        ->counter(is_pcapng ? "source.format.pcapng" : "source.format.pcap",
+                  obs::Stability::kStable)
         ->add(1);
     // Whether mmap engaged depends on the platform and open mode, not
     // on the packet stream — keep it out of the stable section.

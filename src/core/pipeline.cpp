@@ -18,8 +18,8 @@ void AttackPipeline::calibrate(const std::vector<CalibrationSession>& sessions) 
                     std::make_move_iterator(session_labels.end()));
   }
   if (metrics_ != nullptr) {
-    metrics_->counter("pipeline.calibration.sessions")->add(sessions.size());
-    metrics_->counter("pipeline.calibration.observations")->add(labelled.size());
+    metrics_->counter("pipeline.calibration.sessions", obs::Stability::kStable)->add(sessions.size());
+    metrics_->counter("pipeline.calibration.observations", obs::Stability::kStable)->add(labelled.size());
   }
   classifier_->fit(labelled);
 }
@@ -59,20 +59,20 @@ InferReport AttackPipeline::infer(engine::PacketSource& source,
   }
 
   if (registry != nullptr) {
-    registry->counter("pipeline.infer.runs")->add(1);
-    registry->counter("pipeline.questions")
+    registry->counter("pipeline.infer.runs", obs::Stability::kStable)->add(1);
+    registry->counter("pipeline.questions", obs::Stability::kStable)
         ->add(report.combined.questions.size());
     std::uint64_t non_default = 0;
     for (const auto& question : report.combined.questions) {
       if (question.choice == story::Choice::kNonDefault) ++non_default;
     }
-    registry->counter("pipeline.choices.non_default")->add(non_default);
-    registry->counter("pipeline.choices.default")
+    registry->counter("pipeline.choices.non_default", obs::Stability::kStable)->add(non_default);
+    registry->counter("pipeline.choices.default", obs::Stability::kStable)
         ->add(report.combined.questions.size() - non_default);
-    registry->counter("pipeline.viewers.reported")
+    registry->counter("pipeline.viewers.reported", obs::Stability::kStable)
         ->add(report.per_client.size());
     if (report.path) {
-      registry->counter("pipeline.paths.reconstructed")->add(1);
+      registry->counter("pipeline.paths.reconstructed", obs::Stability::kStable)->add(1);
     }
   }
   return report;

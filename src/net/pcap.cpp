@@ -86,8 +86,7 @@ void PcapWriter::write(const Packet& packet) {
   write_u32(*out_, fraction);
   write_u32(*out_, static_cast<std::uint32_t>(captured));
   write_u32(*out_, static_cast<std::uint32_t>(original));
-  out_->write(reinterpret_cast<const char*>(packet.data.data()),
-              static_cast<std::streamsize>(captured));
+  util::write_all(*out_, util::BytesView(packet.data).first(captured));
   if (!*out_) throw std::runtime_error("PcapWriter: write failed");
   ++packets_written_;
 }
@@ -156,8 +155,8 @@ void PcapReader::parse_file_header(const std::uint8_t* bytes) {
 
 void PcapReader::read_file_header() {
   std::uint8_t bytes[PcapFileHeader::kSize];
-  in_->read(reinterpret_cast<char*>(bytes), PcapFileHeader::kSize);
-  if (in_->gcount() != static_cast<std::streamsize>(PcapFileHeader::kSize)) {
+  if (util::read_exact(*in_, bytes, PcapFileHeader::kSize) !=
+      PcapFileHeader::kSize) {
     throw std::runtime_error("pcap: unexpected end of file");
   }
   parse_file_header(bytes);
@@ -188,8 +187,7 @@ bool PcapReader::read_record_header(RecordHeader& out) {
   // 16-byte header in one buffered read instead of four field reads.
   if (in_->peek() == std::char_traits<char>::eof()) return false;
   std::uint8_t bytes[16];
-  in_->read(reinterpret_cast<char*>(bytes), 16);
-  if (in_->gcount() != 16) {
+  if (util::read_exact(*in_, bytes, 16) != 16) {
     throw std::runtime_error("pcap: unexpected end of file");
   }
   out = parse_record_header(bytes);
@@ -222,9 +220,10 @@ std::optional<PacketView> PcapReader::next_view() {
   RecordHeader record;
   if (!read_record_header(record)) return std::nullopt;
   scratch_.resize(record.captured);
-  in_->read(reinterpret_cast<char*>(scratch_.data()),
-            static_cast<std::streamsize>(record.captured));
-  if (!*in_) throw std::runtime_error("PcapReader: truncated packet record");
+  if (util::read_exact(*in_, scratch_.data(), record.captured) !=
+      record.captured) {
+    throw std::runtime_error("PcapReader: truncated packet record");
+  }
   return PacketView(record.timestamp, scratch_, record.original);
 }
 
@@ -241,9 +240,10 @@ std::optional<Packet> PcapReader::next() {
   Packet packet;
   packet.timestamp = record.timestamp;
   packet.data.resize(record.captured);
-  in_->read(reinterpret_cast<char*>(packet.data.data()),
-            static_cast<std::streamsize>(record.captured));
-  if (!*in_) throw std::runtime_error("PcapReader: truncated packet record");
+  if (util::read_exact(*in_, packet.data.data(), record.captured) !=
+      record.captured) {
+    throw std::runtime_error("PcapReader: truncated packet record");
+  }
   packet.original_length = record.original;
   return packet;
 }

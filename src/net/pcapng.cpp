@@ -55,8 +55,7 @@ void write_block(std::ostream& out, std::uint32_t type, const util::Bytes& body)
   frame.insert(frame.end(), body.begin(), body.end());
   while ((frame.size() + 4) % 4 != 0) frame.push_back(0);
   put_u32(frame, total);
-  out.write(reinterpret_cast<const char*>(frame.data()),
-            static_cast<std::streamsize>(frame.size()));
+  util::write_all(out, frame);
   if (!out) throw std::runtime_error("pcapng: write failed");
 }
 
@@ -95,9 +94,7 @@ void PcapngWriter::write_preamble(const std::string& application) {
   put_u16(shb, 1);  // major
   put_u16(shb, 0);  // minor
   put_u64(shb, 0xffffffffffffffffull);  // section length unknown
-  put_option(shb, 4 /*shb_userappl*/,
-             util::BytesView(reinterpret_cast<const std::uint8_t*>(application.data()),
-                             application.size()));
+  put_option(shb, 4 /*shb_userappl*/, util::as_bytes(application));
   put_end_of_options(shb);
   write_block(*out_, static_cast<std::uint32_t>(PcapngBlockType::kSectionHeader), shb);
 
@@ -190,10 +187,10 @@ bool PcapngReader::read_block_mapped(std::uint32_t& type, util::BytesView& body)
 }
 
 bool PcapngReader::read_block_streamed(std::uint32_t& type, util::BytesView& body) {
-  unsigned char header[8];
-  in_->read(reinterpret_cast<char*>(header), 8);
-  if (in_->gcount() == 0) return false;  // clean EOF
-  if (in_->gcount() != 8) throw std::runtime_error("pcapng: truncated block header");
+  std::uint8_t header[8];
+  const std::size_t header_read = util::read_exact(*in_, header, 8);
+  if (header_read == 0) return false;  // clean EOF
+  if (header_read != 8) throw std::runtime_error("pcapng: truncated block header");
   std::uint32_t length = 0;
   std::memcpy(&type, header, 4);
   std::memcpy(&length, header + 4, 4);
@@ -201,10 +198,11 @@ bool PcapngReader::read_block_streamed(std::uint32_t& type, util::BytesView& bod
   // Its byte-order magic (first body word) must be consumed before the
   // length can be interpreted, so stage it ahead of the bulk body read.
   std::size_t prefix = 0;
-  unsigned char magic_bytes[4];
+  std::uint8_t magic_bytes[4];
   if (type == static_cast<std::uint32_t>(PcapngBlockType::kSectionHeader)) {
-    in_->read(reinterpret_cast<char*>(magic_bytes), 4);
-    if (in_->gcount() != 4) throw std::runtime_error("pcapng: truncated SHB");
+    if (util::read_exact(*in_, magic_bytes, 4) != 4) {
+      throw std::runtime_error("pcapng: truncated SHB");
+    }
     std::uint32_t magic = 0;
     std::memcpy(&magic, magic_bytes, 4);
     byte_swapped_ = magic != kByteOrderMagic;
@@ -223,10 +221,8 @@ bool PcapngReader::read_block_streamed(std::uint32_t& type, util::BytesView& bod
   // allocation).
   body_scratch_.resize(body_size + 4);
   std::memcpy(body_scratch_.data(), magic_bytes, prefix);
-  const std::streamsize want =
-      static_cast<std::streamsize>(body_size + 4 - prefix);
-  in_->read(reinterpret_cast<char*>(body_scratch_.data() + prefix), want);
-  if (in_->gcount() != want) {
+  const std::size_t want = body_size + 4 - prefix;
+  if (util::read_exact(*in_, body_scratch_.data() + prefix, want) != want) {
     throw std::runtime_error("pcapng: truncated block body");
   }
   std::uint32_t trailing = 0;
@@ -267,11 +263,18 @@ void PcapngReader::add_interface(util::BytesView body) {
     if (code == 0) break;  // end of options
     if (code == 9 && len >= 1 && pos < body.size()) {
       const std::uint8_t tsresol = body[pos];
+      const std::uint8_t exponent = tsresol & 0x7f;
+      // A resolution finer than 2^63 (or 10^19) ticks/second cannot be
+      // represented in the 64-bit tick counter — the file is lying.
+      // (Found by fuzzing: 1ull << 89 is undefined behaviour.)
+      if ((tsresol & 0x80) ? exponent > 63 : exponent > 19) {
+        throw std::runtime_error("pcapng: unrepresentable if_tsresol");
+      }
       if (tsresol & 0x80) {
-        iface.ticks_per_second = 1ull << (tsresol & 0x7f);
+        iface.ticks_per_second = 1ull << exponent;
       } else {
         iface.ticks_per_second = 1;
-        for (int i = 0; i < (tsresol & 0x7f); ++i) iface.ticks_per_second *= 10;
+        for (int i = 0; i < exponent; ++i) iface.ticks_per_second *= 10;
       }
     }
     pos += (len + 3u) / 4u * 4u;
@@ -372,7 +375,10 @@ std::vector<Packet> read_any_capture(const std::filesystem::path& path) {
     throw std::runtime_error("read_any_capture: cannot open " + path.string());
   }
   std::uint32_t magic = 0;
-  probe.read(reinterpret_cast<char*>(&magic), 4);
+  std::uint8_t magic_bytes[4] = {};
+  if (util::read_exact(probe, magic_bytes, 4) == 4) {
+    std::memcpy(&magic, magic_bytes, 4);
+  }
   probe.close();
   if (magic == static_cast<std::uint32_t>(PcapngBlockType::kSectionHeader)) {
     return read_pcapng(path);

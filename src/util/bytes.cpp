@@ -1,10 +1,31 @@
 #include "wm/util/bytes.hpp"
 
 #include <cctype>
+#include <istream>
+#include <ostream>
 #include <sstream>
 #include <stdexcept>
 
 namespace wm::util {
+
+std::size_t read_exact(std::istream& in, std::uint8_t* dst, std::size_t count) {
+  // The one blessed uint8_t* -> char* bridge for stream input.
+  in.read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(count));
+  return static_cast<std::size_t>(in.gcount());
+}
+
+void write_all(std::ostream& out, BytesView data) {
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+}
+
+std::string_view as_chars(BytesView data) {
+  return {reinterpret_cast<const char*>(data.data()), data.size()};
+}
+
+BytesView as_bytes(std::string_view text) {
+  return {reinterpret_cast<const std::uint8_t*>(text.data()), text.size()};
+}
 
 namespace {
 

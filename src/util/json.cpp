@@ -13,6 +13,13 @@ namespace {
   throw std::runtime_error(std::string("JsonValue: value is not ") + expected);
 }
 
+/// Nesting cap for the recursive-descent parser: each level of [ / {
+/// costs two native stack frames, so attacker-supplied input (state
+/// JSONs ride inside captured traffic) could otherwise overflow the
+/// stack long before exhausting memory. 192 levels is far beyond any
+/// real Netflix state document and keeps worst-case stack use small.
+constexpr int kMaxNestingDepth = 192;
+
 /// Recursive-descent JSON parser over a string_view.
 class Parser {
  public:
@@ -68,6 +75,20 @@ class Parser {
     return false;
   }
 
+  /// RAII depth ticket taken by every container frame.
+  struct DepthGuard {
+    explicit DepthGuard(Parser& parser) : parser_(parser) {
+      if (++parser_.depth_ > kMaxNestingDepth) {
+        parser_.fail("nesting deeper than " +
+                     std::to_string(kMaxNestingDepth) + " levels");
+      }
+    }
+    ~DepthGuard() { --parser_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    Parser& parser_;
+  };
+
   JsonValue parse_value() {
     skip_whitespace();
     const char c = peek();
@@ -93,6 +114,7 @@ class Parser {
   }
 
   JsonValue parse_object() {
+    const DepthGuard depth(*this);
     expect('{');
     JsonObject obj;
     skip_whitespace();
@@ -119,6 +141,7 @@ class Parser {
   }
 
   JsonValue parse_array() {
+    const DepthGuard depth(*this);
     expect('[');
     JsonArray arr;
     skip_whitespace();
@@ -215,8 +238,11 @@ class Parser {
     }
   }
 
+  // wm-lint: allow(borrow): parser is stack-local inside parse(); the
+  // input string outlives it by construction.
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -54,8 +54,8 @@ TEST(ByteReader, Reads64Bit) {
 TEST(ByteReader, BoundsChecked) {
   const Bytes data = {0x01, 0x02};
   ByteReader reader(data);
-  reader.read_u16_be();
-  EXPECT_THROW(reader.read_u8(), OutOfBoundsError);
+  (void)reader.read_u16_be();
+  EXPECT_THROW((void)reader.read_u8(), OutOfBoundsError);
   EXPECT_TRUE(reader.at_end());
 }
 
@@ -63,7 +63,7 @@ TEST(ByteReader, BoundsErrorCarriesCounts) {
   const Bytes data = {0x01};
   ByteReader reader(data);
   try {
-    reader.read_u32_be();
+    (void)reader.read_u32_be();
     FAIL() << "expected OutOfBoundsError";
   } catch (const OutOfBoundsError& e) {
     EXPECT_EQ(e.requested(), 4u);

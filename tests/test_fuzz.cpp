@@ -107,7 +107,7 @@ TEST(Fuzz, PcapReaderRejectsGarbageGracefully) {
   util::Rng rng(106);
   for (int trial = 0; trial < 1000; ++trial) {
     const auto data = random_bytes(rng, 256);
-    std::string text(reinterpret_cast<const char*>(data.data()), data.size());
+    std::string text(util::as_chars(data));
     std::stringstream stream(text);
     try {
       net::PcapReader reader(stream);

@@ -27,7 +27,7 @@ TEST(Json, DoubleParsing) {
 TEST(Json, IntAccessibleAsDouble) {
   const JsonValue v(std::int64_t{7});
   EXPECT_DOUBLE_EQ(v.as_double(), 7.0);
-  EXPECT_THROW(v.as_string(), std::runtime_error);
+  EXPECT_THROW((void)v.as_string(), std::runtime_error);
 }
 
 TEST(Json, ObjectAndArray) {
@@ -40,7 +40,7 @@ TEST(Json, ObjectAndArray) {
   EXPECT_EQ(arr[0].as_int(), 1);
   EXPECT_TRUE(arr[2].at("b").as_bool());
   EXPECT_EQ(v.at("c").as_string(), "x");
-  EXPECT_THROW(v.at("missing"), std::runtime_error);
+  EXPECT_THROW((void)v.at("missing"), std::runtime_error);
 }
 
 TEST(Json, CompactDumpIsCanonical) {
@@ -117,6 +117,26 @@ TEST(Json, DeepNesting) {
     v = std::move(inner);
   }
   EXPECT_EQ(v.as_int(), 1);
+}
+
+TEST(Json, NestingBeyondTheCapIsRejectedNotACrash) {
+  // The parser caps container nesting at 192 levels; hostile input
+  // (e.g. "[[[[..." from a fuzzer) must fail with a parse error, never
+  // by exhausting the native stack.
+  std::string deep;
+  for (int i = 0; i < 100000; ++i) deep += "[";
+  EXPECT_THROW((void)JsonValue::parse(deep), std::runtime_error);
+
+  std::string mixed;
+  for (int i = 0; i < 300; ++i) mixed += "{\"k\":[";
+  EXPECT_THROW((void)JsonValue::parse(mixed), std::runtime_error);
+
+  // Just inside the cap still parses (objects+arrays share the budget).
+  std::string ok;
+  for (int i = 0; i < 96; ++i) ok += "[";
+  ok += "true";
+  for (int i = 0; i < 96; ++i) ok += "]";
+  EXPECT_TRUE(JsonValue::parse(ok).is_array());
 }
 
 TEST(JsonEscape, PassthroughForPlainText) {

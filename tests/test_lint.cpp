@@ -1,0 +1,469 @@
+// Unit tests for the wm::lint rule engine (tools/wm_lint). Probe
+// sources live in raw string literals; the linter's own lexical
+// pre-pass blanks string literals before matching, which is also why
+// this file survives the repo-wide `lint_repo` scan despite spelling
+// out every banned construct below.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+using wm::lint::Diagnostic;
+using wm::lint::LintResult;
+using wm::lint::Options;
+using wm::lint::SourceFile;
+
+LintResult lint_one(std::string path, std::string content,
+                    Options options = {}) {
+  return wm::lint::run({SourceFile{std::move(path), std::move(content)}},
+                       options);
+}
+
+std::vector<std::string> rules_of(const LintResult& result) {
+  std::vector<std::string> rules;
+  rules.reserve(result.diagnostics.size());
+  for (const Diagnostic& d : result.diagnostics) rules.push_back(d.rule);
+  return rules;
+}
+
+bool has_rule(const LintResult& result, const std::string& rule) {
+  const auto rules = rules_of(result);
+  return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+// --- rule: cast ------------------------------------------------------
+
+TEST(LintCast, FlagsReinterpretCastOutsideBlessedFile) {
+  const auto result = lint_one("src/net/foo.cpp", R"(
+void f(const char* p) {
+  auto* q = reinterpret_cast<const unsigned char*>(p);
+  (void)q;
+}
+)");
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].rule, "cast");
+  EXPECT_EQ(result.diagnostics[0].line, 3u);
+}
+
+TEST(LintCast, BlessedBridgeFileIsExempt) {
+  const auto result = lint_one("src/util/bytes.cpp", R"(
+const char* f(const unsigned char* p) {
+  return reinterpret_cast<const char*>(p);
+}
+)");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(LintCast, IgnoresCastsInCommentsAndStrings) {
+  const auto result = lint_one("src/net/foo.cpp", R"(
+// reinterpret_cast in a comment is fine
+const char* kDoc = "reinterpret_cast in a string is fine";
+)");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(LintCast, AllowWithReasonSuppressesAndIsCounted) {
+  const auto result = lint_one("src/net/foo.cpp", R"(
+void f(const char* p) {
+  // wm-lint: allow(cast): FFI boundary, audited 2026-08.
+  auto* q = reinterpret_cast<const unsigned char*>(p);
+  (void)q;
+}
+)");
+  EXPECT_TRUE(result.diagnostics.empty());
+  EXPECT_EQ(result.stats.suppressions.at("cast"), 1u);
+}
+
+TEST(LintCast, AllowWithoutReasonIsItselfADiagnostic) {
+  const auto result = lint_one("src/net/foo.cpp", R"(
+void f(const char* p) {
+  auto* q = reinterpret_cast<const unsigned char*>(p);  // wm-lint: allow(cast)
+  (void)q;
+}
+)");
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].rule, "cast");
+  EXPECT_NE(result.diagnostics[0].message.find("without a reason"),
+            std::string::npos);
+}
+
+// --- rule: borrow ----------------------------------------------------
+
+TEST(LintBorrow, FlagsViewMemberInOwningRecord) {
+  const auto result = lint_one("include/wm/net/thing.hpp", R"(
+namespace wm::net {
+struct ParsedFrame {
+  util::BytesView payload;
+  int kind = 0;
+};
+}
+)");
+  ASSERT_TRUE(has_rule(result, "borrow"));
+  EXPECT_EQ(result.diagnostics[0].line, 4u);
+}
+
+TEST(LintBorrow, ViewNamedRecordsAreExempt) {
+  const auto result = lint_one("include/wm/net/thing.hpp", R"(
+struct FrameView {
+  util::BytesView payload;
+  std::string_view name;
+};
+)");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(LintBorrow, LocalsAndParametersAreNotMembers) {
+  const auto result = lint_one("src/net/thing.cpp", R"(
+void consume(util::BytesView payload) {
+  util::BytesView rest = payload;
+  (void)rest;
+}
+)");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(LintBorrow, MethodBodiesInsideRecordsAreNotFlagged) {
+  const auto result = lint_one("include/wm/net/thing.hpp", R"(
+class Parser {
+ public:
+  void step() {
+    std::string_view token = next();
+    use(token);
+  }
+ private:
+  std::string buffer_;
+};
+)");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(LintBorrow, OnlyLibraryTreesAreScanned) {
+  const auto result = lint_one("tests/test_thing.cpp", R"(
+struct Probe {
+  util::BytesView payload;
+};
+)");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(LintBorrow, SuppressibleWithReason) {
+  const auto result = lint_one("include/wm/net/thing.hpp", R"(
+struct Batch {
+  // wm-lint: allow(borrow): views die with the arena they index into.
+  util::BytesView payload;
+};
+)");
+  EXPECT_TRUE(result.diagnostics.empty());
+  EXPECT_EQ(result.stats.suppressions.at("borrow"), 1u);
+}
+
+TEST(LintBorrow, AllowReachesThroughAMultiLineCommentBlock) {
+  // Real justifications wrap; the whole contiguous comment block above
+  // a finding shields it, not just the single preceding line.
+  const auto result = lint_one("include/wm/net/thing.hpp", R"(
+struct Batch {
+  // wm-lint: allow(borrow): long-winded justification that needs a
+  // second line to fully explain the lifetime contract involved here.
+  util::BytesView payload;
+};
+)");
+  EXPECT_TRUE(result.diagnostics.empty());
+  EXPECT_EQ(result.stats.suppressions.at("borrow"), 1u);
+}
+
+// --- rule: nodiscard -------------------------------------------------
+
+TEST(LintNodiscard, ResultClassHeadMustCarryAttribute) {
+  const auto result = lint_one("include/wm/util/result.hpp", R"(
+template <typename T>
+class Result {
+ public:
+  bool ok() const;
+};
+)");
+  ASSERT_TRUE(has_rule(result, "nodiscard"));
+  EXPECT_TRUE(result.diagnostics[0].fixable);
+}
+
+TEST(LintNodiscard, AttributedResultClassIsClean) {
+  const auto result = lint_one("include/wm/util/result.hpp", R"(
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  bool ok() const;
+};
+)");
+  EXPECT_FALSE(has_rule(result, "nodiscard"));
+}
+
+TEST(LintNodiscard, HeaderDeclReturningResultNeedsAttribute) {
+  const auto result = lint_one("include/wm/net/io.hpp", R"(
+Result<int> parse_header(BytesView data);
+)");
+  ASSERT_TRUE(has_rule(result, "nodiscard"));
+  EXPECT_TRUE(result.diagnostics[0].fixable);
+}
+
+TEST(LintNodiscard, AttributeOnPreviousLineCounts) {
+  const auto result = lint_one("include/wm/net/io.hpp", R"(
+[[nodiscard]] Result<int> parse_header(BytesView data);
+[[nodiscard]]
+Result<int> parse_trailer(BytesView data);
+)");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(LintNodiscard, ParserApisNeedAttribute) {
+  const auto result = lint_one("include/wm/util/reader.hpp", R"(
+class Reader {
+ public:
+  std::uint16_t read_u16_be();
+};
+)");
+  ASSERT_TRUE(has_rule(result, "nodiscard"));
+}
+
+TEST(LintNodiscard, UseSitesAreNotDeclarations) {
+  // Regression: `return try_pop(out);` and member calls must not be
+  // mistaken for undecorated declarations (the fixer once stamped
+  // [[nodiscard]] onto a return statement).
+  const auto result = lint_one("include/wm/util/ring.hpp", R"(
+class Ring {
+ public:
+  [[nodiscard]] bool try_pop(int& out);
+  bool pop_blocking(int& out) {
+    while (spinning()) {
+      if (inner_.try_pop(out)) return true;
+    }
+    return try_pop(out);
+  }
+};
+)");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(LintNodiscard, FriendAndUsingDeclsAreSkipped) {
+  const auto result = lint_one("include/wm/net/io.hpp", R"(
+class Source {
+  friend Result<int> open_capture(const std::string& path);
+  using ReadFn = int (*)(char*);
+};
+)");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(LintNodiscard, BareKnownCallIsFlaggedEverywhere) {
+  const auto result = lint_one("tests/test_engine.cpp", R"(
+void f() {
+  open_capture("trace.pcap");
+}
+)");
+  ASSERT_TRUE(has_rule(result, "nodiscard"));
+}
+
+TEST(LintNodiscard, ConsumedKnownCallIsClean) {
+  const auto result = lint_one("tests/test_engine.cpp", R"(
+void f() {
+  auto source = open_capture("trace.pcap");
+  if (!source.ok()) return;
+  return open_capture("other.pcap");
+}
+)");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+// --- rule: stability -------------------------------------------------
+
+TEST(LintStability, RegistrationWithoutStabilityIsFlagged) {
+  const auto result = lint_one("src/core/pipeline.cpp", R"(
+void wire(obs::Registry& registry) {
+  packets_ = registry.counter("pipeline.packets");
+}
+)");
+  ASSERT_TRUE(has_rule(result, "stability"));
+}
+
+TEST(LintStability, ExplicitStabilityArgumentIsClean) {
+  const auto result = lint_one("src/core/pipeline.cpp", R"(
+void wire(obs::Registry& registry) {
+  packets_ = registry.counter("pipeline.packets", obs::Stability::kStable);
+  depth_ = registry.histogram("pipeline.depth",
+                              obs::Stability::kSharded);
+}
+)");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(LintStability, MultiLineCallsAreBalancedAcrossLines) {
+  const auto result = lint_one("src/core/pipeline.cpp", R"(
+void wire(obs::Registry& registry) {
+  packets_ = registry.counter(
+      "pipeline.packets",
+      config_.metrics_stability);
+}
+)");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(LintStability, ObsLayerItselfIsExempt) {
+  const auto result = lint_one("src/obs/registry.cpp", R"(
+CounterHandle Registry::counter(std::string name) {
+  return self_.counter(std::move(name));
+}
+)");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+// --- rule: mutex -----------------------------------------------------
+
+TEST(LintMutex, MutexInEnginePathIsFlagged) {
+  const auto result = lint_one("src/core/engine/worker.cpp", R"(
+class Worker {
+  std::mutex state_mutex_;
+};
+)");
+  ASSERT_TRUE(has_rule(result, "mutex"));
+}
+
+TEST(LintMutex, ColdPathFilesMayUseMutexes) {
+  const auto result = lint_one("src/dataset/store.cpp", R"(
+class Store {
+  std::mutex mutex_;
+};
+)");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(LintMutex, HotPathTagOptsAFileIn) {
+  const auto result = lint_one("src/dataset/store.cpp", R"(
+// wm-lint: hot-path
+class Store {
+  std::shared_mutex mutex_;
+};
+)");
+  ASSERT_TRUE(has_rule(result, "mutex"));
+}
+
+TEST(LintMutex, SuppressibleWithReason) {
+  const auto result = lint_one("src/core/engine/collector.cpp", R"(
+class Collector {
+  // wm-lint: allow(mutex): merge path only, never under the ingest loop.
+  std::mutex merge_mutex_;
+};
+)");
+  EXPECT_TRUE(result.diagnostics.empty());
+  EXPECT_EQ(result.stats.suppressions.at("mutex"), 1u);
+}
+
+// --- rule: suppression -----------------------------------------------
+
+TEST(LintSuppression, UnusedAllowIsReported) {
+  const auto result = lint_one("src/net/foo.cpp", R"(
+// wm-lint: allow(cast): stale justification for code long deleted.
+int x = 1;
+)");
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].rule, "suppression");
+  EXPECT_NE(result.diagnostics[0].message.find("matches no finding"),
+            std::string::npos);
+}
+
+TEST(LintSuppression, UnknownRuleNameIsReported) {
+  const auto result = lint_one("src/net/foo.cpp", R"(
+// wm-lint: allow(everything): please.
+int x = 1;
+)");
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].rule, "suppression");
+}
+
+TEST(LintSuppression, InlineCommentOnPrecedingCodeLineDoesNotLeak) {
+  // An allow() in a trailing comment shields its own line only; the
+  // next line's finding must still fire.
+  const auto result = lint_one("src/net/foo.cpp", R"(
+void f(const char* p) {
+  int unrelated = 0;  // wm-lint: allow(cast): not above, inline elsewhere.
+  auto* q = reinterpret_cast<const unsigned char*>(p);
+  (void)q; (void)unrelated;
+}
+)");
+  EXPECT_TRUE(has_rule(result, "cast"));
+  EXPECT_TRUE(has_rule(result, "suppression"));
+}
+
+// --- fix-nodiscard ---------------------------------------------------
+
+TEST(LintFix, InsertsAttributeAtFixableSites) {
+  Options options;
+  options.fix_nodiscard = true;
+  const auto result = lint_one("include/wm/net/io.hpp",
+                               "Result<int> parse(BytesView data);\n",
+                               options);
+  ASSERT_EQ(result.fixes.size(), 1u);
+  EXPECT_EQ(result.fixes.at("include/wm/net/io.hpp"),
+            "[[nodiscard]] Result<int> parse(BytesView data);\n");
+}
+
+TEST(LintFix, ClassHeadsGetAttributeAfterKeyword) {
+  Options options;
+  options.fix_nodiscard = true;
+  const auto result = lint_one("include/wm/util/result.hpp",
+                               "class Result {\n};\n", options);
+  ASSERT_EQ(result.fixes.size(), 1u);
+  EXPECT_EQ(result.fixes.at("include/wm/util/result.hpp"),
+            "class [[nodiscard]] Result {\n};\n");
+}
+
+TEST(LintFix, NoFixesWithoutTheFlag) {
+  const auto result =
+      lint_one("include/wm/net/io.hpp", "Result<int> parse(BytesView d);\n");
+  EXPECT_TRUE(result.fixes.empty());
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_TRUE(result.diagnostics[0].fixable);
+}
+
+// --- stats / plumbing ------------------------------------------------
+
+TEST(LintStats, JsonIsCanonicalAndSorted) {
+  const auto result = lint_one("src/net/foo.cpp", R"(
+void f(const char* p) {
+  auto* q = reinterpret_cast<const unsigned char*>(p);
+  (void)q;
+}
+)");
+  const std::string json = result.stats.to_json();
+  EXPECT_EQ(json.find("{\"diagnostics\":{\"cast\":1}"), 0u);
+  EXPECT_NE(json.find("\"files_scanned\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"suppressions\":{}"), std::string::npos);
+}
+
+TEST(LintStats, DiagnosticRendering) {
+  Diagnostic d;
+  d.rule = "cast";
+  d.path = "src/net/foo.cpp";
+  d.line = 12;
+  d.message = "bad";
+  EXPECT_EQ(d.to_string(), "src/net/foo.cpp:12: [cast] bad");
+}
+
+TEST(LintPlumbing, LoadFileReportsMissingPaths) {
+  const auto loaded =
+      wm::lint::load_file("/nonexistent/nope.cpp", "src/nope.cpp");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code, wm::ErrorCode::kNotFound);
+}
+
+TEST(LintPlumbing, RuleNamesAreStable) {
+  const auto& names = wm::lint::rule_names();
+  EXPECT_EQ(names.size(), 6u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "borrow"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "suppression"),
+            names.end());
+}
+
+}  // namespace

@@ -128,8 +128,7 @@ TEST(Pcap, ByteSwappedFileReadable) {
   out.write_u32_be(4);       // orig len
   out.write_u32_be(0xdeadbeef);
 
-  std::string text(reinterpret_cast<const char*>(out.view().data()),
-                   out.view().size());
+  std::string text(util::as_chars(out.view()));
   std::stringstream stream(text);
   PcapReader reader(stream);
   EXPECT_TRUE(reader.header().byte_swapped);

@@ -73,8 +73,7 @@ TEST(Pcapng, UnknownBlocksSkipped) {
   extra.write_u32_le(total);
   extra.write_u32_le(0);  // body filler
   extra.write_u32_le(total);
-  data.append(reinterpret_cast<const char*>(extra.view().data()),
-              extra.view().size());
+  data.append(util::as_chars(extra.view()));
   // And another packet block after it.
   std::stringstream stream2(data);
   {

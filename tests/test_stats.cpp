@@ -130,7 +130,7 @@ TEST(ConfusionMatrix, EmptyAccuracyIsOne) {
 TEST(ConfusionMatrix, BoundsChecked) {
   ConfusionMatrix m({"x"});
   EXPECT_THROW(m.add(0, 1), std::out_of_range);
-  EXPECT_THROW(m.at(1, 0), std::out_of_range);
+  EXPECT_THROW((void)m.at(1, 0), std::out_of_range);
   EXPECT_THROW(ConfusionMatrix({}), std::invalid_argument);
 }
 

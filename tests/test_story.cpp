@@ -26,7 +26,7 @@ TEST(StoryGraph, RejectsDegenerateConstruction) {
 
 TEST(StoryGraph, SegmentBoundsChecked) {
   const StoryGraph graph = make_bandersnatch();
-  EXPECT_THROW(graph.segment(static_cast<SegmentId>(graph.segment_count())),
+  EXPECT_THROW((void)graph.segment(static_cast<SegmentId>(graph.segment_count())),
                std::out_of_range);
 }
 

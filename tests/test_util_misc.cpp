@@ -175,7 +175,7 @@ TEST(Cli, BadNumberRejected) {
   cli.add_int("n", "num", 0);
   const char* argv[] = {"prog", "--n", "abc"};
   ASSERT_TRUE(cli.parse(3, argv));
-  EXPECT_THROW(cli.get_int("n"), std::runtime_error);
+  EXPECT_THROW((void)cli.get_int("n"), std::runtime_error);
 }
 
 TEST(Cli, MissingValueRejected) {

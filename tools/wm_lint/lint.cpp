@@ -1,0 +1,593 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace wm::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Lexical pre-pass: split every line into code and comment text, with
+// string/char literals (including R"( )" raw strings) blanked out of
+// the code so rule patterns never fire inside literals, and comments
+// separated out so suppressions are only honoured in real comments.
+// ---------------------------------------------------------------------
+
+struct LineInfo {
+  std::string code;     // literals blanked to spaces, comments removed
+  std::string comment;  // text after // (or inside /* */), if any
+};
+
+/// Lexer state that survives line boundaries: /* */ comments and
+/// R"delim( ... )delim" raw strings can both span physical lines.
+struct LexState {
+  bool in_block = false;
+  bool in_raw = false;
+  std::string raw_closer;
+};
+
+/// Scan one physical line, splitting code from comment text.
+LineInfo split_line(const std::string& line, LexState& state) {
+  LineInfo out;
+  out.code.reserve(line.size());
+  std::size_t i = 0;
+  if (state.in_raw) {
+    const std::size_t end = line.find(state.raw_closer);
+    if (end == std::string::npos) return out;  // whole line is literal
+    i = end + state.raw_closer.size();
+    state.in_raw = false;
+  }
+  while (i < line.size()) {
+    if (state.in_block) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        state.in_block = false;
+        i += 2;
+        continue;
+      }
+      out.comment.push_back(line[i++]);
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+      out.comment.append(line, i + 2, std::string::npos);
+      break;
+    }
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      state.in_block = true;
+      i += 2;
+      continue;
+    }
+    if (c == 'R' && i + 1 < line.size() && line[i + 1] == '"') {
+      // Raw string literal: R"delim( ... )delim". Blank the contents;
+      // if the closer is not on this line the literal continues onto
+      // the following lines.
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < line.size() && line[j] != '(') delim.push_back(line[j++]);
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = line.find(closer, j);
+      out.code.append("R\"\"");
+      if (end == std::string::npos) {
+        state.in_raw = true;
+        state.raw_closer = closer;
+        break;
+      }
+      i = end + closer.size();
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      out.code.push_back(quote);
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          i += 2;
+          continue;
+        }
+        if (line[i] == quote) {
+          ++i;
+          break;
+        }
+        ++i;
+      }
+      out.code.push_back(quote);
+      continue;
+    }
+    out.code.push_back(c);
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------
+
+struct Suppression {
+  std::string rule;
+  bool has_reason = false;
+  bool used = false;
+};
+
+/// Parse allow directives — `wm-lint: allow(<rule>): <reason>` — out of
+/// comment text. (Spelled with angle brackets here so this very comment
+/// does not register as a suppression when the linter scans itself.)
+std::vector<Suppression> parse_allows(const std::string& comment) {
+  std::vector<Suppression> out;
+  static const std::regex kAllow(
+      R"(wm-lint:\s*allow\(([a-z]+)\)(\s*:\s*(\S.*))?)");
+  auto begin = std::sregex_iterator(comment.begin(), comment.end(), kAllow);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    Suppression s;
+    s.rule = (*it)[1].str();
+    s.has_reason = (*it)[3].matched;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+bool comment_tags_hot_path(const std::string& comment) {
+  return comment.find("wm-lint: hot-path") != std::string::npos;
+}
+
+// ---------------------------------------------------------------------
+// Per-file scan state
+// ---------------------------------------------------------------------
+
+struct FileScan {
+  const SourceFile* file = nullptr;
+  std::vector<std::string> raw;             // physical lines
+  std::vector<LineInfo> lines;              // code/comment split
+  // line index (0-based) -> suppressions declared on that line
+  std::map<std::size_t, std::vector<Suppression>> allows;
+  bool hot_path_tag = false;
+};
+
+FileScan prepare(const SourceFile& file) {
+  FileScan scan;
+  scan.file = &file;
+  std::istringstream in(file.content);
+  std::string line;
+  LexState state;
+  while (std::getline(in, line)) {
+    scan.raw.push_back(line);
+    scan.lines.push_back(split_line(line, state));
+    const LineInfo& info = scan.lines.back();
+    if (!info.comment.empty()) {
+      auto found = parse_allows(info.comment);
+      if (!found.empty()) {
+        scan.allows[scan.lines.size() - 1] = std::move(found);
+      }
+      if (comment_tags_hot_path(info.comment)) scan.hot_path_tag = true;
+    }
+  }
+  return scan;
+}
+
+bool starts_with(const std::string& text, const std::string& prefix) {
+  return text.rfind(prefix, 0) == 0;
+}
+
+bool path_contains(const std::string& path, const std::string& needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+// ---------------------------------------------------------------------
+// The rule engine
+// ---------------------------------------------------------------------
+
+class Linter {
+ public:
+  Linter(FileScan& scan, const Options& options, LintResult& result)
+      : scan_(scan), options_(options), result_(result) {}
+
+  void run_rules() {
+    const std::string& path = scan_.file->path;
+    rule_cast(path);
+    rule_mutex(path);
+    rule_borrow(path);
+    rule_nodiscard(path);
+    rule_stability(path);
+    finish_suppressions();
+  }
+
+ private:
+  /// Report unless an allow(rule) eats it: either inline on the same
+  /// line, or anywhere in the contiguous comment block directly above.
+  void report(const std::string& rule, std::size_t index,
+              const std::string& message, bool fixable = false) {
+    std::vector<std::size_t> shield = {index};
+    for (std::size_t j = index; j > 0 && is_comment_only(j - 1); --j) {
+      shield.push_back(j - 1);
+    }
+    for (const std::size_t line : shield) {
+      auto it = scan_.allows.find(line);
+      if (it == scan_.allows.end()) continue;
+      for (Suppression& s : it->second) {
+        if (s.rule != rule) continue;
+        s.used = true;
+        if (s.has_reason) {
+          ++result_.stats.suppressions[rule];
+          return;
+        }
+        diagnose(rule, index,
+                 "suppressed without a reason — write `wm-lint: allow(" +
+                     rule + "): <why>`");
+        return;
+      }
+    }
+    diagnose(rule, index, message, fixable);
+  }
+
+  void diagnose(const std::string& rule, std::size_t index,
+                const std::string& message, bool fixable = false) {
+    Diagnostic d;
+    d.rule = rule;
+    d.path = scan_.file->path;
+    d.line = index + 1;
+    d.message = message;
+    d.fixable = fixable;
+    ++result_.stats.diagnostics[rule];
+    result_.diagnostics.push_back(std::move(d));
+    if (fixable && options_.fix_nodiscard) fix_lines_.push_back(index);
+  }
+
+  [[nodiscard]] bool is_comment_only(std::size_t index) const {
+    const std::string& code = scan_.lines[index].code;
+    return std::all_of(code.begin(), code.end(),
+                       [](unsigned char c) { return std::isspace(c); });
+  }
+
+  // --- rule: cast ----------------------------------------------------
+  // reinterpret_cast is how type confusion enters a parser of hostile
+  // bytes; only the audited util::bytes bridging helpers may use it.
+  void rule_cast(const std::string& path) {
+    if (path == "src/util/bytes.cpp") return;  // the blessed bridge
+    for (std::size_t i = 0; i < scan_.lines.size(); ++i) {
+      if (scan_.lines[i].code.find("reinterpret_cast") != std::string::npos) {
+        report("cast", i,
+               "reinterpret_cast outside util::bytes — use read_exact/"
+               "write_all/as_chars/as_bytes, or justify with allow(cast)");
+      }
+    }
+  }
+
+  // --- rule: mutex ---------------------------------------------------
+  // Hot-path files moved to lock-free rings/pools in PR 3; a mutex
+  // reappearing there is a performance regression until justified.
+  void rule_mutex(const std::string& path) {
+    const bool hot = scan_.hot_path_tag ||
+                     path_contains(path, "core/engine/") ||
+                     path_contains(path, "util/spsc_ring") ||
+                     path_contains(path, "util/buffer_pool");
+    if (!hot) return;
+    static const std::regex kMutexDecl(
+        R"(std::(recursive_|shared_|timed_)?mutex\s+\w+)");
+    for (std::size_t i = 0; i < scan_.lines.size(); ++i) {
+      if (std::regex_search(scan_.lines[i].code, kMutexDecl)) {
+        report("mutex", i,
+               "std::mutex declared in a hot-path file — use the lock-free "
+               "primitives, or justify with allow(mutex)");
+      }
+    }
+  }
+
+  // --- rule: borrow --------------------------------------------------
+  // DESIGN.md §3.3: borrowed views are valid only until the producer's
+  // next read. A record that stores one outlives that window unless it
+  // is itself a view type (name ends in "View") or the site documents
+  // why the lifetime is bounded.
+  void rule_borrow(const std::string& path) {
+    if (!starts_with(path, "include/") && !starts_with(path, "src/")) return;
+    static const std::regex kRecordHead(
+        R"(^\s*(?:template\s*<[^;{]*>\s*)?(?:class|struct)\s+(?:\[\[nodiscard\]\]\s*)?([A-Za-z_][\w:]*))");
+    static const std::regex kEnumHead(R"(^\s*enum\b)");
+    static const std::regex kMember(
+        R"(^\s*(?:mutable\s+)?(?:const\s+)?((?:net::|util::|std::|wm::)*(?:PacketView|BytesView|span<[^;()]*>|string_view))\s+(\w+)\s*(?:=[^;]*|\{[^;]*\})?;)");
+
+    struct Record {
+      std::string name;
+      int body_depth = 0;
+    };
+    std::vector<Record> stack;
+    std::string pending;
+    int depth = 0;
+
+    for (std::size_t i = 0; i < scan_.lines.size(); ++i) {
+      const std::string& code = scan_.lines[i].code;
+      std::smatch m;
+      if (!std::regex_search(code, kEnumHead) &&
+          std::regex_search(code, m, kRecordHead)) {
+        std::string name = m[1].str();
+        const std::size_t colons = name.rfind("::");
+        if (colons != std::string::npos) name = name.substr(colons + 2);
+        pending = name;
+      }
+      // Member check before brace bookkeeping so a member on the same
+      // line as a brace still sees the enclosing record.
+      if (!stack.empty() && depth == stack.back().body_depth &&
+          code.find('(') == std::string::npos) {
+        std::smatch mm;
+        if (std::regex_search(code, mm, kMember)) {
+          const std::string& record = stack.back().name;
+          const bool is_view_type = record.size() >= 4 &&
+              record.compare(record.size() - 4, 4, "View") == 0;
+          if (!is_view_type) {
+            report("borrow", i,
+                   "borrowed view member `" + mm[2].str() + "` (" +
+                       mm[1].str() + ") stored in non-view type `" + record +
+                       "` — own the bytes, or justify with allow(borrow)");
+          }
+        }
+      }
+      for (const char c : code) {
+        if (c == ';' && depth == 0) pending.clear();
+        if (c == '{') {
+          ++depth;
+          if (!pending.empty()) {
+            stack.push_back({pending, depth});
+            pending.clear();
+          }
+        } else if (c == '}') {
+          if (!stack.empty() && stack.back().body_depth == depth) {
+            stack.pop_back();
+          }
+          --depth;
+        }
+      }
+    }
+  }
+
+  // --- rule: nodiscard -----------------------------------------------
+  void rule_nodiscard(const std::string& path) {
+    // (a) Result/Status type heads must carry the class attribute, so
+    // the compiler flags every discarded call, everywhere.
+    static const std::regex kResultHead(
+        R"(^\s*(?:template\s*<[^;{]*>\s*)?(class|struct)\s+(Result|Status)\b[^;]*$)");
+    for (std::size_t i = 0; i < scan_.lines.size(); ++i) {
+      const std::string& code = scan_.lines[i].code;
+      std::smatch m;
+      if (std::regex_search(code, m, kResultHead) &&
+          code.find("[[nodiscard]]") == std::string::npos) {
+        report("nodiscard", i,
+               m[2].str() + " must be declared `" + m[1].str() +
+                   " [[nodiscard]] " + m[2].str() + "`",
+               /*fixable=*/true);
+      }
+    }
+
+    // (b)+(c) declarations in public headers: Result/Status returners
+    // and try_*/read_*/peek_* parser APIs.
+    if (!starts_with(path, "include/")) {
+      rule_nodiscard_calls();
+      return;
+    }
+    static const std::regex kDecl(
+        R"(^\s*(?:(?:static|virtual|inline|constexpr|explicit)\s+)*((?:wm::|util::)?Result<[\w:<>,\s\*&]*>|(?:wm::|util::)?Status)\s+[A-Za-z_]\w*\s*\()");
+    static const std::regex kTryRead(
+        R"(^\s*(?:(?:static|virtual|inline|constexpr|explicit)\s+)*[A-Za-z_][\w:<>,\s\*&]*[\s&\*>]((?:try_|read_|peek_)\w+)\s*\()");
+    for (std::size_t i = 0; i < scan_.lines.size(); ++i) {
+      const std::string& code = scan_.lines[i].code;
+      if (code.find("[[nodiscard]]") != std::string::npos) continue;
+      if (i > 0 &&
+          scan_.lines[i - 1].code.find("[[nodiscard]]") != std::string::npos) {
+        continue;
+      }
+      if (code.find("friend") != std::string::npos) continue;
+      if (code.find("using") != std::string::npos) continue;
+      // A line with `return` (or a member call) is a use site, not a
+      // declaration; the class attribute on Result/Status covers those.
+      if (code.find("return") != std::string::npos) continue;
+      std::smatch m;
+      if (std::regex_search(code, m, kDecl)) {
+        report("nodiscard", i,
+               "declaration returning " + m[1].str() +
+                   " must be [[nodiscard]]",
+               /*fixable=*/true);
+        continue;
+      }
+      if (std::regex_search(code, m, kTryRead) &&
+          !std::regex_search(code, std::regex(R"(^\s*(?:virtual\s+)?void\b)"))) {
+        // `obj.try_pop(x)` / `ptr->try_pop(x)` are calls, not decls.
+        const auto name_at = static_cast<std::size_t>(m.position(1));
+        const bool member_call =
+            (name_at >= 1 && code[name_at - 1] == '.') ||
+            (name_at >= 2 && code[name_at - 2] == '-' &&
+             code[name_at - 1] == '>');
+        if (member_call) continue;
+        report("nodiscard", i,
+               "parser API `" + m[1].str() + "` must be [[nodiscard]]",
+               /*fixable=*/true);
+      }
+    }
+    rule_nodiscard_calls();
+  }
+
+  // Known Result-returning entry points called as bare statements: the
+  // error channel is silently dropped. Belt-and-braces over the class
+  // attribute (which only warns) — the lint run fails hard.
+  void rule_nodiscard_calls() {
+    static const std::regex kBareCall(
+        R"(^\s*(?:[\w:]+(?:\.|->))?(open_capture|infer_capture)\s*\()");
+    for (std::size_t i = 0; i < scan_.lines.size(); ++i) {
+      const std::string& code = scan_.lines[i].code;
+      std::smatch m;
+      if (!std::regex_search(code, m, kBareCall)) continue;
+      if (code.find('=') != std::string::npos) continue;
+      if (code.find("return") != std::string::npos) continue;
+      if (code.find("void") != std::string::npos) continue;
+      report("nodiscard", i,
+             "result of " + m[1].str() + "() discarded — consume the "
+             "Result or bind it to a named value");
+    }
+  }
+
+  // --- rule: stability -----------------------------------------------
+  // Snapshot determinism (stable sections byte-identical across shard
+  // counts) only holds when every registration states which section the
+  // metric belongs to; a defaulted argument hides that decision.
+  void rule_stability(const std::string& path) {
+    if (!starts_with(path, "include/") && !starts_with(path, "src/")) return;
+    if (path_contains(path, "/obs/")) return;  // the registry itself
+    static const std::regex kRegister(R"((->|\.)\s*(counter|histogram)\s*\()");
+    for (std::size_t i = 0; i < scan_.lines.size(); ++i) {
+      const std::string& code = scan_.lines[i].code;
+      for (auto it = std::sregex_iterator(code.begin(), code.end(), kRegister);
+           it != std::sregex_iterator(); ++it) {
+        const std::string args = collect_call_args(
+            i, static_cast<std::size_t>(it->position(0) + it->length(0)) - 1);
+        std::string lowered = args;
+        std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                       [](unsigned char c) {
+                         return static_cast<char>(std::tolower(c));
+                       });
+        if (lowered.find("stability") == std::string::npos) {
+          report("stability", i,
+                 "obs metric registered without an explicit Stability "
+                 "class — pass obs::Stability::{kStable,kSharded,kVolatile}");
+        }
+      }
+    }
+  }
+
+  /// Concatenate the argument text of a call whose opening paren sits at
+  /// (line, column), following the balance across up to 40 lines.
+  [[nodiscard]] std::string collect_call_args(std::size_t line,
+                                              std::size_t column) const {
+    std::string args;
+    int balance = 0;
+    for (std::size_t i = line; i < scan_.lines.size() && i < line + 40; ++i) {
+      const std::string& code = scan_.lines[i].code;
+      for (std::size_t j = i == line ? column : 0; j < code.size(); ++j) {
+        const char c = code[j];
+        if (c == '(') ++balance;
+        if (c == ')') {
+          --balance;
+          if (balance == 0) return args;
+        }
+        args.push_back(c);
+      }
+      args.push_back(' ');
+    }
+    return args;
+  }
+
+  // --- rule: suppression ---------------------------------------------
+  // Every allow() must earn its keep: unused ones rot into lies.
+  void finish_suppressions() {
+    for (auto& [line, list] : scan_.allows) {
+      for (Suppression& s : list) {
+        const bool known =
+            std::find(rule_names().begin(), rule_names().end(), s.rule) !=
+            rule_names().end();
+        if (!known) {
+          diagnose("suppression", line,
+                   "allow(" + s.rule + ") names no known rule");
+        } else if (!s.used) {
+          diagnose("suppression", line,
+                   "allow(" + s.rule + ") matches no finding — delete it");
+        }
+      }
+    }
+  }
+
+ public:
+  /// Apply the queued mechanical [[nodiscard]] insertions.
+  void apply_fixes() {
+    if (fix_lines_.empty()) return;
+    static const std::regex kTypeHead(R"(\b(class|struct)\s+)");
+    for (const std::size_t index : fix_lines_) {
+      std::string& line = scan_.raw[index];
+      std::smatch m;
+      if (std::regex_search(line, m, kTypeHead)) {
+        // `class Result` -> `class [[nodiscard]] Result`
+        line.insert(static_cast<std::size_t>(m.position(0) + m.length(0)),
+                    "[[nodiscard]] ");
+      } else {
+        const std::size_t indent = line.find_first_not_of(" \t");
+        line.insert(indent == std::string::npos ? 0 : indent,
+                    "[[nodiscard]] ");
+      }
+    }
+    std::string rebuilt;
+    for (const std::string& line : scan_.raw) {
+      rebuilt += line;
+      rebuilt += '\n';
+    }
+    result_.fixes[scan_.file->path] = std::move(rebuilt);
+  }
+
+ private:
+  FileScan& scan_;
+  const Options& options_;
+  LintResult& result_;
+  std::vector<std::size_t> fix_lines_;
+};
+
+}  // namespace
+
+std::string Diagnostic::to_string() const {
+  return path + ":" + std::to_string(line) + ": [" + rule + "] " + message;
+}
+
+const std::vector<std::string>& rule_names() {
+  static const std::vector<std::string> kNames = {
+      "borrow", "nodiscard", "cast", "stability", "mutex", "suppression"};
+  return kNames;
+}
+
+std::string Stats::to_json() const {
+  std::ostringstream out;
+  const auto dump_map = [&out](const char* key,
+                               const std::map<std::string, std::size_t>& map) {
+    out << '"' << key << "\":{";
+    bool first = true;
+    for (const auto& [name, count] : map) {
+      if (!first) out << ',';
+      first = false;
+      out << '"' << name << "\":" << count;
+    }
+    out << '}';
+  };
+  out << "{";
+  dump_map("diagnostics", diagnostics);
+  out << ",\"files_scanned\":" << files_scanned;
+  out << ",\"lines_scanned\":" << lines_scanned;
+  out << ',';
+  dump_map("suppressions", suppressions);
+  out << "}";
+  return out.str();
+}
+
+LintResult run(const std::vector<SourceFile>& files, const Options& options) {
+  LintResult result;
+  for (const SourceFile& file : files) {
+    FileScan scan = prepare(file);
+    ++result.stats.files_scanned;
+    result.stats.lines_scanned += scan.lines.size();
+    Linter linter(scan, options, result);
+    linter.run_rules();
+    if (options.fix_nodiscard) linter.apply_fixes();
+  }
+  return result;
+}
+
+Result<SourceFile> load_file(const std::string& fs_path,
+                             const std::string& repo_path) {
+  std::ifstream in(fs_path, std::ios::binary);
+  if (!in) {
+    return Error{ErrorCode::kNotFound, "cannot open " + fs_path};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Error{ErrorCode::kIo, "read failed for " + fs_path};
+  }
+  return SourceFile{repo_path, buffer.str()};
+}
+
+}  // namespace wm::lint

@@ -1,0 +1,134 @@
+// wm_lint CLI — scans the repository tree and prints diagnostics.
+//
+// Usage:
+//   wm_lint [--root DIR] [--stats] [--fix-nodiscard] [dir...]
+//
+//   --root DIR        repository root (default: current directory)
+//   --stats           print the machine-readable Stats JSON to stdout
+//                     (LINT_BASELINE.json is exactly this output)
+//   --fix-nodiscard   rewrite files in place, inserting [[nodiscard]]
+//                     at mechanically fixable findings
+//   dir...            subtrees to scan, relative to --root
+//                     (default: include src tests bench examples tools fuzz)
+//
+// Exit codes: 0 clean, 1 diagnostics found, 2 usage or I/O failure.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool scannable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+/// Repo-relative path with forward slashes (rules match on prefixes).
+std::string relative_key(const fs::path& file, const fs::path& root) {
+  return fs::relative(file, root).generic_string();
+}
+
+wm::Status write_file(const fs::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return wm::Status::failure(wm::ErrorCode::kIo,
+                               "cannot open for write: " + path.string());
+  }
+  out << content;
+  out.flush();
+  if (!out) {
+    return wm::Status::failure(wm::ErrorCode::kIo,
+                               "short write: " + path.string());
+  }
+  return wm::Status::success();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  wm::lint::Options options;
+  bool stats = false;
+  std::vector<std::string> dirs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (++i >= argc) {
+        std::cerr << "wm_lint: --root needs a directory\n";
+        return 2;
+      }
+      root = argv[i];
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--fix-nodiscard") {
+      options.fix_nodiscard = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: wm_lint [--root DIR] [--stats] [--fix-nodiscard]"
+                   " [dir...]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "wm_lint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+  if (dirs.empty()) {
+    dirs = {"include", "src", "tests", "bench", "examples", "tools", "fuzz"};
+  }
+
+  std::vector<wm::lint::SourceFile> files;
+  std::vector<std::string> keys;
+  for (const std::string& dir : dirs) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file() || !scannable(entry.path())) continue;
+      keys.push_back(relative_key(entry.path(), root));
+    }
+  }
+  // Directory iteration order is filesystem-dependent; sort so the
+  // diagnostic stream and --stats JSON are stable across machines.
+  std::sort(keys.begin(), keys.end());
+  files.reserve(keys.size());
+  for (const std::string& key : keys) {
+    auto loaded = wm::lint::load_file((root / key).string(), key);
+    if (!loaded.ok()) {
+      std::cerr << "wm_lint: " << loaded.error().to_string() << "\n";
+      return 2;
+    }
+    files.push_back(std::move(loaded.value()));
+  }
+
+  const wm::lint::LintResult result = wm::lint::run(files, options);
+
+  for (const auto& diagnostic : result.diagnostics) {
+    std::cerr << diagnostic.to_string() << "\n";
+  }
+  for (const auto& [path, content] : result.fixes) {
+    const wm::Status written = write_file(root / path, content);
+    if (!written.ok()) {
+      std::cerr << "wm_lint: " << written.error().to_string() << "\n";
+      return 2;
+    }
+    std::cerr << "wm_lint: fixed " << path << "\n";
+  }
+  if (stats) {
+    std::cout << result.stats.to_json() << "\n";
+  }
+  if (!result.diagnostics.empty()) {
+    std::cerr << "wm_lint: " << result.diagnostics.size()
+              << " diagnostic(s) in " << result.stats.files_scanned
+              << " file(s)\n";
+    return 1;
+  }
+  return 0;
+}
