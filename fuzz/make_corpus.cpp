@@ -143,6 +143,46 @@ void make_tls(const fs::path& dir) {
   oversize[3 + 1] = 0x50;  // record length field above kMaxCiphertextLength
   emit(dir, "desync-implausible-length", wm::fuzz::drive_tls,
        with_chunking(30, oversize));
+
+  // --- Resync-scanner seeds: excised spans and garbage runs that force
+  // the parser out of lock, pinning whether the chain validator re-locks
+  // (enough trailing records) or keeps scanning (chain cut short).
+  std::vector<wm::tls::TlsRecord> eight(8);
+  for (wm::tls::TlsRecord& record : eight) record.payload.assign(300, 0xaa);
+  const Bytes long_stream = wm::tls::serialize_records(eight);
+  // A lost-segment cut: bytes [400, 700) vanish, splicing record 1's
+  // payload onto record 2's tail. The parser silently swallows spliced
+  // bytes as payload, lands misaligned in ciphertext, scans, and must
+  // chain the surviving tail records to re-lock.
+  Bytes excised(long_stream.begin(), long_stream.begin() + 400);
+  excised.insert(excised.end(), long_stream.begin() + 700, long_stream.end());
+  emit(dir, "resync-after-excised-span", wm::fuzz::drive_tls,
+       with_chunking(19, excised));
+  // Garbage then only two records: a consistent-but-inconclusive chain
+  // at end of input (the driver never flushes), so the scanner must
+  // hold out rather than re-lock on thin evidence.
+  Bytes short_chain(32, 0x00);
+  short_chain.insert(short_chain.end(), stream.begin(), stream.end());
+  emit(dir, "desync-resync-chain-cut-short", wm::fuzz::drive_tls,
+       with_chunking(4, short_chain));
+  // Locked -> scanning transition with nothing to re-lock on: good
+  // records followed by a candidate-free garbage tail.
+  Bytes garbage_tail = stream;
+  garbage_tail.insert(garbage_tail.end(), 64, 0x41);
+  emit(dir, "desync-garbage-tail", wm::fuzz::drive_tls,
+       with_chunking(13, garbage_tail));
+  // A plausible-looking header inside garbage whose length field points
+  // back into garbage: the chain validator must reject it and re-lock
+  // on the real records that follow.
+  Bytes false_candidate(20, 0x00);
+  const std::uint8_t decoy[] = {0x17, 0x03, 0x03, 0x00, 0x10};
+  false_candidate.insert(false_candidate.end(), std::begin(decoy),
+                         std::end(decoy));
+  false_candidate.insert(false_candidate.end(), 16, 0x00);
+  false_candidate.insert(false_candidate.end(), long_stream.begin(),
+                         long_stream.begin() + 4 * 305);
+  emit(dir, "resync-skips-false-candidate", wm::fuzz::drive_tls,
+       with_chunking(44, false_candidate));
 }
 
 void make_json(const fs::path& dir) {

@@ -7,6 +7,7 @@
 // default at that question.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -23,6 +24,13 @@ struct InferredQuestion {
   util::SimTime question_time;
   story::Choice choice = story::Choice::kDefault;
   std::optional<util::SimTime> override_time;  // set for non-default
+  /// 1.0 = every supporting record parsed from contiguous stream bytes.
+  /// Lowered (never raised) when loss touched the evidence — see
+  /// DecodeOptions for the taint rules.
+  double confidence = 1.0;
+  /// Semicolon-joined tags explaining each confidence reduction
+  /// ("type1_after_gap", "type2_presumed_lost_type1", "gap_in_window").
+  std::string evidence;
 };
 
 /// Full inference result for one session.
@@ -36,9 +44,51 @@ struct InferredSession {
   [[nodiscard]] std::vector<story::Choice> choices() const;
 };
 
-/// Decode a classified observation sequence. `min_question_gap` guards
-/// against double-counting when a type-1 upload is retransmitted or a
-/// band misfire produces two adjacent type-1 classifications.
+/// A span of stream bytes the reassembler declared unrecoverable, as
+/// seen by the decoder. Feeding the gap timeline in lets the decoder
+/// flag inferences that straddle a hole as low-confidence instead of
+/// silently reporting them at full strength.
+struct GapSpan {
+  util::SimTime at;            // when the gap was declared
+  std::uint64_t bytes = 0;     // stream bytes it covered
+};
+
+/// Knobs for gap-aware decoding. Defaults reproduce the historical
+/// behaviour exactly when `gaps` is empty and no observation carries
+/// `after_gap`.
+struct DecodeOptions {
+  /// Duplicate-suppression window for adjacent type-1 classifications
+  /// (retransmission artifacts / band misfires).
+  util::Duration min_question_gap = util::Duration::millis(120);
+  /// Stream gaps affecting this viewer's traffic, in any order (the
+  /// decoder sorts a copy).
+  std::vector<GapSpan> gaps;
+  /// A gap this close before a question — or anywhere before the next
+  /// question — may have swallowed one of its markers.
+  util::Duration gap_window = util::Duration::seconds(1);
+  /// Confidence when the anchoring record itself parsed right after a
+  /// gap/resync, and for questions synthesized from an orphaned type-2.
+  double after_gap_confidence = 0.5;
+  /// Confidence cap when a gap merely falls inside a question's window.
+  double gap_window_confidence = 0.6;
+};
+
+/// Decode a classified observation sequence with gap awareness:
+///  * a type-1 marked after_gap opens its question at reduced
+///    confidence;
+///  * a type-2 with a gap between it and the last question anchor
+///    synthesizes a new low-confidence non-default question (the type-1
+///    that should anchor it was presumably lost) instead of crediting
+///    the override to the previous question at full confidence;
+///  * a gap near a question's decision window caps its confidence.
+InferredSession decode_choices(
+    const RecordClassifier& classifier,
+    const std::vector<ClientRecordObservation>& observations,
+    const DecodeOptions& options);
+
+/// Historical entry point: decode with default options. `min_question_gap`
+/// guards against double-counting when a type-1 upload is retransmitted
+/// or a band misfire produces two adjacent type-1 classifications.
 InferredSession decode_choices(
     const RecordClassifier& classifier,
     const std::vector<ClientRecordObservation>& observations,

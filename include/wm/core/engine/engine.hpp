@@ -40,7 +40,9 @@
 #include "wm/core/decoder.hpp"
 #include "wm/core/engine/source.hpp"
 #include "wm/core/engine/stats.hpp"
+#include "wm/net/reassembly.hpp"
 #include "wm/obs/registry.hpp"
+#include "wm/tls/record_stream.hpp"
 #include "wm/util/time.hpp"
 
 namespace wm::engine {
@@ -63,6 +65,9 @@ struct EngineConfig {
   /// Duplicate-suppression window for question detection (same meaning
   /// as core::decode_choices).
   util::Duration min_question_gap = util::Duration::millis(120);
+  /// Per-flow TCP reassembly tuning (reorder window before a hole is
+  /// declared dead, buffer budget) applied by every shard's extractor.
+  net::TcpStreamReassembler::Config reassembly;
   /// Observability (wm::obs): when set, every stage registers live
   /// counters/timers here — per-shard scopes ("engine.shard[2].flows.
   /// opened"), shard-count-invariant rollups ("engine.flows.opened"),
@@ -138,6 +143,9 @@ class ShardedFlowEngine {
 
   std::size_t shard_for(const net::Packet& packet) const;
   void process(Shard& shard, const net::Packet& packet);
+  /// Route one extractor delivery: records feed the collector's
+  /// observation log, client-side gaps feed its gap timeline.
+  void handle_event(Shard& shard, const tls::StreamEvent& stream_event);
   void dispatch(std::size_t shard_index);
   void flush_pending();
   void shutdown_workers();

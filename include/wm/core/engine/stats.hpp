@@ -18,6 +18,14 @@ struct EngineStats {
   std::uint64_t type2_records = 0;     // classified override markers
   std::uint64_t flows_opened = 0;
   std::uint64_t flows_evicted = 0;
+  std::uint64_t flows_completed = 0;  // retired cleanly (RST / flush)
+  /// Loss tolerance: reassembly gaps declared, stream bytes they
+  /// covered, TLS resync scans that re-locked, and the bytes those
+  /// scans discarded while hunting for a record boundary.
+  std::uint64_t gaps = 0;
+  std::uint64_t gap_bytes = 0;
+  std::uint64_t tls_resyncs = 0;
+  std::uint64_t tls_skipped_bytes = 0;
   /// Sum over shards of each shard's peak concurrently-tracked flows:
   /// an upper bound on peak engine-wide flow state.
   std::uint64_t peak_active_flows = 0;

@@ -27,6 +27,10 @@ struct ClientRecordObservation {
   util::SimTime timestamp;
   std::uint16_t record_length = 0;
   std::optional<std::string> flow_sni;  // flow's SNI if the hello was seen
+  /// The record was the first parsed after a reassembly gap or TLS
+  /// resync: its length is trustworthy but bytes before it were lost,
+  /// so inferences anchored on it deserve less confidence.
+  bool after_gap = false;
 };
 
 /// A labelled observation (calibration data).

@@ -54,6 +54,12 @@ struct InferOptions {
   util::Duration min_question_gap = util::Duration::millis(120);
   /// Evict idle per-flow analysis state (0 = never; see EngineConfig).
   util::Duration flow_idle_timeout{};
+  /// Per-flow TCP reassembly tuning: reorder window (bytes/segments)
+  /// before a head-of-line hole is declared a StreamGap, and the
+  /// out-of-order buffer budget. Defaults suit clean-to-moderately
+  /// lossy captures; shrink the windows to trade recovery latency for
+  /// memory on heavily impaired taps.
+  net::TcpStreamReassembler::Config reassembly;
   /// Live per-viewer updates as type-1/type-2 records are observed.
   engine::SessionSink sink{};
   /// Observability (wm::obs): registry every stage reports into —

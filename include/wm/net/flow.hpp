@@ -127,6 +127,11 @@ class FlowTable {
   /// too. No-op (returns empty) when the timeout is zero.
   std::vector<FlowKey> evict_idle(util::SimTime now);
 
+  /// Drop one flow immediately (e.g. its connection was RST-torn and
+  /// the owner already snapshotted the per-flow state). Returns true
+  /// when the key was present. Not counted as an idle eviction.
+  bool remove(const FlowKey& key);
+
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] std::uint64_t flows_evicted() const { return evicted_; }
 

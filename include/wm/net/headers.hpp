@@ -83,8 +83,16 @@ struct ParsedIpv4 {
   // ParsedEthernet::payload.
   util::BytesView payload;
   bool checksum_valid = false;
+  /// Payload bytes the header declares but the buffer does not contain
+  /// (snaplen-truncated capture). Non-zero only with `allow_truncated`.
+  std::size_t truncated_bytes = 0;
 };
-std::optional<ParsedIpv4> parse_ipv4(util::BytesView packet);
+/// With `allow_truncated`, a total_length that runs past the end of the
+/// buffer yields the available payload plus a truncated_bytes count
+/// instead of a parse failure — used for snaplen-trimmed captures where
+/// the frame is shorter than the wire packet.
+std::optional<ParsedIpv4> parse_ipv4(util::BytesView packet,
+                                     bool allow_truncated = false);
 
 struct Ipv6Header {
   static constexpr std::size_t kSize = 40;
@@ -105,8 +113,11 @@ struct ParsedIpv6 {
   // wm-lint: allow(borrow): transient parse result, same contract as
   // ParsedEthernet::payload.
   util::BytesView payload;
+  /// See ParsedIpv4::truncated_bytes.
+  std::size_t truncated_bytes = 0;
 };
-std::optional<ParsedIpv6> parse_ipv6(util::BytesView packet);
+std::optional<ParsedIpv6> parse_ipv6(util::BytesView packet,
+                                     bool allow_truncated = false);
 
 struct TcpHeader {
   static constexpr std::size_t kMinSize = 20;

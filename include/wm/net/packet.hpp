@@ -74,6 +74,10 @@ struct DecodedPacket {
   // wm-lint: allow(borrow): points into the Packet::data the decoder was
   // handed; a DecodedPacket never outlives its Packet (batch contract).
   util::BytesView transport_payload;
+  /// Transport payload bytes the wire packet carried beyond what the
+  /// capture retained (snaplen truncation). The reassembler turns these
+  /// into an explicit dead range instead of a silent hole.
+  std::size_t transport_payload_missing = 0;
 
   [[nodiscard]] bool has_ipv4() const { return std::holds_alternative<Ipv4Header>(ip); }
   [[nodiscard]] bool has_ipv6() const { return std::holds_alternative<Ipv6Header>(ip); }

@@ -6,6 +6,16 @@
 // correctness here determines whether record lengths (the paper's
 // side-channel) survive network impairments — the paper's robustness
 // claim across "traffic conditions" depends on exactly this step.
+//
+// Loss tolerance: a hole at the head of the stream (a segment that was
+// captured-dropped or never retransmitted) does not wedge delivery
+// forever. Once the out-of-order buffer ahead of the hole exceeds a
+// configurable reorder window (bytes or segment count), the hole is
+// declared dead: `expected_` skips past it and an explicit StreamGap is
+// emitted in sequence with the surrounding StreamChunks. Buffer-budget
+// drops and snaplen-truncated payloads take the same path — a recorded
+// dead range that surfaces as a StreamGap when delivery reaches it —
+// instead of silently vanishing into a drop counter.
 #pragma once
 
 #include <cstdint>
@@ -20,27 +30,74 @@
 
 namespace wm::net {
 
-/// A contiguous run of reassembled bytes, stamped with the capture time
-/// of the segment that *completed* it (i.e., made it deliverable).
+/// A contiguous run of reassembled bytes. `timestamp` is the capture
+/// time of the segment that first carried these bytes — buffering
+/// behind a reordered segment does not shift it.
 struct StreamChunk {
   util::SimTime timestamp;
   std::uint64_t stream_offset = 0;  // bytes since ISN+1
   util::Bytes data;
 };
 
+/// A run of stream bytes that will never be delivered. Emitted in
+/// sequence with StreamChunks so downstream parsers know exactly where
+/// the byte stream is interrupted and can resynchronize.
+struct StreamGap {
+  /// Why the bytes are unrecoverable.
+  enum class Cause : std::uint8_t {
+    kReorderWindow,  // hole aged out of the reorder window (segment loss)
+    kBufferCap,      // out-of-order buffer budget exceeded
+    kTruncated,      // snaplen-truncated capture: tail bytes never seen
+  };
+  util::SimTime timestamp;          // when the gap was declared dead
+  std::uint64_t stream_offset = 0;  // first missing byte, relative to base
+  std::uint64_t length = 0;         // number of missing bytes
+  Cause cause = Cause::kReorderWindow;
+};
+
+/// One element of the delivered stream: either bytes or a gap, in
+/// stream-offset order.
+struct StreamItem {
+  enum class Kind : std::uint8_t { kChunk, kGap };
+  Kind kind = Kind::kChunk;
+  StreamChunk chunk;  // valid when kind == kChunk
+  StreamGap gap;      // valid when kind == kGap
+
+  static StreamItem make_chunk(StreamChunk c) {
+    StreamItem item;
+    item.kind = Kind::kChunk;
+    item.chunk = std::move(c);
+    return item;
+  }
+  static StreamItem make_gap(StreamGap g) {
+    StreamItem item;
+    item.kind = Kind::kGap;
+    item.gap = g;
+    return item;
+  }
+};
+
 /// Reassembles one direction of one TCP connection.
 ///
 /// Handles: out-of-order arrival, duplicated segments (retransmits),
 /// overlapping segments (first-arrival wins, matching common OS
-/// behaviour), SYN/FIN sequence-space consumption, and 32-bit sequence
-/// wraparound. Data beyond a configurable reordering-buffer budget is
-/// dropped with a gap notation rather than growing without bound.
+/// behaviour), SYN/FIN sequence-space consumption, 32-bit sequence
+/// wraparound, and permanent loss (explicit StreamGap events once a
+/// hole outlives the reorder window).
 class TcpStreamReassembler {
  public:
   struct Config {
     /// Maximum bytes buffered ahead of the next expected sequence
-    /// number before the stream is declared gapped.
+    /// number before the oldest hole is declared dead.
     std::size_t max_buffered_bytes = 8 * 1024 * 1024;
+    /// Reorder window in bytes: once more than this many contiguous-
+    /// ready bytes wait behind a hole, the hole is condemned. Sized
+    /// well above any plausible in-flight reordering (a few bandwidth-
+    /// delay products) so retransmitted segments still fill holes.
+    std::size_t reorder_window_bytes = 1 * 1024 * 1024;
+    /// Reorder window in segments: same condemnation trigger, counted
+    /// in buffered out-of-order segments.
+    std::size_t reorder_window_segments = 128;
   };
 
   TcpStreamReassembler() = default;
@@ -48,9 +105,18 @@ class TcpStreamReassembler {
 
   /// Offer one segment of this direction. `sequence` is the raw TCP
   /// sequence number; `syn` marks the segment carrying the initial
-  /// sequence number. Returns chunks that became deliverable.
-  std::vector<StreamChunk> on_segment(util::SimTime timestamp, std::uint32_t sequence,
-                                      bool syn, bool fin, util::BytesView payload);
+  /// sequence number. `truncated_bytes` is how many payload bytes the
+  /// segment carried on the wire beyond what the capture retained
+  /// (snaplen truncation) — they become a dead range immediately.
+  /// Returns chunks and gaps that became deliverable, in stream order.
+  std::vector<StreamItem> on_segment(util::SimTime timestamp, std::uint32_t sequence,
+                                     bool syn, bool fin, util::BytesView payload,
+                                     std::size_t truncated_bytes = 0);
+
+  /// Declare every outstanding hole dead and deliver all buffered data
+  /// (end of capture, idle eviction, or RST). Leaves the stream
+  /// finished.
+  std::vector<StreamItem> flush(util::SimTime timestamp);
 
   /// Total contiguous bytes delivered so far.
   [[nodiscard]] std::uint64_t delivered_bytes() const { return delivered_; }
@@ -58,20 +124,47 @@ class TcpStreamReassembler {
   [[nodiscard]] bool synchronized() const { return synchronized_; }
   /// Count of bytes discarded due to buffer-budget overflow.
   [[nodiscard]] std::uint64_t dropped_bytes() const { return dropped_; }
+  /// Number of StreamGap events emitted so far.
+  [[nodiscard]] std::uint64_t gaps_emitted() const { return gaps_emitted_; }
+  /// Total bytes covered by emitted StreamGap events.
+  [[nodiscard]] std::uint64_t gap_bytes() const { return gap_bytes_; }
   /// Bytes currently held in the out-of-order buffer. Together with
   /// pending_segments() this is the reassembler's live memory footprint,
   /// which streaming consumers watch to keep per-flow state bounded.
   [[nodiscard]] std::size_t buffered_bytes() const { return buffered_bytes_; }
   /// Number of out-of-order segments currently held.
   [[nodiscard]] std::size_t pending_segments() const { return pending_.size(); }
-  /// True if a FIN has been delivered in-order.
+  /// True if a FIN has been delivered in-order, or the stream was
+  /// flushed/reset.
   [[nodiscard]] bool finished() const { return finished_; }
 
  private:
+  /// One buffered out-of-order piece: payload plus its first-arrival
+  /// capture time, which the eventual StreamChunk is stamped with.
+  struct Pending {
+    util::Bytes data;
+    util::SimTime arrived;
+  };
+  /// A half-open byte range [begin at map key, `end`) known to be
+  /// unrecoverable. Surfaces as a StreamGap when delivery reaches it;
+  /// late-arriving data overlapping the range resurrects those bytes.
+  struct DeadRange {
+    std::uint64_t end = 0;
+    StreamGap::Cause cause = StreamGap::Cause::kBufferCap;
+  };
+
   /// Unwraps a 32-bit sequence number into 64-bit stream space near the
   /// current expected position.
   std::uint64_t unwrap(std::uint32_t sequence) const;
-  std::vector<StreamChunk> drain(util::SimTime timestamp);
+  std::vector<StreamItem> drain(util::SimTime timestamp, bool condemn_all);
+  /// Record [start, end) as unrecoverable, skipping sub-spans already
+  /// buffered or delivered.
+  void add_dead_range(std::uint64_t start, std::uint64_t end,
+                      StreamGap::Cause cause);
+  /// Remove [start, end) from the dead set: real bytes arrived.
+  void resurrect(std::uint64_t start, std::uint64_t end);
+  /// True when buffered data pressure says the head hole will not fill.
+  [[nodiscard]] bool over_reorder_window() const;
 
   Config config_;
   bool synchronized_ = false;
@@ -80,11 +173,15 @@ class TcpStreamReassembler {
   std::uint64_t expected_ = 0;   // next in-order absolute sequence
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t gaps_emitted_ = 0;
+  std::uint64_t gap_bytes_ = 0;
   std::uint64_t fin_at_ = 0;
   bool fin_seen_ = false;
   std::size_t buffered_bytes_ = 0;
-  // Out-of-order hold: absolute sequence -> payload bytes.
-  std::map<std::uint64_t, util::Bytes> pending_;
+  // Out-of-order hold: absolute sequence -> payload + arrival time.
+  std::map<std::uint64_t, Pending> pending_;
+  // Unrecoverable ranges: absolute start -> {end, cause}.
+  std::map<std::uint64_t, DeadRange> dead_;
 };
 
 /// Both directions of a TCP connection, reassembled together.
@@ -94,14 +191,19 @@ class TcpConnectionReassembler {
   explicit TcpConnectionReassembler(TcpStreamReassembler::Config config)
       : client_(config), server_(config) {}
 
-  struct DirectedChunk {
+  struct DirectedItem {
     FlowDirection direction;
-    StreamChunk chunk;
+    StreamItem item;
   };
 
-  /// Feed one decoded TCP packet with its flow direction.
-  std::vector<DirectedChunk> on_packet(const DecodedPacket& packet,
-                                       FlowDirection direction);
+  /// Feed one decoded TCP packet with its flow direction. An RST ends
+  /// both directions: buffered data is flushed (holes become gaps) and
+  /// both streams report finished().
+  std::vector<DirectedItem> on_packet(const DecodedPacket& packet,
+                                      FlowDirection direction);
+
+  /// Flush both directions (end of capture or eviction).
+  std::vector<DirectedItem> flush(util::SimTime timestamp);
 
   [[nodiscard]] const TcpStreamReassembler& client_stream() const { return client_; }
   [[nodiscard]] const TcpStreamReassembler& server_stream() const { return server_; }
@@ -110,9 +212,13 @@ class TcpConnectionReassembler {
     return client_.buffered_bytes() + server_.buffered_bytes();
   }
 
+  /// True once an RST tore the connection down.
+  [[nodiscard]] bool reset() const { return reset_; }
+
  private:
   TcpStreamReassembler client_;
   TcpStreamReassembler server_;
+  bool reset_ = false;
 };
 
 }  // namespace wm::net

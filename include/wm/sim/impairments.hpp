@@ -19,6 +19,16 @@ namespace wm::sim {
 std::vector<net::Packet> drop_packets(const std::vector<net::Packet>& packets,
                                       double loss_rate, util::Rng& rng);
 
+/// Drop each payload-carrying TCP segment independently with
+/// probability `loss_rate` — and every later packet re-sending any of
+/// the condemned sequence bytes, so retransmissions share the fate of
+/// the original. This is the strict un-retransmitted-loss model the
+/// reassembler's gap handling is specified against: the condemned
+/// stream bytes never reach the observer by any path. Non-TCP packets
+/// and bare ACK/control segments always survive.
+std::vector<net::Packet> drop_segments(const std::vector<net::Packet>& packets,
+                                       double loss_rate, util::Rng& rng);
+
 /// Truncate every frame to `snaplen` bytes (preserving
 /// original_length), as `tcpdump -s <snaplen>` would.
 std::vector<net::Packet> truncate_snaplen(const std::vector<net::Packet>& packets,

@@ -76,32 +76,89 @@ util::Bytes serialize_records(const std::vector<TlsRecord>& records);
 /// Incremental parser over a (reassembled) TLS byte stream. Feed bytes
 /// as they are delivered; complete records pop out with the timestamp
 /// of the chunk that completed them.
+///
+/// Loss tolerance: an implausible header or an explicit gap
+/// notification (on_gap) puts the parser into a scanning state instead
+/// of a permanent desync. The scanner looks for the next plausible
+/// 5-byte record header and validates it by chaining consecutive
+/// length fields (`kResyncChain` plausible headers in a row) before
+/// re-locking; skipped bytes are counted and the first record after a
+/// re-lock carries `after_gap = true` so downstream consumers can
+/// down-weight it.
 class TlsRecordParser {
  public:
+  /// Headers that must chain (each one's length field landing exactly
+  /// on the next plausible header) before the scanner re-locks. Three
+  /// chained headers make an accidental match in ciphertext
+  /// vanishingly unlikely (~2^-40 per candidate offset).
+  static constexpr std::size_t kResyncChain = 3;
+
   struct ParsedRecord {
     util::SimTime timestamp;
     std::uint64_t stream_offset = 0;  // offset of the record header
     TlsRecord record;
+    /// True for the first record parsed after a gap or a resync scan:
+    /// bytes were lost immediately before it, so length-based features
+    /// derived from it deserve less trust.
+    bool after_gap = false;
   };
 
   /// Feed the next contiguous chunk of stream bytes.
   std::vector<ParsedRecord> feed(util::SimTime timestamp, util::BytesView data);
 
-  /// True when the stream desynchronized (implausible header). Once
-  /// desynchronized the parser stops producing records: resynchronizing
-  /// inside ciphertext is not possible in general.
-  [[nodiscard]] bool desynchronized() const { return desynchronized_; }
+  /// Notify the parser that `length` stream bytes were lost at the
+  /// current stream position (a reassembly StreamGap). Any partial
+  /// record in the buffer can never complete: its bytes are skipped and
+  /// the parser scans for the next plausible record header.
+  void on_gap(util::SimTime timestamp, std::uint64_t length);
+
+  /// End-of-stream: re-lock with a relaxed chain requirement (all
+  /// plausible headers up to the end of buffered data, even if fewer
+  /// than kResyncChain) and return any records that frees up. An
+  /// incomplete trailing record stays unparsed.
+  std::vector<ParsedRecord> flush(util::SimTime timestamp);
+
+  /// True while the parser is hunting for a plausible record boundary
+  /// (after a gap or an implausible header) and not currently
+  /// producing records.
+  [[nodiscard]] bool desynchronized() const { return scanning_; }
   /// Bytes consumed from the stream so far (including partial record).
   [[nodiscard]] std::uint64_t bytes_consumed() const { return consumed_; }
   /// Number of complete records produced.
   [[nodiscard]] std::size_t records_parsed() const { return records_parsed_; }
+  /// Bytes discarded while scanning (garbage between gap and re-lock).
+  [[nodiscard]] std::uint64_t bytes_skipped() const { return skipped_; }
+  /// Number of successful re-locks after a gap/desync.
+  [[nodiscard]] std::size_t resyncs() const { return resyncs_; }
+  /// Current buffered-byte footprint (bounded even on garbage input).
+  [[nodiscard]] std::size_t buffered_bytes() const { return buffer_.size(); }
 
  private:
+  /// (absolute stream offset one past a chunk's last byte, its capture
+  /// time): lets records whose bytes arrived across several feeds be
+  /// stamped with the chunk that actually completed them.
+  struct ChunkMark {
+    std::uint64_t end = 0;
+    util::SimTime time;
+  };
+
+  std::vector<ParsedRecord> parse(util::SimTime timestamp, bool relaxed);
+  /// Scan [pos, buffer_.end()) for a validated record header. Advances
+  /// `pos` over skipped bytes. Returns true when re-locked at `pos`.
+  [[nodiscard]] bool try_resync(std::size_t& pos, bool relaxed);
+  [[nodiscard]] bool plausible_header(std::size_t pos) const;
+  [[nodiscard]] util::SimTime time_for(std::uint64_t end_offset,
+                                       util::SimTime fallback) const;
+
   util::Bytes buffer_;
+  std::vector<ChunkMark> marks_;
   std::uint64_t consumed_ = 0;
   std::uint64_t buffer_start_ = 0;  // stream offset of buffer_[0]
+  std::uint64_t skipped_ = 0;
   std::size_t records_parsed_ = 0;
-  bool desynchronized_ = false;
+  std::size_t resyncs_ = 0;
+  bool scanning_ = false;
+  bool pending_after_gap_ = false;
 };
 
 }  // namespace wm::tls

@@ -28,11 +28,24 @@ struct RecordEvent {
   ContentType content_type = ContentType::kApplicationData;
   std::uint16_t record_length = 0;  // the visible SSL record length
   std::uint64_t stream_offset = 0;
+  /// First record parsed after a stream gap or a TLS resync scan: the
+  /// bytes immediately before it were lost, so its classification
+  /// deserves less confidence downstream.
+  bool after_gap = false;
 
   [[nodiscard]] bool is_client_application_data() const {
     return direction == net::FlowDirection::kClientToServer &&
            content_type == ContentType::kApplicationData;
   }
+};
+
+/// A span of stream bytes that was declared unrecoverable by the
+/// reassembler (segment loss, buffer-cap drop, or snaplen truncation).
+struct StreamGapEvent {
+  util::SimTime timestamp;
+  net::FlowDirection direction = net::FlowDirection::kClientToServer;
+  std::uint64_t stream_offset = 0;
+  std::uint64_t length = 0;
 };
 
 /// All records of one TLS connection, plus flow metadata.
@@ -44,16 +57,26 @@ struct FlowRecordStream {
   std::uint64_t server_stream_bytes = 0;
   bool client_desynchronized = false;
   bool server_desynchronized = false;
+  /// Loss accounting: reassembly gaps seen on either direction, the
+  /// bytes they covered, and what the TLS resync scanner discarded /
+  /// recovered while re-locking.
+  std::uint64_t gaps = 0;
+  std::uint64_t gap_bytes = 0;
+  std::uint64_t tls_bytes_skipped = 0;
+  std::uint64_t tls_resyncs = 0;
 
   [[nodiscard]] std::size_t count(net::FlowDirection direction,
                                   ContentType type) const;
 };
 
-/// One newly parsed record, delivered incrementally by
-/// RecordStreamExtractor::feed() with the flow it belongs to.
+/// One incremental delivery from RecordStreamExtractor::feed(): either
+/// a newly parsed record or a stream gap, with the flow it belongs to.
 struct StreamEvent {
+  enum class Kind : std::uint8_t { kRecord, kGap };
   net::FlowKey flow;
-  RecordEvent event;
+  Kind kind = Kind::kRecord;
+  RecordEvent event;   // valid when kind == kRecord
+  StreamGapEvent gap;  // valid when kind == kGap
 };
 
 /// Streaming extractor. Two modes of use:
@@ -85,6 +108,9 @@ class RecordStreamExtractor {
     std::string metrics_scope = "tls";
     obs::Stability metrics_stability = obs::Stability::kStable;
     std::string metrics_rollup;
+    /// Per-direction reassembly tuning (reorder window, buffer budget)
+    /// applied to every flow's TcpConnectionReassembler.
+    net::TcpStreamReassembler::Config reassembly;
   };
 
   RecordStreamExtractor() = default;
@@ -99,10 +125,16 @@ class RecordStreamExtractor {
   /// still retained for finish() when Config::retain_events is on).
   void add_packet(const net::Packet& packet) { feed(packet); }
 
-  /// Complete extraction and return one stream per TCP flow (including
-  /// evicted ones, when events are retained), ordered by first-seen
-  /// time.
-  [[nodiscard]] std::vector<FlowRecordStream> finish() const;
+  /// End-of-capture: flush every live flow — outstanding reassembly
+  /// holes become gaps, the TLS parsers re-lock with relaxed validation
+  /// and emit their final records — and retire the per-flow state.
+  /// Returns the events that freed up, in flow-key order.
+  std::vector<StreamEvent> flush();
+
+  /// Complete extraction (implies flush()) and return one stream per
+  /// TCP flow (including evicted ones, when events are retained),
+  /// ordered by first-seen time.
+  [[nodiscard]] std::vector<FlowRecordStream> finish();
 
   [[nodiscard]] std::size_t packets_seen() const { return packets_seen_; }
   [[nodiscard]] std::size_t packets_undecodable() const {
@@ -113,6 +145,13 @@ class RecordStreamExtractor {
   /// Total flows opened / evicted over the extractor's lifetime.
   [[nodiscard]] std::uint64_t flows_opened() const { return flows_opened_; }
   [[nodiscard]] std::uint64_t flows_evicted() const { return flows_evicted_; }
+  /// Flows retired cleanly (RST teardown or flush()).
+  [[nodiscard]] std::uint64_t flows_completed() const { return flows_completed_; }
+  /// Loss-tolerance totals across all flows, live and retired.
+  [[nodiscard]] std::uint64_t gaps() const { return gaps_total_; }
+  [[nodiscard]] std::uint64_t gap_bytes() const { return gap_bytes_total_; }
+  [[nodiscard]] std::uint64_t tls_bytes_skipped() const { return tls_skipped_total_; }
+  [[nodiscard]] std::uint64_t tls_resyncs() const { return tls_resyncs_total_; }
   /// Sum of live out-of-order reassembly buffers across active flows.
   [[nodiscard]] std::size_t buffered_reassembly_bytes() const;
   /// The SNI observed on a flow, if its ClientHello has been parsed.
@@ -128,10 +167,29 @@ class RecordStreamExtractor {
     util::SimTime first_seen;
     util::SimTime last_seen;
     bool sni_searched = false;
+    std::uint64_t gaps = 0;
+    std::uint64_t gap_bytes = 0;
+    /// TLS skip/resync totals already mirrored into the extractor-wide
+    /// counters, so deltas can be published incrementally.
+    std::uint64_t tls_skipped_accounted = 0;
+    std::uint64_t tls_resyncs_accounted = 0;
   };
 
   void evict_idle(util::SimTime now);
   FlowRecordStream snapshot(const net::FlowKey& key, const PerFlow& state) const;
+  /// Route reassembler output (chunks and gaps) through the right TLS
+  /// parser and append the resulting StreamEvents to `out`.
+  void process_items(const net::FlowKey& key, PerFlow& state,
+                     std::vector<net::TcpConnectionReassembler::DirectedItem>& items,
+                     std::vector<StreamEvent>& out);
+  void emit_record(const net::FlowKey& key, PerFlow& state,
+                   net::FlowDirection direction, TlsRecordParser::ParsedRecord& parsed,
+                   std::vector<StreamEvent>& out);
+  /// Publish any not-yet-accounted TLS skip/resync deltas for a flow.
+  void sync_tls_counters(PerFlow& state);
+  /// Flush parsers, snapshot, and retire one flow (RST or flush()).
+  void complete_flow(std::map<net::FlowKey, PerFlow>::iterator it,
+                     std::vector<StreamEvent>& out);
 
   /// Resolved metric handles; all null when Config::registry is null.
   struct Metrics {
@@ -142,6 +200,11 @@ class RecordStreamExtractor {
     obs::Counter* tcp_chunks = nullptr;
     obs::Counter* tcp_bytes = nullptr;
     obs::Counter* tcp_dropped_bytes = nullptr;
+    obs::Counter* tcp_gaps = nullptr;
+    obs::Counter* tcp_gap_bytes = nullptr;
+    obs::Counter* tls_resyncs = nullptr;
+    obs::Counter* tls_skipped_bytes = nullptr;
+    obs::Counter* records_after_gap = nullptr;
     obs::Counter* records = nullptr;
     obs::Counter* records_handshake = nullptr;
     obs::Counter* records_application = nullptr;
@@ -162,6 +225,11 @@ class RecordStreamExtractor {
   bool sweep_armed_ = false;
   std::uint64_t flows_opened_ = 0;
   std::uint64_t flows_evicted_ = 0;
+  std::uint64_t flows_completed_ = 0;
+  std::uint64_t gaps_total_ = 0;
+  std::uint64_t gap_bytes_total_ = 0;
+  std::uint64_t tls_skipped_total_ = 0;
+  std::uint64_t tls_resyncs_total_ = 0;
   std::size_t packets_seen_ = 0;
   std::size_t packets_undecodable_ = 0;
 };

@@ -1,5 +1,7 @@
 #include "wm/core/decoder.hpp"
 
+#include <algorithm>
+
 namespace wm::core {
 
 std::vector<story::Choice> InferredSession::choices() const {
@@ -9,12 +11,44 @@ std::vector<story::Choice> InferredSession::choices() const {
   return out;
 }
 
+namespace {
+
+/// Lower a question's confidence (min-combine) and record why.
+void taint(InferredQuestion& question, double confidence, const char* tag) {
+  question.confidence = std::min(question.confidence, confidence);
+  if (!question.evidence.empty()) question.evidence += ';';
+  question.evidence += tag;
+}
+
+/// Any gap strictly after `after` (or anywhere, when unset) and at or
+/// before `until`? `gaps` must be sorted by time.
+bool gap_between(const std::vector<GapSpan>& gaps,
+                 std::optional<util::SimTime> after, util::SimTime until) {
+  for (const GapSpan& gap : gaps) {
+    if (gap.at > until) break;
+    if (!after || gap.at > *after) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 InferredSession decode_choices(
     const RecordClassifier& classifier,
     const std::vector<ClientRecordObservation>& observations,
-    util::Duration min_question_gap) {
+    const DecodeOptions& options) {
   InferredSession out;
+  std::vector<GapSpan> gaps = options.gaps;
+  std::sort(gaps.begin(), gaps.end(), [](const GapSpan& a, const GapSpan& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.bytes < b.bytes;
+  });
+
   std::optional<util::SimTime> last_type1;
+  // The last time a question was created (by a real type-1 *or* by a
+  // synthesized orphan). Separate from last_type1 so synthesis never
+  // feeds the duplicate-suppression window.
+  std::optional<util::SimTime> last_anchor;
 
   for (const ClientRecordObservation& obs : observations) {
     const RecordClass cls = classifier.classify(obs.record_length);
@@ -22,23 +56,49 @@ InferredSession decode_choices(
       case RecordClass::kType1Json: {
         ++out.type1_records;
         // Suppress duplicates (retransmission artifacts).
-        if (last_type1 && obs.timestamp - *last_type1 < min_question_gap) break;
+        if (last_type1 && obs.timestamp - *last_type1 < options.min_question_gap) break;
         last_type1 = obs.timestamp;
+        last_anchor = obs.timestamp;
         InferredQuestion question;
         question.index = out.questions.size() + 1;
         question.question_time = obs.timestamp;
         question.choice = story::Choice::kDefault;  // until a type-2 shows
-        out.questions.push_back(question);
+        if (obs.after_gap) {
+          taint(question, options.after_gap_confidence, "type1_after_gap");
+        }
+        out.questions.push_back(std::move(question));
         break;
       }
       case RecordClass::kType2Json: {
         ++out.type2_records;
+        const bool hole_since_anchor =
+            gap_between(gaps, last_anchor, obs.timestamp);
+        if (hole_since_anchor || (out.questions.empty() && obs.after_gap)) {
+          // A hole sits between the last question anchor and this
+          // override: the type-1 that should anchor it was presumably
+          // lost in the gap. Synthesize the question at low confidence
+          // rather than crediting the override to the previous question
+          // at full strength.
+          InferredQuestion question;
+          question.index = out.questions.size() + 1;
+          question.question_time = obs.timestamp;
+          question.choice = story::Choice::kNonDefault;
+          question.override_time = obs.timestamp;
+          taint(question, options.after_gap_confidence,
+                "type2_presumed_lost_type1");
+          out.questions.push_back(std::move(question));
+          last_anchor = obs.timestamp;
+          break;
+        }
         if (out.questions.empty()) break;  // stray; nothing to attach to
         InferredQuestion& current = out.questions.back();
         // Only the first override of a question counts.
         if (current.choice == story::Choice::kDefault) {
           current.choice = story::Choice::kNonDefault;
           current.override_time = obs.timestamp;
+          if (obs.after_gap) {
+            taint(current, options.after_gap_confidence, "type2_after_gap");
+          }
         }
         break;
       }
@@ -47,7 +107,33 @@ InferredSession decode_choices(
         break;
     }
   }
+
+  // Post-pass: a gap shortly before a question appeared, or anywhere
+  // before the next question, may have swallowed one of its markers
+  // (most importantly a lost override) — cap the confidence.
+  for (std::size_t i = 0; i < out.questions.size(); ++i) {
+    InferredQuestion& question = out.questions[i];
+    const util::SimTime start = question.question_time - options.gap_window;
+    for (const GapSpan& gap : gaps) {
+      if (gap.at < start) continue;
+      if (i + 1 < out.questions.size() &&
+          gap.at >= out.questions[i + 1].question_time) {
+        break;
+      }
+      taint(question, options.gap_window_confidence, "gap_in_window");
+      break;
+    }
+  }
   return out;
+}
+
+InferredSession decode_choices(
+    const RecordClassifier& classifier,
+    const std::vector<ClientRecordObservation>& observations,
+    util::Duration min_question_gap) {
+  DecodeOptions options;
+  options.min_question_gap = min_question_gap;
+  return decode_choices(classifier, observations, options);
 }
 
 InferredPath reconstruct_path(const story::StoryGraph& graph,

@@ -19,7 +19,10 @@ std::string EngineStats::to_string() const {
       << " records=" << records << " client_records=" << client_records
       << " type1=" << type1_records << " type2=" << type2_records
       << " viewers=" << viewers_seen << " flows=" << flows_opened
-      << " evicted=" << flows_evicted << " peak_flows=" << peak_active_flows
+      << " evicted=" << flows_evicted << " completed=" << flows_completed
+      << " peak_flows=" << peak_active_flows
+      << " gaps=" << gaps << " gap_bytes=" << gap_bytes
+      << " resyncs=" << tls_resyncs << " tls_skipped=" << tls_skipped_bytes
       << " backpressure=" << backpressure_waits;
   return out.str();
 }
@@ -28,13 +31,22 @@ namespace {
 
 /// The deterministic observation order both the batch pipeline and the
 /// engine decode in. Record length breaks timestamp ties so the result
-/// is independent of which shard delivered an observation first; two
-/// records equal in both fields classify identically, so any residual
-/// tie is decode-neutral.
+/// is independent of which shard delivered an observation first; the
+/// after_gap flag breaks the residual tie (false first) because two
+/// records equal in time and length can still decode differently when
+/// one carries the gap taint.
 bool observation_before(const core::ClientRecordObservation& a,
                         const core::ClientRecordObservation& b) {
   if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
-  return a.record_length < b.record_length;
+  if (a.record_length != b.record_length) return a.record_length < b.record_length;
+  return !a.after_gap && b.after_gap;
+}
+
+/// Deterministic gap timeline order (gaps from different flows of one
+/// viewer arrive in shard-dependent order).
+bool gap_before(const core::GapSpan& a, const core::GapSpan& b) {
+  if (a.at != b.at) return a.at < b.at;
+  return a.bytes < b.bytes;
 }
 
 std::string client_key(const net::FlowKey& flow) {
@@ -62,6 +74,7 @@ class ShardedFlowEngine::Collector {
       other_counter_ = metrics->counter("engine.collector.other", obs::Stability::kStable);
       viewers_counter_ = metrics->counter("engine.collector.viewers", obs::Stability::kStable);
       sink_updates_counter_ = metrics->counter("engine.collector.sink_updates", obs::Stability::kStable);
+      gaps_counter_ = metrics->counter("engine.collector.gaps", obs::Stability::kStable);
     }
   }
 
@@ -80,6 +93,8 @@ class ShardedFlowEngine::Collector {
     SnapshotPool::Lease snapshot;
     if (sink_) snapshot = snapshot_pool_.acquire();
     bool live_update = false;
+    core::DecodeOptions options;
+    options.min_question_gap = gap_;
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       auto& observations = clients_[client];
@@ -99,6 +114,8 @@ class ShardedFlowEngine::Collector {
       obs::inc(client_records_counter_);
       if (sink_ && cls != core::RecordClass::kOther) {
         snapshot->assign(observations.begin(), observations.end());
+        const auto gap_it = gaps_.find(client);
+        if (gap_it != gaps_.end()) options.gaps = gap_it->second;
         live_update = true;
       }
     }
@@ -112,8 +129,17 @@ class ShardedFlowEngine::Collector {
     update.record_class = cls;
     update.record_length = observation.record_length;
     update.at = observation.timestamp;
-    update.session = core::decode_choices(classifier_, *snapshot, gap_);
+    update.session = core::decode_choices(classifier_, *snapshot, options);
     sink_(update);
+  }
+
+  /// A reassembly gap on one of this viewer's client->server streams:
+  /// recorded into the viewer's gap timeline so decoding can lower the
+  /// confidence of inferences it touches.
+  void on_gap(const std::string& client, core::GapSpan gap) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    gaps_[client].push_back(gap);
+    obs::inc(gaps_counter_);
   }
 
   /// Single-threaded (post-join). Sorting per viewer then decoding
@@ -121,14 +147,28 @@ class ShardedFlowEngine::Collector {
   void finalize(EngineResult& result) {
     const std::lock_guard<std::mutex> lock(mutex_);
     std::vector<core::ClientRecordObservation> all;
+    std::vector<core::GapSpan> all_gaps;
     for (auto& [client, observations] : clients_) {
       std::sort(observations.begin(), observations.end(), observation_before);
+      core::DecodeOptions options;
+      options.min_question_gap = gap_;
+      const auto gap_it = gaps_.find(client);
+      if (gap_it != gaps_.end()) {
+        options.gaps = gap_it->second;
+        std::sort(options.gaps.begin(), options.gaps.end(), gap_before);
+        all_gaps.insert(all_gaps.end(), options.gaps.begin(), options.gaps.end());
+      }
       result.per_client.emplace(
-          client, core::decode_choices(classifier_, observations, gap_));
+          client, core::decode_choices(classifier_, observations, options));
       all.insert(all.end(), observations.begin(), observations.end());
     }
     std::sort(all.begin(), all.end(), observation_before);
-    result.combined = core::decode_choices(classifier_, all, gap_);
+    core::DecodeOptions combined_options;
+    combined_options.min_question_gap = gap_;
+    combined_options.gaps = std::move(all_gaps);
+    std::sort(combined_options.gaps.begin(), combined_options.gaps.end(),
+              gap_before);
+    result.combined = core::decode_choices(classifier_, all, combined_options);
     result.stats.viewers_seen = clients_.size();
     result.stats.client_records = client_records_;
     result.stats.type1_records = type1_;
@@ -146,6 +186,9 @@ class ShardedFlowEngine::Collector {
   // per flushed session batch, not per packet (see DESIGN.md s2.4).
   std::mutex mutex_;
   std::map<std::string, std::vector<core::ClientRecordObservation>> clients_;
+  /// Per-viewer gap timelines, parallel to clients_ (a viewer may have
+  /// gaps before — or without — any decodable observation).
+  std::map<std::string, std::vector<core::GapSpan>> gaps_;
   std::uint64_t client_records_ = 0;
   std::uint64_t type1_ = 0;
   std::uint64_t type2_ = 0;
@@ -156,6 +199,7 @@ class ShardedFlowEngine::Collector {
   obs::Counter* other_counter_ = nullptr;
   obs::Counter* viewers_counter_ = nullptr;
   obs::Counter* sink_updates_counter_ = nullptr;
+  obs::Counter* gaps_counter_ = nullptr;
 };
 
 // --- Shard -----------------------------------------------------------
@@ -195,7 +239,14 @@ struct ShardedFlowEngine::Shard {
   // in inline mode, or the joiner after shutdown) — never shared, so
   // the per-packet path is lock-free.
   tls::RecordStreamExtractor extractor;
-  std::map<net::FlowKey, std::string> client_keys;
+  /// Cached per-flow collector key and SNI. The SNI is cached the first
+  /// time the extractor resolves it so records flushed after the flow's
+  /// state is retired (RST teardown, end-of-capture flush) keep it.
+  struct ClientInfo {
+    std::string key;
+    std::optional<std::string> sni;
+  };
+  std::map<net::FlowKey, ClientInfo> clients;
   std::uint64_t records = 0;
   std::uint64_t peak_active_flows = 0;
   /// Worker busy time per dequeued batch (null without a registry).
@@ -211,6 +262,7 @@ ShardedFlowEngine::ShardedFlowEngine(const core::RecordClassifier& classifier,
   tls::RecordStreamExtractor::Config extractor_config;
   extractor_config.retain_events = false;  // the collector is the memory
   extractor_config.idle_timeout = config_.flow_idle_timeout;
+  extractor_config.reassembly = config_.reassembly;
 
   if (config_.metrics != nullptr) {
     packets_in_counter_ = config_.metrics->counter("engine.packets_in", obs::Stability::kStable);
@@ -291,23 +343,41 @@ void ShardedFlowEngine::shutdown_workers() {
 
 void ShardedFlowEngine::process(Shard& shard, const net::Packet& packet) {
   for (const tls::StreamEvent& stream_event : shard.extractor.feed(packet)) {
-    ++shard.records;
-    const tls::RecordEvent& event = stream_event.event;
-    if (!event.is_client_application_data()) continue;
-
-    auto [it, inserted] =
-        shard.client_keys.try_emplace(stream_event.flow, std::string());
-    if (inserted) it->second = client_key(stream_event.flow);
-
-    core::ClientRecordObservation observation;
-    observation.timestamp = event.timestamp;
-    observation.record_length = event.record_length;
-    observation.flow_sni = shard.extractor.sni_of(stream_event.flow);
-    collector_->on_record(it->second, observation,
-                          classifier_.classify(event.record_length));
+    handle_event(shard, stream_event);
   }
   shard.peak_active_flows = std::max<std::uint64_t>(
       shard.peak_active_flows, shard.extractor.active_flows());
+}
+
+void ShardedFlowEngine::handle_event(Shard& shard,
+                                     const tls::StreamEvent& stream_event) {
+  auto [it, inserted] =
+      shard.clients.try_emplace(stream_event.flow, Shard::ClientInfo{});
+  if (inserted) it->second.key = client_key(stream_event.flow);
+  Shard::ClientInfo& info = it->second;
+
+  if (stream_event.kind == tls::StreamEvent::Kind::kGap) {
+    // Only client->server holes can swallow the choice-marker uploads
+    // the decoder reasons about; server-side loss is decode-neutral.
+    const tls::StreamGapEvent& gap = stream_event.gap;
+    if (gap.direction != net::FlowDirection::kClientToServer) return;
+    collector_->on_gap(info.key, core::GapSpan{gap.timestamp, gap.length});
+    return;
+  }
+
+  ++shard.records;
+  const tls::RecordEvent& event = stream_event.event;
+  if (!event.is_client_application_data()) return;
+
+  if (!info.sni) info.sni = shard.extractor.sni_of(stream_event.flow);
+
+  core::ClientRecordObservation observation;
+  observation.timestamp = event.timestamp;
+  observation.record_length = event.record_length;
+  observation.flow_sni = info.sni;
+  observation.after_gap = event.after_gap;
+  collector_->on_record(info.key, observation,
+                        classifier_.classify(event.record_length));
 }
 
 std::size_t ShardedFlowEngine::shard_for(const net::Packet& packet) const {
@@ -410,11 +480,25 @@ std::size_t ShardedFlowEngine::consume(PacketSource& source) {
 
 EngineResult ShardedFlowEngine::finish() {
   const obs::StageTimer timer(config_.metrics, "engine.finish");
-  if (!finished_ && config_.shards > 0) {
+  const bool first_finish = !finished_;
+  if (first_finish && config_.shards > 0) {
     flush_pending();
     shutdown_workers();
   }
   finished_ = true;
+
+  // End-of-capture flush: every live flow's outstanding reassembly
+  // holes become gaps and the TLS parsers re-lock with relaxed
+  // validation, so records cut off mid-capture still reach the
+  // collector. Workers are joined (or never existed), so the feeding
+  // thread owns every shard's analysis state here.
+  if (first_finish) {
+    for (auto& shard : shards_) {
+      for (const tls::StreamEvent& stream_event : shard->extractor.flush()) {
+        handle_event(*shard, stream_event);
+      }
+    }
+  }
 
   EngineResult result;
   collector_->finalize(result);
@@ -427,6 +511,11 @@ EngineResult ShardedFlowEngine::finish() {
     result.stats.records += shard->records;
     result.stats.flows_opened += shard->extractor.flows_opened();
     result.stats.flows_evicted += shard->extractor.flows_evicted();
+    result.stats.flows_completed += shard->extractor.flows_completed();
+    result.stats.gaps += shard->extractor.gaps();
+    result.stats.gap_bytes += shard->extractor.gap_bytes();
+    result.stats.tls_resyncs += shard->extractor.tls_resyncs();
+    result.stats.tls_skipped_bytes += shard->extractor.tls_bytes_skipped();
     result.stats.peak_active_flows += shard->peak_active_flows;
   }
   return result;

@@ -40,6 +40,7 @@ InferReport AttackPipeline::infer(engine::PacketSource& source,
   config.shards = options.shards;
   config.min_question_gap = options.min_question_gap;
   config.flow_idle_timeout = options.flow_idle_timeout;
+  config.reassembly = options.reassembly;
   config.metrics = registry;
   engine::EngineResult result =
       engine::analyze(*classifier_, source, config, options.sink);

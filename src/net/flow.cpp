@@ -141,6 +141,10 @@ std::vector<FlowKey> FlowTable::evict_idle(util::SimTime now) {
   return evicted;
 }
 
+bool FlowTable::remove(const FlowKey& key) {
+  return flows_.erase(key) != 0;
+}
+
 const FlowRecord* FlowTable::find(const FlowKey& key) const {
   const auto it = flows_.find(key);
   return it == flows_.end() ? nullptr : &it->second;

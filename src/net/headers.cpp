@@ -1,5 +1,7 @@
 #include "wm/net/headers.hpp"
 
+#include <algorithm>
+
 #include "wm/net/checksum.hpp"
 #include "wm/util/bytes.hpp"
 
@@ -51,7 +53,7 @@ void EthernetHeader::serialize(ByteWriter& out) const {
   out.write_u16_be(ether_type);
 }
 
-std::optional<ParsedIpv4> parse_ipv4(BytesView packet) {
+std::optional<ParsedIpv4> parse_ipv4(BytesView packet, bool allow_truncated) {
   if (packet.size() < Ipv4Header::kMinSize) return std::nullopt;
   ByteReader reader(packet);
   const std::uint8_t version_ihl = reader.read_u8();
@@ -63,8 +65,10 @@ std::optional<ParsedIpv4> parse_ipv4(BytesView packet) {
   Ipv4Header& h = out.header;
   h.dscp_ecn = reader.read_u8();
   h.total_length = reader.read_u16_be();
-  if (h.total_length < header_len || h.total_length > packet.size()) {
-    return std::nullopt;
+  if (h.total_length < header_len) return std::nullopt;
+  if (h.total_length > packet.size()) {
+    if (!allow_truncated) return std::nullopt;
+    out.truncated_bytes = h.total_length - packet.size();
   }
   h.identification = reader.read_u16_be();
   const std::uint16_t flags_frag = reader.read_u16_be();
@@ -80,7 +84,9 @@ std::optional<ParsedIpv4> parse_ipv4(BytesView packet) {
     h.options = reader.read_bytes(header_len - Ipv4Header::kMinSize);
   }
   out.checksum_valid = internet_checksum(packet.subspan(0, header_len)) == 0;
-  out.payload = packet.subspan(header_len, h.total_length - header_len);
+  const std::size_t available =
+      std::min<std::size_t>(h.total_length, packet.size()) - header_len;
+  out.payload = packet.subspan(header_len, available);
   return out;
 }
 
@@ -106,7 +112,7 @@ void Ipv4Header::serialize(ByteWriter& out, std::size_t payload_length) const {
   out.patch_u16_be(start + 10, checksum);
 }
 
-std::optional<ParsedIpv6> parse_ipv6(BytesView packet) {
+std::optional<ParsedIpv6> parse_ipv6(BytesView packet, bool allow_truncated) {
   if (packet.size() < Ipv6Header::kSize) return std::nullopt;
   ByteReader reader(packet);
   const std::uint32_t first = reader.read_u32_be();
@@ -127,8 +133,13 @@ std::optional<ParsedIpv6> parse_ipv6(BytesView packet) {
   };
   h.source = read_addr();
   h.destination = read_addr();
-  if (Ipv6Header::kSize + h.payload_length > packet.size()) return std::nullopt;
-  out.payload = packet.subspan(Ipv6Header::kSize, h.payload_length);
+  if (Ipv6Header::kSize + h.payload_length > packet.size()) {
+    if (!allow_truncated) return std::nullopt;
+    out.truncated_bytes = Ipv6Header::kSize + h.payload_length - packet.size();
+  }
+  out.payload = packet.subspan(
+      Ipv6Header::kSize,
+      std::min<std::size_t>(h.payload_length, packet.size() - Ipv6Header::kSize));
   return out;
 }
 

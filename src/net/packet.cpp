@@ -24,22 +24,30 @@ std::optional<DecodedPacket> decode_packet(const Packet& packet) {
     l3 = l3.subspan(4);
   }
 
+  // A frame shorter than its wire length (snaplen truncation) is still
+  // decodable as long as the headers survived: the missing payload tail
+  // is counted so reassembly can record it as an explicit gap.
+  const bool allow_truncated = packet.original_length > packet.data.size();
+
   util::BytesView ip_payload;
+  std::size_t ip_truncated = 0;
   std::uint8_t protocol = 0;
   switch (static_cast<EtherType>(ether_type)) {
     case EtherType::kIpv4: {
-      const auto ip = parse_ipv4(l3);
+      const auto ip = parse_ipv4(l3, allow_truncated);
       if (!ip) return std::nullopt;
       out.ip = ip->header;
       ip_payload = ip->payload;
+      ip_truncated = ip->truncated_bytes;
       protocol = ip->header.protocol;
       break;
     }
     case EtherType::kIpv6: {
-      const auto ip = parse_ipv6(l3);
+      const auto ip = parse_ipv6(l3, allow_truncated);
       if (!ip) return std::nullopt;
       out.ip = ip->header;
       ip_payload = ip->payload;
+      ip_truncated = ip->truncated_bytes;
       protocol = ip->header.next_header;
       break;
     }
@@ -53,6 +61,7 @@ std::optional<DecodedPacket> decode_packet(const Packet& packet) {
       if (!tcp) return std::nullopt;
       out.transport = tcp->header;
       out.transport_payload = tcp->payload;
+      out.transport_payload_missing = ip_truncated;
       break;
     }
     case IpProtocol::kUdp: {

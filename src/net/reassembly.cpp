@@ -1,6 +1,7 @@
 #include "wm/net/reassembly.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace wm::net {
 
@@ -29,12 +30,91 @@ std::uint64_t TcpStreamReassembler::unwrap(std::uint32_t sequence) const {
   return best;
 }
 
-std::vector<StreamChunk> TcpStreamReassembler::on_segment(util::SimTime timestamp,
-                                                          std::uint32_t sequence,
-                                                          bool syn, bool fin,
-                                                          util::BytesView payload) {
-  std::vector<StreamChunk> out;
+bool TcpStreamReassembler::over_reorder_window() const {
+  return buffered_bytes_ > config_.reorder_window_bytes ||
+         pending_.size() > config_.reorder_window_segments;
+}
 
+void TcpStreamReassembler::add_dead_range(std::uint64_t start, std::uint64_t end,
+                                          StreamGap::Cause cause) {
+  start = std::max(start, expected_);
+  if (end <= start) return;
+
+  // Skip sub-spans already covered by buffered data: those bytes are
+  // not lost. The remaining uncovered pieces become dead ranges.
+  std::uint64_t cursor = start;
+  while (cursor < end) {
+    const auto after = pending_.upper_bound(cursor);
+    if (after != pending_.begin()) {
+      const auto prev_it = std::prev(after);
+      const std::uint64_t prev_end = prev_it->first + prev_it->second.data.size();
+      if (prev_end > cursor) {
+        cursor = prev_end;
+        continue;
+      }
+    }
+    std::uint64_t span_end = end;
+    const auto next_it = pending_.lower_bound(cursor);
+    if (next_it != pending_.end() && next_it->first < end) {
+      span_end = next_it->first;
+    }
+    if (span_end > cursor) {
+      // Insert [cursor, span_end), merging overlapping/adjacent dead
+      // ranges. The earliest-recorded cause wins on merge.
+      std::uint64_t m_start = cursor;
+      std::uint64_t m_end = span_end;
+      StreamGap::Cause m_cause = cause;
+      const auto up = dead_.upper_bound(m_start);
+      if (up != dead_.begin()) {
+        const auto prev_dead = std::prev(up);
+        if (prev_dead->second.end >= m_start) {
+          m_start = prev_dead->first;
+          m_end = std::max(m_end, prev_dead->second.end);
+          m_cause = prev_dead->second.cause;
+          dead_.erase(prev_dead);
+        }
+      }
+      for (auto next_dead = dead_.lower_bound(m_start);
+           next_dead != dead_.end() && next_dead->first <= m_end;
+           next_dead = dead_.lower_bound(m_start)) {
+        m_end = std::max(m_end, next_dead->second.end);
+        dead_.erase(next_dead);
+      }
+      dead_[m_start] = DeadRange{m_end, m_cause};
+    }
+    cursor = span_end;
+  }
+}
+
+void TcpStreamReassembler::resurrect(std::uint64_t start, std::uint64_t end) {
+  if (end <= start || dead_.empty()) return;
+  // A range straddling `start` is split; its tail may also straddle
+  // `end` and is re-inserted past it.
+  const auto up = dead_.upper_bound(start);
+  if (up != dead_.begin()) {
+    const auto prev_it = std::prev(up);
+    if (prev_it->second.end > start) {
+      const std::uint64_t p_start = prev_it->first;
+      const DeadRange range = prev_it->second;
+      dead_.erase(prev_it);
+      if (p_start < start) dead_[p_start] = DeadRange{start, range.cause};
+      if (range.end > end) dead_[end] = DeadRange{range.end, range.cause};
+    }
+  }
+  // Ranges starting inside [start, end): drop, keeping any tail.
+  for (auto it = dead_.lower_bound(start); it != dead_.end() && it->first < end;) {
+    const DeadRange range = it->second;
+    it = dead_.erase(it);
+    if (range.end > end) {
+      dead_[end] = DeadRange{range.end, range.cause};
+      break;
+    }
+  }
+}
+
+std::vector<StreamItem> TcpStreamReassembler::on_segment(
+    util::SimTime timestamp, std::uint32_t sequence, bool syn, bool fin,
+    util::BytesView payload, std::size_t truncated_bytes) {
   if (!synchronized_) {
     // Establish the base sequence. A SYN consumes one sequence number;
     // for mid-stream captures we accept the first segment's sequence as
@@ -49,7 +129,9 @@ std::vector<StreamChunk> TcpStreamReassembler::on_segment(util::SimTime timestam
   if (syn) seg_start += 1;  // payload begins after the SYN's sequence slot
 
   if (fin) {
-    const std::uint64_t fin_pos = seg_start + payload.size();
+    // The FIN sits after the segment's *wire* payload, including any
+    // bytes the capture truncated away.
+    const std::uint64_t fin_pos = seg_start + payload.size() + truncated_bytes;
     if (!fin_seen_ || fin_pos < fin_at_) {
       fin_seen_ = true;
       fin_at_ = fin_pos;
@@ -81,7 +163,8 @@ std::vector<StreamChunk> TcpStreamReassembler::on_segment(util::SimTime timestam
       const auto after = pending_.upper_bound(cursor);
       if (after != pending_.begin()) {
         const auto prev_it = std::prev(after);
-        const std::uint64_t prev_end = prev_it->first + prev_it->second.size();
+        const std::uint64_t prev_end =
+            prev_it->first + prev_it->second.data.size();
         if (prev_end > cursor) {
           const std::uint64_t overlap = prev_end - cursor;
           if (overlap >= rest.size()) {
@@ -102,9 +185,16 @@ std::vector<StreamChunk> TcpStreamReassembler::on_segment(util::SimTime timestam
       if (take > 0) {
         const util::BytesView piece = rest.subspan(0, take);
         if (buffered_bytes_ + piece.size() > config_.max_buffered_bytes) {
+          // Over budget: the bytes are gone, but not silently — record
+          // a dead range so a StreamGap surfaces in the delivered
+          // sequence when the stream reaches it.
           dropped_ += piece.size();
+          add_dead_range(cursor, cursor + piece.size(),
+                         StreamGap::Cause::kBufferCap);
         } else {
-          pending_.emplace(cursor, util::Bytes(piece.begin(), piece.end()));
+          resurrect(cursor, cursor + piece.size());
+          pending_.emplace(
+              cursor, Pending{util::Bytes(piece.begin(), piece.end()), timestamp});
           buffered_bytes_ += piece.size();
         }
         rest = rest.subspan(take);
@@ -113,56 +203,158 @@ std::vector<StreamChunk> TcpStreamReassembler::on_segment(util::SimTime timestam
     }
   }
 
-  out = drain(timestamp);
+  if (truncated_bytes > 0) {
+    // Snaplen truncation: the segment carried more bytes than the
+    // capture retained. They may still arrive via retransmission, but
+    // until then they are a known hole, not silence.
+    const std::uint64_t tail_start = seg_start + payload.size();
+    add_dead_range(tail_start, tail_start + truncated_bytes,
+                   StreamGap::Cause::kTruncated);
+  }
+
+  std::vector<StreamItem> out = drain(timestamp, /*condemn_all=*/false);
   if (fin_seen_ && expected_ >= fin_at_) finished_ = true;
   return out;
 }
 
-std::vector<StreamChunk> TcpStreamReassembler::drain(util::SimTime timestamp) {
-  std::vector<StreamChunk> out;
+std::vector<StreamItem> TcpStreamReassembler::flush(util::SimTime timestamp) {
+  std::vector<StreamItem> out;
+  if (synchronized_) {
+    out = drain(timestamp, /*condemn_all=*/true);
+  }
+  finished_ = true;
+  return out;
+}
+
+std::vector<StreamItem> TcpStreamReassembler::drain(util::SimTime timestamp,
+                                                    bool condemn_all) {
+  std::vector<StreamItem> out;
   for (;;) {
-    const auto it = pending_.begin();
-    if (it == pending_.end() || it->first > expected_) break;
-
-    const std::uint64_t start = it->first;
-    util::Bytes data = std::move(it->second);
-    buffered_bytes_ -= data.size();
-    pending_.erase(it);
-
-    // start <= expected_ is guaranteed; overlap was trimmed on entry,
-    // but a defensive re-trim is cheap.
-    if (start < expected_) {
-      const std::uint64_t overlap = expected_ - start;
-      if (overlap >= data.size()) continue;
-      data.erase(data.begin(),
-                 data.begin() + static_cast<std::ptrdiff_t>(overlap));
+    // Prune dead ranges the stream has already moved past.
+    while (!dead_.empty() && dead_.begin()->second.end <= expected_) {
+      dead_.erase(dead_.begin());
+    }
+    // A dead range at the head surfaces as an explicit gap — but only
+    // once waiting stops being useful: a retransmit may still resurrect
+    // the bytes, so hold the range while nothing is deliverable behind
+    // it. Condemn when flushing, when delivery can resume immediately
+    // past the range, or when buffer pressure says the bytes are gone.
+    if (!dead_.empty() && dead_.begin()->first <= expected_) {
+      const std::uint64_t end = dead_.begin()->second.end;
+      const auto next = pending_.begin();
+      const bool resumable = next != pending_.end() && next->first <= end;
+      if (!condemn_all && !resumable && !over_reorder_window()) break;
+      StreamGap gap;
+      gap.timestamp = timestamp;
+      gap.stream_offset = expected_ - base_;
+      gap.length = end - expected_;
+      gap.cause = dead_.begin()->second.cause;
+      dead_.erase(dead_.begin());
+      expected_ = end;
+      ++gaps_emitted_;
+      gap_bytes_ += gap.length;
+      out.push_back(StreamItem::make_gap(gap));
+      continue;
     }
 
-    StreamChunk chunk;
-    chunk.timestamp = timestamp;
-    chunk.stream_offset = expected_ - base_;
-    expected_ += data.size();
-    delivered_ += data.size();
-    chunk.data = std::move(data);
-    out.push_back(std::move(chunk));
+    const auto it = pending_.begin();
+    if (it != pending_.end() && it->first <= expected_) {
+      const std::uint64_t start = it->first;
+      Pending piece = std::move(it->second);
+      buffered_bytes_ -= piece.data.size();
+      pending_.erase(it);
+
+      // start <= expected_ is guaranteed; overlap was trimmed on entry,
+      // but a defensive re-trim is cheap.
+      if (start < expected_) {
+        const std::uint64_t overlap = expected_ - start;
+        if (overlap >= piece.data.size()) continue;
+        piece.data.erase(piece.data.begin(),
+                         piece.data.begin() + static_cast<std::ptrdiff_t>(overlap));
+      }
+
+      StreamChunk chunk;
+      // First-arrival stamp: buffering behind a reordered segment must
+      // not shift the chunk's capture time (timing features depend on
+      // when the bytes were seen, not when the hole filled).
+      chunk.timestamp = piece.arrived;
+      chunk.stream_offset = expected_ - base_;
+      expected_ += piece.data.size();
+      delivered_ += piece.data.size();
+      chunk.data = std::move(piece.data);
+      out.push_back(StreamItem::make_chunk(std::move(chunk)));
+      continue;
+    }
+
+    // Head-of-line hole. Condemn it if the reorder window is exceeded
+    // (the hole will not fill: anything this far behind the buffered
+    // frontier was lost, not reordered) or if we are flushing.
+    if (!condemn_all && !(it != pending_.end() && over_reorder_window())) break;
+
+    std::uint64_t hole_end = std::numeric_limits<std::uint64_t>::max();
+    if (it != pending_.end()) hole_end = it->first;
+    if (!dead_.empty()) hole_end = std::min(hole_end, dead_.begin()->first);
+    if (condemn_all && fin_seen_ && fin_at_ > expected_) {
+      hole_end = std::min(hole_end, fin_at_);
+    }
+    if (hole_end == std::numeric_limits<std::uint64_t>::max() ||
+        hole_end <= expected_) {
+      break;
+    }
+    StreamGap gap;
+    gap.timestamp = timestamp;
+    gap.stream_offset = expected_ - base_;
+    gap.length = hole_end - expected_;
+    gap.cause = StreamGap::Cause::kReorderWindow;
+    expected_ = hole_end;
+    ++gaps_emitted_;
+    gap_bytes_ += gap.length;
+    out.push_back(StreamItem::make_gap(gap));
   }
   return out;
 }
 
-std::vector<TcpConnectionReassembler::DirectedChunk>
+std::vector<TcpConnectionReassembler::DirectedItem>
 TcpConnectionReassembler::on_packet(const DecodedPacket& packet,
                                     FlowDirection direction) {
-  std::vector<DirectedChunk> out;
+  std::vector<DirectedItem> out;
   if (!packet.has_tcp()) return out;
+  if (reset_) return out;  // no data delivery after reset
   const TcpHeader& tcp = packet.tcp();
-  if (tcp.rst) return out;  // no data delivery after reset
+  if (tcp.rst) {
+    reset_ = true;
+    // A reset tears the connection down in both directions: deliver
+    // what is buffered (holes become gaps) and mark the streams
+    // finished so the flow can be retired immediately instead of
+    // lingering until idle eviction.
+    for (StreamItem& item : client_.flush(packet.timestamp)) {
+      out.push_back(DirectedItem{FlowDirection::kClientToServer, std::move(item)});
+    }
+    for (StreamItem& item : server_.flush(packet.timestamp)) {
+      out.push_back(DirectedItem{FlowDirection::kServerToClient, std::move(item)});
+    }
+    return out;
+  }
 
   TcpStreamReassembler& stream =
       direction == FlowDirection::kClientToServer ? client_ : server_;
-  for (StreamChunk& chunk :
+  for (StreamItem& item :
        stream.on_segment(packet.timestamp, tcp.sequence, tcp.syn, tcp.fin,
-                         packet.transport_payload)) {
-    out.push_back(DirectedChunk{direction, std::move(chunk)});
+                         packet.transport_payload,
+                         packet.transport_payload_missing)) {
+    out.push_back(DirectedItem{direction, std::move(item)});
+  }
+  return out;
+}
+
+std::vector<TcpConnectionReassembler::DirectedItem>
+TcpConnectionReassembler::flush(util::SimTime timestamp) {
+  std::vector<DirectedItem> out;
+  for (StreamItem& item : client_.flush(timestamp)) {
+    out.push_back(DirectedItem{FlowDirection::kClientToServer, std::move(item)});
+  }
+  for (StreamItem& item : server_.flush(timestamp)) {
+    out.push_back(DirectedItem{FlowDirection::kServerToClient, std::move(item)});
   }
   return out;
 }

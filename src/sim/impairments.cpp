@@ -1,6 +1,11 @@
 #include "wm/sim/impairments.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "wm/net/flow.hpp"
 
 namespace wm::sim {
 
@@ -10,6 +15,55 @@ std::vector<net::Packet> drop_packets(const std::vector<net::Packet>& packets,
   out.reserve(packets.size());
   for (const net::Packet& packet : packets) {
     if (rng.bernoulli(loss_rate)) continue;
+    out.push_back(packet);
+  }
+  return out;
+}
+
+namespace {
+
+/// A condemned run of 32-bit sequence space on one directional stream.
+struct SeqRange {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;  // exclusive
+};
+
+}  // namespace
+
+std::vector<net::Packet> drop_segments(const std::vector<net::Packet>& packets,
+                                       double loss_rate, util::Rng& rng) {
+  std::vector<net::Packet> out;
+  out.reserve(packets.size());
+  // Condemned byte ranges per directional stream ("src > dst"). The
+  // simulated captures never wrap the 32-bit sequence space, so plain
+  // interval overlap suffices.
+  std::map<std::string, std::vector<SeqRange>> condemned;
+  for (const net::Packet& packet : packets) {
+    const auto decoded = net::decode_packet(packet);
+    if (!decoded || !decoded->has_tcp() || decoded->transport_payload.empty()) {
+      out.push_back(packet);
+      continue;
+    }
+    const auto endpoints = net::packet_endpoints(*decoded);
+    if (!endpoints) {
+      out.push_back(packet);
+      continue;
+    }
+    const std::string key =
+        endpoints->source.to_string() + '>' + endpoints->destination.to_string();
+    const std::uint32_t seq = decoded->tcp().sequence;
+    const std::uint32_t len = static_cast<std::uint32_t>(
+        decoded->transport_payload.size() + decoded->transport_payload_missing);
+    auto& ranges = condemned[key];
+    const bool retransmits_condemned_bytes =
+        std::any_of(ranges.begin(), ranges.end(), [&](const SeqRange& r) {
+          return seq < r.end && r.begin < seq + len;
+        });
+    if (retransmits_condemned_bytes) continue;
+    if (rng.bernoulli(loss_rate)) {
+      ranges.push_back(SeqRange{seq, seq + len});
+      continue;
+    }
     out.push_back(packet);
   }
   return out;

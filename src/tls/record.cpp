@@ -43,33 +43,121 @@ util::Bytes serialize_records(const std::vector<TlsRecord>& records) {
   return out.take();
 }
 
-std::vector<TlsRecordParser::ParsedRecord> TlsRecordParser::feed(
-    util::SimTime timestamp, util::BytesView data) {
-  std::vector<ParsedRecord> out;
-  if (desynchronized_) {
-    consumed_ += data.size();
-    return out;
+bool TlsRecordParser::plausible_header(std::size_t pos) const {
+  if (buffer_.size() - pos < kRecordHeaderSize) return false;
+  const std::uint8_t type = buffer_[pos];
+  const std::uint16_t version =
+      static_cast<std::uint16_t>((buffer_[pos + 1] << 8) | buffer_[pos + 2]);
+  const std::uint16_t length =
+      static_cast<std::uint16_t>((buffer_[pos + 3] << 8) | buffer_[pos + 4]);
+  const bool plausible_version = (version >= 0x0300 && version <= 0x0304);
+  return is_known_content_type(type) && plausible_version &&
+         length <= kMaxCiphertextLength;
+}
+
+util::SimTime TlsRecordParser::time_for(std::uint64_t end_offset,
+                                        util::SimTime fallback) const {
+  // The record is completed by the first chunk whose end reaches the
+  // record's last byte; marks are in ascending end order.
+  for (const ChunkMark& mark : marks_) {
+    if (mark.end >= end_offset) return mark.time;
   }
+  return fallback;
+}
 
-  buffer_.insert(buffer_.end(), data.begin(), data.end());
-  consumed_ += data.size();
+bool TlsRecordParser::try_resync(std::size_t& pos, bool relaxed) {
+  std::size_t c = pos;
+  while (c < buffer_.size()) {
+    // Candidate headers start with a known content type byte — skip to
+    // the next one.
+    if (!is_known_content_type(buffer_[c])) {
+      ++c;
+      continue;
+    }
+    if (buffer_.size() - c < kRecordHeaderSize) {
+      // A header may be straddling the buffer end: keep the tail and
+      // wait for more bytes.
+      skipped_ += c - pos;
+      pos = c;
+      return false;
+    }
+    if (!plausible_header(c)) {
+      ++c;
+      continue;
+    }
+    // Chain-validate: each header's length field must land exactly on
+    // the next plausible header. Ciphertext almost never passes this
+    // kResyncChain times in a row.
+    std::size_t k = c;
+    std::size_t chained = 0;
+    bool failed = false;
+    bool incomplete = false;
+    while (chained < kResyncChain) {
+      if (buffer_.size() - k < kRecordHeaderSize) {
+        // Ran past the buffered data (a chained record ending exactly
+        // at the buffer end counts too): the evidence is consistent but
+        // not yet conclusive.
+        incomplete = true;
+        break;
+      }
+      if (!plausible_header(k)) {
+        failed = true;
+        break;
+      }
+      const std::size_t length =
+          static_cast<std::size_t>((buffer_[k + 3] << 8) | buffer_[k + 4]);
+      ++chained;
+      k += kRecordHeaderSize + length;
+      if (k > buffer_.size()) {
+        incomplete = true;
+        break;
+      }
+    }
+    if (failed) {
+      ++c;
+      continue;
+    }
+    if (incomplete && chained < kResyncChain && !relaxed) {
+      // Not enough evidence yet: discard up to the candidate and wait.
+      skipped_ += c - pos;
+      pos = c;
+      return false;
+    }
+    // Re-locked (full chain, or relaxed end-of-stream validation).
+    skipped_ += c - pos;
+    pos = c;
+    scanning_ = false;
+    ++resyncs_;
+    pending_after_gap_ = true;
+    return true;
+  }
+  // No candidate byte anywhere: everything in the window is garbage.
+  skipped_ += c - pos;
+  pos = c;
+  return false;
+}
 
+std::vector<TlsRecordParser::ParsedRecord> TlsRecordParser::parse(
+    util::SimTime timestamp, bool relaxed) {
+  std::vector<ParsedRecord> out;
   std::size_t pos = 0;
-  while (buffer_.size() - pos >= kRecordHeaderSize) {
+  for (;;) {
+    if (scanning_) {
+      if (!try_resync(pos, relaxed)) break;
+    }
+    if (buffer_.size() - pos < kRecordHeaderSize) break;
+    if (!plausible_header(pos)) {
+      // Implausible header mid-stream: ciphertext or a silent gap.
+      // Enter the scanning state instead of wedging permanently.
+      scanning_ = true;
+      pending_after_gap_ = true;
+      continue;
+    }
     const std::uint8_t type = buffer_[pos];
     const std::uint16_t version =
         static_cast<std::uint16_t>((buffer_[pos + 1] << 8) | buffer_[pos + 2]);
     const std::uint16_t length =
         static_cast<std::uint16_t>((buffer_[pos + 3] << 8) | buffer_[pos + 4]);
-
-    // Sanity-check the header. A bad content type or version byte means
-    // we are looking at ciphertext or a gapped stream.
-    const bool plausible_version = (version >= 0x0300 && version <= 0x0304);
-    if (!is_known_content_type(type) || !plausible_version ||
-        length > kMaxCiphertextLength) {
-      desynchronized_ = true;
-      break;
-    }
 
     if (buffer_.size() - pos - kRecordHeaderSize <
         static_cast<std::size_t>(length)) {
@@ -77,13 +165,17 @@ std::vector<TlsRecordParser::ParsedRecord> TlsRecordParser::feed(
     }
 
     ParsedRecord parsed;
-    parsed.timestamp = timestamp;
+    const std::uint64_t record_end =
+        buffer_start_ + pos + kRecordHeaderSize + length;
+    parsed.timestamp = time_for(record_end, timestamp);
     parsed.stream_offset = buffer_start_ + pos;
     parsed.record.content_type = static_cast<ContentType>(type);
     parsed.record.version_raw = version;
     parsed.record.payload.assign(
         buffer_.begin() + static_cast<std::ptrdiff_t>(pos + kRecordHeaderSize),
         buffer_.begin() + static_cast<std::ptrdiff_t>(pos + kRecordHeaderSize + length));
+    parsed.after_gap = pending_after_gap_;
+    pending_after_gap_ = false;
     out.push_back(std::move(parsed));
     ++records_parsed_;
     pos += kRecordHeaderSize + length;
@@ -92,8 +184,39 @@ std::vector<TlsRecordParser::ParsedRecord> TlsRecordParser::feed(
   if (pos > 0) {
     buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(pos));
     buffer_start_ += pos;
+    while (!marks_.empty() && marks_.front().end <= buffer_start_) {
+      marks_.erase(marks_.begin());
+    }
   }
   return out;
+}
+
+std::vector<TlsRecordParser::ParsedRecord> TlsRecordParser::feed(
+    util::SimTime timestamp, util::BytesView data) {
+  if (!data.empty()) {
+    buffer_.insert(buffer_.end(), data.begin(), data.end());
+    consumed_ += data.size();
+    marks_.push_back(ChunkMark{buffer_start_ + buffer_.size(), timestamp});
+  }
+  return parse(timestamp, /*relaxed=*/false);
+}
+
+void TlsRecordParser::on_gap(util::SimTime, std::uint64_t length) {
+  // A partial record in the buffer can never complete across the hole:
+  // its bytes are lost to the parse. Advance the stream cursor past
+  // both the stale buffer and the gap so offsets stay aligned with the
+  // reassembled stream, and hunt for the next record boundary.
+  skipped_ += buffer_.size();
+  buffer_start_ += buffer_.size() + length;
+  buffer_.clear();
+  marks_.clear();
+  scanning_ = true;
+  pending_after_gap_ = true;
+}
+
+std::vector<TlsRecordParser::ParsedRecord> TlsRecordParser::flush(
+    util::SimTime timestamp) {
+  return parse(timestamp, /*relaxed=*/true);
 }
 
 }  // namespace wm::tls

@@ -42,6 +42,13 @@ RecordStreamExtractor::RecordStreamExtractor(Config config)
     metrics_.tcp_chunks = resolve(".tcp.chunks");
     metrics_.tcp_bytes = resolve(".tcp.bytes");
     metrics_.tcp_dropped_bytes = resolve(".tcp.bytes.dropped");
+    // Loss tolerance: gap/resync behaviour is a pure function of each
+    // flow's own segment sequence, so the rollups stay shard-invariant.
+    metrics_.tcp_gaps = resolve(".tcp.gaps");
+    metrics_.tcp_gap_bytes = resolve(".tcp.gap_bytes");
+    metrics_.tls_resyncs = resolve(".tls.resyncs");
+    metrics_.tls_skipped_bytes = resolve(".tls.skipped_bytes");
+    metrics_.records_after_gap = resolve(".records.after_gap");
     metrics_.records = resolve(".records");
     metrics_.records_handshake = resolve(".records.handshake");
     metrics_.records_application = resolve(".records.application");
@@ -92,6 +99,7 @@ std::vector<StreamEvent> RecordStreamExtractor::feed(const net::Packet& packet) 
   auto [it, inserted] = flows_.try_emplace(assignment->key);
   PerFlow& state = it->second;
   if (inserted) {
+    state.reassembler = net::TcpConnectionReassembler(config_.reassembly);
     state.first_seen = packet.timestamp;
     ++flows_opened_;
   }
@@ -103,60 +111,143 @@ std::vector<StreamEvent> RecordStreamExtractor::feed(const net::Packet& packet) 
       state.reassembler.client_stream().dropped_bytes() +
       state.reassembler.server_stream().dropped_bytes();
 
-  auto chunks = state.reassembler.on_packet(*decoded, assignment->direction);
-  if (has_payload && chunks.empty()) obs::inc(metrics_.tcp_segments_buffered);
-  for (const auto& directed : chunks) {
-    obs::inc(metrics_.tcp_chunks);
-    obs::inc(metrics_.tcp_bytes, directed.chunk.data.size());
-  }
+  auto items = state.reassembler.on_packet(*decoded, assignment->direction);
+  if (has_payload && items.empty()) obs::inc(metrics_.tcp_segments_buffered);
   const std::uint64_t dropped_after =
       state.reassembler.client_stream().dropped_bytes() +
       state.reassembler.server_stream().dropped_bytes();
   obs::inc(metrics_.tcp_dropped_bytes, dropped_after - dropped_before);
 
-  for (auto& directed : chunks) {
-    TlsRecordParser& parser = directed.direction == net::FlowDirection::kClientToServer
-                                  ? state.client_parser
-                                  : state.server_parser;
-    for (auto& parsed : parser.feed(directed.chunk.timestamp, directed.chunk.data)) {
-      // Opportunistic SNI capture from client handshake records.
-      if (!state.sni_searched &&
-          directed.direction == net::FlowDirection::kClientToServer &&
-          parsed.record.content_type == ContentType::kHandshake) {
-        state.sni = extract_sni(parsed.record.payload);
-        state.sni_searched = true;
-      }
-      RecordEvent event;
-      event.timestamp = parsed.timestamp;
-      event.direction = directed.direction;
-      event.content_type = parsed.record.content_type;
-      event.record_length = parsed.record.length();
-      event.stream_offset = parsed.stream_offset;
-      obs::inc(metrics_.records);
-      switch (event.content_type) {
-        case ContentType::kHandshake:
-          obs::inc(metrics_.records_handshake);
-          break;
-        case ContentType::kApplicationData:
-          obs::inc(metrics_.records_application);
-          break;
-        case ContentType::kAlert:
-          obs::inc(metrics_.records_alert);
-          break;
-        default:
-          obs::inc(metrics_.records_other);
-          break;
-      }
-      if (event.is_client_application_data()) {
-        obs::inc(metrics_.client_app_records);
-        obs::observe(metrics_.client_record_lengths, event.record_length);
-      }
-      if (config_.retain_events) state.events.push_back(event);
-      out.push_back(StreamEvent{assignment->key, event});
-    }
+  process_items(assignment->key, state, items, out);
+  sync_tls_counters(state);
+
+  if (state.reassembler.reset()) {
+    // RST teardown: the connection is over in both directions. Retire
+    // the flow now instead of letting it linger until idle eviction.
+    complete_flow(it, out);
   }
 
   if (config_.idle_timeout != util::Duration{}) evict_idle(packet.timestamp);
+  return out;
+}
+
+void RecordStreamExtractor::process_items(
+    const net::FlowKey& key, PerFlow& state,
+    std::vector<net::TcpConnectionReassembler::DirectedItem>& items,
+    std::vector<StreamEvent>& out) {
+  for (auto& directed : items) {
+    TlsRecordParser& parser =
+        directed.direction == net::FlowDirection::kClientToServer
+            ? state.client_parser
+            : state.server_parser;
+    if (directed.item.kind == net::StreamItem::Kind::kGap) {
+      const net::StreamGap& gap = directed.item.gap;
+      parser.on_gap(gap.timestamp, gap.length);
+      ++state.gaps;
+      state.gap_bytes += gap.length;
+      ++gaps_total_;
+      gap_bytes_total_ += gap.length;
+      obs::inc(metrics_.tcp_gaps);
+      obs::inc(metrics_.tcp_gap_bytes, gap.length);
+      StreamEvent event;
+      event.flow = key;
+      event.kind = StreamEvent::Kind::kGap;
+      event.gap = StreamGapEvent{gap.timestamp, directed.direction,
+                                 gap.stream_offset, gap.length};
+      out.push_back(std::move(event));
+      continue;
+    }
+    net::StreamChunk& chunk = directed.item.chunk;
+    obs::inc(metrics_.tcp_chunks);
+    obs::inc(metrics_.tcp_bytes, chunk.data.size());
+    for (auto& parsed : parser.feed(chunk.timestamp, chunk.data)) {
+      emit_record(key, state, directed.direction, parsed, out);
+    }
+  }
+}
+
+void RecordStreamExtractor::emit_record(const net::FlowKey& key, PerFlow& state,
+                                        net::FlowDirection direction,
+                                        TlsRecordParser::ParsedRecord& parsed,
+                                        std::vector<StreamEvent>& out) {
+  // Opportunistic SNI capture from client handshake records.
+  if (!state.sni_searched && direction == net::FlowDirection::kClientToServer &&
+      parsed.record.content_type == ContentType::kHandshake) {
+    state.sni = extract_sni(parsed.record.payload);
+    state.sni_searched = true;
+  }
+  RecordEvent event;
+  event.timestamp = parsed.timestamp;
+  event.direction = direction;
+  event.content_type = parsed.record.content_type;
+  event.record_length = parsed.record.length();
+  event.stream_offset = parsed.stream_offset;
+  event.after_gap = parsed.after_gap;
+  obs::inc(metrics_.records);
+  if (event.after_gap) obs::inc(metrics_.records_after_gap);
+  switch (event.content_type) {
+    case ContentType::kHandshake:
+      obs::inc(metrics_.records_handshake);
+      break;
+    case ContentType::kApplicationData:
+      obs::inc(metrics_.records_application);
+      break;
+    case ContentType::kAlert:
+      obs::inc(metrics_.records_alert);
+      break;
+    default:
+      obs::inc(metrics_.records_other);
+      break;
+  }
+  if (event.is_client_application_data()) {
+    obs::inc(metrics_.client_app_records);
+    obs::observe(metrics_.client_record_lengths, event.record_length);
+  }
+  if (config_.retain_events) state.events.push_back(event);
+  out.push_back(StreamEvent{key, StreamEvent::Kind::kRecord, event, {}});
+}
+
+void RecordStreamExtractor::sync_tls_counters(PerFlow& state) {
+  const std::uint64_t skipped = state.client_parser.bytes_skipped() +
+                                state.server_parser.bytes_skipped();
+  const std::uint64_t resyncs =
+      state.client_parser.resyncs() + state.server_parser.resyncs();
+  obs::inc(metrics_.tls_skipped_bytes, skipped - state.tls_skipped_accounted);
+  obs::inc(metrics_.tls_resyncs, resyncs - state.tls_resyncs_accounted);
+  tls_skipped_total_ += skipped - state.tls_skipped_accounted;
+  tls_resyncs_total_ += resyncs - state.tls_resyncs_accounted;
+  state.tls_skipped_accounted = skipped;
+  state.tls_resyncs_accounted = resyncs;
+}
+
+void RecordStreamExtractor::complete_flow(
+    std::map<net::FlowKey, PerFlow>::iterator it, std::vector<StreamEvent>& out) {
+  const net::FlowKey key = it->first;
+  PerFlow& state = it->second;
+  // The stream is over: give the parsers their end-of-stream chance to
+  // re-lock with relaxed validation and emit trailing records.
+  for (auto& parsed : state.client_parser.flush(state.last_seen)) {
+    emit_record(key, state, net::FlowDirection::kClientToServer, parsed, out);
+  }
+  for (auto& parsed : state.server_parser.flush(state.last_seen)) {
+    emit_record(key, state, net::FlowDirection::kServerToClient, parsed, out);
+  }
+  sync_tls_counters(state);
+  if (config_.retain_events) completed_.push_back(snapshot(key, state));
+  flows_.erase(it);
+  flow_table_.remove(key);
+  ++flows_completed_;
+}
+
+std::vector<StreamEvent> RecordStreamExtractor::flush() {
+  std::vector<StreamEvent> out;
+  while (!flows_.empty()) {
+    const auto it = flows_.begin();
+    PerFlow& state = it->second;
+    auto items = state.reassembler.flush(state.last_seen);
+    process_items(it->first, state, items, out);
+    complete_flow(it, out);
+  }
   return out;
 }
 
@@ -188,16 +279,21 @@ FlowRecordStream RecordStreamExtractor::snapshot(const net::FlowKey& key,
   stream.server_stream_bytes = state.reassembler.server_stream().delivered_bytes();
   stream.client_desynchronized = state.client_parser.desynchronized();
   stream.server_desynchronized = state.server_parser.desynchronized();
+  stream.gaps = state.reassembler.client_stream().gaps_emitted() +
+                state.reassembler.server_stream().gaps_emitted();
+  stream.gap_bytes = state.reassembler.client_stream().gap_bytes() +
+                     state.reassembler.server_stream().gap_bytes();
+  stream.tls_bytes_skipped =
+      state.client_parser.bytes_skipped() + state.server_parser.bytes_skipped();
+  stream.tls_resyncs =
+      state.client_parser.resyncs() + state.server_parser.resyncs();
   return stream;
 }
 
-std::vector<FlowRecordStream> RecordStreamExtractor::finish() const {
+std::vector<FlowRecordStream> RecordStreamExtractor::finish() {
+  flush();
   std::vector<FlowRecordStream> out = completed_;
-  out.reserve(completed_.size() + flows_.size());
-  for (const auto& [key, state] : flows_) {
-    out.push_back(snapshot(key, state));
-  }
-  // Order by first event time (flows_ map order is key order).
+  // Order by first event time (completed_ holds retirement order).
   std::sort(out.begin(), out.end(),
             [](const FlowRecordStream& a, const FlowRecordStream& b) {
               const util::SimTime ta =

@@ -103,6 +103,94 @@ TEST(Decoder, EmptyObservationsEmptyResult) {
   EXPECT_TRUE(result.choices().empty());
 }
 
+// --- gap-aware confidence ---------------------------------------------
+
+ClientRecordObservation tainted_obs(double seconds, std::uint16_t length) {
+  ClientRecordObservation out = obs(seconds, length);
+  out.after_gap = true;
+  return out;
+}
+
+GapSpan gap_at(double seconds, std::uint64_t bytes) {
+  GapSpan gap;
+  gap.at = util::SimTime::from_seconds(seconds);
+  gap.bytes = bytes;
+  return gap;
+}
+
+TEST(Decoder, CleanStreamDecodesAtFullConfidence) {
+  FixedClassifier clf;
+  const auto result = decode_choices(
+      clf, {obs(1.0, 2212), obs(2.0, 3000), obs(5.0, 2212)}, DecodeOptions{});
+  ASSERT_EQ(result.questions.size(), 2u);
+  for (const InferredQuestion& q : result.questions) {
+    EXPECT_DOUBLE_EQ(q.confidence, 1.0);
+    EXPECT_TRUE(q.evidence.empty());
+  }
+}
+
+TEST(Decoder, Type1AfterGapOpensLowConfidenceQuestion) {
+  FixedClassifier clf;
+  const auto result = decode_choices(
+      clf, {tainted_obs(1.0, 2212), obs(5.0, 2212)}, DecodeOptions{});
+  ASSERT_EQ(result.questions.size(), 2u);
+  EXPECT_LT(result.questions[0].confidence, 1.0);
+  EXPECT_NE(result.questions[0].evidence.find("type1_after_gap"),
+            std::string::npos);
+  // The later, untainted question is unaffected.
+  EXPECT_DOUBLE_EQ(result.questions[1].confidence, 1.0);
+}
+
+TEST(Decoder, OrphanType2AfterGapSynthesizesLowConfidenceQuestion) {
+  // A hole sits between question 1's anchor and the type-2: the type-1
+  // that should anchor the override was presumably inside the gap, so
+  // the decoder must NOT credit the override to question 1 at full
+  // strength — it synthesizes a new low-confidence non-default.
+  FixedClassifier clf;
+  DecodeOptions options;
+  options.gaps = {gap_at(4.0, 6000)};
+  const auto result = decode_choices(
+      clf, {obs(1.0, 2212), obs(5.0, 3000)}, options);
+  ASSERT_EQ(result.questions.size(), 2u);
+  EXPECT_EQ(result.questions[0].choice, story::Choice::kDefault);
+  EXPECT_EQ(result.questions[1].choice, story::Choice::kNonDefault);
+  EXPECT_LT(result.questions[1].confidence, 1.0);
+  EXPECT_NE(result.questions[1].evidence.find("type2_presumed_lost_type1"),
+            std::string::npos);
+}
+
+TEST(Decoder, GapInsideQuestionWindowCapsConfidence) {
+  FixedClassifier clf;
+  DecodeOptions options;
+  options.gaps = {gap_at(2.0, 1400)};  // between Q1 (1.0) and Q2 (5.0)
+  const auto result = decode_choices(
+      clf, {obs(1.0, 2212), obs(5.0, 2212), obs(6.0, 3000)}, options);
+  ASSERT_EQ(result.questions.size(), 2u);
+  // The gap could have swallowed Q1's override: capped, and tagged.
+  EXPECT_LT(result.questions[0].confidence, 1.0);
+  EXPECT_NE(result.questions[0].evidence.find("gap_in_window"),
+            std::string::npos);
+}
+
+TEST(Decoder, DefaultOptionsReproduceHistoricalDecode) {
+  // With no gaps and no after_gap taints the gap-aware overload must
+  // be byte-equivalent to the historical min_question_gap entry point.
+  FixedClassifier clf;
+  const std::vector<ClientRecordObservation> observations = {
+      obs(1.0, 2212), obs(1.06, 2212), obs(2.0, 3000),
+      obs(5.0, 2212), obs(9.0, 2212),  obs(9.5, 3000)};
+  const auto historical =
+      decode_choices(clf, observations, util::Duration::millis(120));
+  const auto gap_aware = decode_choices(clf, observations, DecodeOptions{});
+  ASSERT_EQ(historical.questions.size(), gap_aware.questions.size());
+  for (std::size_t i = 0; i < historical.questions.size(); ++i) {
+    EXPECT_EQ(historical.questions[i].choice, gap_aware.questions[i].choice);
+    EXPECT_EQ(historical.questions[i].question_time,
+              gap_aware.questions[i].question_time);
+    EXPECT_DOUBLE_EQ(gap_aware.questions[i].confidence, 1.0);
+  }
+}
+
 TEST(ReconstructPath, FollowsChoicesThroughGraph) {
   const story::StoryGraph graph = story::make_bandersnatch();
   const std::vector<story::Choice> choices(13, story::Choice::kDefault);

@@ -78,9 +78,12 @@ struct Scenario {
   std::vector<net::Packet> packets;
 };
 
-/// The capture as an ideal tap saw it, plus three degraded variants:
-/// random frame loss, snaplen truncation, timestamp jitter. Impairments
-/// are seeded so every run of the suite replays the same damage.
+/// The capture as an ideal tap saw it, plus five degraded variants:
+/// random frame loss, snaplen truncation, timestamp jitter, and two
+/// points of strict un-retransmitted segment loss (bytes the observer
+/// never sees by any path, so reassembly must declare gaps and the TLS
+/// parser must resynchronize). Impairments are seeded so every run of
+/// the suite replays the same damage.
 std::vector<Scenario> impaired_variants(const std::vector<net::Packet>& base,
                                         std::uint64_t seed) {
   std::vector<Scenario> scenarios;
@@ -93,6 +96,14 @@ std::vector<Scenario> impaired_variants(const std::vector<net::Packet>& base,
   {
     util::Rng rng(seed * 31 + 2);
     scenarios.push_back({"jitter2ms", sim::jitter_order(base, 0.002, rng)});
+  }
+  {
+    util::Rng rng(seed * 31 + 3);
+    scenarios.push_back({"loss01pct", sim::drop_segments(base, 0.001, rng)});
+  }
+  {
+    util::Rng rng(seed * 31 + 4);
+    scenarios.push_back({"loss1pct", sim::drop_segments(base, 0.01, rng)});
   }
   return scenarios;
 }
@@ -107,6 +118,10 @@ void expect_sessions_identical(const InferredSession& a,
         << context << " Q" << i;
     EXPECT_EQ(a.questions[i].choice, b.questions[i].choice) << context << " Q" << i;
     EXPECT_EQ(a.questions[i].override_time, b.questions[i].override_time)
+        << context << " Q" << i;
+    EXPECT_DOUBLE_EQ(a.questions[i].confidence, b.questions[i].confidence)
+        << context << " Q" << i;
+    EXPECT_EQ(a.questions[i].evidence, b.questions[i].evidence)
         << context << " Q" << i;
   }
   EXPECT_EQ(a.type1_records, b.type1_records) << context;
@@ -160,6 +175,84 @@ TEST(Differential, EngineMatchesBatchAcrossSeedsImpairmentsAndShardCounts) {
       }
     }
   }
+}
+
+TEST(Differential, UnretransmittedLossDegradesGracefully) {
+  // The headline robustness contract: at 1% un-retransmitted segment
+  // loss the pipeline must still recover >= 90% of the choice events a
+  // pristine tap yields, and any recovered question whose verdict
+  // disagrees with the pristine decode must carry reduced confidence
+  // with an evidence trail — loss may cost certainty, never silently
+  // produce a wrong full-confidence answer.
+  const story::StoryGraph graph = story::make_bandersnatch();
+  const AttackPipeline pipeline = calibrated_pipeline(graph);
+
+  const auto decode = [&](const std::vector<net::Packet>& packets) {
+    engine::VectorSource source(&packets);
+    return pipeline.infer(source).combined;
+  };
+  // A lossy question corresponds to a pristine one when their detection
+  // times are within half the inter-question spacing; the simulator
+  // spaces questions seconds apart, so 2s disambiguates safely.
+  const util::Duration match_window = util::Duration::seconds(2);
+
+  std::size_t pristine_total = 0;
+  std::size_t recovered_total = 0;
+  for (const std::uint64_t seed : {std::uint64_t{7501}, std::uint64_t{7520}}) {
+    const std::vector<net::Packet> base = merged_capture(graph, 2, seed);
+    const InferredSession pristine = decode(base);
+    ASSERT_FALSE(pristine.questions.empty()) << "seed=" << seed;
+    for (const InferredQuestion& question : pristine.questions) {
+      EXPECT_DOUBLE_EQ(question.confidence, 1.0)
+          << "seed=" << seed << " pristine Q" << question.index;
+      EXPECT_TRUE(question.evidence.empty())
+          << "seed=" << seed << " pristine Q" << question.index;
+    }
+
+    util::Rng rng(seed * 31 + 4);
+    const InferredSession lossy = decode(sim::drop_segments(base, 0.01, rng));
+    pristine_total += pristine.questions.size();
+
+    std::vector<bool> claimed(pristine.questions.size(), false);
+    for (const InferredQuestion& question : lossy.questions) {
+      // Nearest unclaimed pristine question by detection time.
+      std::size_t best = pristine.questions.size();
+      util::Duration best_distance{};
+      for (std::size_t i = 0; i < pristine.questions.size(); ++i) {
+        if (claimed[i]) continue;
+        const util::Duration delta =
+            question.question_time - pristine.questions[i].question_time;
+        const util::Duration distance = delta < util::Duration{} ? -delta : delta;
+        if (best == pristine.questions.size() || distance < best_distance) {
+          best = i;
+          best_distance = distance;
+        }
+      }
+      if (best == pristine.questions.size() || best_distance > match_window) {
+        // An extra question the pristine decode never saw: it can only
+        // be a loss artefact, so it must not pretend to certainty.
+        EXPECT_LT(question.confidence, 1.0)
+            << "seed=" << seed << " unmatched lossy question at "
+            << question.question_time.to_string();
+        continue;
+      }
+      claimed[best] = true;
+      ++recovered_total;
+      if (question.choice != pristine.questions[best].choice) {
+        EXPECT_LT(question.confidence, 1.0)
+            << "seed=" << seed << " Q" << question.index
+            << " flipped choice at full confidence";
+        EXPECT_FALSE(question.evidence.empty())
+            << "seed=" << seed << " Q" << question.index;
+      }
+    }
+  }
+
+  ASSERT_GT(pristine_total, 0u);
+  const double recovery = static_cast<double>(recovered_total) /
+                          static_cast<double>(pristine_total);
+  EXPECT_GE(recovery, 0.9) << "recovered " << recovered_total << "/"
+                           << pristine_total << " choice events at 1% loss";
 }
 
 TEST(Differential, StableSnapshotIsByteStableAcrossRepeatedRuns) {

@@ -14,10 +14,27 @@ Bytes bytes_of(std::string_view text) {
   return Bytes(text.begin(), text.end());
 }
 
-std::string drain_to_string(const std::vector<StreamChunk>& chunks) {
+std::string drain_to_string(const std::vector<StreamItem>& items) {
   std::string out;
-  for (const StreamChunk& chunk : chunks) {
-    out.append(chunk.data.begin(), chunk.data.end());
+  for (const StreamItem& item : items) {
+    if (item.kind != StreamItem::Kind::kChunk) continue;
+    out.append(item.chunk.data.begin(), item.chunk.data.end());
+  }
+  return out;
+}
+
+std::vector<StreamChunk> chunks_of(const std::vector<StreamItem>& items) {
+  std::vector<StreamChunk> out;
+  for (const StreamItem& item : items) {
+    if (item.kind == StreamItem::Kind::kChunk) out.push_back(item.chunk);
+  }
+  return out;
+}
+
+std::vector<StreamGap> gaps_of(const std::vector<StreamItem>& items) {
+  std::vector<StreamGap> out;
+  for (const StreamItem& item : items) {
+    if (item.kind == StreamItem::Kind::kGap) out.push_back(item.gap);
   }
   return out;
 }
@@ -143,8 +160,8 @@ TEST(Reassembly, StreamOffsetsAreContiguous) {
   auto b = r.on_segment(SimTime::from_seconds(2), 503, false, false, bytes_of("bbb"));
   ASSERT_EQ(a.size(), 1u);
   ASSERT_EQ(b.size(), 1u);
-  EXPECT_EQ(a[0].stream_offset, 0u);
-  EXPECT_EQ(b[0].stream_offset, 2u);
+  EXPECT_EQ(a[0].chunk.stream_offset, 0u);
+  EXPECT_EQ(b[0].chunk.stream_offset, 2u);
 }
 
 TEST(Reassembly, MidStreamCaptureWithoutSyn) {
@@ -202,6 +219,191 @@ TEST(Reassembly, ManySegmentsRandomOrder) {
     reconstructed += drain_to_string(chunks);
   }
   EXPECT_EQ(reconstructed, payload);
+}
+
+// --- Loss tolerance: gaps, reorder windows, timestamps ---------------
+
+TEST(Reassembly, ReorderedChunkKeepsFirstArrivalTimestamp) {
+  // Regression: drain() used to stamp buffered pieces with the time of
+  // the segment that *unblocked* them, so reordering shifted
+  // StreamChunk::timestamp and every downstream record time.
+  TcpStreamReassembler r;
+  (void)r.on_segment(SimTime::from_seconds(0), 100, true, false, {});
+  (void)r.on_segment(SimTime::from_seconds(1), 104, false, false, bytes_of("DEF"));
+  const auto items =
+      r.on_segment(SimTime::from_seconds(9), 101, false, false, bytes_of("ABC"));
+  const auto chunks = chunks_of(items);
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0].timestamp, SimTime::from_seconds(9));  // the filler
+  EXPECT_EQ(chunks[1].timestamp, SimTime::from_seconds(1));  // first arrival
+}
+
+TEST(Reassembly, HoleCondemnedAfterSegmentWindow) {
+  TcpStreamReassembler::Config config;
+  config.reorder_window_segments = 3;
+  TcpStreamReassembler r(config);
+  (void)r.on_segment(SimTime::from_seconds(0), 100, true, false, {});
+  // Hole at 101..103; buffer segments beyond it until the window trips.
+  EXPECT_TRUE(r.on_segment(SimTime::from_seconds(1), 104, false, false,
+                           bytes_of("aa")).empty());
+  EXPECT_TRUE(r.on_segment(SimTime::from_seconds(2), 106, false, false,
+                           bytes_of("bb")).empty());
+  EXPECT_TRUE(r.on_segment(SimTime::from_seconds(3), 108, false, false,
+                           bytes_of("cc")).empty());
+  const auto items = r.on_segment(SimTime::from_seconds(4), 110, false, false,
+                                  bytes_of("dd"));
+  const auto gaps = gaps_of(items);
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0].stream_offset, 0u);
+  EXPECT_EQ(gaps[0].length, 3u);
+  EXPECT_EQ(gaps[0].cause, StreamGap::Cause::kReorderWindow);
+  EXPECT_EQ(drain_to_string(items), "aabbccdd");
+  EXPECT_EQ(r.gaps_emitted(), 1u);
+  EXPECT_EQ(r.gap_bytes(), 3u);
+}
+
+TEST(Reassembly, HoleCondemnedAfterByteWindow) {
+  TcpStreamReassembler::Config config;
+  config.reorder_window_bytes = 4;
+  config.reorder_window_segments = 1000;
+  TcpStreamReassembler r(config);
+  (void)r.on_segment(SimTime::from_seconds(0), 100, true, false, {});
+  EXPECT_TRUE(r.on_segment(SimTime::from_seconds(1), 103, false, false,
+                           bytes_of("abc")).empty());
+  const auto items = r.on_segment(SimTime::from_seconds(2), 106, false, false,
+                                  bytes_of("def"));
+  const auto gaps = gaps_of(items);
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0].length, 2u);  // bytes 101..102
+  EXPECT_EQ(drain_to_string(items), "abcdef");
+}
+
+TEST(Reassembly, LateRetransmitStillFillsHoleInsideWindow) {
+  // Defaults: windows far larger than this exchange — the hole must
+  // NOT be condemned, and the retransmit completes the stream.
+  TcpStreamReassembler r;
+  (void)r.on_segment(SimTime::from_seconds(0), 100, true, false, {});
+  (void)r.on_segment(SimTime::from_seconds(1), 104, false, false, bytes_of("DEF"));
+  const auto items =
+      r.on_segment(SimTime::from_seconds(2), 101, false, false, bytes_of("ABC"));
+  EXPECT_EQ(drain_to_string(items), "ABCDEF");
+  EXPECT_EQ(r.gaps_emitted(), 0u);
+}
+
+TEST(Reassembly, FlushCondemnsOutstandingHoles) {
+  TcpStreamReassembler r;
+  (void)r.on_segment(SimTime::from_seconds(0), 100, true, false, {});
+  (void)r.on_segment(SimTime::from_seconds(1), 104, false, false, bytes_of("tail"));
+  const auto items = r.flush(SimTime::from_seconds(5));
+  const auto gaps = gaps_of(items);
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0].stream_offset, 0u);
+  EXPECT_EQ(gaps[0].length, 3u);
+  EXPECT_EQ(drain_to_string(items), "tail");
+  EXPECT_TRUE(r.finished());
+}
+
+TEST(Reassembly, BufferCapDropSurfacesAsGap) {
+  TcpStreamReassembler::Config config;
+  config.max_buffered_bytes = 8;
+  TcpStreamReassembler r(config);
+  (void)r.on_segment(SimTime::from_seconds(0), 0, true, false, {});
+  (void)r.on_segment(SimTime::from_seconds(1), 100, false, false,
+                     bytes_of("12345678"));
+  (void)r.on_segment(SimTime::from_seconds(2), 200, false, false, bytes_of("abc"));
+  EXPECT_EQ(r.dropped_bytes(), 3u);
+  // End of stream: the dropped range must surface as an explicit gap,
+  // not silently vanish.
+  const auto items = r.flush(SimTime::from_seconds(3));
+  bool saw_cap_gap = false;
+  for (const StreamGap& gap : gaps_of(items)) {
+    if (gap.cause == StreamGap::Cause::kBufferCap) {
+      saw_cap_gap = true;
+      EXPECT_EQ(gap.length, 3u);
+    }
+  }
+  EXPECT_TRUE(saw_cap_gap);
+}
+
+TEST(Reassembly, TruncatedPayloadBecomesGap) {
+  TcpStreamReassembler r;
+  (void)r.on_segment(SimTime::from_seconds(0), 100, true, false, {});
+  // Segment captured short: 3 bytes retained, 5 more were on the wire.
+  (void)r.on_segment(SimTime::from_seconds(1), 101, false, false, bytes_of("abc"),
+                     /*truncated_bytes=*/5);
+  const auto items =
+      r.on_segment(SimTime::from_seconds(2), 109, false, false, bytes_of("xyz"));
+  const auto gaps = gaps_of(items);
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0].stream_offset, 3u);
+  EXPECT_EQ(gaps[0].length, 5u);
+  EXPECT_EQ(gaps[0].cause, StreamGap::Cause::kTruncated);
+  EXPECT_EQ(drain_to_string(items), "xyz");
+}
+
+TEST(Reassembly, LateDataResurrectsDeadRange) {
+  TcpStreamReassembler r;
+  (void)r.on_segment(SimTime::from_seconds(0), 100, true, false, {});
+  // Truncation marks 104..108 dead...
+  (void)r.on_segment(SimTime::from_seconds(1), 101, false, false, bytes_of("abc"),
+                     /*truncated_bytes=*/5);
+  // ...but a full retransmit of those bytes arrives before delivery
+  // reaches the range: the real bytes win and no gap is emitted.
+  const auto items =
+      r.on_segment(SimTime::from_seconds(2), 104, false, false, bytes_of("DEFGH"));
+  EXPECT_EQ(drain_to_string(items), "DEFGH");
+  EXPECT_TRUE(gaps_of(items).empty());
+  EXPECT_EQ(r.gaps_emitted(), 0u);
+}
+
+TEST(Reassembly, RstFlushesBufferedDataAndFinishesStreams) {
+  // Regression: RST used to return early, leaving buffered data and
+  // finished() == false — the flow never tore down.
+  TcpConnectionReassembler conn;
+
+  DecodedPacket syn;
+  syn.timestamp = SimTime::from_seconds(0);
+  TcpHeader syn_header;
+  syn_header.syn = true;
+  syn_header.sequence = 100;
+  syn.transport = syn_header;
+  (void)conn.on_packet(syn, FlowDirection::kClientToServer);
+
+  DecodedPacket data;
+  data.timestamp = SimTime::from_seconds(1);
+  TcpHeader data_header;
+  data_header.sequence = 104;  // leaves a hole at 101..103
+  data.transport = data_header;
+  const Bytes payload = bytes_of("zz");
+  data.transport_payload = payload;
+  (void)conn.on_packet(data, FlowDirection::kClientToServer);
+
+  DecodedPacket rst;
+  rst.timestamp = SimTime::from_seconds(2);
+  TcpHeader rst_header;
+  rst_header.rst = true;
+  rst_header.sequence = 200;
+  rst.transport = rst_header;
+  const auto items = conn.on_packet(rst, FlowDirection::kClientToServer);
+
+  std::string delivered;
+  std::size_t gaps = 0;
+  for (const auto& directed : items) {
+    if (directed.item.kind == StreamItem::Kind::kChunk) {
+      delivered.append(directed.item.chunk.data.begin(),
+                       directed.item.chunk.data.end());
+    } else {
+      ++gaps;
+    }
+  }
+  EXPECT_EQ(delivered, "zz");
+  EXPECT_EQ(gaps, 1u);
+  EXPECT_TRUE(conn.reset());
+  EXPECT_TRUE(conn.client_stream().finished());
+  EXPECT_TRUE(conn.server_stream().finished());
+
+  // Post-RST traffic is ignored.
+  EXPECT_TRUE(conn.on_packet(data, FlowDirection::kClientToServer).empty());
 }
 
 }  // namespace

@@ -71,24 +71,126 @@ TEST(TlsRecordParser, RecordSplitAcrossChunks) {
   EXPECT_EQ(third[0].record.length(), 1000u);
 }
 
-TEST(TlsRecordParser, DesynchronizesOnGarbage) {
+TEST(TlsRecordParser, ScansOnGarbageAndResynchronizesOnChainedRecords) {
+  // Garbage puts the parser into the scanning state — but unlike the
+  // historical one-way desync latch, a chain of kResyncChain plausible
+  // headers re-locks it and the session keeps producing records.
   TlsRecordParser parser;
   const Bytes garbage = {0x99, 0x99, 0x99, 0x99, 0x99, 0x99};
-  const auto records = parser.feed(SimTime::from_seconds(0), garbage);
-  EXPECT_TRUE(records.empty());
+  const auto none = parser.feed(SimTime::from_seconds(0), garbage);
+  EXPECT_TRUE(none.empty());
   EXPECT_TRUE(parser.desynchronized());
-  // Once desynchronized, further valid input produces nothing.
-  const Bytes valid = serialize_records({make_record(ContentType::kAlert, 2)});
-  EXPECT_TRUE(parser.feed(SimTime::from_seconds(1), valid).empty());
+
+  // One valid record is not enough evidence to re-lock mid-stream...
+  const Bytes one = serialize_records({make_record(ContentType::kAlert, 2)});
+  EXPECT_TRUE(parser.feed(SimTime::from_seconds(1), one).empty());
+  EXPECT_TRUE(parser.desynchronized());
+
+  // ...but once kResyncChain headers chain, every held record pops out.
+  const Bytes more = serialize_records({
+      make_record(ContentType::kApplicationData, 700),
+      make_record(ContentType::kApplicationData, 160),
+  });
+  const auto records = parser.feed(SimTime::from_seconds(2), more);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_FALSE(parser.desynchronized());
+  EXPECT_EQ(parser.resyncs(), 1u);
+  EXPECT_EQ(parser.bytes_skipped(), garbage.size());
+  // The first record after the re-lock carries the taint; later ones
+  // are clean.
+  EXPECT_TRUE(records[0].after_gap);
+  EXPECT_EQ(records[0].record.content_type, ContentType::kAlert);
+  EXPECT_FALSE(records[1].after_gap);
+  EXPECT_FALSE(records[2].after_gap);
+  // Offsets resume on the re-locked boundary, past the skipped bytes.
+  EXPECT_EQ(records[0].stream_offset, garbage.size());
 }
 
 TEST(TlsRecordParser, RejectsOversizedLength) {
-  // length field 0x4800 = 18432 > max ciphertext 18432? max is 16384+2048=18432,
-  // use 18433.
+  // length field 0x4801 = 18433 > max ciphertext 18432 (16384+2048).
   Bytes wire = {0x17, 0x03, 0x03, 0x48, 0x01};
   TlsRecordParser parser;
   (void)parser.feed(SimTime::from_seconds(0), wire);
   EXPECT_TRUE(parser.desynchronized());
+}
+
+TEST(TlsRecordParser, OnGapDropsPartialRecordAndRelocksAtNextHeader) {
+  const Bytes first = serialize_records({make_record(ContentType::kApplicationData, 900)});
+  TlsRecordParser parser;
+  // Half the record arrives, then the reassembler reports the rest of
+  // it (and a bit more) as lost.
+  (void)parser.feed(SimTime::from_seconds(0), util::BytesView(first).subspan(0, 400));
+  const std::uint64_t lost = (first.size() - 400) + 123;
+  parser.on_gap(SimTime::from_seconds(1), lost);
+  EXPECT_TRUE(parser.desynchronized());
+  EXPECT_EQ(parser.buffered_bytes(), 0u);  // stale partial cleared
+  EXPECT_EQ(parser.bytes_skipped(), 400u);
+
+  // The stream resumes with chained records after the hole.
+  const Bytes resumed = serialize_records({
+      make_record(ContentType::kApplicationData, 333),
+      make_record(ContentType::kApplicationData, 444),
+      make_record(ContentType::kApplicationData, 555),
+  });
+  const auto records = parser.feed(SimTime::from_seconds(2), resumed);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_FALSE(parser.desynchronized());
+  EXPECT_EQ(parser.resyncs(), 1u);
+  EXPECT_TRUE(records[0].after_gap);
+  EXPECT_FALSE(records[1].after_gap);
+  // Stream offsets stay aligned with the reassembled stream: the gap
+  // bytes still occupy their span.
+  EXPECT_EQ(records[0].stream_offset, 400u + lost);
+  EXPECT_EQ(records[0].record.length(), 333u);
+}
+
+TEST(TlsRecordParser, FlushRelocksWithRelaxedChain) {
+  // After a gap, fewer than kResyncChain records arrive before the
+  // stream ends: feed() holds them, flush() re-locks with the relaxed
+  // end-of-stream rule and releases them.
+  TlsRecordParser parser;
+  parser.on_gap(SimTime::from_seconds(0), 1000);
+  const Bytes tail = serialize_records({
+      make_record(ContentType::kApplicationData, 210),
+      make_record(ContentType::kApplicationData, 320),
+  });
+  EXPECT_TRUE(parser.feed(SimTime::from_seconds(1), tail).empty());
+  EXPECT_TRUE(parser.desynchronized());
+  const auto records = parser.flush(SimTime::from_seconds(2));
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_FALSE(parser.desynchronized());
+  EXPECT_TRUE(records[0].after_gap);
+  EXPECT_EQ(records[0].record.length(), 210u);
+  EXPECT_EQ(records[1].record.length(), 320u);
+}
+
+TEST(TlsRecordParser, GarbageStreamBufferStaysBounded) {
+  // Regression: the old parser kept accumulating consumed_ while
+  // desynchronized but left stale bytes in buffer_ forever. The
+  // scanning parser must keep its footprint bounded on an endless
+  // garbage stream while the consumed/skipped accounting stays exact.
+  TlsRecordParser parser;
+  Bytes chunk(4096);
+  for (std::size_t i = 0; i < chunk.size(); ++i) {
+    // Pseudo-random bytes with plenty of false content-type candidates.
+    chunk[i] = static_cast<std::uint8_t>(i * 131 + 17);
+  }
+  std::uint64_t fed = 0;
+  for (int i = 0; i < 256; ++i) {
+    (void)parser.feed(SimTime::from_nanos(i), chunk);
+    fed += chunk.size();
+    // A candidate header can legitimately hold back up to a partial
+    // resync chain; anything beyond that bound is a leak.
+    constexpr std::size_t kBound =
+        TlsRecordParser::kResyncChain * (kMaxCiphertextLength + kRecordHeaderSize);
+    ASSERT_LE(parser.buffered_bytes(), kBound);
+  }
+  EXPECT_TRUE(parser.desynchronized());
+  EXPECT_EQ(parser.records_parsed(), 0u);
+  EXPECT_EQ(parser.bytes_consumed(), fed);
+  // Every consumed byte is either skipped or still buffered — nothing
+  // unaccounted.
+  EXPECT_EQ(parser.bytes_skipped() + parser.buffered_bytes(), fed);
 }
 
 TEST(TlsRecordParser, EmptyRecordAllowed) {
