@@ -92,7 +92,8 @@ int main() {
       if (bitrate_pred[i] == victim.truth.questions[i].choice) ++bitrate_session;
     }
 
-    const auto inferred = attack.infer(victim.capture.packets);
+    wm::engine::VectorSource source(&victim.capture.packets);
+    const auto inferred = attack.infer(source).combined;
     const auto score = core::score_session(victim.truth, inferred);
 
     total += victim.truth.questions.size();

@@ -101,8 +101,9 @@ int main() {
         bands_overlap |= clf.bands_overlap();
         for (std::uint64_t s = 0; s < 2; ++s) {
           const auto victim = simulate(graph, conditions, 3200 + s);
+          wm::engine::VectorSource source(&victim.capture.packets);
           const auto score = core::score_session(
-              victim.truth, attack.infer(victim.capture.packets));
+              victim.truth, attack.infer(source).combined);
           scores.push_back(score);
           count_matches += score.question_count_match ? 1 : 0;
           ++sessions;
@@ -134,8 +135,9 @@ int main() {
       for (const auto& conditions : scope_victims) {
         for (std::uint64_t s = 0; s < 2; ++s) {
           const auto victim = simulate(graph, conditions, 3200 + s);
+          wm::engine::VectorSource source(&victim.capture.packets);
           const auto score = core::score_session(
-              victim.truth, attack.infer(victim.capture.packets));
+              victim.truth, attack.infer(source).combined);
           scores.push_back(score);
           count_matches += score.question_count_match ? 1 : 0;
           ++sessions;

@@ -66,8 +66,9 @@ int main() {
     util::Rng rng(99);
     for (const Victim& victim : victims) {
       const auto degraded = impair(victim.packets, rng);
-      const auto inferred = attack.infer(degraded);
-      scores.push_back(core::score_session(victim.truth, inferred));
+      wm::engine::VectorSource source(&degraded);
+      scores.push_back(
+          core::score_session(victim.truth, attack.infer(source).combined));
     }
     return core::aggregate_scores(scores);
   };

@@ -57,7 +57,8 @@ int main() {
     config.seed = viewer_rng.next_u64();
     const auto session = sim::simulate_session(graph, choices, config);
 
-    const auto inferred = attack.infer(session.capture.packets);
+    wm::engine::VectorSource source(&session.capture.packets);
+    const auto inferred = attack.infer(source).combined;
     const auto score = core::score_session(session.truth, inferred);
     recovered += score.choices_correct;
     questions += score.questions_truth;

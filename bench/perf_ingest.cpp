@@ -448,6 +448,57 @@ double bench_queue(MakeQueue make_queue, std::uint64_t items) {
   return runs[1];
 }
 
+/// The batched-ring handoff: producer moves items through push_n in
+/// fixed-size batches, consumer takes one blocking pop (parks when
+/// empty) then drains opportunistically with try_pop_n. One index
+/// publish and one wake edge per batch instead of per item — the fix
+/// for ROADMAP item 2, where the per-item ring's seq_cst wake fence
+/// let a mutex+deque with batched locking pull ahead.
+double bench_ring_batched_once(util::SpscRing<std::uint64_t>& ring,
+                               std::uint64_t items, std::size_t batch) {
+  std::uint64_t received = 0;
+  std::uint64_t checksum = 0;
+  std::thread consumer([&] {
+    std::vector<std::uint64_t> chunk(batch);
+    std::uint64_t value = 0;
+    while (ring.pop(value)) {
+      ++received;
+      checksum += value;
+      for (;;) {
+        const std::size_t n = ring.try_pop_n(chunk.data(), batch);
+        if (n == 0) break;
+        received += n;
+        for (std::size_t i = 0; i < n; ++i) checksum += chunk[i];
+      }
+    }
+  });
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::uint64_t> staged(batch);
+  std::uint64_t next = 0;
+  while (next < items) {
+    std::size_t fill = 0;
+    while (fill < batch && next < items) staged[fill++] = next++;
+    if (ring.push_n(staged.data(), fill) != fill) break;
+  }
+  ring.close();
+  consumer.join();
+  const double elapsed = seconds_since(start);
+  if (received != items || checksum != items * (items - 1) / 2) {
+    throw std::runtime_error("batched queue bench lost or corrupted items");
+  }
+  return elapsed;
+}
+
+double bench_ring_batched(std::uint64_t items, std::size_t batch) {
+  std::vector<double> runs;
+  for (int rep = 0; rep < 3; ++rep) {
+    util::SpscRing<std::uint64_t> ring(64);
+    runs.push_back(bench_ring_batched_once(ring, items, batch));
+  }
+  std::sort(runs.begin(), runs.end());
+  return runs[1];
+}
+
 enum class EngineMode { kPr2Baseline, kIstreamNext, kMmapBatch };
 
 RunResult bench_engine(const std::filesystem::path& path,
@@ -562,6 +613,10 @@ int main(int argc, char** argv) try {
       bench_queue([] { return MutexDequeQueue<std::uint64_t>(64); }, queue_items);
   const double ring_seconds =
       bench_queue([] { return util::SpscRing<std::uint64_t>(64); }, queue_items);
+  // The same 64-slot ring, but batched: the handoff unit matches the
+  // reader's read_batch() granularity rather than one wake per item.
+  constexpr std::size_t kQueueBatch = 64;
+  const double ring_batched_seconds = bench_ring_batched(queue_items, kQueueBatch);
 
   // --- ingestion pipeline (the headline mmap+ring comparison) -------
   std::cerr << "ingestion pipelines...\n";
@@ -606,6 +661,9 @@ int main(int argc, char** argv) try {
       static_cast<double>(queue_items) / mutex_seconds;
   queue["spsc_ring_items_per_sec"] =
       static_cast<double>(queue_items) / ring_seconds;
+  queue["spsc_ring_batched_items_per_sec"] =
+      static_cast<double>(queue_items) / ring_batched_seconds;
+  queue["ring_batch"] = static_cast<std::uint64_t>(kQueueBatch);
 
   util::JsonObject ingest_pipeline;
   ingest_pipeline["pr2_reader_mutex_deque"] = pipeline_pr2.to_json();
@@ -626,6 +684,8 @@ int main(int argc, char** argv) try {
   speedup["reader_mmap_batch_vs_istream_next"] =
       mmap_batch.packets_per_sec() / istream_next.packets_per_sec();
   speedup["queue_ring_vs_mutex"] = mutex_seconds / ring_seconds;
+  speedup["queue_ring_batched_vs_mutex"] = mutex_seconds / ring_batched_seconds;
+  speedup["queue_ring_batched_vs_ring"] = ring_seconds / ring_batched_seconds;
   speedup["engine_mmap_batch_vs_pr2_baseline"] =
       engine_mmap.packets_per_sec() / engine_pr2.packets_per_sec();
 
@@ -682,6 +742,9 @@ int main(int argc, char** argv) try {
         parsed.at("speedup").at("ingest_mmap_ring_vs_pr2_baseline").as_double() >
             0.0,
         "pipeline speedup not computed");
+    require(parsed.at("speedup").at("queue_ring_batched_vs_mutex").as_double() >
+                0.0,
+            "batched queue speedup not computed");
     std::cerr << "smoke OK\n";
   }
 

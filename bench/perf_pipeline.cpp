@@ -107,8 +107,9 @@ void BM_FullAttack(benchmark::State& state) {
   const auto& packets = shared_session().capture.packets;
   const auto& pipeline = shared_pipeline();
   for (auto _ : state) {
-    const auto inferred = pipeline.infer(packets);
-    benchmark::DoNotOptimize(inferred.questions.size());
+    wm::engine::VectorSource source(&packets);
+    const auto inferred = pipeline.infer(source);
+    benchmark::DoNotOptimize(inferred.combined.questions.size());
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(
       capture_bytes(packets) * static_cast<std::uint64_t>(state.iterations())));
@@ -175,12 +176,16 @@ void BM_BatchBaselineMultiViewer(benchmark::State& state) {
   const auto& pipeline = shared_pipeline();
   std::uint64_t records = 0;
   for (auto _ : state) {
-    const auto per_client = pipeline.infer_per_client(packets);
+    wm::engine::VectorSource source(&packets);
+    core::InferOptions options;
+    options.shards = 0;  // inline batch path: the single-thread baseline
+    options.per_client = true;
+    const auto report = pipeline.infer(source, options);
     records = 0;
-    for (const auto& [client, session] : per_client) {
+    for (const auto& [client, session] : report.per_client) {
       records += session.type1_records + session.type2_records;
     }
-    benchmark::DoNotOptimize(per_client.size());
+    benchmark::DoNotOptimize(report.per_client.size());
   }
   set_trace_counters(state, packets, records);
 }

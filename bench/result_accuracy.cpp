@@ -95,8 +95,8 @@ RegimeResult run_regime(const story::StoryGraph& graph,
     const auto session = simulate(graph, conditions, choices, 100'000 + i * 31);
     const core::AttackPipeline& pipeline = pipelines.at(conditions.to_string());
 
-    const core::InferredSession inferred =
-        pipeline.infer(session.capture.packets);
+    wm::engine::VectorSource source(&session.capture.packets);
+    const core::InferredSession inferred = pipeline.infer(source).combined;
     result.scores.push_back(core::score_session(session.truth, inferred));
     result.condition_names.push_back(conditions.to_string());
     result.questions.push_back(session.truth.questions.size());

@@ -1,32 +1,67 @@
-// Online eavesdropper: feeds a merged two-viewer capture through the
-// streaming engine packet by packet (as a tap would) and prints each
-// viewer's decoded choices the moment the corresponding TLS record is
-// observed — demonstrating that the attack is real-time and separates
-// concurrent viewers behind one vantage point.
+// Online eavesdropper: drives a merged two-viewer capture through the
+// continuous monitor, which emits each viewer's inferred choice the
+// moment its evidence window closes — no end-of-capture barrier — and
+// then cross-checks the online answers against a batch decode of the
+// same packets.
 //
-// The engine does all the plumbing the old version of this example did
-// by hand: per-flow reassembly, record extraction, classification, and
-// per-client decoding, sharded across worker threads. This program is
-// just a sink.
+// This is the service-shaped version of the attack: wm::monitor keeps
+// O(1) state per live viewer, ages idle viewers out through a timer
+// wheel, and delivers typed events (question opened, choice inferred,
+// viewer evicted) through engine::EventSink as they happen.
 #include <algorithm>
 #include <cstdio>
 #include <map>
-#include <mutex>
 #include <vector>
 
-#include "wm/core/engine/engine.hpp"
-#include "wm/core/engine/source.hpp"
 #include "wm/core/pipeline.hpp"
+#include "wm/monitor/monitor.hpp"
 #include "wm/sim/session.hpp"
 #include "wm/story/bandersnatch.hpp"
 #include "wm/util/cli.hpp"
 
 using namespace wm;
 
+namespace {
+
+/// Prints every monitor event as it fires (single-threaded delivery —
+/// no locking needed, unlike an engine sink with shards > 0).
+class PrintSink final : public engine::EventSink {
+ public:
+  void on_question_opened(const engine::QuestionOpenedEvent& event) override {
+    std::printf("[%s] %s: Q%zu appeared (record %u B) — assuming DEFAULT "
+                "until overridden\n",
+                event.question.question_time.to_string().c_str(),
+                std::string(event.client).c_str(), event.question.index + 1,
+                event.record_length);
+  }
+  void on_choice_inferred(const engine::ChoiceInferredEvent& event) override {
+    if (!event.final) return;
+    const bool overridden =
+        event.question.choice == story::Choice::kNonDefault;
+    std::printf("[%s] %s: Q%zu FINAL: %s (confidence %.2f)\n",
+                event.at.to_string().c_str(),
+                std::string(event.client).c_str(), event.question.index + 1,
+                overridden ? "NON-DEFAULT branch" : "default branch",
+                event.question.confidence);
+    if (overridden) ++overrides_;
+  }
+  void on_viewer_evicted(const engine::ViewerEvictedEvent& event) override {
+    std::printf("[%s] %s: viewer retired (%zu questions)\n",
+                event.at.to_string().c_str(),
+                std::string(event.client).c_str(), event.questions_emitted);
+  }
+
+  [[nodiscard]] std::size_t overrides() const { return overrides_; }
+
+ private:
+  std::size_t overrides_ = 0;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   util::CliParser cli("live_monitor", "online multi-viewer choice inference demo");
   cli.add_int("seed", "first victim session seed", 99);
-  cli.add_int("shards", "engine worker threads (0 = inline)", 2);
   try {
     if (!cli.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
@@ -90,44 +125,30 @@ int main(int argc, char** argv) {
   std::printf("monitoring %zu packets from %zu viewers...\n\n", merged.size(),
               truths.size());
 
-  // Live output: the engine invokes the sink from its worker threads on
-  // every significant (type-1/type-2) record, with a fresh best-effort
-  // decode of that viewer's session so far.
-  std::mutex print_mutex;
-  std::map<std::string, std::size_t> last_question_count;
-  core::InferOptions options;
-  options.shards = static_cast<std::size_t>(cli.get_int("shards"));
-  options.per_client = true;
-  options.sink = [&](const engine::ViewerUpdate& update) {
-    const std::lock_guard<std::mutex> lock(print_mutex);
-    const auto& session = update.session;
-    if (update.record_class == core::RecordClass::kType1Json) {
-      std::size_t& seen = last_question_count[update.client];
-      if (session.questions.size() <= seen) return;  // duplicate suppressed
-      seen = session.questions.size();
-      std::printf("[%s] %s: Q%zu appeared (record %u B) — assuming DEFAULT "
-                  "until overridden\n",
-                  update.at.to_string().c_str(), update.client.c_str(),
-                  session.questions.size(), update.record_length);
-    } else if (!session.questions.empty()) {
-      std::printf("[%s] %s: Q%zu OVERRIDE: viewer picked the NON-DEFAULT "
-                  "branch (record %u B)\n",
-                  update.at.to_string().c_str(), update.client.c_str(),
-                  session.questions.size(), update.record_length);
-    }
-  };
-
+  PrintSink sink;
+  monitor::MonitorConfig config;
+  config.viewer_idle_timeout = util::Duration::seconds(30);
+  config.flow_idle_timeout = util::Duration::seconds(20);
+  monitor::ContinuousMonitor monitor(attack.classifier(), config, &sink);
   engine::VectorSource source(&merged);
-  const core::InferReport report = attack.infer(source, options);
+  monitor.consume(source);
+  const monitor::MonitorStats stats = monitor.finish();
 
-  std::printf("\nsession over: %s\n", report.stats.to_string().c_str());
+  std::printf("\nmonitoring over: %s\n", stats.to_string().c_str());
+
+  // Cross-check: the batch pipeline over the same packets must agree
+  // with what the monitor emitted online.
+  core::InferOptions options;
+  options.per_client = true;
+  engine::VectorSource batch_source(&merged);
+  const core::InferReport report = attack.infer(batch_source, options);
   for (const auto& [client, session] : report.per_client) {
-    std::printf("\nviewer %s decoded %zu questions:", client.c_str(),
+    std::printf("\nviewer %s batch-decoded %zu questions:", client.c_str(),
                 session.questions.size());
     for (const auto& q : session.questions) {
       std::printf(" %s", story::choice_notation(q.index, q.choice).c_str());
     }
-    std::printf("\n  ground truth was:          ");
+    std::printf("\n  ground truth was:                 ");
     for (const auto& q : truths.at(client).questions) {
       std::printf(" %s", story::choice_notation(q.index, q.choice).c_str());
     }

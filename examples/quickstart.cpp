@@ -89,7 +89,8 @@ int main(int argc, char** argv) {
               victim_conditions.to_string().c_str());
 
   // --- 3. Attack: encrypted capture -> choices -------------------------
-  const core::InferredSession inferred = attack.infer(victim.capture.packets);
+  wm::engine::VectorSource victim_source(&victim.capture.packets);
+  const core::InferredSession inferred = attack.infer(victim_source).combined;
   const core::InferredPath path =
       core::reconstruct_path(graph, inferred.choices());
 

@@ -38,6 +38,7 @@
 
 #include "wm/core/classifier.hpp"
 #include "wm/core/decoder.hpp"
+#include "wm/core/engine/events.hpp"
 #include "wm/core/engine/source.hpp"
 #include "wm/core/engine/stats.hpp"
 #include "wm/net/reassembly.hpp"
@@ -73,23 +74,9 @@ struct EngineConfig {
   /// opened"), shard-count-invariant rollups ("engine.flows.opened"),
   /// collector totals and stage timings. Null = zero overhead. The
   /// registry must outlive the engine; snapshots may be taken from any
-  /// thread (including a SessionSink) while the engine runs.
+  /// thread (including an EventSink callback) while the engine runs.
   obs::Registry* metrics = nullptr;
 };
-
-/// One live inference update for one viewer, emitted through the sink
-/// the moment a type-1/type-2 record is observed.
-struct ViewerUpdate {
-  std::string client;             // viewer address (collector key)
-  core::RecordClass record_class; // what just fired
-  std::uint16_t record_length = 0;
-  util::SimTime at;               // record timestamp
-  core::InferredSession session;  // running decode snapshot
-};
-
-/// Sink callbacks run on worker threads (or the calling thread in
-/// inline mode); implementations must be thread-safe.
-using SessionSink = std::function<void(const ViewerUpdate&)>;
 
 /// Final output of an engine run.
 struct EngineResult {
@@ -106,9 +93,13 @@ struct EngineResult {
 class ShardedFlowEngine {
  public:
   /// The classifier must already be fitted and must outlive the engine;
-  /// classify() is called concurrently from worker threads.
+  /// classify() is called concurrently from worker threads. `sink` may
+  /// be null (no live events); when set it must outlive the engine and
+  /// honour the EventSink thread-safety contract (events.hpp) —
+  /// callbacks arrive from worker threads.
   explicit ShardedFlowEngine(const core::RecordClassifier& classifier,
-                             EngineConfig config = {}, SessionSink sink = {});
+                             EngineConfig config = {},
+                             EventSink* sink = nullptr);
   ~ShardedFlowEngine();
 
   ShardedFlowEngine(const ShardedFlowEngine&) = delete;
@@ -170,6 +161,6 @@ class ShardedFlowEngine {
 /// One-call convenience: run `source` through an engine.
 EngineResult analyze(const core::RecordClassifier& classifier,
                      PacketSource& source, EngineConfig config = {},
-                     SessionSink sink = {});
+                     EventSink* sink = nullptr);
 
 }  // namespace wm::engine

@@ -33,6 +33,10 @@ struct EngineStats {
   /// Times the dispatcher blocked because a shard queue was full
   /// (backpressure events, not packets lost — nothing is dropped).
   std::uint64_t backpressure_waits = 0;
+  /// The source reported a stream error (truncated/corrupt capture
+  /// tail). infer() never throws for these: whatever decoded before
+  /// the error stands, and this count says the stream ended abnormally.
+  std::uint64_t source_errors = 0;
 
   [[nodiscard]] std::string to_string() const;
 };

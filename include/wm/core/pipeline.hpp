@@ -9,10 +9,11 @@
 //
 // whose options carry every knob that used to multiply overloads:
 // per-client splitting, story-graph path reconstruction, shard count
-// for the streaming engine, flow eviction, and a live update sink.
-// The historic overloads (infer(vector), infer_pcap, infer_per_client)
-// remain as thin compatibility wrappers over it and are deprecated;
-// new code should use infer()/infer_capture().
+// for the streaming engine, flow eviction, and a live event sink.
+// File-based inference goes through infer_capture(), which reports
+// typed errors. The historic vector/path convenience overloads are
+// gone; wrap a vector in engine::VectorSource and set
+// options.per_client instead (migration notes in CHANGES.md).
 #pragma once
 
 #include <filesystem>
@@ -60,8 +61,11 @@ struct InferOptions {
   /// lossy captures; shrink the windows to trade recovery latency for
   /// memory on heavily impaired taps.
   net::TcpStreamReassembler::Config reassembly;
-  /// Live per-viewer updates as type-1/type-2 records are observed.
-  engine::SessionSink sink{};
+  /// Live typed per-viewer events (question opened / choice inferred /
+  /// gap observed) as records are analyzed. Must outlive the infer call
+  /// and honour the EventSink thread-safety contract (engine/events.hpp)
+  /// when shards > 0. Null = no live events.
+  engine::EventSink* sink = nullptr;
   /// Observability (wm::obs): registry every stage reports into —
   /// pipeline decode totals, engine per-shard/rollup counters, capture
   /// source counters, stage timings. Null (the default) means no
@@ -106,7 +110,9 @@ class AttackPipeline {
 
   /// Run inference on a packet stream. The source is consumed; with
   /// options.shards > 0 analysis is parallelized across worker threads
-  /// and produces output byte-identical to the inline run.
+  /// and produces output byte-identical to the inline run. Never
+  /// throws for stream problems: a source that ends in error still
+  /// yields whatever decoded before it, with stats.source_errors set.
   [[nodiscard]] InferReport infer(engine::PacketSource& source,
                                   const InferOptions& options = {}) const;
 
@@ -115,19 +121,6 @@ class AttackPipeline {
   /// typed errors instead of exceptions.
   [[nodiscard]] Result<InferReport> infer_capture(
       const std::filesystem::path& path, const InferOptions& options = {}) const;
-
-  // --- Deprecated compatibility wrappers ----------------------------
-  // Thin shims over infer(PacketSource&, InferOptions). Prefer the
-  // options-based API; these keep old call sites compiling.
-
-  /// DEPRECATED: use infer(VectorSource, options).
-  [[nodiscard]] InferredSession infer(const std::vector<net::Packet>& packets) const;
-  /// DEPRECATED: use infer_capture(), which reports typed errors
-  /// instead of throwing std::runtime_error.
-  [[nodiscard]] InferredSession infer_pcap(const std::filesystem::path& path) const;
-  /// DEPRECATED: use infer() with options.per_client = true.
-  [[nodiscard]] std::map<std::string, InferredSession> infer_per_client(
-      const std::vector<net::Packet>& packets) const;
 
  private:
   std::unique_ptr<RecordClassifier> classifier_;

@@ -1,0 +1,134 @@
+// Live packet sources for the continuous monitor.
+//
+// Capture-file replay hands the monitor packets as fast as the disk
+// can read them — correct for batch scoring, useless for exercising
+// the *time-driven* parts of a long-running service (evidence-window
+// timers, idle eviction, load shedding under sustained pressure).
+// Two sources close that gap:
+//
+//  * InjectableTap — an in-process tap. A producer thread injects
+//    packets (a capture replayer, a test, eventually a NIC reader);
+//    the monitor thread consumes them through the ordinary
+//    PacketSource pull interface. Backed by the engine's SPSC ring,
+//    so the handoff is lock-free in the steady state and applies
+//    backpressure when the monitor falls behind.
+//
+//  * TimedReplaySource — timing-faithful replay. Wraps any inner
+//    source and paces delivery by the original capture timestamps at
+//    a configurable speed (1x reproduces the recorded cadence, Nx
+//    compresses a day of monitoring into minutes). Soak tests use it
+//    to drive the monitor the way a live vantage point would.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "wm/core/engine/source.hpp"
+#include "wm/net/packet.hpp"
+#include "wm/util/spsc_ring.hpp"
+#include "wm/util/time.hpp"
+
+namespace wm::monitor {
+
+/// In-process packet tap: one producer thread injects, one consumer
+/// thread (the monitor driver) pulls through PacketSource. Exactly one
+/// thread may call the inject side and exactly one the source side —
+/// the underlying ring is SPSC by contract.
+class InjectableTap final : public engine::PacketSource {
+ public:
+  /// `capacity` bounds in-flight packets (rounded up to a power of
+  /// two); a full ring parks the producer until the consumer drains.
+  explicit InjectableTap(std::size_t capacity = 4096) : ring_(capacity) {}
+
+  // --- producer side ---------------------------------------------------
+  /// Blocking inject. False only when the tap was closed first (the
+  /// packet is dropped then).
+  bool inject(net::Packet packet) { return ring_.push(std::move(packet)); }
+  /// Non-blocking inject. False when the ring is full.
+  [[nodiscard]] bool try_inject(net::Packet& packet) {
+    return ring_.try_push(packet);
+  }
+  /// Blocking batch inject; returns packets accepted (short only when
+  /// the tap closes mid-batch). Packets [0, n) are moved-from.
+  std::size_t inject_batch(net::Packet* packets, std::size_t count) {
+    return ring_.push_n(packets, count);
+  }
+  /// End the stream: the consumer drains what is queued, then sees
+  /// end-of-stream; blocked producers unblock.
+  void close() { ring_.close(); }
+  [[nodiscard]] bool closed() const { return ring_.closed(); }
+  [[nodiscard]] std::size_t queued_approx() const {
+    return ring_.size_approx();
+  }
+
+  // --- consumer side (PacketSource) ------------------------------------
+  /// Blocks until a packet arrives or the tap is closed and drained.
+  std::optional<net::Packet> next() override;
+  /// Blocks for the first packet, then drains whatever else is already
+  /// queued (up to `max`) without blocking again. 0 = closed + drained.
+  [[nodiscard]] std::size_t read_batch(engine::PacketBatch& out,
+                                       std::size_t max) override;
+
+ private:
+  util::SpscRing<net::Packet> ring_;
+  /// Batch-pop staging; slot buffers recycle through the ring via move.
+  std::vector<net::Packet> scratch_;
+};
+
+/// Paces an inner source by its capture timestamps: packet k is
+/// delivered no earlier than wall_start + (ts_k - ts_0) / speed. The
+/// monitor consuming through this source experiences the recorded
+/// traffic cadence — quiet periods included — so its timers fire in
+/// the same relative order they would at a live vantage point.
+class TimedReplaySource final : public engine::PacketSource {
+ public:
+  struct Config {
+    /// Replay speed multiplier: 1.0 = original cadence, 10.0 = ten
+    /// capture-seconds per wall-second. Values <= 0 are treated as
+    /// "as fast as possible" (no pacing).
+    double speed = 1.0;
+    /// Longest single sleep while waiting for a packet to come due;
+    /// long capture gaps are slept in slices of this so a driver
+    /// thread stays responsive.
+    util::Duration max_sleep = util::Duration::millis(50);
+  };
+
+  /// `inner` must outlive this source.
+  TimedReplaySource(engine::PacketSource& inner, Config config)
+      : inner_(inner), config_(config) {}
+  explicit TimedReplaySource(engine::PacketSource& inner)
+      : TimedReplaySource(inner, Config()) {}
+
+  std::optional<net::Packet> next() override;
+  /// Waits until the inner source's next packet is due, then delivers
+  /// it plus every further packet already due *now* (up to `max`) —
+  /// a burst in the capture replays as a burst, not as `max` sleeps.
+  [[nodiscard]] std::size_t read_batch(engine::PacketBatch& out,
+                                       std::size_t max) override;
+  [[nodiscard]] const std::optional<Error>& error() const override {
+    return inner_.error();
+  }
+
+  /// Capture time of the most recently delivered packet.
+  [[nodiscard]] util::SimTime replay_position() const { return position_; }
+
+ private:
+  /// Wall-clock instant `ts` comes due (epoch fixed by first packet).
+  [[nodiscard]] std::chrono::steady_clock::time_point due_at(
+      util::SimTime ts) const;
+  void wait_until_due(util::SimTime ts);
+  /// Pull the next inner packet into pending_ (if not already there).
+  bool fill_pending();
+
+  engine::PacketSource& inner_;
+  Config config_;
+  std::optional<net::Packet> pending_;
+  bool epoch_set_ = false;
+  std::chrono::steady_clock::time_point wall_start_{};
+  std::int64_t capture_start_nanos_ = 0;
+  util::SimTime position_;
+};
+
+}  // namespace wm::monitor

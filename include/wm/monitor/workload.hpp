@@ -1,0 +1,136 @@
+// Synthetic monitoring fleets: many concurrent interactive-viewing
+// sessions, generated on the fly.
+//
+// Soak-testing a monitor needs traffic volumes (10^5 sessions and up)
+// that the full simulator would take minutes to materialize and GBs to
+// hold. This generator takes the opposite trade: build ONE complete
+// TLS session — real handshake (SNI and all), real TCP framing, state
+// uploads at the classifier's band lengths, overrides on a fixed
+// stride — then stream the whole fleet by replaying that template with
+// per-session address rewrites and timestamp shifts, interleaved so a
+// configurable number of sessions is in flight at any instant.
+//
+// Because every session is the same script, ground truth is known in
+// closed form (question_overridden()) and the expected per-viewer
+// answer sequence can be asserted exactly, at any fleet size.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "wm/core/engine/source.hpp"
+#include "wm/core/features.hpp"
+#include "wm/net/packet.hpp"
+#include "wm/tls/session.hpp"
+#include "wm/util/time.hpp"
+
+namespace wm::monitor {
+
+struct WorkloadConfig {
+  /// Total sessions in the fleet.
+  std::size_t sessions = 1000;
+  /// Target sessions in flight at once (lanes). Lane l runs sessions
+  /// l, l+K, l+2K, ... back to back, lanes staggered uniformly.
+  std::size_t concurrency = 64;
+  /// Interactive questions per session.
+  std::size_t questions_per_session = 4;
+  /// Question q (0-based) is answered with a non-default choice —
+  /// i.e. a type-2 upload follows — iff q % override_stride == 0.
+  /// 0 disables overrides entirely.
+  std::size_t override_stride = 2;
+  /// Time between consecutive question anchors within a session.
+  util::Duration question_spacing = util::Duration::seconds(2);
+  /// Type-2 upload lag behind its question's type-1 anchor. Keep it
+  /// under the monitor's evidence_window for online == batch answers.
+  util::Duration override_delay = util::Duration::millis(700);
+  /// Quiet gap between back-to-back sessions in the same lane.
+  util::Duration lane_gap = util::Duration::millis(500);
+  /// Capture time of the first session's SYN.
+  util::SimTime start = util::SimTime::from_seconds(1.0);
+
+  /// Application-payload sizes. The sealed record lengths (plaintext +
+  /// cipher overhead) are what the classifier sees; defaults land the
+  /// three kinds in well-separated bands.
+  std::size_t type1_plaintext = 470;
+  std::size_t type2_plaintext = 1680;
+  /// A non-JSON client upload sent alongside each question (heartbeat
+  /// noise the classifier must reject). 0 disables.
+  std::size_t noise_plaintext = 180;
+
+  /// TLS parameters for the template session (SNI defaults to a
+  /// Netflix-looking host when left empty).
+  tls::TlsSessionConfig tls;
+  std::uint64_t seed = 7;
+};
+
+/// True when question `q` of every session carries an override.
+[[nodiscard]] bool question_overridden(const WorkloadConfig& config,
+                                       std::size_t q);
+
+/// Labelled calibration set matching the workload's sealed record
+/// lengths — fit any RecordClassifier on this before monitoring the
+/// fleet. Covers the type-1 and type-2 bands plus kOther examples
+/// (noise uploads and handshake-sized lengths).
+[[nodiscard]] std::vector<core::LabeledObservation> workload_calibration(
+    const WorkloadConfig& config);
+
+/// The template session as packets, timestamps starting at SimTime 0.
+/// Exposed for tests that want to decode one session in isolation.
+[[nodiscard]] std::vector<net::Packet> make_session_template(
+    const WorkloadConfig& config);
+
+/// Streams the whole fleet in global capture-time order. Each session
+/// replays the template with both IPv4 endpoints XOR-rewritten by the
+/// session index (checksums repaired), so every session is a distinct
+/// flow from a distinct viewer; supports up to 2^24 sessions.
+class SyntheticFleetSource final : public engine::PacketSource {
+ public:
+  explicit SyntheticFleetSource(WorkloadConfig config);
+
+  std::optional<net::Packet> next() override;
+  [[nodiscard]] std::size_t read_batch(engine::PacketBatch& out,
+                                       std::size_t max) override;
+
+  [[nodiscard]] const WorkloadConfig& config() const { return config_; }
+  [[nodiscard]] const std::vector<net::Packet>& session_template() const {
+    return template_;
+  }
+  /// One session's duration plus the lane gap (lane advance step).
+  [[nodiscard]] util::Duration session_period() const { return period_; }
+  [[nodiscard]] std::size_t packets_total() const {
+    return template_.size() * config_.sessions;
+  }
+  [[nodiscard]] std::size_t packets_emitted() const { return emitted_; }
+
+ private:
+  struct Lane {
+    std::size_t session = 0;  // global session index currently playing
+    std::size_t index = 0;    // next packet within the template
+  };
+  /// Min-heap entry: next packet's absolute timestamp per live lane.
+  struct HeapItem {
+    std::int64_t nanos = 0;
+    std::size_t lane = 0;
+    bool operator>(const HeapItem& other) const { return nanos > other.nanos; }
+  };
+
+  [[nodiscard]] util::Duration session_shift(std::size_t session) const;
+  void push_lane(std::size_t lane);
+  /// Produce the current head packet into `slot` and advance the heap.
+  bool produce(net::Packet& slot);
+
+  WorkloadConfig config_;
+  std::vector<net::Packet> template_;
+  util::Duration period_{};
+  util::Duration stagger_{};
+  std::size_t lane_count_ = 0;
+  std::vector<Lane> lanes_;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<HeapItem>>
+      heap_;
+  std::size_t emitted_ = 0;
+};
+
+}  // namespace wm::monitor

@@ -3,7 +3,7 @@
 // Counters and histograms are lock-free atomics: the hot path does one
 // relaxed-address fetch_add with release ordering, and snapshot readers
 // load with acquire ordering, so a snapshot taken from another thread
-// (e.g. inside a SessionSink while workers are still feeding) is
+// (e.g. inside an EventSink while workers are still feeding) is
 // torn-free — every value read is some value the counter actually held.
 // The acquire/release pairing additionally guarantees that when a
 // writer increments counter A and then counter B, a reader that

@@ -157,6 +157,13 @@ class RecordStreamExtractor {
   /// The SNI observed on a flow, if its ClientHello has been parsed.
   [[nodiscard]] std::optional<std::string> sni_of(const net::FlowKey& flow) const;
 
+  /// Timer-driven idle eviction: evict every flow idle past
+  /// Config::idle_timeout as of `now`, bypassing the packet-cadence
+  /// gate feed() uses. The continuous monitor calls this from its time
+  /// wheel so flows leave on schedule even when no packet for any flow
+  /// arrives. Returns flows evicted. No-op when idle_timeout is zero.
+  std::size_t sweep_idle(util::SimTime now);
+
  private:
   struct PerFlow {
     net::TcpConnectionReassembler reassembler;

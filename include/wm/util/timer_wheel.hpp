@@ -1,0 +1,175 @@
+// Hierarchical timing wheel over simulated time.
+//
+// The continuous monitor tracks one or two timers per live viewer —
+// flow-idle eviction, the evidence window of an open question — at
+// hundreds of thousands of concurrent viewers. A heap-based timer queue
+// would pay O(log n) per schedule/cancel with pointer-chasing
+// comparisons on exactly the per-packet path that must stay flat; the
+// classic answer (kernel timer wheel, Varghese & Lauck) is a wheel of
+// hash buckets indexed by expiry tick: O(1) schedule, O(1) cancel,
+// amortized O(1) advance.
+//
+// This wheel is hierarchical: level 0 resolves single ticks, each
+// higher level spans `slots` times the level below, and entries that
+// outrange even the top level park in its furthest slot and re-cascade
+// when time reaches them (long-idle wraparound). Timers therefore fire
+// in tick order, never early, and at most one tick late relative to
+// their deadline — exact enough for idle eviction and decode windows
+// whose natural scale is tens of milliseconds.
+//
+// Time is util::SimTime, not a wall clock: the monitor drives the wheel
+// from packet capture timestamps, so replaying a recorded corpus at any
+// speed reproduces eviction and emission decisions bit-for-bit.
+//
+// Single-threaded by design (one wheel per monitor/shard, owned by the
+// thread that feeds it); re-entrant scheduling and cancellation from
+// inside a fire callback are supported.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "wm/util/time.hpp"
+
+namespace wm::util {
+
+class TimerWheel {
+ public:
+  /// Opaque timer handle. Ids are generation-tagged: a slot reused by a
+  /// later timer invalidates stale ids, so cancel() after fire is a
+  /// safe no-op instead of a use-after-free of the slot.
+  using TimerId = std::uint64_t;
+  static constexpr TimerId kInvalidTimer = 0;
+
+  struct Config {
+    /// Resolution of level 0. Deadlines round up to the next tick.
+    Duration tick = Duration::millis(10);
+    /// log2(slots per level); 8 = 256 slots.
+    std::size_t slot_bits = 8;
+    /// Wheel levels. With 10ms ticks and 256 slots, 4 levels cover
+    /// 10ms * 256^4 ~ 1.4 years before wraparound parking kicks in.
+    std::size_t levels = 4;
+  };
+
+  explicit TimerWheel(Config config, SimTime origin = SimTime());
+  // Default args referencing a nested aggregate's member initializers
+  // are ill-formed inside the enclosing class; delegate instead.
+  TimerWheel() : TimerWheel(Config()) {}
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  /// Arm a timer at `deadline` carrying `data`. A deadline at or before
+  /// now() fires on the next advance(). Returns a handle for cancel().
+  TimerId schedule(SimTime deadline, std::uint64_t data);
+
+  /// Disarm. False when the id already fired, was cancelled, or never
+  /// existed (stale generation) — all safe. A timer whose tick is
+  /// currently being fired cannot be cancelled out of that batch; match
+  /// the fired id against your stored handle to reject stale fires.
+  bool cancel(TimerId id);
+
+  /// Cancel-and-rearm in one call; `id` may be kInvalidTimer (pure
+  /// schedule). Returns the new handle.
+  TimerId reschedule(TimerId id, SimTime deadline, std::uint64_t data);
+
+  /// Advance the wheel to `now`, invoking `fire(id, data, deadline)`
+  /// for every timer whose deadline tick has been reached, in tick
+  /// order. Callbacks may schedule, reschedule, and cancel freely; a
+  /// timer scheduled inside a callback for a tick already passed fires
+  /// within the same advance() call. Time never moves backwards: a
+  /// `now` before the current cursor is a no-op. Returns fired count.
+  template <typename Fire>
+  std::size_t advance(SimTime now, Fire&& fire) {
+    std::size_t fired = 0;
+    const std::uint64_t target = tick_of(now);
+    while (cursor_ < target) {
+      if (active_ == 0) {
+        // Empty wheel: jump, do not crank 100k idle ticks one by one.
+        cursor_ = target;
+        break;
+      }
+      ++cursor_;
+      advancing_ = true;
+      cascade_for(cursor_);
+      // Re-drain until empty: a callback scheduling at/behind the
+      // current tick lands back in this slot and fires this tick.
+      for (;;) {
+        std::uint32_t index = take_slot(0, level_slot(0, cursor_));
+        if (index == kNil) break;
+        while (index != kNil) {
+          const std::uint32_t next = entries_[index].next;
+          const TimerId id = make_id(index, entries_[index].generation);
+          const SimTime deadline = entries_[index].deadline;
+          const std::uint64_t data = entries_[index].data;
+          release(index);
+          ++fired;
+          fire(id, data, deadline);
+          index = next;
+        }
+      }
+      advancing_ = false;
+    }
+    return fired;
+  }
+
+  /// Timers currently armed.
+  [[nodiscard]] std::size_t active() const { return active_; }
+  /// The wheel's current position (end of the last advanced tick).
+  [[nodiscard]] SimTime now() const;
+  /// Bytes of entry/slot storage currently reserved (capacity, not
+  /// occupancy) — feeds the monitor's memory accounting.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  struct Entry {
+    SimTime deadline;
+    std::uint64_t data = 0;
+    std::uint32_t generation = 0;
+    std::uint32_t prev = kNil;  // kNil = head of its slot list
+    std::uint32_t next = kNil;
+    std::uint32_t slot = kNil;  // kNil = free / detached
+  };
+
+  [[nodiscard]] std::uint64_t tick_of(SimTime time) const;
+  [[nodiscard]] std::size_t level_slot(std::size_t level,
+                                       std::uint64_t tick) const;
+  /// Flat index of (level, slot) into slots_.
+  [[nodiscard]] std::size_t slot_index(std::size_t level,
+                                       std::size_t slot) const {
+    return level * slot_count_ + slot;
+  }
+  static TimerId make_id(std::uint32_t index, std::uint32_t generation) {
+    return (static_cast<TimerId>(generation) << 32) | (index + 1);
+  }
+
+  std::uint32_t acquire();
+  void release(std::uint32_t index);
+  void place(std::uint32_t index);
+  void unlink(std::uint32_t index);
+  /// Detach a slot's whole list, returning its head.
+  std::uint32_t take_slot(std::size_t level, std::size_t slot);
+  /// When the tick crosses a higher-level boundary, re-place that
+  /// level's current slot so its entries drop toward level 0.
+  void cascade_for(std::uint64_t tick);
+
+  Config config_;
+  std::int64_t tick_nanos_ = 1;
+  SimTime origin_;
+  std::uint64_t cursor_ = 0;  // ticks fully processed
+  std::size_t slot_count_ = 0;
+  std::size_t slot_mask_ = 0;
+  std::vector<std::uint32_t> slots_;  // head entry per (level, slot)
+  std::vector<Entry> entries_;
+  std::uint32_t free_head_ = kNil;
+  std::size_t active_ = 0;
+  /// True while advance() processes the cursor tick: placements may
+  /// target the in-flight tick (its slot is re-drained) instead of
+  /// being pushed to cursor_ + 1.
+  bool advancing_ = false;
+};
+
+}  // namespace wm::util

@@ -23,7 +23,8 @@ std::string EngineStats::to_string() const {
       << " peak_flows=" << peak_active_flows
       << " gaps=" << gaps << " gap_bytes=" << gap_bytes
       << " resyncs=" << tls_resyncs << " tls_skipped=" << tls_skipped_bytes
-      << " backpressure=" << backpressure_waits;
+      << " backpressure=" << backpressure_waits
+      << " source_errors=" << source_errors;
   return out.str();
 }
 
@@ -65,8 +66,8 @@ std::string client_key(const net::FlowKey& flow) {
 class ShardedFlowEngine::Collector {
  public:
   Collector(const core::RecordClassifier& classifier, util::Duration gap,
-            SessionSink sink, obs::Registry* metrics)
-      : classifier_(classifier), gap_(gap), sink_(std::move(sink)) {
+            EventSink* sink, obs::Registry* metrics)
+      : classifier_(classifier), gap_(gap), sink_(sink) {
     if (metrics != nullptr) {
       client_records_counter_ = metrics->counter("engine.collector.client_records", obs::Stability::kStable);
       type1_counter_ = metrics->counter("engine.collector.type1", obs::Stability::kStable);
@@ -91,7 +92,7 @@ class ShardedFlowEngine::Collector {
     // vector: after the first few records the pool hands back retained
     // capacity, so the per-record path stops allocating.
     SnapshotPool::Lease snapshot;
-    if (sink_) snapshot = snapshot_pool_.acquire();
+    if (sink_ != nullptr) snapshot = snapshot_pool_.acquire();
     bool live_update = false;
     core::DecodeOptions options;
     options.min_question_gap = gap_;
@@ -112,7 +113,7 @@ class ShardedFlowEngine::Collector {
         case core::RecordClass::kOther: obs::inc(other_counter_); break;
       }
       obs::inc(client_records_counter_);
-      if (sink_ && cls != core::RecordClass::kOther) {
+      if (sink_ != nullptr && cls != core::RecordClass::kOther) {
         snapshot->assign(observations.begin(), observations.end());
         const auto gap_it = gaps_.find(client);
         if (gap_it != gaps_.end()) options.gaps = gap_it->second;
@@ -120,26 +121,73 @@ class ShardedFlowEngine::Collector {
       }
     }
     if (!live_update) return;
-    obs::inc(sink_updates_counter_);
     // Decode outside the lock; the snapshot is this viewer's few
     // hundred observations at most.
     std::sort(snapshot->begin(), snapshot->end(), observation_before);
-    ViewerUpdate update;
-    update.client = client;
-    update.record_class = cls;
-    update.record_length = observation.record_length;
-    update.at = observation.timestamp;
-    update.session = core::decode_choices(classifier_, *snapshot, options);
-    sink_(update);
+    const core::InferredSession session =
+        core::decode_choices(classifier_, *snapshot, options);
+
+    // Diff the fresh decode against what was already announced for this
+    // viewer, under the lock so concurrent workers (one viewer's flows
+    // can land on different shards) advance the emit cursor
+    // monotonically — each question is announced exactly once even when
+    // two decodes race.
+    std::size_t announce_from = 0;
+    std::size_t announce_to = 0;
+    bool announce_override = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      EmitState& state = emitted_[client];
+      if (session.questions.size() > state.questions) {
+        announce_from = state.questions;
+        announce_to = session.questions.size();
+        state.questions = announce_to;
+        state.last_choice = session.questions.back().choice;
+      } else if (!session.questions.empty() &&
+                 session.questions.size() == state.questions &&
+                 session.questions.back().choice != state.last_choice &&
+                 session.questions.back().choice != story::Choice::kDefault) {
+        // The decoder only ever flips default -> non-default for a
+        // given question; a stale racing snapshot that still shows the
+        // default must not announce a "revert".
+        announce_override = true;
+        state.last_choice = session.questions.back().choice;
+      }
+    }
+    for (std::size_t i = announce_from; i < announce_to; ++i) {
+      const core::InferredQuestion& question = session.questions[i];
+      QuestionOpenedEvent opened;
+      opened.client = client;
+      opened.question = question;
+      opened.record_length = observation.record_length;
+      opened.session = &session;
+      obs::inc(sink_updates_counter_);
+      sink_->on_question_opened(opened);
+      if (question.choice != story::Choice::kDefault) {
+        // Born non-default: an orphaned override synthesized it.
+        announce_choice(client, question, observation, session);
+      }
+    }
+    if (announce_override) {
+      announce_choice(client, session.questions.back(), observation, session);
+    }
   }
 
   /// A reassembly gap on one of this viewer's client->server streams:
   /// recorded into the viewer's gap timeline so decoding can lower the
   /// confidence of inferences it touches.
   void on_gap(const std::string& client, core::GapSpan gap) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    gaps_[client].push_back(gap);
-    obs::inc(gaps_counter_);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      gaps_[client].push_back(gap);
+      obs::inc(gaps_counter_);
+    }
+    if (sink_ != nullptr) {
+      GapObservedEvent event;
+      event.client = client;
+      event.gap = gap;
+      sink_->on_gap_observed(event);
+    }
   }
 
   /// Single-threaded (post-join). Sorting per viewer then decoding
@@ -178,9 +226,30 @@ class ShardedFlowEngine::Collector {
  private:
   using SnapshotPool = util::ObjectPool<std::vector<core::ClientRecordObservation>>;
 
+  /// What has already been announced through the sink for one viewer.
+  struct EmitState {
+    std::size_t questions = 0;
+    story::Choice last_choice = story::Choice::kDefault;
+  };
+
+  void announce_choice(const std::string& client,
+                       const core::InferredQuestion& question,
+                       const core::ClientRecordObservation& observation,
+                       const core::InferredSession& session) {
+    ChoiceInferredEvent event;
+    event.client = client;
+    event.question = question;
+    event.record_length = observation.record_length;
+    event.at = observation.timestamp;
+    event.final = false;  // finish() is authoritative in batch mode
+    event.session = &session;
+    obs::inc(sink_updates_counter_);
+    sink_->on_choice_inferred(event);
+  }
+
   const core::RecordClassifier& classifier_;
   const util::Duration gap_;
-  const SessionSink sink_;
+  EventSink* const sink_;
   SnapshotPool snapshot_pool_;
   // wm-lint: allow(mutex): collector merge point — workers hit it once
   // per flushed session batch, not per packet (see DESIGN.md s2.4).
@@ -189,6 +258,7 @@ class ShardedFlowEngine::Collector {
   /// Per-viewer gap timelines, parallel to clients_ (a viewer may have
   /// gaps before — or without — any decodable observation).
   std::map<std::string, std::vector<core::GapSpan>> gaps_;
+  std::map<std::string, EmitState> emitted_;
   std::uint64_t client_records_ = 0;
   std::uint64_t type1_ = 0;
   std::uint64_t type2_ = 0;
@@ -254,11 +324,11 @@ struct ShardedFlowEngine::Shard {
 };
 
 ShardedFlowEngine::ShardedFlowEngine(const core::RecordClassifier& classifier,
-                                     EngineConfig config, SessionSink sink)
+                                     EngineConfig config, EventSink* sink)
     : classifier_(classifier),
       config_(config),
       collector_(std::make_unique<Collector>(classifier, config.min_question_gap,
-                                             std::move(sink), config.metrics)) {
+                                             sink, config.metrics)) {
   tls::RecordStreamExtractor::Config extractor_config;
   extractor_config.retain_events = false;  // the collector is the memory
   extractor_config.idle_timeout = config_.flow_idle_timeout;
@@ -527,8 +597,8 @@ std::uint64_t ShardedFlowEngine::packets_in() const {
 
 EngineResult analyze(const core::RecordClassifier& classifier,
                      PacketSource& source, EngineConfig config,
-                     SessionSink sink) {
-  ShardedFlowEngine engine(classifier, config, std::move(sink));
+                     EventSink* sink) {
+  ShardedFlowEngine engine(classifier, config, sink);
   engine.consume(source);
   return engine.finish();
 }

@@ -1,7 +1,5 @@
 #include "wm/core/pipeline.hpp"
 
-#include <stdexcept>
-
 namespace wm::core {
 
 AttackPipeline::AttackPipeline(std::string classifier_name)
@@ -48,6 +46,15 @@ InferReport AttackPipeline::infer(engine::PacketSource& source,
   InferReport report;
   report.combined = std::move(result.combined);
   report.stats = result.stats;
+  // A mid-stream source failure (truncated record, corrupt framing) is
+  // a data-quality fact, not a control-flow event: count it and keep
+  // everything that decoded before the stream died.
+  if (source.error()) {
+    ++report.stats.source_errors;
+    if (registry != nullptr) {
+      registry->counter("pipeline.source_errors", obs::Stability::kStable)->add(1);
+    }
+  }
   if (options.per_client) {
     for (auto& [client, session] : result.per_client) {
       // Only report clients that look like interactive-video viewers.
@@ -88,28 +95,6 @@ Result<InferReport> AttackPipeline::infer_capture(
   // A corrupt tail surfaces after the stream ends, not as an exception.
   if (const auto& error = (*source)->error()) return *error;
   return report;
-}
-
-InferredSession AttackPipeline::infer(const std::vector<net::Packet>& packets) const {
-  engine::VectorSource source(&packets);
-  return infer(source).combined;
-}
-
-InferredSession AttackPipeline::infer_pcap(const std::filesystem::path& path) const {
-  // Legacy contract: failures throw. infer_capture() reports them.
-  auto result = infer_capture(path);
-  if (!result.ok()) {
-    throw std::runtime_error("infer_pcap: " + result.error().to_string());
-  }
-  return std::move(result->combined);
-}
-
-std::map<std::string, InferredSession> AttackPipeline::infer_per_client(
-    const std::vector<net::Packet>& packets) const {
-  engine::VectorSource source(&packets);
-  InferOptions options;
-  options.per_client = true;
-  return infer(source, options).per_client;
 }
 
 }  // namespace wm::core

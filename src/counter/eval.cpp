@@ -1,5 +1,6 @@
 #include "wm/counter/eval.hpp"
 
+#include "wm/core/engine/source.hpp"
 #include "wm/dataset/choice_policy.hpp"
 #include "wm/util/log.hpp"
 
@@ -65,8 +66,9 @@ CountermeasureRun evaluate_countermeasure(
   std::vector<core::SessionScore> timing_scores;
   for (const EvalSession& session : eval_sessions) {
     if (calibrated) {
-      const core::InferredSession inferred = pipeline.infer(session.packets);
-      length_scores.push_back(core::score_session(session.truth, inferred));
+      engine::VectorSource source(&session.packets);
+      length_scores.push_back(core::score_session(
+          session.truth, pipeline.infer(source).combined));
     } else {
       // No usable bands: the attack detects nothing.
       core::InferredSession empty;

@@ -1,0 +1,100 @@
+#include "wm/monitor/live_source.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+namespace wm::monitor {
+
+std::optional<net::Packet> InjectableTap::next() {
+  net::Packet packet;
+  if (!ring_.pop(packet)) return std::nullopt;
+  return packet;
+}
+
+std::size_t InjectableTap::read_batch(engine::PacketBatch& out,
+                                      std::size_t max) {
+  out.clear();
+  if (max == 0) return 0;
+  net::Packet first;
+  if (!ring_.pop(first)) return 0;  // closed and fully drained
+  out.append(std::move(first));
+  if (max == 1) return 1;
+  // Drain whatever else is already queued without parking again. The
+  // scratch slots and the batch slots trade buffers by move, so the
+  // steady state allocates nothing.
+  scratch_.resize(max - 1);
+  const std::size_t extra = ring_.try_pop_n(scratch_.data(), scratch_.size());
+  for (std::size_t i = 0; i < extra; ++i) {
+    out.append(std::move(scratch_[i]));
+  }
+  return 1 + extra;
+}
+
+std::chrono::steady_clock::time_point TimedReplaySource::due_at(
+    util::SimTime ts) const {
+  const double capture_delta =
+      static_cast<double>(ts.nanos() - capture_start_nanos_);
+  const double wall_delta = capture_delta / config_.speed;
+  return wall_start_ +
+         std::chrono::nanoseconds(static_cast<std::int64_t>(wall_delta));
+}
+
+void TimedReplaySource::wait_until_due(util::SimTime ts) {
+  if (config_.speed <= 0.0) return;
+  if (!epoch_set_) {
+    epoch_set_ = true;
+    wall_start_ = std::chrono::steady_clock::now();
+    capture_start_nanos_ = ts.nanos();
+    return;
+  }
+  const auto deadline = due_at(ts);
+  const auto max_slice =
+      std::chrono::nanoseconds(std::max<std::int64_t>(
+          config_.max_sleep.total_nanos(), 1));
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return;
+    const auto remaining = deadline - now;
+    std::this_thread::sleep_for(remaining < max_slice ? remaining : max_slice);
+  }
+}
+
+bool TimedReplaySource::fill_pending() {
+  if (pending_.has_value()) return true;
+  pending_ = inner_.next();
+  return pending_.has_value();
+}
+
+std::optional<net::Packet> TimedReplaySource::next() {
+  if (!fill_pending()) return std::nullopt;
+  wait_until_due(pending_->timestamp);
+  position_ = pending_->timestamp;
+  std::optional<net::Packet> out = std::move(pending_);
+  pending_.reset();
+  return out;
+}
+
+std::size_t TimedReplaySource::read_batch(engine::PacketBatch& out,
+                                          std::size_t max) {
+  out.clear();
+  if (max == 0 || !fill_pending()) return 0;
+  // Block for the first packet; everything after rides along only if
+  // it is already due (a capture burst replays as a burst).
+  wait_until_due(pending_->timestamp);
+  position_ = pending_->timestamp;
+  out.append(std::move(*pending_));
+  pending_.reset();
+  std::size_t count = 1;
+  const auto now = std::chrono::steady_clock::now();
+  while (count < max && fill_pending()) {
+    if (config_.speed > 0.0 && due_at(pending_->timestamp) > now) break;
+    position_ = pending_->timestamp;
+    out.append(std::move(*pending_));
+    pending_.reset();
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace wm::monitor

@@ -1,0 +1,619 @@
+#include "wm/monitor/monitor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "wm/net/flow.hpp"
+
+namespace wm::monitor {
+
+std::string MonitorStats::to_string() const {
+  std::ostringstream out;
+  out << "packets=" << packets << " client_records=" << client_records
+      << " viewers=" << viewers_opened
+      << " evicted_idle=" << viewers_evicted_idle
+      << " shed=" << viewers_shed << " questions=" << questions_opened
+      << " choices=" << choices_inferred << " overrides=" << overrides
+      << " synthesized=" << questions_synthesized
+      << " gaps=" << gaps_observed << " flows_swept=" << flows_swept
+      << " timer_fires=" << timer_fires
+      << " ceiling_violations=" << ceiling_violations
+      << " peak_viewers=" << peak_viewers
+      << " peak_mem=" << peak_memory_bytes;
+  return out.str();
+}
+
+namespace {
+
+constexpr std::uint32_t kNilIndex = 0xffffffffu;
+
+// Timer payload: viewer slot in the high bits, timer kind in the low
+// two. The global flow-sweep timer uses kNilIndex as its slot.
+enum class TimerKind : std::uint64_t { kViewerIdle = 0, kWindow = 1, kFlowSweep = 2 };
+
+std::uint64_t timer_data(std::uint32_t slot, TimerKind kind) {
+  return (static_cast<std::uint64_t>(slot) << 2) |
+         static_cast<std::uint64_t>(kind);
+}
+
+std::string client_key(const net::FlowKey& flow) {
+  return flow.client.is_v6 ? flow.client.v6.to_string()
+                           : flow.client.v4.to_string();
+}
+
+}  // namespace
+
+// One viewer's decode state: O(1) regardless of session length — the
+// running mirror of core::decode_choices' loop variables, not the
+// observation log the batch collector keeps.
+struct ViewerState {
+  std::string client;
+  util::SimTime last_activity;
+  std::optional<util::SimTime> last_type1;   // duplicate suppression
+  std::optional<util::SimTime> last_anchor;  // gap attribution boundary
+  /// The at-most-one question whose evidence window is open.
+  bool open = false;
+  core::InferredQuestion question;
+  std::uint16_t open_record_length = 0;
+  /// Lifetime question ordinal (mirrors the batch per-viewer index).
+  std::size_t question_seq = 0;
+  util::TimerWheel::TimerId window_timer = util::TimerWheel::kInvalidTimer;
+  util::TimerWheel::TimerId idle_timer = util::TimerWheel::kInvalidTimer;
+  /// Bounded gap history (ring): enough to attribute loss to the next
+  /// override; the oldest spans fall off first.
+  std::vector<core::GapSpan> gaps;
+  std::size_t gap_head = 0;
+  std::size_t gap_count = 0;
+  // Intrusive LRU by last_activity: head = oldest-idle = shed first.
+  std::uint32_t lru_prev = kNilIndex;
+  std::uint32_t lru_next = kNilIndex;
+  bool in_use = false;
+
+  [[nodiscard]] std::size_t dynamic_bytes() const {
+    return client.capacity() + gaps.capacity() * sizeof(core::GapSpan);
+  }
+};
+
+struct ContinuousMonitor::Impl {
+  Impl(const core::RecordClassifier& classifier_in, MonitorConfig config_in,
+       engine::EventSink* sink_in)
+      : classifier(classifier_in),
+        config(config_in),
+        sink(sink_in),
+        wheel(config.wheel),
+        extractor(make_extractor_config(config)) {
+    if (config.metrics != nullptr) {
+      obs::Registry& m = *config.metrics;
+      viewers_opened_c = m.counter("monitor.viewers.opened", obs::Stability::kStable);
+      viewers_idle_c = m.counter("monitor.viewers.evicted_idle", obs::Stability::kStable);
+      viewers_shed_c = m.counter("monitor.viewers.shed", obs::Stability::kStable);
+      viewers_peak_c = m.counter("monitor.viewers.active.peak", obs::Stability::kStable);
+      mem_peak_c = m.counter("monitor.mem.bytes.peak", obs::Stability::kStable);
+      ceiling_c = m.counter("monitor.mem.ceiling_violations", obs::Stability::kStable);
+      questions_c = m.counter("monitor.emit.questions", obs::Stability::kStable);
+      choices_c = m.counter("monitor.emit.choices", obs::Stability::kStable);
+      overrides_c = m.counter("monitor.emit.overrides", obs::Stability::kStable);
+      gaps_c = m.counter("monitor.gaps", obs::Stability::kStable);
+      sweeps_c = m.counter("monitor.flows.swept", obs::Stability::kStable);
+      timer_c = m.counter("monitor.timer.fires", obs::Stability::kStable);
+      // Question-to-answer sim-time latency; bounded above by the
+      // evidence window, so millisecond buckets up to 30s cover it.
+      emit_latency_h = m.histogram(
+          "monitor.emit.latency_ms",
+          {1, 10, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000},
+          obs::Stability::kStable);
+    }
+  }
+
+  static tls::RecordStreamExtractor::Config make_extractor_config(
+      const MonitorConfig& config) {
+    tls::RecordStreamExtractor::Config out;
+    out.retain_events = false;  // the monitor reacts, it does not archive
+    out.idle_timeout = config.flow_idle_timeout;
+    out.reassembly = config.reassembly;
+    if (config.metrics != nullptr) {
+      out.registry = config.metrics;
+      out.metrics_scope = "monitor.extractor";
+      out.metrics_stability = obs::Stability::kStable;
+    }
+    return out;
+  }
+
+  // --- Viewer table ---------------------------------------------------
+
+  std::uint32_t viewer_of(const std::string& key, util::SimTime now) {
+    const auto it = index.find(key);
+    if (it != index.end()) return it->second;
+
+    std::uint32_t slot;
+    if (free_head != kNilIndex) {
+      slot = free_head;
+      free_head = arena[slot].lru_next;
+    } else {
+      slot = static_cast<std::uint32_t>(arena.size());
+      arena.emplace_back();
+    }
+    ViewerState& viewer = arena[slot];
+    viewer = ViewerState{};
+    viewer.client = key;
+    viewer.last_activity = now;
+    viewer.in_use = true;
+    viewer.gaps.reserve(config.max_viewer_gaps);
+    index.emplace(key, slot);
+    lru_push_back(slot);
+    dynamic_bytes += viewer.dynamic_bytes();
+    ++active_count;
+    ++stats.viewers_opened;
+    obs::inc(viewers_opened_c);
+    if (active_count > stats.peak_viewers) {
+      obs::inc(viewers_peak_c, active_count - stats.peak_viewers);
+      stats.peak_viewers = active_count;
+    }
+    if (config.viewer_idle_timeout != util::Duration{}) {
+      viewer.idle_timer =
+          wheel.schedule(now + config.viewer_idle_timeout,
+                         timer_data(slot, TimerKind::kViewerIdle));
+    }
+    note_memory();
+    enforce_budget(slot);
+    return slot;
+  }
+
+  void lru_push_back(std::uint32_t slot) {
+    ViewerState& viewer = arena[slot];
+    viewer.lru_prev = lru_tail;
+    viewer.lru_next = kNilIndex;
+    if (lru_tail != kNilIndex) arena[lru_tail].lru_next = slot;
+    lru_tail = slot;
+    if (lru_head == kNilIndex) lru_head = slot;
+  }
+
+  void lru_unlink(std::uint32_t slot) {
+    ViewerState& viewer = arena[slot];
+    if (viewer.lru_prev != kNilIndex) arena[viewer.lru_prev].lru_next = viewer.lru_next;
+    else lru_head = viewer.lru_next;
+    if (viewer.lru_next != kNilIndex) arena[viewer.lru_next].lru_prev = viewer.lru_prev;
+    else lru_tail = viewer.lru_prev;
+    viewer.lru_prev = kNilIndex;
+    viewer.lru_next = kNilIndex;
+  }
+
+  void lru_touch(std::uint32_t slot) {
+    if (lru_tail == slot) return;
+    lru_unlink(slot);
+    lru_push_back(slot);
+  }
+
+  [[nodiscard]] std::size_t live_bytes() const {
+    return active_count * sizeof(ViewerState) + dynamic_bytes +
+           wheel.memory_bytes();
+  }
+
+  void note_memory() {
+    const std::size_t bytes = live_bytes();
+    if (bytes > stats.peak_memory_bytes) {
+      obs::inc(mem_peak_c, bytes - stats.peak_memory_bytes);
+      stats.peak_memory_bytes = bytes;
+    }
+  }
+
+  /// Shed oldest-idle viewers until the budget holds. `protect` is the
+  /// viewer being processed right now — never shed under its own feet.
+  void enforce_budget(std::uint32_t protect) {
+    if (config.max_total_bytes == 0) return;
+    while (live_bytes() > config.max_total_bytes) {
+      std::uint32_t victim = lru_head;
+      if (victim == protect) victim = arena[victim].lru_next;
+      if (victim == kNilIndex) {
+        // Nothing left to shed: the budget is genuinely violated.
+        ++stats.ceiling_violations;
+        obs::inc(ceiling_c);
+        return;
+      }
+      ++stats.viewers_shed;
+      obs::inc(viewers_shed_c);
+      evict_viewer(victim, engine::ViewerEvictedEvent::Reason::kMemoryShed,
+                   arena[victim].last_activity);
+    }
+  }
+
+  void evict_viewer(std::uint32_t slot,
+                    engine::ViewerEvictedEvent::Reason reason,
+                    util::SimTime at) {
+    ViewerState& viewer = arena[slot];
+    // An open question still gets its answer — eviction closes the
+    // evidence window early rather than swallowing the inference.
+    if (viewer.open) settle(viewer, at, 0, std::nullopt);
+    if (viewer.idle_timer != util::TimerWheel::kInvalidTimer) {
+      wheel.cancel(viewer.idle_timer);
+      viewer.idle_timer = util::TimerWheel::kInvalidTimer;
+    }
+    if (sink != nullptr) {
+      engine::ViewerEvictedEvent event;
+      event.client = viewer.client;
+      event.reason = reason;
+      event.at = at;
+      event.questions_emitted = viewer.question_seq;
+      sink->on_viewer_evicted(event);
+    }
+    lru_unlink(slot);
+    index.erase(viewer.client);
+    dynamic_bytes -= viewer.dynamic_bytes();
+    --active_count;
+    viewer.in_use = false;
+    viewer.client.clear();
+    viewer.client.shrink_to_fit();
+    viewer.gaps = {};
+    viewer.lru_next = free_head;  // freelist reuses the LRU link
+    free_head = slot;
+  }
+
+  // --- Gap ring -------------------------------------------------------
+
+  void push_gap(ViewerState& viewer, core::GapSpan gap) {
+    if (config.max_viewer_gaps == 0) return;
+    if (viewer.gap_count < config.max_viewer_gaps) {
+      viewer.gaps.push_back(gap);
+      ++viewer.gap_count;
+    } else {
+      viewer.gaps[viewer.gap_head] = gap;
+      viewer.gap_head = (viewer.gap_head + 1) % config.max_viewer_gaps;
+    }
+  }
+
+  /// core::decode_choices' gap_between over the bounded ring: any gap
+  /// strictly after `after` (or any at all when unset) at or before
+  /// `until`.
+  [[nodiscard]] bool gap_between(const ViewerState& viewer,
+                                 std::optional<util::SimTime> after,
+                                 util::SimTime until) const {
+    for (std::size_t i = 0; i < viewer.gap_count; ++i) {
+      const core::GapSpan& gap =
+          viewer.gaps[(viewer.gap_head + i) % viewer.gaps.size()];
+      if (gap.at > until) break;  // ring is time-ordered (monotone feed)
+      if (!after || gap.at > *after) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool gap_in_window(const ViewerState& viewer,
+                                   util::SimTime start,
+                                   std::optional<util::SimTime> before) const {
+    for (std::size_t i = 0; i < viewer.gap_count; ++i) {
+      const core::GapSpan& gap =
+          viewer.gaps[(viewer.gap_head + i) % viewer.gaps.size()];
+      if (before && gap.at >= *before) break;
+      if (gap.at >= start) return true;
+    }
+    return false;
+  }
+
+  static void taint(core::InferredQuestion& question, double confidence,
+                    const char* tag) {
+    question.confidence = std::min(question.confidence, confidence);
+    if (!question.evidence.empty()) question.evidence += ';';
+    question.evidence += tag;
+  }
+
+  // --- Emission -------------------------------------------------------
+
+  void open_question(ViewerState& viewer, util::SimTime at,
+                     std::uint16_t record_length, bool after_gap) {
+    viewer.question = core::InferredQuestion{};
+    viewer.question.index = ++viewer.question_seq;
+    viewer.question.question_time = at;
+    if (after_gap) {
+      taint(viewer.question, config.after_gap_confidence, "type1_after_gap");
+    }
+    viewer.open = true;
+    viewer.open_record_length = record_length;
+    ++stats.questions_opened;
+    obs::inc(questions_c);
+    if (sink != nullptr) {
+      engine::QuestionOpenedEvent event;
+      event.client = viewer.client;
+      event.question = viewer.question;
+      event.record_length = record_length;
+      sink->on_question_opened(event);
+    }
+    viewer.window_timer = wheel.reschedule(
+        viewer.window_timer, at + config.evidence_window,
+        timer_data(static_cast<std::uint32_t>(&viewer - arena.data()),
+                   TimerKind::kWindow));
+  }
+
+  /// Close the open question's evidence window and emit its answer.
+  /// `next_question_at` bounds the batch post-pass' gap window when the
+  /// close was caused by a successor question; a timer/override close
+  /// considers every gap seen so far.
+  void settle(ViewerState& viewer, util::SimTime at,
+              std::uint16_t record_length,
+              std::optional<util::SimTime> next_question_at) {
+    assert(viewer.open);
+    if (viewer.window_timer != util::TimerWheel::kInvalidTimer) {
+      wheel.cancel(viewer.window_timer);
+      viewer.window_timer = util::TimerWheel::kInvalidTimer;
+    }
+    viewer.open = false;
+    core::InferredQuestion question = viewer.question;
+    if (gap_in_window(viewer, question.question_time - config.gap_window,
+                      next_question_at)) {
+      taint(question, config.gap_window_confidence, "gap_in_window");
+    }
+    ++stats.choices_inferred;
+    obs::inc(choices_c);
+    if (question.choice != story::Choice::kDefault) {
+      ++stats.overrides;
+      obs::inc(overrides_c);
+    }
+    const std::int64_t latency_ms =
+        (at - question.question_time).total_millis();
+    obs::observe(emit_latency_h,
+                 latency_ms > 0 ? static_cast<std::uint64_t>(latency_ms) : 0);
+    if (sink != nullptr) {
+      engine::ChoiceInferredEvent event;
+      event.client = viewer.client;
+      event.question = question;
+      event.record_length = record_length;
+      event.at = at;
+      event.final = true;
+      sink->on_choice_inferred(event);
+    }
+  }
+
+  // --- Record decoding (the incremental decode_choices mirror) --------
+
+  void on_record(std::uint32_t slot, const core::ClientRecordObservation& obs,
+                 core::RecordClass cls) {
+    ViewerState& viewer = arena[slot];
+    ++stats.client_records;
+    viewer.last_activity = obs.timestamp;
+    lru_touch(slot);
+    if (config.viewer_idle_timeout != util::Duration{}) {
+      viewer.idle_timer = wheel.reschedule(
+          viewer.idle_timer, obs.timestamp + config.viewer_idle_timeout,
+          timer_data(slot, TimerKind::kViewerIdle));
+    }
+
+    switch (cls) {
+      case core::RecordClass::kType1Json: {
+        if (viewer.last_type1 &&
+            obs.timestamp - *viewer.last_type1 < config.min_question_gap) {
+          break;  // retransmission artifact / band misfire
+        }
+        viewer.last_type1 = obs.timestamp;
+        viewer.last_anchor = obs.timestamp;
+        // A successor question settles its predecessor: overrides only
+        // ever attach to the most recent question.
+        if (viewer.open) settle(viewer, obs.timestamp, 0, obs.timestamp);
+        open_question(viewer, obs.timestamp, obs.record_length, obs.after_gap);
+        break;
+      }
+      case core::RecordClass::kType2Json: {
+        const bool hole_since_anchor =
+            gap_between(viewer, viewer.last_anchor, obs.timestamp);
+        if (hole_since_anchor || (viewer.question_seq == 0 && obs.after_gap)) {
+          // The type-1 that should anchor this override was presumably
+          // lost in the hole: synthesize the question at low
+          // confidence, exactly as the batch decoder does.
+          if (viewer.open) settle(viewer, obs.timestamp, 0, obs.timestamp);
+          viewer.last_anchor = obs.timestamp;
+          open_question(viewer, obs.timestamp, obs.record_length, false);
+          viewer.question.choice = story::Choice::kNonDefault;
+          viewer.question.override_time = obs.timestamp;
+          taint(viewer.question, config.after_gap_confidence,
+                "type2_presumed_lost_type1");
+          ++stats.questions_synthesized;
+          settle(viewer, obs.timestamp, obs.record_length, std::nullopt);
+          break;
+        }
+        if (!viewer.open) break;  // stray, or its window already closed
+        // First override wins; it also settles the window — nothing
+        // can revise this question any more.
+        viewer.question.choice = story::Choice::kNonDefault;
+        viewer.question.override_time = obs.timestamp;
+        if (obs.after_gap) {
+          taint(viewer.question, config.after_gap_confidence,
+                "type2_after_gap");
+        }
+        settle(viewer, obs.timestamp, obs.record_length, std::nullopt);
+        break;
+      }
+      case core::RecordClass::kOther:
+        break;
+    }
+  }
+
+  // --- Extractor plumbing ---------------------------------------------
+
+  void handle_event(const tls::StreamEvent& stream_event) {
+    if (stream_event.kind == tls::StreamEvent::Kind::kGap) {
+      const tls::StreamGapEvent& gap = stream_event.gap;
+      if (gap.direction != net::FlowDirection::kClientToServer) return;
+      const std::string key = client_key(stream_event.flow);
+      const std::uint32_t slot = viewer_of(key, gap.timestamp);
+      ViewerState& viewer = arena[slot];
+      const core::GapSpan span{gap.timestamp, gap.length};
+      push_gap(viewer, span);
+      ++stats.gaps_observed;
+      obs::inc(gaps_c);
+      if (sink != nullptr) {
+        engine::GapObservedEvent event;
+        event.client = viewer.client;
+        event.gap = span;
+        sink->on_gap_observed(event);
+      }
+      return;
+    }
+
+    const tls::RecordEvent& event = stream_event.event;
+    if (!event.is_client_application_data()) return;
+    const std::string key = client_key(stream_event.flow);
+    const std::uint32_t slot = viewer_of(key, event.timestamp);
+
+    core::ClientRecordObservation observation;
+    observation.timestamp = event.timestamp;
+    observation.record_length = event.record_length;
+    observation.after_gap = event.after_gap;
+    on_record(slot, observation, classifier.classify(event.record_length));
+  }
+
+  // --- Timers ---------------------------------------------------------
+
+  void on_timer(util::TimerWheel::TimerId id, std::uint64_t data,
+                util::SimTime deadline) {
+    ++stats.timer_fires;
+    obs::inc(timer_c);
+    const auto kind = static_cast<TimerKind>(data & 0x3u);
+    if (kind == TimerKind::kFlowSweep) {
+      sweep_timer = util::TimerWheel::kInvalidTimer;
+      const std::size_t evicted = extractor.sweep_idle(deadline);
+      stats.flows_swept += evicted;
+      obs::inc(sweeps_c, evicted);
+      arm_flow_sweep(deadline);
+      return;
+    }
+    const auto slot = static_cast<std::uint32_t>(data >> 2);
+    if (slot >= arena.size() || !arena[slot].in_use) return;
+    ViewerState& viewer = arena[slot];
+    if (kind == TimerKind::kWindow) {
+      if (viewer.window_timer != id) return;  // rearmed since; stale fire
+      viewer.window_timer = util::TimerWheel::kInvalidTimer;
+      if (viewer.open) settle(viewer, deadline, 0, std::nullopt);
+      return;
+    }
+    // Viewer idle.
+    if (viewer.idle_timer != id) return;  // activity rearmed it
+    viewer.idle_timer = util::TimerWheel::kInvalidTimer;
+    ++stats.viewers_evicted_idle;
+    obs::inc(viewers_idle_c);
+    evict_viewer(slot, engine::ViewerEvictedEvent::Reason::kIdle, deadline);
+  }
+
+  void arm_flow_sweep(util::SimTime now) {
+    if (config.flow_idle_timeout == util::Duration{}) return;
+    // Sweep at half the timeout: flows leave within 1.5x even when no
+    // packet ever hits their extractor again.
+    const util::Duration period =
+        util::Duration::nanos(config.flow_idle_timeout.total_nanos() / 2);
+    sweep_timer = wheel.schedule(now + period,
+                                 timer_data(kNilIndex, TimerKind::kFlowSweep));
+  }
+
+  void advance(util::SimTime now) {
+    wheel.advance(now, [this](util::TimerWheel::TimerId id, std::uint64_t data,
+                              util::SimTime deadline) {
+      on_timer(id, data, deadline);
+    });
+    note_memory();
+  }
+
+  void feed(const net::Packet& packet) {
+    ++stats.packets;
+    // Fire everything due strictly before this packet's instant, then
+    // analyze — one timeline, capture-time ordered.
+    advance(packet.timestamp);
+    if (sweep_timer == util::TimerWheel::kInvalidTimer) {
+      arm_flow_sweep(packet.timestamp);
+    }
+    for (const tls::StreamEvent& stream_event : extractor.feed(packet)) {
+      handle_event(stream_event);
+    }
+  }
+
+  const core::RecordClassifier& classifier;
+  const MonitorConfig config;
+  engine::EventSink* const sink;
+  util::TimerWheel wheel;
+  tls::RecordStreamExtractor extractor;
+  MonitorStats stats;
+
+  std::vector<ViewerState> arena;
+  std::unordered_map<std::string, std::uint32_t> index;
+  std::uint32_t free_head = kNilIndex;
+  std::uint32_t lru_head = kNilIndex;
+  std::uint32_t lru_tail = kNilIndex;
+  std::size_t active_count = 0;
+  std::size_t dynamic_bytes = 0;
+  util::TimerWheel::TimerId sweep_timer = util::TimerWheel::kInvalidTimer;
+  bool finished = false;
+
+  obs::Counter* viewers_opened_c = nullptr;
+  obs::Counter* viewers_idle_c = nullptr;
+  obs::Counter* viewers_shed_c = nullptr;
+  obs::Counter* viewers_peak_c = nullptr;
+  obs::Counter* mem_peak_c = nullptr;
+  obs::Counter* ceiling_c = nullptr;
+  obs::Counter* questions_c = nullptr;
+  obs::Counter* choices_c = nullptr;
+  obs::Counter* overrides_c = nullptr;
+  obs::Counter* gaps_c = nullptr;
+  obs::Counter* sweeps_c = nullptr;
+  obs::Counter* timer_c = nullptr;
+  obs::Histogram* emit_latency_h = nullptr;
+};
+
+ContinuousMonitor::ContinuousMonitor(const core::RecordClassifier& classifier,
+                                     MonitorConfig config,
+                                     engine::EventSink* sink)
+    : impl_(std::make_unique<Impl>(classifier, config, sink)) {}
+
+ContinuousMonitor::~ContinuousMonitor() = default;
+
+void ContinuousMonitor::feed(const net::Packet& packet) {
+  impl_->feed(packet);
+}
+
+std::size_t ContinuousMonitor::consume(engine::PacketSource& source) {
+  std::size_t total = 0;
+  engine::PacketBatch batch;
+  while (source.read_batch(batch, 256) != 0) {
+    total += batch.size();
+    for (const net::Packet& packet : batch) impl_->feed(packet);
+  }
+  return total;
+}
+
+void ContinuousMonitor::advance_to(util::SimTime now) {
+  impl_->advance(now);
+}
+
+MonitorStats ContinuousMonitor::finish() {
+  Impl& impl = *impl_;
+  if (impl.finished) return impl.stats;
+  impl.finished = true;
+  // Residual reassembly/parser state still decodes: flush the extractor
+  // and run its final records through the same path.
+  for (const tls::StreamEvent& stream_event : impl.extractor.flush()) {
+    impl.handle_event(stream_event);
+  }
+  // Settle and evict everyone left, oldest first (deterministic order).
+  while (impl.lru_head != kNilIndex) {
+    const std::uint32_t slot = impl.lru_head;
+    impl.evict_viewer(slot, engine::ViewerEvictedEvent::Reason::kShutdown,
+                      impl.arena[slot].last_activity);
+  }
+  if (impl.sweep_timer != util::TimerWheel::kInvalidTimer) {
+    impl.wheel.cancel(impl.sweep_timer);
+    impl.sweep_timer = util::TimerWheel::kInvalidTimer;
+  }
+  impl.note_memory();
+  return impl.stats;
+}
+
+const MonitorStats& ContinuousMonitor::stats() const { return impl_->stats; }
+
+std::size_t ContinuousMonitor::active_viewers() const {
+  return impl_->active_count;
+}
+
+std::size_t ContinuousMonitor::memory_bytes() const {
+  return impl_->live_bytes();
+}
+
+util::SimTime ContinuousMonitor::now() const { return impl_->wheel.now(); }
+
+}  // namespace wm::monitor

@@ -251,6 +251,15 @@ std::vector<StreamEvent> RecordStreamExtractor::flush() {
   return out;
 }
 
+std::size_t RecordStreamExtractor::sweep_idle(util::SimTime now) {
+  if (config_.idle_timeout == util::Duration{}) return 0;
+  const std::uint64_t before = flows_evicted_;
+  // Reset the cadence gate: a timer-driven sweep is authoritative.
+  sweep_armed_ = false;
+  evict_idle(now);
+  return static_cast<std::size_t>(flows_evicted_ - before);
+}
+
 void RecordStreamExtractor::evict_idle(util::SimTime now) {
   // Sweep at a fraction of the timeout so the scan cost amortizes to
   // O(1) per packet while flows still leave within ~1.25x the timeout.

@@ -1,0 +1,172 @@
+#include "wm/util/timer_wheel.hpp"
+
+#include <cassert>
+
+namespace wm::util {
+
+TimerWheel::TimerWheel(Config config, SimTime origin)
+    : config_(config), origin_(origin) {
+  if (config_.slot_bits == 0) config_.slot_bits = 1;
+  if (config_.slot_bits > 16) config_.slot_bits = 16;
+  if (config_.levels == 0) config_.levels = 1;
+  if (config_.levels > 8) config_.levels = 8;
+  // Keep levels * slot_bits shiftable in 64 bits with headroom.
+  while (config_.levels > 1 && config_.levels * config_.slot_bits > 48) {
+    --config_.levels;
+  }
+  tick_nanos_ = config_.tick.total_nanos();
+  if (tick_nanos_ <= 0) tick_nanos_ = 1;
+  slot_count_ = std::size_t{1} << config_.slot_bits;
+  slot_mask_ = slot_count_ - 1;
+  slots_.assign(config_.levels * slot_count_, kNil);
+}
+
+std::uint64_t TimerWheel::tick_of(SimTime time) const {
+  const std::int64_t delta = time.nanos() - origin_.nanos();
+  if (delta <= 0) return 0;
+  return static_cast<std::uint64_t>(delta) /
+         static_cast<std::uint64_t>(tick_nanos_);
+}
+
+std::size_t TimerWheel::level_slot(std::size_t level,
+                                   std::uint64_t tick) const {
+  return static_cast<std::size_t>(tick >> (level * config_.slot_bits)) &
+         slot_mask_;
+}
+
+SimTime TimerWheel::now() const {
+  return SimTime::from_nanos(origin_.nanos() +
+                             static_cast<std::int64_t>(cursor_) * tick_nanos_);
+}
+
+std::size_t TimerWheel::memory_bytes() const {
+  return slots_.capacity() * sizeof(std::uint32_t) +
+         entries_.capacity() * sizeof(Entry);
+}
+
+std::uint32_t TimerWheel::acquire() {
+  if (free_head_ != kNil) {
+    const std::uint32_t index = free_head_;
+    free_head_ = entries_[index].next;
+    return index;
+  }
+  entries_.push_back(Entry{});
+  return static_cast<std::uint32_t>(entries_.size() - 1);
+}
+
+void TimerWheel::release(std::uint32_t index) {
+  Entry& entry = entries_[index];
+  ++entry.generation;  // invalidates any outstanding TimerId
+  entry.slot = kNil;
+  entry.prev = kNil;
+  entry.next = free_head_;
+  free_head_ = index;
+  --active_;
+}
+
+void TimerWheel::place(std::uint32_t index) {
+  Entry& entry = entries_[index];
+  std::uint64_t deadline_tick = tick_of(entry.deadline);
+  // A deadline in a tick we have already processed belongs to the next
+  // tick that can still fire: the in-flight tick while advancing (its
+  // slot is re-drained), cursor_ + 1 otherwise. Never silently
+  // dropped, never early relative to the cursor.
+  const std::uint64_t floor_tick = advancing_ ? cursor_ : cursor_ + 1;
+  if (deadline_tick < floor_tick) deadline_tick = floor_tick;
+  const std::uint64_t delta = deadline_tick - cursor_;
+
+  // Pick the coarsest level whose span is still needed; beyond the top
+  // level's horizon, park in the top level's furthest-future slot and
+  // let cascade bring it back around (long-idle wraparound).
+  std::size_t level = 0;
+  while (level + 1 < config_.levels &&
+         delta >= (std::uint64_t{1} << ((level + 1) * config_.slot_bits))) {
+    ++level;
+  }
+  std::uint64_t target_tick = deadline_tick;
+  const std::uint64_t horizon = std::uint64_t{1}
+                                << (config_.levels * config_.slot_bits);
+  if (delta >= horizon) target_tick = cursor_ + horizon - 1;
+
+  const std::size_t flat = slot_index(level, level_slot(level, target_tick));
+  entry.slot = static_cast<std::uint32_t>(flat);
+  entry.prev = kNil;
+  entry.next = slots_[flat];
+  if (entry.next != kNil) entries_[entry.next].prev = index;
+  slots_[flat] = index;
+}
+
+void TimerWheel::unlink(std::uint32_t index) {
+  Entry& entry = entries_[index];
+  if (entry.prev != kNil) {
+    entries_[entry.prev].next = entry.next;
+  } else {
+    slots_[entry.slot] = entry.next;
+  }
+  if (entry.next != kNil) entries_[entry.next].prev = entry.prev;
+  entry.slot = kNil;
+  entry.prev = kNil;
+  entry.next = kNil;
+}
+
+std::uint32_t TimerWheel::take_slot(std::size_t level, std::size_t slot) {
+  const std::size_t flat = slot_index(level, slot);
+  const std::uint32_t head = slots_[flat];
+  slots_[flat] = kNil;
+  // Detach every node so release()/place() see a clean state; `next`
+  // links are preserved for the caller's walk.
+  for (std::uint32_t i = head; i != kNil; i = entries_[i].next) {
+    entries_[i].slot = kNil;
+    entries_[i].prev = kNil;
+  }
+  return head;
+}
+
+void TimerWheel::cascade_for(std::uint64_t tick) {
+  // Level L's slot advances once every 2^(L*slot_bits) ticks; when it
+  // does, its occupants re-place into finer levels (or level 0's slot
+  // for this exact tick, which the caller drains right after).
+  for (std::size_t level = 1; level < config_.levels; ++level) {
+    const std::uint64_t period = std::uint64_t{1}
+                                 << (level * config_.slot_bits);
+    if ((tick & (period - 1)) != 0) break;
+    std::uint32_t index = take_slot(level, level_slot(level, tick));
+    while (index != kNil) {
+      const std::uint32_t next = entries_[index].next;
+      entries_[index].next = kNil;
+      place(index);
+      index = next;
+    }
+  }
+}
+
+TimerWheel::TimerId TimerWheel::schedule(SimTime deadline,
+                                         std::uint64_t data) {
+  const std::uint32_t index = acquire();
+  Entry& entry = entries_[index];
+  entry.deadline = deadline;
+  entry.data = data;
+  ++active_;
+  place(index);
+  return make_id(index, entry.generation);
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  if (id == kInvalidTimer) return false;
+  const std::uint32_t index = static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
+  if (index >= entries_.size()) return false;
+  Entry& entry = entries_[index];
+  if (entry.slot == kNil) return false;  // free or mid-fire
+  if (entry.generation != static_cast<std::uint32_t>(id >> 32)) return false;
+  unlink(index);
+  release(index);
+  return true;
+}
+
+TimerWheel::TimerId TimerWheel::reschedule(TimerId id, SimTime deadline,
+                                           std::uint64_t data) {
+  cancel(id);
+  return schedule(deadline, data);
+}
+
+}  // namespace wm::util

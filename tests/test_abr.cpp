@@ -115,8 +115,9 @@ TEST(Abr, AttackUnaffectedEndToEnd) {
   victim_config.seed = 9950;
   victim_config.streaming.adaptive_bitrate = true;
   const auto victim = simulate_session(graph, alternating, victim_config);
+  engine::VectorSource source(&victim.capture.packets);
   const auto score =
-      core::score_session(victim.truth, attack.infer(victim.capture.packets));
+      core::score_session(victim.truth, attack.infer(source).combined);
   EXPECT_GE(score.choices_correct + 1, score.questions_truth);
   EXPECT_TRUE(score.question_count_match);
 }

@@ -112,7 +112,8 @@ TEST(Behavior, ProfilesComputableFromAttackOutput) {
   config.seed = 5700;
   const auto victim = sim::simulate_session(
       graph, std::vector<Choice>(13, Choice::kNonDefault), config);
-  const auto inferred = attack.infer(victim.capture.packets);
+  engine::VectorSource source(&victim.capture.packets);
+  const auto inferred = attack.infer(source).combined;
   const auto profile =
       profile_viewer(graph, inferred.choices(), default_trait_rules());
   EXPECT_GT(profile.exploration_rate, 0.9);

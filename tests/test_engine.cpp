@@ -110,6 +110,19 @@ TEST(Engine, ShardedOutputIdenticalToBatchForEveryShardCount) {
   const InferredSession golden_combined = decode_choices(
       pipeline.classifier(), extract_client_records(merged.packets));
 
+  // Per-viewer golden reference: the inline (shards=0) run; every other
+  // shard count must reproduce it exactly.
+  std::map<std::string, InferredSession> golden_per_client;
+  {
+    engine::VectorSource source(&merged.packets);
+    InferOptions options;
+    options.shards = 0;
+    options.per_client = true;
+    for (auto& [client, session] : pipeline.infer(source, options).per_client) {
+      golden_per_client.emplace(client, std::move(session));
+    }
+  }
+
   for (const std::size_t shards : {std::size_t{0}, std::size_t{1}, std::size_t{2},
                                    std::size_t{3}, std::size_t{4}, std::size_t{8}}) {
     engine::VectorSource source(&merged.packets);
@@ -123,10 +136,9 @@ TEST(Engine, ShardedOutputIdenticalToBatchForEveryShardCount) {
     EXPECT_EQ(report.stats.packets_in, merged.packets.size()) << context;
     EXPECT_EQ(report.per_client.size(), merged.clients.size()) << context;
 
-    // Per-viewer output must be identical to the batch per-client path.
-    const auto batch_per_client = pipeline.infer_per_client(merged.packets);
-    ASSERT_EQ(report.per_client.size(), batch_per_client.size()) << context;
-    for (const auto& [client, session] : batch_per_client) {
+    // Per-viewer output must be identical to the inline per-client path.
+    ASSERT_EQ(report.per_client.size(), golden_per_client.size()) << context;
+    for (const auto& [client, session] : golden_per_client) {
       ASSERT_TRUE(report.per_client.count(client)) << context << " " << client;
       expect_sessions_identical(report.per_client.at(client), session,
                                 context + " client " + client);
@@ -167,10 +179,11 @@ TEST(Engine, SinkStreamsPerViewerUpdates) {
   InferOptions options;
   options.shards = 2;
   options.per_client = true;
-  options.sink = [&](const engine::ViewerUpdate& update) {
+  engine::CallbackSink sink([&](const engine::ViewerUpdate& update) {
     const std::lock_guard<std::mutex> lock(mutex);
     updates[update.client].push_back(update);
-  };
+  });
+  options.sink = &sink;
 
   engine::VectorSource source(&merged.packets);
   const InferReport report = pipeline.infer(source, options);
@@ -209,10 +222,10 @@ TEST(Engine, SlowConsumerBackpressureLosesNothing) {
   config.shards = 2;
   config.dispatch_batch = 8;
   config.queue_capacity = 1;  // rounds up to the 2-slot ring minimum
-  engine::SessionSink sink = [](const engine::ViewerUpdate&) {
+  engine::CallbackSink sink([](const engine::ViewerUpdate&) {
     std::this_thread::sleep_for(std::chrono::microseconds(300));
-  };
-  engine::ShardedFlowEngine engine(pipeline.classifier(), config, sink);
+  });
+  engine::ShardedFlowEngine engine(pipeline.classifier(), config, &sink);
   engine::VectorSource source(&merged.packets);
   EXPECT_EQ(engine.consume(source), merged.packets.size());
   const engine::EngineResult result = engine.finish();
@@ -382,7 +395,8 @@ TEST(EngineResultApi, ValidCaptureRoundTripsThroughFileSource) {
 
   const auto from_file = pipeline.infer_capture(path);
   ASSERT_TRUE(from_file.ok()) << from_file.error().to_string();
-  const InferredSession from_memory = pipeline.infer(session.capture.packets);
+  engine::VectorSource memory_source(&session.capture.packets);
+  const InferredSession from_memory = pipeline.infer(memory_source).combined;
   expect_sessions_identical(from_file->combined, from_memory, "file vs memory");
 
   std::filesystem::remove(path);

@@ -56,8 +56,8 @@ TEST_P(PipelineStorySweep, AttackGeneralizesAcrossScripts) {
   sim::SessionConfig config;
   config.seed = GetParam().story_seed * 7 + 99;
   const auto victim = sim::simulate_session(graph, victim_choices, config);
-  const auto score =
-      score_session(victim.truth, attack.infer(victim.capture.packets));
+  engine::VectorSource source(&victim.capture.packets);
+  const auto score = score_session(victim.truth, attack.infer(source).combined);
   // Allow at most one band-edge miss (the statistical tail studied in
   // result_accuracy); everything else must decode.
   EXPECT_GE(score.choices_correct + 1, score.questions_truth)

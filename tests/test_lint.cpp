@@ -266,6 +266,29 @@ void f() {
   ASSERT_TRUE(has_rule(result, "nodiscard"));
 }
 
+TEST(LintNodiscard, BareMonitorEntryPointsAreFlagged) {
+  // The live-source entry points joined the bare-call list: a bare
+  // try_inject loses the packet on a full tap, a bare read_batch
+  // cannot see end-of-stream.
+  const auto dropped = lint_one("examples/live_monitor.cpp", R"(
+void f(Tap& tap, Source& source, Batch& batch) {
+  tap.try_inject(packet);
+  source.read_batch(batch, 256);
+}
+)");
+  ASSERT_TRUE(has_rule(dropped, "nodiscard"));
+  EXPECT_EQ(dropped.diagnostics.size(), 2u);
+
+  const auto consumed = lint_one("examples/live_monitor.cpp", R"(
+void f(Tap& tap, Source& source, Batch& batch) {
+  while (!tap.try_inject(packet)) drain(tap);
+  const std::size_t count = source.read_batch(batch, 256);
+  use(count);
+}
+)");
+  EXPECT_TRUE(consumed.diagnostics.empty());
+}
+
 TEST(LintNodiscard, ConsumedKnownCallIsClean) {
   const auto result = lint_one("tests/test_engine.cpp", R"(
 void f() {

@@ -82,7 +82,10 @@ TEST(MultiViewer, ClientsSeparatedAndDecoded) {
   const AttackPipeline pipeline = calibrated_pipeline(graph);
   const MergedCapture merged = make_merged_capture(graph);
 
-  const auto per_client = pipeline.infer_per_client(merged.packets);
+  engine::VectorSource source(&merged.packets);
+  InferOptions options;
+  options.per_client = true;
+  const auto per_client = pipeline.infer(source, options).per_client;
   ASSERT_EQ(per_client.size(), 2u);
   ASSERT_TRUE(per_client.count(merged.client_a));
   ASSERT_TRUE(per_client.count(merged.client_b));
@@ -105,7 +108,8 @@ TEST(MultiViewer, MergedDecodeWithoutSeparationGarbles) {
   const AttackPipeline pipeline = calibrated_pipeline(graph);
   const MergedCapture merged = make_merged_capture(graph);
 
-  const InferredSession combined = pipeline.infer(merged.packets);
+  engine::VectorSource source(&merged.packets);
+  const InferredSession combined = pipeline.infer(source).combined;
   const std::size_t total_truth_questions =
       merged.truth_a.questions.size() + merged.truth_b.questions.size();
   // The combined decode sees all uploads from both viewers...
@@ -123,8 +127,11 @@ TEST(MultiViewer, NonViewerClientsFiltered) {
   // Build a capture of pure cross traffic by taking a session capture
   // and dropping its CDN/API flows via a fresh simulation with zero
   // choices and no questions encountered... simplest: empty capture.
-  const auto per_client = pipeline.infer_per_client({});
-  EXPECT_TRUE(per_client.empty());
+  const std::vector<net::Packet> empty;
+  engine::VectorSource source(&empty);
+  InferOptions options;
+  options.per_client = true;
+  EXPECT_TRUE(pipeline.infer(source, options).per_client.empty());
 }
 
 }  // namespace

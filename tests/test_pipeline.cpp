@@ -37,6 +37,14 @@ std::vector<Choice> alternating(std::size_t n) {
   return out;
 }
 
+/// Whole-capture decode of an in-memory packet vector through the
+/// single options-based entry point.
+InferredSession infer_combined(const AttackPipeline& attack,
+                               const std::vector<net::Packet>& packets) {
+  engine::VectorSource source(&packets);
+  return attack.infer(source).combined;
+}
+
 class PipelinePerCondition
     : public ::testing::TestWithParam<sim::OperationalConditions> {};
 
@@ -65,7 +73,7 @@ TEST_P(PipelinePerCondition, RecoversAllChoices) {
                                    Choice::kDefault, Choice::kDefault,
                                    Choice::kDefault},
                2002);
-  const InferredSession inferred = attack.infer(victim.capture.packets);
+  const InferredSession inferred = infer_combined(attack, victim.capture.packets);
   const SessionScore score = score_session(victim.truth, inferred);
   // The paper reports 96% worst-case, not 100%: rare band-edge samples
   // outside the calibrated interval are expected.
@@ -123,7 +131,7 @@ TEST(Pipeline, KnnAndNbAlsoRecover) {
   for (const char* name : {"knn", "gaussian-nb"}) {
     AttackPipeline attack(name);
     attack.calibrate(calibration);
-    const InferredSession inferred = attack.infer(victim.capture.packets);
+    const InferredSession inferred = infer_combined(attack, victim.capture.packets);
     const SessionScore score = score_session(victim.truth, inferred);
     EXPECT_GE(score.choice_accuracy, 0.75) << name;
   }
@@ -146,7 +154,7 @@ TEST(Pipeline, WorksOnGeneratedStories) {
   attack.calibrate(calibration);
 
   const auto victim = simulate(graph, conditions, alternating(10), 4010);
-  const InferredSession inferred = attack.infer(victim.capture.packets);
+  const InferredSession inferred = infer_combined(attack, victim.capture.packets);
   const SessionScore score = score_session(victim.truth, inferred);
   // At most one band-edge miss.
   EXPECT_GE(score.choices_correct + 1, score.questions_truth);
@@ -198,16 +206,17 @@ TEST(Pipeline, PcapRoundTripPreservesInference) {
   AttackPipeline attack("interval");
   attack.calibrate({CalibrationSession{calib.capture.packets, calib.truth}});
 
-  const auto direct = attack.infer(victim.capture.packets);
+  const auto direct = infer_combined(attack, victim.capture.packets);
 
   const auto path = std::filesystem::temp_directory_path() / "wm_victim.pcap";
   net::write_pcap(path, victim.capture.packets);
-  const auto from_disk = attack.infer_pcap(path);
+  const auto from_disk = attack.infer_capture(path);
   std::filesystem::remove(path);
 
-  ASSERT_EQ(direct.questions.size(), from_disk.questions.size());
+  ASSERT_TRUE(from_disk.ok()) << from_disk.error().to_string();
+  ASSERT_EQ(direct.questions.size(), from_disk->combined.questions.size());
   for (std::size_t i = 0; i < direct.questions.size(); ++i) {
-    EXPECT_EQ(direct.questions[i].choice, from_disk.questions[i].choice);
+    EXPECT_EQ(direct.questions[i].choice, from_disk->combined.questions[i].choice);
   }
 }
 
@@ -215,8 +224,8 @@ TEST(Pipeline, UncalibratedPipelineState) {
   AttackPipeline attack("interval");
   EXPECT_FALSE(attack.calibrated());
   // An empty capture yields an empty inference without touching the
-  // (unfitted) classifier; a non-empty one throws.
-  EXPECT_TRUE(attack.infer({}).questions.empty());
+  // (unfitted) classifier.
+  EXPECT_TRUE(infer_combined(attack, {}).questions.empty());
 }
 
 // --- bitrate baseline (ablation A2) -------------------------------------
@@ -258,11 +267,11 @@ TEST(BitrateBaseline, FailsIntraVideo) {
   EXPECT_GT(total, 10u);
 }
 
-// --- Deprecated wrapper equivalence ---------------------------------
-// The historic entry points are documented as thin shims over
-// infer(PacketSource&, InferOptions); these tests hold them to it,
-// byte for byte, so the deprecation path cannot silently fork
-// behaviour from the options-based API.
+// --- Options API contract -------------------------------------------
+// The historic vector/path wrapper overloads are retired; every
+// capability they provided must be reachable — with identical
+// results — through infer(PacketSource&, InferOptions) /
+// infer_capture().
 
 void expect_equal_sessions(const InferredSession& a, const InferredSession& b,
                            const std::string& context) {
@@ -317,76 +326,94 @@ AttackPipeline wrapper_test_pipeline(const story::StoryGraph& graph) {
   return pipeline;
 }
 
-TEST(DeprecatedWrappers, InferVectorMatchesOptionsApi) {
+TEST(OptionsApi, PerClientSplitsViewersAndMatchesCombined) {
   const story::StoryGraph graph = story::make_bandersnatch();
   const AttackPipeline pipeline = wrapper_test_pipeline(graph);
   const auto packets = two_viewer_capture(graph);
 
-  const InferredSession via_wrapper = pipeline.infer(packets);
-  engine::VectorSource source(&packets);
-  const InferReport via_options = pipeline.infer(source);
-  expect_equal_sessions(via_wrapper, via_options.combined,
-                        "infer(vector) vs infer(source)");
-}
-
-TEST(DeprecatedWrappers, InferPerClientMatchesOptionsApi) {
-  const story::StoryGraph graph = story::make_bandersnatch();
-  const AttackPipeline pipeline = wrapper_test_pipeline(graph);
-  const auto packets = two_viewer_capture(graph);
-
-  const auto via_wrapper = pipeline.infer_per_client(packets);
   engine::VectorSource source(&packets);
   InferOptions options;
   options.per_client = true;
-  const InferReport via_options = pipeline.infer(source, options);
+  const InferReport report = pipeline.infer(source, options);
+  ASSERT_EQ(report.per_client.size(), 2u);
 
-  ASSERT_EQ(via_wrapper.size(), via_options.per_client.size());
-  ASSERT_EQ(via_wrapper.size(), 2u);
-  for (const auto& [client, session] : via_wrapper) {
-    ASSERT_TRUE(via_options.per_client.count(client)) << client;
-    expect_equal_sessions(session, via_options.per_client.at(client),
-                          "infer_per_client vs options, client " + client);
+  // The per-client split is a refinement of the combined decode, not a
+  // different algorithm: question totals add up.
+  std::size_t split_questions = 0;
+  for (const auto& [client, session] : report.per_client) {
+    split_questions += session.questions.size();
   }
+  EXPECT_EQ(split_questions, report.combined.questions.size());
+
+  // And re-running without per_client yields an identical combined view.
+  engine::VectorSource again(&packets);
+  expect_equal_sessions(report.combined, pipeline.infer(again).combined,
+                        "per_client on vs off, combined view");
 }
 
-TEST(DeprecatedWrappers, InferPcapMatchesInferCapture) {
+TEST(OptionsApi, InferCaptureMatchesInMemory) {
   const story::StoryGraph graph = story::make_bandersnatch();
   const AttackPipeline pipeline = wrapper_test_pipeline(graph);
   const auto packets = two_viewer_capture(graph);
 
   const auto path =
-      std::filesystem::temp_directory_path() / "wm_wrapper_equiv.pcap";
+      std::filesystem::temp_directory_path() / "wm_options_equiv.pcap";
   net::write_pcap(path, packets);
 
-  const InferredSession via_wrapper = pipeline.infer_pcap(path);
   const auto via_capture = pipeline.infer_capture(path);
   ASSERT_TRUE(via_capture.ok()) << via_capture.error().to_string();
-  expect_equal_sessions(via_wrapper, via_capture->combined,
-                        "infer_pcap vs infer_capture");
-
-  // And both match the in-memory options API on the same packets.
   engine::VectorSource source(&packets);
-  expect_equal_sessions(via_wrapper, pipeline.infer(source).combined,
-                        "infer_pcap vs infer(source)");
+  expect_equal_sessions(via_capture->combined, pipeline.infer(source).combined,
+                        "infer_capture vs infer(source)");
 
-  // The legacy throwing contract still holds for failures.
-  EXPECT_THROW((void)pipeline.infer_pcap("/nonexistent/nowhere.pcap"),
-               std::runtime_error);
+  // Open-time failures are typed, not thrown.
+  const auto missing = pipeline.infer_capture("/nonexistent/nowhere.pcap");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, ErrorCode::kNotFound);
   std::filesystem::remove(path);
 }
 
-TEST(DeprecatedWrappers, WrappersReportIntoInstalledRegistry) {
-  // The wrappers forward through infer(), so a registry installed with
-  // set_metrics() observes their runs too — no instrumentation gap for
-  // unconverted call sites.
+TEST(OptionsApi, SourceErrorsAreCountedNotThrown) {
+  // A tap that dies mid-capture must not take the analysis down with
+  // it: infer() keeps what decoded, and reports the failure through
+  // EngineStats::source_errors instead of throwing.
+  const story::StoryGraph graph = story::make_bandersnatch();
+  const AttackPipeline pipeline = wrapper_test_pipeline(graph);
+  const auto packets = two_viewer_capture(graph);
+
+  const auto path =
+      std::filesystem::temp_directory_path() / "wm_truncated.pcap";
+  net::write_pcap(path, packets);
+  // Chop into the middle of the final record: the stream ends in a
+  // typed error after most packets delivered.
+  const auto full_size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full_size - 7);
+
+  auto source = engine::open_capture(path);
+  ASSERT_TRUE(source.ok()) << source.error().to_string();
+  const InferReport report = pipeline.infer(**source);
+  EXPECT_EQ(report.stats.source_errors, 1u);
+  EXPECT_TRUE((*source)->error().has_value());
+  // The healthy prefix still decoded.
+  EXPECT_FALSE(report.combined.questions.empty());
+  std::filesystem::remove(path);
+}
+
+TEST(OptionsApi, InferReportsIntoInstalledRegistry) {
+  // A registry installed with set_metrics() observes every infer run
+  // that does not override it per call.
   const story::StoryGraph graph = story::make_bandersnatch();
   AttackPipeline pipeline = wrapper_test_pipeline(graph);
   const auto packets = two_viewer_capture(graph);
 
   obs::Registry registry;
   pipeline.set_metrics(&registry);
-  (void)pipeline.infer(packets);
-  (void)pipeline.infer_per_client(packets);
+  engine::VectorSource first(&packets);
+  (void)pipeline.infer(first);
+  engine::VectorSource second(&packets);
+  InferOptions options;
+  options.per_client = true;
+  (void)pipeline.infer(second, options);
   pipeline.set_metrics(nullptr);
 
   const obs::Snapshot snap = registry.snapshot();

@@ -141,6 +141,104 @@ TEST(SpscRing, ProducerConsumerStressPreservesEverySequenceElement) {
   }
 }
 
+TEST(SpscRing, BatchPushAcceptsUpToFreeSpace) {
+  SpscRing<std::uint64_t> ring(8);
+  std::uint64_t values[12];
+  for (std::uint64_t i = 0; i < 12; ++i) values[i] = i;
+
+  // 12 offered into an empty 8-slot ring: exactly the free space lands.
+  EXPECT_EQ(ring.try_push_n(values, 12), 8u);
+  EXPECT_EQ(ring.size_approx(), 8u);
+  EXPECT_EQ(ring.try_push_n(values + 8, 4), 0u);  // full: nothing moves
+
+  // Drain three, and the next batch fits exactly that partial window.
+  std::uint64_t out = 0;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(ring.try_push_n(values + 8, 4), 3u);
+  EXPECT_EQ(ring.size_approx(), 8u);
+  // FIFO across the batched pushes: 3..7 then 8..10.
+  for (std::uint64_t expect = 3; expect <= 10; ++expect) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, expect);
+  }
+  EXPECT_EQ(ring.try_pop_n(&out, 1), 0u);  // empty again
+}
+
+TEST(SpscRing, BatchPopTakesUpToAvailable) {
+  SpscRing<std::uint64_t> ring(8);
+  std::uint64_t out[8] = {};
+  EXPECT_EQ(ring.try_pop_n(out, 8), 0u);  // empty ring: nothing
+  EXPECT_EQ(ring.try_pop_n(out, 0), 0u);  // zero-max is a no-op
+
+  std::uint64_t values[5] = {10, 11, 12, 13, 14};
+  ASSERT_EQ(ring.try_push_n(values, 5), 5u);
+  // Ask for more than is queued: get exactly what was there, in order.
+  EXPECT_EQ(ring.try_pop_n(out, 8), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(out[i], 10 + i);
+  EXPECT_EQ(ring.size_approx(), 0u);
+}
+
+TEST(SpscRing, BlockingBatchPushStopsShortOnClose) {
+  SpscRing<std::uint64_t> ring(4);
+  std::uint64_t values[6] = {0, 1, 2, 3, 4, 5};
+  std::atomic<std::size_t> accepted{0};
+  std::thread producer([&] {
+    // 6 into a 4-slot ring with no consumer: parks after 4, then the
+    // close unblocks it with a short count.
+    accepted.store(ring.push_n(values, 6));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ring.close();
+  producer.join();
+  EXPECT_EQ(accepted.load(), 4u);
+  // The queued prefix still drains after close.
+  std::uint64_t out[6] = {};
+  EXPECT_EQ(ring.try_pop_n(out, 6), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(SpscRing, BatchedProducerConsumerPreservesSequence) {
+  // Same guarantee as the per-item stress pass, but moving data through
+  // try_push_n/push_n and try_pop_n in uneven batch sizes so the batch
+  // windows wrap the (deliberately tiny) ring at staggered phases.
+  constexpr std::uint64_t kCount = 200'000;
+  SpscRing<std::uint64_t> ring(16);
+  std::vector<std::uint64_t> received;
+  received.reserve(kCount);
+
+  std::thread consumer([&] {
+    std::uint64_t chunk[7];
+    for (;;) {
+      const std::size_t n = ring.try_pop_n(chunk, 7);
+      if (n == 0) {
+        std::uint64_t one = 0;
+        if (!ring.pop(one)) break;  // parks; false = closed + drained
+        received.push_back(one);
+        continue;
+      }
+      received.insert(received.end(), chunk, chunk + n);
+    }
+  });
+
+  std::uint64_t next = 0;
+  std::uint64_t batch[5];
+  while (next < kCount) {
+    std::size_t fill = 0;
+    while (fill < 5 && next < kCount) batch[fill++] = next++;
+    ASSERT_EQ(ring.push_n(batch, fill), fill);
+  }
+  ring.close();
+  consumer.join();
+
+  ASSERT_EQ(received.size(), kCount);
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(received[i], i) << "reordered at " << i;
+  }
+}
+
 TEST(SpscRing, MovesValuesThroughWithoutCopying) {
   SpscRing<std::unique_ptr<int>> ring(4);
   EXPECT_TRUE(ring.push(std::make_unique<int>(7)));

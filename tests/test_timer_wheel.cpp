@@ -1,0 +1,212 @@
+// Hierarchical timing wheel: ordering, cascade correctness across
+// levels, cancel/reschedule semantics, long-idle wraparound parking,
+// and re-entrant scheduling from fire callbacks.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "wm/util/timer_wheel.hpp"
+
+namespace wm::util {
+namespace {
+
+struct Fired {
+  TimerWheel::TimerId id;
+  std::uint64_t data;
+  SimTime deadline;
+  SimTime wheel_now;  // wheel position when the callback ran
+};
+
+/// Advance and record every fire with the wheel position it ran at.
+std::vector<Fired> advance_collect(TimerWheel& wheel, SimTime now) {
+  std::vector<Fired> fired;
+  wheel.advance(now, [&](TimerWheel::TimerId id, std::uint64_t data,
+                         SimTime deadline) {
+    fired.push_back(Fired{id, data, deadline, wheel.now()});
+  });
+  return fired;
+}
+
+TimerWheel::Config small_wheel() {
+  TimerWheel::Config config;
+  config.tick = Duration::millis(10);
+  config.slot_bits = 4;  // 16 slots per level
+  config.levels = 3;     // horizon: 16^3 = 4096 ticks = 40.96 s
+  return config;
+}
+
+TEST(TimerWheel, FiresInDeadlineOrderAndNeverEarly) {
+  TimerWheel wheel(small_wheel());
+  // Deliberately scheduled out of order, including duplicates.
+  const std::vector<std::int64_t> deadlines_ms{470, 30, 250, 30, 1210, 90};
+  for (std::size_t i = 0; i < deadlines_ms.size(); ++i) {
+    wheel.schedule(SimTime::from_nanos(deadlines_ms[i] * 1'000'000),
+                   /*data=*/i);
+  }
+  EXPECT_EQ(wheel.active(), deadlines_ms.size());
+
+  std::vector<Fired> fired;
+  // Advance in small irregular increments; every timer must fire at a
+  // wheel position >= its deadline (never early), in deadline order.
+  for (std::int64_t ms = 7; ms <= 1400; ms += 7) {
+    for (const Fired& f : advance_collect(
+             wheel, SimTime::from_nanos(ms * 1'000'000))) {
+      fired.push_back(f);
+    }
+  }
+  ASSERT_EQ(fired.size(), deadlines_ms.size());
+  EXPECT_EQ(wheel.active(), 0u);
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_GE(fired[i].wheel_now.nanos(), fired[i].deadline.nanos()) << i;
+    // At most one tick (10ms) plus the 7ms advance stride late.
+    EXPECT_LE(fired[i].wheel_now.nanos() - fired[i].deadline.nanos(),
+              20 * 1'000'000) << i;
+    if (i > 0) {
+      EXPECT_GE(fired[i].deadline.nanos(), fired[i - 1].deadline.nanos()) << i;
+    }
+  }
+}
+
+TEST(TimerWheel, CascadeDeliversAcrossEveryLevel) {
+  // One timer per level of the hierarchy: level 0 (< 16 ticks), level 1
+  // (< 256 ticks), level 2 (< 4096 ticks). Each must survive the
+  // cascade down and fire exactly once, on time.
+  TimerWheel wheel(small_wheel());
+  const std::vector<std::int64_t> deadlines_ms{50, 1700, 29'000};
+  for (std::size_t i = 0; i < deadlines_ms.size(); ++i) {
+    wheel.schedule(SimTime::from_nanos(deadlines_ms[i] * 1'000'000), i);
+  }
+
+  std::map<std::uint64_t, int> count;
+  for (std::int64_t ms = 100; ms <= 30'000; ms += 100) {
+    for (const Fired& f : advance_collect(
+             wheel, SimTime::from_nanos(ms * 1'000'000))) {
+      ++count[f.data];
+      EXPECT_GE(f.wheel_now.nanos(), f.deadline.nanos());
+    }
+  }
+  ASSERT_EQ(count.size(), 3u);
+  for (const auto& [data, n] : count) EXPECT_EQ(n, 1) << "timer " << data;
+}
+
+TEST(TimerWheel, LongIdleWraparoundParksAndStillFires) {
+  // A deadline beyond the whole wheel's horizon (40.96s here) parks in
+  // the top level's furthest slot and must re-cascade — possibly
+  // several laps — instead of firing at the horizon or vanishing.
+  TimerWheel wheel(small_wheel());
+  const SimTime deadline = SimTime::from_seconds(130.0);  // ~3.2 horizons
+  wheel.schedule(deadline, 77);
+
+  std::vector<Fired> fired;
+  for (std::int64_t s = 1; s <= 140; ++s) {
+    for (const Fired& f :
+         advance_collect(wheel, SimTime::from_seconds(double(s)))) {
+      fired.push_back(f);
+    }
+  }
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].data, 77u);
+  EXPECT_GE(fired[0].wheel_now.nanos(), deadline.nanos());
+  EXPECT_LE(fired[0].wheel_now.nanos() - deadline.nanos(),
+            Duration::seconds(1).total_nanos() + 10'000'000);
+}
+
+TEST(TimerWheel, EmptyWheelJumpsWithoutCranking) {
+  // With nothing armed, a huge advance is O(1); timers scheduled after
+  // the jump still fire relative to the new position.
+  TimerWheel wheel(small_wheel());
+  EXPECT_EQ(advance_collect(wheel, SimTime::from_seconds(3600.0)).size(), 0u);
+  EXPECT_GE(wheel.now().nanos(), SimTime::from_seconds(3599.9).nanos());
+
+  wheel.schedule(SimTime::from_seconds(3600.5), 5);
+  const auto fired = advance_collect(wheel, SimTime::from_seconds(3601.0));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].data, 5u);
+}
+
+TEST(TimerWheel, CancelDisarmsAndStaleIdsAreSafe) {
+  TimerWheel wheel(small_wheel());
+  const auto keep = wheel.schedule(SimTime::from_nanos(100'000'000), 1);
+  const auto drop = wheel.schedule(SimTime::from_nanos(100'000'000), 2);
+  EXPECT_EQ(wheel.active(), 2u);
+
+  EXPECT_TRUE(wheel.cancel(drop));
+  EXPECT_FALSE(wheel.cancel(drop));  // double-cancel: no-op
+  EXPECT_FALSE(wheel.cancel(TimerWheel::kInvalidTimer));
+  EXPECT_EQ(wheel.active(), 1u);
+
+  auto fired = advance_collect(wheel, SimTime::from_nanos(200'000'000));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].data, 1u);
+  // The fired id is stale now; cancelling it must not disturb a new
+  // timer that recycled the same arena slot (generation tag).
+  const auto recycled = wheel.schedule(SimTime::from_nanos(300'000'000), 3);
+  EXPECT_FALSE(wheel.cancel(keep));
+  EXPECT_EQ(wheel.active(), 1u);
+  fired = advance_collect(wheel, SimTime::from_nanos(400'000'000));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].data, 3u);
+  EXPECT_EQ(fired[0].id, recycled);
+}
+
+TEST(TimerWheel, RescheduleMovesDeadline) {
+  TimerWheel wheel(small_wheel());
+  auto id = wheel.schedule(SimTime::from_nanos(50'000'000), 9);
+  // Push it out; the original deadline must not fire.
+  id = wheel.reschedule(id, SimTime::from_nanos(900'000'000), 9);
+  EXPECT_EQ(wheel.active(), 1u);
+  EXPECT_EQ(advance_collect(wheel, SimTime::from_nanos(500'000'000)).size(),
+            0u);
+  // Pull a fresh timer in; reschedule with kInvalidTimer is a schedule.
+  const auto other =
+      wheel.reschedule(TimerWheel::kInvalidTimer,
+                       SimTime::from_nanos(600'000'000), 10);
+  EXPECT_NE(other, TimerWheel::kInvalidTimer);
+  const auto fired = advance_collect(wheel, SimTime::from_nanos(1'000'000'000));
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0].data, 10u);
+  EXPECT_EQ(fired[1].data, 9u);
+}
+
+TEST(TimerWheel, CallbackMaySchedulePastAndFutureTimers) {
+  // A callback scheduling at/behind the in-flight tick fires within the
+  // same advance() (the slot is re-drained); one scheduling ahead waits.
+  TimerWheel wheel(small_wheel());
+  wheel.schedule(SimTime::from_nanos(100'000'000), 0);
+
+  std::vector<std::uint64_t> order;
+  wheel.advance(SimTime::from_nanos(200'000'000),
+                [&](TimerWheel::TimerId, std::uint64_t data, SimTime) {
+                  order.push_back(data);
+                  if (data == 0) {
+                    // Behind the wheel: fires this same advance.
+                    wheel.schedule(SimTime::from_nanos(50'000'000), 1);
+                    // Ahead of the wheel: must wait for the next call.
+                    wheel.schedule(SimTime::from_nanos(900'000'000), 2);
+                  }
+                });
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{0, 1}));
+  EXPECT_EQ(wheel.active(), 1u);
+  const auto later = advance_collect(wheel, SimTime::from_nanos(1'000'000'000));
+  ASSERT_EQ(later.size(), 1u);
+  EXPECT_EQ(later[0].data, 2u);
+}
+
+TEST(TimerWheel, MemoryAccountingGrowsWithArena) {
+  TimerWheel wheel(small_wheel());
+  const std::size_t baseline = wheel.memory_bytes();
+  std::vector<TimerWheel::TimerId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(wheel.schedule(SimTime::from_seconds(1.0 + i * 0.001),
+                                 static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_GT(wheel.memory_bytes(), baseline);
+  EXPECT_EQ(wheel.active(), 1000u);
+  for (const auto id : ids) EXPECT_TRUE(wheel.cancel(id));
+  EXPECT_EQ(wheel.active(), 0u);
+}
+
+}  // namespace
+}  // namespace wm::util

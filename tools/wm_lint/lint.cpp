@@ -407,12 +407,15 @@ class Linter {
     rule_nodiscard_calls();
   }
 
-  // Known Result-returning entry points called as bare statements: the
-  // error channel is silently dropped. Belt-and-braces over the class
-  // attribute (which only warns) — the lint run fails hard.
+  // Known entry points whose return value IS the error/progress
+  // channel, called as bare statements: open_capture/infer_capture
+  // drop a Result, a bare try_inject silently loses the packet on a
+  // full tap, a bare read_batch cannot see end-of-stream. Belt-and-
+  // braces over the [[nodiscard]] attributes (which only warn) — the
+  // lint run fails hard.
   void rule_nodiscard_calls() {
     static const std::regex kBareCall(
-        R"(^\s*(?:[\w:]+(?:\.|->))?(open_capture|infer_capture)\s*\()");
+        R"(^\s*(?:[\w:]+(?:\.|->))?(open_capture|infer_capture|try_inject|read_batch)\s*\()");
     for (std::size_t i = 0; i < scan_.lines.size(); ++i) {
       const std::string& code = scan_.lines[i].code;
       std::smatch m;
@@ -421,8 +424,8 @@ class Linter {
       if (code.find("return") != std::string::npos) continue;
       if (code.find("void") != std::string::npos) continue;
       report("nodiscard", i,
-             "result of " + m[1].str() + "() discarded — consume the "
-             "Result or bind it to a named value");
+             "result of " + m[1].str() + "() discarded — bind it to a "
+             "named value and consume it");
     }
   }
 
