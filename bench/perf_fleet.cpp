@@ -1,0 +1,238 @@
+// perf_fleet — MonitorFleet shard-scaling curve.
+//
+// Streams one synthetic monitoring workload (wm::monitor::
+// SyntheticFleetSource) through a single ContinuousMonitor and through
+// MonitorFleet at 1/2/4/8 shards, and reports wall throughput plus the
+// quantity the shard design actually controls: per-shard load balance.
+//
+//   perf_fleet [--sessions 2000] [--json BENCH_pr7.json] [--smoke]
+//
+// Two speedup figures are emitted per shard count:
+//   * wall: end-to-end packets/sec vs the single monitor. Only
+//     meaningful on a machine with that many hardware threads —
+//     "hardware_threads" is recorded alongside so a 1-core CI box
+//     can't masquerade as a scaling proof.
+//   * ideal: total packets / max per-shard packets — the critical-path
+//     bound the viewer-hash partition admits. This is what the fleet's
+//     merge-free design converts into wall speedup once cores exist;
+//     it is measured, not assumed, from the real partition skew.
+//
+// --smoke shrinks the workload and self-validates the JSON (CI mode).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "wm/core/classifier.hpp"
+#include "wm/monitor/fleet.hpp"
+#include "wm/monitor/monitor.hpp"
+#include "wm/monitor/workload.hpp"
+#include "wm/util/cli.hpp"
+#include "wm/util/json.hpp"
+
+using namespace wm;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void require(bool condition, const std::string& what) {
+  if (!condition) throw std::runtime_error(what);
+}
+
+monitor::MonitorConfig bench_monitor_config() {
+  monitor::MonitorConfig config;
+  config.evidence_window = util::Duration::seconds(5);
+  config.viewer_idle_timeout = util::Duration::seconds(30);
+  config.flow_idle_timeout = util::Duration::seconds(20);
+  config.max_total_bytes = 64u << 20;
+  return config;
+}
+
+struct FleetRun {
+  double seconds = 0.0;
+  std::uint64_t packets = 0;
+  std::vector<std::uint64_t> shard_packets;
+
+  [[nodiscard]] double packets_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(packets) / seconds : 0.0;
+  }
+  /// Critical-path bound: with per-viewer partitioning the slowest
+  /// shard gates the fleet, so total/max is the speedup the partition
+  /// admits on sufficient cores.
+  [[nodiscard]] double ideal_speedup() const {
+    std::uint64_t max_shard = 0;
+    for (const std::uint64_t count : shard_packets)
+      max_shard = std::max(max_shard, count);
+    return max_shard > 0
+               ? static_cast<double>(packets) / static_cast<double>(max_shard)
+               : 0.0;
+  }
+  [[nodiscard]] util::JsonValue to_json() const {
+    util::JsonObject object;
+    object["seconds"] = seconds;
+    object["packets"] = packets;
+    object["packets_per_sec"] = packets_per_sec();
+    if (!shard_packets.empty()) {
+      util::JsonArray shards;
+      for (const std::uint64_t count : shard_packets) shards.push_back(count);
+      object["shard_packets"] = util::JsonValue(std::move(shards));
+      object["ideal_speedup"] = ideal_speedup();
+    }
+    return util::JsonValue(std::move(object));
+  }
+};
+
+FleetRun bench_single(const core::RecordClassifier& classifier,
+                      const monitor::WorkloadConfig& workload) {
+  monitor::ContinuousMonitor mon(classifier, bench_monitor_config());
+  monitor::SyntheticFleetSource source(workload);
+  FleetRun out;
+  const auto start = std::chrono::steady_clock::now();
+  out.packets = mon.consume(source);
+  const monitor::MonitorStats stats = mon.finish();
+  out.seconds = seconds_since(start);
+  require(stats.packets == out.packets, "single monitor dropped packets");
+  return out;
+}
+
+FleetRun bench_fleet(const core::RecordClassifier& classifier,
+                     const monitor::WorkloadConfig& workload,
+                     std::size_t shards) {
+  monitor::FleetConfig config;
+  config.shards = shards;
+  config.monitor = bench_monitor_config();
+  monitor::MonitorFleet fleet(classifier, config);
+  monitor::SyntheticFleetSource source(workload);
+  FleetRun out;
+  const auto start = std::chrono::steady_clock::now();
+  out.packets = fleet.consume(source);
+  const monitor::FleetStats stats = fleet.finish();
+  out.seconds = seconds_since(start);
+  require(stats.totals.packets == out.packets, "fleet dropped packets");
+  out.shard_packets.reserve(stats.shards.size());
+  for (const monitor::MonitorStats& shard : stats.shards) {
+    out.shard_packets.push_back(shard.packets);
+  }
+  return out;
+}
+
+/// Thread wakeups and allocator warmth make single runs noisy; median
+/// of three.
+template <typename BenchFn>
+FleetRun median_run(BenchFn bench) {
+  std::vector<FleetRun> runs;
+  for (int rep = 0; rep < 3; ++rep) runs.push_back(bench());
+  std::sort(runs.begin(), runs.end(), [](const FleetRun& a, const FleetRun& b) {
+    return a.seconds < b.seconds;
+  });
+  return runs[1];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  util::CliParser cli("perf_fleet",
+                      "MonitorFleet shard scaling: single monitor vs "
+                      "viewer-sharded fleet at 1/2/4/8 worker threads.");
+  cli.add_int("sessions", "synthetic fleet sessions", 2000);
+  cli.add_int("concurrency", "sessions in flight at once", 64);
+  cli.add_string("json",
+                 "write results as JSON to this path (empty = stdout only)",
+                 std::string{});
+  cli.add_bool("smoke", "tiny workload + JSON self-validation (CI mode)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const bool smoke = cli.get_bool("smoke");
+  monitor::WorkloadConfig workload;
+  workload.sessions =
+      smoke ? 64 : static_cast<std::size_t>(cli.get_int("sessions"));
+  workload.concurrency = static_cast<std::size_t>(cli.get_int("concurrency"));
+  workload.questions_per_session = 4;
+  core::IntervalClassifier classifier;
+  classifier.fit(monitor::workload_calibration(workload));
+
+  const FleetRun single =
+      median_run([&] { return bench_single(classifier, workload); });
+
+  util::JsonObject fleet_section;
+  util::JsonObject speedup;
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    const FleetRun run =
+        median_run([&] { return bench_fleet(classifier, workload, shards); });
+    require(run.packets == single.packets, "fleet packet totals diverged");
+    const std::string key = "shards" + std::to_string(shards);
+    fleet_section[key] = run.to_json();
+    speedup[key + "_wall_vs_single"] =
+        run.packets_per_sec() / single.packets_per_sec();
+    speedup[key + "_ideal"] = run.ideal_speedup();
+    std::cerr << key << ": " << run.packets_per_sec() << " pkts/s (single "
+              << single.packets_per_sec() << "), ideal x" << run.ideal_speedup()
+              << "\n";
+  }
+
+  util::JsonObject workload_info;
+  workload_info["sessions"] = static_cast<std::uint64_t>(workload.sessions);
+  workload_info["concurrency"] =
+      static_cast<std::uint64_t>(workload.concurrency);
+  workload_info["packets"] = single.packets;
+
+  util::JsonObject root;
+  root["bench"] = "perf_fleet";
+  root["version"] = 1;
+  root["smoke"] = smoke;
+  root["hardware_threads"] =
+      static_cast<std::uint64_t>(std::thread::hardware_concurrency());
+  root["workload"] = util::JsonValue(std::move(workload_info));
+  root["single_monitor"] = single.to_json();
+  root["fleet"] = util::JsonValue(std::move(fleet_section));
+  root["speedup"] = util::JsonValue(std::move(speedup));
+  const util::JsonValue document{std::move(root)};
+  const std::string rendered = document.dump(2);
+  std::cout << rendered << "\n";
+
+  const std::string json_path = cli.get_string("json");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::trunc);
+    out << rendered << "\n";
+    if (!out) throw std::runtime_error("cannot write " + json_path);
+  }
+
+  if (smoke) {
+    std::string emitted = rendered;
+    if (!json_path.empty()) {
+      std::ifstream in(json_path);
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      emitted = buffer.str();
+    }
+    const util::JsonValue parsed = util::JsonValue::parse(emitted);
+    for (const char* key : {"workload", "single_monitor", "fleet", "speedup"}) {
+      require(parsed.contains(key), std::string("missing JSON section ") + key);
+    }
+    for (const char* key : {"shards1", "shards2", "shards4", "shards8"}) {
+      require(parsed.at("fleet").contains(key),
+              std::string("missing fleet row ") + key);
+    }
+    require(parsed.at("single_monitor").at("packets").as_int() > 0,
+            "no packets measured");
+    // The partition must admit real parallelism at 4 shards: the
+    // critical-path bound is what multicore converts to wall speedup.
+    require(parsed.at("speedup").at("shards4_ideal").as_double() > 1.5,
+            "4-shard partition too skewed to scale");
+    std::cerr << "smoke OK\n";
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "perf_fleet: " << e.what() << "\n";
+  return 1;
+}

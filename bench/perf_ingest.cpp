@@ -499,6 +499,65 @@ double bench_ring_batched(std::uint64_t items, std::size_t batch) {
   return runs[1];
 }
 
+/// Models the engine's dispatcher→worker batch-pointer cycle: tokens
+/// (stand-ins for PacketBatch*) travel down an inbound ring and come
+/// back through a freelist ring. The per-item shape is the retired
+/// worker loop — one blocking pop and one freelist push per batch; the
+/// batched shape is the current one — pop + try_pop_n drain (up to 8)
+/// and a single push_n return per run. The row exists as a regression
+/// tripwire: if the per-item shape ever wins again, the dispatcher
+/// migration (ROADMAP item 2) has regressed.
+double bench_dispatch_once(std::uint64_t handoffs, bool batched) {
+  constexpr std::size_t kDrain = 8;  // mirrors Shard::kWorkerDrain
+  util::SpscRing<std::uint64_t> inbound(64);
+  util::SpscRing<std::uint64_t> freelist(64 + kDrain + 1);
+  for (std::uint64_t token = 0; token < 64; ++token) {
+    std::uint64_t value = token;
+    if (!freelist.try_push(value)) break;
+  }
+  std::uint64_t received = 0;
+  std::thread worker([&] {
+    std::uint64_t value = 0;
+    if (!batched) {
+      while (inbound.pop(value)) {
+        ++received;
+        (void)freelist.push(value);
+      }
+    } else {
+      std::uint64_t run[kDrain];
+      while (inbound.pop(run[0])) {
+        const std::size_t n = 1 + inbound.try_pop_n(run + 1, kDrain - 1);
+        received += n;
+        (void)freelist.push_n(run, n);
+      }
+    }
+  });
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t sent = 0;
+  std::uint64_t token = 0;
+  while (sent < handoffs) {
+    if (!freelist.pop(token)) break;
+    if (!inbound.push(token)) break;
+    ++sent;
+  }
+  inbound.close();
+  worker.join();
+  const double elapsed = seconds_since(start);
+  if (received != handoffs) {
+    throw std::runtime_error("dispatch bench lost handoffs");
+  }
+  return elapsed;
+}
+
+double bench_dispatch(std::uint64_t handoffs, bool batched) {
+  std::vector<double> runs;
+  for (int rep = 0; rep < 3; ++rep) {
+    runs.push_back(bench_dispatch_once(handoffs, batched));
+  }
+  std::sort(runs.begin(), runs.end());
+  return runs[1];
+}
+
 enum class EngineMode { kPr2Baseline, kIstreamNext, kMmapBatch };
 
 RunResult bench_engine(const std::filesystem::path& path,
@@ -618,6 +677,13 @@ int main(int argc, char** argv) try {
   constexpr std::size_t kQueueBatch = 64;
   const double ring_batched_seconds = bench_ring_batched(queue_items, kQueueBatch);
 
+  // --- dispatcher handoff shapes (regression row) -------------------
+  std::cerr << "dispatch shapes...\n";
+  const double dispatch_per_item_seconds =
+      bench_dispatch(queue_items, /*batched=*/false);
+  const double dispatch_batched_seconds =
+      bench_dispatch(queue_items, /*batched=*/true);
+
   // --- ingestion pipeline (the headline mmap+ring comparison) -------
   std::cerr << "ingestion pipelines...\n";
   const RunResult pipeline_pr2 =
@@ -665,6 +731,14 @@ int main(int argc, char** argv) try {
       static_cast<double>(queue_items) / ring_batched_seconds;
   queue["ring_batch"] = static_cast<std::uint64_t>(kQueueBatch);
 
+  util::JsonObject dispatch;
+  dispatch["handoffs"] = queue_items;
+  dispatch["per_item_handoffs_per_sec"] =
+      static_cast<double>(queue_items) / dispatch_per_item_seconds;
+  dispatch["batched_handoffs_per_sec"] =
+      static_cast<double>(queue_items) / dispatch_batched_seconds;
+  dispatch["worker_drain"] = static_cast<std::uint64_t>(8);
+
   util::JsonObject ingest_pipeline;
   ingest_pipeline["pr2_reader_mutex_deque"] = pipeline_pr2.to_json();
   ingest_pipeline["mmap_ring"] = pipeline_mmap_ring.to_json();
@@ -686,6 +760,8 @@ int main(int argc, char** argv) try {
   speedup["queue_ring_vs_mutex"] = mutex_seconds / ring_seconds;
   speedup["queue_ring_batched_vs_mutex"] = mutex_seconds / ring_batched_seconds;
   speedup["queue_ring_batched_vs_ring"] = ring_seconds / ring_batched_seconds;
+  speedup["dispatch_batched_vs_per_item"] =
+      dispatch_per_item_seconds / dispatch_batched_seconds;
   speedup["engine_mmap_batch_vs_pr2_baseline"] =
       engine_mmap.packets_per_sec() / engine_pr2.packets_per_sec();
 
@@ -703,6 +779,7 @@ int main(int argc, char** argv) try {
   root["trace"] = util::JsonValue(std::move(trace_info));
   root["readers"] = util::JsonValue(std::move(readers));
   root["queue"] = util::JsonValue(std::move(queue));
+  root["dispatch"] = util::JsonValue(std::move(dispatch));
   root["pipeline"] = util::JsonValue(std::move(ingest_pipeline));
   root["engine"] = util::JsonValue(std::move(engine));
   root["speedup"] = util::JsonValue(std::move(speedup));
@@ -728,10 +805,14 @@ int main(int argc, char** argv) try {
       emitted = buffer.str();
     }
     const util::JsonValue parsed = util::JsonValue::parse(emitted);
-    for (const char* key :
-         {"trace", "readers", "queue", "pipeline", "engine", "speedup"}) {
+    for (const char* key : {"trace", "readers", "queue", "dispatch", "pipeline",
+                            "engine", "speedup"}) {
       require(parsed.contains(key), std::string("missing JSON section ") + key);
     }
+    require(
+        parsed.at("speedup").at("dispatch_batched_vs_per_item").as_double() >
+            0.0,
+        "dispatch speedup not computed");
     require(parsed.at("readers").at("mmap_batch").at("packets").as_int() > 0,
             "no packets measured");
     require(

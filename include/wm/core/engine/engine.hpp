@@ -20,6 +20,9 @@
 // freelist ring with their slot capacity intact, so the steady-state
 // ingest path performs no heap allocation and takes no locks (a
 // condvar pair wakes parked threads only at the full/empty edges).
+// Both sides use the batched ring ops: the worker drains up to eight
+// queued batches per wake (pop + try_pop_n) and returns them with one
+// push_n, so index publishes and wake fences amortize across the run.
 //
 // Determinism: the final EngineResult is byte-identical to the batch
 // pipeline's output on the same packets for ANY shard count, because

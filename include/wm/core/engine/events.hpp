@@ -26,10 +26,19 @@
 // thread-safe; per-viewer question numbering is monotonic but delivery
 // order across viewers is unspecified. wm::monitor::ContinuousMonitor
 // is single-threaded and delivers every event serially from the thread
-// driving it. In both regimes callbacks run on the packet path — block
-// in one and you stall ingest (the engine's backpressure, the
-// monitor's replay clock). Events and any `session` pointer they carry
-// are valid only for the duration of the callback; copy what you keep.
+// driving it. wm::monitor::MonitorFleet sits between the two: each
+// shard worker delivers its events directly (merge-free), so callbacks
+// run concurrently from N threads, BUT every viewer is pinned to one
+// shard — all events for one viewer arrive from one thread, serially,
+// in that viewer's capture-time order. Implementations therefore need
+// no per-viewer locking, only whole-sink thread safety; callers who
+// additionally need global capture-time order across viewers wrap the
+// sink in monitor::OrderingCollector (or FleetConfig::global_order),
+// trading emission latency for a total order. In every regime
+// callbacks run on the packet path — block in one and you stall ingest
+// (the engine's backpressure, the monitor's replay clock, a fleet
+// shard's ring). Events and any `session` pointer they carry are valid
+// only for the duration of the callback; copy what you keep.
 #pragma once
 
 #include <cstdint>

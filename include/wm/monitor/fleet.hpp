@@ -1,0 +1,206 @@
+// wm::monitor::MonitorFleet — the continuous monitor, scaled past one
+// core the way the engine scaled flow decoding: partition the traffic,
+// give every partition a private single-threaded monitor, and keep the
+// event path merge-free.
+//
+// Topology: M packet sources fan into N shards over M×N batched SPSC
+// rings (one ring per (source, shard) pair, so every ring keeps exactly
+// one producer and one consumer and the engine's lock-free handoff
+// applies unchanged). Each source is driven by a pump — a thread
+// spawned by attach(), or the caller's thread via consume() — that
+// routes every packet by net::viewer_shard_hash, so all traffic from
+// one subscriber address lands on one shard. Each shard worker owns a
+// full private ContinuousMonitor (its own TimerWheel, flow/viewer
+// state, LRU arena): no locks on the inference path, no shared state
+// between shards.
+//
+// ORDERING. A shard's wheel is shared by its viewers, so the worker
+// must feed it in (approximately) capture-time order even when packets
+// arrive over M independent rings. The worker runs a K-way timestamp
+// merge with per-ring low-bound watermarks: a packet is fed once no
+// open ring could still deliver an earlier one. Sources are assumed
+// time-ordered individually (captures and taps are); a ring that stays
+// silent longer than `merge_wait` is set aside (counted in
+// FleetStats::merge_deferrals) rather than stalling the shard, and
+// re-joins the merge as soon as it produces again. The guarantee that
+// survives regardless of deferrals: per-viewer events are emitted
+// serially, in that viewer's capture-time order (a viewer's packets
+// all traverse one (source, shard) pair of queues... one source at a
+// time — see the differential test). Cross-viewer order across shards
+// is unspecified unless you opt into OrderingCollector.
+//
+// MEMORY. FleetConfig::monitor.max_total_bytes is the *fleet-wide*
+// budget: it is split evenly across shards and each shard sheds its
+// own oldest-idle viewers locally — shedding never synchronizes.
+//
+// SHUTDOWN CONTRACT. Every attached source must reach end-of-stream
+// (e.g. InjectableTap::close()) before finish() or destruction; both
+// join the pump threads, and a pump blocked inside a source that never
+// ends cannot be interrupted from here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wm/core/classifier.hpp"
+#include "wm/core/engine/events.hpp"
+#include "wm/core/engine/source.hpp"
+#include "wm/monitor/monitor.hpp"
+#include "wm/util/time.hpp"
+
+namespace wm::monitor {
+
+struct FleetConfig {
+  /// Worker threads, each owning one ContinuousMonitor shard.
+  std::size_t shards = 1;
+  /// Concurrent packet sources the fleet accepts (attach() + consume()
+  /// calls combined must not exceed this).
+  std::size_t sources = 1;
+  /// Per-(source, shard) ring capacity in packets (rounded up to a
+  /// power of two). Full rings park the pump — backpressure, not loss.
+  std::size_t ring_capacity = 4096;
+  /// Batch size for source reads, ring pushes and ring drains.
+  std::size_t batch = 256;
+  /// How long a shard worker holds a timestamp-merge barrier open for
+  /// a silent source before setting it aside (see header comment).
+  /// Zero disables the merge entirely: packets are fed in ring-arrival
+  /// order, which is fine for single-source fleets and throughput
+  /// benches but weakens multi-source timer ordering.
+  util::Duration merge_wait = util::Duration::millis(20);
+  /// Deliver events to the sink in global capture-time order by
+  /// routing them through an internal OrderingCollector. Costs
+  /// buffering latency (events wait for every shard's watermark) and
+  /// one lock per delivery; off = merge-free per-shard delivery.
+  bool global_order = false;
+  /// Per-shard monitor tuning. `max_total_bytes` is interpreted as the
+  /// FLEET-WIDE budget and split evenly across shards;
+  /// `metrics_scope`/`metrics_rollup` are overwritten per shard
+  /// ("monitor.shard[i]" rolling up to "monitor.*").
+  MonitorConfig monitor;
+};
+
+/// Fleet-lifetime totals. `totals` sums the per-shard MonitorStats
+/// field-wise — for peak fields (viewers, memory bytes) the sum of
+/// per-shard peaks is an upper bound on the true simultaneous peak,
+/// not an observed instant.
+struct FleetStats {
+  MonitorStats totals;
+  std::vector<MonitorStats> shards;
+  std::uint64_t packets = 0;
+  /// Frames viewer_shard_hash could not parse (no TCP/UDP transport);
+  /// routed to shard 0 rather than dropped.
+  std::uint64_t packets_unroutable = 0;
+  /// Times a shard gave up waiting on a silent source (see
+  /// FleetConfig::merge_wait).
+  std::uint64_t merge_deferrals = 0;
+  /// Times a pump found a shard ring full and had to park.
+  std::uint64_t backpressure_waits = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Re-sequences events from N fleet shards into global capture-time
+/// order before forwarding to one downstream sink. Each shard delivers
+/// into its private shard_sink(i) (no cross-shard contention on the
+/// hot path beyond one mutex at delivery); events are buffered until
+/// every shard's watermark has passed them, then released to
+/// `downstream` serially, ordered by (event time, shard, sequence).
+/// MonitorFleet drives the watermarks; standalone users must call
+/// watermark() themselves and flush() at the end.
+///
+/// One class of events is exempt from the total order: kShutdown
+/// evictions. The monitor's finish() stamps them with the viewer's
+/// last activity — a backdated diagnostic, not an emission instant —
+/// so they arrive in the end-of-stream flush() after events with later
+/// timestamps have already been released. They are delivered last,
+/// ordered among themselves; every other event kind (questions,
+/// choices, gaps, idle/shed evictions) is globally time-sorted.
+class OrderingCollector final {
+ public:
+  /// `downstream` must outlive the collector and is only ever called
+  /// from inside watermark()/flush() — serially, under the collector's
+  /// lock. `slack` widens the release barrier to cover timer fires
+  /// whose deadlines trail a shard's feed frontier (one wheel tick for
+  /// the default monitor geometry).
+  OrderingCollector(std::size_t shards, engine::EventSink& downstream,
+                    util::Duration slack = util::Duration::millis(10));
+  ~OrderingCollector();
+
+  OrderingCollector(const OrderingCollector&) = delete;
+  OrderingCollector& operator=(const OrderingCollector&) = delete;
+
+  /// The sink shard `shard` delivers into. Valid for the collector's
+  /// lifetime; each returned sink is single-producer (one shard).
+  [[nodiscard]] engine::EventSink& shard_sink(std::size_t shard);
+
+  /// Shard `shard` promises every future event it delivers has time
+  /// >= `frontier_nanos`. Monotonic per shard; releases every buffered
+  /// event older than min-over-shards minus slack.
+  void watermark(std::size_t shard, std::int64_t frontier_nanos);
+
+  /// Release everything still buffered (end of stream).
+  void flush();
+
+  /// Events currently buffered (diagnostics).
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// N-shard, M-source continuous monitor. See the header comment for
+/// topology, ordering and shutdown contracts.
+class MonitorFleet {
+ public:
+  /// `classifier` must be fitted and outlive the fleet. `sink` may be
+  /// null; when set it must outlive the fleet and satisfy the
+  /// MonitorFleet clause of the EventSink thread-safety contract.
+  MonitorFleet(const core::RecordClassifier& classifier,
+               FleetConfig config = {}, engine::EventSink* sink = nullptr);
+  /// Joins pumps and workers. Prefer finish(); destruction without it
+  /// still drains the rings but skips the shutdown flush (no final
+  /// window settles, no kShutdown evictions), and still requires every
+  /// attached source to end (shutdown contract).
+  ~MonitorFleet();
+
+  MonitorFleet(const MonitorFleet&) = delete;
+  MonitorFleet& operator=(const MonitorFleet&) = delete;
+
+  /// Spawn a pump thread that drains `source` to exhaustion, routing
+  /// into the shard rings. `source` must outlive the fleet. Throws
+  /// std::logic_error past FleetConfig::sources slots or after
+  /// finish().
+  void attach(engine::PacketSource& source);
+
+  /// Pump `source` to exhaustion on the calling thread (same routing,
+  /// same source-slot accounting as attach()). Returns packets routed.
+  std::size_t consume(engine::PacketSource& source);
+
+  /// True once every attached/consumed source has hit end-of-stream.
+  /// Workers may still be draining rings; finish() is the barrier.
+  [[nodiscard]] bool drained() const;
+
+  /// End of monitoring: join the pumps (blocks until every source
+  /// ends), drain and close the rings, advance every shard to the
+  /// fleet-wide last capture instant (so idle evictions fire exactly
+  /// as a single monitor's would), finish the shards serially, flush
+  /// the ordering collector if any, and aggregate. Idempotent.
+  FleetStats finish();
+
+  [[nodiscard]] std::size_t shard_count() const;
+  /// Live viewers summed over shards (approximate while running).
+  [[nodiscard]] std::size_t active_viewers() const;
+  /// Viewer-state bytes summed over shards (approximate while
+  /// running) — the quantity the fleet-wide budget bounds.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace wm::monitor

@@ -82,9 +82,20 @@ struct MonitorConfig {
   /// oldest-idle viewers until back under. Zero = unlimited.
   std::size_t max_total_bytes = 0;
 
-  /// Observability: "monitor.*" counters and the emit-latency histogram
-  /// register here. Null = zero overhead.
+  /// Observability: "<metrics_scope>.*" counters and the emit-latency
+  /// histogram register here. Null = zero overhead.
   obs::Registry* metrics = nullptr;
+  /// Prefix for every metric this monitor registers. A standalone
+  /// monitor keeps the flat "monitor" scope; MonitorFleet gives each
+  /// shard "monitor.shard[i]".
+  std::string metrics_scope = "monitor";
+  /// Stability class for the scoped counters (kSharded under a fleet,
+  /// where per-shard values depend on the shard count).
+  obs::Stability metrics_stability = obs::Stability::kStable;
+  /// When non-empty, every scoped counter also feeds a rollup under
+  /// this prefix (e.g. "monitor") so fleet totals keep the flat names.
+  /// Empty = no rollups (the standalone default).
+  std::string metrics_rollup;
 };
 
 /// Lifetime totals, readable at any point (stats()) or from finish().

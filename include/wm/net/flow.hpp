@@ -157,4 +157,15 @@ class FlowTable {
 /// nullopt for frames with no TCP/UDP transport.
 std::optional<std::uint64_t> flow_shard_hash(const Packet& packet);
 
+/// 64-bit hash of the *viewer* (client) address parsed from the raw
+/// frame, for partitioning packets across ContinuousMonitor shards so
+/// every flow belonging to one subscriber lands on the same shard. The
+/// server side is identified by the same heuristic FlowTable uses for
+/// SYN-less flows: a well-known port (< 1024) on exactly one endpoint.
+/// When the orientation is undecidable (both or neither endpoint on a
+/// well-known port) this degrades to flow_shard_hash — flows stay
+/// whole, but one viewer's flows may then land on different shards.
+/// Returns nullopt for frames with no TCP/UDP transport.
+std::optional<std::uint64_t> viewer_shard_hash(const Packet& packet);
+
 }  // namespace wm::net

@@ -275,18 +275,25 @@ class ShardedFlowEngine::Collector {
 // --- Shard -----------------------------------------------------------
 
 struct ShardedFlowEngine::Shard {
+  /// Batches the worker takes off inbound per wake: one blocking pop
+  /// plus a non-blocking drain, so index publishes, wake fences and
+  /// freelist returns amortize across up to this many batches
+  /// (push_n/try_pop_n — the batched ring ops).
+  static constexpr std::size_t kWorkerDrain = 8;
+
   Shard(const tls::RecordStreamExtractor::Config& extractor_config,
         std::size_t queue_capacity)
       : inbound(queue_capacity),
-        freelist(inbound.capacity() + 2),
+        freelist(inbound.capacity() + kWorkerDrain + 1),
         extractor(extractor_config) {
     // The arena backs both rings. Sizing: with inbound full (capacity
-    // C), the worker holding one batch and the dispatcher holding one
-    // pending batch, C + 2 batches are live — so after any successful
-    // inbound push at least one batch sits in the freelist, and the
-    // dispatcher's refill pop never blocks. Addresses are stable: the
-    // arena never grows after construction.
-    const std::size_t arena_size = inbound.capacity() + 2;
+    // C), the worker holding a full drain run (kWorkerDrain batches)
+    // and the dispatcher holding one pending batch, C + kWorkerDrain +
+    // 1 batches are live — so after any successful inbound push at
+    // least one batch sits in the freelist, and the dispatcher's
+    // refill pop never blocks. Addresses are stable: the arena never
+    // grows after construction.
+    const std::size_t arena_size = inbound.capacity() + kWorkerDrain + 1;
     arena.reserve(arena_size);
     for (std::size_t i = 0; i < arena_size; ++i) {
       arena.push_back(std::make_unique<PacketBatch>());
@@ -385,14 +392,24 @@ ShardedFlowEngine::ShardedFlowEngine(const core::RecordClassifier& classifier,
     for (auto& shard : shards_) {
       Shard* s = shard.get();
       s->thread = std::thread([this, s] {
-        PacketBatch* batch = nullptr;
-        while (s->inbound.pop(batch)) {
+        // Batched drain: block for the first batch, then sweep up
+        // whatever else is already queued — one index acquire and one
+        // freelist publish per run instead of per batch.
+        PacketBatch* local[Shard::kWorkerDrain] = {};
+        while (s->inbound.pop(local[0])) {
+          const std::size_t run =
+              1 + s->inbound.try_pop_n(local + 1, Shard::kWorkerDrain - 1);
           {
             const obs::StageTimer timer(s->work_span);
-            for (const net::Packet& packet : *batch) process(*s, packet);
+            for (std::size_t i = 0; i < run; ++i) {
+              for (const net::Packet& packet : *local[i]) process(*s, packet);
+            }
           }
-          batch->clear();  // slots keep their capacity for the refill
-          s->freelist.push(batch);
+          // Slots keep their capacity for the refill.
+          for (std::size_t i = 0; i < run; ++i) local[i]->clear();
+          // The freelist ring holds the whole arena, so this never
+          // parks; push_n still amortizes the wake edge.
+          (void)s->freelist.push_n(local, run);
         }
       });
     }

@@ -1,0 +1,765 @@
+#include "wm/monitor/fleet.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "wm/net/flow.hpp"
+#include "wm/util/spsc_ring.hpp"
+
+namespace wm::monitor {
+
+namespace {
+
+constexpr std::int64_t kNoTime = std::numeric_limits<std::int64_t>::min();
+/// Poll slice for a shard worker waiting on its rings. The merge loop
+/// cannot park on one ring while watching M of them, so it polls; a
+/// slice this short is invisible next to merge_wait (default 20ms) and
+/// costs nothing once traffic flows (the loop only sleeps when every
+/// staged buffer is empty or a barrier is open).
+constexpr auto kPollSlice = std::chrono::microseconds(100);
+constexpr std::int64_t kPollSliceNanos = 100 * 1000;
+
+}  // namespace
+
+std::string FleetStats::to_string() const {
+  std::ostringstream out;
+  out << "shards=" << shards.size() << " packets=" << packets
+      << " unroutable=" << packets_unroutable
+      << " merge_deferrals=" << merge_deferrals
+      << " backpressure_waits=" << backpressure_waits << " | "
+      << totals.to_string();
+  return out.str();
+}
+
+// --- OrderingCollector ----------------------------------------------------
+
+namespace {
+
+/// An event copied out of a shard callback so it can outlive it.
+struct OwnedEvent {
+  enum class Kind : std::uint8_t { kQuestion, kChoice, kEvicted, kGap };
+  Kind kind = Kind::kQuestion;
+  std::int64_t at_nanos = 0;  // capture-time sort key
+  std::size_t shard = 0;
+  std::uint64_t seq = 0;  // global arrival tiebreak
+  std::string client;
+  core::InferredQuestion question;
+  std::uint16_t record_length = 0;
+  bool final_answer = false;
+  util::SimTime at;
+  engine::ViewerEvictedEvent::Reason reason =
+      engine::ViewerEvictedEvent::Reason::kIdle;
+  std::size_t questions_emitted = 0;
+  core::GapSpan gap;
+};
+
+struct OwnedEventOrder {
+  bool operator()(const OwnedEvent& a, const OwnedEvent& b) const {
+    if (a.at_nanos != b.at_nanos) return a.at_nanos < b.at_nanos;
+    if (a.shard != b.shard) return a.shard < b.shard;
+    return a.seq < b.seq;
+  }
+};
+
+}  // namespace
+
+struct OrderingCollector::Impl {
+  class ShardSink final : public engine::EventSink {
+   public:
+    ShardSink(Impl* impl, std::size_t shard) : impl_(impl), shard_(shard) {}
+
+    void on_question_opened(const engine::QuestionOpenedEvent& event) override {
+      OwnedEvent owned;
+      owned.kind = OwnedEvent::Kind::kQuestion;
+      owned.at_nanos = event.question.question_time.nanos();
+      owned.client = std::string(event.client);
+      owned.question = event.question;
+      owned.record_length = event.record_length;
+      impl_->deliver(shard_, std::move(owned));
+    }
+    void on_choice_inferred(const engine::ChoiceInferredEvent& event) override {
+      OwnedEvent owned;
+      owned.kind = OwnedEvent::Kind::kChoice;
+      owned.at_nanos = event.at.nanos();
+      owned.client = std::string(event.client);
+      owned.question = event.question;
+      owned.record_length = event.record_length;
+      owned.final_answer = event.final;
+      owned.at = event.at;
+      impl_->deliver(shard_, std::move(owned));
+    }
+    void on_viewer_evicted(const engine::ViewerEvictedEvent& event) override {
+      OwnedEvent owned;
+      owned.kind = OwnedEvent::Kind::kEvicted;
+      owned.at_nanos = event.at.nanos();
+      owned.client = std::string(event.client);
+      owned.at = event.at;
+      owned.reason = event.reason;
+      owned.questions_emitted = event.questions_emitted;
+      impl_->deliver(shard_, std::move(owned));
+    }
+    void on_gap_observed(const engine::GapObservedEvent& event) override {
+      OwnedEvent owned;
+      owned.kind = OwnedEvent::Kind::kGap;
+      owned.at_nanos = event.gap.at.nanos();
+      owned.client = std::string(event.client);
+      owned.gap = event.gap;
+      impl_->deliver(shard_, std::move(owned));
+    }
+
+   private:
+    Impl* impl_;
+    std::size_t shard_;
+  };
+
+  Impl(std::size_t shards, engine::EventSink& downstream_in,
+       util::Duration slack_in)
+      : downstream(downstream_in),
+        slack(slack_in.total_nanos()),
+        watermarks(shards == 0 ? 1 : shards, kNoTime) {
+    sinks.reserve(watermarks.size());
+    for (std::size_t i = 0; i < watermarks.size(); ++i) {
+      sinks.push_back(std::make_unique<ShardSink>(this, i));
+    }
+  }
+
+  void deliver(std::size_t shard, OwnedEvent&& event) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    event.shard = shard;
+    event.seq = next_seq++;
+    buffer.insert(std::move(event));
+  }
+
+  void watermark(std::size_t shard, std::int64_t frontier) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (shard >= watermarks.size()) return;
+    watermarks[shard] = std::max(watermarks[shard], frontier);
+    std::int64_t barrier = std::numeric_limits<std::int64_t>::max();
+    for (const std::int64_t mark : watermarks) barrier = std::min(barrier, mark);
+    // No release until every shard has reported at least once.
+    if (barrier == kNoTime) return;
+    // The slack covers timer emissions trailing a shard's feed
+    // frontier: the wheel fires deadlines strictly before the frontier
+    // tick, so events up to one tick behind it are still possible.
+    if (barrier > kNoTime + slack) barrier -= slack;
+    release(barrier);
+  }
+
+  void flush() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    release(std::numeric_limits<std::int64_t>::max());
+  }
+
+  /// Forward every buffered event with time <= barrier, oldest first.
+  /// Caller holds the lock; the downstream sink is thus called
+  /// serially, as the contract promises.
+  void release(std::int64_t barrier) {
+    while (!buffer.empty() && buffer.begin()->at_nanos <= barrier) {
+      forward(*buffer.begin());
+      buffer.erase(buffer.begin());
+    }
+  }
+
+  void forward(const OwnedEvent& event) {
+    switch (event.kind) {
+      case OwnedEvent::Kind::kQuestion: {
+        engine::QuestionOpenedEvent out;
+        out.client = event.client;
+        out.question = event.question;
+        out.record_length = event.record_length;
+        downstream.on_question_opened(out);
+        break;
+      }
+      case OwnedEvent::Kind::kChoice: {
+        engine::ChoiceInferredEvent out;
+        out.client = event.client;
+        out.question = event.question;
+        out.record_length = event.record_length;
+        out.at = event.at;
+        out.final = event.final_answer;
+        downstream.on_choice_inferred(out);
+        break;
+      }
+      case OwnedEvent::Kind::kEvicted: {
+        engine::ViewerEvictedEvent out;
+        out.client = event.client;
+        out.reason = event.reason;
+        out.at = event.at;
+        out.questions_emitted = event.questions_emitted;
+        downstream.on_viewer_evicted(out);
+        break;
+      }
+      case OwnedEvent::Kind::kGap: {
+        engine::GapObservedEvent out;
+        out.client = event.client;
+        out.gap = event.gap;
+        downstream.on_gap_observed(out);
+        break;
+      }
+    }
+  }
+
+  engine::EventSink& downstream;
+  const std::int64_t slack;
+  std::mutex mutex;
+  std::vector<std::int64_t> watermarks;
+  std::multiset<OwnedEvent, OwnedEventOrder> buffer;
+  std::uint64_t next_seq = 0;
+  std::vector<std::unique_ptr<ShardSink>> sinks;
+};
+
+OrderingCollector::OrderingCollector(std::size_t shards,
+                                     engine::EventSink& downstream,
+                                     util::Duration slack)
+    : impl_(std::make_unique<Impl>(shards, downstream, slack)) {}
+
+OrderingCollector::~OrderingCollector() = default;
+
+engine::EventSink& OrderingCollector::shard_sink(std::size_t shard) {
+  return *impl_->sinks.at(shard);
+}
+
+void OrderingCollector::watermark(std::size_t shard,
+                                  std::int64_t frontier_nanos) {
+  impl_->watermark(shard, frontier_nanos);
+}
+
+void OrderingCollector::flush() { impl_->flush(); }
+
+std::size_t OrderingCollector::pending() const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->buffer.size();
+}
+
+// --- MonitorFleet ---------------------------------------------------------
+
+struct MonitorFleet::Impl {
+  /// Worker-side view of one (source, shard) ring: a staged batch plus
+  /// the lower bound on what the source can still deliver.
+  struct Lane {
+    util::SpscRing<net::Packet>* ring = nullptr;
+    std::vector<net::Packet> staged;
+    std::size_t head = 0;
+    std::size_t count = 0;
+    /// Lower bound (nanos) on every future packet from this lane —
+    /// valid because individual sources are time-ordered. Raised
+    /// artificially when a merge barrier is deferred (see below).
+    std::int64_t low_bound = kNoTime;
+    bool exhausted = false;
+    /// A trusted lane's emptiness blocks the merge barrier; a lane
+    /// that went silent past merge_wait loses trust (and its blocking
+    /// power) until it produces again.
+    bool trusted = true;
+
+    [[nodiscard]] bool has_staged() const { return head < count; }
+    [[nodiscard]] std::int64_t head_nanos() const {
+      return staged[head].timestamp.nanos();
+    }
+  };
+
+  struct Shard {
+    std::unique_ptr<ContinuousMonitor> monitor;
+    std::thread worker;
+    /// Last capture instant fed (written by the worker, read after
+    /// join — the fleet-wide finish horizon).
+    std::int64_t max_fed = kNoTime;
+    /// Coarse live gauges for active_viewers()/memory_bytes(),
+    /// refreshed by the worker every ~1k feeds.
+    std::atomic<std::size_t> approx_viewers{0};
+    std::atomic<std::size_t> approx_bytes{0};
+  };
+
+  Impl(const core::RecordClassifier& classifier_in, FleetConfig config_in,
+       engine::EventSink* sink_in)
+      : classifier(classifier_in), config(normalize(std::move(config_in))) {
+    if (config.global_order && sink_in != nullptr) {
+      // One wheel tick of slack: timer emissions may trail a shard's
+      // feed frontier by up to a tick (deadline truncation).
+      collector = std::make_unique<OrderingCollector>(
+          config.shards, *sink_in, config.monitor.wheel.tick);
+    }
+
+    rings.resize(config.sources);
+    for (auto& row : rings) {
+      row.reserve(config.shards);
+      for (std::size_t d = 0; d < config.shards; ++d) {
+        row.push_back(
+            std::make_unique<util::SpscRing<net::Packet>>(config.ring_capacity));
+      }
+    }
+
+    shards = std::vector<Shard>(config.shards);
+    for (std::size_t d = 0; d < config.shards; ++d) {
+      engine::EventSink* shard_sink =
+          collector != nullptr ? &collector->shard_sink(d) : sink_in;
+      shards[d].monitor = std::make_unique<ContinuousMonitor>(
+          classifier, shard_config(d), shard_sink);
+    }
+    for (std::size_t d = 0; d < config.shards; ++d) {
+      shards[d].worker = std::thread([this, d] { worker_loop(d); });
+    }
+  }
+
+  static FleetConfig normalize(FleetConfig config) {
+    config.shards = std::max<std::size_t>(config.shards, 1);
+    config.sources = std::max<std::size_t>(config.sources, 1);
+    config.batch = std::max<std::size_t>(config.batch, 1);
+    config.ring_capacity = std::max<std::size_t>(config.ring_capacity, 2);
+    return config;
+  }
+
+  [[nodiscard]] MonitorConfig shard_config(std::size_t shard) const {
+    MonitorConfig out = config.monitor;
+    // The configured budget is fleet-wide; each shard enforces its
+    // even split locally (shedding never synchronizes).
+    if (out.max_total_bytes != 0) {
+      out.max_total_bytes =
+          std::max<std::size_t>(out.max_total_bytes / config.shards, 1);
+    }
+    if (out.metrics != nullptr) {
+      out.metrics_rollup = out.metrics_scope;
+      out.metrics_scope += ".shard[" + std::to_string(shard) + "]";
+      out.metrics_stability = obs::Stability::kSharded;
+    }
+    return out;
+  }
+
+  // --- pump (one per source) --------------------------------------------
+
+  std::size_t pump(engine::PacketSource& source, std::size_t slot) {
+    engine::PacketBatch batch;
+    std::vector<std::vector<net::Packet>> staging(config.shards);
+    std::size_t routed = 0;
+    std::uint64_t local_unroutable = 0;
+    std::uint64_t local_backpressure = 0;
+
+    for (;;) {
+      const std::size_t got = source.read_batch(batch, config.batch);
+      if (got == 0) break;
+      net::Packet* slots = batch.mutable_slots();
+      for (std::size_t i = 0; i < got; ++i) {
+        const auto hash = net::viewer_shard_hash(batch[i]);
+        std::size_t shard = 0;
+        if (hash.has_value()) {
+          shard = static_cast<std::size_t>(*hash % config.shards);
+        } else {
+          ++local_unroutable;  // unparseable frames all ride shard 0
+        }
+        if (slots != nullptr) {
+          staging[shard].push_back(std::move(slots[i]));
+        } else {
+          staging[shard].push_back(batch[i]);  // borrowed batch: copy
+        }
+      }
+      routed += got;
+      bool aborted = false;
+      for (std::size_t d = 0; d < config.shards; ++d) {
+        std::vector<net::Packet>& out = staging[d];
+        if (out.empty()) continue;
+        util::SpscRing<net::Packet>& ring = *rings[slot][d];
+        const std::size_t want = out.size();
+        std::size_t done = ring.try_push_n(out.data(), want);
+        if (done < want) {
+          ++local_backpressure;
+          done += ring.push_n(out.data() + done, want - done);
+        }
+        out.clear();
+        if (done < want) {  // ring closed under us: fleet is aborting
+          aborted = true;
+          break;
+        }
+      }
+      if (aborted) break;
+    }
+
+    for (std::size_t d = 0; d < config.shards; ++d) rings[slot][d]->close();
+    packets.fetch_add(routed, std::memory_order_relaxed);
+    unroutable.fetch_add(local_unroutable, std::memory_order_relaxed);
+    backpressure.fetch_add(local_backpressure, std::memory_order_relaxed);
+    sources_done.fetch_add(1, std::memory_order_release);
+    return routed;
+  }
+
+  // --- worker (one per shard) -------------------------------------------
+
+  void worker_loop(std::size_t shard) {
+    if (config.sources == 1) {
+      single_source_loop(shard);
+    } else {
+      merge_loop(shard);
+    }
+    publish_gauges(shard);
+  }
+
+  void feed_one(Shard& state, const net::Packet& packet) {
+    state.monitor->feed(packet);
+    state.max_fed = std::max(state.max_fed, packet.timestamp.nanos());
+  }
+
+  void publish_gauges(std::size_t shard) {
+    Shard& state = shards[shard];
+    state.approx_viewers.store(state.monitor->active_viewers(),
+                               std::memory_order_relaxed);
+    state.approx_bytes.store(state.monitor->memory_bytes(),
+                             std::memory_order_relaxed);
+  }
+
+  /// One source: no merge needed — a plain blocking pop for the first
+  /// packet, then batch drains, exactly like InjectableTap's consumer.
+  void single_source_loop(std::size_t shard) {
+    Shard& state = shards[shard];
+    util::SpscRing<net::Packet>& ring = *rings[0][shard];
+    std::vector<net::Packet> staged(config.batch);
+    std::size_t feeds = 0;
+    net::Packet first;
+    while (ring.pop(first)) {
+      feed_one(state, first);
+      ++feeds;
+      std::size_t got;
+      while ((got = ring.try_pop_n(staged.data(), staged.size())) > 0) {
+        for (std::size_t i = 0; i < got; ++i) feed_one(state, staged[i]);
+        feeds += got;
+        if ((feeds & 1023u) < got) publish_gauges(shard);
+      }
+      if (collector != nullptr) collector->watermark(shard, state.max_fed);
+    }
+    if (collector != nullptr) collector->watermark(shard, state.max_fed);
+  }
+
+  /// Refill an empty lane from its ring. Returns true when packets were
+  /// staged. Sets `exhausted` once the ring is closed and drained.
+  static bool refill(Lane& lane) {
+    lane.head = 0;
+    lane.count = lane.ring->try_pop_n(lane.staged.data(), lane.staged.size());
+    if (lane.count == 0) {
+      if (!lane.ring->closed()) return false;
+      // close() happens after the final push; one refreshed retry
+      // cannot miss it.
+      lane.count = lane.ring->try_pop_n(lane.staged.data(), lane.staged.size());
+      if (lane.count == 0) {
+        lane.exhausted = true;
+        return false;
+      }
+    }
+    // The batch is time-ordered (the source is), so its last packet
+    // bounds everything the lane can still deliver.
+    lane.trusted = true;
+    lane.low_bound = lane.staged[lane.count - 1].timestamp.nanos();
+    return true;
+  }
+
+  /// M sources: K-way timestamp merge. Feed the globally oldest staged
+  /// packet, but only once no open trusted lane could still deliver an
+  /// older one; hold a blocked barrier at most merge_wait before
+  /// setting the silent lanes aside (merge_deferrals).
+  void merge_loop(std::size_t shard) {
+    Shard& state = shards[shard];
+    std::vector<Lane> lanes(config.sources);
+    for (std::size_t s = 0; s < config.sources; ++s) {
+      lanes[s].ring = rings[s][shard].get();
+      lanes[s].staged.resize(config.batch);
+    }
+    const std::int64_t merge_wait = config.merge_wait.total_nanos();
+    std::int64_t waited = 0;
+    std::size_t feeds = 0;
+
+    for (;;) {
+      bool all_exhausted = true;
+      for (Lane& lane : lanes) {
+        if (lane.exhausted) continue;
+        if (!lane.has_staged()) refill(lane);
+        all_exhausted &= lane.exhausted;
+      }
+
+      // Oldest staged head wins; ties break toward the lowest source
+      // slot so the merge is deterministic.
+      std::size_t best = lanes.size();
+      std::int64_t best_ts = std::numeric_limits<std::int64_t>::max();
+      for (std::size_t s = 0; s < lanes.size(); ++s) {
+        if (!lanes[s].has_staged()) continue;
+        const std::int64_t ts = lanes[s].head_nanos();
+        if (ts < best_ts) {
+          best = s;
+          best_ts = ts;
+        }
+      }
+
+      if (best == lanes.size()) {
+        if (all_exhausted) break;
+        publish_frontier(shard, state, lanes);
+        std::this_thread::sleep_for(kPollSlice);
+        continue;
+      }
+
+      bool blocked = false;
+      if (merge_wait > 0) {
+        for (const Lane& lane : lanes) {
+          if (!lane.exhausted && lane.trusted && !lane.has_staged() &&
+              lane.low_bound < best_ts) {
+            blocked = true;
+            break;
+          }
+        }
+      }
+
+      if (!blocked) {
+        Lane& lane = lanes[best];
+        feed_one(state, lane.staged[lane.head]);
+        ++lane.head;
+        waited = 0;
+        ++feeds;
+        if ((feeds & 127u) == 0) publish_frontier(shard, state, lanes);
+        if ((feeds & 1023u) == 0) publish_gauges(shard);
+        continue;
+      }
+
+      if (waited >= merge_wait) {
+        // The silent lanes have had their chance: stop letting them
+        // hold the shard hostage. They re-earn trust (and blocking
+        // power) the moment they produce again; until then we assume
+        // nothing older than best_ts is coming from them. A straggler
+        // that does arrive later is still fed — only cross-source
+        // timer interleaving weakens, never per-viewer order (a
+        // viewer's packets ride a single lane).
+        deferrals.fetch_add(1, std::memory_order_relaxed);
+        for (Lane& lane : lanes) {
+          if (!lane.exhausted && lane.trusted && !lane.has_staged() &&
+              lane.low_bound < best_ts) {
+            lane.trusted = false;
+            lane.low_bound = best_ts;
+          }
+        }
+        waited = 0;
+        continue;
+      }
+      publish_frontier(shard, state, lanes);
+      std::this_thread::sleep_for(kPollSlice);
+      waited += kPollSliceNanos;
+    }
+    if (collector != nullptr) collector->watermark(shard, state.max_fed);
+  }
+
+  /// Collector frontier: nothing this shard feeds from now on can be
+  /// older than the minimum over its open lanes (staged head, else the
+  /// lane's low bound). Exact absent merge deferrals; a deferral may
+  /// let one straggler event slip the barrier (documented trade).
+  static std::int64_t frontier(const std::vector<Lane>& lanes,
+                               std::int64_t max_fed) {
+    std::int64_t low = std::numeric_limits<std::int64_t>::max();
+    bool any_open = false;
+    for (const Lane& lane : lanes) {
+      if (lane.exhausted) continue;
+      any_open = true;
+      low = std::min(low, lane.has_staged() ? lane.head_nanos() : lane.low_bound);
+    }
+    return any_open ? low : max_fed;
+  }
+
+  /// Publish the merge frontier to the ordering collector. The
+  /// watermark promise ("no future event from this shard is older")
+  /// must cover timer fires as well as packets: a pending evidence
+  /// window or idle deadline inside a traffic gap would otherwise fire
+  /// *behind* a frontier taken from the staged packet heads. Advancing
+  /// the wheel to just under the frontier first fires exactly the
+  /// timers the next feed would fire anyway (feed's advance is
+  /// strictly-before its packet), so the event stream is unchanged —
+  /// the deadlines just stop trailing the promise.
+  void publish_frontier(std::size_t shard, Shard& state,
+                        const std::vector<Lane>& lanes) {
+    if (collector == nullptr) return;
+    const std::int64_t mark = frontier(lanes, state.max_fed);
+    if (mark > state.max_fed && mark != kNoTime) {
+      state.monitor->advance_to(util::SimTime::from_nanos(mark - 1));
+      state.max_fed = mark - 1;
+    }
+    collector->watermark(shard, mark);
+  }
+
+  // --- lifecycle --------------------------------------------------------
+
+  std::size_t take_source_slot() {
+    const std::lock_guard<std::mutex> lock(attach_mutex);
+    if (finishing) {
+      throw std::logic_error("MonitorFleet: attach/consume after finish()");
+    }
+    if (attached >= config.sources) {
+      throw std::logic_error(
+          "MonitorFleet: more sources than FleetConfig::sources");
+    }
+    return attached++;
+  }
+
+  FleetStats finish() {
+    {
+      const std::lock_guard<std::mutex> lock(attach_mutex);
+      if (finishing) return stats;
+      finishing = true;
+    }
+    // Join the pumps first: a pump owns the producer side of its rings
+    // until its source ends (shutdown contract).
+    for (std::thread& pump_thread : pumps) {
+      if (pump_thread.joinable()) pump_thread.join();
+    }
+    // Close every ring — including slots never attached — so each
+    // worker's lanes exhaust and the workers drain out.
+    for (auto& row : rings) {
+      for (auto& ring : row) ring->close();
+    }
+    for (Shard& shard : shards) {
+      if (shard.worker.joinable()) shard.worker.join();
+    }
+
+    // Advance every shard to the fleet-wide last capture instant so
+    // idle evictions fire exactly where a single monitor's would have
+    // (its wheel saw the global maximum timestamp; each shard's only
+    // saw its own traffic).
+    std::int64_t horizon = kNoTime;
+    for (const Shard& shard : shards) {
+      horizon = std::max(horizon, shard.max_fed);
+    }
+    if (horizon != kNoTime) {
+      for (Shard& shard : shards) {
+        shard.monitor->advance_to(util::SimTime::from_nanos(horizon));
+        if (collector != nullptr) {
+          // advance_to may emit (window closes, idle evictions) — let
+          // the collector release them before the shutdown flush.
+          collector->watermark(shard_index(shard), horizon);
+        }
+      }
+    }
+    stats.shards.reserve(shards.size());
+    for (Shard& shard : shards) {
+      stats.shards.push_back(shard.monitor->finish());
+    }
+    if (collector != nullptr) collector->flush();
+
+    for (const MonitorStats& s : stats.shards) accumulate(stats.totals, s);
+    stats.packets = packets.load(std::memory_order_relaxed);
+    stats.packets_unroutable = unroutable.load(std::memory_order_relaxed);
+    stats.merge_deferrals = deferrals.load(std::memory_order_relaxed);
+    stats.backpressure_waits = backpressure.load(std::memory_order_relaxed);
+    return stats;
+  }
+
+  [[nodiscard]] std::size_t shard_index(const Shard& shard) const {
+    return static_cast<std::size_t>(&shard - shards.data());
+  }
+
+  static void accumulate(MonitorStats& total, const MonitorStats& shard) {
+    total.packets += shard.packets;
+    total.client_records += shard.client_records;
+    total.viewers_opened += shard.viewers_opened;
+    total.viewers_evicted_idle += shard.viewers_evicted_idle;
+    total.viewers_shed += shard.viewers_shed;
+    total.questions_opened += shard.questions_opened;
+    total.choices_inferred += shard.choices_inferred;
+    total.overrides += shard.overrides;
+    total.questions_synthesized += shard.questions_synthesized;
+    total.gaps_observed += shard.gaps_observed;
+    total.flows_swept += shard.flows_swept;
+    total.timer_fires += shard.timer_fires;
+    total.ceiling_violations += shard.ceiling_violations;
+    // Sum of per-shard peaks: an upper bound on the simultaneous peak.
+    total.peak_viewers += shard.peak_viewers;
+    total.peak_memory_bytes += shard.peak_memory_bytes;
+  }
+
+  void abort_without_finish() {
+    {
+      const std::lock_guard<std::mutex> lock(attach_mutex);
+      if (finishing) return;  // finish() already ran
+      finishing = true;
+    }
+    for (std::thread& pump_thread : pumps) {
+      if (pump_thread.joinable()) pump_thread.join();
+    }
+    for (auto& row : rings) {
+      for (auto& ring : row) ring->close();
+    }
+    for (Shard& shard : shards) {
+      if (shard.worker.joinable()) shard.worker.join();
+    }
+    // Monitors are destroyed un-finished: no shutdown events fire.
+  }
+
+  const core::RecordClassifier& classifier;
+  const FleetConfig config;
+  std::unique_ptr<OrderingCollector> collector;
+  /// rings[source][shard]: producer = that source's pump, consumer =
+  /// that shard's worker — strict SPSC per ring.
+  std::vector<std::vector<std::unique_ptr<util::SpscRing<net::Packet>>>> rings;
+  std::vector<Shard> shards;
+  std::vector<std::thread> pumps;
+
+  std::mutex attach_mutex;  // attach/consume slot bookkeeping only
+  std::size_t attached = 0;
+  bool finishing = false;
+
+  std::atomic<std::uint64_t> packets{0};
+  std::atomic<std::uint64_t> unroutable{0};
+  std::atomic<std::uint64_t> deferrals{0};
+  std::atomic<std::uint64_t> backpressure{0};
+  std::atomic<std::size_t> sources_done{0};
+
+  FleetStats stats;
+};
+
+MonitorFleet::MonitorFleet(const core::RecordClassifier& classifier,
+                           FleetConfig config, engine::EventSink* sink)
+    : impl_(std::make_unique<Impl>(classifier, std::move(config), sink)) {}
+
+MonitorFleet::~MonitorFleet() {
+  if (impl_ != nullptr) impl_->abort_without_finish();
+}
+
+void MonitorFleet::attach(engine::PacketSource& source) {
+  const std::size_t slot = impl_->take_source_slot();
+  Impl* impl = impl_.get();
+  {
+    const std::lock_guard<std::mutex> lock(impl->attach_mutex);
+    impl->pumps.emplace_back(
+        [impl, &source, slot] { impl->pump(source, slot); });
+  }
+}
+
+std::size_t MonitorFleet::consume(engine::PacketSource& source) {
+  const std::size_t slot = impl_->take_source_slot();
+  return impl_->pump(source, slot);
+}
+
+bool MonitorFleet::drained() const {
+  const std::lock_guard<std::mutex> lock(impl_->attach_mutex);
+  return impl_->sources_done.load(std::memory_order_acquire) >=
+         impl_->attached;
+}
+
+FleetStats MonitorFleet::finish() { return impl_->finish(); }
+
+std::size_t MonitorFleet::shard_count() const { return impl_->config.shards; }
+
+std::size_t MonitorFleet::active_viewers() const {
+  std::size_t total = 0;
+  for (const Impl::Shard& shard : impl_->shards) {
+    total += shard.approx_viewers.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::size_t MonitorFleet::memory_bytes() const {
+  std::size_t total = 0;
+  for (const Impl::Shard& shard : impl_->shards) {
+    total += shard.approx_bytes.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace wm::monitor

@@ -87,24 +87,45 @@ struct ContinuousMonitor::Impl {
         extractor(make_extractor_config(config)) {
     if (config.metrics != nullptr) {
       obs::Registry& m = *config.metrics;
-      viewers_opened_c = m.counter("monitor.viewers.opened", obs::Stability::kStable);
-      viewers_idle_c = m.counter("monitor.viewers.evicted_idle", obs::Stability::kStable);
-      viewers_shed_c = m.counter("monitor.viewers.shed", obs::Stability::kStable);
-      viewers_peak_c = m.counter("monitor.viewers.active.peak", obs::Stability::kStable);
-      mem_peak_c = m.counter("monitor.mem.bytes.peak", obs::Stability::kStable);
-      ceiling_c = m.counter("monitor.mem.ceiling_violations", obs::Stability::kStable);
-      questions_c = m.counter("monitor.emit.questions", obs::Stability::kStable);
-      choices_c = m.counter("monitor.emit.choices", obs::Stability::kStable);
-      overrides_c = m.counter("monitor.emit.overrides", obs::Stability::kStable);
-      gaps_c = m.counter("monitor.gaps", obs::Stability::kStable);
-      sweeps_c = m.counter("monitor.flows.swept", obs::Stability::kStable);
-      timer_c = m.counter("monitor.timer.fires", obs::Stability::kStable);
+      // Rollup stability is per counter: per-viewer / per-record
+      // quantities sum to the same totals at any shard count (stable
+      // rollups keep the flat "monitor.*" names byte-identical), while
+      // sweep-cadence and split-budget quantities (shed, peaks, ceiling
+      // hits, timer fires) vary with N and roll up as kSharded.
+      const auto resolve = [&](const char* suffix, obs::Stability rollup_stab) {
+        const std::string name = config.metrics_scope + suffix;
+        if (config.metrics_rollup.empty()) {
+          return m.counter(name, config.metrics_stability);
+        }
+        return m.counter(name, config.metrics_stability,
+                         config.metrics_rollup + suffix, rollup_stab);
+      };
+      using obs::Stability;
+      viewers_opened_c = resolve(".viewers.opened", Stability::kStable);
+      viewers_idle_c = resolve(".viewers.evicted_idle", Stability::kStable);
+      viewers_shed_c = resolve(".viewers.shed", Stability::kSharded);
+      viewers_peak_c = resolve(".viewers.active.peak", Stability::kSharded);
+      mem_peak_c = resolve(".mem.bytes.peak", Stability::kSharded);
+      ceiling_c = resolve(".mem.ceiling_violations", Stability::kSharded);
+      questions_c = resolve(".emit.questions", Stability::kStable);
+      choices_c = resolve(".emit.choices", Stability::kStable);
+      overrides_c = resolve(".emit.overrides", Stability::kStable);
+      gaps_c = resolve(".gaps", Stability::kStable);
+      sweeps_c = resolve(".flows.swept", Stability::kStable);
+      timer_c = resolve(".timer.fires", Stability::kSharded);
       // Question-to-answer sim-time latency; bounded above by the
       // evidence window, so millisecond buckets up to 30s cover it.
-      emit_latency_h = m.histogram(
-          "monitor.emit.latency_ms",
-          {1, 10, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000},
-          obs::Stability::kStable);
+      const std::vector<std::uint64_t> latency_bounds = {
+          1, 10, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000};
+      if (config.metrics_rollup.empty()) {
+        emit_latency_h = m.histogram(config.metrics_scope + ".emit.latency_ms",
+                                     latency_bounds, config.metrics_stability);
+      } else {
+        emit_latency_h = m.histogram(
+            config.metrics_scope + ".emit.latency_ms", latency_bounds,
+            config.metrics_stability,
+            config.metrics_rollup + ".emit.latency_ms", Stability::kStable);
+      }
     }
   }
 
@@ -116,8 +137,11 @@ struct ContinuousMonitor::Impl {
     out.reassembly = config.reassembly;
     if (config.metrics != nullptr) {
       out.registry = config.metrics;
-      out.metrics_scope = "monitor.extractor";
-      out.metrics_stability = obs::Stability::kStable;
+      out.metrics_scope = config.metrics_scope + ".extractor";
+      out.metrics_stability = config.metrics_stability;
+      if (!config.metrics_rollup.empty()) {
+        out.metrics_rollup = config.metrics_rollup + ".extractor";
+      }
     }
     return out;
   }

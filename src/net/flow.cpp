@@ -171,9 +171,18 @@ std::uint64_t mix(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
-}  // namespace
+// The address/port/protocol fields of a raw frame, as pointers into
+// the packet bytes — shared by the flow and viewer shard hashes so
+// both parse the wire format exactly once, identically.
+struct RawTuple {
+  const std::uint8_t* addr_a = nullptr;  // source address bytes
+  const std::uint8_t* addr_b = nullptr;  // destination address bytes
+  std::size_t addr_len = 0;
+  const std::uint8_t* ports = nullptr;   // src port at +0, dst at +2
+  std::uint8_t protocol = 0;
+};
 
-std::optional<std::uint64_t> flow_shard_hash(const Packet& packet) {
+std::optional<RawTuple> parse_raw_tuple(const Packet& packet) {
   const std::uint8_t* p = packet.data.data();
   std::size_t size = packet.data.size();
   if (size < 14) return std::nullopt;
@@ -186,38 +195,70 @@ std::optional<std::uint64_t> flow_shard_hash(const Packet& packet) {
     offset += 4;
   }
 
-  const std::uint8_t* addr_a = nullptr;
-  const std::uint8_t* addr_b = nullptr;
-  std::size_t addr_len = 0;
-  std::uint8_t protocol = 0;
+  RawTuple tuple;
   std::size_t transport = 0;
   if (ethertype == 0x0800) {  // IPv4
     if (size < offset + 20) return std::nullopt;
     const std::size_t header_len = static_cast<std::size_t>(p[offset] & 0x0f) * 4;
     if (header_len < 20 || size < offset + header_len) return std::nullopt;
-    protocol = p[offset + 9];
-    addr_a = p + offset + 12;
-    addr_b = p + offset + 16;
-    addr_len = 4;
+    tuple.protocol = p[offset + 9];
+    tuple.addr_a = p + offset + 12;
+    tuple.addr_b = p + offset + 16;
+    tuple.addr_len = 4;
     transport = offset + header_len;
   } else if (ethertype == 0x86dd) {  // IPv6 (no extension-header walk)
     if (size < offset + 40) return std::nullopt;
-    protocol = p[offset + 6];
-    addr_a = p + offset + 8;
-    addr_b = p + offset + 24;
-    addr_len = 16;
+    tuple.protocol = p[offset + 6];
+    tuple.addr_a = p + offset + 8;
+    tuple.addr_b = p + offset + 24;
+    tuple.addr_len = 16;
     transport = offset + 40;
   } else {
     return std::nullopt;
   }
-  if (protocol != 6 && protocol != 17) return std::nullopt;  // TCP/UDP only
+  if (tuple.protocol != 6 && tuple.protocol != 17) return std::nullopt;  // TCP/UDP only
   if (size < transport + 4) return std::nullopt;
+  tuple.ports = p + transport;
+  return tuple;
+}
 
+std::uint16_t port_at(const std::uint8_t* ports, std::size_t index) {
+  return static_cast<std::uint16_t>((ports[index * 2] << 8) | ports[index * 2 + 1]);
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> flow_shard_hash(const Packet& packet) {
+  const auto tuple = parse_raw_tuple(packet);
+  if (!tuple) return std::nullopt;
   // Endpoint hash = fnv(address bytes, then port bytes); combining the
   // two endpoints commutatively makes the result direction-symmetric.
-  const std::uint64_t ha = fnv1a(p + transport, 2, fnv1a(addr_a, addr_len));
-  const std::uint64_t hb = fnv1a(p + transport + 2, 2, fnv1a(addr_b, addr_len));
-  return mix((ha + hb) ^ protocol) ^ mix(ha ^ hb);
+  const std::uint64_t ha =
+      fnv1a(tuple->ports, 2, fnv1a(tuple->addr_a, tuple->addr_len));
+  const std::uint64_t hb =
+      fnv1a(tuple->ports + 2, 2, fnv1a(tuple->addr_b, tuple->addr_len));
+  return mix((ha + hb) ^ tuple->protocol) ^ mix(ha ^ hb);
+}
+
+std::optional<std::uint64_t> viewer_shard_hash(const Packet& packet) {
+  const auto tuple = parse_raw_tuple(packet);
+  if (!tuple) return std::nullopt;
+  // Same orientation heuristic FlowTable uses for SYN-less flows: a
+  // well-known port (< 1024) on exactly one endpoint marks the server,
+  // so the other endpoint's address is the viewer. Hashing the address
+  // alone (no port) keeps every flow of one client — CDN, API, and any
+  // parallel connections — on the same shard, matching the monitor's
+  // per-viewer keying.
+  const bool a_service = port_at(tuple->ports, 0) < 1024;
+  const bool b_service = port_at(tuple->ports, 1) < 1024;
+  if (a_service != b_service) {
+    const std::uint8_t* viewer = a_service ? tuple->addr_b : tuple->addr_a;
+    return mix(fnv1a(viewer, tuple->addr_len));
+  }
+  // Undecidable orientation (both or neither side on a well-known
+  // port): fall back to the direction-symmetric flow hash so the flow
+  // at least stays whole. Viewer affinity may split in this case.
+  return flow_shard_hash(packet);
 }
 
 std::vector<const FlowRecord*> FlowTable::by_volume() const {

@@ -1,0 +1,522 @@
+// MonitorFleet: the viewer-sharded monitor against its single-threaded
+// reference. The headline property is the differential — for any shard
+// count and source count, per-viewer emission streams (choices,
+// question times, confidence, evictions) are identical to one
+// ContinuousMonitor fed the same capture, clean and under drop/jitter
+// impairments. Plus: global-order delivery through OrderingCollector,
+// rollup metric accounting, viewer-hash routing invariants, and a
+// tiny-ring stress leg (backpressure + shutdown-while-feeding + the
+// abort-without-finish destructor path).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "wm/core/classifier.hpp"
+#include "wm/monitor/fleet.hpp"
+#include "wm/monitor/live_source.hpp"
+#include "wm/monitor/monitor.hpp"
+#include "wm/monitor/workload.hpp"
+#include "wm/net/flow.hpp"
+#include "wm/obs/registry.hpp"
+#include "wm/sim/impairments.hpp"
+#include "wm/util/rng.hpp"
+
+namespace wm::monitor {
+namespace {
+
+/// Thread-safe collecting sink (the fleet delivers from N shard
+/// threads). Per-viewer delivery is serial by contract, so one mutex
+/// around the containers is all the synchronization needed.
+struct FleetSink final : engine::EventSink {
+  struct Emitted {
+    core::InferredQuestion question;
+    std::int64_t at_nanos = 0;
+    bool final = false;
+  };
+  struct Eviction {
+    engine::ViewerEvictedEvent::Reason reason{};
+    std::int64_t at_nanos = 0;
+    std::size_t questions_emitted = 0;
+  };
+
+  mutable std::mutex mu;
+  std::map<std::string, std::vector<Emitted>> choices;
+  std::map<std::string, std::size_t> opened;
+  std::map<std::string, std::vector<Eviction>> evictions;
+  std::map<std::string, std::size_t> gaps;
+  /// The event-time key of every callback in delivery order — the
+  /// sequence OrderingCollector promises is non-decreasing (except
+  /// shutdown-flush evictions, whose `at` is backdated by contract).
+  struct Delivery {
+    std::int64_t at_nanos = 0;
+    bool shutdown_eviction = false;
+  };
+  std::vector<Delivery> delivery_times;
+
+  void on_question_opened(const engine::QuestionOpenedEvent& event) override {
+    const std::lock_guard<std::mutex> lock(mu);
+    ++opened[std::string(event.client)];
+    delivery_times.push_back({event.question.question_time.nanos(), false});
+  }
+  void on_choice_inferred(const engine::ChoiceInferredEvent& event) override {
+    const std::lock_guard<std::mutex> lock(mu);
+    choices[std::string(event.client)].push_back(
+        Emitted{event.question, event.at.nanos(), event.final});
+    delivery_times.push_back({event.at.nanos(), false});
+  }
+  void on_viewer_evicted(const engine::ViewerEvictedEvent& event) override {
+    const std::lock_guard<std::mutex> lock(mu);
+    evictions[std::string(event.client)].push_back(
+        Eviction{event.reason, event.at.nanos(), event.questions_emitted});
+    delivery_times.push_back(
+        {event.at.nanos(),
+         event.reason == engine::ViewerEvictedEvent::Reason::kShutdown});
+  }
+  void on_gap_observed(const engine::GapObservedEvent& event) override {
+    const std::lock_guard<std::mutex> lock(mu);
+    ++gaps[std::string(event.client)];
+    delivery_times.push_back({event.gap.at.nanos(), false});
+  }
+};
+
+WorkloadConfig small_fleet_workload() {
+  WorkloadConfig workload;
+  workload.sessions = 12;
+  workload.concurrency = 4;
+  workload.questions_per_session = 3;
+  return workload;
+}
+
+std::vector<net::Packet> materialize(const WorkloadConfig& workload) {
+  SyntheticFleetSource source(workload);
+  std::vector<net::Packet> packets;
+  packets.reserve(source.packets_total());
+  while (auto packet = source.next()) packets.push_back(std::move(*packet));
+  return packets;
+}
+
+/// Differential monitor tuning: idle timeout short enough that early
+/// sessions age out mid-capture, so the comparison covers idle
+/// evictions and not just the shutdown flush.
+MonitorConfig diff_config() {
+  MonitorConfig config;
+  config.evidence_window = util::Duration::seconds(5);
+  config.viewer_idle_timeout = util::Duration::seconds(10);
+  config.flow_idle_timeout = util::Duration::seconds(8);
+  return config;
+}
+
+/// Split a time-ordered capture into `sources` time-ordered streams,
+/// keeping every viewer inside one stream (the shutdown contract the
+/// per-viewer ordering guarantee is specified against).
+std::vector<std::vector<net::Packet>> split_by_viewer(
+    const std::vector<net::Packet>& packets, std::size_t sources) {
+  std::vector<std::vector<net::Packet>> parts(sources);
+  for (const net::Packet& packet : packets) {
+    const auto hash = net::viewer_shard_hash(packet);
+    const std::size_t slot = hash ? static_cast<std::size_t>(*hash % sources) : 0;
+    parts[slot].push_back(packet);
+  }
+  return parts;
+}
+
+struct ReferenceRun {
+  FleetSink sink;
+  MonitorStats stats;
+};
+
+void run_reference(const core::RecordClassifier& classifier,
+                   const std::vector<net::Packet>& packets,
+                   ReferenceRun& out) {
+  ContinuousMonitor monitor(classifier, diff_config(), &out.sink);
+  for (const net::Packet& packet : packets) monitor.feed(packet);
+  out.stats = monitor.finish();
+}
+
+struct FleetRun {
+  FleetSink sink;
+  FleetStats stats;
+};
+
+void run_fleet(const core::RecordClassifier& classifier,
+               const std::vector<net::Packet>& packets, std::size_t shards,
+               std::size_t sources, FleetRun& out,
+               bool global_order = false) {
+  FleetConfig config;
+  config.shards = shards;
+  config.sources = sources;
+  // Rings sized past the whole capture and a merge wait no real
+  // scheduling hiccup can reach: the run is deterministic (no
+  // backpressure parks, no merge deferrals) so the differential is
+  // exact, not statistical.
+  config.ring_capacity = packets.size() + 1;
+  config.merge_wait = util::Duration::seconds(30);
+  config.global_order = global_order;
+  config.monitor = diff_config();
+
+  MonitorFleet fleet(classifier, config, &out.sink);
+  const auto parts = split_by_viewer(packets, sources);
+  std::vector<engine::VectorSource> vector_sources;
+  vector_sources.reserve(parts.size());
+  for (const auto& part : parts) vector_sources.emplace_back(&part);
+  for (auto& source : vector_sources) fleet.attach(source);
+  out.stats = fleet.finish();
+  EXPECT_EQ(out.stats.merge_deferrals, 0u)
+      << shards << " shards x " << sources << " sources";
+}
+
+void expect_equal_streams(const FleetSink& fleet, const FleetSink& reference,
+                          const std::string& label) {
+  ASSERT_EQ(fleet.opened, reference.opened) << label;
+  ASSERT_EQ(fleet.gaps, reference.gaps) << label;
+
+  std::set<std::string> fleet_clients;
+  for (const auto& [client, emitted] : fleet.choices)
+    fleet_clients.insert(client), (void)emitted;
+  std::set<std::string> reference_clients;
+  for (const auto& [client, emitted] : reference.choices)
+    reference_clients.insert(client), (void)emitted;
+  ASSERT_EQ(fleet_clients, reference_clients) << label;
+
+  for (const auto& [client, expected] : reference.choices) {
+    const auto& got = fleet.choices.at(client);
+    ASSERT_EQ(got.size(), expected.size()) << label << " client " << client;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(got[i].question.choice, expected[i].question.choice)
+          << label << " client " << client << " question " << i;
+      EXPECT_EQ(got[i].question.question_time.nanos(),
+                expected[i].question.question_time.nanos())
+          << label << " client " << client << " question " << i;
+      EXPECT_NEAR(got[i].question.confidence, expected[i].question.confidence,
+                  1e-12)
+          << label << " client " << client << " question " << i;
+      EXPECT_EQ(got[i].at_nanos, expected[i].at_nanos)
+          << label << " client " << client << " question " << i;
+      EXPECT_EQ(got[i].final, expected[i].final)
+          << label << " client " << client << " question " << i;
+    }
+  }
+
+  ASSERT_EQ(fleet.evictions.size(), reference.evictions.size()) << label;
+  for (const auto& [client, expected] : reference.evictions) {
+    const auto it = fleet.evictions.find(client);
+    ASSERT_NE(it, fleet.evictions.end()) << label << " client " << client;
+    const auto& got = it->second;
+    ASSERT_EQ(got.size(), expected.size()) << label << " client " << client;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(got[i].reason, expected[i].reason)
+          << label << " client " << client << " eviction " << i;
+      EXPECT_EQ(got[i].at_nanos, expected[i].at_nanos)
+          << label << " client " << client << " eviction " << i;
+      EXPECT_EQ(got[i].questions_emitted, expected[i].questions_emitted)
+          << label << " client " << client << " eviction " << i;
+    }
+  }
+}
+
+void expect_equal_totals(const FleetStats& fleet, const MonitorStats& reference,
+                         const std::string& label) {
+  EXPECT_EQ(fleet.totals.packets, reference.packets) << label;
+  EXPECT_EQ(fleet.totals.viewers_opened, reference.viewers_opened) << label;
+  EXPECT_EQ(fleet.totals.viewers_evicted_idle, reference.viewers_evicted_idle)
+      << label;
+  EXPECT_EQ(fleet.totals.viewers_shed, reference.viewers_shed) << label;
+  EXPECT_EQ(fleet.totals.questions_opened, reference.questions_opened) << label;
+  EXPECT_EQ(fleet.totals.choices_inferred, reference.choices_inferred) << label;
+  EXPECT_EQ(fleet.totals.overrides, reference.overrides) << label;
+  EXPECT_EQ(fleet.totals.gaps_observed, reference.gaps_observed) << label;
+}
+
+/// The full differential matrix on one capture: shard counts x source
+/// counts, every per-viewer stream equal to the single monitor's.
+void run_matrix(const std::vector<net::Packet>& packets,
+                const core::RecordClassifier& classifier,
+                const std::string& tag) {
+  ReferenceRun reference;
+  run_reference(classifier, packets, reference);
+  ASSERT_FALSE(reference.sink.choices.empty()) << tag;
+  ASSERT_GT(reference.stats.viewers_evicted_idle, 0u)
+      << tag << ": tuning should cover idle eviction, not just shutdown";
+
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    for (const std::size_t sources : {1u, 4u}) {
+      const std::string label = tag + " shards=" + std::to_string(shards) +
+                                " sources=" + std::to_string(sources);
+      FleetRun fleet;
+      run_fleet(classifier, packets, shards, sources, fleet);
+      expect_equal_streams(fleet.sink, reference.sink, label);
+      expect_equal_totals(fleet.stats, reference.stats, label);
+      EXPECT_EQ(fleet.stats.packets, packets.size()) << label;
+    }
+  }
+}
+
+TEST(MonitorFleet, DifferentialMatchesSingleMonitorAcrossShardMatrix) {
+  const WorkloadConfig workload = small_fleet_workload();
+  core::IntervalClassifier classifier;
+  classifier.fit(workload_calibration(workload));
+  run_matrix(materialize(workload), classifier, "clean");
+}
+
+TEST(MonitorFleet, DifferentialHoldsUnderDropAndJitter) {
+  const WorkloadConfig workload = small_fleet_workload();
+  core::IntervalClassifier classifier;
+  classifier.fit(workload_calibration(workload));
+  const std::vector<net::Packet> clean = materialize(workload);
+
+  // Impair the capture ONCE, before partitioning: reference and fleet
+  // see the same damaged packets, so equality must survive capture loss
+  // and local reordering (jitter_order re-sorts, keeping the global
+  // time order sources promise).
+  util::Rng rng(20260807);
+  const std::vector<net::Packet> dropped = sim::drop_packets(clean, 0.01, rng);
+  const std::vector<net::Packet> impaired =
+      sim::jitter_order(dropped, 0.005, rng);
+  ASSERT_LT(impaired.size(), clean.size());
+  run_matrix(impaired, classifier, "impaired");
+}
+
+TEST(MonitorFleet, GlobalOrderDeliveryIsTimeSorted) {
+  const WorkloadConfig workload = small_fleet_workload();
+  core::IntervalClassifier classifier;
+  classifier.fit(workload_calibration(workload));
+  const std::vector<net::Packet> packets = materialize(workload);
+
+  ReferenceRun reference;
+  run_reference(classifier, packets, reference);
+
+  FleetRun fleet;
+  run_fleet(classifier, packets, /*shards=*/4, /*sources=*/4, fleet,
+            /*global_order=*/true);
+
+  // Same per-viewer streams as ever...
+  expect_equal_streams(fleet.sink, reference.sink, "global-order");
+  // ...but delivery is additionally a single global time-sorted
+  // sequence across viewers and shards. Shutdown-flush evictions are
+  // exempt (their `at` is the viewer's last activity, backdated by
+  // contract); they arrive last, sorted among themselves.
+  ASSERT_FALSE(fleet.sink.delivery_times.empty());
+  std::vector<std::int64_t> ordered;
+  std::vector<std::int64_t> shutdown_flush;
+  bool flush_started = false;
+  for (const auto& delivery : fleet.sink.delivery_times) {
+    if (delivery.shutdown_eviction) {
+      flush_started = true;
+      shutdown_flush.push_back(delivery.at_nanos);
+    } else {
+      // Once the shutdown flush begins, only its own backlog remains
+      // behind already-released events; everything else stays sorted.
+      if (!flush_started) ordered.push_back(delivery.at_nanos);
+    }
+  }
+  ASSERT_FALSE(ordered.empty());
+  ASSERT_FALSE(shutdown_flush.empty());
+  EXPECT_TRUE(std::is_sorted(ordered.begin(), ordered.end()));
+  EXPECT_TRUE(std::is_sorted(shutdown_flush.begin(), shutdown_flush.end()));
+  EXPECT_EQ(fleet.sink.delivery_times.size(),
+            reference.sink.delivery_times.size());
+}
+
+TEST(MonitorFleet, RollupCountersMatchShardSumAndSingleMonitor) {
+  const WorkloadConfig workload = small_fleet_workload();
+  core::IntervalClassifier classifier;
+  classifier.fit(workload_calibration(workload));
+  const std::vector<net::Packet> packets = materialize(workload);
+
+  obs::Registry registry;
+  FleetConfig config;
+  config.shards = 4;
+  config.ring_capacity = packets.size() + 1;
+  config.monitor = diff_config();
+  config.monitor.metrics = &registry;
+
+  MonitorFleet fleet(classifier, config);
+  engine::VectorSource source(&packets);
+  EXPECT_EQ(fleet.consume(source), packets.size());
+  const FleetStats stats = fleet.finish();
+
+  const obs::Snapshot snap = registry.snapshot();
+  // Rollups keep the flat standalone names and equal the aggregate.
+  EXPECT_EQ(snap.stable.at("monitor.emit.choices"),
+            stats.totals.choices_inferred);
+  EXPECT_EQ(snap.stable.at("monitor.emit.questions"),
+            stats.totals.questions_opened);
+  EXPECT_EQ(snap.stable.at("monitor.viewers.opened"),
+            stats.totals.viewers_opened);
+  EXPECT_EQ(snap.sharded.at("monitor.viewers.shed"),
+            stats.totals.viewers_shed);
+  EXPECT_EQ(snap.sharded.at("monitor.mem.ceiling_violations"),
+            stats.totals.ceiling_violations);
+
+  // Every rollup is exactly the sum of its per-shard counters.
+  for (const char* suffix : {".emit.choices", ".emit.questions",
+                             ".viewers.opened", ".viewers.evicted_idle"}) {
+    std::uint64_t shard_sum = 0;
+    for (std::size_t i = 0; i < config.shards; ++i) {
+      shard_sum += snap.sharded.at("monitor.shard[" + std::to_string(i) + "]" +
+                                   std::string(suffix));
+    }
+    EXPECT_EQ(snap.stable.at("monitor" + std::string(suffix)), shard_sum)
+        << suffix;
+  }
+
+  // And the rollup equals what a standalone monitor registers flat.
+  obs::Registry single_registry;
+  MonitorConfig single_config = diff_config();
+  single_config.metrics = &single_registry;
+  ContinuousMonitor monitor(classifier, single_config);
+  engine::VectorSource single_source(&packets);
+  monitor.consume(single_source);
+  monitor.finish();
+  const obs::Snapshot single_snap = single_registry.snapshot();
+  EXPECT_EQ(snap.stable.at("monitor.emit.choices"),
+            single_snap.stable.at("monitor.emit.choices"));
+  EXPECT_EQ(snap.stable.at("monitor.viewers.opened"),
+            single_snap.stable.at("monitor.viewers.opened"));
+}
+
+TEST(MonitorFleet, ViewerHashPinsEverySessionPacketToOneShard) {
+  WorkloadConfig workload = small_fleet_workload();
+  workload.sessions = 1;
+  const std::vector<net::Packet> one_session = materialize(workload);
+  ASSERT_FALSE(one_session.empty());
+  const auto first = net::viewer_shard_hash(one_session.front());
+  ASSERT_TRUE(first.has_value());
+  // Both directions of every flow in the session hash to the viewer.
+  for (const net::Packet& packet : one_session) {
+    const auto hash = net::viewer_shard_hash(packet);
+    ASSERT_TRUE(hash.has_value());
+    EXPECT_EQ(*hash, *first);
+  }
+
+  // Across a fleet of distinct viewers the hash spreads over shards.
+  workload.sessions = 32;
+  std::set<std::uint64_t> buckets;
+  for (const net::Packet& packet : materialize(workload)) {
+    const auto hash = net::viewer_shard_hash(packet);
+    ASSERT_TRUE(hash.has_value());
+    buckets.insert(*hash % 8);
+  }
+  EXPECT_GT(buckets.size(), 2u);
+}
+
+TEST(MonitorFleet, StressTinyRingsBackpressureAndShutdownWhileFeeding) {
+  WorkloadConfig workload;
+  workload.sessions = 48;
+  workload.concurrency = 12;
+  workload.questions_per_session = 2;
+  core::IntervalClassifier classifier;
+  classifier.fit(workload_calibration(workload));
+  const std::vector<net::Packet> packets = materialize(workload);
+  const auto parts = split_by_viewer(packets, 4);
+
+  FleetSink sink;
+  FleetConfig config;
+  config.shards = 4;
+  config.sources = 4;
+  config.ring_capacity = 8;  // force pump parks
+  config.batch = 4;
+  config.merge_wait = util::Duration::millis(1);
+  config.monitor = diff_config();
+
+  MonitorFleet fleet(classifier, config, &sink);
+  std::vector<std::unique_ptr<InjectableTap>> taps;
+  for (std::size_t i = 0; i < 4; ++i)
+    taps.push_back(std::make_unique<InjectableTap>(/*capacity=*/8));
+  for (auto& tap : taps) fleet.attach(*tap);
+
+  // Producers inject through bounded taps while the main thread is
+  // already inside finish(): shutdown races live feeding, and finish()
+  // must block until every tap closes, then account for every packet.
+  std::vector<std::thread> producers;
+  producers.reserve(taps.size());
+  for (std::size_t i = 0; i < taps.size(); ++i) {
+    producers.emplace_back([&taps, &parts, i] {
+      for (const net::Packet& packet : parts[i]) {
+        net::Packet copy = packet;
+        EXPECT_TRUE(taps[i]->inject(std::move(copy)));
+      }
+      taps[i]->close();
+    });
+  }
+  const FleetStats stats = fleet.finish();
+  for (std::thread& producer : producers) producer.join();
+
+  EXPECT_EQ(stats.packets, packets.size());
+  EXPECT_EQ(stats.totals.packets, packets.size());
+  EXPECT_EQ(stats.totals.viewers_opened, workload.sessions);
+  // 8-slot rings against thousands of packets: the pumps parked.
+  EXPECT_GT(stats.backpressure_waits, 0u);
+  // Deferrals are allowed here (1ms merge_wait, racing producers); the
+  // per-viewer serial guarantee still holds — spot-check every viewer
+  // got a full answer stream despite the chaos.
+  std::size_t total_choices = 0;
+  for (const auto& [client, emitted] : sink.choices)
+    total_choices += emitted.size(), (void)client;
+  EXPECT_EQ(total_choices, stats.totals.choices_inferred);
+  EXPECT_EQ(stats.totals.choices_inferred,
+            workload.sessions * workload.questions_per_session);
+}
+
+TEST(MonitorFleet, DestructionWithoutFinishDrainsAndJoins) {
+  const WorkloadConfig workload = small_fleet_workload();
+  core::IntervalClassifier classifier;
+  classifier.fit(workload_calibration(workload));
+  const std::vector<net::Packet> packets = materialize(workload);
+
+  FleetSink sink;
+  // Sources must outlive the fleet (pumps read them until end-of-
+  // stream), so they are declared outside the fleet's scope.
+  const auto parts = split_by_viewer(packets, 2);
+  engine::VectorSource a(&parts[0]);
+  engine::VectorSource b(&parts[1]);
+  {
+    FleetConfig config;
+    config.shards = 2;
+    config.sources = 2;
+    config.ring_capacity = 16;
+    config.monitor = diff_config();
+    MonitorFleet fleet(classifier, config, &sink);
+    fleet.attach(a);
+    fleet.attach(b);
+    // No finish(): the destructor must join pumps and workers cleanly.
+  }
+  // The abort path skips the shutdown flush, so no kShutdown evictions;
+  // whatever WAS delivered before teardown is still well-formed.
+  for (const auto& [client, events] : sink.evictions) {
+    for (const auto& eviction : events) {
+      EXPECT_NE(eviction.reason,
+                engine::ViewerEvictedEvent::Reason::kShutdown)
+          << client;
+    }
+  }
+}
+
+TEST(MonitorFleet, SourceSlotOveruseThrows) {
+  const WorkloadConfig workload = small_fleet_workload();
+  core::IntervalClassifier classifier;
+  classifier.fit(workload_calibration(workload));
+  const std::vector<net::Packet> packets = materialize(workload);
+
+  FleetConfig config;
+  config.sources = 1;
+  MonitorFleet fleet(classifier, config);
+  engine::VectorSource first(&packets);
+  fleet.consume(first);
+  engine::VectorSource second(&packets);
+  EXPECT_THROW(fleet.attach(second), std::logic_error);
+  fleet.finish();
+  engine::VectorSource third(&packets);
+  EXPECT_THROW(fleet.attach(third), std::logic_error);
+}
+
+}  // namespace
+}  // namespace wm::monitor

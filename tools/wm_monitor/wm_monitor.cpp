@@ -18,16 +18,24 @@
 // Memory stays bounded: pass --max-mb to cap viewer decode state; the
 // monitor sheds oldest-idle viewers instead of growing. --stats-every
 // prints a periodic one-line status so a long run is observable.
+//
+// --threads N (default 1) shards the monitor across N worker threads
+// (wm::monitor::MonitorFleet): traffic is partitioned by viewer, each
+// shard owns a private monitor, and --max-mb becomes the fleet-wide
+// budget. Per-viewer event order is unchanged; cross-viewer order is
+// per-shard (see fleet.hpp for the ordering contract).
 #include <cstdint>
 #include <cstdio>
 #include <exception>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "wm/core/engine/events.hpp"
 #include "wm/core/engine/source.hpp"
 #include "wm/core/pipeline.hpp"
+#include "wm/monitor/fleet.hpp"
 #include "wm/monitor/live_source.hpp"
 #include "wm/monitor/monitor.hpp"
 #include "wm/monitor/workload.hpp"
@@ -41,6 +49,8 @@ using namespace wm;
 namespace {
 
 /// Emits one line per monitor event; --quiet reduces it to evictions.
+/// Thread-safe as the fleet requires: the only state is the const
+/// `quiet_` flag, and stdio makes each printf call atomic.
 class LineSink final : public engine::EventSink {
  public:
   explicit LineSink(bool quiet) : quiet_(quiet) {}
@@ -140,6 +150,56 @@ int run_monitor(monitor::ContinuousMonitor& monitor,
   return 0;
 }
 
+/// Forwarding source that prints the periodic status line from the
+/// pumping thread (the fleet's gauges are safe to read concurrently).
+class StatusSource final : public engine::PacketSource {
+ public:
+  StatusSource(engine::PacketSource& inner, monitor::MonitorFleet& fleet,
+               std::size_t stats_every)
+      : inner_(inner), fleet_(fleet), stats_every_(stats_every) {}
+
+  std::optional<net::Packet> next() override {
+    auto packet = inner_.next();
+    if (packet) tick(1);
+    return packet;
+  }
+  std::size_t read_batch(engine::PacketBatch& out, std::size_t max) override {
+    const std::size_t got = inner_.read_batch(out, max);
+    tick(got);
+    return got;
+  }
+
+ private:
+  void tick(std::size_t count) {
+    fed_ += count;
+    if (stats_every_ == 0 || fed_ < next_report_) return;
+    next_report_ += stats_every_;
+    std::fprintf(stderr, "status packets=%llu viewers=%zu mem=%zuB\n",
+                 static_cast<unsigned long long>(fed_),
+                 fleet_.active_viewers(), fleet_.memory_bytes());
+  }
+
+  engine::PacketSource& inner_;
+  monitor::MonitorFleet& fleet_;
+  const std::size_t stats_every_;
+  std::uint64_t fed_ = 0;
+  std::uint64_t next_report_ = stats_every_;
+};
+
+int run_fleet_monitor(monitor::MonitorFleet& fleet,
+                      engine::PacketSource& source, std::size_t stats_every) {
+  StatusSource wrapped(source, fleet, stats_every);
+  fleet.consume(wrapped);
+  const monitor::FleetStats stats = fleet.finish();
+  std::printf("%s\n", stats.to_string().c_str());
+  if (source.error().has_value()) {
+    std::fprintf(stderr, "source error: %s\n",
+                 source.error()->message.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -153,6 +213,7 @@ int main(int argc, char** argv) {
   cli.add_int("idle-sec", "viewer idle eviction timeout, seconds", 120);
   cli.add_int("window-sec", "evidence window, seconds", 10);
   cli.add_int("stats-every", "status line to stderr every N packets", 0);
+  cli.add_int("threads", "monitor shards (>1 = sharded MonitorFleet)", 1);
   cli.add_bool("quiet", "suppress per-event output (evictions still print)");
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -174,6 +235,14 @@ int main(int argc, char** argv) {
   const std::size_t stats_every =
       static_cast<std::size_t>(cli.get_int("stats-every"));
   const std::size_t fleet = static_cast<std::size_t>(cli.get_int("fleet"));
+  const std::size_t threads =
+      static_cast<std::size_t>(cli.get_int("threads") < 1
+                                   ? 1
+                                   : cli.get_int("threads"));
+
+  monitor::FleetConfig fleet_config;
+  fleet_config.shards = threads;
+  fleet_config.monitor = config;
 
   try {
     if (fleet != 0) {
@@ -185,10 +254,14 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(cli.get_int("questions"));
       core::IntervalClassifier classifier;
       classifier.fit(monitor::workload_calibration(workload));
-      monitor::ContinuousMonitor mon(classifier, config, &sink);
       monitor::SyntheticFleetSource source(workload);
-      std::fprintf(stderr, "fleet: %zu sessions, %zu packets\n",
-                   workload.sessions, source.packets_total());
+      std::fprintf(stderr, "fleet: %zu sessions, %zu packets, %zu threads\n",
+                   workload.sessions, source.packets_total(), threads);
+      if (threads > 1) {
+        monitor::MonitorFleet mon(classifier, fleet_config, &sink);
+        return run_fleet_monitor(mon, source, stats_every);
+      }
+      monitor::ContinuousMonitor mon(classifier, config, &sink);
       return run_monitor(mon, source, stats_every);
     }
 
@@ -205,15 +278,22 @@ int main(int argc, char** argv) {
                    opened.error().message.c_str());
       return 1;
     }
-    monitor::ContinuousMonitor mon(attack->classifier(), config, &sink);
     const double speed = cli.get_double("speed");
+    monitor::TimedReplaySource::Config pace;
+    pace.speed = speed;
+    std::unique_ptr<monitor::TimedReplaySource> paced;
+    engine::PacketSource* source = opened.value().get();
     if (speed > 0.0) {
-      monitor::TimedReplaySource::Config pace;
-      pace.speed = speed;
-      monitor::TimedReplaySource paced(*opened.value(), pace);
-      return run_monitor(mon, paced, stats_every);
+      paced = std::make_unique<monitor::TimedReplaySource>(*opened.value(),
+                                                           pace);
+      source = paced.get();
     }
-    return run_monitor(mon, *opened.value(), stats_every);
+    if (threads > 1) {
+      monitor::MonitorFleet mon(attack->classifier(), fleet_config, &sink);
+      return run_fleet_monitor(mon, *source, stats_every);
+    }
+    monitor::ContinuousMonitor mon(attack->classifier(), config, &sink);
+    return run_monitor(mon, *source, stats_every);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "wm_monitor: %s\n", e.what());
     return 1;
