@@ -8,6 +8,9 @@
 // so the per-packet hot path touches no shared state and takes no
 // locks; workers only converge on a small mutex-protected collector
 // when a *record* (orders of magnitude rarer than a packet) completes.
+// That collector's locking discipline is not prose: its state carries
+// WM_GUARDED_BY capability annotations (wm/util/thread_annotations.hpp,
+// DESIGN.md §3.8), checked under -DWM_THREAD_SAFETY=ON.
 //
 //     PacketSource --read_batch--> dispatcher --(flow-hash)--> shards
 //       each shard: a pair of lock-free SPSC rings (inbound batches in,

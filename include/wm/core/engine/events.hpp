@@ -39,6 +39,14 @@
 // (the engine's backpressure, the monitor's replay clock, a fleet
 // shard's ring). Events and any `session` pointer they carry are valid
 // only for the duration of the callback; copy what you keep.
+//
+// Part of this contract is machine-checked (DESIGN.md §3.8): a sink
+// class constructed inside the fleet is wired straight into worker
+// threads, so wm_lint's `sink-contract` rule requires its definition
+// to carry the author's mark `// wm-lint: sink(threadsafe)` on (or
+// directly above) its class head — the signed statement that its on_*
+// callbacks tolerate concurrent callers. Sinks constructed elsewhere
+// need no mark; their threading regime is whatever the caller built.
 #pragma once
 
 #include <cstdint>

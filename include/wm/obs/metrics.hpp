@@ -41,6 +41,8 @@ enum class Stability : std::uint8_t {
 class Counter {
  public:
   void add(std::uint64_t n = 1) noexcept {
+    // Release: pairs with value()'s acquire so cross-counter increment
+    // order survives into snapshots (see file header).
     value_.fetch_add(n, std::memory_order_release);
   }
   [[nodiscard]] std::uint64_t value() const noexcept {
@@ -70,6 +72,9 @@ class Histogram {
   void observe(std::uint64_t value) noexcept {
     std::size_t index = 0;
     while (index < bounds_.size() && value > bounds_[index]) ++index;
+    // Release, in bucket -> sum -> count order: a reader that loads
+    // count first (acquire) then buckets can never see count exceed
+    // the bucket total (registry.cpp snapshot relies on this).
     buckets_[index].fetch_add(1, std::memory_order_release);
     sum_.fetch_add(value, std::memory_order_release);
     count_.fetch_add(1, std::memory_order_release);

@@ -22,11 +22,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "wm/obs/metrics.hpp"
+#include "wm/util/thread_annotations.hpp"
 
 namespace wm::obs {
 
@@ -75,29 +75,33 @@ class Registry {
   /// under the same name returns the same counter; the first
   /// registration's stability and rollup win.
   Counter* counter(const std::string& name,
-                   Stability stability = Stability::kStable);
+                   Stability stability = Stability::kStable)
+      WM_EXCLUDES(mutex_);
   /// As above, additionally contributing to rollup `rollup_name`,
   /// published at snapshot time as the members' sum with
   /// `rollup_stability`.
   Counter* counter(const std::string& name, Stability stability,
                    const std::string& rollup_name,
-                   Stability rollup_stability = Stability::kStable);
+                   Stability rollup_stability = Stability::kStable)
+      WM_EXCLUDES(mutex_);
 
   /// Resolve a fixed-bucket histogram. The first registration fixes the
   /// bounds; later calls under the same name ignore `upper_bounds`.
   Histogram* histogram(const std::string& name,
                        std::vector<std::uint64_t> upper_bounds,
-                       Stability stability = Stability::kStable);
+                       Stability stability = Stability::kStable)
+      WM_EXCLUDES(mutex_);
   Histogram* histogram(const std::string& name,
                        std::vector<std::uint64_t> upper_bounds,
                        Stability stability, const std::string& rollup_name,
-                       Stability rollup_stability = Stability::kStable);
+                       Stability rollup_stability = Stability::kStable)
+      WM_EXCLUDES(mutex_);
 
   /// Resolve a timing span (always reported under timings).
-  TimingSpan* timing(const std::string& name);
+  TimingSpan* timing(const std::string& name) WM_EXCLUDES(mutex_);
 
   /// Acquire-consistent copy of every metric, rollups included.
-  [[nodiscard]] Snapshot snapshot() const;
+  [[nodiscard]] Snapshot snapshot() const WM_EXCLUDES(mutex_);
 
  private:
   struct CounterEntry {
@@ -117,12 +121,16 @@ class Registry {
     std::vector<const Histogram*> members;
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, CounterEntry> counters_;
-  std::map<std::string, HistogramEntry> histograms_;
-  std::map<std::string, CounterRollup> counter_rollups_;
-  std::map<std::string, HistogramRollup> histogram_rollups_;
-  std::map<std::string, std::unique_ptr<TimingSpan>> timings_;
+  /// Protects the registration maps only; metric *values* are lock-free
+  /// atomics read via acquire loads (see metrics.hpp).
+  mutable util::Mutex mutex_;
+  std::map<std::string, CounterEntry> counters_ WM_GUARDED_BY(mutex_);
+  std::map<std::string, HistogramEntry> histograms_ WM_GUARDED_BY(mutex_);
+  std::map<std::string, CounterRollup> counter_rollups_ WM_GUARDED_BY(mutex_);
+  std::map<std::string, HistogramRollup> histogram_rollups_
+      WM_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<TimingSpan>> timings_
+      WM_GUARDED_BY(mutex_);
 };
 
 /// RAII wall + thread-CPU timer: records into a TimingSpan (or does

@@ -19,12 +19,12 @@
 #pragma once
 
 #include <cstddef>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "wm/obs/metrics.hpp"
 #include "wm/util/bytes.hpp"
+#include "wm/util/thread_annotations.hpp"
 
 namespace wm::util {
 
@@ -95,62 +95,66 @@ class ObjectPool {
 
   /// A recycled object when one is retained, otherwise a fresh T.
   /// The pool must outlive every lease it issued.
-  [[nodiscard]] Lease acquire() {
+  [[nodiscard]] Lease acquire() WM_EXCLUDES(mutex_) {
     T object{};
-    bool recycled = false;
-    std::size_t outstanding = 0;
+    obs::Counter* acquire_counter = nullptr;
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const LockGuard lock(mutex_);
+      bool recycled = false;
       if (!idle_.empty()) {
         object = std::move(idle_.back());
         idle_.pop_back();
         recycled = true;
       }
-      outstanding = ++outstanding_;
+      const std::size_t outstanding = ++outstanding_;
       if (outstanding > high_water_) {
         obs::inc(metrics_.high_water, outstanding - high_water_);
         high_water_ = outstanding;
       }
+      // metrics_ is guarded: read the counter pointer while still under
+      // the lock (a racing set_metrics() may swap the struct), bump it
+      // after unlocking — the Counter itself is atomic.
+      acquire_counter = recycled ? metrics_.hits : metrics_.misses;
     }
-    obs::inc(recycled ? metrics_.hits : metrics_.misses);
+    obs::inc(acquire_counter);
     return Lease(this, std::move(object));
   }
 
-  void set_metrics(const PoolMetrics& metrics) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  void set_metrics(const PoolMetrics& metrics) WM_EXCLUDES(mutex_) {
+    const LockGuard lock(mutex_);
     metrics_ = metrics;
   }
 
-  [[nodiscard]] std::size_t idle_count() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  [[nodiscard]] std::size_t idle_count() const WM_EXCLUDES(mutex_) {
+    const LockGuard lock(mutex_);
     return idle_.size();
   }
-  [[nodiscard]] std::size_t outstanding() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  [[nodiscard]] std::size_t outstanding() const WM_EXCLUDES(mutex_) {
+    const LockGuard lock(mutex_);
     return outstanding_;
   }
-  [[nodiscard]] std::size_t high_water() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  [[nodiscard]] std::size_t high_water() const WM_EXCLUDES(mutex_) {
+    const LockGuard lock(mutex_);
     return high_water_;
   }
 
  private:
   friend class Lease;
 
-  void release(T object) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  void release(T object) WM_EXCLUDES(mutex_) {
+    const LockGuard lock(mutex_);
     if (outstanding_ > 0) --outstanding_;
     if (idle_.size() < max_retained_) idle_.push_back(std::move(object));
   }
 
   // wm-lint: allow(mutex): acquire/release are per-batch, not per-packet;
   // measured uncontended in bench/perf_ingest (shards own their pools).
-  mutable std::mutex mutex_;
-  std::vector<T> idle_;
+  mutable Mutex mutex_;
+  std::vector<T> idle_ WM_GUARDED_BY(mutex_);
   std::size_t max_retained_;
-  std::size_t outstanding_ = 0;
-  std::size_t high_water_ = 0;
-  PoolMetrics metrics_{};
+  std::size_t outstanding_ WM_GUARDED_BY(mutex_) = 0;
+  std::size_t high_water_ WM_GUARDED_BY(mutex_) = 0;
+  PoolMetrics metrics_ WM_GUARDED_BY(mutex_){};
 };
 
 /// Fixed-size byte-slab pool: every acquired slab comes back cleared

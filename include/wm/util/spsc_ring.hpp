@@ -26,9 +26,10 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "wm/util/thread_annotations.hpp"
 
 namespace wm::util {
 
@@ -163,9 +164,9 @@ class SpscRing {
 
   /// End the stream: consumers drain what is queued then see false;
   /// blocked producers unblock with false.
-  void close() {
+  void close() WM_EXCLUDES(park_mutex_) {
     {
-      const std::lock_guard<std::mutex> lock(park_mutex_);
+      const LockGuard lock(park_mutex_);
       closed_.store(true, std::memory_order_release);
     }
     producer_cv_.notify_all();
@@ -194,9 +195,9 @@ class SpscRing {
   }
 
   template <typename Ready>
-  void park(std::atomic<bool>& parked_flag, std::condition_variable& cv,
-            Ready ready) {
-    std::unique_lock<std::mutex> lock(park_mutex_);
+  void park(std::atomic<bool>& parked_flag, std::condition_variable_any& cv,
+            Ready ready) WM_EXCLUDES(park_mutex_) {
+    UniqueLock lock(park_mutex_);
     parked_flag.store(true, std::memory_order_seq_cst);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     if (!ready()) {
@@ -206,12 +207,13 @@ class SpscRing {
     parked_flag.store(false, std::memory_order_relaxed);
   }
 
-  void wake(std::atomic<bool>& parked_flag, std::condition_variable& cv) {
+  void wake(std::atomic<bool>& parked_flag, std::condition_variable_any& cv)
+      WM_EXCLUDES(park_mutex_) {
     std::atomic_thread_fence(std::memory_order_seq_cst);
     if (parked_flag.load(std::memory_order_seq_cst)) {
       // Empty critical section orders the notify against the parker's
       // flag-set/recheck window.
-      { const std::lock_guard<std::mutex> lock(park_mutex_); }
+      { const LockGuard lock(park_mutex_); }
       cv.notify_all();
     }
   }
@@ -228,9 +230,12 @@ class SpscRing {
   // Park/unpark edge only; never touched on the lock-free fast path.
   // wm-lint: allow(mutex): required by condition_variable for blocking
   // waits; try_push/try_pop never take it.
-  std::mutex park_mutex_;
-  std::condition_variable producer_cv_;
-  std::condition_variable consumer_cv_;
+  // wm-lint: allow(guarded): guards no member — it serializes the
+  // parked-flag/condvar wakeup protocol; ring state crosses threads via
+  // the acquire/release index atomics above.
+  Mutex park_mutex_;
+  std::condition_variable_any producer_cv_;
+  std::condition_variable_any consumer_cv_;
   std::atomic<bool> producer_parked_{false};
   std::atomic<bool> consumer_parked_{false};
 };

@@ -1,0 +1,143 @@
+// Clang Thread Safety Analysis vocabulary + annotated lock primitives.
+//
+// The repo's locking contracts — which mutex guards which member, which
+// functions must (or must not) be called with a lock held — were prose
+// in header comments (events.hpp, fleet.hpp, DESIGN.md §3.1/§3.7).
+// This header turns them into compiler-checked attributes: annotate a
+// member with WM_GUARDED_BY(mutex_) and every unlocked access becomes a
+// -Wthread-safety-analysis diagnostic, on every TU, on every PR —
+// including interleavings the TSan test matrix never executes.
+//
+// The macros expand to Clang `capability` attributes under Clang and to
+// nothing elsewhere, so GCC builds are unaffected. Enforcement is the
+// WM_THREAD_SAFETY CMake option (clang-only, warn-and-skip on GCC),
+// which turns the analysis on with -Werror=thread-safety-analysis; the
+// CI `thread-safety` job keeps it load-bearing.
+//
+// std::mutex is opaque to the analysis — it has no capability
+// attributes, so locks taken through it are invisible. wm::util::Mutex
+// wraps it with annotated lock()/unlock()/try_lock(), and
+// LockGuard/UniqueLock are the annotated RAII shapes (UniqueLock is
+// BasicLockable, so std::condition_variable_any can drop and reacquire
+// it across a wait). The `guarded` wm_lint rule bans raw std::mutex in
+// src/ and include/ so new locks cannot dodge the analysis.
+//
+// Vocabulary (all no-ops outside Clang):
+//   WM_CAPABILITY(name)      type declares a capability ("mutex")
+//   WM_SCOPED_CAPABILITY     RAII type that acquires in ctor, releases
+//                            in dtor (LockGuard)
+//   WM_GUARDED_BY(m)         data member readable/writable only with m
+//                            held
+//   WM_PT_GUARDED_BY(m)      pointee (not the pointer) guarded by m
+//   WM_REQUIRES(m...)        function must be called with m held
+//   WM_ACQUIRE(m...)         function acquires m and does not release
+//   WM_RELEASE(m...)         function releases m
+//   WM_TRY_ACQUIRE(ok, m...) function acquires m iff it returns `ok`
+//   WM_EXCLUDES(m...)        function must NOT be called with m held
+//                            (non-reentrancy, lock-ordering)
+//   WM_ASSERT_CAPABILITY(m)  runtime assertion that m is held
+//   WM_RETURN_CAPABILITY(m)  function returns a reference to m
+//   WM_NO_THREAD_SAFETY_ANALYSIS  opt a function out (last resort)
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && !defined(SWIG)
+#define WM_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define WM_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+#define WM_CAPABILITY(x) WM_THREAD_ANNOTATION_(capability(x))
+#define WM_SCOPED_CAPABILITY WM_THREAD_ANNOTATION_(scoped_lockable)
+#define WM_GUARDED_BY(x) WM_THREAD_ANNOTATION_(guarded_by(x))
+#define WM_PT_GUARDED_BY(x) WM_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define WM_ACQUIRED_BEFORE(...) \
+  WM_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define WM_ACQUIRED_AFTER(...) \
+  WM_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define WM_REQUIRES(...) \
+  WM_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define WM_REQUIRES_SHARED(...) \
+  WM_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+#define WM_ACQUIRE(...) \
+  WM_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define WM_ACQUIRE_SHARED(...) \
+  WM_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define WM_RELEASE(...) \
+  WM_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define WM_RELEASE_SHARED(...) \
+  WM_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define WM_TRY_ACQUIRE(...) \
+  WM_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define WM_EXCLUDES(...) WM_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define WM_ASSERT_CAPABILITY(x) WM_THREAD_ANNOTATION_(assert_capability(x))
+#define WM_RETURN_CAPABILITY(x) WM_THREAD_ANNOTATION_(lock_returned(x))
+#define WM_NO_THREAD_SAFETY_ANALYSIS \
+  WM_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace wm::util {
+
+/// std::mutex with the capability attributes -Wthread-safety needs to
+/// see acquire/release. Same cost, same semantics; not recursive.
+class WM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() WM_ACQUIRE() { native_.lock(); }
+  void unlock() WM_RELEASE() { native_.unlock(); }
+  [[nodiscard]] bool try_lock() WM_TRY_ACQUIRE(true) {
+    return native_.try_lock();
+  }
+
+ private:
+  // wm-lint: allow(guarded): the wrapper itself — the one blessed raw
+  // std::mutex in the tree; everything else goes through this class.
+  std::mutex native_;
+};
+
+/// Annotated std::lock_guard shape: acquires for exactly one scope.
+class WM_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mutex) WM_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~LockGuard() WM_RELEASE() { mutex_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Annotated lock handle that is itself BasicLockable, so
+/// std::condition_variable_any can release and reacquire it across a
+/// wait. From the analysis' point of view the capability stays held
+/// for the whole scope — exactly the invariant a condvar wait
+/// preserves at its boundaries.
+class WM_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mutex) WM_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~UniqueLock() WM_RELEASE() { mutex_.unlock(); }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  /// BasicLockable surface for condition_variable_any only; callers
+  /// never re-lock by hand. Reacquiring a capability the analysis
+  /// already considers held would be an error, so these members are
+  /// opted out — the condvar's internal use is invisible to the
+  /// analysis anyway (system header).
+  void lock() WM_NO_THREAD_SAFETY_ANALYSIS { mutex_.lock(); }
+  void unlock() WM_NO_THREAD_SAFETY_ANALYSIS { mutex_.unlock(); }
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace wm::util

@@ -1,7 +1,6 @@
 #include "wm/core/engine/engine.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <sstream>
 #include <thread>
 
@@ -10,6 +9,7 @@
 #include "wm/tls/record_stream.hpp"
 #include "wm/util/buffer_pool.hpp"
 #include "wm/util/spsc_ring.hpp"
+#include "wm/util/thread_annotations.hpp"
 
 namespace wm::engine {
 
@@ -87,7 +87,7 @@ class ShardedFlowEngine::Collector {
 
   void on_record(const std::string& client,
                  const core::ClientRecordObservation& observation,
-                 core::RecordClass cls) {
+                 core::RecordClass cls) WM_EXCLUDES(mutex_) {
     // Live updates copy this viewer's observation log into a pooled
     // vector: after the first few records the pool hands back retained
     // capacity, so the per-record path stops allocating.
@@ -97,7 +97,7 @@ class ShardedFlowEngine::Collector {
     core::DecodeOptions options;
     options.min_question_gap = gap_;
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const util::LockGuard lock(mutex_);
       auto& observations = clients_[client];
       if (observations.empty()) obs::inc(viewers_counter_);
       observations.push_back(observation);
@@ -136,7 +136,7 @@ class ShardedFlowEngine::Collector {
     std::size_t announce_to = 0;
     bool announce_override = false;
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const util::LockGuard lock(mutex_);
       EmitState& state = emitted_[client];
       if (session.questions.size() > state.questions) {
         announce_from = state.questions;
@@ -176,9 +176,10 @@ class ShardedFlowEngine::Collector {
   /// A reassembly gap on one of this viewer's client->server streams:
   /// recorded into the viewer's gap timeline so decoding can lower the
   /// confidence of inferences it touches.
-  void on_gap(const std::string& client, core::GapSpan gap) {
+  void on_gap(const std::string& client, core::GapSpan gap)
+      WM_EXCLUDES(mutex_) {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const util::LockGuard lock(mutex_);
       gaps_[client].push_back(gap);
       obs::inc(gaps_counter_);
     }
@@ -192,8 +193,8 @@ class ShardedFlowEngine::Collector {
 
   /// Single-threaded (post-join). Sorting per viewer then decoding
   /// reproduces the batch pipeline's observation order exactly.
-  void finalize(EngineResult& result) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  void finalize(EngineResult& result) WM_EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
     std::vector<core::ClientRecordObservation> all;
     std::vector<core::GapSpan> all_gaps;
     for (auto& [client, observations] : clients_) {
@@ -253,15 +254,17 @@ class ShardedFlowEngine::Collector {
   SnapshotPool snapshot_pool_;
   // wm-lint: allow(mutex): collector merge point — workers hit it once
   // per flushed session batch, not per packet (see DESIGN.md s2.4).
-  std::mutex mutex_;
-  std::map<std::string, std::vector<core::ClientRecordObservation>> clients_;
+  util::Mutex mutex_;
+  std::map<std::string, std::vector<core::ClientRecordObservation>> clients_
+      WM_GUARDED_BY(mutex_);
   /// Per-viewer gap timelines, parallel to clients_ (a viewer may have
   /// gaps before — or without — any decodable observation).
-  std::map<std::string, std::vector<core::GapSpan>> gaps_;
-  std::map<std::string, EmitState> emitted_;
-  std::uint64_t client_records_ = 0;
-  std::uint64_t type1_ = 0;
-  std::uint64_t type2_ = 0;
+  std::map<std::string, std::vector<core::GapSpan>> gaps_
+      WM_GUARDED_BY(mutex_);
+  std::map<std::string, EmitState> emitted_ WM_GUARDED_BY(mutex_);
+  std::uint64_t client_records_ WM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t type1_ WM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t type2_ WM_GUARDED_BY(mutex_) = 0;
   // Observability handles (null without a registry).
   obs::Counter* client_records_counter_ = nullptr;
   obs::Counter* type1_counter_ = nullptr;

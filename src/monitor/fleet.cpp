@@ -5,7 +5,6 @@
 #include <chrono>
 #include <cstdint>
 #include <limits>
-#include <mutex>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -14,6 +13,7 @@
 
 #include "wm/net/flow.hpp"
 #include "wm/util/spsc_ring.hpp"
+#include "wm/util/thread_annotations.hpp"
 
 namespace wm::monitor {
 
@@ -73,6 +73,10 @@ struct OwnedEventOrder {
 }  // namespace
 
 struct OrderingCollector::Impl {
+  /// Per-shard facade over deliver(): copies events out of the shard
+  /// callback, stamps the shard id, and hands them to the merge buffer
+  /// under the collector mutex — callable from any worker thread.
+  // wm-lint: sink(threadsafe): every deliver() takes Impl::mutex.
   class ShardSink final : public engine::EventSink {
    public:
     ShardSink(Impl* impl, std::size_t shard) : impl_(impl), shard_(shard) {}
@@ -132,15 +136,16 @@ struct OrderingCollector::Impl {
     }
   }
 
-  void deliver(std::size_t shard, OwnedEvent&& event) {
-    const std::lock_guard<std::mutex> lock(mutex);
+  void deliver(std::size_t shard, OwnedEvent&& event) WM_EXCLUDES(mutex) {
+    const util::LockGuard lock(mutex);
     event.shard = shard;
     event.seq = next_seq++;
     buffer.insert(std::move(event));
   }
 
-  void watermark(std::size_t shard, std::int64_t frontier) {
-    const std::lock_guard<std::mutex> lock(mutex);
+  void watermark(std::size_t shard, std::int64_t frontier)
+      WM_EXCLUDES(mutex) {
+    const util::LockGuard lock(mutex);
     if (shard >= watermarks.size()) return;
     watermarks[shard] = std::max(watermarks[shard], frontier);
     std::int64_t barrier = std::numeric_limits<std::int64_t>::max();
@@ -154,22 +159,24 @@ struct OrderingCollector::Impl {
     release(barrier);
   }
 
-  void flush() {
-    const std::lock_guard<std::mutex> lock(mutex);
+  void flush() WM_EXCLUDES(mutex) {
+    const util::LockGuard lock(mutex);
     release(std::numeric_limits<std::int64_t>::max());
   }
 
   /// Forward every buffered event with time <= barrier, oldest first.
   /// Caller holds the lock; the downstream sink is thus called
   /// serially, as the contract promises.
-  void release(std::int64_t barrier) {
+  void release(std::int64_t barrier) WM_REQUIRES(mutex) {
     while (!buffer.empty() && buffer.begin()->at_nanos <= barrier) {
       forward(*buffer.begin());
       buffer.erase(buffer.begin());
     }
   }
 
-  void forward(const OwnedEvent& event) {
+  /// Holding the lock across the downstream call *is* the contract:
+  /// it serializes on_* callbacks for sinks that are not thread-safe.
+  void forward(const OwnedEvent& event) WM_REQUIRES(mutex) {
     switch (event.kind) {
       case OwnedEvent::Kind::kQuestion: {
         engine::QuestionOpenedEvent out;
@@ -210,10 +217,12 @@ struct OrderingCollector::Impl {
 
   engine::EventSink& downstream;
   const std::int64_t slack;
-  std::mutex mutex;
-  std::vector<std::int64_t> watermarks;
-  std::multiset<OwnedEvent, OwnedEventOrder> buffer;
-  std::uint64_t next_seq = 0;
+  // wm-lint: allow(mutex): collector merge point — one event per
+  // question/choice/eviction, orders of magnitude rarer than packets.
+  util::Mutex mutex;
+  std::vector<std::int64_t> watermarks WM_GUARDED_BY(mutex);
+  std::multiset<OwnedEvent, OwnedEventOrder> buffer WM_GUARDED_BY(mutex);
+  std::uint64_t next_seq WM_GUARDED_BY(mutex) = 0;
   std::vector<std::unique_ptr<ShardSink>> sinks;
 };
 
@@ -236,7 +245,7 @@ void OrderingCollector::watermark(std::size_t shard,
 void OrderingCollector::flush() { impl_->flush(); }
 
 std::size_t OrderingCollector::pending() const {
-  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const util::LockGuard lock(impl_->mutex);
   return impl_->buffer.size();
 }
 
@@ -586,8 +595,7 @@ struct MonitorFleet::Impl {
 
   // --- lifecycle --------------------------------------------------------
 
-  std::size_t take_source_slot() {
-    const std::lock_guard<std::mutex> lock(attach_mutex);
+  [[nodiscard]] std::size_t take_slot_locked() WM_REQUIRES(attach_mutex) {
     if (finishing) {
       throw std::logic_error("MonitorFleet: attach/consume after finish()");
     }
@@ -598,15 +606,40 @@ struct MonitorFleet::Impl {
     return attached++;
   }
 
-  FleetStats finish() {
+  std::size_t take_source_slot() WM_EXCLUDES(attach_mutex) {
+    const util::LockGuard lock(attach_mutex);
+    return take_slot_locked();
+  }
+
+  /// Claim a slot AND register the pump thread in one critical
+  /// section. Taking the slot and emplacing the thread under separate
+  /// lock acquisitions (as attach() once did) left a window where
+  /// finish() could observe the slot as attached, see no pump to join,
+  /// and close the rings while the pump thread was still being born.
+  void attach_source(engine::PacketSource& source) WM_EXCLUDES(attach_mutex) {
+    const util::LockGuard lock(attach_mutex);
+    const std::size_t slot = take_slot_locked();
+    pumps.emplace_back([this, &source, slot] { pump(source, slot); });
+  }
+
+  FleetStats finish() WM_EXCLUDES(finish_mutex, attach_mutex) {
+    // finish_mutex serializes whole shutdowns: a second caller racing
+    // the first used to read `stats` while the winner was still
+    // writing it; now it blocks until the winner is done and returns
+    // the completed stats. Ordering: finish_mutex before attach_mutex.
+    const util::LockGuard finish_lock(finish_mutex);
+    std::vector<std::thread> to_join;
     {
-      const std::lock_guard<std::mutex> lock(attach_mutex);
+      const util::LockGuard lock(attach_mutex);
       if (finishing) return stats;
       finishing = true;
+      to_join.swap(pumps);
     }
     // Join the pumps first: a pump owns the producer side of its rings
-    // until its source ends (shutdown contract).
-    for (std::thread& pump_thread : pumps) {
+    // until its source ends (shutdown contract). Joining the swapped
+    // local (not `pumps` unlocked) keeps attach()'s emplace ordered
+    // against the join.
+    for (std::thread& pump_thread : to_join) {
       if (pump_thread.joinable()) pump_thread.join();
     }
     // Close every ring — including slots never attached — so each
@@ -673,13 +706,16 @@ struct MonitorFleet::Impl {
     total.peak_memory_bytes += shard.peak_memory_bytes;
   }
 
-  void abort_without_finish() {
+  void abort_without_finish() WM_EXCLUDES(finish_mutex, attach_mutex) {
+    const util::LockGuard finish_lock(finish_mutex);
+    std::vector<std::thread> to_join;
     {
-      const std::lock_guard<std::mutex> lock(attach_mutex);
+      const util::LockGuard lock(attach_mutex);
       if (finishing) return;  // finish() already ran
       finishing = true;
+      to_join.swap(pumps);
     }
-    for (std::thread& pump_thread : pumps) {
+    for (std::thread& pump_thread : to_join) {
       if (pump_thread.joinable()) pump_thread.join();
     }
     for (auto& row : rings) {
@@ -698,19 +734,31 @@ struct MonitorFleet::Impl {
   /// that shard's worker — strict SPSC per ring.
   std::vector<std::vector<std::unique_ptr<util::SpscRing<net::Packet>>>> rings;
   std::vector<Shard> shards;
-  std::vector<std::thread> pumps;
 
-  std::mutex attach_mutex;  // attach/consume slot bookkeeping only
-  std::size_t attached = 0;
-  bool finishing = false;
+  // wm-lint: allow(mutex): attach/finish lifecycle edges only — never
+  // touched per packet.
+  util::Mutex attach_mutex;  // attach/consume slot bookkeeping
+  std::vector<std::thread> pumps WM_GUARDED_BY(attach_mutex);
+  std::size_t attached WM_GUARDED_BY(attach_mutex) = 0;
+  bool finishing WM_GUARDED_BY(attach_mutex) = false;
 
+  // Serializes finish()/abort end to end (acquired before
+  // attach_mutex); a losing caller blocks, then reads completed stats.
+  // wm-lint: allow(mutex): taken once per fleet lifetime.
+  util::Mutex finish_mutex;
+
+  // Relaxed counters: pump-local tallies flushed once per source; the
+  // pump joins in finish() provide the happens-before for reading
+  // them into stats. sources_done is the exception — its release
+  // fetch_add pairs with drained()'s acquire load so a true `drained`
+  // implies the counter flushes above it are visible.
   std::atomic<std::uint64_t> packets{0};
   std::atomic<std::uint64_t> unroutable{0};
   std::atomic<std::uint64_t> deferrals{0};
   std::atomic<std::uint64_t> backpressure{0};
   std::atomic<std::size_t> sources_done{0};
 
-  FleetStats stats;
+  FleetStats stats WM_GUARDED_BY(finish_mutex);
 };
 
 MonitorFleet::MonitorFleet(const core::RecordClassifier& classifier,
@@ -722,13 +770,7 @@ MonitorFleet::~MonitorFleet() {
 }
 
 void MonitorFleet::attach(engine::PacketSource& source) {
-  const std::size_t slot = impl_->take_source_slot();
-  Impl* impl = impl_.get();
-  {
-    const std::lock_guard<std::mutex> lock(impl->attach_mutex);
-    impl->pumps.emplace_back(
-        [impl, &source, slot] { impl->pump(source, slot); });
-  }
+  impl_->attach_source(source);
 }
 
 std::size_t MonitorFleet::consume(engine::PacketSource& source) {
@@ -737,7 +779,7 @@ std::size_t MonitorFleet::consume(engine::PacketSource& source) {
 }
 
 bool MonitorFleet::drained() const {
-  const std::lock_guard<std::mutex> lock(impl_->attach_mutex);
+  const util::LockGuard lock(impl_->attach_mutex);
   return impl_->sources_done.load(std::memory_order_acquire) >=
          impl_->attached;
 }

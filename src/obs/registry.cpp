@@ -79,7 +79,7 @@ void append_section_text(std::ostringstream& out, const char* title,
 // --- Registry --------------------------------------------------------
 
 Counter* Registry::counter(const std::string& name, Stability stability) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   auto [it, inserted] = counters_.try_emplace(name);
   if (inserted) {
     it->second.stability = stability;
@@ -92,7 +92,7 @@ Counter* Registry::counter(const std::string& name, Stability stability,
                            const std::string& rollup_name,
                            Stability rollup_stability) {
   Counter* resolved = counter(name, stability);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   auto [it, inserted] = counter_rollups_.try_emplace(rollup_name);
   if (inserted) it->second.stability = rollup_stability;
   add_rollup_member(it->second.members, static_cast<const Counter*>(resolved));
@@ -102,7 +102,7 @@ Counter* Registry::counter(const std::string& name, Stability stability,
 Histogram* Registry::histogram(const std::string& name,
                                std::vector<std::uint64_t> upper_bounds,
                                Stability stability) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   auto [it, inserted] = histograms_.try_emplace(name);
   if (inserted) {
     it->second.stability = stability;
@@ -117,7 +117,7 @@ Histogram* Registry::histogram(const std::string& name,
                                const std::string& rollup_name,
                                Stability rollup_stability) {
   Histogram* resolved = histogram(name, std::move(upper_bounds), stability);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   auto [it, inserted] = histogram_rollups_.try_emplace(rollup_name);
   if (inserted) it->second.stability = rollup_stability;
   add_rollup_member(it->second.members,
@@ -126,7 +126,7 @@ Histogram* Registry::histogram(const std::string& name,
 }
 
 TimingSpan* Registry::timing(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   auto [it, inserted] = timings_.try_emplace(name);
   if (inserted) it->second = std::make_unique<TimingSpan>();
   return it->second.get();
@@ -136,7 +136,7 @@ Snapshot Registry::snapshot() const {
   // The lock protects the registration maps only; metric values are
   // read through their own acquire loads, so concurrent increments on
   // worker threads never block or tear the snapshot.
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   Snapshot snap;
 
   const auto section = [&snap](Stability stability)

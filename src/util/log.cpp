@@ -2,18 +2,30 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "wm/util/thread_annotations.hpp"
 
 namespace wm::util {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_emit_mutex;
+// wm-lint: allow(guarded): guards no member — it serializes fprintf
+// calls so interleaved threads emit whole lines to stderr.
+// wm-lint: allow(mutex): emit sites are warn/error paths, never the
+// packet loop; the level gate above returns before the lock.
+Mutex g_emit_mutex;
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+void set_log_level(LogLevel level) {
+  // Relaxed: the level gate is advisory — a statement racing a level
+  // change may use either threshold; no other data is published.
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+LogLevel log_level() {
+  // Relaxed: pure gate read, no ordering required (see set_log_level).
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
 
 std::string_view to_string(LogLevel level) {
   switch (level) {
@@ -29,8 +41,9 @@ std::string_view to_string(LogLevel level) {
 namespace detail {
 
 void emit_log(LogLevel level, std::string_view message) {
-  if (static_cast<int>(level) < g_level.load()) return;
-  const std::scoped_lock lock(g_emit_mutex);
+  // Relaxed: same advisory gate as log_level().
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
+  const LockGuard lock(g_emit_mutex);
   std::fprintf(stderr, "[%.*s] %.*s\n", static_cast<int>(to_string(level).size()),
                to_string(level).data(), static_cast<int>(message.size()),
                message.data());

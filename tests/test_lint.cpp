@@ -24,6 +24,10 @@ LintResult lint_one(std::string path, std::string content,
                        options);
 }
 
+LintResult lint_files(std::vector<SourceFile> files) {
+  return wm::lint::run(files, Options{});
+}
+
 std::vector<std::string> rules_of(const LintResult& result) {
   std::vector<std::string> rules;
   rules.reserve(result.diagnostics.size());
@@ -356,7 +360,8 @@ class Worker {
 TEST(LintMutex, ColdPathFilesMayUseMutexes) {
   const auto result = lint_one("src/dataset/store.cpp", R"(
 class Store {
-  std::mutex mutex_;
+  util::Mutex mutex_;
+  int state_ WM_GUARDED_BY(mutex_);
 };
 )");
   EXPECT_TRUE(result.diagnostics.empty());
@@ -376,11 +381,24 @@ TEST(LintMutex, SuppressibleWithReason) {
   const auto result = lint_one("src/core/engine/collector.cpp", R"(
 class Collector {
   // wm-lint: allow(mutex): merge path only, never under the ingest loop.
-  std::mutex merge_mutex_;
+  util::Mutex merge_mutex_;
+  int merged_ WM_GUARDED_BY(merge_mutex_);
 };
 )");
   EXPECT_TRUE(result.diagnostics.empty());
   EXPECT_EQ(result.stats.suppressions.at("mutex"), 1u);
+}
+
+TEST(LintMutex, AnnotatedWrapperStillCountsAsAMutexOnTheHotPath) {
+  // util::Mutex is -Wthread-safety-visible but it is still a lock; the
+  // hot-path ban applies to it exactly as to std::mutex.
+  const auto result = lint_one("src/core/engine/worker.cpp", R"(
+class Worker {
+  util::Mutex state_mutex_;
+  int state_ WM_GUARDED_BY(state_mutex_);
+};
+)");
+  ASSERT_TRUE(has_rule(result, "mutex"));
 }
 
 // --- rule: suppression -----------------------------------------------
@@ -417,6 +435,314 @@ void f(const char* p) {
 )");
   EXPECT_TRUE(has_rule(result, "cast"));
   EXPECT_TRUE(has_rule(result, "suppression"));
+}
+
+
+// --- rule: guarded ---------------------------------------------------
+
+TEST(LintGuarded, RawStdMutexInLibraryCodeIsFlagged) {
+  const auto result = lint_one("src/dataset/store.cpp", R"(
+class Store {
+  std::mutex mutex_;
+};
+)");
+  ASSERT_TRUE(has_rule(result, "guarded"));
+}
+
+TEST(LintGuarded, MutexMemberWithoutGuardedSiblingIsFlagged) {
+  const auto result = lint_one("include/wm/dataset/store.hpp", R"(
+class Store {
+  util::Mutex mutex_;
+  int state_ = 0;
+};
+)");
+  ASSERT_TRUE(has_rule(result, "guarded"));
+  EXPECT_NE(result.diagnostics[0].message.find("WM_GUARDED_BY"),
+            std::string::npos);
+}
+
+TEST(LintGuarded, GuardedSiblingSatisfiesTheContract) {
+  const auto result = lint_one("include/wm/dataset/store.hpp", R"(
+class Store {
+  util::Mutex mutex_;
+  int state_ WM_GUARDED_BY(mutex_) = 0;
+};
+)");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(LintGuarded, PtGuardedSiblingAlsoCounts) {
+  const auto result = lint_one("include/wm/dataset/store.hpp", R"(
+class Store {
+  util::Mutex mutex_;
+  int* state_ WM_PT_GUARDED_BY(mutex_) = nullptr;
+};
+)");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(LintGuarded, PlainCondvarCannotPairWithTheWrapper) {
+  const auto result = lint_one("src/dataset/store.cpp", R"(
+class Store {
+  std::condition_variable cv_;
+};
+)");
+  ASSERT_TRUE(has_rule(result, "guarded"));
+}
+
+TEST(LintGuarded, SuppressibleWithReason) {
+  // A pure serialization mutex guards no member; the author states so.
+  const auto result = lint_one("src/dataset/store.cpp", R"(
+class Store {
+  // wm-lint: allow(guarded): serializes flush() calls; guards no data.
+  util::Mutex flush_mutex_;
+};
+)");
+  EXPECT_TRUE(result.diagnostics.empty());
+  EXPECT_EQ(result.stats.suppressions.at("guarded"), 1u);
+}
+
+TEST(LintGuarded, TestTreeIsExempt) {
+  const auto result = lint_one("tests/test_store.cpp", R"(
+class Probe {
+  std::mutex mutex_;
+};
+)");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+// --- rule: atomic-order ----------------------------------------------
+
+TEST(LintAtomicOrder, ImplicitSeqCstInHotPathFileIsFlagged) {
+  const auto result = lint_one("src/core/engine/worker.cpp", R"(
+void f(std::atomic<int>& flag) {
+  flag.store(1);
+}
+)");
+  ASSERT_TRUE(has_rule(result, "atomic-order"));
+}
+
+TEST(LintAtomicOrder, EveryMutatorSpellingIsCovered) {
+  const auto result = lint_one("include/wm/obs/metrics.hpp", R"(
+void f(std::atomic<int>& v, int x) {
+  (void)v.load();
+  v.store(1);
+  (void)v.exchange(2);
+  (void)v.fetch_add(1);
+  (void)v.fetch_sub(1);
+  (void)v.compare_exchange_weak(x, 3);
+  (void)v.compare_exchange_strong(x, 4);
+}
+)");
+  EXPECT_EQ(result.diagnostics.size(), 7u);
+  for (const Diagnostic& d : result.diagnostics) {
+    EXPECT_EQ(d.rule, "atomic-order");
+  }
+}
+
+TEST(LintAtomicOrder, ExplicitOrderIsClean) {
+  const auto result = lint_one("src/monitor/fleet.cpp", R"(
+void f(std::atomic<int>& flag, int x) {
+  flag.store(1, std::memory_order_release);
+  (void)flag.load(std::memory_order_acquire);
+  (void)flag.compare_exchange_strong(x, 2, std::memory_order_acq_rel,
+                                     std::memory_order_acquire);
+}
+)");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(LintAtomicOrder, OrderOnAContinuationLineIsSeen) {
+  // The argument scan balances parens across lines, exactly like the
+  // stability rule.
+  const auto result = lint_one("src/core/engine/worker.cpp", R"(
+void f(std::atomic<int>& flag) {
+  flag.store(1,
+             std::memory_order_release);
+}
+)");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(LintAtomicOrder, ColdPathFilesAreExempt) {
+  const auto result = lint_one("src/dataset/store.cpp", R"(
+void f(std::atomic<int>& flag) {
+  flag.store(1);
+}
+)");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(LintAtomicOrder, HotPathTagOptsAFileIn) {
+  const auto result = lint_one("src/dataset/store.cpp", R"(
+// wm-lint: hot-path
+void f(std::atomic<int>& flag) {
+  flag.store(1);
+}
+)");
+  ASSERT_TRUE(has_rule(result, "atomic-order"));
+}
+
+TEST(LintAtomicOrder, SuppressibleWithReason) {
+  const auto result = lint_one("src/core/engine/worker.cpp", R"(
+void f(std::atomic<int>& flag) {
+  // wm-lint: allow(atomic-order): deliberate seq_cst — wakeup handshake.
+  flag.store(1);
+}
+)");
+  EXPECT_TRUE(result.diagnostics.empty());
+  EXPECT_EQ(result.stats.suppressions.at("atomic-order"), 1u);
+}
+
+TEST(LintAtomicOrder, NonAtomicMethodNamesDoNotTrip) {
+  const auto result = lint_one("src/monitor/fleet.cpp", R"(
+void f(Config& config, Payload& p) {
+  config.reload();
+  p.restore(1);
+  offload(p);
+}
+)");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+// --- rule: sink-contract (cross-file) --------------------------------
+
+TEST(LintSinkContract, UnmarkedSinkConstructedInFleetIsFlagged) {
+  const auto result = lint_files({
+      SourceFile{"include/wm/core/engine/probe.hpp", R"(
+class ProbeSink final : public engine::EventSink {
+ public:
+  void on_question_opened(const QuestionOpenedEvent& event) override;
+};
+)"},
+      SourceFile{"src/monitor/fleet.cpp", R"(
+void wire() {
+  auto sink = std::make_unique<ProbeSink>();
+}
+)"},
+  });
+  ASSERT_TRUE(has_rule(result, "sink-contract"));
+  // The finding lands at the construction site and names the
+  // definition file.
+  const Diagnostic& d = result.diagnostics[0];
+  EXPECT_EQ(d.path, "src/monitor/fleet.cpp");
+  EXPECT_NE(d.message.find("include/wm/core/engine/probe.hpp"),
+            std::string::npos);
+}
+
+TEST(LintSinkContract, ThreadsafeMarkOnTheHeadLineClears) {
+  const auto result = lint_files({
+      SourceFile{"include/wm/core/engine/probe.hpp", R"(
+// wm-lint: sink(threadsafe): deliver() takes the collector mutex.
+class ProbeSink final : public engine::EventSink {
+};
+)"},
+      SourceFile{"src/monitor/fleet.cpp", R"(
+void wire() {
+  auto sink = std::make_unique<ProbeSink>();
+}
+)"},
+  });
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(LintSinkContract, NewExpressionIsAlsoAConstruction) {
+  const auto result = lint_files({
+      SourceFile{"include/wm/core/engine/probe.hpp", R"(
+struct ProbeSink : engine::EventSink {
+};
+)"},
+      SourceFile{"src/monitor/fleet.cpp", R"(
+void wire() {
+  auto* sink = new ProbeSink();
+  (void)sink;
+}
+)"},
+  });
+  ASSERT_TRUE(has_rule(result, "sink-contract"));
+}
+
+TEST(LintSinkContract, ConstructionOutsideTheFleetIsFine) {
+  // Sinks built by application code are fed from whatever thread the
+  // application chooses; the fleet contract does not apply.
+  const auto result = lint_files({
+      SourceFile{"include/wm/core/engine/probe.hpp", R"(
+class ProbeSink final : public engine::EventSink {
+};
+)"},
+      SourceFile{"examples/live_monitor.cpp", R"(
+void wire() {
+  auto sink = std::make_unique<ProbeSink>();
+}
+)"},
+  });
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(LintSinkContract, NonSinkConstructionsAreIgnored) {
+  const auto result = lint_files({
+      SourceFile{"include/wm/core/engine/probe.hpp", R"(
+class ProbeSink final : public engine::EventSink {
+};
+)"},
+      SourceFile{"src/monitor/fleet.cpp", R"(
+void wire() {
+  auto ring = std::make_unique<util::SpscRing<net::Packet>>(1024);
+  auto* plain = new PlainHelper();
+  (void)plain;
+}
+)"},
+  });
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(LintSinkContract, SuppressibleAtTheConstructionSite) {
+  const auto result = lint_files({
+      SourceFile{"include/wm/core/engine/probe.hpp", R"(
+class ProbeSink final : public engine::EventSink {
+};
+)"},
+      SourceFile{"src/monitor/fleet.cpp", R"(
+void wire() {
+  // wm-lint: allow(sink-contract): wired behind the collector lock.
+  auto sink = std::make_unique<ProbeSink>();
+}
+)"},
+  });
+  EXPECT_TRUE(result.diagnostics.empty());
+  EXPECT_EQ(result.stats.suppressions.at("sink-contract"), 1u);
+}
+
+// --- suppression shield across multi-line declarations ---------------
+
+TEST(LintSuppression, AllowAboveAMultiLineDeclarationAttaches) {
+  // Regression: the finding fires on a continuation line (the `.load()`
+  // lands one line below the declaration head); the allow above the
+  // first line must still shield it.
+  const auto result = lint_one("src/core/engine/worker.cpp", R"(
+void f(std::atomic<int>& flag) {
+  // wm-lint: allow(atomic-order): seq_cst handshake, audited.
+  const int value = flag
+                        .load();
+  (void)value;
+}
+)");
+  EXPECT_TRUE(result.diagnostics.empty());
+  EXPECT_EQ(result.stats.suppressions.at("atomic-order"), 1u);
+}
+
+TEST(LintSuppression, StatementBoundaryStillStopsTheShieldWalk) {
+  // The walk crosses continuations, never a completed statement: an
+  // allow two statements up must not leak downward.
+  const auto result = lint_one("src/core/engine/worker.cpp", R"(
+void f(std::atomic<int>& flag) {
+  // wm-lint: allow(atomic-order): shields only the next statement.
+  flag.store(1);
+  flag.store(2);
+}
+)");
+  EXPECT_TRUE(has_rule(result, "atomic-order"));
+  EXPECT_EQ(result.stats.suppressions.at("atomic-order"), 1u);
 }
 
 // --- fix-nodiscard ---------------------------------------------------
@@ -462,7 +788,10 @@ void f(const char* p) {
   const std::string json = result.stats.to_json();
   EXPECT_EQ(json.find("{\"diagnostics\":{\"cast\":1}"), 0u);
   EXPECT_NE(json.find("\"files_scanned\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"rules\":[\"atomic-order\",\"borrow\","), std::string::npos);
   EXPECT_NE(json.find("\"suppressions\":{}"), std::string::npos);
+  // rules must come before suppressions (keys stay sorted).
+  EXPECT_LT(json.find("\"rules\""), json.find("\"suppressions\""));
 }
 
 TEST(LintStats, DiagnosticRendering) {
@@ -483,8 +812,13 @@ TEST(LintPlumbing, LoadFileReportsMissingPaths) {
 
 TEST(LintPlumbing, RuleNamesAreStable) {
   const auto& names = wm::lint::rule_names();
-  EXPECT_EQ(names.size(), 6u);
+  EXPECT_EQ(names.size(), 9u);
   EXPECT_NE(std::find(names.begin(), names.end(), "borrow"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "guarded"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "atomic-order"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "sink-contract"),
+            names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "suppression"),
             names.end());
 }

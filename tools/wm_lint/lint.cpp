@@ -119,7 +119,7 @@ struct Suppression {
 std::vector<Suppression> parse_allows(const std::string& comment) {
   std::vector<Suppression> out;
   static const std::regex kAllow(
-      R"(wm-lint:\s*allow\(([a-z]+)\)(\s*:\s*(\S.*))?)");
+      R"(wm-lint:\s*allow\(([a-z][a-z-]*)\)(\s*:\s*(\S.*))?)");
   auto begin = std::sregex_iterator(comment.begin(), comment.end(), kAllow);
   for (auto it = begin; it != std::sregex_iterator(); ++it) {
     Suppression s;
@@ -177,18 +177,93 @@ bool path_contains(const std::string& path, const std::string& needle) {
 }
 
 // ---------------------------------------------------------------------
+// Cross-file index
+// ---------------------------------------------------------------------
+//
+// Single-file rules see one token stream; the sink-contract rule needs
+// to relate a class *definition* (does it derive engine::EventSink? is
+// it marked thread-safe?) to *construction sites* in another file. The
+// runner therefore prepares every file first, merges what the repo-wide
+// rules need into a RepoIndex, and hands that index to each per-file
+// pass.
+
+/// One class deriving from engine::EventSink, wherever it was defined.
+struct SinkDef {
+  std::string path;
+  std::size_t line = 0;  // 0-based head line
+  /// True when the definition carries `wm-lint: sink(threadsafe)` on
+  /// its head line or in the comment block directly above — the
+  /// author's signed statement that on_* may be called concurrently.
+  bool threadsafe = false;
+};
+
+struct RepoIndex {
+  /// EventSink subclasses by (unqualified) class name. A name defined
+  /// in several files (test fixtures reuse names) is thread-safe only
+  /// if every definition is marked.
+  std::map<std::string, SinkDef> sinks;
+};
+
+bool comment_marks_threadsafe(const std::string& comment) {
+  return comment.find("wm-lint: sink(threadsafe)") != std::string::npos;
+}
+
+/// Record every EventSink subclass a scan defines into `index`.
+void index_sinks(const FileScan& scan, RepoIndex& index) {
+  static const std::regex kSinkHead(
+      R"((?:class|struct)\s+([A-Za-z_]\w*)[^;{=()]*:[^;{]*\bEventSink\b)");
+  for (std::size_t i = 0; i < scan.lines.size(); ++i) {
+    // A class head may wrap before its base list; joining one
+    // continuation line covers `class Foo final\n : public EventSink`.
+    std::string head = scan.lines[i].code;
+    if (i + 1 < scan.lines.size() &&
+        head.find('{') == std::string::npos &&
+        head.find(';') == std::string::npos) {
+      head += ' ';
+      head += scan.lines[i + 1].code;
+    }
+    std::smatch m;
+    if (!std::regex_search(head, m, kSinkHead)) continue;
+    // Anchor to the line that names the class, not the continuation.
+    if (scan.lines[i].code.find(m[1].str()) == std::string::npos) continue;
+    bool threadsafe = comment_marks_threadsafe(scan.lines[i].comment);
+    for (std::size_t j = i; j > 0 && !threadsafe; --j) {
+      const std::string& code = scan.lines[j - 1].code;
+      const bool comment_only = std::all_of(
+          code.begin(), code.end(),
+          [](unsigned char c) { return std::isspace(c); });
+      if (!comment_only) break;
+      threadsafe = comment_marks_threadsafe(scan.lines[j - 1].comment);
+    }
+    auto [it, inserted] =
+        index.sinks.try_emplace(m[1].str(), SinkDef{scan.file->path, i, threadsafe});
+    if (!inserted) it->second.threadsafe = it->second.threadsafe && threadsafe;
+  }
+}
+
+RepoIndex build_index(const std::vector<FileScan>& scans) {
+  RepoIndex index;
+  for (const FileScan& scan : scans) index_sinks(scan, index);
+  return index;
+}
+
+// ---------------------------------------------------------------------
 // The rule engine
 // ---------------------------------------------------------------------
 
 class Linter {
  public:
-  Linter(FileScan& scan, const Options& options, LintResult& result)
-      : scan_(scan), options_(options), result_(result) {}
+  Linter(FileScan& scan, const RepoIndex& index, const Options& options,
+         LintResult& result)
+      : scan_(scan), index_(index), options_(options), result_(result) {}
 
   void run_rules() {
     const std::string& path = scan_.file->path;
     rule_cast(path);
     rule_mutex(path);
+    rule_guarded(path);
+    rule_atomic_order(path);
+    rule_sink_contract(path);
     rule_borrow(path);
     rule_nodiscard(path);
     rule_stability(path);
@@ -198,11 +273,21 @@ class Linter {
  private:
   /// Report unless an allow(rule) eats it: either inline on the same
   /// line, or anywhere in the contiguous comment block directly above.
+  /// A finding inside a multi-line declaration walks up through the
+  /// declaration's earlier lines first (a predecessor whose code does
+  /// not end a statement), so an allow above the declaration's first
+  /// line attaches no matter which physical line the rule fired on.
   void report(const std::string& rule, std::size_t index,
               const std::string& message, bool fixable = false) {
     std::vector<std::size_t> shield = {index};
-    for (std::size_t j = index; j > 0 && is_comment_only(j - 1); --j) {
-      shield.push_back(j - 1);
+    for (std::size_t j = index; j > 0;) {
+      const std::size_t prev = j - 1;
+      if (is_comment_only(prev) || continues_over(prev)) {
+        shield.push_back(prev);
+        j = prev;
+        continue;
+      }
+      break;
     }
     for (const std::size_t line : shield) {
       auto it = scan_.allows.find(line);
@@ -242,6 +327,16 @@ class Linter {
                        [](unsigned char c) { return std::isspace(c); });
   }
 
+  /// True when the code on `index` spills into the next line: it has
+  /// content whose last character closes no statement or scope.
+  [[nodiscard]] bool continues_over(std::size_t index) const {
+    const std::string& code = scan_.lines[index].code;
+    const std::size_t last = code.find_last_not_of(" \t");
+    if (last == std::string::npos) return false;  // blank (comment-only)
+    const char c = code[last];
+    return c != ';' && c != '{' && c != '}';
+  }
+
   // --- rule: cast ----------------------------------------------------
   // reinterpret_cast is how type confusion enters a parser of hostile
   // bytes; only the audited util::bytes bridging helpers may use it.
@@ -256,22 +351,143 @@ class Linter {
     }
   }
 
+  /// The hot-path file set, shared by the mutex and atomic-order
+  /// rules: the per-packet pipeline (engine, rings, pools) plus the
+  /// surfaces its threads touch per event (fleet merge, metrics, log
+  /// gate), plus anything tagged `wm-lint: hot-path`.
+  [[nodiscard]] bool hot_path(const std::string& path) const {
+    return scan_.hot_path_tag || path_contains(path, "core/engine/") ||
+           path_contains(path, "util/spsc_ring") ||
+           path_contains(path, "util/buffer_pool") ||
+           path_contains(path, "obs/metrics") ||
+           path_contains(path, "monitor/fleet") ||
+           path_contains(path, "util/log");
+  }
+
   // --- rule: mutex ---------------------------------------------------
   // Hot-path files moved to lock-free rings/pools in PR 3; a mutex
   // reappearing there is a performance regression until justified.
   void rule_mutex(const std::string& path) {
-    const bool hot = scan_.hot_path_tag ||
-                     path_contains(path, "core/engine/") ||
-                     path_contains(path, "util/spsc_ring") ||
-                     path_contains(path, "util/buffer_pool");
-    if (!hot) return;
+    if (!hot_path(path)) return;
     static const std::regex kMutexDecl(
-        R"(std::(recursive_|shared_|timed_)?mutex\s+\w+)");
+        R"(\b(?:std::(?:recursive_|shared_|timed_)?mutex|(?:util::)?Mutex)\s+\w+)");
     for (std::size_t i = 0; i < scan_.lines.size(); ++i) {
       if (std::regex_search(scan_.lines[i].code, kMutexDecl)) {
         report("mutex", i,
-               "std::mutex declared in a hot-path file — use the lock-free "
+               "mutex declared in a hot-path file — use the lock-free "
                "primitives, or justify with allow(mutex)");
+      }
+    }
+  }
+
+  // --- rule: guarded -------------------------------------------------
+  // A lock that -Wthread-safety cannot see, or that guards nothing it
+  // can check, is a contract that exists only in the author's head.
+  // Two obligations in library code (include/ + src/):
+  //   (a) no raw std::mutex — declare util::Mutex so acquire/release
+  //       carry capability attributes;
+  //   (b) every Mutex member must have at least one WM_GUARDED_BY /
+  //       WM_PT_GUARDED_BY sibling naming it (a pure condvar or
+  //       serialization mutex states that with allow(guarded)).
+  void rule_guarded(const std::string& path) {
+    if (!starts_with(path, "include/") && !starts_with(path, "src/")) return;
+    static const std::regex kRawMutex(
+        R"(\bstd::(?:recursive_|shared_|timed_)?mutex\s+\w+)");
+    static const std::regex kMutexMember(R"(\b(?:util::)?Mutex\s+(\w+)\s*;)");
+    static const std::regex kCondvar(R"(\bstd::condition_variable\s+\w+)");
+    for (std::size_t i = 0; i < scan_.lines.size(); ++i) {
+      const std::string& code = scan_.lines[i].code;
+      if (std::regex_search(code, kRawMutex)) {
+        report("guarded", i,
+               "raw std::mutex is invisible to -Wthread-safety — declare "
+               "util::Mutex (wm/util/thread_annotations.hpp), or justify "
+               "with allow(guarded)");
+      }
+      if (std::regex_search(code, kCondvar)) {
+        report("guarded", i,
+               "std::condition_variable cannot wait on util::Mutex — use "
+               "std::condition_variable_any with util::UniqueLock, or "
+               "justify with allow(guarded)");
+      }
+      std::smatch m;
+      if (std::regex_search(code, m, kMutexMember)) {
+        if (!guards_anything(m[1].str())) {
+          report("guarded", i,
+                 "Mutex `" + m[1].str() +
+                     "` has no WM_GUARDED_BY sibling — annotate what it "
+                     "protects, or state why not with allow(guarded)");
+        }
+      }
+    }
+  }
+
+  /// Does any WM_GUARDED_BY / WM_PT_GUARDED_BY in this file name
+  /// `mutex_name`? (Per file: guarded members always live beside their
+  /// lock in the same class.)
+  [[nodiscard]] bool guards_anything(const std::string& mutex_name) const {
+    const std::regex guarded(R"(WM_(?:PT_)?GUARDED_BY\(\s*)" + mutex_name +
+                             R"(\s*\))");
+    for (const LineInfo& info : scan_.lines) {
+      if (std::regex_search(info.code, guarded)) return true;
+    }
+    return false;
+  }
+
+  // --- rule: atomic-order --------------------------------------------
+  // A bare load()/store()/fetch_*() defaults to seq_cst: correct, but
+  // silently so — nobody can tell a deliberate fence from an accident,
+  // and the hot path pays for the accident. Every atomic access in a
+  // hot-path file must name its std::memory_order.
+  void rule_atomic_order(const std::string& path) {
+    if (!hot_path(path)) return;
+    static const std::regex kAtomicCall(
+        R"((?:\.|->)(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|fetch_xor|compare_exchange_weak|compare_exchange_strong)\s*\()");
+    for (std::size_t i = 0; i < scan_.lines.size(); ++i) {
+      const std::string& code = scan_.lines[i].code;
+      for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                          kAtomicCall);
+           it != std::sregex_iterator(); ++it) {
+        const std::string args = collect_call_args(
+            i, static_cast<std::size_t>(it->position(0) + it->length(0)) - 1);
+        if (args.find("memory_order") == std::string::npos) {
+          report("atomic-order", i,
+                 "atomic " + (*it)[1].str() +
+                     "() without an explicit std::memory_order — name the "
+                     "ordering (and say why in a comment), or justify with "
+                     "allow(atomic-order)");
+        }
+      }
+    }
+  }
+
+  // --- rule: sink-contract -------------------------------------------
+  // events.hpp promises sinks single-threaded delivery — a promise the
+  // fleet keeps only through its serialization points. A sink that is
+  // *constructed inside fleet.cpp* is wired straight into worker
+  // threads, so its class must carry the author's thread-safety mark,
+  // `wm-lint: sink(threadsafe)`, on (or directly above) its head line.
+  // Cross-file: definitions come from the repo-wide index.
+  void rule_sink_contract(const std::string& path) {
+    if (!path_contains(path, "monitor/fleet")) return;
+    static const std::regex kConstruct(
+        R"((?:\bnew\s+|make_unique<\s*)([A-Za-z_][\w:]*))");
+    for (std::size_t i = 0; i < scan_.lines.size(); ++i) {
+      const std::string& code = scan_.lines[i].code;
+      for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                          kConstruct);
+           it != std::sregex_iterator(); ++it) {
+        std::string name = (*it)[1].str();
+        const std::size_t colons = name.rfind("::");
+        if (colons != std::string::npos) name = name.substr(colons + 2);
+        const auto sink = index_.sinks.find(name);
+        if (sink == index_.sinks.end() || sink->second.threadsafe) continue;
+        report("sink-contract", i,
+               "sink `" + name + "` (" + sink->second.path + ":" +
+                   std::to_string(sink->second.line + 1) +
+                   ") is constructed inside the fleet but not marked "
+                   "`wm-lint: sink(threadsafe)` — prove the sink tolerates "
+                   "concurrent on_* calls and mark its class head, or "
+                   "justify here with allow(sink-contract)");
       }
     }
   }
@@ -308,11 +524,16 @@ class Linter {
         pending = name;
       }
       // Member check before brace bookkeeping so a member on the same
-      // line as a brace still sees the enclosing record.
+      // line as a brace still sees the enclosing record. Thread-safety
+      // annotations are stripped first: `BytesView v_ WM_GUARDED_BY(m);`
+      // is still a stored borrow, and the annotation's parens must not
+      // trip the declaration/function discriminator below.
+      static const std::regex kAnnotation(R"(\s*WM_\w+\([^()]*\))");
+      const std::string member_code = std::regex_replace(code, kAnnotation, "");
       if (!stack.empty() && depth == stack.back().body_depth &&
-          code.find('(') == std::string::npos) {
+          member_code.find('(') == std::string::npos) {
         std::smatch mm;
-        if (std::regex_search(code, mm, kMember)) {
+        if (std::regex_search(member_code, mm, kMember)) {
           const std::string& record = stack.back().name;
           const bool is_view_type = record.size() >= 4 &&
               record.compare(record.size() - 4, 4, "View") == 0;
@@ -526,6 +747,7 @@ class Linter {
 
  private:
   FileScan& scan_;
+  const RepoIndex& index_;
   const Options& options_;
   LintResult& result_;
   std::vector<std::size_t> fix_lines_;
@@ -539,7 +761,8 @@ std::string Diagnostic::to_string() const {
 
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames = {
-      "borrow", "nodiscard", "cast", "stability", "mutex", "suppression"};
+      "borrow",  "nodiscard",    "cast",          "stability", "mutex",
+      "guarded", "atomic-order", "sink-contract", "suppression"};
   return kNames;
 }
 
@@ -560,7 +783,14 @@ std::string Stats::to_json() const {
   dump_map("diagnostics", diagnostics);
   out << ",\"files_scanned\":" << files_scanned;
   out << ",\"lines_scanned\":" << lines_scanned;
-  out << ',';
+  out << ",\"rules\":[";
+  std::vector<std::string> names = rule_names();
+  std::sort(names.begin(), names.end());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out << ',';
+    out << '"' << names[i] << '"';
+  }
+  out << "],";
   dump_map("suppressions", suppressions);
   out << "}";
   return out.str();
@@ -568,11 +798,18 @@ std::string Stats::to_json() const {
 
 LintResult run(const std::vector<SourceFile>& files, const Options& options) {
   LintResult result;
+  // Cross-file mode: prepare every file up front, merge what repo-wide
+  // rules need into an index, then run the per-file passes against it.
+  std::vector<FileScan> scans;
+  scans.reserve(files.size());
   for (const SourceFile& file : files) {
-    FileScan scan = prepare(file);
+    scans.push_back(prepare(file));
     ++result.stats.files_scanned;
-    result.stats.lines_scanned += scan.lines.size();
-    Linter linter(scan, options, result);
+    result.stats.lines_scanned += scans.back().lines.size();
+  }
+  const RepoIndex index = build_index(scans);
+  for (FileScan& scan : scans) {
+    Linter linter(scan, index, options, result);
     linter.run_rules();
     if (options.fix_nodiscard) linter.apply_fixes();
   }
