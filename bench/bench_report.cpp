@@ -1,0 +1,137 @@
+#include "bench_report.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace wm::bench {
+
+util::JsonValue Throughput::to_json() const {
+  util::JsonObject object;
+  object["seconds"] = seconds;
+  object["packets"] = packets;
+  object["bytes"] = bytes;
+  object["packets_per_sec"] = packets_per_sec();
+  object["bytes_per_sec"] = bytes_per_sec();
+  return util::JsonValue(std::move(object));
+}
+
+void Report::add_section(const std::string& name, util::JsonValue value) {
+  sections_[name] = std::move(value);
+}
+
+std::string Report::render() const {
+  util::JsonObject root = sections_;
+  root["bench"] = bench_name_;
+  root["version"] = kBenchSchemaVersion;
+  root["smoke"] = smoke_;
+  return util::JsonValue(std::move(root)).dump(2);
+}
+
+void Report::emit(const std::string& path) const {
+  const std::string rendered = render();
+  std::cout << rendered << "\n";
+  if (path.empty()) return;
+  std::ofstream out(path, std::ios::trunc);
+  out << rendered << "\n";
+  if (!out) throw std::runtime_error("bench report: cannot write " + path);
+}
+
+namespace {
+
+/// Depth-first sweep for throughput rows (objects that advertise a
+/// "packets_per_sec" key), wherever they sit in the section tree.
+void check_rows(const util::JsonValue& value, const std::string& where,
+                std::vector<std::string>& problems) {
+  if (value.is_array()) {
+    std::size_t i = 0;
+    for (const util::JsonValue& element : value.as_array()) {
+      check_rows(element, where + "[" + std::to_string(i++) + "]", problems);
+    }
+    return;
+  }
+  if (!value.is_object()) return;
+  const util::JsonObject& object = value.as_object();
+  if (object.count("packets_per_sec") != 0) {
+    std::vector<const char*> required = {"seconds", "packets",
+                                         "packets_per_sec"};
+    // Rows that advertise byte rates must back them with real byte
+    // counts; packet-rate-only rows (e.g. perf_fleet's synthetic
+    // workload) simply omit both keys.
+    const bool has_bytes =
+        object.count("bytes") != 0 || object.count("bytes_per_sec") != 0;
+    if (has_bytes) {
+      required.push_back("bytes");
+      required.push_back("bytes_per_sec");
+    }
+    for (const char* key : required) {
+      if (object.count(key) == 0) {
+        problems.push_back(where + ": throughput row missing \"" + key + "\"");
+      } else if (!object.at(key).is_number()) {
+        problems.push_back(where + ": \"" + key + "\" is not a number");
+      }
+    }
+    // The accounting rule this schema exists for: a row that moved
+    // packets must say how many bytes they were.
+    if (has_bytes && object.count("packets") != 0 &&
+        object.count("bytes") != 0 && object.at("packets").is_number() &&
+        object.at("bytes").is_number() &&
+        object.at("packets").as_double() > 0.0 &&
+        object.at("bytes").as_double() <= 0.0) {
+      problems.push_back(where +
+                         ": packets > 0 but bytes == 0 (missing byte accounting)");
+    }
+  }
+  for (const auto& [key, child] : object) {
+    check_rows(child, where.empty() ? key : where + "." + key, problems);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> validate(const util::JsonValue& document) {
+  std::vector<std::string> problems;
+  if (!document.is_object()) {
+    problems.emplace_back("document is not a JSON object");
+    return problems;
+  }
+  if (!document.contains("bench") || !document.at("bench").is_string()) {
+    problems.emplace_back("missing string field \"bench\"");
+  }
+  std::int64_t version = 0;
+  if (!document.contains("version") || !document.at("version").is_int()) {
+    problems.emplace_back("missing integer field \"version\"");
+  } else {
+    version = document.at("version").as_int();
+    if (version < 1 || version > kBenchSchemaVersion) {
+      problems.push_back("unknown schema version " + std::to_string(version));
+    }
+  }
+  if (version >= 2) {
+    if (!document.contains("smoke") || !document.at("smoke").is_bool()) {
+      problems.emplace_back("missing boolean field \"smoke\"");
+    }
+    check_rows(document, "", problems);
+  }
+  return problems;
+}
+
+std::vector<std::string> validate_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) return {path.string() + ": cannot open"};
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  util::JsonValue document;
+  try {
+    document = util::JsonValue::parse(buffer.str());
+  } catch (const std::exception& error) {
+    return {path.string() + ": parse error: " + error.what()};
+  }
+  std::vector<std::string> problems = validate(document);
+  for (std::string& problem : problems) {
+    problem = path.string() + ": " + problem;
+  }
+  return problems;
+}
+
+}  // namespace wm::bench

@@ -1,0 +1,83 @@
+// Shared schema for the committed BENCH_pr*.json documents.
+//
+// Every hand-rolled benchmark binary (perf_ingest, perf_fleet) emits
+// the same envelope — {"bench": <name>, "version": kBenchSchemaVersion,
+// "smoke": <bool>, <sections>...} — through Report, and the same row
+// shape for throughput measurements through Throughput. validate()
+// checks both, and is used three ways: by each binary's --smoke
+// self-check, by the bench_validate CLI that CI runs over the emitted
+// and the committed documents, and by the bench-validate ctest entry.
+//
+// Version history: version 1 documents (BENCH_pr3/6/7.json) predate the
+// shared emitter; they parse but are exempt from the row-shape rules
+// (several of their engine rows carry the bytes=0 accounting bug this
+// schema exists to keep fixed). Version 2 adds the mandatory envelope
+// and requires every throughput row to carry real byte totals.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "wm/util/json.hpp"
+
+namespace wm::bench {
+
+/// Bump when the envelope or row shape changes incompatibly.
+inline constexpr std::int64_t kBenchSchemaVersion = 2;
+
+/// One throughput measurement row. `bytes` must be the real byte count
+/// the measured path moved — validate() rejects rows where packets
+/// flowed but bytes stayed zero (the PR 3 engine-row bug).
+struct Throughput {
+  double seconds = 0.0;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+
+  [[nodiscard]] double packets_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(packets) / seconds : 0.0;
+  }
+  [[nodiscard]] double bytes_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(bytes) / seconds : 0.0;
+  }
+  [[nodiscard]] util::JsonValue to_json() const;
+};
+
+/// Accumulates named sections, then renders the versioned envelope.
+class Report {
+ public:
+  Report(std::string bench_name, bool smoke)
+      : bench_name_(std::move(bench_name)), smoke_(smoke) {}
+
+  /// Attach one top-level section (overwrites a same-named section).
+  void add_section(const std::string& name, util::JsonValue value);
+
+  /// Render the full document (envelope + sections), 2-space indented.
+  [[nodiscard]] std::string render() const;
+
+  /// render() to stdout, and to `path` when non-empty. Throws on I/O
+  /// failure.
+  void emit(const std::string& path) const;
+
+ private:
+  std::string bench_name_;
+  bool smoke_ = false;
+  util::JsonObject sections_;
+};
+
+/// Validate one parsed benchmark document against the schema. Returns
+/// human-readable problems; empty means the document conforms.
+/// Version 1 documents get envelope checks only (historic files are
+/// kept as committed); version >= 2 additionally requires every object
+/// carrying "packets_per_sec" to be a well-formed row: seconds and
+/// packets always, and — when the row advertises byte rates at all —
+/// real, nonzero byte accounting to back them.
+[[nodiscard]] std::vector<std::string> validate(const util::JsonValue& document);
+
+/// Parse + validate a file on disk. I/O and parse errors come back as
+/// problems rather than exceptions, so the CLI can keep going.
+[[nodiscard]] std::vector<std::string> validate_file(
+    const std::filesystem::path& path);
+
+}  // namespace wm::bench

@@ -1,0 +1,39 @@
+// BENCH_pr*.json schema validator (see bench_report.hpp for the rules).
+//
+//   bench_validate FILE.json [FILE.json ...]
+//
+// Prints every problem found and exits non-zero if any file fails —
+// the bench-validate ctest entry and the CI bench-smoke leg run this
+// over the committed documents and over freshly emitted smoke output,
+// so a benchmark binary cannot quietly drift off the shared schema
+// (or reintroduce the engine bytes=0 accounting bug).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_report.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: bench_validate FILE.json [FILE.json ...]\n";
+    return 2;
+  }
+  std::size_t failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::vector<std::string> problems =
+        wm::bench::validate_file(argv[i]);
+    if (problems.empty()) {
+      std::cout << argv[i] << ": OK\n";
+      continue;
+    }
+    ++failures;
+    for (const std::string& problem : problems) {
+      std::cerr << problem << "\n";
+    }
+  }
+  if (failures != 0) {
+    std::cerr << failures << " file(s) failed schema validation\n";
+    return 1;
+  }
+  return 0;
+}

@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "wm/core/classifier.hpp"
 #include "wm/monitor/fleet.hpp"
 #include "wm/monitor/monitor.hpp"
@@ -186,26 +187,18 @@ int main(int argc, char** argv) try {
       static_cast<std::uint64_t>(workload.concurrency);
   workload_info["packets"] = single.packets;
 
-  util::JsonObject root;
-  root["bench"] = "perf_fleet";
-  root["version"] = 1;
-  root["smoke"] = smoke;
-  root["hardware_threads"] =
-      static_cast<std::uint64_t>(std::thread::hardware_concurrency());
-  root["workload"] = util::JsonValue(std::move(workload_info));
-  root["single_monitor"] = single.to_json();
-  root["fleet"] = util::JsonValue(std::move(fleet_section));
-  root["speedup"] = util::JsonValue(std::move(speedup));
-  const util::JsonValue document{std::move(root)};
-  const std::string rendered = document.dump(2);
-  std::cout << rendered << "\n";
-
+  bench::Report report("perf_fleet", smoke);
+  report.add_section(
+      "hardware_threads",
+      util::JsonValue(
+          static_cast<std::uint64_t>(std::thread::hardware_concurrency())));
+  report.add_section("workload", util::JsonValue(std::move(workload_info)));
+  report.add_section("single_monitor", single.to_json());
+  report.add_section("fleet", util::JsonValue(std::move(fleet_section)));
+  report.add_section("speedup", util::JsonValue(std::move(speedup)));
+  const std::string rendered = report.render();
   const std::string json_path = cli.get_string("json");
-  if (!json_path.empty()) {
-    std::ofstream out(json_path, std::ios::trunc);
-    out << rendered << "\n";
-    if (!out) throw std::runtime_error("cannot write " + json_path);
-  }
+  report.emit(json_path);
 
   if (smoke) {
     std::string emitted = rendered;
@@ -216,6 +209,9 @@ int main(int argc, char** argv) try {
       emitted = buffer.str();
     }
     const util::JsonValue parsed = util::JsonValue::parse(emitted);
+    for (const std::string& problem : bench::validate(parsed)) {
+      require(false, "schema: " + problem);
+    }
     for (const char* key : {"workload", "single_monitor", "fleet", "speedup"}) {
       require(parsed.contains(key), std::string("missing JSON section ") + key);
     }

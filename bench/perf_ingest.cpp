@@ -41,9 +41,11 @@
 #include <thread>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "wm/core/engine/engine.hpp"
 #include "wm/core/engine/source.hpp"
 #include "wm/core/pipeline.hpp"
+#include "wm/net/packet.hpp"
 #include "wm/net/pcap.hpp"
 #include "wm/sim/session.hpp"
 #include "wm/story/bandersnatch.hpp"
@@ -61,27 +63,9 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-struct RunResult {
-  double seconds = 0.0;
-  std::uint64_t packets = 0;
-  std::uint64_t bytes = 0;  // payload bytes delivered
-
-  [[nodiscard]] double packets_per_sec() const {
-    return seconds > 0.0 ? static_cast<double>(packets) / seconds : 0.0;
-  }
-  [[nodiscard]] double bytes_per_sec() const {
-    return seconds > 0.0 ? static_cast<double>(bytes) / seconds : 0.0;
-  }
-  [[nodiscard]] util::JsonValue to_json() const {
-    util::JsonObject object;
-    object["seconds"] = seconds;
-    object["packets"] = packets;
-    object["bytes"] = bytes;
-    object["packets_per_sec"] = packets_per_sec();
-    object["bytes_per_sec"] = bytes_per_sec();
-    return util::JsonValue(std::move(object));
-  }
-};
+/// The shared throughput-row shape every BENCH document uses (schema
+/// version 2, bench_report.hpp).
+using RunResult = bench::Throughput;
 
 /// Build the trace: one simulated viewing session replayed `laps` times
 /// through ChunkedReplaySource (fresh IPv4 identities per lap), written
@@ -558,14 +542,75 @@ double bench_dispatch(std::uint64_t handoffs, bool batched) {
   return runs[1];
 }
 
+/// Per-stage decode rows: the raw packet->header step in isolation,
+/// scalar parser chain vs column-wise slab, on packets preloaded into
+/// memory so nothing but decode is on the clock. `bytes` is the TCP
+/// payload bytes each path attributed — the two must agree exactly, so
+/// this doubles as a whole-trace differential check on the decoders.
+struct DecodeStageResults {
+  RunResult scalar;
+  RunResult slab;
+};
+
+DecodeStageResults bench_decode_stages(const std::filesystem::path& path) {
+  std::vector<net::Packet> packets;
+  {
+    engine::CaptureOptions options;
+    options.allow_mmap = true;
+    auto source = engine::open_capture(path, options);
+    if (!source.ok()) throw std::runtime_error(source.error().to_string());
+    engine::PacketBatch batch;
+    while ((*source)->read_batch(batch, 1024) != 0) {
+      for (const net::Packet& packet : batch) packets.push_back(packet);
+    }
+  }
+
+  DecodeStageResults out;
+  {
+    const auto start = std::chrono::steady_clock::now();
+    for (const net::Packet& packet : packets) {
+      if (const auto decoded = net::decode_packet(packet);
+          decoded && decoded->has_tcp()) {
+        out.scalar.bytes += decoded->transport_payload.size();
+      }
+    }
+    out.scalar.seconds = seconds_since(start);
+    out.scalar.packets = packets.size();
+  }
+  {
+    net::DecodedSlab slab;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t offset = 0; offset < packets.size();
+         offset += net::DecodedSlab::kCapacity) {
+      const std::size_t count = std::min<std::size_t>(
+          net::DecodedSlab::kCapacity, packets.size() - offset);
+      net::decode_slab(packets.data() + offset, count, slab);
+      for (std::size_t i = 0; i < count; ++i) {
+        if (slab.lens[i].status == net::LensStatus::kTcp) {
+          out.slab.bytes += slab.lens[i].payload_length;
+        }
+      }
+    }
+    out.slab.seconds = seconds_since(start);
+    out.slab.packets = packets.size();
+  }
+  if (out.scalar.bytes != out.slab.bytes) {
+    throw std::runtime_error("decode stages diverged: scalar and slab "
+                             "attributed different TCP payload bytes");
+  }
+  return out;
+}
+
 enum class EngineMode { kPr2Baseline, kIstreamNext, kMmapBatch };
 
 RunResult bench_engine(const std::filesystem::path& path,
                        const core::RecordClassifier& classifier,
-                       util::Duration idle_timeout, EngineMode mode) {
+                       util::Duration idle_timeout, EngineMode mode,
+                       bool slab_decode = true) {
   engine::EngineConfig config;
   config.shards = 1;  // one worker: the ring handoff is on the path
   config.flow_idle_timeout = idle_timeout;
+  config.slab_decode = slab_decode;
   RunResult out;
   const auto start = std::chrono::steady_clock::now();
   std::optional<Pr2BaselineSource> baseline;
@@ -595,6 +640,10 @@ RunResult bench_engine(const std::filesystem::path& path,
   const engine::EngineResult result = engine.finish();
   out.seconds = seconds_since(start);
   out.packets = result.stats.packets_in;
+  // PR 10 bugfix: these rows used to report bytes 0 / bytes_per_sec 0.0
+  // because EngineResult carried no byte totals; stats.bytes_in now
+  // accounts every capture byte offered to the engine.
+  out.bytes = result.stats.bytes_in;
   return out;
 }
 
@@ -695,6 +744,12 @@ int main(int argc, char** argv) try {
     require(run->bytes == trace.bytes, "pipeline byte totals diverged");
   }
 
+  // --- per-stage decode rows ----------------------------------------
+  std::cerr << "decode stages...\n";
+  const DecodeStageResults decode_stages = bench_decode_stages(path);
+  require(decode_stages.scalar.packets == trace.packets,
+          "decode stages missed packets");
+
   // --- engine end-to-end --------------------------------------------
   std::cerr << "engine end-to-end...\n";
   core::AttackPipeline pipeline("interval");
@@ -709,9 +764,16 @@ int main(int argc, char** argv) try {
   const RunResult engine_mmap =
       bench_engine(path, pipeline.classifier(), session.session_length,
                    EngineMode::kMmapBatch);
-  require(engine_pr2.packets == trace.packets, "engine dropped packets");
-  require(engine_istream.packets == trace.packets, "engine dropped packets");
-  require(engine_mmap.packets == trace.packets, "engine dropped packets");
+  // The scalar-oracle engine: identical output via the per-packet
+  // decode_packet() chain — the denominator of the slab speedup row.
+  const RunResult engine_mmap_scalar =
+      bench_engine(path, pipeline.classifier(), session.session_length,
+                   EngineMode::kMmapBatch, /*slab_decode=*/false);
+  for (const RunResult* run :
+       {&engine_pr2, &engine_istream, &engine_mmap, &engine_mmap_scalar}) {
+    require(run->packets == trace.packets, "engine dropped packets");
+    require(run->bytes == trace.bytes, "engine byte accounting diverged");
+  }
 
   // --- report -------------------------------------------------------
   util::JsonObject readers;
@@ -743,12 +805,22 @@ int main(int argc, char** argv) try {
   ingest_pipeline["pr2_reader_mutex_deque"] = pipeline_pr2.to_json();
   ingest_pipeline["mmap_ring"] = pipeline_mmap_ring.to_json();
 
+  util::JsonObject stages;
+  stages["decode_scalar"] = decode_stages.scalar.to_json();
+  stages["decode_slab"] = decode_stages.slab.to_json();
+
   util::JsonObject engine;
   engine["pr2_baseline_shard1"] = engine_pr2.to_json();
   engine["istream_next_shard1"] = engine_istream.to_json();
   engine["mmap_batch_shard1"] = engine_mmap.to_json();
+  engine["mmap_batch_scalar_shard1"] = engine_mmap_scalar.to_json();
 
   util::JsonObject speedup;
+  speedup["decode_slab_vs_scalar"] =
+      decode_stages.slab.packets_per_sec() /
+      decode_stages.scalar.packets_per_sec();
+  speedup["engine_slab_vs_scalar"] =
+      engine_mmap.packets_per_sec() / engine_mmap_scalar.packets_per_sec();
   speedup["ingest_mmap_ring_vs_pr2_baseline"] =
       pipeline_mmap_ring.packets_per_sec() / pipeline_pr2.packets_per_sec();
   speedup["reader_mmap_batch_vs_pr2_baseline"] =
@@ -772,27 +844,18 @@ int main(int argc, char** argv) try {
   trace_info["laps"] = static_cast<std::uint64_t>(laps);
   trace_info["batch_size"] = static_cast<std::uint64_t>(batch_size);
 
-  util::JsonObject root;
-  root["bench"] = "perf_ingest";
-  root["version"] = 1;
-  root["smoke"] = smoke;
-  root["trace"] = util::JsonValue(std::move(trace_info));
-  root["readers"] = util::JsonValue(std::move(readers));
-  root["queue"] = util::JsonValue(std::move(queue));
-  root["dispatch"] = util::JsonValue(std::move(dispatch));
-  root["pipeline"] = util::JsonValue(std::move(ingest_pipeline));
-  root["engine"] = util::JsonValue(std::move(engine));
-  root["speedup"] = util::JsonValue(std::move(speedup));
-  const util::JsonValue document{std::move(root)};
-  const std::string rendered = document.dump(2);
-  std::cout << rendered << "\n";
-
+  bench::Report report("perf_ingest", smoke);
+  report.add_section("trace", util::JsonValue(std::move(trace_info)));
+  report.add_section("readers", util::JsonValue(std::move(readers)));
+  report.add_section("queue", util::JsonValue(std::move(queue)));
+  report.add_section("dispatch", util::JsonValue(std::move(dispatch)));
+  report.add_section("pipeline", util::JsonValue(std::move(ingest_pipeline)));
+  report.add_section("stages", util::JsonValue(std::move(stages)));
+  report.add_section("engine", util::JsonValue(std::move(engine)));
+  report.add_section("speedup", util::JsonValue(std::move(speedup)));
+  const std::string rendered = report.render();
   const std::string json_path = cli.get_string("json");
-  if (!json_path.empty()) {
-    std::ofstream out(json_path, std::ios::trunc);
-    out << rendered << "\n";
-    if (!out) throw std::runtime_error("cannot write " + json_path);
-  }
+  report.emit(json_path);
 
   if (smoke) {
     // CI self-validation: the emitted document must round-trip and
@@ -805,10 +868,19 @@ int main(int argc, char** argv) try {
       emitted = buffer.str();
     }
     const util::JsonValue parsed = util::JsonValue::parse(emitted);
+    for (const std::string& problem : bench::validate(parsed)) {
+      require(false, "schema: " + problem);
+    }
     for (const char* key : {"trace", "readers", "queue", "dispatch", "pipeline",
-                            "engine", "speedup"}) {
+                            "stages", "engine", "speedup"}) {
       require(parsed.contains(key), std::string("missing JSON section ") + key);
     }
+    require(parsed.at("speedup").at("decode_slab_vs_scalar").as_double() > 0.0,
+            "decode stage speedup not computed");
+    require(parsed.at("speedup").at("engine_slab_vs_scalar").as_double() > 0.0,
+            "engine slab speedup not computed");
+    require(parsed.at("engine").at("mmap_batch_shard1").at("bytes").as_int() > 0,
+            "engine rows still missing byte accounting");
     require(
         parsed.at("speedup").at("dispatch_batched_vs_per_item").as_double() >
             0.0,

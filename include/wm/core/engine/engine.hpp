@@ -63,8 +63,13 @@ struct EngineConfig {
   std::size_t dispatch_batch = 256;
   /// Maximum batches buffered per shard before feed() blocks
   /// (backpressure; the engine never drops packets). Rounded up to a
-  /// power of two by the underlying ring.
-  std::size_t queue_capacity = 64;
+  /// power of two by the underlying ring. Deliberately shallow: the
+  /// in-flight window (queue_capacity x dispatch_batch x packet size,
+  /// ~6 MB at the defaults) must stay cache-resident or the worker
+  /// re-fetches every handed-off byte from DRAM — deepening the queue
+  /// past that measurably *lowers* throughput before it absorbs any
+  /// extra burst.
+  std::size_t queue_capacity = 16;
   /// Evict per-flow analysis state idle longer than this. Zero = never
   /// (batch semantics). Classified observations survive eviction; only
   /// reassembly/parser state is freed.
@@ -75,6 +80,10 @@ struct EngineConfig {
   /// Per-flow TCP reassembly tuning (reorder window before a hole is
   /// declared dead, buffer budget) applied by every shard's extractor.
   net::TcpStreamReassembler::Config reassembly;
+  /// Decode packets slab-wise (column passes over whole batches) on the
+  /// hot path. Off = the per-packet scalar parser chain, kept as the
+  /// differential oracle; results are byte-identical either way.
+  bool slab_decode = true;
   /// Observability (wm::obs): when set, every stage registers live
   /// counters/timers here — per-shard scopes ("engine.shard[2].flows.
   /// opened"), shard-count-invariant rollups ("engine.flows.opened"),
@@ -114,8 +123,11 @@ class ShardedFlowEngine {
   /// Offer one packet. May block on shard-queue backpressure.
   void feed(net::Packet packet);
 
-  /// Offer a batch (borrowed or owned); packets are copied into
-  /// recycled shard slots. May block on backpressure.
+  /// Offer a batch. Owned/borrowed packets are copied into recycled
+  /// shard slots; a view batch (PacketBatch::has_views()) is demuxed as
+  /// views — no frame bytes move — and must honour the read_views()
+  /// lifetime contract (backing bytes stable until after finish()).
+  /// May block on backpressure.
   void ingest(const PacketBatch& batch);
 
   /// Offer an owned batch for consumption: packet buffers are swapped
@@ -124,7 +136,13 @@ class ShardedFlowEngine {
   /// slot capacity intact, ready for the next read_batch() refill.
   void ingest(PacketBatch&& batch);
 
-  /// Pull `source` to exhaustion via read_batch(). Returns packets fed.
+  /// Pull `source` to exhaustion. Probes the zero-copy read_views()
+  /// path once; if the source serves stable views (mmap capture,
+  /// in-memory vector) every frame flows through untouched — dispatch
+  /// hashes the mapped bytes, workers reassemble borrowed spans — and
+  /// the source must stay alive until finish() returns. Otherwise
+  /// falls back to the read_batch() slot-recycling path. Returns
+  /// packets fed.
   std::size_t consume(PacketSource& source);
 
   /// Flush queues, join workers, and produce the final result. The
@@ -139,7 +157,27 @@ class ShardedFlowEngine {
   class Collector;
 
   std::size_t shard_for(const net::Packet& packet) const;
+  std::size_t shard_for(util::BytesView frame) const;
   void process(Shard& shard, const net::Packet& packet);
+  /// Analyze `count` contiguous packets on `shard`: the slab decoder
+  /// when EngineConfig::slab_decode is on, per-packet process() when
+  /// it's off.
+  void process_batch(Shard& shard, const net::Packet* packets,
+                     std::size_t count);
+  /// View form: slab-decodes straight out of the source's backing
+  /// store and reassembles borrowed payload spans (stable_payload).
+  /// The scalar oracle materializes each view into a recycled scratch
+  /// packet — byte-identical results either way.
+  void process_batch(Shard& shard, const net::PacketView* views,
+                     std::size_t count);
+  /// Mode dispatch for a queued batch (owned/borrowed vs views).
+  void process_batch(Shard& shard, const PacketBatch& batch);
+  /// Demux a view batch across shards without touching frame bytes.
+  void ingest_views(const PacketBatch& batch);
+  /// The shard's fill batch, flushed first if its mode (owned vs
+  /// views) differs from what the caller is about to append — a batch
+  /// never mixes modes, so neither payload can silently drop the other.
+  PacketBatch& pending_for(std::size_t shard_index, bool views);
   /// Route one extractor delivery: records feed the collector's
   /// observation log, client-side gaps feed its gap timeline.
   void handle_event(Shard& shard, const tls::StreamEvent& stream_event);
@@ -155,6 +193,7 @@ class ShardedFlowEngine {
   /// the owning shard's arena (acquired from its freelist ring).
   std::vector<PacketBatch*> pending_;
   std::atomic<std::uint64_t> packets_in_{0};
+  std::atomic<std::uint64_t> bytes_in_{0};
   std::uint64_t batches_dispatched_ = 0;
   std::uint64_t backpressure_waits_ = 0;
   bool finished_ = false;

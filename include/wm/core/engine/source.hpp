@@ -32,14 +32,19 @@
 namespace wm::engine {
 
 /// A reusable batch of packets — the unit the batched source API and
-/// the engine's shard rings move around. Two modes:
+/// the engine's shard rings move around. Three modes:
 ///  - owned: packets live in recycled slots. clear() keeps every
 ///    slot's heap buffer, so a steady-state refill writes into
 ///    already-sized storage and never mallocs;
 ///  - borrowed: the batch is a view over a contiguous run of packets
 ///    owned elsewhere (zero-copy hand-off from in-memory sources).
 ///    The underlying packets must stay alive and unmodified until the
-///    batch is cleared or refilled.
+///    batch is cleared or refilled;
+///  - views: the batch carries PacketViews (append_view), each
+///    borrowing frame bytes from a producer's backing store. This is
+///    the read_views() hand-off; the PacketSource contract there makes
+///    the backing bytes stable for the source's whole lifetime, so
+///    view batches can sit in queues and feed zero-copy reassembly.
 class PacketBatch {
  public:
   PacketBatch() = default;
@@ -53,13 +58,19 @@ class PacketBatch {
     borrowed_ = nullptr;
     borrowed_size_ = 0;
     size_ = 0;
+    views_.clear();
   }
 
   [[nodiscard]] std::size_t size() const noexcept {
-    return borrowed_ != nullptr ? borrowed_size_ : size_;
+    if (borrowed_ != nullptr) return borrowed_size_;
+    if (!views_.empty()) return views_.size();
+    return size_;
   }
   [[nodiscard]] bool empty() const noexcept { return size() == 0; }
   [[nodiscard]] bool is_borrowed() const noexcept { return borrowed_ != nullptr; }
+  /// True when the batch carries PacketViews (views() is the payload
+  /// and begin()/end() must not be used).
+  [[nodiscard]] bool has_views() const noexcept { return !views_.empty(); }
 
   [[nodiscard]] const net::Packet& operator[](std::size_t index) const noexcept {
     return begin()[index];
@@ -71,10 +82,29 @@ class PacketBatch {
     return begin() + size();
   }
 
+  /// The view payload (valid entries: [views(), views() + size()) when
+  /// has_views()).
+  [[nodiscard]] const net::PacketView* views() const noexcept {
+    return views_.data();
+  }
+
+  /// Append a borrowed frame, switching the batch to view mode (owned
+  /// and borrowed contents are dropped; view storage has no per-entry
+  /// heap, so steady-state refills never malloc).
+  void append_view(const net::PacketView& view) {
+    if (borrowed_ != nullptr || size_ != 0) {
+      borrowed_ = nullptr;
+      borrowed_size_ = 0;
+      size_ = 0;
+    }
+    views_.push_back(view);
+  }
+
   /// Expose the next recycled slot for in-place filling. Appending to
-  /// a borrowed batch first drops the borrow (the batch becomes owned).
+  /// a borrowed or view batch first drops that payload (the batch
+  /// becomes owned).
   net::Packet& append_slot() {
-    if (borrowed_ != nullptr) clear();
+    if (borrowed_ != nullptr || !views_.empty()) clear();
     if (size_ == slots_.size()) slots_.emplace_back();
     return slots_[size_++];
   }
@@ -116,6 +146,7 @@ class PacketBatch {
   /// `packets`. Any owned contents are dropped (capacity retained).
   void borrow(const net::Packet* packets, std::size_t count) noexcept {
     size_ = 0;
+    views_.clear();
     borrowed_ = packets;
     borrowed_size_ = count;
   }
@@ -125,6 +156,8 @@ class PacketBatch {
   std::size_t size_ = 0;
   const net::Packet* borrowed_ = nullptr;
   std::size_t borrowed_size_ = 0;
+  // View-mode storage; non-empty means view mode is active.
+  std::vector<net::PacketView> views_;
 };
 
 /// Pull-based packet stream, yielding packets in capture order until
@@ -150,6 +183,24 @@ class PacketSource {
   /// adapts next() for external implementations.
   [[nodiscard]] virtual std::size_t read_batch(PacketBatch& out, std::size_t max);
 
+  /// Fully zero-copy pull: refill `out` (cleared first) with up to
+  /// `max` PacketViews. Returns 0 either at end-of-stream or when the
+  /// source cannot serve stable views — callers probe once and fall
+  /// back to read_batch() on a first-call 0, then stick to one path.
+  ///
+  /// Lifetime contract (stronger than PacketView's usual "until the
+  /// next read"): every view handed out here stays valid and unchanged
+  /// for the *remaining lifetime of the source*. Only sources whose
+  /// backing store is naturally immortal implement it — an in-memory
+  /// vector, an mmap'd capture file — which is exactly what lets the
+  /// engine queue view batches and reassemble TCP streams without ever
+  /// copying a frame.
+  [[nodiscard]] virtual std::size_t read_views(PacketBatch& out, std::size_t max) {
+    (void)out;
+    (void)max;
+    return 0;
+  }
+
  private:
   std::optional<Error> no_error_;
 };
@@ -172,6 +223,10 @@ class VectorSource final : public PacketSource {
   /// Zero-copy: hands out a borrowed span over the vector.
   [[nodiscard]] std::size_t read_batch(PacketBatch& out, std::size_t max) override;
 
+  /// Stable views over the vector's packets (the vector outlives the
+  /// source by the borrow constructor's contract, or is owned by it).
+  [[nodiscard]] std::size_t read_views(PacketBatch& out, std::size_t max) override;
+
  private:
   std::vector<net::Packet> owned_;
   const std::vector<net::Packet>* packets_;
@@ -190,6 +245,11 @@ class CaptureFileSource final : public PacketSource {
   /// Drains reader views into recycled slots: zero per-packet
   /// allocation in the steady state, metrics amortized per batch.
   [[nodiscard]] std::size_t read_batch(PacketBatch& out, std::size_t max) override;
+  /// mmap fast path only: views point straight into the mapped file,
+  /// which stays mapped for the source's lifetime. The buffered istream
+  /// path recycles its staging buffer per record, so it reports 0 here
+  /// and callers fall back to read_batch().
+  [[nodiscard]] std::size_t read_views(PacketBatch& out, std::size_t max) override;
   [[nodiscard]] const std::optional<Error>& error() const override {
     return error_;
   }

@@ -10,6 +10,7 @@ namespace wm::engine {
 struct EngineStats {
   std::size_t shards = 0;              // worker threads (0 = ran inline)
   std::uint64_t packets_in = 0;        // packets offered to the engine
+  std::uint64_t bytes_in = 0;          // capture bytes offered (frame sizes)
   std::uint64_t packets_undecodable = 0;
   std::uint64_t batches_dispatched = 0;
   std::uint64_t records = 0;           // TLS records parsed (all types)

@@ -157,6 +157,19 @@ class FlowTable {
 /// nullopt for frames with no TCP/UDP transport.
 std::optional<std::uint64_t> flow_shard_hash(const Packet& packet);
 
+/// Same hash computed straight from a raw frame span — the form the
+/// zero-copy dispatch path uses, where a packet exists only as a
+/// PacketView over a source's backing store.
+std::optional<std::uint64_t> flow_shard_hash(util::BytesView frame);
+
+/// Direction-symmetric 64-bit hash of an endpoint pair — the same
+/// value `flow_shard_hash` computes from the raw frame, but starting
+/// from already-extracted endpoints. Hot-path flow indexes key on this
+/// so a lookup costs one hash + probe instead of an ordered-key
+/// comparison chain; both orientations of a flow hash identically.
+std::uint64_t endpoint_pair_hash(const Endpoint& a, const Endpoint& b,
+                                 IpProtocol protocol);
+
 /// 64-bit hash of the *viewer* (client) address parsed from the raw
 /// frame, for partitioning packets across ContinuousMonitor shards so
 /// every flow belonging to one subscriber lands on the same shard. The

@@ -5,6 +5,8 @@
 // Ethernet → IPv4/IPv6 → TCP/UDP, with the transport payload exposed.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <variant>
@@ -100,5 +102,81 @@ struct DecodedPacket {
 /// Decode a captured frame through Ethernet/IP/transport. Returns
 /// nullopt when the frame is not parseable to at least the IP layer.
 std::optional<DecodedPacket> decode_packet(const Packet& packet);
+
+// --- Slab-batched hot-path decode -----------------------------------
+//
+// The full parse_* chain materializes headers (MAC addresses, option
+// byte vectors, header checksums) that the record-extraction hot path
+// never reads. A PacketLens is the minimal per-packet decode result
+// that path does read: a classification, the flow 5-tuple as offsets
+// into the frame, and the TCP fields the reassembler consumes. Lenses
+// store offsets, not views, so they borrow nothing and can sit in a
+// reusable slab.
+//
+// Two producers fill lenses: decode_lens() (scalar, one packet) and
+// decode_slab() (column-wise over up to 256 packets: one pass per
+// protocol layer, so each layer's branch pattern stays predictable on
+// homogeneous traffic). Both must classify every frame exactly like
+// decode_packet() — that three-way equivalence is pinned by the
+// slab differential tests and is the contract the engine's
+// scalar-oracle mode checks end to end.
+
+/// What the hot path needs to know about a frame.
+enum class LensStatus : std::uint8_t {
+  /// decode_packet() would return nullopt for this frame.
+  kUndecodable = 0,
+  /// Decodable but not TCP (UDP or another IP protocol): counted and
+  /// skipped by the extractor. Only `status` is meaningful.
+  kNonTcp,
+  /// TCP: every lens field below is filled.
+  kTcp,
+};
+
+/// Per-packet decode result, all offsets relative to the frame start.
+struct PacketLens {
+  LensStatus status = LensStatus::kUndecodable;
+  bool is_v6 = false;
+  /// Raw TCP flag bits (low byte of the offset/flags word).
+  std::uint8_t tcp_flags = 0;
+  std::uint16_t source_port = 0;
+  std::uint16_t destination_port = 0;
+  std::uint32_t sequence = 0;
+  /// Offset of the source address bytes; the destination address
+  /// follows at +4 (IPv4) or +16 (IPv6) — both stacks lay the
+  /// addresses out adjacently.
+  std::uint32_t address_offset = 0;
+  std::uint32_t payload_offset = 0;
+  std::uint32_t payload_length = 0;
+  /// Transport payload bytes the wire carried beyond the capture
+  /// (snaplen truncation) — DecodedPacket::transport_payload_missing.
+  std::uint32_t truncated_bytes = 0;
+
+  [[nodiscard]] bool syn() const { return (tcp_flags & 0x02) != 0; }
+  [[nodiscard]] bool fin() const { return (tcp_flags & 0x01) != 0; }
+  [[nodiscard]] bool rst() const { return (tcp_flags & 0x04) != 0; }
+  [[nodiscard]] bool ack() const { return (tcp_flags & 0x10) != 0; }
+};
+
+/// A reusable batch of lenses, decoded column-wise. Holds no pointers
+/// into the packets; lens[i] describes the i-th packet the caller
+/// passed to decode_slab().
+struct DecodedSlab {
+  static constexpr std::size_t kCapacity = 256;
+  std::array<PacketLens, kCapacity> lens;
+  std::size_t count = 0;
+};
+
+/// Scalar reference decode of one frame into a lens. Classification
+/// and every filled field match decode_packet() exactly.
+void decode_lens(const Packet& packet, PacketLens& out);
+void decode_lens(const PacketView& packet, PacketLens& out);
+
+/// Column-wise slab decode: Ethernet/VLAN pass, IP pass, transport
+/// pass over `count` (<= DecodedSlab::kCapacity) packets. Byte-for-
+/// byte equivalent to calling decode_lens() per packet. The PacketView
+/// overload decodes borrowed frames in place (the zero-copy ingest
+/// path) — fields and classification are identical for the same bytes.
+void decode_slab(const Packet* packets, std::size_t count, DecodedSlab& out);
+void decode_slab(const PacketView* packets, std::size_t count, DecodedSlab& out);
 
 }  // namespace wm::net

@@ -33,10 +33,27 @@ namespace wm::net {
 /// A contiguous run of reassembled bytes. `timestamp` is the capture
 /// time of the segment that first carried these bytes — buffering
 /// behind a reordered segment does not shift it.
+///
+/// Payload storage has two modes. Owned mode (`data` non-empty) is the
+/// default: the chunk carries its own copy. Borrowed mode (`data`
+/// empty, `borrowed` set) is produced only when the caller promised
+/// stable input spans (see on_segment's `stable_payload`): the bytes
+/// live in the producer's backing store (an mmap'd capture) and the
+/// chunk is valid only as long as that store. Consumers that work for
+/// both modes read through bytes().
 struct StreamChunk {
   util::SimTime timestamp;
   std::uint64_t stream_offset = 0;  // bytes since ISN+1
   util::Bytes data;
+  // wm-lint: allow(borrow): set only under the stable_payload contract —
+  // the producer's backing store outlives every chunk it yields.
+  util::BytesView borrowed;
+
+  /// The chunk's payload, regardless of storage mode. Chunks are never
+  /// empty, so an empty `data` means borrowed mode.
+  [[nodiscard]] util::BytesView bytes() const {
+    return data.empty() ? borrowed : util::BytesView(data);
+  }
 };
 
 /// A run of stream bytes that will never be delivered. Emitted in
@@ -108,14 +125,44 @@ class TcpStreamReassembler {
   /// sequence number. `truncated_bytes` is how many payload bytes the
   /// segment carried on the wire beyond what the capture retained
   /// (snaplen truncation) — they become a dead range immediately.
-  /// Returns chunks and gaps that became deliverable, in stream order.
+  /// Chunks and gaps that became deliverable are appended to `out` in
+  /// stream order.
+  ///
+  /// `stable_payload` is the zero-copy contract: when true, the caller
+  /// promises `payload` stays valid and unchanged for the reassembler's
+  /// whole lifetime (mmap'd captures, in-memory traces), so buffered
+  /// out-of-order pieces hold views instead of copies and delivered
+  /// chunks borrow (StreamChunk::borrowed). The delivered byte
+  /// sequence, offsets, timestamps and gap events are identical either
+  /// way — only payload storage differs.
+  void on_segment(util::SimTime timestamp, std::uint32_t sequence, bool syn,
+                  bool fin, util::BytesView payload, std::size_t truncated_bytes,
+                  bool stable_payload, std::vector<StreamItem>& out);
+
+  /// Convenience wrapper: owned-copy mode, freshly returned vector.
   std::vector<StreamItem> on_segment(util::SimTime timestamp, std::uint32_t sequence,
                                      bool syn, bool fin, util::BytesView payload,
                                      std::size_t truncated_bytes = 0);
 
+  /// Hot-path shortcut for the overwhelmingly common case: a plain
+  /// data (or pure-ACK) segment arriving exactly in order on a stream
+  /// with nothing buffered and no dead ranges. The caller must have
+  /// ruled out SYN/FIN/RST and truncation. On success the stream state
+  /// advances exactly as on_segment + drain would (the segment is
+  /// deliverable immediately, stamped with its own arrival time) and
+  /// the payload's stream offset is returned — the caller hands its
+  /// bytes straight to the downstream parser without the Pending-map
+  /// copy or StreamItem vector. Returns nullopt when any fast-path
+  /// precondition fails; the caller falls back to on_segment, which
+  /// observes a state indistinguishable from the shortcut never having
+  /// been tried.
+  std::optional<std::uint64_t> accept_in_order(std::uint32_t sequence,
+                                               std::size_t payload_size);
+
   /// Declare every outstanding hole dead and deliver all buffered data
   /// (end of capture, idle eviction, or RST). Leaves the stream
-  /// finished.
+  /// finished. Appends to `out`.
+  void flush(util::SimTime timestamp, std::vector<StreamItem>& out);
   std::vector<StreamItem> flush(util::SimTime timestamp);
 
   /// Total contiguous bytes delivered so far.
@@ -141,9 +188,19 @@ class TcpStreamReassembler {
  private:
   /// One buffered out-of-order piece: payload plus its first-arrival
   /// capture time, which the eventual StreamChunk is stamped with.
+  /// `view` always spans the piece's bytes: into `data` in owned mode
+  /// (stable under Pending moves — util::Bytes's heap buffer does not
+  /// relocate on move), or into the caller's stable backing store in
+  /// borrowed mode (`data` empty, stable_payload contract).
   struct Pending {
+    std::uint64_t start = 0;  // absolute sequence of the first byte
     util::Bytes data;
+    // wm-lint: allow(borrow): see above — points into `data` or into
+    // the producer's stable backing store.
+    util::BytesView view;
     util::SimTime arrived;
+
+    [[nodiscard]] std::uint64_t end() const { return start + view.size(); }
   };
   /// A half-open byte range [begin at map key, `end`) known to be
   /// unrecoverable. Surfaces as a StreamGap when delivery reaches it;
@@ -156,7 +213,15 @@ class TcpStreamReassembler {
   /// Unwraps a 32-bit sequence number into 64-bit stream space near the
   /// current expected position.
   std::uint64_t unwrap(std::uint32_t sequence) const;
-  std::vector<StreamItem> drain(util::SimTime timestamp, bool condemn_all);
+  void drain(util::SimTime timestamp, bool condemn_all,
+             std::vector<StreamItem>& out);
+  /// First pending piece whose end lies past `cursor` (the flat-vector
+  /// analogue of the old map upper_bound/prev probe), or pending_.end().
+  [[nodiscard]] std::vector<Pending>::iterator pending_covering(
+      std::uint64_t cursor);
+  /// First pending piece starting at or after `cursor`.
+  [[nodiscard]] std::vector<Pending>::iterator pending_at_or_after(
+      std::uint64_t cursor);
   /// Record [start, end) as unrecoverable, skipping sub-spans already
   /// buffered or delivered.
   void add_dead_range(std::uint64_t start, std::uint64_t end,
@@ -178,9 +243,13 @@ class TcpStreamReassembler {
   std::uint64_t fin_at_ = 0;
   bool fin_seen_ = false;
   std::size_t buffered_bytes_ = 0;
-  // Out-of-order hold: absolute sequence -> payload + arrival time.
-  std::map<std::uint64_t, Pending> pending_;
-  // Unrecoverable ranges: absolute start -> {end, cause}.
+  // Out-of-order hold, sorted by absolute start sequence. A flat
+  // vector, not a map: the buffer is small (bounded by the reorder
+  // window) and insertion-shift beats one node allocation per
+  // out-of-order segment on the hot path.
+  std::vector<Pending> pending_;
+  // Unrecoverable ranges: absolute start -> {end, cause}. Stays a map —
+  // dead ranges are rare (impaired captures only), never hot.
   std::map<std::uint64_t, DeadRange> dead_;
 };
 
@@ -202,6 +271,23 @@ class TcpConnectionReassembler {
   std::vector<DirectedItem> on_packet(const DecodedPacket& packet,
                                       FlowDirection direction);
 
+  /// Same semantics as on_packet, but taking the TCP fields directly
+  /// (no DecodedPacket materialization) and appending into a caller-
+  /// owned scratch vector — the slab decode path's entry point.
+  /// `stable_payload` forwards the zero-copy contract to the stream
+  /// reassembler (see TcpStreamReassembler::on_segment).
+  void on_segment(FlowDirection direction, util::SimTime timestamp,
+                  std::uint32_t sequence, bool syn, bool fin, bool rst,
+                  util::BytesView payload, std::size_t truncated_bytes,
+                  std::vector<DirectedItem>& out, bool stable_payload = false);
+
+  /// Mutable access to one direction's stream, for the in-order fast
+  /// path (TcpStreamReassembler::accept_in_order). Callers must check
+  /// reset() first — a torn-down connection accepts nothing.
+  [[nodiscard]] TcpStreamReassembler& stream(FlowDirection direction) {
+    return direction == FlowDirection::kClientToServer ? client_ : server_;
+  }
+
   /// Flush both directions (end of capture or eviction).
   std::vector<DirectedItem> flush(util::SimTime timestamp);
 
@@ -218,6 +304,9 @@ class TcpConnectionReassembler {
  private:
   TcpStreamReassembler client_;
   TcpStreamReassembler server_;
+  // Reused per call to relabel StreamItems with their direction without
+  // a fresh vector per segment.
+  std::vector<StreamItem> scratch_;
   bool reset_ = false;
 };
 

@@ -93,18 +93,44 @@ class TlsRecordParser {
   /// vanishingly unlikely (~2^-40 per candidate offset).
   static constexpr std::size_t kResyncChain = 3;
 
+  /// One parsed record header plus a *view* of its payload. The parser
+  /// never copies payload bytes: `payload` borrows either from the
+  /// caller's chunk (fast path) or from the parser's internal buffer,
+  /// and stays valid only until the next call into the parser (feed /
+  /// on_gap / flush / reset). The length side-channel itself — the
+  /// paper's feature — is the `length` field; most consumers never
+  /// touch the payload at all. Application-data records whose body
+  /// spanned more than one feed are delivered with an *empty* payload
+  /// (the body-skip fast path below): their ciphertext is opaque and
+  /// was streamed past without ever being buffered.
   struct ParsedRecord {
     util::SimTime timestamp;
     std::uint64_t stream_offset = 0;  // offset of the record header
-    TlsRecord record;
+    ContentType content_type = ContentType::kApplicationData;
+    std::uint16_t version_raw = 0x0303;
+    /// The record header's length field — the paper's "SSL record
+    /// length". Always equals payload.size().
+    std::uint16_t length = 0;
+    // wm-lint: allow(borrow): valid until the next parser call; see
+    // the struct comment.
+    util::BytesView payload;
     /// True for the first record parsed after a gap or a resync scan:
     /// bytes were lost immediately before it, so length-based features
     /// derived from it deserve less trust.
     bool after_gap = false;
   };
 
-  /// Feed the next contiguous chunk of stream bytes.
+  /// Feed the next contiguous chunk of stream bytes, appending complete
+  /// records to `out`. Any previously returned ParsedRecord views are
+  /// invalidated by this call.
+  void feed(util::SimTime timestamp, util::BytesView data,
+            std::vector<ParsedRecord>& out);
   std::vector<ParsedRecord> feed(util::SimTime timestamp, util::BytesView data);
+
+  /// Return the parser to its freshly-constructed state, retaining the
+  /// buffer's capacity. Used when per-flow state is recycled through a
+  /// pool; callers tracking counter deltas must re-baseline.
+  void reset();
 
   /// Notify the parser that `length` stream bytes were lost at the
   /// current stream position (a reassembly StreamGap). Any partial
@@ -116,6 +142,7 @@ class TlsRecordParser {
   /// plausible headers up to the end of buffered data, even if fewer
   /// than kResyncChain) and return any records that frees up. An
   /// incomplete trailing record stays unparsed.
+  void flush(util::SimTime timestamp, std::vector<ParsedRecord>& out);
   std::vector<ParsedRecord> flush(util::SimTime timestamp);
 
   /// True while the parser is hunting for a plausible record boundary
@@ -131,7 +158,9 @@ class TlsRecordParser {
   /// Number of successful re-locks after a gap/desync.
   [[nodiscard]] std::size_t resyncs() const { return resyncs_; }
   /// Current buffered-byte footprint (bounded even on garbage input).
-  [[nodiscard]] std::size_t buffered_bytes() const { return buffer_.size(); }
+  [[nodiscard]] std::size_t buffered_bytes() const {
+    return buffer_.size() - buffer_pos_;
+  }
 
  private:
   /// (absolute stream offset one past a chunk's last byte, its capture
@@ -142,7 +171,20 @@ class TlsRecordParser {
     util::SimTime time;
   };
 
-  std::vector<ParsedRecord> parse(util::SimTime timestamp, bool relaxed);
+  void parse(util::SimTime timestamp, bool relaxed,
+             std::vector<ParsedRecord>& out);
+  /// Hot-path variant of feed for the common case (empty buffer, not
+  /// scanning): parses complete records straight out of the caller's
+  /// chunk view and copies only the partial tail into the buffer,
+  /// instead of appending the whole chunk first. Behaviour is
+  /// byte-identical to the buffered path.
+  void feed_contiguous(util::SimTime timestamp, util::BytesView data,
+                       std::vector<ParsedRecord>& out);
+  /// Deferred compaction: parse() leaves consumed bytes in place (so
+  /// payload views into buffer_ survive until the next call) and only
+  /// records the consumed prefix in buffer_pos_; the next feed erases
+  /// it here before appending.
+  void compact();
   /// Scan [pos, buffer_.end()) for a validated record header. Advances
   /// `pos` over skipped bytes. Returns true when re-locked at `pos`.
   [[nodiscard]] bool try_resync(std::size_t& pos, bool relaxed);
@@ -151,6 +193,21 @@ class TlsRecordParser {
                                        util::SimTime fallback) const;
 
   util::Bytes buffer_;
+  /// Consumed prefix of buffer_ awaiting compaction; buffer_[buffer_pos_]
+  /// is the first live byte.
+  std::size_t buffer_pos_ = 0;
+  /// Body-skip fast path: a locked-on application-data record whose
+  /// body extends past the bytes seen so far is *streamed past*, not
+  /// buffered — its ciphertext is never inspected, only its length
+  /// matters. While skip_remaining_ > 0 the buffer is empty and
+  /// skip_record_ holds the header fields; the record is emitted (with
+  /// an empty payload) by the feed that delivers its last byte.
+  std::size_t skip_remaining_ = 0;
+  /// Bytes of the in-flight skipped record already consumed (header +
+  /// partial body) — what on_gap() must count as skipped if the body is
+  /// torn by a hole.
+  std::size_t skip_consumed_ = 0;
+  ParsedRecord skip_record_;
   std::vector<ChunkMark> marks_;
   std::uint64_t consumed_ = 0;
   std::uint64_t buffer_start_ = 0;  // stream offset of buffer_[0]

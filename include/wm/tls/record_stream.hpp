@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "wm/net/reassembly.hpp"
 #include "wm/obs/registry.hpp"
 #include "wm/tls/record.hpp"
+#include "wm/util/arena.hpp"
 
 namespace wm::tls {
 
@@ -113,13 +115,40 @@ class RecordStreamExtractor {
     net::TcpStreamReassembler::Config reassembly;
   };
 
-  RecordStreamExtractor() = default;
+  RecordStreamExtractor() : RecordStreamExtractor(Config{}) {}
   explicit RecordStreamExtractor(Config config);
+
+  /// Move-only: per-flow map nodes live on the extractor's arena (held
+  /// through a stable unique_ptr), so moves are safe but copies would
+  /// alias the arena.
+  RecordStreamExtractor(RecordStreamExtractor&&) = default;
+  RecordStreamExtractor& operator=(RecordStreamExtractor&&) = delete;
 
   /// Feed the next captured packet and return the TLS records it
   /// completed, in parse order. Non-TCP and non-decodable packets are
-  /// counted and otherwise ignored.
+  /// counted and otherwise ignored. This is the scalar-oracle path: it
+  /// decodes through the full decode_packet() parser chain, while
+  /// feed_batch() goes through the slab decoder — downstream of decode
+  /// the two share every line of code, so differential tests comparing
+  /// them pin the decoders against each other.
   std::vector<StreamEvent> feed(const net::Packet& packet);
+
+  /// Hot-path entry point: decode `count` packets slab-wise (256 per
+  /// column pass) and process each, appending completed records and
+  /// gaps to `out`. Behaviour and observability are identical to
+  /// calling feed() per packet, at a fraction of the per-packet cost.
+  void feed_batch(const net::Packet* packets, std::size_t count,
+                  std::vector<StreamEvent>& out);
+
+  /// Zero-copy variant over borrowed frames. `stable_payload` is the
+  /// lifetime contract: true means every view's backing store (an
+  /// mmap'd capture, an in-memory trace) outlives this extractor, so
+  /// out-of-order reassembly buffers views instead of copying segment
+  /// payloads. With false the frames only need to live through this
+  /// call. Event output is byte-identical to the owned overload on the
+  /// same frames either way.
+  void feed_batch(const net::PacketView* packets, std::size_t count,
+                  std::vector<StreamEvent>& out, bool stable_payload);
 
   /// Historic entry point: feed() with the results dropped (they are
   /// still retained for finish() when Config::retain_events is on).
@@ -142,6 +171,12 @@ class RecordStreamExtractor {
   }
   /// Flows currently holding reassembly/parser state.
   [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
+  /// High-water mark of active_flows() over the extractor's lifetime.
+  [[nodiscard]] std::size_t peak_active_flows() const {
+    return peak_active_flows_;
+  }
+  /// The arena backing the flow map, for stats/poisoning tests.
+  [[nodiscard]] const util::Arena& arena() const { return *arena_; }
   /// Total flows opened / evicted over the extractor's lifetime.
   [[nodiscard]] std::uint64_t flows_opened() const { return flows_opened_; }
   [[nodiscard]] std::uint64_t flows_evicted() const { return flows_evicted_; }
@@ -180,7 +215,58 @@ class RecordStreamExtractor {
     /// counters, so deltas can be published incrementally.
     std::uint64_t tls_skipped_accounted = 0;
     std::uint64_t tls_resyncs_accounted = 0;
+    /// This flow's slot key in the open-addressing index (the remapped
+    /// endpoint-pair hash), kept so erasure can tombstone the slot
+    /// without recomputing it.
+    std::uint64_t index_hash = 0;
   };
+
+  /// Flow-state authority, ordered by key so eviction sweeps and
+  /// flush() walk flows in FlowKey order (the shard-invariant order the
+  /// differential tests pin). Nodes come from the extractor's arena.
+  using FlowMap =
+      std::map<net::FlowKey, PerFlow, std::less<net::FlowKey>,
+               util::ArenaAllocator<std::pair<const net::FlowKey, PerFlow>>>;
+
+  /// One open-addressing index slot: remapped hash (0 = empty,
+  /// 1 = tombstone, >= 2 = live) plus the map entry it points at.
+  struct IndexSlot {
+    std::uint64_t hash = 0;
+    FlowMap::iterator it{};
+  };
+
+  /// Shared per-packet TCP processing behind both decode paths.
+  /// `stable_payload` forwards the zero-copy lifetime contract down to
+  /// the reassembler (see feed_batch's PacketView overload).
+  void feed_tcp(util::SimTime timestamp, const net::Endpoint& source,
+                const net::Endpoint& destination, std::uint8_t tcp_flags,
+                std::uint32_t sequence, util::BytesView payload,
+                std::size_t truncated_bytes, bool stable_payload,
+                std::vector<StreamEvent>& out);
+  /// Per-packet processing of one slab lens (decode already done);
+  /// `frame` is the raw frame the lens' offsets index into.
+  void feed_lens(util::SimTime timestamp, util::BytesView frame,
+                 const net::PacketLens& lens, bool stable_payload,
+                 std::vector<StreamEvent>& out);
+  /// Buffer-everything fallback of feed_tcp for segments the in-order
+  /// fast path rejects (SYN/FIN/RST, truncation, reorder, retransmit).
+  void feed_tcp_slow(FlowMap::iterator it, net::FlowDirection direction,
+                     util::SimTime timestamp, std::uint32_t sequence,
+                     std::uint8_t tcp_flags, util::BytesView payload,
+                     std::size_t truncated_bytes, bool has_payload,
+                     bool stable_payload, std::vector<StreamEvent>& out);
+
+  /// Probe the index for either orientation of (source, destination).
+  /// On a hit, `direction` is set to the matching orientation.
+  FlowMap::iterator find_flow(std::uint64_t hash, const net::Endpoint& source,
+                              const net::Endpoint& destination,
+                              net::FlowDirection& direction);
+  FlowMap::iterator insert_flow(std::uint64_t hash, const net::FlowKey& key);
+  /// Tombstone the index slot, recycle the PerFlow into the pool, and
+  /// erase the map node. Returns the iterator past the erased entry.
+  FlowMap::iterator erase_flow(FlowMap::iterator it);
+  void index_insert(std::uint64_t hash, FlowMap::iterator it);
+  void index_grow();
 
   void evict_idle(util::SimTime now);
   FlowRecordStream snapshot(const net::FlowKey& key, const PerFlow& state) const;
@@ -195,11 +281,12 @@ class RecordStreamExtractor {
   /// Publish any not-yet-accounted TLS skip/resync deltas for a flow.
   void sync_tls_counters(PerFlow& state);
   /// Flush parsers, snapshot, and retire one flow (RST or flush()).
-  void complete_flow(std::map<net::FlowKey, PerFlow>::iterator it,
-                     std::vector<StreamEvent>& out);
+  void complete_flow(FlowMap::iterator it, std::vector<StreamEvent>& out);
 
   /// Resolved metric handles; all null when Config::registry is null.
   struct Metrics {
+    obs::Counter* flows_opened = nullptr;
+    obs::Counter* flows_evicted = nullptr;
     obs::Counter* packets = nullptr;
     obs::Counter* packets_undecodable = nullptr;
     obs::Counter* tcp_segments = nullptr;
@@ -223,8 +310,28 @@ class RecordStreamExtractor {
 
   Config config_;
   Metrics metrics_;
-  net::FlowTable flow_table_;
-  std::map<net::FlowKey, PerFlow> flows_;
+  /// Backs the flow-map nodes. Held through a unique_ptr so the arena's
+  /// address survives extractor moves (map nodes and the allocator both
+  /// point at it); declared before flows_ so it outlives the map.
+  std::unique_ptr<util::Arena> arena_;
+  FlowMap flows_;
+  /// Open-addressing hash index over flows_: a lookup is one symmetric
+  /// endpoint-pair hash plus a short linear probe, instead of up to two
+  /// ordered-map descents with FlowKey comparisons per level.
+  std::vector<IndexSlot> index_;
+  std::size_t index_live_ = 0;
+  std::size_t index_tombstones_ = 0;
+  /// Retired PerFlow shells (parsers reset, vectors cleared but with
+  /// capacity retained) awaiting reuse, so steady-state flow churn
+  /// stops paying buffer reallocation.
+  std::vector<PerFlow> pool_;
+  /// Scratch reused across packets by the slow reassembly path.
+  std::vector<net::TcpConnectionReassembler::DirectedItem> items_scratch_;
+  /// Scratch for parser output (ParsedRecord views), reused per chunk.
+  std::vector<TlsRecordParser::ParsedRecord> parsed_scratch_;
+  /// Reused slab for feed_batch's column-wise decode.
+  net::DecodedSlab slab_;
+  std::size_t peak_active_flows_ = 0;
   /// Streams of evicted flows, kept only when retain_events is on so
   /// batch callers never lose data to eviction.
   std::vector<FlowRecordStream> completed_;

@@ -1,0 +1,228 @@
+// Bump-pointer arena with size-class recycling — the allocator behind
+// per-shard flow state.
+//
+// The engine's per-packet hot path used to pay general-purpose malloc
+// for every flow-table node, reassembly buffer and parser scratch
+// vector. An Arena replaces that with two O(1) primitives:
+//
+//  * allocate(): bump a cursor inside a large block (a new block is
+//    chained when the current one is full — the only time the arena
+//    touches the system allocator);
+//  * deallocate(): push the memory onto a per-size-class freelist, so
+//    the next allocation of the same class (e.g. the next flow-map
+//    node) is a pointer pop, not a malloc.
+//
+// Nothing is ever returned to the system until reset() (drop every
+// freelist, rewind every block) or destruction. That is the arena
+// lifetime rule (DESIGN.md §3.9): an arena is owned by exactly one
+// shard, all containers allocating from it must be destroyed or
+// cleared before reset(), and the arena must outlive them. The class
+// is intentionally NOT thread-safe — per-shard ownership is the
+// point.
+//
+// Under AddressSanitizer, freed and not-yet-allocated arena memory is
+// poisoned, so use-after-free through a recycled node and reads past
+// the bump cursor fault exactly like heap bugs would. The sanitizer CI
+// legs exercise this via the arena unit tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define WM_ARENA_ASAN 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define WM_ARENA_ASAN 1
+#endif
+
+#ifdef WM_ARENA_ASAN
+#include <sanitizer/asan_interface.h>
+#define WM_ARENA_POISON(ptr, size) ASAN_POISON_MEMORY_REGION(ptr, size)
+#define WM_ARENA_UNPOISON(ptr, size) ASAN_UNPOISON_MEMORY_REGION(ptr, size)
+#else
+#define WM_ARENA_POISON(ptr, size) ((void)0)
+#define WM_ARENA_UNPOISON(ptr, size) ((void)0)
+#endif
+
+namespace wm::util {
+
+class Arena {
+ public:
+  /// Every allocation is rounded up to a multiple of this, which is
+  /// also the strongest alignment allocate() honours without a block
+  /// split and the size of a freelist link.
+  static constexpr std::size_t kGranularity = alignof(std::max_align_t);
+  /// Size classes up to this many bytes are recycled through
+  /// freelists; larger allocations bump-allocate and are reclaimed
+  /// only by reset(). Sized to cover flow-map nodes (the largest
+  /// recycled object) with headroom.
+  static constexpr std::size_t kMaxRecycledBytes = 4096;
+
+  struct Stats {
+    std::size_t blocks = 0;          // chained blocks
+    std::size_t reserved_bytes = 0;  // sum of block capacities
+    std::size_t live_bytes = 0;      // allocated minus deallocated
+    std::size_t high_water_bytes = 0;
+    std::uint64_t allocations = 0;
+    std::uint64_t freelist_hits = 0;
+  };
+
+  explicit Arena(std::size_t block_bytes = 256 * 1024)
+      : block_bytes_(round_up(block_bytes < kMaxRecycledBytes
+                                  ? kMaxRecycledBytes
+                                  : block_bytes)) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* allocate(std::size_t size, std::size_t align = kGranularity) {
+    const std::size_t rounded = round_up(size == 0 ? 1 : size);
+    ++stats_.allocations;
+    stats_.live_bytes += rounded;
+    if (stats_.live_bytes > stats_.high_water_bytes) {
+      stats_.high_water_bytes = stats_.live_bytes;
+    }
+    if (rounded <= kMaxRecycledBytes && align <= kGranularity) {
+      void*& head = freelists_[class_of(rounded)];
+      if (head != nullptr) {
+        void* out = head;
+        WM_ARENA_UNPOISON(out, rounded);
+        head = *static_cast<void**>(out);
+        ++stats_.freelist_hits;
+        return out;
+      }
+    }
+    return bump(rounded, align);
+  }
+
+  void deallocate(void* ptr, std::size_t size) {
+    if (ptr == nullptr) return;
+    const std::size_t rounded = round_up(size == 0 ? 1 : size);
+    stats_.live_bytes -= rounded;
+    if (rounded > kMaxRecycledBytes) {
+      // Large allocations are reclaimed wholesale at reset(); poison
+      // now so any dangling use faults immediately.
+      WM_ARENA_POISON(ptr, rounded);
+      return;
+    }
+    *static_cast<void**>(ptr) = freelists_[class_of(rounded)];
+    freelists_[class_of(rounded)] = ptr;
+    // Keep the link word readable for the pop above; poison the rest.
+    WM_ARENA_POISON(static_cast<std::byte*>(ptr) + sizeof(void*),
+                    rounded - sizeof(void*));
+  }
+
+  /// Drop every freelist and rewind every block. All memory handed out
+  /// by this arena becomes invalid (and poisoned under ASan). Callers
+  /// must have destroyed every arena-backed container first.
+  void reset() {
+    for (void*& head : freelists_) head = nullptr;
+    for (Block& block : blocks_) {
+      block.used = 0;
+      WM_ARENA_POISON(block.data.get(), block.capacity);
+    }
+    current_ = 0;
+    stats_.live_bytes = 0;
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  ~Arena() {
+    // Unpoison before the unique_ptrs return pages to the system so
+    // the allocator's own bookkeeping writes don't trip ASan.
+    for (Block& block : blocks_) {
+      WM_ARENA_UNPOISON(block.data.get(), block.capacity);
+      (void)block;
+    }
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+  };
+
+  static constexpr std::size_t round_up(std::size_t size) {
+    return (size + kGranularity - 1) / kGranularity * kGranularity;
+  }
+  static constexpr std::size_t class_of(std::size_t rounded) {
+    return rounded / kGranularity;  // rounded <= kMaxRecycledBytes
+  }
+
+  void* bump(std::size_t rounded, std::size_t align) {
+    // Advance through existing blocks before chaining a new one —
+    // reset() rewinds `current_` to 0 so rewound blocks are refilled
+    // instead of leaking behind a back()-only cursor.
+    while (current_ < blocks_.size()) {
+      Block& block = blocks_[current_];
+      const std::size_t aligned = (block.used + align - 1) / align * align;
+      if (aligned + rounded <= block.capacity) {
+        std::byte* out = block.data.get() + aligned;
+        block.used = aligned + rounded;
+        WM_ARENA_UNPOISON(out, rounded);
+        return out;
+      }
+      ++current_;
+    }
+    Block fresh;
+    fresh.capacity = rounded > block_bytes_ ? round_up(rounded) : block_bytes_;
+    fresh.data = std::make_unique<std::byte[]>(fresh.capacity);
+    WM_ARENA_POISON(fresh.data.get(), fresh.capacity);
+    blocks_.push_back(std::move(fresh));
+    current_ = blocks_.size() - 1;
+    Block& block = blocks_.back();
+    stats_.blocks = blocks_.size();
+    stats_.reserved_bytes += block.capacity;
+    std::byte* out = block.data.get();
+    block.used = rounded;
+    WM_ARENA_UNPOISON(out, rounded);
+    return out;
+  }
+
+  std::size_t block_bytes_;
+  std::vector<Block> blocks_;
+  /// Index of the block bump() is currently filling.
+  std::size_t current_ = 0;
+  // Freelist heads indexed by size class (rounded size / granularity).
+  void* freelists_[kMaxRecycledBytes / kGranularity + 1] = {};
+  Stats stats_;
+};
+
+/// Standard-allocator adapter so node containers (std::map flow
+/// tables, reassembly maps) draw their nodes from a shard's Arena.
+/// The arena must outlive every container using the adapter.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T* ptr, std::size_t n) noexcept {
+    arena_->deallocate(ptr, n * sizeof(T));
+  }
+
+  [[nodiscard]] Arena* arena() const noexcept { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const noexcept {
+    return arena_ == other.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace wm::util

@@ -16,6 +16,7 @@ namespace wm::engine {
 std::string EngineStats::to_string() const {
   std::ostringstream out;
   out << "shards=" << shards << " packets=" << packets_in
+      << " bytes=" << bytes_in
       << " records=" << records << " client_records=" << client_records
       << " type1=" << type1_records << " type2=" << type2_records
       << " viewers=" << viewers_seen << " flows=" << flows_opened
@@ -328,7 +329,12 @@ struct ShardedFlowEngine::Shard {
   };
   std::map<net::FlowKey, ClientInfo> clients;
   std::uint64_t records = 0;
-  std::uint64_t peak_active_flows = 0;
+  /// Scratch reused across batches by the slab path (feed_batch appends
+  /// into it; capacity is retained between drains).
+  std::vector<tls::StreamEvent> events;
+  /// Recycled packet the scalar oracle materializes views into, so the
+  /// per-view fallback path still allocates nothing in steady state.
+  net::Packet scratch;
   /// Worker busy time per dequeued batch (null without a registry).
   obs::TimingSpan* work_span = nullptr;
 };
@@ -405,7 +411,7 @@ ShardedFlowEngine::ShardedFlowEngine(const core::RecordClassifier& classifier,
           {
             const obs::StageTimer timer(s->work_span);
             for (std::size_t i = 0; i < run; ++i) {
-              for (const net::Packet& packet : *local[i]) process(*s, packet);
+              process_batch(*s, *local[i]);
             }
           }
           // Slots keep their capacity for the refill.
@@ -435,8 +441,52 @@ void ShardedFlowEngine::process(Shard& shard, const net::Packet& packet) {
   for (const tls::StreamEvent& stream_event : shard.extractor.feed(packet)) {
     handle_event(shard, stream_event);
   }
-  shard.peak_active_flows = std::max<std::uint64_t>(
-      shard.peak_active_flows, shard.extractor.active_flows());
+}
+
+void ShardedFlowEngine::process_batch(Shard& shard, const net::Packet* packets,
+                                      std::size_t count) {
+  if (!config_.slab_decode) {
+    for (std::size_t i = 0; i < count; ++i) process(shard, packets[i]);
+    return;
+  }
+  shard.events.clear();
+  shard.extractor.feed_batch(packets, count, shard.events);
+  for (const tls::StreamEvent& stream_event : shard.events) {
+    handle_event(shard, stream_event);
+  }
+}
+
+void ShardedFlowEngine::process_batch(Shard& shard,
+                                      const net::PacketView* views,
+                                      std::size_t count) {
+  if (!config_.slab_decode) {
+    // Oracle path: one recycled materialization per view, then the
+    // scalar per-packet chain — identical semantics to feeding owned
+    // packets (the reassembler copies payloads it must hold).
+    for (std::size_t i = 0; i < count; ++i) {
+      views[i].assign_to(shard.scratch);
+      process(shard, shard.scratch);
+    }
+    return;
+  }
+  shard.events.clear();
+  // stable_payload: the read_views() contract keeps the backing bytes
+  // alive for the source's lifetime (which outlives finish() — see
+  // consume()), so reassembly buffers borrowed spans instead of
+  // copying out-of-order segments.
+  shard.extractor.feed_batch(views, count, shard.events,
+                             /*stable_payload=*/true);
+  for (const tls::StreamEvent& stream_event : shard.events) {
+    handle_event(shard, stream_event);
+  }
+}
+
+void ShardedFlowEngine::process_batch(Shard& shard, const PacketBatch& batch) {
+  if (batch.has_views()) {
+    process_batch(shard, batch.views(), batch.size());
+  } else {
+    process_batch(shard, batch.begin(), batch.size());
+  }
 }
 
 void ShardedFlowEngine::handle_event(Shard& shard,
@@ -471,8 +521,25 @@ void ShardedFlowEngine::handle_event(Shard& shard,
 }
 
 std::size_t ShardedFlowEngine::shard_for(const net::Packet& packet) const {
-  const auto hash = net::flow_shard_hash(packet);
+  return shard_for(util::BytesView(packet.data));
+}
+
+std::size_t ShardedFlowEngine::shard_for(util::BytesView frame) const {
+  // One worker: everything lands on shard 0, and the header parse a
+  // real flow hash would cost is pure dispatcher overhead.
+  if (shards_.size() == 1) return 0;
+  const auto hash = net::flow_shard_hash(frame);
   return hash ? static_cast<std::size_t>(*hash % shards_.size()) : 0;
+}
+
+PacketBatch& ShardedFlowEngine::pending_for(std::size_t shard_index,
+                                            bool views) {
+  PacketBatch* batch = pending_[shard_index];
+  if (!batch->empty() && batch->has_views() != views) {
+    dispatch(shard_index);
+    batch = pending_[shard_index];
+  }
+  return *batch;
 }
 
 void ShardedFlowEngine::dispatch(std::size_t shard_index) {
@@ -498,23 +565,31 @@ void ShardedFlowEngine::dispatch(std::size_t shard_index) {
 
 void ShardedFlowEngine::feed(net::Packet packet) {
   packets_in_.fetch_add(1, std::memory_order_relaxed);
+  bytes_in_.fetch_add(packet.data.size(), std::memory_order_relaxed);
   obs::inc(packets_in_counter_);
   if (config_.shards == 0) {
-    process(*shards_[0], packet);
+    process_batch(*shards_[0], &packet, 1);
     return;
   }
   const std::size_t index = shard_for(packet);
-  pending_[index]->append(std::move(packet));
+  pending_for(index, false).append(std::move(packet));
   if (pending_[index]->size() >= config_.dispatch_batch) dispatch(index);
 }
 
 void ShardedFlowEngine::ingest(const PacketBatch& batch) {
+  if (batch.has_views()) {
+    ingest_views(batch);
+    return;
+  }
   packets_in_.fetch_add(batch.size(), std::memory_order_relaxed);
   obs::inc(packets_in_counter_, batch.size());
+  std::uint64_t bytes = 0;
+  for (const net::Packet& packet : batch) bytes += packet.data.size();
+  bytes_in_.fetch_add(bytes, std::memory_order_relaxed);
   if (config_.shards == 0) {
     // Inline mode analyzes straight out of the source's batch — the
     // fully zero-copy path (mmap page cache → TLS extractor).
-    for (const net::Packet& packet : batch) process(*shards_[0], packet);
+    process_batch(*shards_[0], batch.begin(), batch.size());
     return;
   }
   // Sharded mode pays exactly one capacity-recycled copy per packet:
@@ -523,14 +598,38 @@ void ShardedFlowEngine::ingest(const PacketBatch& batch) {
   // worker drains asynchronously.
   for (const net::Packet& packet : batch) {
     const std::size_t index = shard_for(packet);
-    pending_[index]->append(packet);
+    pending_for(index, false).append(packet);
+    if (pending_[index]->size() >= config_.dispatch_batch) dispatch(index);
+  }
+}
+
+void ShardedFlowEngine::ingest_views(const PacketBatch& batch) {
+  const net::PacketView* views = batch.views();
+  const std::size_t count = batch.size();
+  packets_in_.fetch_add(count, std::memory_order_relaxed);
+  obs::inc(packets_in_counter_, count);
+  std::uint64_t bytes = 0;
+  for (std::size_t i = 0; i < count; ++i) bytes += views[i].data.size();
+  bytes_in_.fetch_add(bytes, std::memory_order_relaxed);
+  if (config_.shards == 0) {
+    // Inline mode: the fully zero-copy chain — mmap page cache (or the
+    // caller's vector) straight into slab decode and reassembly.
+    process_batch(*shards_[0], views, count);
+    return;
+  }
+  // Sharded mode moves 24-byte view descriptors, never frame bytes:
+  // the dispatcher hashes the 5-tuple out of the backing store and the
+  // owning worker reads payloads from the same place.
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t index = shard_for(views[i].data);
+    pending_for(index, true).append_view(views[i]);
     if (pending_[index]->size() >= config_.dispatch_batch) dispatch(index);
   }
 }
 
 void ShardedFlowEngine::ingest(PacketBatch&& batch) {
   net::Packet* slots = batch.mutable_slots();
-  if (config_.shards == 0 || slots == nullptr) {
+  if (config_.shards == 0 || slots == nullptr || batch.has_views()) {
     // Inline mode analyzes in place anyway, and a borrowed batch does
     // not own its buffers — both take the copying overload.
     ingest(batch);
@@ -539,6 +638,9 @@ void ShardedFlowEngine::ingest(PacketBatch&& batch) {
   const std::size_t count = batch.size();
   packets_in_.fetch_add(count, std::memory_order_relaxed);
   obs::inc(packets_in_counter_, count);
+  std::uint64_t bytes = 0;
+  for (std::size_t i = 0; i < count; ++i) bytes += slots[i].data.size();
+  bytes_in_.fetch_add(bytes, std::memory_order_relaxed);
   // Owned batch, sharded mode: demux by swapping each slot's buffer
   // into the shard's pending batch — no byte copy. The emptied source
   // slot inherits the shard slot's previous capacity, so buffers
@@ -561,6 +663,19 @@ std::size_t ShardedFlowEngine::consume(PacketSource& source) {
   const obs::StageTimer timer(config_.metrics, "engine.consume");
   std::size_t total = 0;
   PacketBatch batch;
+  // Probe the zero-copy path once: a source that serves stable views
+  // (mmap capture, in-memory vector) keeps serving them, so after a
+  // nonzero first read we stay on read_views() to exhaustion and no
+  // frame byte is ever copied between the backing store and the TLS
+  // extractor. A first-call 0 means unsupported (or an already-empty
+  // stream) — fall back to the slot-recycling read_batch() path.
+  if (source.read_views(batch, config_.dispatch_batch) != 0) {
+    do {
+      total += batch.size();
+      ingest(batch);  // view demux; read_views() clears before refilling
+    } while (source.read_views(batch, config_.dispatch_batch) != 0);
+    return total;
+  }
   while (source.read_batch(batch, config_.dispatch_batch) != 0) {
     total += batch.size();
     ingest(std::move(batch));  // read_batch() clears before refilling
@@ -594,6 +709,7 @@ EngineResult ShardedFlowEngine::finish() {
   collector_->finalize(result);
   result.stats.shards = config_.shards;
   result.stats.packets_in = packets_in_.load(std::memory_order_relaxed);
+  result.stats.bytes_in = bytes_in_.load(std::memory_order_relaxed);
   result.stats.batches_dispatched = batches_dispatched_;
   result.stats.backpressure_waits = backpressure_waits_;
   for (const auto& shard : shards_) {
@@ -606,7 +722,7 @@ EngineResult ShardedFlowEngine::finish() {
     result.stats.gap_bytes += shard->extractor.gap_bytes();
     result.stats.tls_resyncs += shard->extractor.tls_resyncs();
     result.stats.tls_skipped_bytes += shard->extractor.tls_bytes_skipped();
-    result.stats.peak_active_flows += shard->peak_active_flows;
+    result.stats.peak_active_flows += shard->extractor.peak_active_flows();
   }
   return result;
 }

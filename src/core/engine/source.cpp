@@ -36,6 +36,17 @@ std::size_t VectorSource::read_batch(PacketBatch& out, std::size_t max) {
   return count;
 }
 
+std::size_t VectorSource::read_views(PacketBatch& out, std::size_t max) {
+  out.clear();
+  if (index_ >= packets_->size()) return 0;
+  const std::size_t count = std::min(max, packets_->size() - index_);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.append_view(net::PacketView((*packets_)[index_ + i]));
+  }
+  index_ += count;
+  return count;
+}
+
 // --- CaptureFileSource ----------------------------------------------
 
 struct CaptureFileSource::Impl {
@@ -101,6 +112,31 @@ std::size_t CaptureFileSource::read_batch(PacketBatch& out, std::size_t max) {
   }
   // Metrics land once per batch, not once per packet; totals match the
   // next() path exactly.
+  if (!out.empty()) {
+    obs::inc(impl_->packets, out.size());
+    obs::inc(impl_->bytes, bytes);
+  }
+  return out.size();
+}
+
+std::size_t CaptureFileSource::read_views(PacketBatch& out, std::size_t max) {
+  out.clear();
+  // Only the mmap readers yield views into storage that survives until
+  // the source is destroyed; the istream readers reuse a staging buffer
+  // per record, so they cannot honour read_views' lifetime contract.
+  if (error_ || !impl_->memory_mapped()) return 0;
+  std::uint64_t bytes = 0;
+  try {
+    while (out.size() < max) {
+      const auto view = impl_->next_view();
+      if (!view) break;
+      bytes += view->data.size();
+      out.append_view(*view);
+    }
+  } catch (const std::exception& e) {
+    error_ = Error{ErrorCode::kMalformedCapture, e.what()};
+    obs::inc(impl_->errors);
+  }
   if (!out.empty()) {
     obs::inc(impl_->packets, out.size());
     obs::inc(impl_->bytes, bytes);

@@ -182,9 +182,9 @@ struct RawTuple {
   std::uint8_t protocol = 0;
 };
 
-std::optional<RawTuple> parse_raw_tuple(const Packet& packet) {
-  const std::uint8_t* p = packet.data.data();
-  std::size_t size = packet.data.size();
+std::optional<RawTuple> parse_raw_tuple(util::BytesView frame) {
+  const std::uint8_t* p = frame.data();
+  std::size_t size = frame.size();
   if (size < 14) return std::nullopt;
   std::size_t offset = 12;
   std::uint16_t ethertype = static_cast<std::uint16_t>((p[offset] << 8) | p[offset + 1]);
@@ -226,10 +226,40 @@ std::uint16_t port_at(const std::uint8_t* ports, std::size_t index) {
   return static_cast<std::uint16_t>((ports[index * 2] << 8) | ports[index * 2 + 1]);
 }
 
+// One endpoint's contribution: FNV over the address wire bytes, then
+// the two big-endian port bytes — byte-for-byte what flow_shard_hash
+// feeds fnv1a from the raw frame.
+std::uint64_t endpoint_hash(const Endpoint& endpoint) {
+  std::uint64_t hash;
+  if (endpoint.is_v6) {
+    hash = fnv1a(endpoint.v6.octets().data(), 16);
+  } else {
+    const std::uint32_t v = endpoint.v4.value();
+    const std::uint8_t wire[4] = {
+        static_cast<std::uint8_t>(v >> 24), static_cast<std::uint8_t>(v >> 16),
+        static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)};
+    hash = fnv1a(wire, 4);
+  }
+  const std::uint8_t port[2] = {static_cast<std::uint8_t>(endpoint.port >> 8),
+                                static_cast<std::uint8_t>(endpoint.port)};
+  return fnv1a(port, 2, hash);
+}
+
 }  // namespace
 
+std::uint64_t endpoint_pair_hash(const Endpoint& a, const Endpoint& b,
+                                 IpProtocol protocol) {
+  const std::uint64_t ha = endpoint_hash(a);
+  const std::uint64_t hb = endpoint_hash(b);
+  return mix((ha + hb) ^ static_cast<std::uint8_t>(protocol)) ^ mix(ha ^ hb);
+}
+
 std::optional<std::uint64_t> flow_shard_hash(const Packet& packet) {
-  const auto tuple = parse_raw_tuple(packet);
+  return flow_shard_hash(util::BytesView(packet.data));
+}
+
+std::optional<std::uint64_t> flow_shard_hash(util::BytesView frame) {
+  const auto tuple = parse_raw_tuple(frame);
   if (!tuple) return std::nullopt;
   // Endpoint hash = fnv(address bytes, then port bytes); combining the
   // two endpoints commutatively makes the result direction-symmetric.
@@ -241,7 +271,7 @@ std::optional<std::uint64_t> flow_shard_hash(const Packet& packet) {
 }
 
 std::optional<std::uint64_t> viewer_shard_hash(const Packet& packet) {
-  const auto tuple = parse_raw_tuple(packet);
+  const auto tuple = parse_raw_tuple(util::BytesView(packet.data));
   if (!tuple) return std::nullopt;
   // Same orientation heuristic FlowTable uses for SYN-less flows: a
   // well-known port (< 1024) on exactly one endpoint marks the server,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "wm/net/checksum.hpp"
+#include "wm/net/packet.hpp"
 #include "wm/util/bytes.hpp"
 
 namespace wm::net {
@@ -243,6 +244,203 @@ void UdpHeader::serialize(ByteWriter& out, std::size_t payload_length) const {
   out.write_u16_be(destination_port);
   out.write_u16_be(static_cast<std::uint16_t>(kSize + payload_length));
   out.write_u16_be(checksum);
+}
+
+// --- Slab-batched hot-path decode -----------------------------------
+//
+// These decoders must classify every frame exactly like decode_packet:
+// each rejection below corresponds one-to-one to a nullopt return in
+// parse_ethernet / parse_ipv4 / parse_ipv6 / parse_tcp / parse_udp or
+// the VLAN/EtherType switch in decode_packet. Keep them in lockstep —
+// the slab differential tests (test_slab_decode) enforce it over the
+// golden fixtures and the fuzz corpus.
+
+namespace {
+
+inline std::uint16_t load_u16_be(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+inline std::uint32_t load_u32_be(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | static_cast<std::uint32_t>(p[3]);
+}
+
+/// IHL nibble -> IPv4 header length in bytes (table-driven option
+/// skip; entries below 20 are rejected by the validity check).
+constexpr std::uint8_t kIhlBytes[16] = {0,  4,  8,  12, 16, 20, 24, 28,
+                                        32, 36, 40, 44, 48, 52, 56, 60};
+/// Data-offset nibble -> TCP header length in bytes.
+constexpr std::uint8_t kTcpOffsetBytes[16] = {0,  4,  8,  12, 16, 20, 24, 28,
+                                              32, 36, 40, 44, 48, 52, 56, 60};
+
+/// Link-layer pass result: where the L3 packet starts and which stack
+/// parses it. `ether_type` is 0 for frames already rejected.
+struct L2Row {
+  std::uint32_t l3_offset = 0;
+  std::uint16_t ether_type = 0;
+};
+
+inline L2Row decode_l2(const std::uint8_t* frame, std::size_t size) {
+  L2Row row;
+  if (size < EthernetHeader::kSize) return row;  // parse_ethernet nullopt
+  std::uint32_t offset = EthernetHeader::kSize;
+  std::uint16_t ether_type = load_u16_be(frame + 12);
+  if (ether_type == 0x8100) {  // 802.1Q: TCI (2) + inner type (2)
+    if (size - offset < 4) return row;
+    ether_type = load_u16_be(frame + offset + 2);
+    offset += 4;
+  }
+  if (ether_type != 0x0800 && ether_type != 0x86dd) return row;
+  row.l3_offset = offset;
+  row.ether_type = ether_type;
+  return row;
+}
+
+/// IP pass result. `protocol` 0 marks a rejected packet (0 is IPv6
+/// hop-by-hop, which the transport switch treats as "other" anyway —
+/// but rejection is signalled by `valid`, not the protocol value).
+struct L3Row {
+  bool valid = false;
+  bool is_v6 = false;
+  std::uint8_t protocol = 0;
+  std::uint32_t address_offset = 0;
+  std::uint32_t payload_offset = 0;
+  std::uint32_t payload_length = 0;
+  std::uint32_t truncated_bytes = 0;
+};
+
+inline L3Row decode_l3(const std::uint8_t* frame, std::size_t size,
+                       const L2Row& l2, bool allow_truncated) {
+  L3Row row;
+  if (l2.ether_type == 0) return row;
+  const std::uint8_t* p = frame + l2.l3_offset;
+  const std::size_t avail = size - l2.l3_offset;
+  if (l2.ether_type == 0x0800) {
+    if (avail < Ipv4Header::kMinSize) return row;
+    if ((p[0] >> 4) != 4) return row;
+    const std::size_t header_len = kIhlBytes[p[0] & 0x0f];
+    if (header_len < Ipv4Header::kMinSize || header_len > avail) return row;
+    const std::uint16_t total_length = load_u16_be(p + 2);
+    if (total_length < header_len) return row;
+    if (total_length > avail) {
+      if (!allow_truncated) return row;
+      row.truncated_bytes = static_cast<std::uint32_t>(total_length - avail);
+    }
+    row.protocol = p[9];
+    row.address_offset = l2.l3_offset + 12;
+    row.payload_offset = l2.l3_offset + static_cast<std::uint32_t>(header_len);
+    row.payload_length = static_cast<std::uint32_t>(
+        std::min<std::size_t>(total_length, avail) - header_len);
+  } else {  // 0x86dd
+    if (avail < Ipv6Header::kSize) return row;
+    if ((p[0] >> 4) != 6) return row;
+    const std::uint16_t payload_length = load_u16_be(p + 4);
+    if (Ipv6Header::kSize + static_cast<std::size_t>(payload_length) > avail) {
+      if (!allow_truncated) return row;
+      row.truncated_bytes = static_cast<std::uint32_t>(
+          Ipv6Header::kSize + payload_length - avail);
+    }
+    row.is_v6 = true;
+    row.protocol = p[6];
+    row.address_offset = l2.l3_offset + 8;
+    row.payload_offset = l2.l3_offset + Ipv6Header::kSize;
+    row.payload_length = static_cast<std::uint32_t>(std::min<std::size_t>(
+        payload_length, avail - Ipv6Header::kSize));
+  }
+  row.valid = true;
+  return row;
+}
+
+/// Transport pass: classify and fill the TCP columns.
+inline void decode_l4(const std::uint8_t* frame, const L3Row& l3,
+                      PacketLens& lens) {
+  lens.status = LensStatus::kUndecodable;
+  if (!l3.valid) return;
+  lens.is_v6 = l3.is_v6;
+  lens.address_offset = l3.address_offset;
+  const std::uint8_t* p = frame + l3.payload_offset;
+  const std::uint32_t avail = l3.payload_length;
+  if (l3.protocol == 6) {  // TCP
+    if (avail < TcpHeader::kMinSize) return;
+    const std::size_t header_len = kTcpOffsetBytes[p[12] >> 4];
+    if (header_len < TcpHeader::kMinSize || header_len > avail) return;
+    lens.status = LensStatus::kTcp;
+    lens.tcp_flags = static_cast<std::uint8_t>(p[13] & 0x3f);
+    lens.source_port = load_u16_be(p);
+    lens.destination_port = load_u16_be(p + 2);
+    lens.sequence = load_u32_be(p + 4);
+    lens.payload_offset =
+        l3.payload_offset + static_cast<std::uint32_t>(header_len);
+    lens.payload_length = avail - static_cast<std::uint32_t>(header_len);
+    lens.truncated_bytes = l3.truncated_bytes;
+  } else if (l3.protocol == 17) {  // UDP
+    if (avail < UdpHeader::kSize) return;
+    const std::uint16_t length = load_u16_be(p + 4);
+    if (length < UdpHeader::kSize || length > avail) return;
+    lens.status = LensStatus::kNonTcp;
+  } else {
+    // IP packet with a transport we don't parse — decodable, non-TCP.
+    lens.status = LensStatus::kNonTcp;
+  }
+}
+
+/// Works over owned Packets and borrowed PacketViews alike: both expose
+/// the same three facts the decoder needs (frame bytes, captured size,
+/// original length), so one template keeps the paths byte-identical.
+template <typename PacketLike>
+inline void decode_lens_impl(const PacketLike& packet, PacketLens& out) {
+  out = PacketLens{};
+  const std::uint8_t* frame = packet.data.data();
+  const std::size_t size = packet.data.size();
+  const bool allow_truncated = packet.original_length > size;
+  const L2Row l2 = decode_l2(frame, size);
+  const L3Row l3 = decode_l3(frame, size, l2, allow_truncated);
+  decode_l4(frame, l3, out);
+}
+
+template <typename PacketLike>
+inline void decode_slab_impl(const PacketLike* packets, std::size_t count,
+                             DecodedSlab& out) {
+  count = std::min(count, DecodedSlab::kCapacity);
+  out.count = count;
+  // Column passes: the link, IP and transport layers each sweep the
+  // whole slab before the next layer starts, so each pass runs one
+  // small loop body with a stable branch pattern and the header bytes
+  // it touches stay hot across adjacent packets.
+  L2Row l2[DecodedSlab::kCapacity];
+  for (std::size_t i = 0; i < count; ++i) {
+    l2[i] = decode_l2(packets[i].data.data(), packets[i].data.size());
+  }
+  L3Row l3[DecodedSlab::kCapacity];
+  for (std::size_t i = 0; i < count; ++i) {
+    const PacketLike& packet = packets[i];
+    l3[i] = decode_l3(packet.data.data(), packet.data.size(), l2[i],
+                      packet.original_length > packet.data.size());
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    out.lens[i] = PacketLens{};
+    decode_l4(packets[i].data.data(), l3[i], out.lens[i]);
+  }
+}
+
+}  // namespace
+
+void decode_lens(const Packet& packet, PacketLens& out) {
+  decode_lens_impl(packet, out);
+}
+
+void decode_lens(const PacketView& packet, PacketLens& out) {
+  decode_lens_impl(packet, out);
+}
+
+void decode_slab(const Packet* packets, std::size_t count, DecodedSlab& out) {
+  decode_slab_impl(packets, count, out);
+}
+
+void decode_slab(const PacketView* packets, std::size_t count,
+                 DecodedSlab& out) {
+  decode_slab_impl(packets, count, out);
 }
 
 }  // namespace wm::net

@@ -35,6 +35,28 @@ bool TcpStreamReassembler::over_reorder_window() const {
          pending_.size() > config_.reorder_window_segments;
 }
 
+std::vector<TcpStreamReassembler::Pending>::iterator
+TcpStreamReassembler::pending_at_or_after(std::uint64_t cursor) {
+  return std::lower_bound(
+      pending_.begin(), pending_.end(), cursor,
+      [](const Pending& piece, std::uint64_t c) { return piece.start < c; });
+}
+
+std::vector<TcpStreamReassembler::Pending>::iterator
+TcpStreamReassembler::pending_covering(std::uint64_t cursor) {
+  // Buffered pieces never overlap (insertion only fills uncovered
+  // spans), so at most one piece can straddle `cursor`: the last one
+  // starting at or before it.
+  auto after = std::upper_bound(
+      pending_.begin(), pending_.end(), cursor,
+      [](std::uint64_t c, const Pending& piece) { return c < piece.start; });
+  if (after != pending_.begin()) {
+    const auto prev_it = std::prev(after);
+    if (prev_it->end() > cursor) return prev_it;
+  }
+  return pending_.end();
+}
+
 void TcpStreamReassembler::add_dead_range(std::uint64_t start, std::uint64_t end,
                                           StreamGap::Cause cause) {
   start = std::max(start, expected_);
@@ -44,19 +66,15 @@ void TcpStreamReassembler::add_dead_range(std::uint64_t start, std::uint64_t end
   // not lost. The remaining uncovered pieces become dead ranges.
   std::uint64_t cursor = start;
   while (cursor < end) {
-    const auto after = pending_.upper_bound(cursor);
-    if (after != pending_.begin()) {
-      const auto prev_it = std::prev(after);
-      const std::uint64_t prev_end = prev_it->first + prev_it->second.data.size();
-      if (prev_end > cursor) {
-        cursor = prev_end;
-        continue;
-      }
+    const auto covering = pending_covering(cursor);
+    if (covering != pending_.end()) {
+      cursor = covering->end();
+      continue;
     }
     std::uint64_t span_end = end;
-    const auto next_it = pending_.lower_bound(cursor);
-    if (next_it != pending_.end() && next_it->first < end) {
-      span_end = next_it->first;
+    const auto next_it = pending_at_or_after(cursor);
+    if (next_it != pending_.end() && next_it->start < end) {
+      span_end = next_it->start;
     }
     if (span_end > cursor) {
       // Insert [cursor, span_end), merging overlapping/adjacent dead
@@ -115,6 +133,18 @@ void TcpStreamReassembler::resurrect(std::uint64_t start, std::uint64_t end) {
 std::vector<StreamItem> TcpStreamReassembler::on_segment(
     util::SimTime timestamp, std::uint32_t sequence, bool syn, bool fin,
     util::BytesView payload, std::size_t truncated_bytes) {
+  std::vector<StreamItem> out;
+  on_segment(timestamp, sequence, syn, fin, payload, truncated_bytes,
+             /*stable_payload=*/false, out);
+  return out;
+}
+
+void TcpStreamReassembler::on_segment(util::SimTime timestamp,
+                                      std::uint32_t sequence, bool syn, bool fin,
+                                      util::BytesView payload,
+                                      std::size_t truncated_bytes,
+                                      bool stable_payload,
+                                      std::vector<StreamItem>& out) {
   if (!synchronized_) {
     // Establish the base sequence. A SYN consumes one sequence number;
     // for mid-stream captures we accept the first segment's sequence as
@@ -160,27 +190,22 @@ std::vector<StreamItem> TcpStreamReassembler::on_segment(
     util::BytesView rest = data;
     while (!rest.empty()) {
       // Covered by the predecessor segment?
-      const auto after = pending_.upper_bound(cursor);
-      if (after != pending_.begin()) {
-        const auto prev_it = std::prev(after);
-        const std::uint64_t prev_end =
-            prev_it->first + prev_it->second.data.size();
-        if (prev_end > cursor) {
-          const std::uint64_t overlap = prev_end - cursor;
-          if (overlap >= rest.size()) {
-            rest = {};
-            break;
-          }
-          rest = rest.subspan(static_cast<std::size_t>(overlap));
-          cursor += overlap;
-          continue;  // re-evaluate neighbours at the new cursor
+      const auto covering = pending_covering(cursor);
+      if (covering != pending_.end()) {
+        const std::uint64_t overlap = covering->end() - cursor;
+        if (overlap >= rest.size()) {
+          rest = {};
+          break;
         }
+        rest = rest.subspan(static_cast<std::size_t>(overlap));
+        cursor += overlap;
+        continue;  // re-evaluate neighbours at the new cursor
       }
       // Free run until the next buffered segment (or the piece's end).
       std::size_t take = rest.size();
-      const auto next_it = pending_.lower_bound(cursor);
-      if (next_it != pending_.end() && next_it->first < cursor + rest.size()) {
-        take = static_cast<std::size_t>(next_it->first - cursor);
+      const auto next_it = pending_at_or_after(cursor);
+      if (next_it != pending_.end() && next_it->start < cursor + rest.size()) {
+        take = static_cast<std::size_t>(next_it->start - cursor);
       }
       if (take > 0) {
         const util::BytesView piece = rest.subspan(0, take);
@@ -193,8 +218,20 @@ std::vector<StreamItem> TcpStreamReassembler::on_segment(
                          StreamGap::Cause::kBufferCap);
         } else {
           resurrect(cursor, cursor + piece.size());
-          pending_.emplace(
-              cursor, Pending{util::Bytes(piece.begin(), piece.end()), timestamp});
+          Pending pending;
+          pending.start = cursor;
+          pending.arrived = timestamp;
+          if (stable_payload) {
+            // Zero-copy hold: the caller guaranteed the span outlives
+            // this reassembler, so buffering borrows instead of copying.
+            pending.view = piece;
+          } else {
+            pending.data.assign(piece.begin(), piece.end());
+            pending.view = pending.data;
+          }
+          // next_it is the insertion point computed above; resurrect()
+          // only touches dead_, so it is still valid.
+          pending_.insert(next_it, std::move(pending));
           buffered_bytes_ += piece.size();
         }
         rest = rest.subspan(take);
@@ -212,23 +249,50 @@ std::vector<StreamItem> TcpStreamReassembler::on_segment(
                    StreamGap::Cause::kTruncated);
   }
 
-  std::vector<StreamItem> out = drain(timestamp, /*condemn_all=*/false);
+  drain(timestamp, /*condemn_all=*/false, out);
   if (fin_seen_ && expected_ >= fin_at_) finished_ = true;
-  return out;
+}
+
+std::optional<std::uint64_t> TcpStreamReassembler::accept_in_order(
+    std::uint32_t sequence, std::size_t payload_size) {
+  // Preconditions that make this equivalent to on_segment + drain with
+  // nothing buffered: no pending pieces to merge against, no dead
+  // ranges to prune or surface, no FIN position to re-check. SYN, FIN,
+  // RST and truncation are the caller's responsibility to exclude.
+  if (finished_ || fin_seen_ || !pending_.empty() || !dead_.empty()) {
+    return std::nullopt;
+  }
+  if (!synchronized_) {
+    // Mid-stream capture: first segment's sequence becomes the base,
+    // exactly as on_segment does for a non-SYN first segment.
+    base_ = sequence;
+    expected_ = base_;
+    synchronized_ = true;
+  } else if (unwrap(sequence) != expected_) {
+    return std::nullopt;  // retransmit or reorder: take the slow path
+  }
+  const std::uint64_t offset = expected_ - base_;
+  expected_ += payload_size;
+  delivered_ += payload_size;
+  return offset;
 }
 
 std::vector<StreamItem> TcpStreamReassembler::flush(util::SimTime timestamp) {
   std::vector<StreamItem> out;
-  if (synchronized_) {
-    out = drain(timestamp, /*condemn_all=*/true);
-  }
-  finished_ = true;
+  flush(timestamp, out);
   return out;
 }
 
-std::vector<StreamItem> TcpStreamReassembler::drain(util::SimTime timestamp,
-                                                    bool condemn_all) {
-  std::vector<StreamItem> out;
+void TcpStreamReassembler::flush(util::SimTime timestamp,
+                                 std::vector<StreamItem>& out) {
+  if (synchronized_) {
+    drain(timestamp, /*condemn_all=*/true, out);
+  }
+  finished_ = true;
+}
+
+void TcpStreamReassembler::drain(util::SimTime timestamp, bool condemn_all,
+                                 std::vector<StreamItem>& out) {
   for (;;) {
     // Prune dead ranges the stream has already moved past.
     while (!dead_.empty() && dead_.begin()->second.end <= expected_) {
@@ -241,8 +305,7 @@ std::vector<StreamItem> TcpStreamReassembler::drain(util::SimTime timestamp,
     // past the range, or when buffer pressure says the bytes are gone.
     if (!dead_.empty() && dead_.begin()->first <= expected_) {
       const std::uint64_t end = dead_.begin()->second.end;
-      const auto next = pending_.begin();
-      const bool resumable = next != pending_.end() && next->first <= end;
+      const bool resumable = !pending_.empty() && pending_.front().start <= end;
       if (!condemn_all && !resumable && !over_reorder_window()) break;
       StreamGap gap;
       gap.timestamp = timestamp;
@@ -257,20 +320,17 @@ std::vector<StreamItem> TcpStreamReassembler::drain(util::SimTime timestamp,
       continue;
     }
 
-    const auto it = pending_.begin();
-    if (it != pending_.end() && it->first <= expected_) {
-      const std::uint64_t start = it->first;
-      Pending piece = std::move(it->second);
-      buffered_bytes_ -= piece.data.size();
-      pending_.erase(it);
+    if (!pending_.empty() && pending_.front().start <= expected_) {
+      Pending piece = std::move(pending_.front());
+      pending_.erase(pending_.begin());
+      buffered_bytes_ -= piece.view.size();
 
       // start <= expected_ is guaranteed; overlap was trimmed on entry,
       // but a defensive re-trim is cheap.
-      if (start < expected_) {
-        const std::uint64_t overlap = expected_ - start;
-        if (overlap >= piece.data.size()) continue;
-        piece.data.erase(piece.data.begin(),
-                         piece.data.begin() + static_cast<std::ptrdiff_t>(overlap));
+      if (piece.start < expected_) {
+        const std::uint64_t overlap = expected_ - piece.start;
+        if (overlap >= piece.view.size()) continue;
+        piece.view = piece.view.subspan(static_cast<std::size_t>(overlap));
       }
 
       StreamChunk chunk;
@@ -279,9 +339,22 @@ std::vector<StreamItem> TcpStreamReassembler::drain(util::SimTime timestamp,
       // when the bytes were seen, not when the hole filled).
       chunk.timestamp = piece.arrived;
       chunk.stream_offset = expected_ - base_;
-      expected_ += piece.data.size();
-      delivered_ += piece.data.size();
-      chunk.data = std::move(piece.data);
+      expected_ += piece.view.size();
+      delivered_ += piece.view.size();
+      if (!piece.data.empty()) {
+        // Owned hold: hand the buffer itself to the chunk, dropping any
+        // overlap-trimmed prefix first so data matches the view.
+        if (piece.view.size() != piece.data.size()) {
+          piece.data.erase(piece.data.begin(),
+                           piece.data.begin() +
+                               static_cast<std::ptrdiff_t>(piece.data.size() -
+                                                           piece.view.size()));
+        }
+        chunk.data = std::move(piece.data);
+      } else {
+        // Borrowed hold (stable_payload): the chunk borrows too.
+        chunk.borrowed = piece.view;
+      }
       out.push_back(StreamItem::make_chunk(std::move(chunk)));
       continue;
     }
@@ -289,10 +362,10 @@ std::vector<StreamItem> TcpStreamReassembler::drain(util::SimTime timestamp,
     // Head-of-line hole. Condemn it if the reorder window is exceeded
     // (the hole will not fill: anything this far behind the buffered
     // frontier was lost, not reordered) or if we are flushing.
-    if (!condemn_all && !(it != pending_.end() && over_reorder_window())) break;
+    if (!condemn_all && !(!pending_.empty() && over_reorder_window())) break;
 
     std::uint64_t hole_end = std::numeric_limits<std::uint64_t>::max();
-    if (it != pending_.end()) hole_end = it->first;
+    if (!pending_.empty()) hole_end = pending_.front().start;
     if (!dead_.empty()) hole_end = std::min(hole_end, dead_.begin()->first);
     if (condemn_all && fin_seen_ && fin_at_ > expected_) {
       hole_end = std::min(hole_end, fin_at_);
@@ -311,7 +384,43 @@ std::vector<StreamItem> TcpStreamReassembler::drain(util::SimTime timestamp,
     gap_bytes_ += gap.length;
     out.push_back(StreamItem::make_gap(gap));
   }
-  return out;
+}
+
+void TcpConnectionReassembler::on_segment(
+    FlowDirection direction, util::SimTime timestamp, std::uint32_t sequence,
+    bool syn, bool fin, bool rst, util::BytesView payload,
+    std::size_t truncated_bytes, std::vector<DirectedItem>& out,
+    bool stable_payload) {
+  if (reset_) return;  // no data delivery after reset
+  if (rst) {
+    reset_ = true;
+    // A reset tears the connection down in both directions: deliver
+    // what is buffered (holes become gaps) and mark the streams
+    // finished so the flow can be retired immediately instead of
+    // lingering until idle eviction.
+    scratch_.clear();
+    client_.flush(timestamp, scratch_);
+    for (StreamItem& item : scratch_) {
+      out.push_back(DirectedItem{FlowDirection::kClientToServer, std::move(item)});
+    }
+    scratch_.clear();
+    server_.flush(timestamp, scratch_);
+    for (StreamItem& item : scratch_) {
+      out.push_back(DirectedItem{FlowDirection::kServerToClient, std::move(item)});
+    }
+    scratch_.clear();
+    return;
+  }
+
+  TcpStreamReassembler& target =
+      direction == FlowDirection::kClientToServer ? client_ : server_;
+  scratch_.clear();
+  target.on_segment(timestamp, sequence, syn, fin, payload, truncated_bytes,
+                    stable_payload, scratch_);
+  for (StreamItem& item : scratch_) {
+    out.push_back(DirectedItem{direction, std::move(item)});
+  }
+  scratch_.clear();
 }
 
 std::vector<TcpConnectionReassembler::DirectedItem>
@@ -319,31 +428,10 @@ TcpConnectionReassembler::on_packet(const DecodedPacket& packet,
                                     FlowDirection direction) {
   std::vector<DirectedItem> out;
   if (!packet.has_tcp()) return out;
-  if (reset_) return out;  // no data delivery after reset
   const TcpHeader& tcp = packet.tcp();
-  if (tcp.rst) {
-    reset_ = true;
-    // A reset tears the connection down in both directions: deliver
-    // what is buffered (holes become gaps) and mark the streams
-    // finished so the flow can be retired immediately instead of
-    // lingering until idle eviction.
-    for (StreamItem& item : client_.flush(packet.timestamp)) {
-      out.push_back(DirectedItem{FlowDirection::kClientToServer, std::move(item)});
-    }
-    for (StreamItem& item : server_.flush(packet.timestamp)) {
-      out.push_back(DirectedItem{FlowDirection::kServerToClient, std::move(item)});
-    }
-    return out;
-  }
-
-  TcpStreamReassembler& stream =
-      direction == FlowDirection::kClientToServer ? client_ : server_;
-  for (StreamItem& item :
-       stream.on_segment(packet.timestamp, tcp.sequence, tcp.syn, tcp.fin,
-                         packet.transport_payload,
-                         packet.transport_payload_missing)) {
-    out.push_back(DirectedItem{direction, std::move(item)});
-  }
+  on_segment(direction, packet.timestamp, tcp.sequence, tcp.syn, tcp.fin,
+             tcp.rst, packet.transport_payload,
+             packet.transport_payload_missing, out);
   return out;
 }
 

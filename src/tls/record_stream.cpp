@@ -1,10 +1,22 @@
 #include "wm/tls/record_stream.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "wm/tls/handshake.hpp"
 
 namespace wm::tls {
+
+namespace {
+
+/// Retired PerFlow shells kept for reuse; beyond this the shells are
+/// simply destroyed (flow churn above this is long-tail, not steady
+/// state, so unbounded pooling would just hoard capacity).
+constexpr std::size_t kFlowPoolCap = 1024;
+/// Initial index capacity (power of two).
+constexpr std::size_t kIndexInitialSlots = 1024;
+
+}  // namespace
 
 std::size_t FlowRecordStream::count(net::FlowDirection direction,
                                     ContentType type) const {
@@ -15,14 +27,11 @@ std::size_t FlowRecordStream::count(net::FlowDirection direction,
 }
 
 RecordStreamExtractor::RecordStreamExtractor(Config config)
-    : config_(std::move(config)) {
-  // The extractor keeps its own per-flow state; the flow table is
-  // only consulted for keying/orientation, so per-packet membership
-  // lists would be dead weight.
-  net::FlowTable::Config table_config;
-  table_config.idle_timeout = config_.idle_timeout;
-  table_config.track_packets = false;
-
+    : config_(std::move(config)),
+      arena_(std::make_unique<util::Arena>()),
+      flows_(std::less<net::FlowKey>(),
+             util::ArenaAllocator<std::pair<const net::FlowKey, PerFlow>>(
+                 arena_.get())) {
   if (config_.registry != nullptr) {
     const auto resolve = [this](const std::string& suffix,
                                 obs::Stability rollup_stability =
@@ -71,18 +80,17 @@ RecordStreamExtractor::RecordStreamExtractor(Config config)
           config_.metrics_rollup + ".record_length.client_app",
           obs::Stability::kStable);
     }
-    table_config.created_counter = resolve(".flows.opened");
+    metrics_.flows_opened = resolve(".flows.opened");
     // Eviction totals depend on per-shard sweep cadence, so their
     // cross-shard sum is only deterministic for a fixed shard count.
-    table_config.evicted_counter =
+    metrics_.flows_evicted =
         resolve(".flows.evicted", obs::Stability::kSharded);
   }
-  flow_table_ = net::FlowTable(table_config);
 }
 
 std::vector<StreamEvent> RecordStreamExtractor::feed(const net::Packet& packet) {
   std::vector<StreamEvent> out;
-  const std::size_t index = packets_seen_++;
+  ++packets_seen_;
   obs::inc(metrics_.packets);
   const auto decoded = net::decode_packet(packet);
   if (!decoded || !decoded->has_tcp()) {
@@ -93,32 +101,188 @@ std::vector<StreamEvent> RecordStreamExtractor::feed(const net::Packet& packet) 
     return out;
   }
 
-  const auto assignment = flow_table_.add(*decoded, index);
-  if (!assignment) return out;
+  const auto endpoints = net::packet_endpoints(*decoded);
+  if (!endpoints) return out;
+  const net::TcpHeader& tcp = decoded->tcp();
+  const auto flags = static_cast<std::uint8_t>(
+      (tcp.fin ? 0x01 : 0) | (tcp.syn ? 0x02 : 0) | (tcp.rst ? 0x04 : 0) |
+      (tcp.psh ? 0x08 : 0) | (tcp.ack ? 0x10 : 0) | (tcp.urg ? 0x20 : 0));
+  feed_tcp(packet.timestamp, endpoints->source, endpoints->destination, flags,
+           tcp.sequence, decoded->transport_payload,
+           decoded->transport_payload_missing, /*stable_payload=*/false, out);
+  if (config_.idle_timeout != util::Duration{}) evict_idle(packet.timestamp);
+  return out;
+}
 
-  auto [it, inserted] = flows_.try_emplace(assignment->key);
-  PerFlow& state = it->second;
-  if (inserted) {
-    state.reassembler = net::TcpConnectionReassembler(config_.reassembly);
-    state.first_seen = packet.timestamp;
-    ++flows_opened_;
+void RecordStreamExtractor::feed_lens(util::SimTime timestamp,
+                                      util::BytesView frame,
+                                      const net::PacketLens& lens,
+                                      bool stable_payload,
+                                      std::vector<StreamEvent>& out) {
+  ++packets_seen_;
+  obs::inc(metrics_.packets);
+  if (lens.status != net::LensStatus::kTcp) {
+    if (lens.status == net::LensStatus::kUndecodable) {
+      ++packets_undecodable_;
+      obs::inc(metrics_.packets_undecodable);
+    }
+    return;
   }
-  state.last_seen = packet.timestamp;
 
-  const bool has_payload = !decoded->transport_payload.empty();
+  net::Endpoint source;
+  net::Endpoint destination;
+  const std::uint8_t* addresses = frame.data() + lens.address_offset;
+  if (lens.is_v6) {
+    std::array<std::uint8_t, 16> octets{};
+    source.is_v6 = true;
+    destination.is_v6 = true;
+    std::memcpy(octets.data(), addresses, 16);
+    source.v6 = net::Ipv6Address(octets);
+    std::memcpy(octets.data(), addresses + 16, 16);
+    destination.v6 = net::Ipv6Address(octets);
+  } else {
+    source.v4 = net::Ipv4Address(addresses[0], addresses[1], addresses[2],
+                                 addresses[3]);
+    destination.v4 = net::Ipv4Address(addresses[4], addresses[5], addresses[6],
+                                      addresses[7]);
+  }
+  source.port = lens.source_port;
+  destination.port = lens.destination_port;
+
+  feed_tcp(timestamp, source, destination, lens.tcp_flags, lens.sequence,
+           frame.subspan(lens.payload_offset, lens.payload_length),
+           lens.truncated_bytes, stable_payload, out);
+  if (config_.idle_timeout != util::Duration{}) evict_idle(timestamp);
+}
+
+void RecordStreamExtractor::feed_batch(const net::Packet* packets,
+                                       std::size_t count,
+                                       std::vector<StreamEvent>& out) {
+  while (count > 0) {
+    const std::size_t n = std::min(count, net::DecodedSlab::kCapacity);
+    net::decode_slab(packets, n, slab_);
+    for (std::size_t i = 0; i < n; ++i) {
+      feed_lens(packets[i].timestamp, packets[i].data, slab_.lens[i],
+                /*stable_payload=*/false, out);
+    }
+    packets += n;
+    count -= n;
+  }
+}
+
+void RecordStreamExtractor::feed_batch(const net::PacketView* packets,
+                                       std::size_t count,
+                                       std::vector<StreamEvent>& out,
+                                       bool stable_payload) {
+  while (count > 0) {
+    const std::size_t n = std::min(count, net::DecodedSlab::kCapacity);
+    net::decode_slab(packets, n, slab_);
+    for (std::size_t i = 0; i < n; ++i) {
+      feed_lens(packets[i].timestamp, packets[i].data, slab_.lens[i],
+                stable_payload, out);
+    }
+    packets += n;
+    count -= n;
+  }
+}
+
+void RecordStreamExtractor::feed_tcp(util::SimTime timestamp,
+                                     const net::Endpoint& source,
+                                     const net::Endpoint& destination,
+                                     std::uint8_t tcp_flags,
+                                     std::uint32_t sequence,
+                                     util::BytesView payload,
+                                     std::size_t truncated_bytes,
+                                     bool stable_payload,
+                                     std::vector<StreamEvent>& out) {
+  std::uint64_t hash =
+      net::endpoint_pair_hash(source, destination, net::IpProtocol::kTcp);
+  if (hash < 2) hash += 2;  // 0 and 1 are the index's empty/tombstone marks
+
+  net::FlowDirection direction = net::FlowDirection::kClientToServer;
+  FlowMap::iterator it = find_flow(hash, source, destination, direction);
+  if (it == flows_.end()) {
+    // New flow: decide orientation. The sender of a pure SYN is the
+    // client; otherwise the well-known-port heuristic — a source port
+    // below 1024 (and a peer's that is not) suggests the packet came
+    // *from* the server.
+    const bool is_syn_only =
+        (tcp_flags & 0x02) != 0 && (tcp_flags & 0x10) == 0;
+    net::FlowKey key{source, destination, net::IpProtocol::kTcp};
+    if (!is_syn_only && source.port < 1024 && !(destination.port < 1024)) {
+      key = net::FlowKey{destination, source, net::IpProtocol::kTcp};
+      direction = net::FlowDirection::kServerToClient;
+    }
+    it = insert_flow(hash, key);
+    it->second.first_seen = timestamp;
+    ++flows_opened_;
+    obs::inc(metrics_.flows_opened);
+  }
+  PerFlow& state = it->second;
+  state.last_seen = timestamp;
+
+  const bool has_payload = !payload.empty();
   if (has_payload) obs::inc(metrics_.tcp_segments);
+
+  // SYN/FIN/RST and truncated segments always take the buffered path;
+  // so does anything the in-order fast path rejects (reorder,
+  // retransmit, pending data behind a hole) — the rejection mutates
+  // nothing, so the slow path sees pristine state.
+  if ((tcp_flags & 0x07) != 0 || truncated_bytes != 0) {
+    feed_tcp_slow(it, direction, timestamp, sequence, tcp_flags, payload,
+                  truncated_bytes, has_payload, stable_payload, out);
+    return;
+  }
+  const std::optional<std::uint64_t> offset =
+      state.reassembler.stream(direction).accept_in_order(sequence,
+                                                          payload.size());
+  if (!offset) {
+    feed_tcp_slow(it, direction, timestamp, sequence, tcp_flags, payload,
+                  truncated_bytes, has_payload, stable_payload, out);
+    return;
+  }
+  if (!has_payload) return;  // in-order pure ACK: nothing to deliver
+
+  // The segment is the next contiguous chunk: hand its bytes straight
+  // to the TLS parser, skipping the reassembler's buffer-and-drain
+  // machinery (and its per-segment copy) entirely.
+  obs::inc(metrics_.tcp_chunks);
+  obs::inc(metrics_.tcp_bytes, payload.size());
+  TlsRecordParser& parser = direction == net::FlowDirection::kClientToServer
+                                ? state.client_parser
+                                : state.server_parser;
+  parsed_scratch_.clear();
+  parser.feed(timestamp, payload, parsed_scratch_);
+  for (TlsRecordParser::ParsedRecord& parsed : parsed_scratch_) {
+    emit_record(it->first, state, direction, parsed, out);
+  }
+  sync_tls_counters(state);
+}
+
+void RecordStreamExtractor::feed_tcp_slow(
+    FlowMap::iterator it, net::FlowDirection direction, util::SimTime timestamp,
+    std::uint32_t sequence, std::uint8_t tcp_flags, util::BytesView payload,
+    std::size_t truncated_bytes, bool has_payload, bool stable_payload,
+    std::vector<StreamEvent>& out) {
+  PerFlow& state = it->second;
   const std::uint64_t dropped_before =
       state.reassembler.client_stream().dropped_bytes() +
       state.reassembler.server_stream().dropped_bytes();
 
-  auto items = state.reassembler.on_packet(*decoded, assignment->direction);
-  if (has_payload && items.empty()) obs::inc(metrics_.tcp_segments_buffered);
+  items_scratch_.clear();
+  state.reassembler.on_segment(direction, timestamp, sequence,
+                               (tcp_flags & 0x02) != 0, (tcp_flags & 0x01) != 0,
+                               (tcp_flags & 0x04) != 0, payload,
+                               truncated_bytes, items_scratch_, stable_payload);
+  if (has_payload && items_scratch_.empty()) {
+    obs::inc(metrics_.tcp_segments_buffered);
+  }
   const std::uint64_t dropped_after =
       state.reassembler.client_stream().dropped_bytes() +
       state.reassembler.server_stream().dropped_bytes();
   obs::inc(metrics_.tcp_dropped_bytes, dropped_after - dropped_before);
 
-  process_items(assignment->key, state, items, out);
+  process_items(it->first, state, items_scratch_, out);
   sync_tls_counters(state);
 
   if (state.reassembler.reset()) {
@@ -126,9 +290,109 @@ std::vector<StreamEvent> RecordStreamExtractor::feed(const net::Packet& packet) 
     // the flow now instead of letting it linger until idle eviction.
     complete_flow(it, out);
   }
+}
 
-  if (config_.idle_timeout != util::Duration{}) evict_idle(packet.timestamp);
-  return out;
+RecordStreamExtractor::FlowMap::iterator RecordStreamExtractor::find_flow(
+    std::uint64_t hash, const net::Endpoint& source,
+    const net::Endpoint& destination, net::FlowDirection& direction) {
+  if (index_.empty()) return flows_.end();
+  const std::size_t mask = index_.size() - 1;
+  for (std::size_t pos = hash & mask;; pos = (pos + 1) & mask) {
+    const IndexSlot& slot = index_[pos];
+    if (slot.hash == 0) return flows_.end();
+    if (slot.hash != hash) continue;  // tombstones (hash 1) land here too
+    const net::FlowKey& key = slot.it->first;
+    if (key.client == source && key.server == destination) {
+      direction = net::FlowDirection::kClientToServer;
+      return slot.it;
+    }
+    if (key.client == destination && key.server == source) {
+      direction = net::FlowDirection::kServerToClient;
+      return slot.it;
+    }
+  }
+}
+
+RecordStreamExtractor::FlowMap::iterator RecordStreamExtractor::insert_flow(
+    std::uint64_t hash, const net::FlowKey& key) {
+  PerFlow fresh;
+  if (!pool_.empty()) {
+    fresh = std::move(pool_.back());
+    pool_.pop_back();
+  } else {
+    fresh.reassembler = net::TcpConnectionReassembler(config_.reassembly);
+  }
+  fresh.index_hash = hash;
+  const FlowMap::iterator it = flows_.emplace(key, std::move(fresh)).first;
+  index_insert(hash, it);
+  if (flows_.size() > peak_active_flows_) peak_active_flows_ = flows_.size();
+  return it;
+}
+
+RecordStreamExtractor::FlowMap::iterator RecordStreamExtractor::erase_flow(
+    FlowMap::iterator it) {
+  if (!index_.empty()) {
+    const std::uint64_t hash = it->second.index_hash;
+    const std::size_t mask = index_.size() - 1;
+    for (std::size_t pos = hash & mask;; pos = (pos + 1) & mask) {
+      IndexSlot& slot = index_[pos];
+      if (slot.hash == 0) break;  // defensive: entry was not indexed
+      if (slot.hash == hash && slot.it == it) {
+        slot.hash = 1;  // tombstone: probes continue across it
+        slot.it = FlowMap::iterator{};
+        --index_live_;
+        ++index_tombstones_;
+        break;
+      }
+    }
+  }
+  // Recycle the shell: content dropped, buffer capacities retained.
+  PerFlow shell = std::move(it->second);
+  if (pool_.size() < kFlowPoolCap) {
+    shell.reassembler = net::TcpConnectionReassembler(config_.reassembly);
+    shell.client_parser.reset();
+    shell.server_parser.reset();
+    shell.events.clear();
+    shell.sni.reset();
+    shell.sni_searched = false;
+    shell.gaps = 0;
+    shell.gap_bytes = 0;
+    shell.tls_skipped_accounted = 0;
+    shell.tls_resyncs_accounted = 0;
+    shell.index_hash = 0;
+    pool_.push_back(std::move(shell));
+  }
+  return flows_.erase(it);
+}
+
+void RecordStreamExtractor::index_insert(std::uint64_t hash,
+                                         FlowMap::iterator it) {
+  // Grow (or purge tombstones) at 3/4 occupancy so probes stay short.
+  if (index_.empty() ||
+      (index_live_ + index_tombstones_ + 1) * 4 > index_.size() * 3) {
+    index_grow();
+  }
+  const std::size_t mask = index_.size() - 1;
+  std::size_t pos = hash & mask;
+  while (index_[pos].hash >= 2) pos = (pos + 1) & mask;
+  if (index_[pos].hash == 1) --index_tombstones_;
+  index_[pos] = IndexSlot{hash, it};
+  ++index_live_;
+}
+
+void RecordStreamExtractor::index_grow() {
+  std::size_t capacity = index_.empty() ? kIndexInitialSlots : index_.size();
+  while ((index_live_ + 1) * 4 > capacity * 3) capacity *= 2;
+  index_.assign(capacity, IndexSlot{});
+  index_tombstones_ = 0;
+  index_live_ = 0;
+  const std::size_t mask = capacity - 1;
+  for (FlowMap::iterator it = flows_.begin(); it != flows_.end(); ++it) {
+    std::size_t pos = it->second.index_hash & mask;
+    while (index_[pos].hash != 0) pos = (pos + 1) & mask;
+    index_[pos] = IndexSlot{it->second.index_hash, it};
+    ++index_live_;
+  }
 }
 
 void RecordStreamExtractor::process_items(
@@ -158,9 +422,12 @@ void RecordStreamExtractor::process_items(
       continue;
     }
     net::StreamChunk& chunk = directed.item.chunk;
+    const util::BytesView chunk_bytes = chunk.bytes();
     obs::inc(metrics_.tcp_chunks);
-    obs::inc(metrics_.tcp_bytes, chunk.data.size());
-    for (auto& parsed : parser.feed(chunk.timestamp, chunk.data)) {
+    obs::inc(metrics_.tcp_bytes, chunk_bytes.size());
+    parsed_scratch_.clear();
+    parser.feed(chunk.timestamp, chunk_bytes, parsed_scratch_);
+    for (auto& parsed : parsed_scratch_) {
       emit_record(key, state, directed.direction, parsed, out);
     }
   }
@@ -172,15 +439,15 @@ void RecordStreamExtractor::emit_record(const net::FlowKey& key, PerFlow& state,
                                         std::vector<StreamEvent>& out) {
   // Opportunistic SNI capture from client handshake records.
   if (!state.sni_searched && direction == net::FlowDirection::kClientToServer &&
-      parsed.record.content_type == ContentType::kHandshake) {
-    state.sni = extract_sni(parsed.record.payload);
+      parsed.content_type == ContentType::kHandshake) {
+    state.sni = extract_sni(parsed.payload);
     state.sni_searched = true;
   }
   RecordEvent event;
   event.timestamp = parsed.timestamp;
   event.direction = direction;
-  event.content_type = parsed.record.content_type;
-  event.record_length = parsed.record.length();
+  event.content_type = parsed.content_type;
+  event.record_length = parsed.length;
   event.stream_offset = parsed.stream_offset;
   event.after_gap = parsed.after_gap;
   obs::inc(metrics_.records);
@@ -220,22 +487,26 @@ void RecordStreamExtractor::sync_tls_counters(PerFlow& state) {
   state.tls_resyncs_accounted = resyncs;
 }
 
-void RecordStreamExtractor::complete_flow(
-    std::map<net::FlowKey, PerFlow>::iterator it, std::vector<StreamEvent>& out) {
+void RecordStreamExtractor::complete_flow(FlowMap::iterator it,
+                                          std::vector<StreamEvent>& out) {
   const net::FlowKey key = it->first;
   PerFlow& state = it->second;
   // The stream is over: give the parsers their end-of-stream chance to
   // re-lock with relaxed validation and emit trailing records.
-  for (auto& parsed : state.client_parser.flush(state.last_seen)) {
+  parsed_scratch_.clear();
+  state.client_parser.flush(state.last_seen, parsed_scratch_);
+  for (auto& parsed : parsed_scratch_) {
     emit_record(key, state, net::FlowDirection::kClientToServer, parsed, out);
   }
-  for (auto& parsed : state.server_parser.flush(state.last_seen)) {
+  parsed_scratch_.clear();
+  state.server_parser.flush(state.last_seen, parsed_scratch_);
+  for (auto& parsed : parsed_scratch_) {
     emit_record(key, state, net::FlowDirection::kServerToClient, parsed, out);
   }
+  parsed_scratch_.clear();
   sync_tls_counters(state);
   if (config_.retain_events) completed_.push_back(snapshot(key, state));
-  flows_.erase(it);
-  flow_table_.remove(key);
+  erase_flow(it);
   ++flows_completed_;
 }
 
@@ -269,13 +540,21 @@ void RecordStreamExtractor::evict_idle(util::SimTime now) {
   sweep_armed_ = true;
   last_sweep_ = now;
 
-  for (const net::FlowKey& key : flow_table_.evict_idle(now)) {
-    const auto it = flows_.find(key);
-    if (it == flows_.end()) continue;
-    if (config_.retain_events) completed_.push_back(snapshot(key, it->second));
-    flows_.erase(it);
-    ++flows_evicted_;
+  const util::SimTime cutoff = now - config_.idle_timeout;
+  std::uint64_t evicted = 0;
+  for (FlowMap::iterator it = flows_.begin(); it != flows_.end();) {
+    if (it->second.last_seen < cutoff) {
+      if (config_.retain_events) {
+        completed_.push_back(snapshot(it->first, it->second));
+      }
+      it = erase_flow(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
   }
+  flows_evicted_ += evicted;
+  obs::inc(metrics_.flows_evicted, evicted);
 }
 
 FlowRecordStream RecordStreamExtractor::snapshot(const net::FlowKey& key,

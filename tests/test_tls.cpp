@@ -32,8 +32,8 @@ TEST(TlsRecordParser, SingleRecord) {
   TlsRecordParser parser;
   const auto records = parser.feed(SimTime::from_seconds(1), wire);
   ASSERT_EQ(records.size(), 1u);
-  EXPECT_EQ(records[0].record.content_type, ContentType::kHandshake);
-  EXPECT_EQ(records[0].record.length(), 10u);
+  EXPECT_EQ(records[0].content_type, ContentType::kHandshake);
+  EXPECT_EQ(records[0].length, 10u);
   EXPECT_EQ(records[0].stream_offset, 0u);
   EXPECT_EQ(records[0].timestamp, SimTime::from_seconds(1));
   EXPECT_FALSE(parser.desynchronized());
@@ -48,7 +48,7 @@ TEST(TlsRecordParser, MultipleRecordsOneChunk) {
   TlsRecordParser parser;
   const auto records = parser.feed(SimTime::from_seconds(0), wire);
   ASSERT_EQ(records.size(), 3u);
-  EXPECT_EQ(records[2].record.length(), 2212u);
+  EXPECT_EQ(records[2].length, 2212u);
   EXPECT_EQ(records[2].stream_offset, 105u + 6u);
   EXPECT_EQ(parser.records_parsed(), 3u);
 }
@@ -68,7 +68,7 @@ TEST(TlsRecordParser, RecordSplitAcrossChunks) {
   ASSERT_EQ(third.size(), 1u);
   // The record is stamped with the time of the completing chunk.
   EXPECT_EQ(third[0].timestamp, SimTime::from_seconds(3));
-  EXPECT_EQ(third[0].record.length(), 1000u);
+  EXPECT_EQ(third[0].length, 1000u);
 }
 
 TEST(TlsRecordParser, ScansOnGarbageAndResynchronizesOnChainedRecords) {
@@ -99,7 +99,7 @@ TEST(TlsRecordParser, ScansOnGarbageAndResynchronizesOnChainedRecords) {
   // The first record after the re-lock carries the taint; later ones
   // are clean.
   EXPECT_TRUE(records[0].after_gap);
-  EXPECT_EQ(records[0].record.content_type, ContentType::kAlert);
+  EXPECT_EQ(records[0].content_type, ContentType::kAlert);
   EXPECT_FALSE(records[1].after_gap);
   EXPECT_FALSE(records[2].after_gap);
   // Offsets resume on the re-locked boundary, past the skipped bytes.
@@ -141,7 +141,7 @@ TEST(TlsRecordParser, OnGapDropsPartialRecordAndRelocksAtNextHeader) {
   // Stream offsets stay aligned with the reassembled stream: the gap
   // bytes still occupy their span.
   EXPECT_EQ(records[0].stream_offset, 400u + lost);
-  EXPECT_EQ(records[0].record.length(), 333u);
+  EXPECT_EQ(records[0].length, 333u);
 }
 
 TEST(TlsRecordParser, FlushRelocksWithRelaxedChain) {
@@ -160,8 +160,8 @@ TEST(TlsRecordParser, FlushRelocksWithRelaxedChain) {
   ASSERT_EQ(records.size(), 2u);
   EXPECT_FALSE(parser.desynchronized());
   EXPECT_TRUE(records[0].after_gap);
-  EXPECT_EQ(records[0].record.length(), 210u);
-  EXPECT_EQ(records[1].record.length(), 320u);
+  EXPECT_EQ(records[0].length, 210u);
+  EXPECT_EQ(records[1].length, 320u);
 }
 
 TEST(TlsRecordParser, GarbageStreamBufferStaysBounded) {
@@ -198,7 +198,7 @@ TEST(TlsRecordParser, EmptyRecordAllowed) {
   TlsRecordParser parser;
   const auto records = parser.feed(SimTime::from_seconds(0), wire);
   ASSERT_EQ(records.size(), 1u);
-  EXPECT_EQ(records[0].record.length(), 0u);
+  EXPECT_EQ(records[0].length, 0u);
 }
 
 TEST(ContentTypeHelpers, Names) {
